@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the simulator substrate and the ML
+//! framework: per-cycle simulation cost, cache/MSHR operations, GLM
+//! fitting, HIE prediction and scoring. These guard the performance of
+//! the pieces every figure regenerator leans on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpu_sim::{
+    CacheGeometry, FixedTuple, Gpu, GpuConfig, SetAssocCache, SetIndexing,
+    UniformKernel, WarpTuple,
+};
+use poise_ml::{FeatureVector, NbRegression, ScoringWeights, SpeedupGrid};
+
+fn bench_cache_ops(c: &mut Criterion) {
+    let geo = CacheGeometry {
+        sets: 32,
+        ways: 4,
+        line_bytes: 128,
+        indexing: SetIndexing::Hashed,
+    };
+    c.bench_function("cache/insert+access", |b| {
+        b.iter_batched(
+            || SetAssocCache::new(geo),
+            |mut cache| {
+                for line in 0..512u64 {
+                    cache.insert(line * 7);
+                    cache.access(line * 3);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sim_cycles(c: &mut Criterion) {
+    let kernel = UniformKernel::streaming(24, 4);
+    c.bench_function("sim/1sm-2k-cycles", |b| {
+        b.iter_batched(
+            || Gpu::new(GpuConfig::scaled(1), &kernel),
+            |mut gpu| {
+                gpu.run(&mut FixedTuple::max(), 2_000);
+                gpu
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_glm_fit(c: &mut Criterion) {
+    let xs: Vec<Vec<f64>> = (0..128)
+        .map(|i| {
+            let t = i as f64 / 128.0;
+            vec![1.0, t, t * t, (1.0 - t), t.sqrt(), t * 2.0, 0.5, 1.0]
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|r| (0.4 + 1.2 * r[1] - 0.5 * r[2]).exp().round())
+        .collect();
+    c.bench_function("ml/nb-fit-128x8", |b| {
+        b.iter(|| NbRegression::fit(&xs, &ys, 1e-6).expect("fit"))
+    });
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut grid = SpeedupGrid::new(24);
+    for n in 1..=24 {
+        for p in 1..=n {
+            grid.set(n, p, 1.0 + ((n * p) % 7) as f64 / 10.0);
+        }
+    }
+    let w = ScoringWeights::default();
+    c.bench_function("ml/score-full-grid", |b| {
+        b.iter(|| grid.best_scored(&w).expect("scored"))
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let model = poise_ml::TrainedModel {
+        alpha: [0.5, -0.2, 1.1, -0.6, -2.0, 0.4, 0.01, 1.8],
+        beta: [1.2, 0.3, -1.4, 2.2, -1.0, -0.2, 0.02, -0.9],
+        dispersion_n: 0.1,
+        dispersion_p: 0.1,
+        samples_used: 100,
+        dropped_features: Vec::new(),
+    };
+    let x = FeatureVector([0.2, 0.8, 0.15, 0.7, 0.3, 0.9, 0.4, 1.0]);
+    c.bench_function("hie/link-function-predict", |b| {
+        b.iter(|| model.predict(&x, 24))
+    });
+    // The warp-tuple arithmetic on the scheduler side.
+    c.bench_function("hie/tuple-clamp", |b| {
+        b.iter(|| WarpTuple::new(19, 7, 24))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cache_ops,
+    bench_sim_cycles,
+    bench_glm_fit,
+    bench_scoring,
+    bench_prediction
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Design-choice ablation (DESIGN.md §9): MSHR count sweep.
+//!
+//! Equation 1 models effective memory latency as
+//! `Tmem = Lo × ceil(N·mo / Kmshr)` — memory-level parallelism is
+//! quantised by the MSHR file. Sweeping `Kmshr` at the GTO baseline shows
+//! the effect directly: fewer MSHRs raise stall time and depress IPC,
+//! and the returns of adding MSHRs diminish once the DRAM bandwidth
+//! bound takes over.
+
+use gpu_sim::{FixedTuple, Gpu};
+use poise_bench::*;
+use workloads::evaluation_suite;
+
+fn main() {
+    let setup = setup();
+    let bench = evaluation_suite()
+        .into_iter()
+        .find(|b| b.name == "ii")
+        .expect("ii");
+    let kernel = &bench.kernels[0];
+    let mut rows = Vec::new();
+    for mshrs in [4usize, 8, 16, 32, 64] {
+        let mut cfg = setup.cfg.clone();
+        cfg.l1_mshrs = mshrs;
+        let mut gpu = Gpu::new(cfg, kernel);
+        let mut ctrl = FixedTuple::max();
+        gpu.run(&mut ctrl, 60_000);
+        let c = gpu.stats().total;
+        rows.push(vec![
+            mshrs.to_string(),
+            cell(c.ipc(), 3),
+            cell(c.aml(), 0),
+            c.l1_rejects.to_string(),
+        ]);
+    }
+    emit_table(
+        "ablation_mshr.txt",
+        "Ablation — MSHR count at the GTO baseline (ii), Eq. 1's MLP term",
+        &["Kmshr", "IPC", "AML", "rejects"],
+        &rows,
+    );
+}

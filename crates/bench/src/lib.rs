@@ -1,0 +1,392 @@
+//! # poise-bench — the figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper's evaluation section (see
+//! DESIGN.md §7 for the full index). Shared plumbing lives here:
+//!
+//! * [`setup`] builds the experiment [`Setup`] from the environment
+//!   (`POISE_SMS`, `POISE_KERNELS_CAP`, `POISE_TRAIN_CAP`,
+//!   `POISE_RUN_CYCLES`);
+//! * [`load_or_train_model`] trains the regression once and caches the
+//!   weights under `results/model.txt` so every figure binary reuses the
+//!   same offline training run (the paper's "one-time vendor training");
+//! * [`main_comparison`] runs the five Figs. 7–9 schemes over the eleven
+//!   evaluation benchmarks and caches the aggregate metrics, since four
+//!   figures share those runs;
+//! * small text/table formatting helpers.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use poise::experiment::{self, BenchResult, Scheme, Setup};
+use poise::train;
+use poise_ml::{TrainedModel, N_FEATURES};
+use workloads::evaluation_suite;
+
+/// Directory where figure outputs and caches are written.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("POISE_RESULTS_DIR").unwrap_or_else(|_| {
+        // Walk up from the crate to the workspace root if invoked there.
+        "results".to_string()
+    });
+    let p = PathBuf::from(dir);
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Build the experiment setup from the environment.
+pub fn setup() -> Setup {
+    Setup::default()
+}
+
+/// Serialise a trained model to a small text format.
+pub fn model_to_text(m: &TrainedModel) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "# Poise trained model (alpha, beta, dispersions)");
+    for v in m.alpha.iter() {
+        let _ = writeln!(s, "alpha {v:.9e}");
+    }
+    for v in m.beta.iter() {
+        let _ = writeln!(s, "beta {v:.9e}");
+    }
+    let _ = writeln!(s, "dispersion_n {:.9e}", m.dispersion_n);
+    let _ = writeln!(s, "dispersion_p {:.9e}", m.dispersion_p);
+    let _ = writeln!(s, "samples_used {}", m.samples_used);
+    s
+}
+
+/// Parse a model serialised by [`model_to_text`].
+pub fn model_from_text(s: &str) -> Option<TrainedModel> {
+    let mut alpha = Vec::new();
+    let mut beta = Vec::new();
+    let mut dn = 0.1;
+    let mut dp = 0.1;
+    let mut used = 0;
+    for line in s.lines() {
+        let mut it = line.split_whitespace();
+        match (it.next(), it.next()) {
+            (Some("alpha"), Some(v)) => alpha.push(v.parse().ok()?),
+            (Some("beta"), Some(v)) => beta.push(v.parse().ok()?),
+            (Some("dispersion_n"), Some(v)) => dn = v.parse().ok()?,
+            (Some("dispersion_p"), Some(v)) => dp = v.parse().ok()?,
+            (Some("samples_used"), Some(v)) => used = v.parse().ok()?,
+            _ => {}
+        }
+    }
+    if alpha.len() != N_FEATURES || beta.len() != N_FEATURES {
+        return None;
+    }
+    let mut a = [0.0; N_FEATURES];
+    let mut b = [0.0; N_FEATURES];
+    a.copy_from_slice(&alpha);
+    b.copy_from_slice(&beta);
+    Some(TrainedModel {
+        alpha: a,
+        beta: b,
+        dispersion_n: dn,
+        dispersion_p: dp,
+        samples_used: used,
+        dropped_features: Vec::new(),
+    })
+}
+
+/// Train the model once and cache it; later binaries reload the cache.
+/// Set `POISE_RETRAIN=1` to force retraining.
+pub fn load_or_train_model(setup: &Setup) -> TrainedModel {
+    let path = results_dir().join("model.txt");
+    if std::env::var("POISE_RETRAIN").is_err() {
+        if let Ok(s) = std::fs::read_to_string(&path) {
+            if let Some(m) = model_from_text(&s) {
+                eprintln!("[bench] reusing cached model from {}", path.display());
+                return m;
+            }
+        }
+    }
+    eprintln!("[bench] training model on the training suite (one-time)...");
+    let t0 = std::time::Instant::now();
+    let m = train::train_default_model(setup);
+    eprintln!(
+        "[bench] trained on {} kernels in {:.1}s",
+        m.samples_used,
+        t0.elapsed().as_secs_f64()
+    );
+    std::fs::write(&path, model_to_text(&m)).expect("write model cache");
+    m
+}
+
+/// One row of the cached main-comparison results.
+#[derive(Debug, Clone)]
+pub struct MainRow {
+    /// Benchmark name.
+    pub bench: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Aggregate IPC.
+    pub ipc: f64,
+    /// Absolute L1 hit rate.
+    pub l1_hit_rate: f64,
+    /// Average memory latency (cycles).
+    pub aml: f64,
+    /// Total energy (model units).
+    pub energy: f64,
+    /// Mean |ΔN| between prediction and search (Poise rows only).
+    pub disp_n: f64,
+    /// Mean |Δp| (Poise rows only).
+    pub disp_p: f64,
+    /// Mean Euclidean displacement (Poise rows only).
+    pub disp_euclid: f64,
+}
+
+fn row_of(r: &BenchResult) -> MainRow {
+    let logs: Vec<_> = r
+        .kernels
+        .iter()
+        .flat_map(|k| k.epoch_logs.iter())
+        .filter(|l| !l.early_out)
+        .collect();
+    let mean = |f: fn(&poise::EpochLog) -> f64| -> f64 {
+        if logs.is_empty() {
+            0.0
+        } else {
+            logs.iter().map(|l| f(l)).sum::<f64>() / logs.len() as f64
+        }
+    };
+    MainRow {
+        bench: r.bench.clone(),
+        scheme: r.scheme.name().to_string(),
+        ipc: r.ipc,
+        l1_hit_rate: r.l1_hit_rate,
+        aml: r.aml,
+        energy: r.energy,
+        disp_n: mean(|l| l.displacement_n()),
+        disp_p: mean(|l| l.displacement_p()),
+        disp_euclid: mean(|l| l.displacement_euclid()),
+    }
+}
+
+fn rows_to_tsv(rows: &[MainRow]) -> String {
+    let mut s = String::from(
+        "bench\tscheme\tipc\tl1_hit_rate\taml\tenergy\tdisp_n\tdisp_p\tdisp_euclid\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{}\t{}\t{:.6}\t{:.6}\t{:.3}\t{:.3}\t{:.4}\t{:.4}\t{:.4}",
+            r.bench,
+            r.scheme,
+            r.ipc,
+            r.l1_hit_rate,
+            r.aml,
+            r.energy,
+            r.disp_n,
+            r.disp_p,
+            r.disp_euclid
+        );
+    }
+    s
+}
+
+fn rows_from_tsv(s: &str) -> Option<Vec<MainRow>> {
+    let mut rows = Vec::new();
+    for line in s.lines().skip(1) {
+        let f: Vec<&str> = line.split('\t').collect();
+        if f.len() != 9 {
+            return None;
+        }
+        rows.push(MainRow {
+            bench: f[0].to_string(),
+            scheme: f[1].to_string(),
+            ipc: f[2].parse().ok()?,
+            l1_hit_rate: f[3].parse().ok()?,
+            aml: f[4].parse().ok()?,
+            energy: f[5].parse().ok()?,
+            disp_n: f[6].parse().ok()?,
+            disp_p: f[7].parse().ok()?,
+            disp_euclid: f[8].parse().ok()?,
+        });
+    }
+    Some(rows)
+}
+
+/// Run (or reload) the Figs. 7–10/14 main comparison: the five schemes of
+/// `Scheme::main_comparison` across the eleven evaluation benchmarks.
+/// Cached in `results/main_comparison.tsv`; `POISE_RERUN=1` forces reruns.
+pub fn main_comparison(setup: &Setup, model: &TrainedModel) -> Vec<MainRow> {
+    let path = results_dir().join("main_comparison.tsv");
+    if std::env::var("POISE_RERUN").is_err() {
+        if let Ok(s) = std::fs::read_to_string(&path) {
+            if let Some(rows) = rows_from_tsv(&s) {
+                if !rows.is_empty() {
+                    eprintln!(
+                        "[bench] reusing cached comparison from {}",
+                        path.display()
+                    );
+                    return rows;
+                }
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for bench in evaluation_suite() {
+        eprintln!("[bench] {}: profiling offline schemes...", bench.name);
+        let capped = bench.capped(setup.kernels_cap);
+        let profiles: Vec<_> = capped
+            .kernels
+            .iter()
+            .map(|k| experiment::offline_profile(k, setup))
+            .collect();
+        for scheme in Scheme::main_comparison() {
+            eprintln!("[bench] {}: running {}...", bench.name, scheme.name());
+            let r = experiment::run_benchmark_with_profiles(
+                &bench, scheme, model, &profiles, setup,
+            );
+            rows.push(row_of(&r));
+        }
+    }
+    std::fs::write(&path, rows_to_tsv(&rows)).expect("write comparison cache");
+    rows
+}
+
+/// Pull one metric for (bench, scheme) out of the rows.
+pub fn metric(
+    rows: &[MainRow],
+    bench: &str,
+    scheme: &str,
+    f: impl Fn(&MainRow) -> f64,
+) -> f64 {
+    rows.iter()
+        .find(|r| r.bench == bench && r.scheme == scheme)
+        .map(f)
+        .unwrap_or(f64::NAN)
+}
+
+/// The evaluation benchmark names in the paper's plotting order.
+pub fn bench_order() -> Vec<String> {
+    evaluation_suite().iter().map(|b| b.name.clone()).collect()
+}
+
+/// Render a simple aligned table to stdout and append it to a results
+/// file named `results/<file>`.
+pub fn emit_table(file: &str, title: &str, header: &[&str], rows: &[Vec<String>]) {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let widths: Vec<usize> = header
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .chain(std::iter::once(h.len()))
+                .max()
+                .unwrap_or(8)
+        })
+        .collect();
+    let fmt_row = |cells: Vec<String>| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let _ = writeln!(
+        out,
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
+    for r in rows {
+        let _ = writeln!(out, "{}", fmt_row(r.clone()));
+    }
+    print!("{out}");
+    let path = results_dir().join(file);
+    std::fs::write(&path, &out).expect("write results file");
+    eprintln!("[bench] wrote {}", path.display());
+}
+
+/// Format a float with fixed decimals, as a table cell.
+pub fn cell(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// ASCII rendering of a {N, p} speedup surface (used by Figs. 2, 5, 17).
+pub fn render_grid(grid: &poise_ml::SpeedupGrid) -> String {
+    let mut s = String::new();
+    let max_n = grid.max_n();
+    let _ = writeln!(s, "rows: p (top = {max_n}), cols: N (1..{max_n});");
+    let _ = writeln!(
+        s,
+        "++/+ speedup (>10% / >0), - slowdown, -- > 10% slowdown, . unprofiled"
+    );
+    for p in (1..=max_n).rev() {
+        let _ = write!(s, "p={p:2} ");
+        for n in 1..=max_n {
+            let sym = if p > n {
+                "  "
+            } else {
+                match grid.get(n, p) {
+                    None => " .",
+                    Some(v) if v >= 1.10 => "++",
+                    Some(v) if v >= 1.0 => " +",
+                    Some(v) if v >= 0.90 => " -",
+                    Some(_) => "--",
+                }
+            };
+            let _ = write!(s, "{sym}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_text_round_trips() {
+        let m = TrainedModel {
+            alpha: [0.1, -0.2, 0.3, 0.0, 1.5, -2.0, 0.004, 1.6],
+            beta: [3.7, 0.48, -6.3, 10.3, -6.5, -0.9, 0.08, -2.1],
+            dispersion_n: 0.12,
+            dispersion_p: 0.34,
+            samples_used: 42,
+            dropped_features: Vec::new(),
+        };
+        let t = model_to_text(&m);
+        let m2 = model_from_text(&t).expect("parse");
+        for i in 0..N_FEATURES {
+            assert!((m.alpha[i] - m2.alpha[i]).abs() < 1e-12);
+            assert!((m.beta[i] - m2.beta[i]).abs() < 1e-12);
+        }
+        assert_eq!(m2.samples_used, 42);
+    }
+
+    #[test]
+    fn tsv_round_trips() {
+        let rows = vec![MainRow {
+            bench: "ii".into(),
+            scheme: "Poise".into(),
+            ipc: 1.23,
+            l1_hit_rate: 0.4,
+            aml: 512.5,
+            energy: 1e9,
+            disp_n: 1.0,
+            disp_p: 0.9,
+            disp_euclid: 1.6,
+        }];
+        let s = rows_to_tsv(&rows);
+        let back = rows_from_tsv(&s).expect("parse");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].bench, "ii");
+        assert!((back[0].ipc - 1.23).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_rendering_marks_speedups() {
+        let mut g = poise_ml::SpeedupGrid::new(3);
+        g.set(2, 1, 1.5);
+        g.set(3, 3, 0.5);
+        let s = render_grid(&g);
+        assert!(s.contains("++"));
+        assert!(s.contains("--"));
+    }
+}

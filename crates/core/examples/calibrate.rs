@@ -1,0 +1,38 @@
+use gpu_sim::*;
+use poise::profiler::{run_tuple, profile_grid, ProfileWindow, GridSpec};
+use workloads::*;
+
+fn characterize(name: &str, spec: &KernelSpec, cfg: &GpuConfig) {
+    let w = ProfileWindow::default();
+    let base = run_tuple(spec, cfg, WarpTuple::max(spec.warps_per_scheduler), w);
+    // Pbest with a long window
+    let pw = ProfileWindow::pbest();
+    let pbase = run_tuple(spec, cfg, WarpTuple::max(spec.warps_per_scheduler), pw);
+    let big_cfg = cfg.clone().with_l1_scale(64);
+    let pbig = run_tuple(spec, &big_cfg, WarpTuple::max(spec.warps_per_scheduler), pw);
+    let pb = pbig.ipc() / pbase.ipc().max(1e-9);
+    let t241 = run_tuple(spec, cfg, WarpTuple::new(24,1,24), w);
+    let c = &t241.window;
+    let cb = &base.window;
+    let intra_share = if cb.l1_hits>0 {cb.l1_intra_hits as f64/cb.l1_hits as f64} else {0.0};
+    println!("{name:10} Pbest={pb:5.2} ho={:.2} ipc_base={:.3} | @(24,1): hp={:.2} hnp={:.2} | intra%={:.0} In={:.1}",
+        cb.l1_hit_rate(), cb.ipc(), c.polluting_hit_rate(), c.non_polluting_hit_rate(),
+        intra_share*100.0, cb.in_avg());
+    let g = profile_grid(spec, cfg, &GridSpec::coarse(24), w);
+    let (bt, bs) = g.best_performance().unwrap();
+    let (dt, ds) = g.best_diagonal().unwrap();
+    println!("{:10}   best {bt}={bs:.2}  diag-best {dt}={ds:.2}", "");
+}
+
+fn main() {
+    let cfg = GpuConfig::scaled(8);
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("all");
+    for b in evaluation_suite() {
+        if which != "all" && b.name != which { continue; }
+        characterize(&b.name, &b.kernels[0], &cfg);
+    }
+    if which == "all" || which == "fig4" {
+        for k in fig4_kernels() { characterize(&format!("f4-{}", k.name), &k, &cfg); }
+    }
+}

@@ -1,0 +1,494 @@
+//! Shared experiment runners for the figure/table regenerators.
+//!
+//! A [`Setup`] bundles the machine configuration, Poise parameters,
+//! profiling windows and effort caps; [`run_benchmark`] executes one
+//! benchmark under one [`Scheme`] and aggregates per-kernel results the
+//! way the paper reports them (benchmark IPC = total instructions / total
+//! cycles; cross-benchmark means are harmonic for speedups and arithmetic
+//! for rates).
+
+use crate::hie::PoiseController;
+use crate::params::PoiseParams;
+use crate::policies::{
+    static_best_from_grid, swl_tuple_from_grid, ApcmController,
+    PcalSwlController, RandomRestartController,
+};
+use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
+use gpu_sim::{
+    Counters, EnergyBreakdown, FixedTuple, Gpu, GpuConfig, WarpTuple,
+};
+use poise_ml::{SpeedupGrid, TrainedModel};
+use workloads::{Benchmark, KernelSpec};
+
+/// The warp-scheduling schemes of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Greedy-then-oldest baseline at maximum warps.
+    Gto,
+    /// Static warp limiting (best diagonal tuple from an offline profile).
+    Swl,
+    /// Dynamic PCAL seeded by the SWL profile point.
+    PcalSwl,
+    /// Poise: prediction + local search.
+    Poise,
+    /// Best tuple from a full offline profile, per kernel.
+    StaticBest,
+    /// Random-restart stochastic search (averaged over seeds by caller).
+    RandomRestart,
+    /// APCM-style per-PC cache bypassing.
+    Apcm,
+}
+
+impl Scheme {
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Gto => "GTO",
+            Scheme::Swl => "SWL",
+            Scheme::PcalSwl => "PCAL-SWL",
+            Scheme::Poise => "Poise",
+            Scheme::StaticBest => "Static-Best",
+            Scheme::RandomRestart => "Random-restart",
+            Scheme::Apcm => "APCM",
+        }
+    }
+
+    /// All schemes compared in Figs. 7–9.
+    pub fn main_comparison() -> [Scheme; 5] {
+        [
+            Scheme::Gto,
+            Scheme::Swl,
+            Scheme::PcalSwl,
+            Scheme::Poise,
+            Scheme::StaticBest,
+        ]
+    }
+}
+
+/// Experiment-wide configuration: machine, Poise parameters, effort caps.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// Simulated machine.
+    pub cfg: GpuConfig,
+    /// Poise runtime parameters.
+    pub params: PoiseParams,
+    /// Profiling window for offline profiles and training.
+    pub profile_window: ProfileWindow,
+    /// Grid used for offline profiling of evaluation kernels
+    /// (SWL / PCAL start / Static-Best).
+    pub eval_grid: GridSpec,
+    /// Grid used for training-set profiling.
+    pub train_grid: GridSpec,
+    /// Cycles each kernel runs under each scheme in evaluation runs.
+    pub run_cycles: u64,
+    /// Max kernels per evaluation benchmark (deterministic subsample).
+    pub kernels_cap: usize,
+    /// Max kernels per training benchmark.
+    pub train_cap_per_benchmark: usize,
+    /// Seeds for random-restart averaging.
+    pub rr_seeds: Vec<u64>,
+}
+
+impl Default for Setup {
+    fn default() -> Self {
+        let sms = std::env::var("POISE_SMS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8);
+        let kernels_cap = std::env::var("POISE_KERNELS_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
+        let train_cap = std::env::var("POISE_TRAIN_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(8);
+        let run_cycles = std::env::var("POISE_RUN_CYCLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(400_000);
+        Setup {
+            cfg: GpuConfig::scaled(sms),
+            params: PoiseParams::default(),
+            profile_window: ProfileWindow::default(),
+            eval_grid: GridSpec::coarse(24),
+            train_grid: GridSpec::coarse(24),
+            run_cycles,
+            kernels_cap,
+            train_cap_per_benchmark: train_cap,
+            rr_seeds: vec![11, 23, 47],
+        }
+    }
+}
+
+impl Setup {
+    /// A very small setup for unit tests: 1-SM machine, short windows.
+    pub fn for_tests() -> Self {
+        Setup {
+            cfg: GpuConfig::scaled(1),
+            params: PoiseParams::scaled_down(10),
+            profile_window: ProfileWindow {
+                warmup: 500,
+                measure: 2_000,
+            },
+            eval_grid: GridSpec::coarse(24),
+            train_grid: GridSpec::diagonal(12),
+            run_cycles: 40_000,
+            kernels_cap: 2,
+            train_cap_per_benchmark: 4,
+            rr_seeds: vec![1],
+        }
+    }
+}
+
+/// Result of running one kernel under one scheme.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// Kernel name.
+    pub kernel: String,
+    /// Total counters over the run.
+    pub counters: Counters,
+    /// Energy over the run.
+    pub energy: EnergyBreakdown,
+    /// Poise epoch logs, if the scheme was Poise.
+    pub epoch_logs: Vec<crate::hie::EpochLog>,
+}
+
+/// Aggregated result of one benchmark under one scheme.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub bench: String,
+    /// Scheme executed.
+    pub scheme: Scheme,
+    /// Aggregate IPC (Σ instructions / Σ cycles over kernels).
+    pub ipc: f64,
+    /// Aggregate absolute L1 hit rate.
+    pub l1_hit_rate: f64,
+    /// Aggregate average memory latency.
+    pub aml: f64,
+    /// Total energy.
+    pub energy: f64,
+    /// Per-kernel runs.
+    pub kernels: Vec<KernelRun>,
+}
+
+/// Offline per-kernel profile artefacts shared by SWL / PCAL / Static-Best.
+#[derive(Debug)]
+pub struct OfflineProfile {
+    /// The speedup surface.
+    pub grid: SpeedupGrid,
+    /// Best diagonal tuple (SWL's choice, PCAL's starting point).
+    pub swl: WarpTuple,
+    /// Best overall tuple (Static-Best's choice).
+    pub best: WarpTuple,
+}
+
+/// Profile one kernel offline (used by the static schemes).
+pub fn offline_profile(spec: &KernelSpec, setup: &Setup) -> OfflineProfile {
+    let max_warps = spec
+        .warps_per_scheduler
+        .min(setup.cfg.max_warps_per_scheduler);
+    let grid = profile_grid(spec, &setup.cfg, &setup.eval_grid, setup.profile_window);
+    OfflineProfile {
+        swl: swl_tuple_from_grid(&grid, max_warps),
+        best: static_best_from_grid(&grid, max_warps),
+        grid,
+    }
+}
+
+/// Run one kernel for `setup.run_cycles` under `scheme`.
+///
+/// `profile` must be provided for the profile-driven schemes (SWL,
+/// PCAL-SWL, Static-Best); `model` for Poise.
+pub fn run_kernel(
+    spec: &KernelSpec,
+    scheme: Scheme,
+    model: &TrainedModel,
+    profile: Option<&OfflineProfile>,
+    setup: &Setup,
+) -> KernelRun {
+    let mut cfg = setup.cfg.clone();
+    if scheme == Scheme::Apcm {
+        cfg.track_pc_stats = true;
+    }
+    let mut gpu = Gpu::new(cfg, spec);
+    let mut epoch_logs = Vec::new();
+
+    let result = match scheme {
+        Scheme::Gto => gpu.run(&mut FixedTuple::max(), setup.run_cycles),
+        Scheme::Swl => {
+            let t = profile.expect("SWL needs an offline profile").swl;
+            gpu.run(&mut FixedTuple::new(t), setup.run_cycles)
+        }
+        Scheme::StaticBest => {
+            let t = profile.expect("Static-Best needs an offline profile").best;
+            gpu.run(&mut FixedTuple::new(t), setup.run_cycles)
+        }
+        Scheme::PcalSwl => {
+            let start = profile.expect("PCAL-SWL needs an offline profile").swl;
+            let mut ctrl = PcalSwlController::new(start);
+            gpu.run(&mut ctrl, setup.run_cycles)
+        }
+        Scheme::Poise => {
+            let mut ctrl = PoiseController::new(model.clone(), setup.params);
+            let r = gpu.run(&mut ctrl, setup.run_cycles);
+            epoch_logs = ctrl.log.clone();
+            r
+        }
+        Scheme::RandomRestart => {
+            // Average over seeds: run each seed for the full budget and
+            // merge counters (equal-cycle weighting).
+            let mut merged: Option<gpu_sim::SimResult> = None;
+            for (i, &seed) in setup.rr_seeds.iter().enumerate() {
+                let mut g = if i == 0 {
+                    std::mem::replace(&mut gpu, Gpu::new(setup.cfg.clone(), spec))
+                } else {
+                    Gpu::new(setup.cfg.clone(), spec)
+                };
+                let mut ctrl =
+                    RandomRestartController::new(seed, setup.params.t_period);
+                let r = g.run(&mut ctrl, setup.run_cycles);
+                merged = Some(match merged {
+                    None => r,
+                    Some(mut acc) => {
+                        acc.counters = merge_counters(&acc.counters, &r.counters);
+                        acc.cycles += r.cycles;
+                        acc
+                    }
+                });
+            }
+            merged.expect("at least one seed")
+        }
+        Scheme::Apcm => {
+            let mut ctrl = ApcmController::new(setup.params.t_period);
+            gpu.run(&mut ctrl, setup.run_cycles)
+        }
+    };
+
+    KernelRun {
+        kernel: spec.name.clone(),
+        counters: result.counters,
+        energy: result.energy,
+        epoch_logs,
+    }
+}
+
+fn merge_counters(a: &Counters, b: &Counters) -> Counters {
+    // Sum the raw events of two runs (used for seed averaging: rates and
+    // IPC derived from summed counters are cycle-weighted means).
+    let mut out = *a;
+    macro_rules! add {
+        ($($f:ident),*) => { $(out.$f += b.$f;)* };
+    }
+    add!(
+        cycles,
+        instructions,
+        loads,
+        stores,
+        l1_accesses,
+        l1_hits,
+        l1_intra_hits,
+        l1_inter_hits,
+        l1_hits_polluting,
+        l1_accesses_polluting,
+        l1_hits_non_polluting,
+        l1_accesses_non_polluting,
+        l1_misses_completed,
+        miss_latency_sum,
+        l1_rejects,
+        mshr_allocations,
+        mshr_merges,
+        l2_accesses,
+        l2_hits,
+        dram_accesses,
+        busy_scheduler_cycles,
+        stall_scheduler_cycles,
+        in_gap_sum,
+        in_gap_count,
+        reuse_distance_sum,
+        reuse_distance_count
+    );
+    out
+}
+
+/// Run a whole benchmark (capped kernels) under one scheme.
+pub fn run_benchmark(
+    bench: &Benchmark,
+    scheme: Scheme,
+    model: &TrainedModel,
+    setup: &Setup,
+) -> BenchResult {
+    let capped = bench.capped(setup.kernels_cap);
+    let needs_profile = matches!(
+        scheme,
+        Scheme::Swl | Scheme::PcalSwl | Scheme::StaticBest
+    );
+    let mut kernels = Vec::new();
+    for spec in &capped.kernels {
+        let profile = needs_profile.then(|| offline_profile(spec, setup));
+        kernels.push(run_kernel(spec, scheme, model, profile.as_ref(), setup));
+    }
+    aggregate(bench.name.clone(), scheme, kernels)
+}
+
+/// Run a benchmark reusing precomputed offline profiles (avoids
+/// re-profiling when several schemes share them).
+pub fn run_benchmark_with_profiles(
+    bench: &Benchmark,
+    scheme: Scheme,
+    model: &TrainedModel,
+    profiles: &[OfflineProfile],
+    setup: &Setup,
+) -> BenchResult {
+    let capped = bench.capped(setup.kernels_cap);
+    assert_eq!(capped.kernels.len(), profiles.len());
+    let kernels = capped
+        .kernels
+        .iter()
+        .zip(profiles)
+        .map(|(spec, prof)| run_kernel(spec, scheme, model, Some(prof), setup))
+        .collect();
+    aggregate(bench.name.clone(), scheme, kernels)
+}
+
+fn aggregate(bench: String, scheme: Scheme, kernels: Vec<KernelRun>) -> BenchResult {
+    let sum = |f: fn(&Counters) -> u64| -> u64 {
+        kernels.iter().map(|k| f(&k.counters)).sum()
+    };
+    let cycles = sum(|c| c.cycles).max(1);
+    let instructions = sum(|c| c.instructions);
+    let accesses = sum(|c| c.l1_accesses).max(1);
+    let hits = sum(|c| c.l1_hits);
+    let misses = sum(|c| c.l1_misses_completed).max(1);
+    let lat = sum(|c| c.miss_latency_sum);
+    let energy = kernels.iter().map(|k| k.energy.total()).sum();
+    BenchResult {
+        bench,
+        scheme,
+        ipc: instructions as f64 / cycles as f64,
+        l1_hit_rate: hits as f64 / accesses as f64,
+        aml: lat as f64 / misses as f64,
+        energy,
+        kernels,
+    }
+}
+
+/// Harmonic mean of speedups (the paper's cross-benchmark aggregate).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let denom: f64 = values.iter().map(|v| 1.0 / v.max(1e-12)).sum();
+    values.len() as f64 / denom
+}
+
+/// Arithmetic mean (used for hit rates and AML).
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use poise_ml::N_FEATURES;
+    use workloads::{AccessMix, KernelSpec};
+
+    fn const_model() -> TrainedModel {
+        let mut alpha = [0.0; N_FEATURES];
+        let mut beta = [0.0; N_FEATURES];
+        alpha[N_FEATURES - 1] = (8.0f64).ln();
+        beta[N_FEATURES - 1] = (2.0f64).ln();
+        TrainedModel {
+            alpha,
+            beta,
+            dispersion_n: 0.1,
+            dispersion_p: 0.1,
+            samples_used: 0,
+            dropped_features: Vec::new(),
+        }
+    }
+
+    fn bench() -> Benchmark {
+        Benchmark::new(
+            "t",
+            vec![KernelSpec::steady(
+                "t#0",
+                AccessMix::memory_sensitive(),
+                21,
+            )],
+        )
+    }
+
+    #[test]
+    fn every_scheme_runs_to_completion() {
+        let setup = Setup::for_tests();
+        let model = const_model();
+        for scheme in [
+            Scheme::Gto,
+            Scheme::Swl,
+            Scheme::PcalSwl,
+            Scheme::Poise,
+            Scheme::StaticBest,
+            Scheme::RandomRestart,
+            Scheme::Apcm,
+        ] {
+            let r = run_benchmark(&bench(), scheme, &model, &setup);
+            assert!(r.ipc > 0.0, "{} produced no work", scheme.name());
+            assert!(r.energy > 0.0);
+        }
+    }
+
+    #[test]
+    fn poise_runs_log_epochs() {
+        let setup = Setup::for_tests();
+        let r = run_benchmark(&bench(), Scheme::Poise, &const_model(), &setup);
+        assert!(!r.kernels[0].epoch_logs.is_empty());
+    }
+
+    #[test]
+    fn means_are_correct() {
+        assert!((harmonic_mean(&[1.0, 2.0]) - 4.0 / 3.0).abs() < 1e-12);
+        assert!((arithmetic_mean(&[1.0, 2.0]) - 1.5).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn aggregate_pools_counters() {
+        let mut c1 = Counters::default();
+        c1.cycles = 100;
+        c1.instructions = 50;
+        c1.l1_accesses = 10;
+        c1.l1_hits = 5;
+        c1.l1_misses_completed = 5;
+        c1.miss_latency_sum = 500;
+        let mut c2 = c1;
+        c2.instructions = 150;
+        let e = EnergyBreakdown::from_counters(
+            &c1,
+            &gpu_sim::EnergyConfig::default(),
+            1,
+        );
+        let runs = vec![
+            KernelRun {
+                kernel: "a".into(),
+                counters: c1,
+                energy: e,
+                epoch_logs: vec![],
+            },
+            KernelRun {
+                kernel: "b".into(),
+                counters: c2,
+                energy: e,
+                epoch_logs: vec![],
+            },
+        ];
+        let agg = aggregate("x".into(), Scheme::Gto, runs);
+        assert!((agg.ipc - 1.0).abs() < 1e-12); // 200 instr / 200 cycles
+        assert!((agg.l1_hit_rate - 0.5).abs() < 1e-12);
+        assert!((agg.aml - 100.0).abs() < 1e-12);
+    }
+}

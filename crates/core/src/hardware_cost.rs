@@ -1,0 +1,80 @@
+//! Storage-overhead accounting for Poise's hardware (paper §VII-I).
+//!
+//! Per SM, Poise needs: seven 32-bit performance counters for the Table II
+//! features, two 3-bit state registers for the seven-state HIE FSM, and a
+//! vital plus a pollute bit for each of the 48 warp-scheduler queue
+//! entries. The paper totals this to 40.75 bytes per SM — about 1,304
+//! bytes for the 32-SM chip, under 0.01% of area. The link function is
+//! computed on existing ALUs during idle issue slots, so no arithmetic
+//! hardware is added.
+
+/// Itemised per-SM storage cost in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareCost {
+    /// Performance-counter bits (7 × 32).
+    pub counter_bits: u64,
+    /// FSM state-register bits (2 × 3).
+    pub fsm_bits: u64,
+    /// Vital + pollute bits across the warp queues.
+    pub warp_bits: u64,
+}
+
+impl HardwareCost {
+    /// The configuration of the paper's baseline (7 counters, 7-state FSM,
+    /// 48 warps per SM with 2 bits each).
+    pub fn paper_baseline() -> Self {
+        HardwareCost::for_machine(7, 7, 48)
+    }
+
+    /// Compute the cost for an arbitrary machine.
+    pub fn for_machine(counters: u64, fsm_states: u64, warps_per_sm: u64) -> Self {
+        // Two replicated state registers sized to hold `fsm_states` states.
+        let state_bits = 64 - (fsm_states.max(2) - 1).leading_zeros() as u64;
+        HardwareCost {
+            counter_bits: counters * 32,
+            fsm_bits: 2 * state_bits,
+            warp_bits: warps_per_sm * 2,
+        }
+    }
+
+    /// Total bits per SM.
+    pub fn bits_per_sm(&self) -> u64 {
+        self.counter_bits + self.fsm_bits + self.warp_bits
+    }
+
+    /// Total bytes per SM (fractional, as the paper reports 40.75 B).
+    pub fn bytes_per_sm(&self) -> f64 {
+        self.bits_per_sm() as f64 / 8.0
+    }
+
+    /// Total bytes for a chip with `sms` SMs.
+    pub fn bytes_total(&self, sms: u64) -> f64 {
+        self.bytes_per_sm() * sms as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_accounting() {
+        let c = HardwareCost::paper_baseline();
+        // 7 counters x 32 = 224 bits; 2 x 3-bit FSM = 6 bits;
+        // 48 warps x 2 = 96 bits → 326 bits = 40.75 bytes.
+        assert_eq!(c.counter_bits, 224);
+        assert_eq!(c.fsm_bits, 6);
+        assert_eq!(c.warp_bits, 96);
+        assert_eq!(c.bits_per_sm(), 326);
+        assert!((c.bytes_per_sm() - 40.75).abs() < 1e-12);
+        // 32 SMs → 1304 bytes, the paper's total.
+        assert!((c.bytes_total(32) - 1304.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fsm_register_width_scales_with_states() {
+        assert_eq!(HardwareCost::for_machine(0, 2, 0).fsm_bits, 2);
+        assert_eq!(HardwareCost::for_machine(0, 8, 0).fsm_bits, 6);
+        assert_eq!(HardwareCost::for_machine(0, 9, 0).fsm_bits, 8);
+    }
+}

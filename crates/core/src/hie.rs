@@ -1,0 +1,547 @@
+//! The Hardware Inference Engine (paper Section VI).
+//!
+//! Once per inference epoch (`Tperiod` cycles) the HIE:
+//!
+//! 1. steers the warp scheduler to the baseline point `(max, max)`, warms
+//!    up for `Twarmup` cycles and samples the feature counters for
+//!    `Tfeature` cycles;
+//! 2. checks the compute-intensity cut-off: if the observed `In` exceeds
+//!    `Imax`, inference terminates early and the kernel runs at maximum
+//!    warps for the remainder of the epoch;
+//! 3. otherwise steers to the reference point `(1, 1)` and samples again;
+//! 4. computes the link function (Eq. 13) with the compiler-provided
+//!    feature weights, reverse-scales the predicted tuple to the kernel's
+//!    occupancy and installs it;
+//! 5. refines the prediction with a gradient-ascent local search: first
+//!    along N with initial stride `εN`, then along p with stride `εp`,
+//!    sampling each candidate for `Tsearch` cycles after warmup, moving to
+//!    a better neighbour at the same stride or halving the stride at a
+//!    local maximum until the stride reaches zero;
+//! 6. executes at the converged tuple until the epoch ends, then resets.
+//!
+//! The implementation is a cycle-driven FSM, mirroring the paper's
+//! seven-state hardware FSM (§VII-I).
+
+use crate::params::PoiseParams;
+use gpu_sim::{ControlCtx, Controller, WarpTuple, WindowSample};
+use poise_ml::{scoring, FeatureVector, TrainedModel};
+
+/// One epoch's record: what was predicted and where the search converged
+/// (consumed by the Fig. 10 displacement and Fig. 17 trajectory studies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochLog {
+    /// Cycle at which the prediction was made.
+    pub cycle: u64,
+    /// Tuple predicted by the link function (after reverse scaling).
+    pub predicted: WarpTuple,
+    /// Tuple after local search convergence.
+    pub searched: WarpTuple,
+    /// Whether the compute-intensive early-out fired (no prediction).
+    pub early_out: bool,
+}
+
+impl EpochLog {
+    /// |ΔN| between prediction and converged tuple.
+    pub fn displacement_n(&self) -> f64 {
+        (self.predicted.n as f64 - self.searched.n as f64).abs()
+    }
+
+    /// |Δp| between prediction and converged tuple.
+    pub fn displacement_p(&self) -> f64 {
+        (self.predicted.p as f64 - self.searched.p as f64).abs()
+    }
+
+    /// Euclidean displacement in the {N, p} plane.
+    pub fn displacement_euclid(&self) -> f64 {
+        self.predicted.distance(&self.searched)
+    }
+}
+
+/// Which axis the local search is currently exploring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Axis {
+    N,
+    P,
+}
+
+/// The local-search sub-machine.
+#[derive(Debug, Clone)]
+struct LocalSearch {
+    axis: Axis,
+    stride: usize,
+    stride_p_initial: usize,
+    current: WarpTuple,
+    current_ipc: Option<f64>,
+    /// Candidate tuples still to sample at this step (minus/plus side).
+    pending: Vec<WarpTuple>,
+    /// Sampled (tuple, ipc) pairs for the current step.
+    sampled: Vec<(WarpTuple, f64)>,
+    /// The tuple currently being measured.
+    measuring: Option<WarpTuple>,
+    max_warps: usize,
+}
+
+impl LocalSearch {
+    fn new(start: WarpTuple, params: &PoiseParams, max_warps: usize) -> Self {
+        LocalSearch {
+            axis: Axis::N,
+            stride: params.stride_n,
+            stride_p_initial: params.stride_p,
+            current: start,
+            current_ipc: None,
+            pending: Vec::new(),
+            sampled: Vec::new(),
+            measuring: None,
+            max_warps,
+        }
+    }
+
+    fn neighbour(&self, dir: i64) -> Option<WarpTuple> {
+        let s = self.stride as i64 * dir;
+        let (n, p) = match self.axis {
+            Axis::N => (self.current.n as i64 + s, self.current.p as i64),
+            Axis::P => (self.current.n as i64, self.current.p as i64 + s),
+        };
+        if n < 1 || p < 1 || p > n || n > self.max_warps as i64 {
+            return None;
+        }
+        Some(WarpTuple::new(n as usize, p as usize, self.max_warps))
+    }
+
+    /// Prepare the next measurement; returns the tuple to steer to, or
+    /// `None` when the search has converged on both axes.
+    fn next_measurement(&mut self) -> Option<WarpTuple> {
+        loop {
+            if self.current_ipc.is_none() {
+                self.measuring = Some(self.current);
+                return Some(self.current);
+            }
+            if let Some(t) = self.pending.pop() {
+                self.measuring = Some(t);
+                return Some(t);
+            }
+            if self.measuring.is_some() || !self.sampled.is_empty() {
+                // A step just completed: decide where to go.
+                self.decide();
+                if self.stride == 0 {
+                    match self.axis {
+                        Axis::N => {
+                            // Switch to the p axis, keeping the converged N.
+                            self.axis = Axis::P;
+                            self.stride = self.stride_p_initial;
+                            self.sampled.clear();
+                            self.measuring = None;
+                            if self.stride == 0 {
+                                return None;
+                            }
+                            self.queue_step();
+                            continue;
+                        }
+                        Axis::P => return None,
+                    }
+                }
+                continue;
+            }
+            // Fresh step at the current stride.
+            if self.stride == 0 {
+                return None;
+            }
+            self.queue_step();
+            if self.pending.is_empty() {
+                // No legal neighbours at this stride: halve and retry.
+                self.stride /= 2;
+                if self.stride == 0 {
+                    match self.axis {
+                        Axis::N => {
+                            self.axis = Axis::P;
+                            self.stride = self.stride_p_initial;
+                            continue;
+                        }
+                        Axis::P => return None,
+                    }
+                }
+            }
+        }
+    }
+
+    fn queue_step(&mut self) {
+        self.pending.clear();
+        self.sampled.clear();
+        for dir in [-1i64, 1] {
+            if let Some(t) = self.neighbour(dir) {
+                self.pending.push(t);
+            }
+        }
+    }
+
+    /// Record the measured IPC of the tuple prepared by
+    /// [`Self::next_measurement`].
+    fn record(&mut self, ipc: f64) {
+        if let Some(t) = self.measuring.take() {
+            if t == self.current && self.current_ipc.is_none() {
+                self.current_ipc = Some(ipc);
+            } else {
+                self.sampled.push((t, ipc));
+            }
+        }
+    }
+
+    /// Gradient-ascent decision: move to the best neighbour if it beats
+    /// the current point (same stride), otherwise halve the stride.
+    fn decide(&mut self) {
+        let cur = self.current_ipc.unwrap_or(0.0);
+        let best = self
+            .sampled
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        match best {
+            Some((t, ipc)) if ipc > cur => {
+                self.current = t;
+                self.current_ipc = Some(ipc);
+            }
+            _ => {
+                self.stride /= 2;
+            }
+        }
+        self.sampled.clear();
+        self.measuring = None;
+        if self.stride > 0 {
+            self.queue_step();
+        }
+    }
+}
+
+/// FSM states (the paper's 7-state HIE, §VII-I).
+#[derive(Debug, Clone)]
+enum HieState {
+    /// Warming up at the baseline point (max, max).
+    WarmupBase { until: u64 },
+    /// Sampling features at the baseline point.
+    SampleBase { until: u64 },
+    /// Warming up at the reference point (1, 1).
+    WarmupRef { until: u64 },
+    /// Sampling features at the reference point.
+    SampleRef { until: u64 },
+    /// Local search: warming up at a candidate tuple.
+    SearchWarmup { until: u64, search: LocalSearch },
+    /// Local search: sampling a candidate tuple.
+    SearchSample { until: u64, search: LocalSearch },
+    /// Converged; running at the final tuple until the epoch ends.
+    Stable,
+}
+
+/// Poise's runtime controller: the hardware inference engine.
+#[derive(Debug)]
+pub struct PoiseController {
+    params: PoiseParams,
+    model: TrainedModel,
+    state: HieState,
+    epoch_start: u64,
+    base_sample: Option<WindowSample>,
+    predicted: Option<WarpTuple>,
+    /// Per-epoch prediction/search records across the controller's
+    /// lifetime (kernel boundaries included).
+    pub log: Vec<EpochLog>,
+    /// Trace of `(cycle, tuple)` steering decisions (Fig. 17b).
+    pub tuple_trace: Vec<(u64, WarpTuple)>,
+}
+
+impl PoiseController {
+    /// Build a controller from trained feature weights.
+    pub fn new(model: TrainedModel, params: PoiseParams) -> Self {
+        PoiseController {
+            params,
+            model,
+            state: HieState::Stable, // replaced on kernel start
+            epoch_start: 0,
+            base_sample: None,
+            predicted: None,
+            log: Vec::new(),
+            tuple_trace: Vec::new(),
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &PoiseParams {
+        &self.params
+    }
+
+    fn steer(&mut self, ctx: &mut ControlCtx, t: WarpTuple) {
+        ctx.set_tuple_all(t);
+        ctx.reset_window();
+        self.tuple_trace.push((ctx.cycle, t));
+    }
+
+    fn begin_epoch(&mut self, ctx: &mut ControlCtx) {
+        self.epoch_start = ctx.cycle;
+        self.base_sample = None;
+        self.predicted = None;
+        let base = WarpTuple::max(ctx.kernel_warps);
+        self.steer(ctx, base);
+        self.state = HieState::WarmupBase {
+            until: ctx.cycle + self.params.t_warmup,
+        };
+    }
+
+    fn predict(&self, ctx: &ControlCtx, base: &WindowSample, refp: &WindowSample) -> WarpTuple {
+        let x = FeatureVector::from_samples(base, refp);
+        let scaled = self.model.predict(&x, ctx.max_warps);
+        scoring::reverse_scale_tuple(scaled, ctx.kernel_warps, ctx.max_warps)
+    }
+
+    fn enter_search(&mut self, ctx: &mut ControlCtx, start: WarpTuple) {
+        let mut search = LocalSearch::new(start, &self.params, ctx.kernel_warps);
+        match search.next_measurement() {
+            Some(t) => {
+                self.steer(ctx, t);
+                self.state = HieState::SearchWarmup {
+                    until: ctx.cycle + self.params.t_warmup,
+                    search,
+                };
+            }
+            None => {
+                self.finish(ctx, start);
+            }
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut ControlCtx, t: WarpTuple) {
+        if let Some(predicted) = self.predicted {
+            self.log.push(EpochLog {
+                cycle: ctx.cycle,
+                predicted,
+                searched: t,
+                early_out: false,
+            });
+        }
+        self.steer(ctx, t);
+        self.state = HieState::Stable;
+    }
+}
+
+impl Controller for PoiseController {
+    fn on_kernel_start(&mut self, ctx: &mut ControlCtx) {
+        self.begin_epoch(ctx);
+    }
+
+    fn on_cycle(&mut self, ctx: &mut ControlCtx) {
+        // Epoch rollover resets the whole inference (paper: predictions are
+        // reset at the end of each inference epoch).
+        if ctx.cycle.saturating_sub(self.epoch_start) >= self.params.t_period {
+            self.begin_epoch(ctx);
+            return;
+        }
+        match &mut self.state {
+            HieState::WarmupBase { until } => {
+                if ctx.cycle >= *until {
+                    ctx.reset_window();
+                    self.state = HieState::SampleBase {
+                        until: ctx.cycle + self.params.t_feature,
+                    };
+                }
+            }
+            HieState::SampleBase { until } => {
+                if ctx.cycle >= *until {
+                    let sample = ctx.window();
+                    // Compute-intensive early-out: run at max warps.
+                    if sample.in_avg > self.params.i_max {
+                        let t = WarpTuple::max(ctx.kernel_warps);
+                        self.log.push(EpochLog {
+                            cycle: ctx.cycle,
+                            predicted: t,
+                            searched: t,
+                            early_out: true,
+                        });
+                        self.steer(ctx, t);
+                        self.state = HieState::Stable;
+                        return;
+                    }
+                    self.base_sample = Some(sample);
+                    self.steer(ctx, WarpTuple { n: 1, p: 1 });
+                    self.state = HieState::WarmupRef {
+                        until: ctx.cycle + self.params.t_warmup,
+                    };
+                }
+            }
+            HieState::WarmupRef { until } => {
+                if ctx.cycle >= *until {
+                    ctx.reset_window();
+                    self.state = HieState::SampleRef {
+                        until: ctx.cycle + self.params.t_feature,
+                    };
+                }
+            }
+            HieState::SampleRef { until } => {
+                if ctx.cycle >= *until {
+                    let refp = ctx.window();
+                    let base = self.base_sample.expect("base sampled first");
+                    let predicted = self.predict(ctx, &base, &refp);
+                    self.predicted = Some(predicted);
+                    self.enter_search(ctx, predicted);
+                }
+            }
+            HieState::SearchWarmup { until, search } => {
+                if ctx.cycle >= *until {
+                    ctx.reset_window();
+                    let until = ctx.cycle + self.params.t_search;
+                    let search = search.clone();
+                    self.state = HieState::SearchSample { until, search };
+                }
+            }
+            HieState::SearchSample { until, search } => {
+                if ctx.cycle >= *until {
+                    let ipc = ctx.window().ipc;
+                    let mut search = search.clone();
+                    search.record(ipc);
+                    match search.next_measurement() {
+                        Some(t) => {
+                            self.steer(ctx, t);
+                            self.state = HieState::SearchWarmup {
+                                until: ctx.cycle + self.params.t_warmup,
+                                search,
+                            };
+                        }
+                        None => {
+                            let t = search.current;
+                            self.finish(ctx, t);
+                        }
+                    }
+                }
+            }
+            HieState::Stable => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig};
+    use poise_ml::N_FEATURES;
+    use workloads::{AccessMix, KernelSpec};
+
+    /// A hand-built model that always predicts roughly (8, 2) regardless
+    /// of features: ln 8 ≈ 2.079 on the intercept, ln 2 ≈ 0.693.
+    fn const_model(n: f64, p: f64) -> TrainedModel {
+        let mut alpha = [0.0; N_FEATURES];
+        let mut beta = [0.0; N_FEATURES];
+        alpha[N_FEATURES - 1] = n.ln();
+        beta[N_FEATURES - 1] = p.ln();
+        TrainedModel {
+            alpha,
+            beta,
+            dispersion_n: 0.1,
+            dispersion_p: 0.1,
+            samples_used: 0,
+            dropped_features: Vec::new(),
+        }
+    }
+
+    fn memory_kernel() -> KernelSpec {
+        KernelSpec::steady("hie-test", AccessMix::memory_sensitive(), 9)
+    }
+
+    fn compute_kernel() -> KernelSpec {
+        KernelSpec::steady("hie-ci", AccessMix::compute_intensive(), 9)
+    }
+
+    #[test]
+    fn hie_predicts_and_searches_each_epoch() {
+        let params = PoiseParams::scaled_down(20); // epoch = 10k cycles
+        let mut ctrl = PoiseController::new(const_model(8.0, 2.0), params);
+        let mut gpu = Gpu::new(GpuConfig::scaled(1), &memory_kernel());
+        gpu.run(&mut ctrl, 30_000);
+        assert!(
+            ctrl.log.len() >= 2,
+            "multiple epochs must log predictions, got {}",
+            ctrl.log.len()
+        );
+        let l = &ctrl.log[0];
+        assert!(!l.early_out);
+        // Prediction honours the constant model (±1 rounding).
+        assert!((l.predicted.n as i64 - 8).abs() <= 1, "{:?}", l.predicted);
+        assert!((l.predicted.p as i64 - 2).abs() <= 1, "{:?}", l.predicted);
+        // Search stays in the valid domain.
+        assert!(l.searched.p <= l.searched.n);
+    }
+
+    #[test]
+    fn compute_intensive_kernels_early_out_at_max_warps() {
+        let params = PoiseParams::scaled_down(20);
+        let mut ctrl = PoiseController::new(const_model(4.0, 1.0), params);
+        let mut gpu = Gpu::new(GpuConfig::scaled(1), &compute_kernel());
+        gpu.run(&mut ctrl, 15_000);
+        assert!(!ctrl.log.is_empty());
+        assert!(ctrl.log[0].early_out, "In > Imax must trigger the early-out");
+        assert_eq!(ctrl.log[0].searched, WarpTuple { n: 24, p: 24 });
+    }
+
+    #[test]
+    fn stride_zero_skips_local_search() {
+        let params = PoiseParams::scaled_down(20).with_strides(0, 0);
+        let mut ctrl = PoiseController::new(const_model(6.0, 3.0), params);
+        let mut gpu = Gpu::new(GpuConfig::scaled(1), &memory_kernel());
+        gpu.run(&mut ctrl, 15_000);
+        assert!(!ctrl.log.is_empty());
+        let l = &ctrl.log[0];
+        assert_eq!(
+            l.predicted, l.searched,
+            "no search means prediction is final"
+        );
+    }
+
+    #[test]
+    fn displacement_metrics_are_consistent() {
+        let log = EpochLog {
+            cycle: 0,
+            predicted: WarpTuple::new(8, 4, 24),
+            searched: WarpTuple::new(10, 1, 24),
+            early_out: false,
+        };
+        assert_eq!(log.displacement_n(), 2.0);
+        assert_eq!(log.displacement_p(), 3.0);
+        assert!((log.displacement_euclid() - (13f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tuple_trace_records_steering() {
+        let params = PoiseParams::scaled_down(20);
+        let mut ctrl = PoiseController::new(const_model(8.0, 2.0), params);
+        let mut gpu = Gpu::new(GpuConfig::scaled(1), &memory_kernel());
+        gpu.run(&mut ctrl, 12_000);
+        // At least: baseline, (1,1), prediction, search points.
+        assert!(ctrl.tuple_trace.len() >= 4);
+        assert_eq!(ctrl.tuple_trace[1].1, WarpTuple { n: 1, p: 1 });
+    }
+
+    #[test]
+    fn local_search_moves_toward_better_ipc() {
+        // Pure unit test of the search machine against a synthetic concave
+        // IPC function peaking at n = 12 (p fixed dimension also concave
+        // at p = 3).
+        let params = PoiseParams::default().with_strides(2, 4);
+        let mut s = LocalSearch::new(WarpTuple::new(8, 8, 24), &params, 24);
+        let ipc_of = |t: WarpTuple| {
+            let dn = t.n as f64 - 12.0;
+            let dp = t.p as f64 - 3.0;
+            1.0 - 0.01 * dn * dn - 0.005 * dp * dp
+        };
+        let mut steps = 0;
+        while let Some(t) = s.next_measurement() {
+            s.record(ipc_of(t));
+            steps += 1;
+            assert!(steps < 200, "search must terminate");
+        }
+        assert!(
+            (s.current.n as i64 - 12).abs() <= 1,
+            "converged N {:?}",
+            s.current
+        );
+        assert!(
+            (s.current.p as i64 - 3).abs() <= 1,
+            "converged p {:?}",
+            s.current
+        );
+    }
+}

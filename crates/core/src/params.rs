@@ -1,0 +1,95 @@
+//! Poise's runtime parameters (paper Table IV).
+
+use poise_ml::ScoringWeights;
+
+/// All timing and threshold parameters of Poise, with Table IV defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoiseParams {
+    /// ω0, ω1, ω2 — performance scoring weights (Eq. 12).
+    pub scoring: ScoringWeights,
+    /// Tperiod — inference epoch length in cycles.
+    pub t_period: u64,
+    /// Twarmup — warmup before each sampling window, in cycles.
+    pub t_warmup: u64,
+    /// Tfeature — feature-collection sampling window, in cycles.
+    pub t_feature: u64,
+    /// Tsearch — local-search sampling window, in cycles.
+    pub t_search: u64,
+    /// Imax — In cut-off above which a kernel is treated as
+    /// compute-intensive and run at maximum warps.
+    pub i_max: f64,
+    /// εN — initial local-search stride along N.
+    pub stride_n: usize,
+    /// εp — initial local-search stride along p.
+    pub stride_p: usize,
+}
+
+impl Default for PoiseParams {
+    fn default() -> Self {
+        PoiseParams {
+            scoring: ScoringWeights::default(),
+            t_period: 200_000,
+            t_warmup: 2_000,
+            t_feature: 10_000,
+            t_search: 4_000,
+            i_max: 49.0,
+            stride_n: 2,
+            stride_p: 4,
+        }
+    }
+}
+
+impl PoiseParams {
+    /// A scaled-down parameter set for fast tests: all windows shrunk by
+    /// `factor` (minimum 1 cycle each).
+    pub fn scaled_down(factor: u64) -> Self {
+        let d = |v: u64| (v / factor).max(1);
+        let p = PoiseParams::default();
+        PoiseParams {
+            t_period: d(p.t_period),
+            t_warmup: d(p.t_warmup),
+            t_feature: d(p.t_feature),
+            t_search: d(p.t_search),
+            ..p
+        }
+    }
+
+    /// Builder: override the local-search strides (Fig. 11 study).
+    pub fn with_strides(mut self, n: usize, p: usize) -> Self {
+        self.stride_n = n;
+        self.stride_p = p;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv() {
+        let p = PoiseParams::default();
+        assert_eq!(p.scoring.0, [1.0, 0.50, 0.25]);
+        assert_eq!(p.t_period, 200_000);
+        assert_eq!(p.t_warmup, 2_000);
+        assert_eq!(p.t_feature, 10_000);
+        assert_eq!(p.t_search, 4_000);
+        assert_eq!(p.i_max, 49.0);
+        assert_eq!(p.stride_n, 2);
+        assert_eq!(p.stride_p, 4);
+    }
+
+    #[test]
+    fn scaled_down_divides_windows() {
+        let p = PoiseParams::scaled_down(10);
+        assert_eq!(p.t_period, 20_000);
+        assert_eq!(p.t_warmup, 200);
+        assert_eq!(p.i_max, 49.0);
+    }
+
+    #[test]
+    fn with_strides_overrides() {
+        let p = PoiseParams::default().with_strides(4, 4);
+        assert_eq!((p.stride_n, p.stride_p), (4, 4));
+    }
+}

@@ -1,0 +1,165 @@
+//! APCM-style access-pattern-aware cache management (paper §VII-J,
+//! after Koo et al., ISCA 2017).
+//!
+//! APCM classifies static load instructions (PCs) by their observed
+//! locality and bypasses the L1 for streaming PCs, protecting the cache
+//! for high-locality instructions. Unlike Poise it exercises no control
+//! over the degree of multithreading: the kernel always runs with maximum
+//! warps. The controller samples per-PC counters for a monitoring window
+//! each epoch, then installs bypass decisions.
+
+use gpu_sim::{ControlCtx, Controller, WarpTuple};
+
+/// Default monitoring window per epoch (cycles). Long enough that the
+/// protected working set has warmed before classification.
+const MONITOR_CYCLES: u64 = 24_000;
+/// Hit-rate threshold below which a PC is classified as streaming or
+/// thrashing and bypassed.
+const BYPASS_HIT_RATE: f64 = 0.15;
+/// Minimum accesses before a PC is classified (avoids noisy decisions).
+const MIN_ACCESSES: u64 = 64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Monitoring { until: u64 },
+    Applied,
+}
+
+/// The APCM-style controller.
+#[derive(Debug)]
+pub struct ApcmController {
+    epoch_len: u64,
+    epoch_start: u64,
+    monitor_cycles: u64,
+    state: State,
+    /// PCs currently bypassed (diagnostics).
+    pub bypassed: Vec<usize>,
+}
+
+impl ApcmController {
+    /// Build with an epoch length (re-classification period).
+    pub fn new(epoch_len: u64) -> Self {
+        ApcmController {
+            epoch_len,
+            epoch_start: 0,
+            monitor_cycles: MONITOR_CYCLES,
+            state: State::Applied,
+            bypassed: Vec::new(),
+        }
+    }
+
+    /// Builder: override the monitoring window (used by fast tests).
+    pub fn with_monitor_cycles(mut self, cycles: u64) -> Self {
+        self.monitor_cycles = cycles;
+        self
+    }
+
+    fn begin_monitoring(&mut self, ctx: &mut ControlCtx) {
+        self.epoch_start = ctx.cycle;
+        // Monitoring observes the unfiltered access stream.
+        let n_pcs = ctx.pc_stats().len();
+        for pc in 0..n_pcs {
+            ctx.set_bypass_pc(pc, false);
+        }
+        ctx.reset_pc_stats();
+        ctx.set_tuple_all(WarpTuple::max(ctx.kernel_warps));
+        self.state = State::Monitoring {
+            until: ctx.cycle + self.monitor_cycles,
+        };
+    }
+
+    fn classify_and_apply(&mut self, ctx: &mut ControlCtx) {
+        self.bypassed.clear();
+        let stats = ctx.pc_stats();
+        let decisions: Vec<(usize, bool)> = stats
+            .iter()
+            .enumerate()
+            .map(|(pc, s)| {
+                let bypass = s.accesses >= MIN_ACCESSES
+                    && (s.hits as f64) < BYPASS_HIT_RATE * s.accesses as f64;
+                (pc, bypass)
+            })
+            .collect();
+        for (pc, bypass) in decisions {
+            ctx.set_bypass_pc(pc, bypass);
+            if bypass {
+                self.bypassed.push(pc);
+            }
+        }
+        self.state = State::Applied;
+    }
+}
+
+impl Controller for ApcmController {
+    fn on_kernel_start(&mut self, ctx: &mut ControlCtx) {
+        self.begin_monitoring(ctx);
+    }
+
+    fn on_cycle(&mut self, ctx: &mut ControlCtx) {
+        if ctx.cycle.saturating_sub(self.epoch_start) >= self.epoch_len {
+            self.begin_monitoring(ctx);
+            return;
+        }
+        if let State::Monitoring { until } = self.state {
+            if ctx.cycle >= until {
+                self.classify_and_apply(ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig};
+    use workloads::spec::pcs;
+    use workloads::{AccessMix, KernelSpec};
+
+    fn pc_cfg() -> GpuConfig {
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.track_pc_stats = true;
+        cfg
+    }
+
+    #[test]
+    fn apcm_bypasses_streaming_pcs_not_hot_ones() {
+        // A kernel with a strong hot set and a strong stream component.
+        let mut mix = AccessMix::memory_sensitive();
+        mix.stream_frac = 0.3;
+        mix.shared_frac = 0.0;
+        mix.hot_frac = 1.0;
+        mix.hot_lines = 1; // single line per warp: hits even under thrash
+        mix.hot_repeat = 4;
+        let spec = KernelSpec::steady("apcm-t", mix, 6);
+        let mut gpu = Gpu::new(pc_cfg(), &spec);
+        let mut ctrl = ApcmController::new(100_000);
+        gpu.run(&mut ctrl, 40_000);
+        assert!(
+            ctrl.bypassed.contains(&(pcs::STREAM as usize)),
+            "streaming PC must be bypassed, got {:?}",
+            ctrl.bypassed
+        );
+        assert!(
+            !ctrl.bypassed.contains(&(pcs::HOT as usize)),
+            "hot PC must be protected, got {:?}",
+            ctrl.bypassed
+        );
+    }
+
+    #[test]
+    fn apcm_runs_at_maximum_warps() {
+        let spec = KernelSpec::steady(
+            "apcm-w",
+            AccessMix::memory_sensitive(),
+            6,
+        );
+        let mut gpu = Gpu::new(pc_cfg(), &spec);
+        let mut ctrl = ApcmController::new(100_000);
+        gpu.run(&mut ctrl, 20_000);
+        assert_eq!(
+            gpu.sms()[0].schedulers[0].tuple(),
+            WarpTuple { n: 24, p: 24 },
+            "APCM exercises no warp throttling"
+        );
+    }
+}

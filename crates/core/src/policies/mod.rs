@@ -1,0 +1,28 @@
+//! The comparison warp-scheduling policies of Section VII.
+//!
+//! All policies implement [`gpu_sim::Controller`]:
+//!
+//! * **GTO** — [`gpu_sim::FixedTuple::max`]: maximum warps, all polluting.
+//! * **SWL** — [`swl`]: static warp limiting; the best tuple on the
+//!   `p = N` diagonal found by offline profiling, no runtime overhead.
+//! * **PCAL-SWL** — [`pcal`]: dynamic priority-based cache allocation
+//!   seeded by the SWL profile: samples `p` candidates, then hill-climbs
+//!   `N` — and, as the paper shows, is prone to nearby local optima.
+//! * **Static-Best** — [`static_best`]: the best tuple from a full offline
+//!   {N, p} profile of each kernel.
+//! * **Random-restart** — [`random_restart`]: stochastic search with local
+//!   gradient ascent from random starting tuples each epoch.
+//! * **APCM** — [`apcm`]: instruction-based (per-PC) cache bypassing that
+//!   filters streaming accesses; no warp throttling.
+
+pub mod apcm;
+pub mod pcal;
+pub mod random_restart;
+pub mod static_best;
+pub mod swl;
+
+pub use apcm::ApcmController;
+pub use pcal::PcalSwlController;
+pub use random_restart::RandomRestartController;
+pub use static_best::{static_best_from_grid, static_best_tuple};
+pub use swl::{swl_tuple, swl_tuple_from_grid};

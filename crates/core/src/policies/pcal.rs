@@ -1,0 +1,243 @@
+//! Dynamic PCAL-SWL: priority-based cache allocation seeded by the SWL
+//! profile (paper Section III-B and VII-C).
+//!
+//! The controller starts at the SWL point `(n0, n0)`. It then (1) samples
+//! a small set of `p` candidates — the hardware does this in parallel
+//! across SMs; this model samples them in consecutive windows, charging
+//! an equivalent total sampling time — and adopts the best; (2) hill
+//! climbs `N` in ±1 steps, one sampling window per step, until no
+//! neighbour improves. As in the paper, the search is greedy with unit
+//! steps, so a nearby performance valley traps it in a local optimum.
+
+use gpu_sim::{ControlCtx, Controller, WarpTuple, WindowSample};
+
+/// Sampling window length of each PCAL measurement (cycles).
+const SAMPLE_CYCLES: u64 = 6_000;
+/// Warmup after each steering change (cycles).
+const WARMUP_CYCLES: u64 = 2_000;
+
+#[derive(Debug, Clone)]
+enum State {
+    /// Warmup before the next measurement.
+    Warmup { until: u64 },
+    /// Measuring the current candidate.
+    Sample { until: u64 },
+    /// All done; running at the converged tuple.
+    Stable,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Trying the `p` candidates.
+    SearchP,
+    /// Hill climbing in `N`.
+    ClimbN,
+}
+
+/// The dynamic PCAL-SWL controller.
+#[derive(Debug)]
+pub struct PcalSwlController {
+    /// SWL starting point (from the offline diagonal profile).
+    start: WarpTuple,
+    state: State,
+    phase: Phase,
+    /// Remaining `p` candidates to try.
+    p_candidates: Vec<usize>,
+    /// Measurements taken in the current phase: (tuple, ipc).
+    measured: Vec<(WarpTuple, f64)>,
+    /// The tuple currently being measured.
+    measuring: Option<WarpTuple>,
+    /// Best tuple adopted so far and its IPC.
+    best: WarpTuple,
+    best_ipc: f64,
+    /// Hill-climb direction state: candidates left to try around best.
+    n_candidates: Vec<usize>,
+}
+
+impl PcalSwlController {
+    /// Build the controller from the SWL profile point.
+    pub fn new(swl_point: WarpTuple) -> Self {
+        PcalSwlController {
+            start: swl_point,
+            state: State::Stable,
+            phase: Phase::SearchP,
+            p_candidates: Vec::new(),
+            measured: Vec::new(),
+            measuring: None,
+            best: swl_point,
+            best_ipc: 0.0,
+            n_candidates: Vec::new(),
+        }
+    }
+
+    /// The tuple PCAL converged to (meaningful once stable).
+    pub fn converged(&self) -> WarpTuple {
+        self.best
+    }
+
+    fn steer_and_measure(&mut self, ctx: &mut ControlCtx, t: WarpTuple) {
+        ctx.set_tuple_all(t);
+        ctx.reset_window();
+        self.measuring = Some(t);
+        self.state = State::Warmup {
+            until: ctx.cycle + WARMUP_CYCLES,
+        };
+    }
+
+    fn p_candidate_set(n: usize) -> Vec<usize> {
+        let mut ps = vec![1usize, 2, 4, 8, 16];
+        ps.push(n);
+        ps.retain(|&p| p >= 1 && p <= n);
+        ps.sort_unstable();
+        ps.dedup();
+        ps.reverse(); // pop() yields ascending order
+        ps
+    }
+
+    fn next_action(&mut self, ctx: &mut ControlCtx) {
+        match self.phase {
+            Phase::SearchP => {
+                if let Some(p) = self.p_candidates.pop() {
+                    let t = WarpTuple::new(self.start.n, p, ctx.kernel_warps);
+                    self.steer_and_measure(ctx, t);
+                    return;
+                }
+                // Adopt the best p measured; move to the N climb.
+                if let Some(&(t, ipc)) = self
+                    .measured
+                    .iter()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                {
+                    self.best = t;
+                    self.best_ipc = ipc;
+                }
+                self.measured.clear();
+                self.phase = Phase::ClimbN;
+                self.n_candidates = vec![
+                    self.best.n.saturating_sub(1).max(1),
+                    (self.best.n + 1).min(ctx.kernel_warps),
+                ];
+                self.n_candidates.retain(|&n| n != self.best.n);
+                self.next_action(ctx);
+            }
+            Phase::ClimbN => {
+                if let Some(n) = self.n_candidates.pop() {
+                    let t = WarpTuple::new(n, self.best.p.min(n), ctx.kernel_warps);
+                    self.steer_and_measure(ctx, t);
+                    return;
+                }
+                // Unit-step gradient ascent: move if a neighbour beat the
+                // current best, else converge.
+                let better = self
+                    .measured
+                    .iter()
+                    .copied()
+                    .filter(|&(_, ipc)| ipc > self.best_ipc)
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                self.measured.clear();
+                match better {
+                    Some((t, ipc)) => {
+                        let moved_up = t.n > self.best.n;
+                        self.best = t;
+                        self.best_ipc = ipc;
+                        // Keep climbing in the improving direction only.
+                        let next = if moved_up {
+                            (t.n + 1).min(ctx.kernel_warps)
+                        } else {
+                            t.n.saturating_sub(1).max(1)
+                        };
+                        if next != t.n {
+                            self.n_candidates = vec![next];
+                            self.next_action(ctx);
+                        } else {
+                            self.finish(ctx);
+                        }
+                    }
+                    None => self.finish(ctx),
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, ctx: &mut ControlCtx) {
+        ctx.set_tuple_all(self.best);
+        self.state = State::Stable;
+    }
+}
+
+impl Controller for PcalSwlController {
+    fn on_kernel_start(&mut self, ctx: &mut ControlCtx) {
+        self.start = WarpTuple::new(self.start.n, self.start.p, ctx.kernel_warps);
+        self.best = self.start;
+        self.best_ipc = 0.0;
+        self.phase = Phase::SearchP;
+        self.measured.clear();
+        self.p_candidates = Self::p_candidate_set(self.start.n);
+        self.next_action(ctx);
+    }
+
+    fn on_cycle(&mut self, ctx: &mut ControlCtx) {
+        match self.state {
+            State::Warmup { until } => {
+                if ctx.cycle >= until {
+                    ctx.reset_window();
+                    self.state = State::Sample {
+                        until: ctx.cycle + SAMPLE_CYCLES,
+                    };
+                }
+            }
+            State::Sample { until } => {
+                if ctx.cycle >= until {
+                    let w: WindowSample = ctx.window();
+                    if let Some(t) = self.measuring.take() {
+                        self.measured.push((t, w.ipc));
+                    }
+                    self.next_action(ctx);
+                }
+            }
+            State::Stable => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig};
+    use workloads::{AccessMix, KernelSpec};
+
+    #[test]
+    fn p_candidates_are_bounded_and_sorted() {
+        let ps = PcalSwlController::p_candidate_set(6);
+        // pop order: ascending → stored descending.
+        assert_eq!(ps, vec![6, 4, 2, 1]);
+        let ps24 = PcalSwlController::p_candidate_set(24);
+        assert!(ps24.contains(&16) && ps24.contains(&24));
+    }
+
+    #[test]
+    fn pcal_converges_and_stays_in_domain() {
+        let spec = KernelSpec::steady("pcal-t", AccessMix::memory_sensitive(), 3);
+        let mut gpu = Gpu::new(GpuConfig::scaled(1), &spec);
+        let mut ctrl = PcalSwlController::new(WarpTuple::new(4, 4, 24));
+        gpu.run(&mut ctrl, 200_000);
+        let t = ctrl.converged();
+        assert!(t.p <= t.n && t.n <= 24);
+        assert!(matches!(ctrl.state, State::Stable), "search must converge");
+    }
+
+    #[test]
+    fn pcal_improves_over_naive_start_for_thrashing_kernel() {
+        // With a thrash-heavy kernel, PCAL should not end up at max warps
+        // with max pollution.
+        let mut mix = AccessMix::memory_sensitive();
+        mix.hot_lines = 24;
+        mix.hot_frac = 0.9;
+        let spec = KernelSpec::steady("pcal-t2", mix, 4);
+        let mut gpu = Gpu::new(GpuConfig::scaled(1), &spec);
+        let mut ctrl = PcalSwlController::new(WarpTuple::new(3, 3, 24));
+        gpu.run(&mut ctrl, 200_000);
+        let t = ctrl.converged();
+        assert!(t.n < 24 || t.p < 24, "PCAL stayed at the baseline: {t}");
+    }
+}

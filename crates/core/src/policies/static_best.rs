@@ -1,0 +1,55 @@
+//! Static-Best: run each kernel at the best-performing warp-tuple found by
+//! exhaustive offline profiling of the {N, p} space.
+//!
+//! This is the paper's oracle-like upper bound for static schemes: it pays
+//! no runtime overhead but, profiling at whole-kernel granularity, it
+//! cannot react to phase changes inside monolithic kernels — which is how
+//! Poise occasionally beats it (syrk, gsmv, mvt, atax).
+
+use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
+use gpu_sim::{GpuConfig, WarpTuple};
+use poise_ml::SpeedupGrid;
+use workloads::KernelSpec;
+
+/// Offline-profile the kernel over a grid and return the best tuple.
+pub fn static_best_tuple(
+    spec: &KernelSpec,
+    cfg: &GpuConfig,
+    grid: &GridSpec,
+    window: ProfileWindow,
+) -> WarpTuple {
+    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
+    let profile = profile_grid(spec, cfg, grid, window);
+    static_best_from_grid(&profile, max_warps)
+}
+
+/// Extract the best tuple from an existing profile.
+pub fn static_best_from_grid(grid: &SpeedupGrid, max_warps: usize) -> WarpTuple {
+    grid.best_performance()
+        .map(|(t, _)| t)
+        .unwrap_or_else(|| WarpTuple::max(max_warps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_global_optimum_off_diagonal() {
+        let mut g = SpeedupGrid::new(8);
+        for n in 1..=8 {
+            for p in 1..=n {
+                g.set(n, p, 1.0);
+            }
+        }
+        g.set(7, 1, 1.9);
+        g.set(3, 3, 1.4);
+        assert_eq!(static_best_from_grid(&g, 8), WarpTuple { n: 7, p: 1 });
+    }
+
+    #[test]
+    fn empty_grid_falls_back_to_max() {
+        let g = SpeedupGrid::new(6);
+        assert_eq!(static_best_from_grid(&g, 6), WarpTuple { n: 6, p: 6 });
+    }
+}

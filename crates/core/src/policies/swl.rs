@@ -1,0 +1,55 @@
+//! Static Warp Limiting (SWL), the static flavour of CCWS.
+//!
+//! SWL couples the two knobs (`p = N`) and picks the best diagonal point
+//! by offline profiling. Being static, it pays no runtime overhead — the
+//! paper's comparison is deliberately conservative in SWL's favour — but
+//! it can only reach the `p = N` line of the solution space.
+
+use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
+use gpu_sim::{GpuConfig, WarpTuple};
+use poise_ml::SpeedupGrid;
+use workloads::KernelSpec;
+
+/// Offline-profile the kernel's diagonal and return the best `(n, n)`.
+pub fn swl_tuple(
+    spec: &KernelSpec,
+    cfg: &GpuConfig,
+    window: ProfileWindow,
+) -> WarpTuple {
+    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
+    let grid = profile_grid(spec, cfg, &GridSpec::diagonal(max_warps), window);
+    best_of_diagonal(&grid, max_warps)
+}
+
+/// Extract the SWL choice from an existing profile (avoids re-profiling
+/// when a full grid is already available).
+pub fn swl_tuple_from_grid(grid: &SpeedupGrid, max_warps: usize) -> WarpTuple {
+    best_of_diagonal(grid, max_warps)
+}
+
+fn best_of_diagonal(grid: &SpeedupGrid, max_warps: usize) -> WarpTuple {
+    grid.best_diagonal()
+        .map(|(t, _)| t)
+        .unwrap_or_else(|| WarpTuple::max(max_warps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_best_diagonal_point() {
+        let mut g = SpeedupGrid::new(8);
+        for n in 1..=8 {
+            g.set(n, n, 1.0 + 0.1 * (4 - (n as i64 - 4).abs()) as f64);
+        }
+        // Peak at n = 4.
+        assert_eq!(swl_tuple_from_grid(&g, 8), WarpTuple { n: 4, p: 4 });
+    }
+
+    #[test]
+    fn empty_grid_falls_back_to_max() {
+        let g = SpeedupGrid::new(8);
+        assert_eq!(swl_tuple_from_grid(&g, 8), WarpTuple { n: 8, p: 8 });
+    }
+}

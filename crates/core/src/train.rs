@@ -1,0 +1,159 @@
+//! The end-to-end offline training pipeline (paper Section V-C/V-D):
+//! profile each training kernel over the {N, p} grid, pick the
+//! best-*scored* tuple (Eq. 12), scale it to scheduler capacity, sample
+//! the Table II features at the two reference points, filter by the
+//! Table IV thresholds, and fit the two Negative Binomial regressions.
+
+use crate::experiment::Setup;
+use crate::params::PoiseParams;
+use crate::profiler::{profile_grid, run_tuple, GridSpec, ProfileWindow};
+use gpu_sim::{GpuConfig, WarpTuple, WindowSample};
+use poise_ml::{
+    scoring, FeatureVector, TrainedModel, TrainingSample, TrainingThresholds,
+};
+use workloads::{training_suite, KernelSpec};
+
+/// Collect one training sample from a kernel: profile, score, sample
+/// features at the two reference points.
+pub fn collect_sample(
+    spec: &KernelSpec,
+    cfg: &GpuConfig,
+    grid: &GridSpec,
+    window: ProfileWindow,
+    params: &PoiseParams,
+) -> TrainingSample {
+    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
+    let profile = profile_grid(spec, cfg, grid, window);
+
+    let (target, _) = profile
+        .best_scored(&params.scoring)
+        .unwrap_or((WarpTuple::max(max_warps), 1.0));
+    let best_speedup = profile
+        .best_performance()
+        .map(|(_, s)| s)
+        .unwrap_or(1.0);
+    let scaled = scoring::scale_tuple(target, max_warps, cfg.max_warps_per_scheduler);
+
+    // Feature sampling at the same two reference points the HIE uses.
+    let base = run_tuple(spec, cfg, WarpTuple::max(max_warps), window);
+    let refp = run_tuple(spec, cfg, WarpTuple { n: 1, p: 1 }, window);
+    let base_s = WindowSample::from_counters(&base.window);
+    let ref_s = WindowSample::from_counters(&refp.window);
+
+    TrainingSample {
+        kernel: spec.name.clone(),
+        features: FeatureVector::from_samples(&base_s, &ref_s),
+        target: scaled,
+        best_speedup,
+        baseline_cycles: window.warmup + window.measure,
+        ref_hit_rate: ref_s.hit_rate,
+    }
+}
+
+/// Collect samples for a set of kernels.
+pub fn collect_samples(
+    kernels: &[KernelSpec],
+    cfg: &GpuConfig,
+    grid: &GridSpec,
+    window: ProfileWindow,
+    params: &PoiseParams,
+) -> Vec<TrainingSample> {
+    kernels
+        .iter()
+        .map(|k| collect_sample(k, cfg, grid, window, params))
+        .collect()
+}
+
+/// Train the default model on the training suite (gco, pvr, ccl), using
+/// the setup's kernel cap and windows. This is the one-time GPU-vendor
+/// step of the paper; evaluation benchmarks are never seen here.
+pub fn train_default_model(setup: &Setup) -> TrainedModel {
+    let suite = training_suite();
+    let kernels: Vec<KernelSpec> = suite
+        .iter()
+        .flat_map(|b| b.capped(setup.train_cap_per_benchmark).kernels)
+        .collect();
+    train_on_kernels(&kernels, setup, &[])
+}
+
+/// Train on explicit kernels, optionally dropping features (Fig. 13).
+pub fn train_on_kernels(
+    kernels: &[KernelSpec],
+    setup: &Setup,
+    drop_features: &[usize],
+) -> TrainedModel {
+    let samples = collect_samples(
+        kernels,
+        &setup.cfg,
+        &setup.train_grid,
+        setup.profile_window,
+        &setup.params,
+    );
+    let thresholds = TrainingThresholds {
+        // The profiling windows are fixed-length; the cycle threshold is
+        // interpreted against the window length.
+        min_cycles: setup
+            .profile_window
+            .measure
+            .min(TrainingThresholds::default().min_cycles),
+        ..TrainingThresholds::default()
+    };
+    match TrainedModel::fit(&samples, &thresholds, drop_features) {
+        Ok(m) => m,
+        // Small training populations can fall below the admission
+        // thresholds (which assume the paper's 277-kernel set); relax them
+        // rather than failing, so capped runs still produce a model.
+        Err(_) => {
+            let relaxed = TrainingThresholds {
+                min_speedup: 0.0,
+                min_cycles: 0,
+                min_ref_hit_rate: -1.0,
+            };
+            TrainedModel::fit(&samples, &relaxed, drop_features)
+                .expect("relaxed training fit must succeed")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::AccessMix;
+
+    fn tiny_setup() -> Setup {
+        Setup::for_tests()
+    }
+
+    #[test]
+    fn collect_sample_produces_valid_training_row() {
+        let setup = tiny_setup();
+        let spec = KernelSpec::steady("tr", AccessMix::memory_sensitive(), 11);
+        let s = collect_sample(
+            &spec,
+            &setup.cfg,
+            &GridSpec::diagonal(8),
+            setup.profile_window,
+            &setup.params,
+        );
+        assert!(s.features.as_slice().iter().all(|v| v.is_finite()));
+        assert!(s.target.n >= 1 && s.target.p >= 1);
+        assert!(s.best_speedup > 0.0);
+    }
+
+    #[test]
+    fn training_on_diverse_kernels_fits() {
+        let setup = tiny_setup();
+        let kernels: Vec<KernelSpec> = (0..10)
+            .map(|i| {
+                let mut mix = AccessMix::memory_sensitive();
+                mix.hot_lines = 8 + 4 * i;
+                mix.hot_frac = 0.4 + 0.05 * i as f64;
+                KernelSpec::steady(format!("k{i}"), mix, i as u64)
+            })
+            .collect();
+        let model = train_on_kernels(&kernels, &setup, &[]);
+        assert!(model.samples_used >= poise_ml::N_FEATURES);
+        assert!(model.alpha.iter().all(|w| w.is_finite()));
+        assert!(model.beta.iter().all(|w| w.is_finite()));
+    }
+}

@@ -1,0 +1,297 @@
+//! Generic set-associative tag store with LRU replacement.
+//!
+//! Used directly by the L2 banks and wrapped with MSHRs, pollute-bit bypass
+//! and reuse classification by the [L1](crate::l1) module.
+
+use crate::config::CacheGeometry;
+
+/// State of one cache line slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLineState {
+    /// No valid data.
+    Invalid,
+    /// Valid data present.
+    Valid,
+    /// Reserved for an in-flight fill (tag allocated, data pending).
+    Reserved,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Line {
+    pub tag: u64,
+    pub state: CacheLineState,
+    pub lru: u64,
+    /// Bitmask of SM-local warp ids that touched this line since fill.
+    pub touchers: u64,
+}
+
+impl Line {
+    fn empty() -> Self {
+        Line {
+            tag: 0,
+            state: CacheLineState::Invalid,
+            lru: 0,
+            touchers: 0,
+        }
+    }
+}
+
+/// Result of a lookup in the tag store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Valid line present at `(set, way)`.
+    Hit { set: usize, way: usize },
+    /// Line is reserved for a pending fill at `(set, way)`.
+    PendingHit { set: usize, way: usize },
+    /// Not present.
+    Miss,
+}
+
+/// A set-associative, LRU-replaced tag store addressing whole lines.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    lines: Vec<Line>,
+    stamp: u64,
+}
+
+impl SetAssocCache {
+    /// Build an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        SetAssocCache {
+            geometry,
+            lines: vec![Line::empty(); geometry.sets * geometry.ways],
+            stamp: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    #[inline]
+    fn set_slice(&self, set: usize) -> &[Line] {
+        let w = self.geometry.ways;
+        &self.lines[set * w..(set + 1) * w]
+    }
+
+    #[inline]
+    pub(crate) fn line_mut(&mut self, set: usize, way: usize) -> &mut Line {
+        &mut self.lines[set * self.geometry.ways + way]
+    }
+
+    #[inline]
+    pub(crate) fn line(&self, set: usize, way: usize) -> &Line {
+        &self.lines[set * self.geometry.ways + way]
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.stamp += 1;
+        self.stamp
+    }
+
+    /// Look up a line address without modifying replacement state.
+    pub fn probe(&self, line: u64) -> Lookup {
+        let set = self.geometry.set_of(line);
+        for (way, l) in self.set_slice(set).iter().enumerate() {
+            if l.tag == line {
+                match l.state {
+                    CacheLineState::Valid => return Lookup::Hit { set, way },
+                    CacheLineState::Reserved => {
+                        return Lookup::PendingHit { set, way }
+                    }
+                    CacheLineState::Invalid => {}
+                }
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Look up a line and, on hit, refresh its LRU stamp.
+    pub fn access(&mut self, line: u64) -> Lookup {
+        let res = self.probe(line);
+        if let Lookup::Hit { set, way } = res {
+            let stamp = self.next_stamp();
+            self.line_mut(set, way).lru = stamp;
+        }
+        res
+    }
+
+    /// Choose an eviction victim in the set of `line`: an invalid way if
+    /// any, otherwise the least-recently-used non-reserved way. Returns
+    /// `None` if every way is reserved for pending fills.
+    pub fn pick_victim(&self, line: u64) -> Option<(usize, usize)> {
+        let set = self.geometry.set_of(line);
+        let mut best: Option<(usize, u64)> = None;
+        for (way, l) in self.set_slice(set).iter().enumerate() {
+            match l.state {
+                CacheLineState::Invalid => return Some((set, way)),
+                CacheLineState::Reserved => {}
+                CacheLineState::Valid => {
+                    if best.map_or(true, |(_, lru)| l.lru < lru) {
+                        best = Some((way, l.lru));
+                    }
+                }
+            }
+        }
+        best.map(|(way, _)| (set, way))
+    }
+
+    /// Reserve `(set, way)` for an in-flight fill of `line`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the slot is currently reserved.
+    pub fn reserve(&mut self, set: usize, way: usize, line: u64) {
+        let stamp = self.next_stamp();
+        let l = self.line_mut(set, way);
+        debug_assert_ne!(l.state, CacheLineState::Reserved);
+        l.tag = line;
+        l.state = CacheLineState::Reserved;
+        l.lru = stamp;
+        l.touchers = 0;
+    }
+
+    /// Complete the fill of a previously reserved slot, recording the set of
+    /// warps waiting on it as its initial touchers.
+    pub fn fill(&mut self, set: usize, way: usize, touchers: u64) {
+        let stamp = self.next_stamp();
+        let l = self.line_mut(set, way);
+        debug_assert_eq!(l.state, CacheLineState::Reserved);
+        l.state = CacheLineState::Valid;
+        l.lru = stamp;
+        l.touchers = touchers;
+    }
+
+    /// Insert a valid line immediately (used by the L2 model, where fills
+    /// are applied at request time). Evicts the LRU non-reserved way;
+    /// silently drops the insert if the set is fully reserved.
+    pub fn insert(&mut self, line: u64) {
+        if matches!(self.probe(line), Lookup::Hit { .. } | Lookup::PendingHit { .. }) {
+            return;
+        }
+        if let Some((set, way)) = self.pick_victim(line) {
+            let stamp = self.next_stamp();
+            let l = self.line_mut(set, way);
+            l.tag = line;
+            l.state = CacheLineState::Valid;
+            l.lru = stamp;
+            l.touchers = 0;
+        }
+    }
+
+    /// Invalidate a line if present (write-evict stores).
+    pub fn invalidate(&mut self, line: u64) {
+        if let Lookup::Hit { set, way } | Lookup::PendingHit { set, way } =
+            self.probe(line)
+        {
+            // Only valid lines are dropped; a reserved line must survive to
+            // receive its fill.
+            let l = self.line_mut(set, way);
+            if l.state == CacheLineState::Valid {
+                l.state = CacheLineState::Invalid;
+            }
+        }
+    }
+
+    /// Number of valid lines currently held.
+    pub fn valid_lines(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.state == CacheLineState::Valid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SetIndexing;
+
+    fn geo(sets: usize, ways: usize) -> CacheGeometry {
+        CacheGeometry {
+            sets,
+            ways,
+            line_bytes: 128,
+            indexing: SetIndexing::Linear,
+        }
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit() {
+        let mut c = SetAssocCache::new(geo(4, 2));
+        assert_eq!(c.access(5), Lookup::Miss);
+        c.insert(5);
+        assert!(matches!(c.access(5), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = SetAssocCache::new(geo(1, 2));
+        c.insert(10);
+        c.insert(20);
+        // Touch 10 so 20 becomes LRU.
+        assert!(matches!(c.access(10), Lookup::Hit { .. }));
+        c.insert(30);
+        assert!(matches!(c.access(10), Lookup::Hit { .. }));
+        assert_eq!(c.access(20), Lookup::Miss);
+        assert!(matches!(c.access(30), Lookup::Hit { .. }));
+    }
+
+    #[test]
+    fn reserved_lines_are_not_victims() {
+        let mut c = SetAssocCache::new(geo(1, 2));
+        let (s0, w0) = c.pick_victim(1).unwrap();
+        c.reserve(s0, w0, 1);
+        let (s1, w1) = c.pick_victim(2).unwrap();
+        assert_ne!((s0, w0), (s1, w1));
+        c.reserve(s1, w1, 2);
+        assert_eq!(c.pick_victim(3), None);
+    }
+
+    #[test]
+    fn fill_makes_reserved_line_valid_with_touchers() {
+        let mut c = SetAssocCache::new(geo(2, 2));
+        let (s, w) = c.pick_victim(7).unwrap();
+        c.reserve(s, w, 7);
+        assert!(matches!(c.probe(7), Lookup::PendingHit { .. }));
+        c.fill(s, w, 0b101);
+        match c.probe(7) {
+            Lookup::Hit { set, way } => {
+                assert_eq!(c.line(set, way).touchers, 0b101)
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_drops_valid_but_not_reserved() {
+        let mut c = SetAssocCache::new(geo(2, 2));
+        c.insert(3);
+        c.invalidate(3);
+        assert_eq!(c.probe(3), Lookup::Miss);
+        let (s, w) = c.pick_victim(9).unwrap();
+        c.reserve(s, w, 9);
+        c.invalidate(9);
+        assert!(matches!(c.probe(9), Lookup::PendingHit { .. }));
+    }
+
+    #[test]
+    fn valid_lines_counts_occupancy() {
+        let mut c = SetAssocCache::new(geo(4, 4));
+        assert_eq!(c.valid_lines(), 0);
+        for l in 0..10 {
+            c.insert(l);
+        }
+        assert_eq!(c.valid_lines(), 10);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = SetAssocCache::new(geo(4, 2));
+        for l in 0..1000u64 {
+            c.insert(l * 3);
+        }
+        assert!(c.valid_lines() <= 8);
+    }
+}

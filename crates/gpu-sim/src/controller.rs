@@ -1,0 +1,171 @@
+//! The control-policy interface.
+//!
+//! Warp-scheduling policies (GTO, SWL, PCAL, Poise's hardware inference
+//! engine, …) live outside this crate and steer the simulated GPU through
+//! the [`Controller`] trait: the GPU invokes the controller once per cycle
+//! with a [`ControlCtx`] exposing the windowed performance counters and the
+//! per-scheduler warp-tuple controls — the same observation/actuation
+//! surface the paper's hardware has.
+
+use crate::l1::PcStats;
+use crate::sm::Sm;
+use crate::stats::{GpuStats, WindowSample};
+use crate::WarpTuple;
+
+/// Mutable view of the GPU handed to the controller every cycle.
+pub struct ControlCtx<'a> {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Maximum warps per scheduler supported by the hardware.
+    pub max_warps: usize,
+    /// Warps per scheduler actually launched by the running kernel
+    /// (occupancy), `<= max_warps`.
+    pub kernel_warps: usize,
+    pub(crate) sms: &'a mut [Sm],
+    pub(crate) stats: &'a mut GpuStats,
+}
+
+impl<'a> ControlCtx<'a> {
+    /// Install a warp-tuple on every scheduler of every SM.
+    pub fn set_tuple_all(&mut self, t: WarpTuple) {
+        let t = WarpTuple::new(t.n, t.p, self.kernel_warps);
+        for sm in self.sms.iter_mut() {
+            sm.set_tuple(t);
+        }
+    }
+
+    /// The tuple currently installed (on the first scheduler; all
+    /// schedulers are kept in lockstep by [`Self::set_tuple_all`]).
+    pub fn current_tuple(&self) -> WarpTuple {
+        self.sms
+            .first()
+            .and_then(|sm| sm.schedulers.first())
+            .map(|s| s.tuple())
+            .unwrap_or(WarpTuple { n: 1, p: 1 })
+    }
+
+    /// Sample the current counter window.
+    pub fn window(&self) -> WindowSample {
+        self.stats.window_sample()
+    }
+
+    /// Reset the counter window (totals are unaffected).
+    pub fn reset_window(&mut self) {
+        self.stats.reset_window();
+    }
+
+    /// Cumulative counters since simulation start.
+    pub fn totals(&self) -> &crate::stats::Counters {
+        &self.stats.total
+    }
+
+    /// Aggregate per-PC load statistics across all SMs (zeros unless
+    /// per-PC tracking is enabled in the configuration).
+    pub fn pc_stats(&self) -> Vec<PcStats> {
+        let n = self
+            .sms
+            .first()
+            .map(|sm| sm.l1.pc_stats().len())
+            .unwrap_or(0);
+        let mut agg = vec![PcStats::default(); n];
+        for sm in self.sms.iter() {
+            for (a, s) in agg.iter_mut().zip(sm.l1.pc_stats()) {
+                a.accesses += s.accesses;
+                a.hits += s.hits;
+                a.intra_hits += s.intra_hits;
+            }
+        }
+        agg
+    }
+
+    /// Reset per-PC statistics on every SM.
+    pub fn reset_pc_stats(&mut self) {
+        for sm in self.sms.iter_mut() {
+            sm.l1.reset_pc_stats();
+        }
+    }
+
+    /// Force (or clear) L1 bypass for a load PC on every SM (APCM-style).
+    pub fn set_bypass_pc(&mut self, pc: usize, bypass: bool) {
+        for sm in self.sms.iter_mut() {
+            sm.l1.set_bypass_pc(pc, bypass);
+        }
+    }
+}
+
+/// A warp-scheduling control policy.
+///
+/// The GPU calls [`Controller::on_kernel_start`] once before the first
+/// cycle and [`Controller::on_cycle`] after every simulated cycle.
+pub trait Controller {
+    /// Invoked once when a kernel launches.
+    fn on_kernel_start(&mut self, _ctx: &mut ControlCtx) {}
+
+    /// Invoked after every simulated cycle.
+    fn on_cycle(&mut self, _ctx: &mut ControlCtx) {}
+
+    /// Invoked when the kernel drains or the cycle budget expires.
+    fn on_kernel_end(&mut self, _ctx: &mut ControlCtx) {}
+}
+
+/// The trivial static policy: install one tuple at kernel start and keep it.
+///
+/// `FixedTuple::max()` is the paper's GTO baseline (maximum warps, all
+/// polluting); other fixed tuples implement SWL / Static-Best style
+/// configurations chosen offline.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedTuple {
+    tuple: Option<WarpTuple>,
+}
+
+impl FixedTuple {
+    /// Fix the given tuple for the whole kernel.
+    pub fn new(t: WarpTuple) -> Self {
+        FixedTuple { tuple: Some(t) }
+    }
+
+    /// The GTO baseline: maximum warps, all polluting.
+    pub fn max() -> Self {
+        FixedTuple { tuple: None }
+    }
+}
+
+impl Controller for FixedTuple {
+    fn on_kernel_start(&mut self, ctx: &mut ControlCtx) {
+        let t = self
+            .tuple
+            .unwrap_or_else(|| WarpTuple::max(ctx.kernel_warps));
+        ctx.set_tuple_all(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::instruction::UniformKernel;
+    use crate::Gpu;
+
+    #[test]
+    fn fixed_tuple_installs_on_start() {
+        let cfg = GpuConfig::scaled(1);
+        let kernel = UniformKernel::streaming(8, 2);
+        let mut gpu = Gpu::new(cfg, &kernel);
+        let mut ctrl = FixedTuple::new(WarpTuple::new(3, 2, 8));
+        let res = gpu.run(&mut ctrl, 100);
+        assert!(res.counters.instructions > 0);
+        // Only 3 warps per scheduler may have issued — indirectly checked
+        // via the Sm test; here confirm the tuple stuck.
+        assert_eq!(gpu.sms()[0].schedulers[0].tuple(), WarpTuple { n: 3, p: 2 });
+    }
+
+    #[test]
+    fn fixed_max_uses_kernel_occupancy() {
+        let cfg = GpuConfig::scaled(1);
+        let kernel = UniformKernel::streaming(6, 2);
+        let mut gpu = Gpu::new(cfg, &kernel);
+        let mut ctrl = FixedTuple::max();
+        gpu.run(&mut ctrl, 10);
+        assert_eq!(gpu.sms()[0].schedulers[0].tuple(), WarpTuple { n: 6, p: 6 });
+    }
+}

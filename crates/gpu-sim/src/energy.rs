@@ -1,0 +1,110 @@
+//! Event-based energy model (GPUWattch substitute).
+//!
+//! Total energy = Σ(event count × per-event dynamic energy)
+//!              + cycles × SMs × per-SM-cycle leakage.
+//!
+//! Absolute units are arbitrary; the Fig. 14 experiment reports energy
+//! normalised to the GTO baseline, for which only the ratios between event
+//! energies and the leakage share matter. Both savings mechanisms the paper
+//! names are first-order here: shorter execution dissipates less leakage,
+//! and better L1 behaviour moves traffic off the L2/DRAM events.
+
+use crate::config::EnergyConfig;
+use crate::stats::Counters;
+
+/// Energy totals broken down by component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Dynamic energy of issued ALU instructions.
+    pub alu: f64,
+    /// Dynamic energy of L1 lookups.
+    pub l1: f64,
+    /// Dynamic energy of L2 accesses.
+    pub l2: f64,
+    /// Dynamic energy of DRAM transfers.
+    pub dram: f64,
+    /// Static (leakage) energy.
+    pub leakage: f64,
+}
+
+impl EnergyBreakdown {
+    /// Compute the breakdown for a finished simulation.
+    pub fn from_counters(c: &Counters, cfg: &EnergyConfig, sms: usize) -> Self {
+        let alu_ops = c
+            .instructions
+            .saturating_sub(c.loads)
+            .saturating_sub(c.stores);
+        EnergyBreakdown {
+            alu: alu_ops as f64 * cfg.alu_op,
+            l1: (c.l1_accesses + c.stores) as f64 * cfg.l1_access,
+            l2: c.l2_accesses as f64 * cfg.l2_access,
+            dram: c.dram_accesses as f64 * cfg.dram_access,
+            leakage: c.cycles as f64 * sms as f64 * cfg.leakage_per_sm_cycle,
+        }
+    }
+
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.alu + self.l1 + self.l2 + self.dram + self.leakage
+    }
+
+    /// Fraction of total energy that is leakage.
+    pub fn leakage_share(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.leakage / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> Counters {
+        Counters {
+            cycles: 1000,
+            instructions: 500,
+            loads: 100,
+            stores: 20,
+            l1_accesses: 100,
+            l2_accesses: 40,
+            dram_accesses: 25,
+            ..Counters::default()
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_components() {
+        let cfg = EnergyConfig::default();
+        let e = EnergyBreakdown::from_counters(&counters(), &cfg, 4);
+        assert!((e.alu - 380.0).abs() < 1e-9);
+        assert!((e.l1 - 480.0).abs() < 1e-9);
+        assert!((e.l2 - 640.0).abs() < 1e-9);
+        assert!((e.dram - 4000.0).abs() < 1e-9);
+        assert!((e.leakage - 24_000.0).abs() < 1e-9);
+        assert!((e.total() - 29_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_runs_dissipate_less_leakage() {
+        let cfg = EnergyConfig::default();
+        let slow = EnergyBreakdown::from_counters(&counters(), &cfg, 4);
+        let mut fast_c = counters();
+        fast_c.cycles = 500;
+        let fast = EnergyBreakdown::from_counters(&fast_c, &cfg, 4);
+        assert!(fast.total() < slow.total());
+        assert_eq!(fast.alu, slow.alu);
+    }
+
+    #[test]
+    fn leakage_share_is_a_fraction() {
+        let cfg = EnergyConfig::default();
+        let e = EnergyBreakdown::from_counters(&counters(), &cfg, 4);
+        assert!(e.leakage_share() > 0.0 && e.leakage_share() < 1.0);
+        let zero = EnergyBreakdown::from_counters(&Counters::default(), &cfg, 4);
+        assert_eq!(zero.leakage_share(), 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The top-level GPU: SMs + shared memory system + event queue + run loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::config::GpuConfig;
+use crate::controller::{ControlCtx, Controller};
+use crate::energy::EnergyBreakdown;
+use crate::instruction::KernelSource;
+use crate::memsys::MemSystem;
+use crate::sm::{EventSink, Sm, SmEvent};
+use crate::stats::{Counters, GpuStats};
+
+/// A scheduled event: ordered by time, then by insertion sequence for
+/// determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct QueuedEvent {
+    at: u64,
+    seq: u64,
+    sm: usize,
+    ev_kind: u8,
+    ev_a: u32,
+    ev_b: u32,
+}
+
+impl QueuedEvent {
+    fn pack(at: u64, seq: u64, sm: usize, ev: SmEvent) -> Self {
+        match ev {
+            SmEvent::Fill { mshr } => QueuedEvent {
+                at,
+                seq,
+                sm,
+                ev_kind: 0,
+                ev_a: mshr as u32,
+                ev_b: 0,
+            },
+            SmEvent::HitDone { scheduler, warp } => QueuedEvent {
+                at,
+                seq,
+                sm,
+                ev_kind: 1,
+                ev_a: scheduler as u32,
+                ev_b: warp as u32,
+            },
+        }
+    }
+
+    fn unpack(&self) -> SmEvent {
+        match self.ev_kind {
+            0 => SmEvent::Fill {
+                mshr: self.ev_a as usize,
+            },
+            _ => SmEvent::HitDone {
+                scheduler: self.ev_a as u8,
+                warp: self.ev_b as u8,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct EventQueue {
+    heap: BinaryHeap<Reverse<QueuedEvent>>,
+    seq: u64,
+}
+
+impl EventSink for EventQueue {
+    fn schedule(&mut self, at: u64, sm: usize, ev: SmEvent) {
+        self.seq += 1;
+        self.heap.push(Reverse(QueuedEvent::pack(at, self.seq, sm, ev)));
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Cumulative counters.
+    pub counters: Counters,
+    /// Energy breakdown under the configured energy model.
+    pub energy: EnergyBreakdown,
+    /// Whether the kernel drained before the cycle budget expired.
+    pub completed: bool,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.counters.ipc()
+    }
+}
+
+/// The simulated GPU.
+pub struct Gpu {
+    cfg: GpuConfig,
+    sms: Vec<Sm>,
+    mem: MemSystem,
+    events: EventQueue,
+    stats: GpuStats,
+    cycle: u64,
+    kernel_warps: usize,
+}
+
+impl std::fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gpu")
+            .field("sms", &self.sms.len())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+impl Gpu {
+    /// Instantiate a GPU and launch `kernel` on it (one stream per warp).
+    pub fn new(cfg: GpuConfig, kernel: &dyn KernelSource) -> Self {
+        let sms = (0..cfg.sms).map(|i| Sm::new(i, &cfg, kernel)).collect();
+        let mem = MemSystem::new(&cfg);
+        let kernel_warps = kernel
+            .warps_per_scheduler()
+            .clamp(1, cfg.max_warps_per_scheduler);
+        Gpu {
+            sms,
+            mem,
+            events: EventQueue::default(),
+            stats: GpuStats::new(),
+            cycle: 0,
+            cfg,
+            kernel_warps,
+        }
+    }
+
+    /// The configuration this GPU was built with.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The SMs (for inspection in tests and tools).
+    pub fn sms(&self) -> &[Sm] {
+        &self.sms
+    }
+
+    /// Cumulative statistics so far.
+    pub fn stats(&self) -> &GpuStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access, e.g. to reset the window between a
+    /// warmup and a measurement phase when driving the GPU directly.
+    pub fn stats_mut(&mut self) -> &mut GpuStats {
+        &mut self.stats
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Run under `controller` for at most `max_cycles` further cycles, or
+    /// until every warp drains. Can be called repeatedly to continue.
+    pub fn run(
+        &mut self,
+        controller: &mut dyn Controller,
+        max_cycles: u64,
+    ) -> SimResult {
+        {
+            let mut ctx = ControlCtx {
+                cycle: self.cycle,
+                max_warps: self.cfg.max_warps_per_scheduler,
+                kernel_warps: self.kernel_warps,
+                sms: &mut self.sms,
+                stats: &mut self.stats,
+            };
+            controller.on_kernel_start(&mut ctx);
+        }
+
+        let end = self.cycle + max_cycles;
+        let mut completed = false;
+        // Check for drain only periodically: scanning all warps is O(warps).
+        let drain_check_interval = 256;
+        while self.cycle < end {
+            // Deliver all events due at or before this cycle.
+            while let Some(Reverse(top)) = self.events.heap.peek() {
+                if top.at > self.cycle {
+                    break;
+                }
+                let Reverse(q) = self.events.heap.pop().expect("peeked");
+                self.sms[q.sm].handle_event(q.unpack(), self.cycle, &mut self.stats);
+            }
+            // Step every SM.
+            for sm in &mut self.sms {
+                sm.step(self.cycle, &mut self.mem, &mut self.events, &mut self.stats);
+            }
+            self.cycle += 1;
+            self.stats.bump(|c| c.cycles += 1);
+            {
+                let mut ctx = ControlCtx {
+                    cycle: self.cycle,
+                    max_warps: self.cfg.max_warps_per_scheduler,
+                    kernel_warps: self.kernel_warps,
+                    sms: &mut self.sms,
+                    stats: &mut self.stats,
+                };
+                controller.on_cycle(&mut ctx);
+            }
+            if self.cycle % drain_check_interval == 0
+                && self.events.heap.is_empty()
+                && !self.sms.iter().any(|sm| sm.live())
+            {
+                completed = true;
+                break;
+            }
+        }
+
+        {
+            let mut ctx = ControlCtx {
+                cycle: self.cycle,
+                max_warps: self.cfg.max_warps_per_scheduler,
+                kernel_warps: self.kernel_warps,
+                sms: &mut self.sms,
+                stats: &mut self.stats,
+            };
+            controller.on_kernel_end(&mut ctx);
+        }
+
+        SimResult {
+            cycles: self.stats.total.cycles,
+            counters: self.stats.total,
+            energy: EnergyBreakdown::from_counters(
+                &self.stats.total,
+                &self.cfg.energy,
+                self.cfg.sms,
+            ),
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::FixedTuple;
+    use crate::instruction::UniformKernel;
+
+    #[test]
+    fn run_is_deterministic() {
+        let kernel = UniformKernel::streaming(8, 3);
+        let run = || {
+            let mut gpu = Gpu::new(GpuConfig::scaled(2), &kernel);
+            let mut ctrl = FixedTuple::max();
+            gpu.run(&mut ctrl, 5_000)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn resident_kernel_outpaces_streaming_kernel() {
+        let mut hit_gpu = Gpu::new(
+            GpuConfig::scaled(2),
+            &UniformKernel::resident(8, 2),
+        );
+        let mut miss_gpu = Gpu::new(
+            GpuConfig::scaled(2),
+            &UniformKernel::streaming(8, 2),
+        );
+        let hit = hit_gpu.run(&mut FixedTuple::max(), 20_000);
+        let miss = miss_gpu.run(&mut FixedTuple::max(), 20_000);
+        assert!(
+            hit.ipc() > miss.ipc() * 1.3,
+            "cache-resident kernel should be much faster: {} vs {}",
+            hit.ipc(),
+            miss.ipc()
+        );
+    }
+
+    #[test]
+    fn more_warps_hide_latency_for_streaming() {
+        let ipc_at = |warps: usize| {
+            let mut gpu = Gpu::new(
+                GpuConfig::scaled(2),
+                &UniformKernel::streaming(warps, 8),
+            );
+            gpu.run(&mut FixedTuple::max(), 20_000).ipc()
+        };
+        let one = ipc_at(1);
+        let many = ipc_at(16);
+        assert!(
+            many > one * 2.0,
+            "TLP must hide memory latency: 1 warp {one}, 16 warps {many}"
+        );
+    }
+
+    #[test]
+    fn aml_grows_under_heavy_load() {
+        // Few warps barely load the memory system; many warps queue.
+        let aml_at = |warps: usize| {
+            let mut gpu = Gpu::new(
+                GpuConfig::scaled(2),
+                &UniformKernel::streaming(warps, 0),
+            );
+            gpu.run(&mut FixedTuple::max(), 30_000).counters.aml()
+        };
+        let light = aml_at(1);
+        let heavy = aml_at(24);
+        assert!(
+            heavy > light * 1.2,
+            "congestion must raise AML: light {light}, heavy {heavy}"
+        );
+    }
+
+    #[test]
+    fn bounded_kernel_completes() {
+        // UniformKernel streams are unbounded, so completion is tested via
+        // a custom finite kernel.
+        struct Finite;
+        struct FiniteStream(u32);
+        impl crate::instruction::InstructionStream for FiniteStream {
+            fn next_instr(&mut self) -> Option<crate::instruction::Instr> {
+                if self.0 == 0 {
+                    None
+                } else {
+                    self.0 -= 1;
+                    Some(crate::instruction::Instr::Alu)
+                }
+            }
+        }
+        impl KernelSource for Finite {
+            fn stream_for(
+                &self,
+                _sm: usize,
+                _sched: usize,
+                _warp: usize,
+            ) -> Box<dyn crate::instruction::InstructionStream> {
+                Box::new(FiniteStream(100))
+            }
+            fn warps_per_scheduler(&self) -> usize {
+                4
+            }
+        }
+        let mut gpu = Gpu::new(GpuConfig::scaled(1), &Finite);
+        let res = gpu.run(&mut FixedTuple::max(), 100_000);
+        assert!(res.completed);
+        // 1 SM x 2 schedulers x 4 warps x 100 instructions.
+        assert_eq!(res.counters.instructions, 800);
+    }
+}

@@ -1,0 +1,130 @@
+//! The greedy-then-oldest (GTO) warp scheduler with Poise's vital and
+//! pollute bits.
+//!
+//! Each scheduler manages an age-ordered queue of warps (warp index equals
+//! age: all warps of a kernel activate at launch). Poise's modification
+//! (paper Fig. 6) adds per-entry *vital* and *pollute* bits derived from the
+//! active warp-tuple `{N, p}`: only the `N` oldest warps are arbitrated,
+//! and only the `p` oldest carry polluting privileges on their loads.
+
+use crate::WarpTuple;
+
+/// Scheduling state of one warp scheduler (not the warps themselves, which
+/// live in the SM so they can be shared with the memory path).
+#[derive(Debug, Clone)]
+pub struct WarpScheduler {
+    /// Number of warp slots populated for this kernel.
+    pub n_warps: usize,
+    /// Active warp-tuple.
+    tuple: WarpTuple,
+    /// Index of the warp currently favoured by the greedy policy.
+    greedy: usize,
+}
+
+impl WarpScheduler {
+    /// Create a scheduler over `n_warps` warps, starting at the maximal
+    /// tuple (all warps vital and polluting).
+    pub fn new(n_warps: usize) -> Self {
+        WarpScheduler {
+            n_warps,
+            tuple: WarpTuple::max(n_warps),
+            greedy: 0,
+        }
+    }
+
+    /// The active warp-tuple.
+    pub fn tuple(&self) -> WarpTuple {
+        self.tuple
+    }
+
+    /// Install a new warp-tuple (clamped to this scheduler's warp count).
+    pub fn set_tuple(&mut self, t: WarpTuple) {
+        self.tuple = WarpTuple::new(t.n, t.p, self.n_warps);
+    }
+
+    /// Vital bit of warp `w`: participates in arbitration.
+    #[inline]
+    pub fn vital(&self, w: usize) -> bool {
+        w < self.tuple.n
+    }
+
+    /// Pollute bit of warp `w`: loads may allocate L1 lines.
+    #[inline]
+    pub fn pollute(&self, w: usize) -> bool {
+        w < self.tuple.p
+    }
+
+    /// Record that warp `w` issued; it becomes the greedy favourite.
+    #[inline]
+    pub fn note_issue(&mut self, w: usize) {
+        self.greedy = w;
+    }
+
+    /// The warp currently favoured by the greedy policy, if any warp has
+    /// issued yet.
+    #[inline]
+    pub fn greedy_warp(&self) -> Option<usize> {
+        (self.greedy < self.n_warps).then_some(self.greedy)
+    }
+
+    /// Candidate warps in GTO priority order: the greedy favourite first,
+    /// then remaining vital warps oldest-first.
+    ///
+    /// The returned iterator yields at most `N` distinct warp indices.
+    pub fn candidates(&self) -> impl Iterator<Item = usize> + '_ {
+        let greedy = if self.vital(self.greedy) {
+            Some(self.greedy)
+        } else {
+            None
+        };
+        greedy
+            .into_iter()
+            .chain((0..self.tuple.n.min(self.n_warps)).filter(move |&w| Some(w) != greedy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidates_start_with_greedy_then_oldest() {
+        let mut s = WarpScheduler::new(4);
+        s.note_issue(2);
+        let order: Vec<_> = s.candidates().collect();
+        assert_eq!(order, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn candidates_respect_vital_limit() {
+        let mut s = WarpScheduler::new(8);
+        s.set_tuple(WarpTuple::new(3, 1, 8));
+        s.note_issue(5); // no longer vital
+        let order: Vec<_> = s.candidates().collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pollute_bits_cover_p_oldest() {
+        let mut s = WarpScheduler::new(8);
+        s.set_tuple(WarpTuple::new(6, 2, 8));
+        assert!(s.pollute(0) && s.pollute(1));
+        assert!(!s.pollute(2));
+        assert!(s.vital(5) && !s.vital(6));
+    }
+
+    #[test]
+    fn set_tuple_clamps_to_warp_count() {
+        let mut s = WarpScheduler::new(4);
+        s.set_tuple(WarpTuple::new(24, 24, 24));
+        assert_eq!(s.tuple(), WarpTuple { n: 4, p: 4 });
+    }
+
+    #[test]
+    fn greedy_warp_listed_once() {
+        let mut s = WarpScheduler::new(4);
+        s.note_issue(0);
+        let order: Vec<_> = s.candidates().collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,414 @@
+//! One streaming multiprocessor: warps, schedulers, L1, issue logic.
+
+use crate::config::GpuConfig;
+use crate::instruction::{Instr, KernelSource};
+use crate::l1::{sm_local_warp_bit, AccessOutcome, L1Data, MshrWaiter};
+use crate::memsys::MemSystem;
+use crate::scheduler::WarpScheduler;
+use crate::stats::GpuStats;
+use crate::warp::Warp;
+use crate::WarpTuple;
+
+/// Maximum scheduler candidates probed per cycle (arbitration width).
+const MAX_ISSUE_ATTEMPTS: usize = 8;
+/// Maximum zero-cost `SyncLoads` skips per candidate per cycle.
+const MAX_SYNC_SKIPS: usize = 4;
+
+/// A load-completion event destined for this SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmEvent {
+    /// An L1 fill completed for the given MSHR entry.
+    Fill {
+        /// MSHR entry index.
+        mshr: usize,
+    },
+    /// A load hit's data became available for one warp.
+    HitDone {
+        /// Scheduler index.
+        scheduler: u8,
+        /// Warp index within the scheduler.
+        warp: u8,
+    },
+}
+
+/// One streaming multiprocessor.
+pub struct Sm {
+    /// SM index within the GPU.
+    pub id: usize,
+    /// Warp schedulers (baseline: 2).
+    pub schedulers: Vec<WarpScheduler>,
+    /// Warps, indexed `[scheduler][warp]`.
+    pub warps: Vec<Vec<Warp>>,
+    /// The L1 data cache.
+    pub l1: L1Data,
+    hit_latency: u64,
+}
+
+impl std::fmt::Debug for Sm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sm").field("id", &self.id).finish()
+    }
+}
+
+/// Callback used by the SM to schedule future events; implemented by the
+/// GPU's event queue.
+pub trait EventSink {
+    /// Schedule `ev` for SM `sm` at absolute cycle `at`.
+    fn schedule(&mut self, at: u64, sm: usize, ev: SmEvent);
+}
+
+impl Sm {
+    /// Build an SM and instantiate its warps from the kernel source.
+    pub fn new(id: usize, cfg: &GpuConfig, kernel: &dyn KernelSource) -> Self {
+        let n_warps = kernel
+            .warps_per_scheduler()
+            .clamp(1, cfg.max_warps_per_scheduler);
+        let schedulers = (0..cfg.schedulers_per_sm)
+            .map(|_| WarpScheduler::new(n_warps))
+            .collect();
+        let warps = (0..cfg.schedulers_per_sm)
+            .map(|s| {
+                (0..n_warps)
+                    .map(|w| {
+                        Warp::new(
+                            kernel.stream_for(id, s, w),
+                            cfg.track_reuse_distance,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Sm {
+            id,
+            schedulers,
+            warps,
+            l1: L1Data::new(cfg, kernel.n_pcs()),
+            hit_latency: cfg.l1_hit_latency,
+        }
+    }
+
+    /// Install a warp-tuple on every scheduler of this SM.
+    pub fn set_tuple(&mut self, t: WarpTuple) {
+        for s in &mut self.schedulers {
+            s.set_tuple(t);
+        }
+    }
+
+    /// Whether any warp still has work (instructions or outstanding loads).
+    pub fn live(&self) -> bool {
+        self.warps
+            .iter()
+            .flatten()
+            .any(|w| w.live())
+    }
+
+    /// Advance this SM by one cycle: each scheduler attempts one issue.
+    pub fn step(
+        &mut self,
+        now: u64,
+        mem: &mut MemSystem,
+        events: &mut dyn EventSink,
+        stats: &mut GpuStats,
+    ) {
+        for sched_idx in 0..self.schedulers.len() {
+            let issued = self.issue_one(sched_idx, now, mem, events, stats);
+            let any_live = self.warps[sched_idx].iter().any(|w| w.live());
+            stats.bump(|c| {
+                if issued {
+                    c.busy_scheduler_cycles += 1;
+                } else if any_live {
+                    c.stall_scheduler_cycles += 1;
+                }
+            });
+        }
+    }
+
+    fn issue_one(
+        &mut self,
+        sched_idx: usize,
+        now: u64,
+        mem: &mut MemSystem,
+        events: &mut dyn EventSink,
+        stats: &mut GpuStats,
+    ) -> bool {
+        // GTO priority order: greedy favourite first, then vital warps
+        // oldest-first. Warps that cannot issue (blocked on a dependence)
+        // are skipped for free; at most MAX_ISSUE_ATTEMPTS ready warps are
+        // probed per cycle (arbitration width).
+        let sched = &self.schedulers[sched_idx];
+        let n_vital = sched.tuple().n.min(sched.n_warps);
+        let greedy = sched.greedy_warp().filter(|&g| sched.vital(g));
+        let mut attempts = 0;
+        let candidates = greedy
+            .into_iter()
+            .chain((0..n_vital).filter(move |&w| Some(w) != greedy));
+        for w_idx in candidates {
+            if !self.warps[sched_idx][w_idx].ready() {
+                continue;
+            }
+            attempts += 1;
+            if attempts > MAX_ISSUE_ATTEMPTS {
+                break;
+            }
+            if let Some(kind) =
+                self.try_issue(sched_idx, w_idx, now, mem, events, stats)
+            {
+                self.schedulers[sched_idx].note_issue(w_idx);
+                let warp = &mut self.warps[sched_idx][w_idx];
+                warp.instructions += 1;
+                stats.bump(|c| c.instructions += 1);
+                match kind {
+                    IssuedKind::Load => {
+                        if warp.seen_load {
+                            let gap = warp.since_last_load;
+                            stats.bump(|c| {
+                                c.in_gap_sum += gap;
+                                c.in_gap_count += 1;
+                            });
+                        }
+                        warp.seen_load = true;
+                        warp.since_last_load = 0;
+                        stats.bump(|c| c.loads += 1);
+                    }
+                    IssuedKind::Store => {
+                        warp.since_last_load += 1;
+                        stats.bump(|c| c.stores += 1);
+                    }
+                    IssuedKind::Alu => {
+                        warp.since_last_load += 1;
+                    }
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Attempt to issue the next instruction of a warp. Returns the kind of
+    /// instruction issued, or `None` if the warp could not issue (stalled,
+    /// structurally rejected, or ran out of instructions).
+    fn try_issue(
+        &mut self,
+        sched_idx: usize,
+        w_idx: usize,
+        now: u64,
+        mem: &mut MemSystem,
+        events: &mut dyn EventSink,
+        stats: &mut GpuStats,
+    ) -> Option<IssuedKind> {
+        let polluting = self.schedulers[sched_idx].pollute(w_idx);
+        for _ in 0..MAX_SYNC_SKIPS {
+            let warp = &mut self.warps[sched_idx][w_idx];
+            let instr = warp.fetch()?;
+            match instr {
+                Instr::Alu => return Some(IssuedKind::Alu),
+                Instr::SyncLoads => {
+                    if warp.outstanding_loads > 0 {
+                        warp.waiting_sync = true;
+                        return None;
+                    }
+                    // Satisfied syncs are free; keep fetching.
+                    continue;
+                }
+                Instr::Store { line, .. } => {
+                    self.l1.access_store(line);
+                    mem.write(line, now, stats);
+                    return Some(IssuedKind::Store);
+                }
+                Instr::Load { line, pc } => {
+                    if let Some(dist) = warp.observe_reuse(line) {
+                        stats.bump(|c| {
+                            c.reuse_distance_sum += dist;
+                            c.reuse_distance_count += 1;
+                        });
+                    }
+                    let warp_bit = sm_local_warp_bit(sched_idx as u8, w_idx as u8);
+                    let waiter = MshrWaiter {
+                        scheduler: sched_idx as u8,
+                        warp: w_idx as u8,
+                        issued_at: now,
+                    };
+                    match self.l1.access_load(
+                        line, warp_bit, polluting, pc, now, waiter, stats,
+                    ) {
+                        AccessOutcome::Hit => {
+                            let warp = &mut self.warps[sched_idx][w_idx];
+                            warp.outstanding_loads += 1;
+                            events.schedule(
+                                now + self.hit_latency,
+                                self.id,
+                                SmEvent::HitDone {
+                                    scheduler: sched_idx as u8,
+                                    warp: w_idx as u8,
+                                },
+                            );
+                            return Some(IssuedKind::Load);
+                        }
+                        AccessOutcome::Miss { mshr, primary } => {
+                            let warp = &mut self.warps[sched_idx][w_idx];
+                            warp.outstanding_loads += 1;
+                            if primary {
+                                let ready = mem.read(line, now, stats);
+                                events.schedule(
+                                    ready,
+                                    self.id,
+                                    SmEvent::Fill { mshr },
+                                );
+                            }
+                            return Some(IssuedKind::Load);
+                        }
+                        AccessOutcome::Reject => {
+                            // Structural hazard: stash and let the scheduler
+                            // try another warp this cycle.
+                            let warp = &mut self.warps[sched_idx][w_idx];
+                            warp.stash(instr);
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Deliver an event (fill or hit completion) to this SM.
+    pub fn handle_event(&mut self, ev: SmEvent, now: u64, stats: &mut GpuStats) {
+        match ev {
+            SmEvent::Fill { mshr } => {
+                let waiters = self.l1.complete_fill(mshr, now, stats);
+                for w in waiters {
+                    self.warps[w.scheduler as usize][w.warp as usize]
+                        .load_completed();
+                }
+            }
+            SmEvent::HitDone { scheduler, warp } => {
+                self.warps[scheduler as usize][warp as usize].load_completed();
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IssuedKind {
+    Alu,
+    Load,
+    Store,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::UniformKernel;
+
+    struct VecSink(Vec<(u64, usize, SmEvent)>);
+    impl EventSink for VecSink {
+        fn schedule(&mut self, at: u64, sm: usize, ev: SmEvent) {
+            self.0.push((at, sm, ev));
+        }
+    }
+
+    fn setup(kernel: &UniformKernel) -> (Sm, MemSystem, GpuStats, VecSink) {
+        let cfg = GpuConfig::scaled(1);
+        (
+            Sm::new(0, &cfg, kernel),
+            MemSystem::new(&cfg),
+            GpuStats::new(),
+            VecSink(Vec::new()),
+        )
+    }
+
+    #[test]
+    fn alu_instructions_issue_every_cycle() {
+        // alu_per_load = 4 means mostly ALU work early on.
+        let k = UniformKernel::streaming(1, 4);
+        let (mut sm, mut mem, mut st, mut ev) = setup(&k);
+        for t in 0..4 {
+            sm.step(t, &mut mem, &mut ev, &mut st);
+        }
+        // 2 schedulers x 4 cycles, all ALU at first.
+        assert_eq!(st.total.instructions, 8);
+        assert_eq!(st.total.busy_scheduler_cycles, 8);
+    }
+
+    #[test]
+    fn load_miss_schedules_fill_event() {
+        let k = UniformKernel::streaming(1, 0);
+        let (mut sm, mut mem, mut st, mut ev) = setup(&k);
+        sm.step(0, &mut mem, &mut ev, &mut st);
+        assert_eq!(st.total.loads, 2); // one per scheduler
+        assert_eq!(ev.0.len(), 2);
+        assert!(matches!(ev.0[0].2, SmEvent::Fill { .. }));
+    }
+
+    #[test]
+    fn warp_stalls_at_sync_until_fill() {
+        let k = UniformKernel::streaming(1, 0);
+        let (mut sm, mut mem, mut st, mut ev) = setup(&k);
+        // Cycle 0: load issues. Cycle 1: sync blocks (load outstanding).
+        sm.step(0, &mut mem, &mut ev, &mut st);
+        sm.step(1, &mut mem, &mut ev, &mut st);
+        assert_eq!(st.total.stall_scheduler_cycles, 2);
+        // Deliver the fills; warps resume.
+        let events: Vec<_> = ev.0.drain(..).collect();
+        for (at, _, e) in events {
+            sm.handle_event(e, at, &mut st);
+        }
+        let before = st.total.instructions;
+        sm.step(1_000, &mut mem, &mut ev, &mut st);
+        assert!(st.total.instructions > before);
+    }
+
+    #[test]
+    fn hit_completion_wakes_warp() {
+        let k = UniformKernel::resident(1, 0);
+        let (mut sm, mut mem, mut st, mut ev) = setup(&k);
+        // First load misses; complete it.
+        sm.step(0, &mut mem, &mut ev, &mut st);
+        let events: Vec<_> = ev.0.drain(..).collect();
+        for (at, _, e) in events {
+            sm.handle_event(e, at, &mut st);
+        }
+        // Second load to the same line: must be an L1 hit with a HitDone.
+        sm.step(500, &mut mem, &mut ev, &mut st);
+        assert_eq!(st.total.l1_hits, 2);
+        assert!(ev.0.iter().any(|(_, _, e)| matches!(e, SmEvent::HitDone { .. })));
+    }
+
+    #[test]
+    fn non_vital_warps_do_not_issue() {
+        let k = UniformKernel::streaming(8, 4);
+        let (mut sm, mut mem, mut st, mut ev) = setup(&k);
+        sm.set_tuple(WarpTuple::new(1, 1, 8));
+        for t in 0..20 {
+            sm.step(t, &mut mem, &mut ev, &mut st);
+        }
+        // Only warp 0 of each scheduler may have issued.
+        for sched in &sm.warps {
+            for (i, w) in sched.iter().enumerate() {
+                if i == 0 {
+                    assert!(w.instructions > 0);
+                } else {
+                    assert_eq!(w.instructions, 0, "warp {i} issued while non-vital");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_gap_tracks_instructions_between_loads() {
+        let k = UniformKernel::streaming(1, 3);
+        let (mut sm, mut mem, mut st, mut ev) = setup(&k);
+        let mut t = 0;
+        while st.total.in_gap_count < 4 && t < 10_000 {
+            sm.step(t, &mut mem, &mut ev, &mut st);
+            let events: Vec<_> = ev.0.drain(..).collect();
+            for (at, _, e) in events {
+                sm.handle_event(e, at.max(t), &mut st);
+            }
+            t += 1;
+        }
+        assert!(st.total.in_gap_count >= 4);
+        // Gap between loads is the 3 ALU instructions (sync is free).
+        assert_eq!(st.total.in_gap_sum / st.total.in_gap_count, 3);
+    }
+}

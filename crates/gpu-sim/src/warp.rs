@@ -1,0 +1,200 @@
+//! Per-warp execution state.
+
+use crate::instruction::{Instr, InstructionStream};
+
+/// Maximum depth of the optional per-warp reuse-distance stack.
+const REUSE_STACK_CAP: usize = 4096;
+
+/// Execution state of one warp.
+pub struct Warp {
+    stream: Box<dyn InstructionStream>,
+    /// An instruction fetched but not yet issued (e.g. a load rejected for
+    /// structural reasons); retried before fetching further.
+    pending: Option<Instr>,
+    /// Number of loads issued and not yet completed.
+    pub outstanding_loads: u32,
+    /// Blocked at a [`Instr::SyncLoads`] with loads outstanding.
+    pub waiting_sync: bool,
+    /// The warp's trace ended.
+    pub done: bool,
+    /// Instructions issued by this warp.
+    pub instructions: u64,
+    /// Instructions issued since the previous global load (for `In`).
+    pub since_last_load: u64,
+    /// Whether any load has been issued yet (first gap is not counted).
+    pub seen_load: bool,
+    /// Optional LRU stack of line addresses for reuse-distance profiling.
+    reuse_stack: Option<Vec<u64>>,
+    /// Lines ever touched by this warp (censored-distance accounting).
+    seen_lines: std::collections::HashSet<u64>,
+}
+
+impl std::fmt::Debug for Warp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Warp")
+            .field("outstanding_loads", &self.outstanding_loads)
+            .field("waiting_sync", &self.waiting_sync)
+            .field("done", &self.done)
+            .field("instructions", &self.instructions)
+            .finish()
+    }
+}
+
+impl Warp {
+    /// Wrap an instruction stream into a fresh warp.
+    pub fn new(stream: Box<dyn InstructionStream>, track_reuse: bool) -> Self {
+        Warp {
+            stream,
+            pending: None,
+            outstanding_loads: 0,
+            waiting_sync: false,
+            done: false,
+            instructions: 0,
+            since_last_load: 0,
+            seen_load: false,
+            reuse_stack: track_reuse.then(Vec::new),
+            seen_lines: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Whether the scheduler may consider this warp for issue.
+    #[inline]
+    pub fn ready(&self) -> bool {
+        !self.done && !self.waiting_sync
+    }
+
+    /// Whether the warp still has (or may have) work.
+    #[inline]
+    pub fn live(&self) -> bool {
+        !self.done || self.outstanding_loads > 0
+    }
+
+    /// Fetch the next instruction to attempt, honouring a stashed one.
+    pub fn fetch(&mut self) -> Option<Instr> {
+        if let Some(i) = self.pending.take() {
+            return Some(i);
+        }
+        match self.stream.next_instr() {
+            Some(i) => Some(i),
+            None => {
+                self.done = true;
+                None
+            }
+        }
+    }
+
+    /// Stash an instruction that could not be issued this cycle.
+    pub fn stash(&mut self, i: Instr) {
+        debug_assert!(self.pending.is_none());
+        self.pending = Some(i);
+    }
+
+    /// Record completion of one outstanding load, possibly unblocking a
+    /// pending sync.
+    pub fn load_completed(&mut self) {
+        debug_assert!(self.outstanding_loads > 0);
+        self.outstanding_loads -= 1;
+        if self.outstanding_loads == 0 {
+            self.waiting_sync = false;
+        }
+    }
+
+    /// Observe a load address in the reuse-distance stack; returns the LRU
+    /// stack distance (in unique lines) if this was a *distinct-line*
+    /// reuse.
+    ///
+    /// Immediate repeats (distance 0) are not counted as reuses — they say
+    /// nothing about working-set size — and reuses whose distance exceeds
+    /// the stack capacity are censored at the capacity (the line was seen
+    /// before but fell off the stack), so long-distance workloads like
+    /// bfs/cfd still report large values instead of dropping them.
+    pub fn observe_reuse(&mut self, line: u64) -> Option<u64> {
+        let stack = self.reuse_stack.as_mut()?;
+        let dist = if let Some(pos) = stack.iter().position(|&l| l == line) {
+            let d = pos as u64;
+            stack.remove(pos);
+            stack.insert(0, line);
+            (d > 0).then_some(d)
+        } else {
+            stack.insert(0, line);
+            if stack.len() > REUSE_STACK_CAP {
+                stack.pop();
+            }
+            self.seen_lines
+                .contains(&line)
+                .then_some(REUSE_STACK_CAP as u64)
+        };
+        self.seen_lines.insert(line);
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedStream(Vec<Instr>);
+    impl InstructionStream for FixedStream {
+        fn next_instr(&mut self) -> Option<Instr> {
+            if self.0.is_empty() {
+                None
+            } else {
+                Some(self.0.remove(0))
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_prefers_stashed_instruction() {
+        let mut w = Warp::new(Box::new(FixedStream(vec![Instr::Alu])), false);
+        w.stash(Instr::SyncLoads);
+        assert_eq!(w.fetch(), Some(Instr::SyncLoads));
+        assert_eq!(w.fetch(), Some(Instr::Alu));
+        assert_eq!(w.fetch(), None);
+        assert!(w.done);
+    }
+
+    #[test]
+    fn load_completion_unblocks_sync() {
+        let mut w = Warp::new(Box::new(FixedStream(vec![])), false);
+        w.outstanding_loads = 2;
+        w.waiting_sync = true;
+        assert!(!w.ready());
+        w.load_completed();
+        assert!(!w.ready());
+        w.load_completed();
+        assert!(w.ready() || w.done); // sync cleared
+        assert!(!w.waiting_sync);
+    }
+
+    #[test]
+    fn reuse_stack_reports_stack_distance() {
+        let mut w = Warp::new(Box::new(FixedStream(vec![])), true);
+        assert_eq!(w.observe_reuse(1), None);
+        assert_eq!(w.observe_reuse(2), None);
+        assert_eq!(w.observe_reuse(3), None);
+        // Reusing 1 after touching 2 and 3: distance 2.
+        assert_eq!(w.observe_reuse(1), Some(2));
+        // Immediate repeats carry no working-set information.
+        assert_eq!(w.observe_reuse(1), None);
+    }
+
+    #[test]
+    fn long_distance_reuse_is_censored_not_dropped() {
+        let mut w = Warp::new(Box::new(FixedStream(vec![])), true);
+        assert_eq!(w.observe_reuse(42), None);
+        // Push 42 far beyond the stack capacity.
+        for l in 100..(100 + super::REUSE_STACK_CAP as u64 + 10) {
+            w.observe_reuse(l);
+        }
+        // The revisit is censored at the capacity rather than ignored.
+        assert_eq!(w.observe_reuse(42), Some(super::REUSE_STACK_CAP as u64));
+    }
+
+    #[test]
+    fn reuse_tracking_disabled_returns_none() {
+        let mut w = Warp::new(Box::new(FixedStream(vec![])), false);
+        assert_eq!(w.observe_reuse(1), None);
+        assert_eq!(w.observe_reuse(1), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the simulator's core data structures.
+
+use gpu_sim::{
+    CacheGeometry, Counters, GpuStats, SetAssocCache, SetIndexing, WarpTuple,
+};
+use proptest::prelude::*;
+
+fn geometry() -> impl Strategy<Value = CacheGeometry> {
+    (1usize..=64, 1usize..=8, prop_oneof![
+        Just(SetIndexing::Linear),
+        Just(SetIndexing::Hashed)
+    ])
+        .prop_map(|(sets, ways, indexing)| CacheGeometry {
+            sets,
+            ways,
+            line_bytes: 128,
+            indexing,
+        })
+}
+
+proptest! {
+    /// Whatever the access mix, occupancy never exceeds capacity and the
+    /// set index stays in range.
+    #[test]
+    fn cache_occupancy_bounded(
+        geo in geometry(),
+        lines in proptest::collection::vec(0u64..10_000, 1..400),
+    ) {
+        let mut c = SetAssocCache::new(geo);
+        for &l in &lines {
+            prop_assert!(geo.set_of(l) < geo.sets);
+            c.insert(l);
+        }
+        prop_assert!(c.valid_lines() <= geo.lines());
+    }
+
+    /// After inserting a line it is observable until evicted; hitting a
+    /// line refreshes it so repeated access to a small set always hits.
+    #[test]
+    fn lru_protects_recently_used(
+        geo in geometry(),
+        hot in proptest::collection::vec(0u64..50, 1..8),
+        noise in proptest::collection::vec(50u64..10_000, 0..200),
+    ) {
+        // Only meaningful when the hot set plus one noise line fit in a
+        // set: with strictly fewer hot lines than ways, re-touching every
+        // hot line keeps them all above any single noise line in LRU
+        // order, whatever the interleaving.
+        prop_assume!(hot.len() < geo.ways);
+        let mut c = SetAssocCache::new(geo);
+        let mut noise_it = noise.iter();
+        for _ in 0..24 {
+            for &h in &hot {
+                c.insert(h);
+                c.access(h);
+            }
+            if let Some(&n) = noise_it.next() {
+                c.insert(n);
+            }
+            // After the noise insert, every hot line must have survived.
+            for &h in &hot {
+                prop_assert!(
+                    matches!(c.probe(h), gpu_sim::cache::Lookup::Hit { .. }),
+                    "hot line {h} evicted"
+                );
+            }
+        }
+    }
+
+    /// Tuple construction always yields a valid domain point, and the
+    /// distance metric is symmetric and zero iff equal.
+    #[test]
+    fn warp_tuple_domain_and_distance(
+        n in 0usize..100,
+        p in 0usize..100,
+        m in 1usize..32,
+    ) {
+        let t = WarpTuple::new(n, p, m);
+        prop_assert!(t.n >= 1 && t.n <= m);
+        prop_assert!(t.p >= 1 && t.p <= t.n);
+        let u = WarpTuple::new(p, n, m);
+        prop_assert!((t.distance(&u) - u.distance(&t)).abs() < 1e-12);
+        prop_assert_eq!(t.distance(&t), 0.0);
+    }
+
+    /// Counter deltas are consistent: delta(a+d, a) == d fieldwise for the
+    /// fields exercised here.
+    #[test]
+    fn counter_delta_roundtrip(
+        cycles in 0u64..1_000_000,
+        instr in 0u64..1_000_000,
+        hits in 0u64..1_000_000,
+    ) {
+        let mut a = Counters::default();
+        a.cycles = cycles;
+        a.instructions = instr;
+        a.l1_hits = hits;
+        let mut b = a;
+        b.cycles += 17;
+        b.instructions += 4;
+        b.l1_hits += 2;
+        let d = b.delta_since(&a);
+        prop_assert_eq!(d.cycles, 17);
+        prop_assert_eq!(d.instructions, 4);
+        prop_assert_eq!(d.l1_hits, 2);
+    }
+
+    /// Window resets never disturb totals.
+    #[test]
+    fn window_reset_preserves_totals(increments in proptest::collection::vec(1u64..100, 1..50)) {
+        let mut s = GpuStats::new();
+        let mut expect = 0;
+        for (i, inc) in increments.iter().enumerate() {
+            s.bump(|c| c.instructions += *inc);
+            expect += *inc;
+            if i % 3 == 0 {
+                s.reset_window();
+            }
+        }
+        prop_assert_eq!(s.total.instructions, expect);
+        prop_assert!(s.window.instructions <= expect);
+    }
+
+    /// Hit rates derived from counters always land in [0, 1].
+    #[test]
+    fn rates_are_fractions(
+        acc in 0u64..10_000,
+        hits_frac in 0.0f64..=1.0,
+    ) {
+        let mut c = Counters::default();
+        c.l1_accesses = acc;
+        c.l1_hits = (acc as f64 * hits_frac) as u64;
+        let r = c.l1_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+}

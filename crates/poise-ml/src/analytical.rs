@@ -1,0 +1,234 @@
+//! The analytical performance model of Section V-A (Equations 1–11).
+//!
+//! The model expresses when memory latencies appear in the critical path
+//! of an SM and how a warp-tuple `{N, p}` changes the balance between busy
+//! cycles (latency tolerance) and effective memory latency. Poise uses it
+//! for *feature discovery* — the terms that appear in the objective
+//! function `mu_p_np` (Eq. 11) become the observable features of Table II —
+//! and this crate additionally unit-tests the claimed proportionalities.
+
+/// Parameters of the baseline system (maximum warps), Equations 1–3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticalParams {
+    /// Maximum warps `N` executing a load concurrently.
+    pub n: f64,
+    /// Average L1 miss rate `mo`.
+    pub mo: f64,
+    /// Average memory latency `Lo` of an individual miss.
+    pub lo: f64,
+    /// MSHR entries `Kmshr` (memory-level parallelism).
+    pub kmshr: f64,
+    /// Average independent instructions per warp unlocked by a hit, `Id`.
+    pub id: f64,
+    /// Pipelined execution cycles per warp instruction, `Tpipe`.
+    pub tpipe: f64,
+}
+
+impl AnalyticalParams {
+    /// Equation 1: effective memory latency of a load executed across `N`
+    /// warps, `Tmem = Lo × ceil(N·mo / Kmshr)`.
+    pub fn t_mem(&self) -> f64 {
+        self.lo * (self.n * self.mo / self.kmshr).ceil()
+    }
+
+    /// Equation 2: busy cycles enabled by hits,
+    /// `Tbusy = N·ho·Id·Tpipe` with `ho = 1 − mo`.
+    pub fn t_busy(&self) -> f64 {
+        self.n * (1.0 - self.mo) * self.id * self.tpipe
+    }
+
+    /// Equation 3: exposed stall cycles `max(Tmem − Tbusy, 0)`.
+    pub fn t_stall(&self) -> f64 {
+        (self.t_mem() - self.t_busy()).max(0.0)
+    }
+}
+
+/// Parameters of the reduced-tuple system `{N, p}`, Equations 4–6.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReducedParams {
+    /// Baseline parameters (shares `N`, `Kmshr`, `Id`, `Tpipe`).
+    pub base: AnalyticalParams,
+    /// Cache-polluting warps `p`.
+    pub p: f64,
+    /// Miss rate of the `p` polluting warps, `mp = 1 − hp`.
+    pub mp: f64,
+    /// Miss rate of the `N − p` non-polluting warps, `mnp = 1 − hnp`.
+    pub mnp: f64,
+    /// New average memory latency `L'` under the changed congestion.
+    pub l_prime: f64,
+}
+
+impl ReducedParams {
+    /// Equation 4: effective memory latency under the tuple,
+    /// `T'mem = L' × ceil((mnp(N−p) + mp·p) / Kmshr)`.
+    pub fn t_mem(&self) -> f64 {
+        let n = self.base.n;
+        self.l_prime
+            * ((self.mnp * (n - self.p) + self.mp * self.p) / self.base.kmshr)
+                .ceil()
+    }
+
+    /// Equation 5: busy cycles under the tuple,
+    /// `T'busy = (p·hp + (N−p)·hnp)·Id·Tpipe`.
+    pub fn t_busy(&self) -> f64 {
+        let n = self.base.n;
+        ((self.p * (1.0 - self.mp)) + (n - self.p) * (1.0 - self.mnp))
+            * self.base.id
+            * self.base.tpipe
+    }
+
+    /// Equation 6: exposed stalls under the tuple.
+    pub fn t_stall(&self) -> f64 {
+        (self.t_mem() - self.t_busy()).max(0.0)
+    }
+
+    /// Equation 8: the coefficient of goodness
+    /// `mu = ΔTbusy / ΔTmem`; values above 1 satisfy the Equation 7
+    /// speedup criterion. Returns `None` when `ΔTmem <= 0` (the tuple
+    /// reduces both terms — unconditionally good on this axis).
+    pub fn mu(&self) -> Option<f64> {
+        let d_busy = self.t_busy() - self.base.t_busy();
+        let d_mem = self.t_mem() - self.base.t_mem();
+        if d_mem <= 0.0 {
+            None
+        } else {
+            Some(d_busy / d_mem)
+        }
+    }
+
+    /// Equation 11: the partial objective
+    /// `mu_p/np = (Tpipe/Kmshr) · (p/(N−p)) · (Id·Δhp/o) / (mnp·L' − mo·Lo)`.
+    ///
+    /// The ceil of Eq. 4 is dropped as in the paper. Returns `None` when
+    /// `N == p` (no non-polluting warps) or the denominator is
+    /// non-positive (memory latency term improves — unconditionally good).
+    pub fn mu_p_np(&self) -> Option<f64> {
+        let n = self.base.n;
+        if (n - self.p).abs() < f64::EPSILON {
+            return None;
+        }
+        let delta_hp = (1.0 - self.mp) - (1.0 - self.base.mo);
+        let denom = self.mnp * self.l_prime - self.base.mo * self.base.lo;
+        if denom <= 0.0 {
+            return None;
+        }
+        Some(
+            (self.base.tpipe / self.base.kmshr)
+                * (self.p / (n - self.p))
+                * (self.base.id * delta_hp)
+                / denom,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> AnalyticalParams {
+        AnalyticalParams {
+            n: 24.0,
+            mo: 0.8,
+            lo: 400.0,
+            kmshr: 32.0,
+            id: 3.0,
+            tpipe: 2.0,
+        }
+    }
+
+    fn reduced() -> ReducedParams {
+        ReducedParams {
+            base: base(),
+            p: 2.0,
+            mp: 0.1,  // polluting warps hit a lot
+            mnp: 0.9, // non-polluting warps degrade slightly
+            l_prime: 380.0,
+        }
+    }
+
+    #[test]
+    fn eq1_ceil_quantises_memory_latency() {
+        let mut p = base();
+        // 24 * 0.8 / 32 = 0.6 → ceil 1 → Tmem = Lo.
+        assert_eq!(p.t_mem(), 400.0);
+        // Doubling the miss traffic crosses the MSHR boundary.
+        p.mo = 1.0;
+        p.n = 33.0;
+        // 33/32 → ceil 2.
+        assert_eq!(p.t_mem(), 800.0);
+    }
+
+    #[test]
+    fn eq2_busy_scales_with_hits() {
+        let p = base();
+        // 24 * 0.2 * 3 * 2 = 28.8.
+        assert!((p.t_busy() - 28.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq3_stall_clamps_at_zero() {
+        let mut p = base();
+        p.mo = 0.0; // all hits: no Tmem at all
+        assert_eq!(p.t_stall(), 0.0);
+    }
+
+    #[test]
+    fn better_cache_behaviour_reduces_stalls() {
+        let r = reduced();
+        assert!(
+            r.t_stall() < r.base.t_stall(),
+            "tuple {} vs baseline {}",
+            r.t_stall(),
+            r.base.t_stall()
+        );
+    }
+
+    #[test]
+    fn mu_p_np_increases_with_delta_hp() {
+        let mut lo_gain = reduced();
+        lo_gain.mp = 0.6;
+        let hi_gain = reduced(); // mp = 0.1 → larger Δhp/o
+        let a = lo_gain.mu_p_np().unwrap();
+        let b = hi_gain.mu_p_np().unwrap();
+        assert!(b > a, "higher hit-rate gain must raise the objective");
+    }
+
+    #[test]
+    fn mu_p_np_decreases_when_non_polluting_warps_suffer() {
+        let gentle = reduced(); // mnp = 0.9
+        let mut harsh = reduced();
+        harsh.mnp = 1.0; // complete collapse for N−p warps
+        let a = gentle.mu_p_np().unwrap();
+        let b = harsh.mu_p_np().unwrap();
+        assert!(a > b);
+    }
+
+    #[test]
+    fn mu_p_np_undefined_without_non_polluting_warps() {
+        let mut r = reduced();
+        r.p = r.base.n;
+        assert!(r.mu_p_np().is_none());
+    }
+
+    #[test]
+    fn mu_matches_speedup_criterion() {
+        // A tuple that greatly increases busy cycles while barely changing
+        // memory latency must satisfy mu > 1.
+        let r = reduced();
+        match r.mu() {
+            Some(mu) => assert!(mu > 1.0),
+            // ΔTmem <= 0 counts as satisfying the criterion outright.
+            None => {}
+        }
+    }
+
+    #[test]
+    fn higher_in_favours_fewer_warps_needed() {
+        // With more independent instructions per hit (higher Id), the same
+        // hit-rate improvement buys more busy cycles, raising mu_p/np.
+        let lo = reduced();
+        let mut hi = reduced();
+        hi.base.id = 6.0;
+        assert!(hi.mu_p_np().unwrap() > lo.mu_p_np().unwrap());
+    }
+}

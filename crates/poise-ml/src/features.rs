@@ -1,0 +1,147 @@
+//! The Table II feature vector.
+//!
+//! Features are assembled from two [`WindowSample`]s taken at fixed
+//! reference points in the {N, p} solution space — the baseline
+//! `(max, max)` and the reference `(1, 1)` — exactly as the hardware
+//! inference engine samples them at runtime:
+//!
+//! | feature | formulation |
+//! |---------|-------------|
+//! | x1 | `ho` — net L1 hit rate at baseline |
+//! | x2 | `h'` — net L1 hit rate at (1, 1) |
+//! | x3 | `ηo` — intra-warp hit rate at baseline |
+//! | x4 | `η'` — intra-warp hit rate at (1, 1) |
+//! | x5 | `(η' − ηo)²` — remaining intra-warp locality opportunity |
+//! | x6 | `In · (η' − ηo)²` |
+//! | x7 | `(L'·m' − mo·Lo)² / 10⁴` — AML pressure change |
+//! | x8 | `1` — intercept |
+
+use gpu_sim::WindowSample;
+
+/// Number of features (including the constant intercept).
+pub const N_FEATURES: usize = 8;
+
+/// The feature vector `X` of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector(pub [f64; N_FEATURES]);
+
+impl FeatureVector {
+    /// Assemble the features from the baseline sample (taken at
+    /// `(max, max)`) and the reference sample (taken at `(1, 1)`).
+    ///
+    /// `In` is taken from the baseline sample; an infinite `In` (no loads
+    /// observed) is clamped to a large finite proxy so the dot product
+    /// stays finite.
+    pub fn from_samples(base: &WindowSample, reference: &WindowSample) -> Self {
+        let ho = base.hit_rate;
+        let h_prime = reference.hit_rate;
+        let eta_o = base.intra_rate;
+        let eta_prime = reference.intra_rate;
+        let d_eta = eta_prime - eta_o;
+        let in_avg = if base.in_avg.is_finite() {
+            base.in_avg
+        } else {
+            1e3
+        };
+        let m_o = 1.0 - ho;
+        let m_prime = 1.0 - h_prime;
+        let aml_term = reference.aml * m_prime - base.aml * m_o;
+        FeatureVector([
+            ho,
+            h_prime,
+            eta_o,
+            eta_prime,
+            d_eta * d_eta,
+            in_avg * d_eta * d_eta,
+            aml_term * aml_term / 1e4,
+            1.0,
+        ])
+    }
+
+    /// The raw feature slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Zero out feature `idx` (leave-one-out ablation, Fig. 13). The
+    /// intercept (index 7) cannot be removed.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 7`.
+    pub fn without_feature(mut self, idx: usize) -> Self {
+        assert!(idx < N_FEATURES - 1, "cannot remove the intercept");
+        self.0[idx] = 0.0;
+        self
+    }
+}
+
+impl std::fmt::Display for FeatureVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(hit: f64, intra: f64, aml: f64, in_avg: f64) -> WindowSample {
+        WindowSample {
+            cycles: 1000,
+            instructions: 800,
+            hit_rate: hit,
+            intra_rate: intra,
+            aml,
+            in_avg,
+            ipc: 0.8,
+        }
+    }
+
+    #[test]
+    fn features_match_table_ii_formulations() {
+        let base = sample(0.2, 0.15, 400.0, 3.0);
+        let refp = sample(0.8, 0.7, 380.0, 3.0);
+        let x = FeatureVector::from_samples(&base, &refp);
+        assert_eq!(x.0[0], 0.2);
+        assert_eq!(x.0[1], 0.8);
+        assert_eq!(x.0[2], 0.15);
+        assert_eq!(x.0[3], 0.7);
+        let d = 0.7f64 - 0.15;
+        assert!((x.0[4] - d * d).abs() < 1e-12);
+        assert!((x.0[5] - 3.0 * d * d).abs() < 1e-12);
+        let aml_term = 380.0 * 0.2 - 400.0 * 0.8;
+        assert!((x.0[6] - aml_term * aml_term / 1e4).abs() < 1e-9);
+        assert_eq!(x.0[7], 1.0);
+    }
+
+    #[test]
+    fn infinite_in_is_clamped() {
+        let base = sample(0.2, 0.1, 400.0, f64::INFINITY);
+        let refp = sample(0.9, 0.8, 100.0, f64::INFINITY);
+        let x = FeatureVector::from_samples(&base, &refp);
+        assert!(x.0.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn without_feature_zeroes_entry() {
+        let base = sample(0.2, 0.1, 400.0, 3.0);
+        let refp = sample(0.9, 0.8, 100.0, 3.0);
+        let x = FeatureVector::from_samples(&base, &refp).without_feature(4);
+        assert_eq!(x.0[4], 0.0);
+        assert_eq!(x.0[7], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intercept")]
+    fn removing_intercept_panics() {
+        let s = sample(0.2, 0.1, 1.0, 1.0);
+        let _ = FeatureVector::from_samples(&s, &s).without_feature(7);
+    }
+}

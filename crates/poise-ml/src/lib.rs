@@ -1,0 +1,32 @@
+//! # poise-ml — the machine learning framework of Poise
+//!
+//! This crate implements the offline half of Poise (paper Section V):
+//!
+//! * [`analytical`] — the analytical performance model (Equations 1–11)
+//!   used to derive the feature vector from domain knowledge;
+//! * [`features`] — the Table II feature vector `x1..x8`, assembled from
+//!   counter samples taken at the two reference points `(24, 24)` and
+//!   `(1, 1)` of the {N, p} solution space;
+//! * [`scoring`] — the Equation 12 neighbourhood scoring that prefers
+//!   performance peaks in safe neighbourhoods over peaks beside cliffs,
+//!   plus the tuple scaling used to normalise training targets;
+//! * [`glm`] — Negative Binomial regression (log link) trained by
+//!   iteratively reweighted least squares, standing in for the paper's
+//!   Statsmodels fit;
+//! * [`linalg`] — the small dense solver backing the IRLS updates;
+//! * [`training`] — the end-to-end training pipeline turning profiled
+//!   kernels into the two weight vectors (α for N, β for p) that the
+//!   compiler ships to the hardware inference engine.
+
+pub mod analytical;
+pub mod features;
+pub mod glm;
+pub mod linalg;
+pub mod scoring;
+pub mod training;
+
+pub use analytical::{AnalyticalParams, ReducedParams};
+pub use features::{FeatureVector, N_FEATURES};
+pub use glm::{FitError, NbRegression};
+pub use scoring::{ScoringWeights, SpeedupGrid};
+pub use training::{TrainedModel, TrainingSample, TrainingThresholds};

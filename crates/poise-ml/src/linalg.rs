@@ -1,0 +1,166 @@
+//! Small dense linear algebra: Gaussian elimination with partial pivoting.
+//!
+//! The IRLS updates of the Negative Binomial regression solve an 8×8
+//! normal-equation system per iteration; nothing heavier is needed.
+
+/// Solve `A x = b` in place for a square system.
+///
+/// Returns `None` when the matrix is numerically singular (pivot below
+/// `1e-12` after partial pivoting).
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert!(a.iter().all(|row| row.len() == n), "A must be square");
+    assert_eq!(b.len(), n, "dimension mismatch");
+
+    for col in 0..n {
+        // Partial pivoting: pick the largest |pivot| in this column.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Compute `Xᵀ W X + λI` and `Xᵀ W z` for a weighted least-squares step.
+///
+/// `x` is row-major (one row per observation), `w` the per-observation
+/// weights, `z` the working response, `ridge` the L2 regulariser added to
+/// the normal-matrix diagonal.
+pub fn weighted_normal_equations(
+    x: &[Vec<f64>],
+    w: &[f64],
+    z: &[f64],
+    ridge: f64,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let k = x.first().map_or(0, |r| r.len());
+    let mut xtx = vec![vec![0.0; k]; k];
+    let mut xtz = vec![0.0; k];
+    for (row, (&wi, &zi)) in x.iter().zip(w.iter().zip(z.iter())) {
+        for i in 0..k {
+            let wxi = wi * row[i];
+            xtz[i] += wxi * zi;
+            for j in i..k {
+                xtx[i][j] += wxi * row[j];
+            }
+        }
+    }
+    for i in 0..k {
+        for j in 0..i {
+            xtx[i][j] = xtx[j][i];
+        }
+        xtx[i][i] += ridge;
+    }
+    (xtx, xtz)
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![2.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn normal_equations_match_manual_computation() {
+        // One observation x=[1,2], w=2, z=3:
+        // XtWX = [[2,4],[4,8]], XtWz = [6,12].
+        let (xtx, xtz) = weighted_normal_equations(
+            &[vec![1.0, 2.0]],
+            &[2.0],
+            &[3.0],
+            0.0,
+        );
+        assert_eq!(xtx, vec![vec![2.0, 4.0], vec![4.0, 8.0]]);
+        assert_eq!(xtz, vec![6.0, 12.0]);
+    }
+
+    #[test]
+    fn ridge_adds_to_diagonal() {
+        let (xtx, _) = weighted_normal_equations(
+            &[vec![1.0, 0.0]],
+            &[1.0],
+            &[0.0],
+            0.5,
+        );
+        assert_eq!(xtx[0][0], 1.5);
+        assert_eq!(xtx[1][1], 0.5);
+    }
+
+    #[test]
+    fn weighted_least_squares_recovers_coefficients() {
+        // y = 2 + 3x fit through noiseless points.
+        let xs: Vec<Vec<f64>> =
+            (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let zs: Vec<f64> = (0..10).map(|i| 2.0 + 3.0 * i as f64).collect();
+        let ws = vec![1.0; 10];
+        let (a, b) = weighted_normal_equations(&xs, &ws, &zs, 0.0);
+        let beta = solve(a, b).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,239 @@
+//! Neighbourhood scoring of profiled {N, p} grids (Equation 12) and the
+//! tuple scaling applied to training targets.
+//!
+//! Training on the raw best-performing tuple is brittle when that peak sits
+//! beside a performance cliff: a small prediction error then lands in a
+//! slowdown region. Equation 12 instead scores each point by an
+//! ω-weighted sum of its own speedup and its neighbours', normalised over
+//! the neighbours actually present (boundary points have fewer), and
+//! training targets the best-*scoring* tuple.
+
+use gpu_sim::WarpTuple;
+
+/// The ω weights of Equation 12: own cell, edge neighbours (offset 1) and
+/// corner neighbours (offset 2), defaulting to the paper's (1, 0.50, 0.25).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoringWeights(pub [f64; 3]);
+
+impl Default for ScoringWeights {
+    fn default() -> Self {
+        ScoringWeights([1.0, 0.50, 0.25])
+    }
+}
+
+/// A profiled speedup surface over the triangular domain
+/// `1 <= p <= n <= max_n` (speedups are relative to the GTO baseline).
+#[derive(Debug, Clone)]
+pub struct SpeedupGrid {
+    max_n: usize,
+    /// Row-major `[n][p]`, `None` where not profiled.
+    cells: Vec<Vec<Option<f64>>>,
+}
+
+impl SpeedupGrid {
+    /// An empty grid for tuples up to `max_n`.
+    pub fn new(max_n: usize) -> Self {
+        assert!(max_n >= 1);
+        SpeedupGrid {
+            max_n,
+            cells: (0..=max_n).map(|n| vec![None; n + 1]).collect(),
+        }
+    }
+
+    /// Largest `n` (and `p`) representable.
+    pub fn max_n(&self) -> usize {
+        self.max_n
+    }
+
+    /// Record the speedup of tuple `(n, p)`.
+    ///
+    /// # Panics
+    /// Panics if the tuple is outside the triangular domain.
+    pub fn set(&mut self, n: usize, p: usize, speedup: f64) {
+        assert!(
+            (1..=self.max_n).contains(&n) && (1..=n).contains(&p),
+            "tuple ({n}, {p}) outside domain (max_n = {})",
+            self.max_n
+        );
+        self.cells[n][p] = Some(speedup);
+    }
+
+    /// The speedup at `(n, p)`, if profiled.
+    pub fn get(&self, n: usize, p: usize) -> Option<f64> {
+        self.cells.get(n)?.get(p).copied()?
+    }
+
+    /// Iterate over all profiled `(n, p, speedup)` points.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.cells.iter().enumerate().flat_map(|(n, row)| {
+            row.iter()
+                .enumerate()
+                .filter_map(move |(p, s)| s.map(|s| (n, p, s)))
+        })
+    }
+
+    /// The best-performing profiled tuple (global optimum of the surface).
+    pub fn best_performance(&self) -> Option<(WarpTuple, f64)> {
+        self.iter()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(n, p, s)| (WarpTuple { n, p }, s))
+    }
+
+    /// The best tuple restricted to the `p == n` diagonal (what SWL, which
+    /// couples the two knobs, can reach).
+    pub fn best_diagonal(&self) -> Option<(WarpTuple, f64)> {
+        (1..=self.max_n)
+            .filter_map(|n| self.get(n, n).map(|s| (WarpTuple { n, p: n }, s)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Equation 12: the ω-weighted neighbourhood score of `(a, b)`,
+    /// normalised by the weights of the neighbours present.
+    pub fn score(&self, a: usize, b: usize, w: &ScoringWeights) -> Option<f64> {
+        self.get(a, b)?;
+        let mut acc = 0.0;
+        let mut norm = 0.0;
+        for i in -1i64..=1 {
+            for j in -1i64..=1 {
+                let (n, p) = (a as i64 + i, b as i64 + j);
+                if n < 1 || p < 1 || p > n {
+                    continue;
+                }
+                if let Some(s) = self.get(n as usize, p as usize) {
+                    let weight = w.0[(i.unsigned_abs() + j.unsigned_abs()) as usize];
+                    acc += weight * s;
+                    norm += weight;
+                }
+            }
+        }
+        (norm > 0.0).then(|| acc / norm)
+    }
+
+    /// The best-*scoring* tuple (the training target of Section V-C).
+    pub fn best_scored(&self, w: &ScoringWeights) -> Option<(WarpTuple, f64)> {
+        self.iter()
+            .filter_map(|(n, p, _)| self.score(n, p, w).map(|s| (WarpTuple { n, p }, s)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+    }
+}
+
+/// Scale a target tuple from a kernel's available warps to the scheduler
+/// capacity (Section V-C "Scaling"): kernels limited by occupancy train on
+/// targets normalised to `max_warps`, and predictions are reverse-scaled.
+pub fn scale_tuple(t: WarpTuple, available: usize, max_warps: usize) -> WarpTuple {
+    let f = max_warps as f64 / available.max(1) as f64;
+    WarpTuple::new(
+        (t.n as f64 * f).round() as usize,
+        (t.p as f64 * f).round() as usize,
+        max_warps,
+    )
+}
+
+/// Reverse of [`scale_tuple`]: map a prediction in scheduler-capacity space
+/// back to the kernel's available warps.
+pub fn reverse_scale_tuple(t: WarpTuple, available: usize, max_warps: usize) -> WarpTuple {
+    let f = available.max(1) as f64 / max_warps.max(1) as f64;
+    WarpTuple::new(
+        (t.n as f64 * f).round().max(1.0) as usize,
+        (t.p as f64 * f).round().max(1.0) as usize,
+        available,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 5 scenario in miniature: a tall isolated peak beside a
+    /// cliff loses to a slightly lower peak on a plateau.
+    fn cliffy_grid() -> SpeedupGrid {
+        let mut g = SpeedupGrid::new(8);
+        for n in 1..=8 {
+            for p in 1..=n {
+                g.set(n, p, 1.0);
+            }
+        }
+        // Isolated spike at (3, 2) surrounded by slowdowns.
+        g.set(3, 2, 1.5);
+        for (n, p) in [(2, 1), (2, 2), (3, 1), (3, 3), (4, 1), (4, 2), (4, 3)] {
+            g.set(n, p, 0.6);
+        }
+        // Gentle plateau peak around (7, 6).
+        for (n, p) in [(6, 5), (6, 6), (7, 5), (7, 7), (8, 5), (8, 6), (8, 7)] {
+            g.set(n, p, 1.25);
+        }
+        g.set(7, 6, 1.3);
+        g
+    }
+
+    #[test]
+    fn best_performance_finds_global_peak() {
+        let g = cliffy_grid();
+        let (t, s) = g.best_performance().unwrap();
+        assert_eq!(t, WarpTuple { n: 3, p: 2 });
+        assert!((s - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoring_prefers_safe_neighbourhood() {
+        let g = cliffy_grid();
+        let (t, _) = g.best_scored(&ScoringWeights::default()).unwrap();
+        assert_eq!(
+            t,
+            WarpTuple { n: 7, p: 6 },
+            "the plateau peak must out-score the cliff peak"
+        );
+    }
+
+    #[test]
+    fn score_normalises_boundary_points() {
+        let mut g = SpeedupGrid::new(3);
+        g.set(1, 1, 2.0);
+        // A lone corner point: score equals its own speedup.
+        let s = g.score(1, 1, &ScoringWeights::default()).unwrap();
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_diagonal_restricts_to_p_eq_n() {
+        let mut g = SpeedupGrid::new(4);
+        g.set(4, 1, 3.0); // off-diagonal, must be ignored
+        g.set(2, 2, 1.2);
+        g.set(3, 3, 1.4);
+        let (t, s) = g.best_diagonal().unwrap();
+        assert_eq!(t, WarpTuple { n: 3, p: 3 });
+        assert!((s - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_round_trips_approximately() {
+        let t = WarpTuple::new(8, 3, 16);
+        let scaled = scale_tuple(t, 16, 24);
+        assert_eq!(scaled, WarpTuple { n: 12, p: 5 });
+        let back = reverse_scale_tuple(scaled, 16, 24);
+        assert_eq!(back, WarpTuple { n: 8, p: 3 });
+    }
+
+    #[test]
+    fn scaling_full_occupancy_is_identity() {
+        let t = WarpTuple::new(10, 4, 24);
+        assert_eq!(scale_tuple(t, 24, 24), t);
+        assert_eq!(reverse_scale_tuple(t, 24, 24), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn set_outside_domain_panics() {
+        let mut g = SpeedupGrid::new(4);
+        g.set(3, 4, 1.0);
+    }
+
+    #[test]
+    fn iter_visits_only_profiled_cells() {
+        let mut g = SpeedupGrid::new(5);
+        g.set(2, 1, 1.1);
+        g.set(5, 5, 0.9);
+        let pts: Vec<_> = g.iter().collect();
+        assert_eq!(pts.len(), 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! The offline training pipeline (Section V-C / V-D).
+//!
+//! Profiling (running kernels over the {N, p} grid) lives in the `poise`
+//! crate, which owns the simulator runners; this module consumes the
+//! resulting [`TrainingSample`]s — feature vector plus best-scored,
+//! capacity-scaled target tuple — filters them by the Table IV thresholds,
+//! and fits the two Negative Binomial regressions whose weights (α for N,
+//! β for p) the compiler ships to the hardware inference engine.
+
+use crate::features::{FeatureVector, N_FEATURES};
+use crate::glm::{FitError, NbRegression};
+use gpu_sim::WarpTuple;
+
+/// One profiled kernel ready for training.
+#[derive(Debug, Clone)]
+pub struct TrainingSample {
+    /// Kernel identifier (diagnostics only).
+    pub kernel: String,
+    /// The Table II feature vector sampled at the two reference points.
+    pub features: FeatureVector,
+    /// Best-scored target tuple, already scaled to scheduler capacity.
+    pub target: WarpTuple,
+    /// Speedup of the kernel at its best tuple (for thresholding).
+    pub best_speedup: f64,
+    /// Baseline execution cycles (for thresholding).
+    pub baseline_cycles: u64,
+    /// L1 hit rate observed at the (1, 1) reference point.
+    pub ref_hit_rate: f64,
+}
+
+/// The Table IV training admission thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingThresholds {
+    /// Minimum speedup at the best tuple (paper: ≥ 1.5%).
+    pub min_speedup: f64,
+    /// Minimum baseline cycles (paper: ≥ 10,000).
+    pub min_cycles: u64,
+    /// Minimum L1 hit rate at (1, 1) (paper: > 0%).
+    pub min_ref_hit_rate: f64,
+}
+
+impl Default for TrainingThresholds {
+    fn default() -> Self {
+        TrainingThresholds {
+            min_speedup: 1.015,
+            min_cycles: 10_000,
+            min_ref_hit_rate: 0.0,
+        }
+    }
+}
+
+impl TrainingThresholds {
+    /// Whether a sample is statistically significant enough to train on.
+    pub fn admits(&self, s: &TrainingSample) -> bool {
+        s.best_speedup >= self.min_speedup
+            && s.baseline_cycles >= self.min_cycles
+            && s.ref_hit_rate > self.min_ref_hit_rate
+    }
+}
+
+/// The trained model: two weight vectors over the Table II features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedModel {
+    /// Weights α for predicting `N` (`ln N = Σ α_i x_i`).
+    pub alpha: [f64; N_FEATURES],
+    /// Weights β for predicting `p` (`ln p = Σ β_i x_i`).
+    pub beta: [f64; N_FEATURES],
+    /// Dispersion of the N regression.
+    pub dispersion_n: f64,
+    /// Dispersion of the p regression.
+    pub dispersion_p: f64,
+    /// Samples admitted into the fit.
+    pub samples_used: usize,
+    /// Feature indices zeroed before fitting (Fig. 13 ablations).
+    pub dropped_features: Vec<usize>,
+}
+
+impl TrainedModel {
+    /// Fit the model on admitted samples.
+    ///
+    /// `drop_features` lists feature indices zeroed out before fitting
+    /// (the Fig. 13 leave-one-out study); pass `&[]` for the full model.
+    ///
+    /// # Errors
+    /// Propagates [`FitError`] from the underlying regressions (e.g. too
+    /// few admitted samples).
+    pub fn fit(
+        samples: &[TrainingSample],
+        thresholds: &TrainingThresholds,
+        drop_features: &[usize],
+    ) -> Result<Self, FitError> {
+        let admitted: Vec<&TrainingSample> = samples
+            .iter()
+            .filter(|s| thresholds.admits(s))
+            .collect();
+        let rows: Vec<Vec<f64>> = admitted
+            .iter()
+            .map(|s| {
+                let mut f = s.features;
+                for &d in drop_features {
+                    f = f.without_feature(d);
+                }
+                f.as_slice().to_vec()
+            })
+            .collect();
+        let y_n: Vec<f64> = admitted.iter().map(|s| s.target.n as f64).collect();
+        let y_p: Vec<f64> = admitted.iter().map(|s| s.target.p as f64).collect();
+        let ridge = 1e-4;
+        let reg_n = NbRegression::fit(&rows, &y_n, ridge)?;
+        let reg_p = NbRegression::fit(&rows, &y_p, ridge)?;
+        let mut alpha = [0.0; N_FEATURES];
+        let mut beta = [0.0; N_FEATURES];
+        alpha.copy_from_slice(&reg_n.weights);
+        beta.copy_from_slice(&reg_p.weights);
+        Ok(TrainedModel {
+            alpha,
+            beta,
+            dispersion_n: reg_n.dispersion,
+            dispersion_p: reg_p.dispersion,
+            samples_used: admitted.len(),
+            dropped_features: drop_features.to_vec(),
+        })
+    }
+
+    /// The link function (Equation 13): predict a capacity-scaled tuple
+    /// from a feature vector. The result still needs reverse scaling to
+    /// the kernel's available warps and clamping — both done by the
+    /// hardware inference engine.
+    pub fn predict(&self, x: &FeatureVector, max_warps: usize) -> WarpTuple {
+        let mut x = *x;
+        for &d in &self.dropped_features {
+            x = x.without_feature(d);
+        }
+        let ln_n: f64 = crate::linalg::dot(&self.alpha, x.as_slice());
+        let ln_p: f64 = crate::linalg::dot(&self.beta, x.as_slice());
+        let n = ln_n.clamp(-30.0, 30.0).exp().round() as i64;
+        let p = ln_p.clamp(-30.0, 30.0).exp().round() as i64;
+        WarpTuple::new(n.max(1) as usize, p.max(1) as usize, max_warps)
+    }
+
+    /// Offline prediction error (mean relative, as reported in §VII-B) on
+    /// a labelled set: returns `(err_n, err_p)`.
+    pub fn prediction_error(&self, samples: &[TrainingSample]) -> (f64, f64) {
+        if samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let (mut en, mut ep) = (0.0, 0.0);
+        for s in samples {
+            let pred = self.predict(&s.features, 24);
+            en += (pred.n as f64 - s.target.n as f64).abs() / s.target.n as f64;
+            ep += (pred.p as f64 - s.target.p as f64).abs() / s.target.p as f64;
+        }
+        (en / samples.len() as f64, ep / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::WindowSample;
+
+    fn sample_with(
+        hit_base: f64,
+        intra_ref: f64,
+        target: (usize, usize),
+        speedup: f64,
+    ) -> TrainingSample {
+        let base = WindowSample {
+            cycles: 10_000,
+            instructions: 5_000,
+            hit_rate: hit_base,
+            intra_rate: hit_base * 0.8,
+            aml: 400.0,
+            in_avg: 4.0,
+            ipc: 0.5,
+        };
+        let refp = WindowSample {
+            cycles: 10_000,
+            instructions: 3_000,
+            hit_rate: (hit_base + 0.5).min(0.95),
+            intra_rate: intra_ref,
+            aml: 350.0,
+            in_avg: 4.0,
+            ipc: 0.3,
+        };
+        TrainingSample {
+            kernel: "t".into(),
+            features: FeatureVector::from_samples(&base, &refp),
+            target: WarpTuple::new(target.0, target.1, 24),
+            best_speedup: speedup,
+            baseline_cycles: 50_000,
+            ref_hit_rate: refp.hit_rate,
+        }
+    }
+
+    fn synthetic_set() -> Vec<TrainingSample> {
+        // Construct a learnable relationship: higher intra-locality gain
+        // at the reference point → smaller p target; moderate N targets.
+        (0..40)
+            .map(|i| {
+                let g = i as f64 / 40.0;
+                let p = (1.0 + 10.0 * (1.0 - g)).round() as usize;
+                let n = (6.0 + 12.0 * g).round() as usize;
+                sample_with(0.15 + 0.1 * g, 0.3 + 0.6 * g, (n, p.min(n)), 1.3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn thresholds_filter_samples() {
+        let t = TrainingThresholds::default();
+        let good = sample_with(0.2, 0.8, (10, 2), 1.3);
+        assert!(t.admits(&good));
+        let mut slow = good.clone();
+        slow.best_speedup = 1.0;
+        assert!(!t.admits(&slow));
+        let mut short = good.clone();
+        short.baseline_cycles = 100;
+        assert!(!t.admits(&short));
+        let mut coldref = good.clone();
+        coldref.ref_hit_rate = 0.0;
+        assert!(!t.admits(&coldref));
+    }
+
+    #[test]
+    fn fit_learns_monotone_relationship() {
+        let set = synthetic_set();
+        let m = TrainedModel::fit(&set, &TrainingThresholds::default(), &[])
+            .expect("fit");
+        assert_eq!(m.samples_used, 40);
+        // Predictions must track the synthetic trend: low-gain kernels get
+        // large p, high-gain kernels get small p.
+        let lo = m.predict(&set[2].features, 24);
+        let hi = m.predict(&set[37].features, 24);
+        assert!(
+            lo.p > hi.p,
+            "low gain → big p ({}), high gain → small p ({})",
+            lo.p,
+            hi.p
+        );
+        let (en, ep) = m.prediction_error(&set);
+        assert!(en < 0.5, "N error {en}");
+        assert!(ep < 0.8, "p error {ep}");
+    }
+
+    #[test]
+    fn dropped_features_are_recorded_and_applied() {
+        let set = synthetic_set();
+        let full = TrainedModel::fit(&set, &TrainingThresholds::default(), &[])
+            .unwrap();
+        let ablated =
+            TrainedModel::fit(&set, &TrainingThresholds::default(), &[4])
+                .unwrap();
+        assert_eq!(ablated.dropped_features, vec![4]);
+        // Weight on the dropped feature must be ~0 (only ridge touches it).
+        assert!(ablated.alpha[4].abs() < 1e-6);
+        assert!(full.alpha != ablated.alpha);
+    }
+
+    #[test]
+    fn too_few_admitted_samples_error() {
+        let set: Vec<TrainingSample> =
+            (0..3).map(|_| sample_with(0.2, 0.8, (5, 2), 1.3)).collect();
+        assert!(matches!(
+            TrainedModel::fit(&set, &TrainingThresholds::default(), &[]),
+            Err(FitError::TooFewObservations)
+        ));
+    }
+
+    #[test]
+    fn predict_clamps_into_valid_tuple() {
+        let set = synthetic_set();
+        let m = TrainedModel::fit(&set, &TrainingThresholds::default(), &[])
+            .unwrap();
+        for s in &set {
+            let t = m.predict(&s.features, 24);
+            assert!(t.n >= 1 && t.n <= 24 && t.p >= 1 && t.p <= t.n);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the ML framework: regression recovery,
+//! scoring invariants, scaling round-trips and analytical-model
+//! monotonicity.
+
+use gpu_sim::WarpTuple;
+use poise_ml::{
+    analytical::{AnalyticalParams, ReducedParams},
+    scoring, NbRegression, ScoringWeights, SpeedupGrid,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// A noiseless log-linear relationship is recovered regardless of the
+    /// true coefficients (within a sane range).
+    #[test]
+    fn nb_regression_recovers_coefficients(
+        b0 in -1.0f64..1.0,
+        b1 in -0.8f64..0.8,
+    ) {
+        let xs: Vec<Vec<f64>> = (0..80)
+            .map(|i| vec![1.0, i as f64 / 20.0])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| (b0 + b1 * r[1]).exp()).collect();
+        let m = NbRegression::fit(&xs, &ys, 1e-9).expect("fit");
+        prop_assert!((m.weights[0] - b0).abs() < 0.05, "b0 {} vs {}", m.weights[0], b0);
+        prop_assert!((m.weights[1] - b1).abs() < 0.05, "b1 {} vs {}", m.weights[1], b1);
+    }
+
+    /// Predictions are always positive and finite.
+    #[test]
+    fn nb_prediction_positive_finite(
+        w in proptest::collection::vec(-3.0f64..3.0, 8),
+        x in proptest::collection::vec(-5.0f64..5.0, 8),
+    ) {
+        let m = NbRegression { weights: w, dispersion: 0.1, iterations: 1 };
+        let p = m.predict(&x);
+        prop_assert!(p.is_finite() && p > 0.0);
+    }
+
+    /// Eq. 12 scores are convex combinations of neighbourhood speedups:
+    /// min(neighbourhood) <= score <= max(neighbourhood).
+    #[test]
+    fn score_bounded_by_neighbourhood(
+        vals in proptest::collection::vec(0.5f64..2.0, 36),
+    ) {
+        let mut g = SpeedupGrid::new(8);
+        let mut it = vals.into_iter();
+        for n in 1..=8usize {
+            for p in 1..=n {
+                if let Some(v) = it.next() {
+                    g.set(n, p, v);
+                }
+            }
+        }
+        let w = ScoringWeights::default();
+        for n in 1..=8usize {
+            for p in 1..=n {
+                if let Some(score) = g.score(n, p, &w) {
+                    // Collect the neighbourhood values present.
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for i in -1i64..=1 {
+                        for j in -1i64..=1 {
+                            let (a, b) = (n as i64 + i, p as i64 + j);
+                            if a >= 1 && b >= 1 && b <= a {
+                                if let Some(v) = g.get(a as usize, b as usize) {
+                                    lo = lo.min(v);
+                                    hi = hi.max(v);
+                                }
+                            }
+                        }
+                    }
+                    prop_assert!(score >= lo - 1e-12 && score <= hi + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// The best-scored tuple is always a profiled point in the domain.
+    #[test]
+    fn best_scored_in_domain(
+        pts in proptest::collection::vec((1usize..=12, 1usize..=12, 0.5f64..2.0), 1..40),
+    ) {
+        let mut g = SpeedupGrid::new(12);
+        for (n, p, v) in pts {
+            if p <= n {
+                g.set(n, p, v);
+            }
+        }
+        if let Some((t, _)) = g.best_scored(&ScoringWeights::default()) {
+            prop_assert!(t.p <= t.n && t.n <= 12);
+            prop_assert!(g.get(t.n, t.p).is_some());
+        }
+    }
+
+    /// Scaling to capacity and back never moves a tuple by more than one
+    /// warp per axis (rounding), and stays in the occupancy domain.
+    #[test]
+    fn tuple_scaling_bounded_error(
+        avail in 2usize..=24,
+        n in 1usize..=24,
+        p in 1usize..=24,
+    ) {
+        let t = WarpTuple::new(n.min(avail), p.min(avail), avail);
+        let up = scoring::scale_tuple(t, avail, 24);
+        prop_assert!(up.n <= 24 && up.p <= up.n);
+        let down = scoring::reverse_scale_tuple(up, avail, 24);
+        prop_assert!(down.n <= avail);
+        let err_n = (down.n as i64 - t.n as i64).abs();
+        let err_p = (down.p as i64 - t.p as i64).abs();
+        prop_assert!(err_n <= 1 && err_p <= 1, "{t} -> {up} -> {down}");
+    }
+
+    /// Analytical model: Tstall is never negative and weakly increases
+    /// with the miss rate (all else fixed).
+    #[test]
+    fn analytical_stall_monotone_in_miss_rate(
+        m1 in 0.0f64..=1.0,
+        m2 in 0.0f64..=1.0,
+        n in 1.0f64..48.0,
+    ) {
+        let (lo_m, hi_m) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        let base = |mo: f64| AnalyticalParams {
+            n,
+            mo,
+            lo: 400.0,
+            kmshr: 32.0,
+            id: 3.0,
+            tpipe: 2.0,
+        };
+        prop_assert!(base(lo_m).t_stall() >= 0.0);
+        prop_assert!(base(hi_m).t_stall() + 1e-9 >= base(lo_m).t_stall() - 400.0 * 0.0);
+        // Tmem itself is monotone.
+        prop_assert!(base(hi_m).t_mem() + 1e-9 >= base(lo_m).t_mem());
+    }
+
+    /// mu_p_np grows with the polluting warps' hit-rate gain.
+    #[test]
+    fn objective_monotone_in_delta_hp(
+        mp1 in 0.0f64..0.9,
+        mp2 in 0.0f64..0.9,
+    ) {
+        let (better, worse) = if mp1 <= mp2 { (mp1, mp2) } else { (mp2, mp1) };
+        let mk = |mp: f64| ReducedParams {
+            base: AnalyticalParams {
+                n: 24.0,
+                mo: 0.8,
+                lo: 400.0,
+                kmshr: 32.0,
+                id: 3.0,
+                tpipe: 2.0,
+            },
+            p: 2.0,
+            mp,
+            mnp: 0.95,
+            l_prime: 390.0,
+        };
+        let a = mk(better).mu_p_np();
+        let b = mk(worse).mu_p_np();
+        if let (Some(a), Some(b)) = (a, b) {
+            prop_assert!(a + 1e-12 >= b, "lower mp must score higher: {a} vs {b}");
+        }
+    }
+}

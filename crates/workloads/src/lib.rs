@@ -1,0 +1,63 @@
+//! # workloads — synthetic GPU kernels for the Poise reproduction
+//!
+//! The Poise paper evaluates on CUDA benchmarks (Rodinia, Polybench, Mars
+//! MapReduce, the Graph suite) executed under GPGPU-Sim. Neither the
+//! binaries nor their traces are usable here, so this crate generates
+//! *synthetic* kernels whose memory behaviour is tuned to match what the
+//! paper reports about each benchmark: the intra-/inter-warp locality split
+//! and reuse distance of Fig. 4, the kernel counts and `Pbest` (speedup
+//! with a 64× L1) ordering of Table IIIa, the monolithic phase-changing
+//! kernels called out in Section VII-D, and the compute-intensive suite of
+//! Fig. 16.
+//!
+//! A [`KernelSpec`] describes one kernel as a sequence of [`Phase`]s, each
+//! with an [`AccessMix`]: how many ALU instructions separate loads (the
+//! paper's `In`), how many loads issue back-to-back (memory-level
+//! parallelism), how far a load's consumer trails it (instruction
+//! concurrency), and where loads go — a small *hot* per-warp set (short
+//! reuse distance → intra-warp locality), a large *cold* per-warp set
+//! (long reuse distance → thrashing pressure), a per-SM *shared* set
+//! (inter-warp locality) or a *streaming* region (no reuse).
+//!
+//! Kernels implement [`gpu_sim::KernelSource`] and are deterministic given
+//! their seed.
+
+pub mod spec;
+pub mod suites;
+
+pub use spec::{AccessMix, Benchmark, KernelSpec, Phase};
+pub use suites::{
+    compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{FixedTuple, Gpu, GpuConfig, KernelSource};
+
+    #[test]
+    fn all_suite_kernels_run() {
+        let cfg = GpuConfig::scaled(1);
+        for bench in training_suite()
+            .iter()
+            .chain(evaluation_suite().iter())
+            .take(4)
+        {
+            let k = &bench.kernels[0];
+            let mut gpu = Gpu::new(cfg.clone(), k);
+            let res = gpu.run(&mut FixedTuple::max(), 2_000);
+            assert!(
+                res.counters.instructions > 0,
+                "kernel {} of {} issued nothing",
+                k.name,
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_expose_pcs() {
+        let suite = evaluation_suite();
+        assert!(suite[0].kernels[0].n_pcs() >= 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the synthetic kernel generator.
+
+use gpu_sim::{Instr, KernelSource};
+use proptest::prelude::*;
+use workloads::{AccessMix, KernelSpec};
+
+fn mix_strategy() -> impl Strategy<Value = AccessMix> {
+    (
+        0usize..16,           // alu_per_load
+        1usize..4,            // mlp
+        0usize..8,            // ind_gap
+        (1usize..64, 1usize..4, 0.0f64..=0.95), // hot lines/repeat/frac
+        1usize..2_000,        // cold lines
+        (1usize..128, 0.0f64..=0.5), // shared lines/frac
+        0.0f64..=0.3,         // stream frac
+        0.0f64..=0.3,         // store frac
+    )
+        .prop_map(
+            |(alu, mlp, gap, (hl, hr, hf), cl, (sl, sf), stf, stof)| {
+                let mut stream = stf;
+                if sf + stream > 0.95 {
+                    stream = 0.95 - sf;
+                }
+                AccessMix {
+                    alu_per_load: alu,
+                    mlp,
+                    ind_gap: gap,
+                    hot_lines: hl,
+                    hot_repeat: hr,
+                    hot_frac: hf,
+                    cold_lines: cl,
+                    shared_lines: sl,
+                    shared_frac: sf,
+                    stream_frac: stream,
+                    store_frac: stof,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streams are deterministic: the same (spec, position) yields the
+    /// same instructions.
+    #[test]
+    fn generator_is_deterministic(mix in mix_strategy(), seed in 0u64..1_000) {
+        let spec = KernelSpec::steady("p", mix, seed);
+        let take = |spec: &KernelSpec| -> Vec<Instr> {
+            let mut s = spec.stream_for(1, 0, 3);
+            (0..300).filter_map(|_| s.next_instr()).collect()
+        };
+        prop_assert_eq!(take(&spec), take(&spec));
+    }
+
+    /// The emitted load density tracks the requested instruction mix: a
+    /// full pattern period contains exactly `mlp` memory ops.
+    #[test]
+    fn load_density_matches_mix(mix in mix_strategy(), seed in 0u64..1_000) {
+        let spec = KernelSpec::steady("p", mix, seed);
+        let mut s = spec.stream_for(0, 0, 0);
+        let period = mix.alu_per_load + mix.mlp + mix.ind_gap;
+        let periods = 40usize;
+        let mut mem = 0usize;
+        let mut counted = 0usize;
+        // Count issued (non-sync) instructions.
+        while counted < period * periods {
+            match s.next_instr() {
+                Some(Instr::Load { .. }) | Some(Instr::Store { .. }) => {
+                    mem += 1;
+                    counted += 1;
+                }
+                Some(Instr::Alu) => counted += 1,
+                Some(Instr::SyncLoads) => {}
+                None => break,
+            }
+        }
+        prop_assert_eq!(mem, mix.mlp * periods);
+    }
+
+    /// Distinct warps never share private (hot/stream) addresses.
+    #[test]
+    fn private_addresses_are_disjoint(mix in mix_strategy(), seed in 0u64..1_000) {
+        let spec = KernelSpec::steady("p", mix, seed);
+        let collect = |sm: usize, w: usize| {
+            let mut s = spec.stream_for(sm, 0, w);
+            let mut v = std::collections::HashSet::new();
+            for _ in 0..500 {
+                if let Some(Instr::Load { line, pc }) | Some(Instr::Store { line, pc }) =
+                    s.next_instr()
+                {
+                    // Only private classes (hot = 2, cold = 3 is per-SM,
+                    // stream = 1 private).
+                    if pc == workloads::spec::pcs::HOT || pc == workloads::spec::pcs::STREAM {
+                        v.insert(line);
+                    }
+                }
+            }
+            v
+        };
+        let a = collect(0, 0);
+        let b = collect(0, 1);
+        prop_assert!(a.is_disjoint(&b));
+    }
+
+    /// Bounded traces end; unbounded traces do not (within a horizon).
+    #[test]
+    fn trace_len_semantics(mix in mix_strategy(), len in 10u64..200) {
+        let bounded = KernelSpec::steady("p", mix, 1).with_trace_len(len);
+        let mut s = bounded.stream_for(0, 0, 0);
+        let mut n = 0u64;
+        while s.next_instr().is_some() {
+            n += 1;
+            prop_assert!(n <= len + len / 2 + 8, "stream must end near len");
+        }
+        let unbounded = KernelSpec::steady("p", mix, 1);
+        let mut u = unbounded.stream_for(0, 0, 0);
+        for _ in 0..500 {
+            prop_assert!(u.next_instr().is_some());
+        }
+    }
+
+    /// Jittered family members keep fractions valid (the suites rely on
+    /// this for arbitrary benchmark seeds).
+    #[test]
+    fn suite_families_have_valid_fractions(idx in 0usize..118) {
+        for bench in workloads::evaluation_suite() {
+            if let Some(k) = bench.kernels.get(idx) {
+                let m = k.base_mix();
+                prop_assert!((0.0..=1.0).contains(&m.hot_frac));
+                prop_assert!(m.shared_frac + m.stream_frac <= 0.96);
+                prop_assert!(m.store_frac <= 1.0);
+                prop_assert!((1..=24).contains(&k.warps_per_scheduler));
+            }
+        }
+    }
+}

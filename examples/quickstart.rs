@@ -1,0 +1,51 @@
+//! Quickstart: run one memory-sensitive kernel under the GTO baseline and
+//! under Poise (with a hand-made model), and print the speedup.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use poise_repro::gpu_sim::{FixedTuple, Gpu, GpuConfig};
+use poise_repro::poise::{PoiseController, PoiseParams};
+use poise_repro::poise_ml::{TrainedModel, N_FEATURES};
+use poise_repro::workloads::{AccessMix, KernelSpec};
+
+fn main() {
+    // A thrash-prone kernel: 48 warps/SM whose hot sets wildly exceed the
+    // 128-line L1.
+    let kernel = KernelSpec::steady("quickstart", AccessMix::memory_sensitive(), 7);
+    let cfg = GpuConfig::scaled(4);
+
+    // Baseline: greedy-then-oldest with maximum warps, all polluting.
+    let mut gto_gpu = Gpu::new(cfg.clone(), &kernel);
+    let gto = gto_gpu.run(&mut FixedTuple::max(), 300_000);
+
+    // Poise with a minimal constant model (a properly trained model comes
+    // from `poise::train::train_default_model`; see the train_and_deploy
+    // example). The local search does the fine-tuning at runtime.
+    let mut alpha = [0.0; N_FEATURES];
+    let mut beta = [0.0; N_FEATURES];
+    alpha[N_FEATURES - 1] = (8.0f64).ln(); // predict N = 8
+    beta[N_FEATURES - 1] = (3.0f64).ln(); // predict p = 3
+    let model = TrainedModel {
+        alpha,
+        beta,
+        dispersion_n: 0.1,
+        dispersion_p: 0.1,
+        samples_used: 0,
+        dropped_features: Vec::new(),
+    };
+    let mut poise_gpu = Gpu::new(cfg, &kernel);
+    let mut controller = PoiseController::new(model, PoiseParams::default());
+    let poise = poise_gpu.run(&mut controller, 300_000);
+
+    println!("GTO   IPC: {:.3}  (L1 hit {:.1}%)", gto.ipc(), 100.0 * gto.counters.l1_hit_rate());
+    println!("Poise IPC: {:.3}  (L1 hit {:.1}%)", poise.ipc(), 100.0 * poise.counters.l1_hit_rate());
+    println!("speedup:   {:.2}x", poise.ipc() / gto.ipc());
+    for log in controller.log.iter().take(3) {
+        println!(
+            "epoch @{}: predicted {} -> searched {}",
+            log.cycle, log.predicted, log.searched
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # poise-repro — reproduction of Poise (HPCA 2019)
+//!
+//! Umbrella crate for the workspace reproducing *"Poise: Balancing
+//! Thread-Level Parallelism and Memory System Performance in GPUs using
+//! Machine Learning"* (Dublish, Nagarajan, Topham; HPCA 2019).
+//!
+//! Re-exports the four library crates so examples and integration tests
+//! can use a single dependency:
+//!
+//! * [`gpu_sim`] — the cycle-level GPU simulator substrate;
+//! * [`workloads`] — synthetic kernels calibrated to the paper's
+//!   benchmark characterisation;
+//! * [`poise_ml`] — the analytical model, feature vector and Negative
+//!   Binomial regression;
+//! * [`poise`] — the hardware inference engine, comparison schedulers,
+//!   profiler and experiment runners.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use gpu_sim;
+pub use poise;
+pub use poise_ml;
+pub use workloads;

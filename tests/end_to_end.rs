@@ -1,0 +1,175 @@
+//! End-to-end integration tests spanning all four crates: train a model
+//! on profiled kernels, deploy it through the hardware inference engine,
+//! and check the paper's qualitative claims on a small machine.
+
+use poise_repro::gpu_sim::{FixedTuple, Gpu, GpuConfig, WarpTuple};
+use poise_repro::poise::experiment::{self, Scheme, Setup};
+use poise_repro::poise::profiler::{profile_grid, run_tuple, GridSpec, ProfileWindow};
+use poise_repro::poise::{train, PoiseController, PoiseParams};
+use poise_repro::poise_ml::{N_FEATURES, TrainedModel};
+use poise_repro::workloads::{AccessMix, Benchmark, KernelSpec};
+
+fn small_setup() -> Setup {
+    let mut s = Setup::for_tests();
+    s.cfg = GpuConfig::scaled(2);
+    s
+}
+
+fn const_model(n: f64, p: f64) -> TrainedModel {
+    let mut alpha = [0.0; N_FEATURES];
+    let mut beta = [0.0; N_FEATURES];
+    alpha[N_FEATURES - 1] = n.ln();
+    beta[N_FEATURES - 1] = p.ln();
+    TrainedModel {
+        alpha,
+        beta,
+        dispersion_n: 0.1,
+        dispersion_p: 0.1,
+        samples_used: 0,
+        dropped_features: Vec::new(),
+    }
+}
+
+#[test]
+fn trained_model_deploys_on_unseen_kernel() {
+    let setup = small_setup();
+    // Train on a small diverse population...
+    let kernels: Vec<KernelSpec> = (0..10)
+        .map(|i| {
+            let mut mix = AccessMix::memory_sensitive();
+            mix.hot_lines = 6 + 3 * i;
+            mix.hot_frac = 0.5 + 0.04 * i as f64;
+            mix.shared_frac = 0.05 + 0.03 * i as f64;
+            KernelSpec::steady(format!("train{i}"), mix, 1000 + i as u64)
+        })
+        .collect();
+    let model = train::train_on_kernels(&kernels, &setup, &[]);
+    assert!(model.alpha.iter().all(|w| w.is_finite()));
+
+    // ...and deploy on a kernel the model never saw.
+    let mut unseen_mix = AccessMix::memory_sensitive();
+    unseen_mix.hot_lines = 20;
+    let unseen = KernelSpec::steady("unseen", unseen_mix, 4242);
+    let mut gpu = Gpu::new(setup.cfg.clone(), &unseen);
+    let mut ctrl = PoiseController::new(model, PoiseParams::scaled_down(10));
+    gpu.run(&mut ctrl, 40_000);
+    assert!(!ctrl.log.is_empty(), "HIE must produce predictions");
+    for l in &ctrl.log {
+        assert!(l.searched.p <= l.searched.n);
+        assert!(l.searched.n <= 24);
+    }
+}
+
+#[test]
+fn throttling_beats_gto_on_thrashing_kernel() {
+    // The core premise of the paper: some reduced tuple outperforms the
+    // maximum-warps baseline on a cache-thrashing kernel.
+    let setup = small_setup();
+    let kernel = KernelSpec::steady("thrash", AccessMix::memory_sensitive(), 77);
+    let window = ProfileWindow {
+        warmup: 25_000,
+        measure: 10_000,
+    };
+    let grid = profile_grid(&kernel, &setup.cfg, &GridSpec::coarse(24), window);
+    let (best, speedup) = grid.best_performance().expect("profiled");
+    assert!(
+        speedup > 1.1,
+        "a reduced tuple must beat GTO on a thrashing kernel, best {best} = {speedup}"
+    );
+    assert!(best.n < 24, "the optimum must involve throttling, got {best}");
+}
+
+#[test]
+fn pollute_bit_improves_polluting_warp_hit_rate() {
+    // Section VI-C mechanism check at system level: at (24, 1) the
+    // polluting warps see a far better hit rate than the baseline net
+    // rate (Fig. 4's hp >> ho).
+    let setup = small_setup();
+    let kernel = KernelSpec::steady("fig4", AccessMix::memory_sensitive(), 99);
+    let window = ProfileWindow {
+        warmup: 30_000,
+        measure: 10_000,
+    };
+    let base = run_tuple(&kernel, &setup.cfg, WarpTuple::max(24), window);
+    let reduced = run_tuple(&kernel, &setup.cfg, WarpTuple::new(24, 1, 24), window);
+    let ho = base.window.l1_hit_rate();
+    let hp = reduced.window.polluting_hit_rate();
+    assert!(
+        hp > ho + 0.15,
+        "hp ({hp:.3}) must exceed baseline ho ({ho:.3}) by a wide margin"
+    );
+}
+
+#[test]
+fn every_scheme_produces_work_and_valid_metrics() {
+    let setup = small_setup();
+    let bench = Benchmark::new(
+        "integration",
+        vec![KernelSpec::steady(
+            "k0",
+            AccessMix::memory_sensitive(),
+            3,
+        )],
+    );
+    let model = const_model(8.0, 2.0);
+    for scheme in [
+        Scheme::Gto,
+        Scheme::Swl,
+        Scheme::PcalSwl,
+        Scheme::Poise,
+        Scheme::StaticBest,
+        Scheme::RandomRestart,
+        Scheme::Apcm,
+    ] {
+        let r = experiment::run_benchmark(&bench, scheme, &model, &setup);
+        assert!(r.ipc > 0.0, "{}: no work", scheme.name());
+        assert!(r.l1_hit_rate >= 0.0 && r.l1_hit_rate <= 1.0);
+        assert!(r.aml >= 0.0);
+        assert!(r.energy > 0.0);
+    }
+}
+
+#[test]
+fn compute_intensive_kernel_keeps_max_warps_end_to_end() {
+    let setup = small_setup();
+    let kernel = KernelSpec::steady("ci", AccessMix::compute_intensive(), 5);
+    let mut gpu = Gpu::new(setup.cfg.clone(), &kernel);
+    let mut ctrl = PoiseController::new(const_model(4.0, 1.0), PoiseParams::scaled_down(10));
+    gpu.run(&mut ctrl, 30_000);
+    assert!(ctrl.log.iter().all(|l| l.early_out));
+    assert_eq!(
+        gpu.sms()[0].schedulers[0].tuple(),
+        WarpTuple { n: 24, p: 24 }
+    );
+}
+
+#[test]
+fn simulation_is_deterministic_across_full_stack() {
+    let setup = small_setup();
+    let kernel = KernelSpec::steady("det", AccessMix::memory_sensitive(), 11);
+    let run = || {
+        let mut gpu = Gpu::new(setup.cfg.clone(), &kernel);
+        let mut ctrl =
+            PoiseController::new(const_model(6.0, 2.0), PoiseParams::scaled_down(10));
+        let r = gpu.run(&mut ctrl, 50_000);
+        (r.counters, ctrl.log.clone())
+    };
+    let (c1, l1) = run();
+    let (c2, l2) = run();
+    assert_eq!(c1, c2);
+    assert_eq!(l1, l2);
+}
+
+#[test]
+fn gto_fixed_tuple_equals_max_tuple() {
+    // GTO via FixedTuple::max must equal an explicit (24, 24).
+    let setup = small_setup();
+    let kernel = KernelSpec::steady("gto", AccessMix::memory_sensitive(), 21);
+    let run = |mut ctrl: FixedTuple| {
+        let mut gpu = Gpu::new(setup.cfg.clone(), &kernel);
+        gpu.run(&mut ctrl, 20_000).counters
+    };
+    let a = run(FixedTuple::max());
+    let b = run(FixedTuple::new(WarpTuple::new(24, 24, 24)));
+    assert_eq!(a, b);
+}

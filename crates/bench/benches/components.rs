@@ -5,8 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gpu_sim::{
-    CacheGeometry, FixedTuple, Gpu, GpuConfig, SetAssocCache, SetIndexing,
-    UniformKernel, WarpTuple,
+    CacheGeometry, FixedTuple, Gpu, GpuConfig, SetAssocCache, SetIndexing, UniformKernel, WarpTuple,
 };
 use poise_ml::{FeatureVector, NbRegression, ScoringWeights, SpeedupGrid};
 
@@ -89,9 +88,7 @@ fn bench_prediction(c: &mut Criterion) {
         b.iter(|| model.predict(&x, 24))
     });
     // The warp-tuple arithmetic on the scheduler side.
-    c.bench_function("hie/tuple-clamp", |b| {
-        b.iter(|| WarpTuple::new(19, 7, 24))
-    });
+    c.bench_function("hie/tuple-clamp", |b| b.iter(|| WarpTuple::new(19, 7, 24)));
 }
 
 criterion_group!(

@@ -6,7 +6,7 @@
 //! experiment's code path with measured cost.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpu_sim::{Gpu, GpuConfig, WarpTuple};
+use gpu_sim::{Gpu, WarpTuple};
 use poise::experiment::{self, Scheme, Setup};
 use poise::profiler::{pbest, profile_grid, run_tuple, GridSpec, ProfileWindow};
 use poise::{PoiseController, PoiseParams};
@@ -107,12 +107,8 @@ fn table2_training(c: &mut Criterion) {
         .collect();
     c.bench_function("table2/nb-training", |b| {
         b.iter(|| {
-            poise_ml::TrainedModel::fit(
-                &samples,
-                &poise_ml::TrainingThresholds::default(),
-                &[],
-            )
-            .expect("fit")
+            poise_ml::TrainedModel::fit(&samples, &poise_ml::TrainingThresholds::default(), &[])
+                .expect("fit")
         })
     });
 }
@@ -142,8 +138,7 @@ fn fig10_11_hie_epoch(c: &mut Criterion) {
     c.bench_function("fig10-11/poise-epoch", |b| {
         b.iter(|| {
             let mut gpu = Gpu::new(s.cfg.clone(), &k);
-            let mut ctrl =
-                PoiseController::new(tiny_model(), PoiseParams::scaled_down(50));
+            let mut ctrl = PoiseController::new(tiny_model(), PoiseParams::scaled_down(50));
             gpu.run(&mut ctrl, 6_000);
             ctrl.log.len()
         })
@@ -176,12 +171,7 @@ fn fig14_energy(c: &mut Criterion) {
     c.bench_function("fig14/energy-accounting", |b| {
         let st = run_tuple(&k, &s.cfg, WarpTuple::max(24), win());
         b.iter(|| {
-            gpu_sim::EnergyBreakdown::from_counters(
-                &st.window,
-                &s.cfg.energy,
-                s.cfg.sms,
-            )
-            .total()
+            gpu_sim::EnergyBreakdown::from_counters(&st.window, &s.cfg.energy, s.cfg.sms).total()
         })
     });
 }
@@ -217,8 +207,7 @@ fn fig17_case_study(c: &mut Criterion) {
     c.bench_function("fig17/bfs-trajectory", |b| {
         b.iter(|| {
             let mut gpu = Gpu::new(s.cfg.clone(), &bfs);
-            let mut ctrl =
-                PoiseController::new(tiny_model(), PoiseParams::scaled_down(50));
+            let mut ctrl = PoiseController::new(tiny_model(), PoiseParams::scaled_down(50));
             gpu.run(&mut ctrl, 8_000);
             ctrl.tuple_trace.len()
         })

@@ -1,0 +1,107 @@
+//! `sim_throughput`: simulated cycles per wall-clock second, the tracked
+//! perf number for the simulator core.
+//!
+//! Reports the event-driven and cycle-stepped reference loops side by
+//! side on the two regimes that bracket the design space:
+//!
+//! * **memory-bound** (streaming, N = 1): every vital warp blocks on its
+//!   outstanding load almost immediately — the fast-forward sweet spot
+//!   and, per the paper, the regime Poise's evaluation lives in;
+//! * **compute-bound** (long ALU stretches at full occupancy): the
+//!   fast-forward worst case (it almost never triggers), bounding the
+//!   overhead of the readiness bookkeeping.
+//!
+//! Also times `profile_grid` on a coarse(24) grid end-to-end, since that
+//! is the harness path every figure regeneration pays.
+//!
+//! Run with: `cargo bench -p poise-bench --bench sim_throughput`
+
+use std::time::Instant;
+
+use gpu_sim::{FixedTuple, Gpu, GpuConfig, StepMode, UniformKernel, WarpTuple};
+use poise::profiler::{profile_grid, GridSpec, ProfileWindow};
+use workloads::{AccessMix, KernelSpec};
+
+const BUDGET: u64 = 400_000;
+const SAMPLES: usize = 5;
+
+fn cycles_per_second(kernel: &UniformKernel, tuple: WarpTuple, mode: StepMode) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..SAMPLES {
+        let mut cfg = GpuConfig::scaled(4);
+        cfg.step_mode = mode;
+        let mut gpu = Gpu::new(cfg, kernel);
+        let mut ctrl = FixedTuple::new(tuple);
+        let t = Instant::now();
+        let res = gpu.run(&mut ctrl, BUDGET);
+        let rate = res.counters.cycles as f64 / t.elapsed().as_secs_f64();
+        best = best.max(rate);
+    }
+    best
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} Gcyc/s", r / 1e9)
+    } else {
+        format!("{:.1} Mcyc/s", r / 1e6)
+    }
+}
+
+fn report(name: &str, kernel: &UniformKernel, tuple: WarpTuple) {
+    let ev = cycles_per_second(kernel, tuple, StepMode::EventDriven);
+    let rf = cycles_per_second(kernel, tuple, StepMode::Reference);
+    println!(
+        "sim_throughput/{name:<24} event-driven {:>14}   reference {:>14}   speedup {:>5.2}x",
+        fmt_rate(ev),
+        fmt_rate(rf),
+        ev / rf
+    );
+}
+
+fn profile_grid_end_to_end() {
+    let spec = KernelSpec::steady("bench-grid", AccessMix::memory_sensitive(), 13);
+    let window = ProfileWindow::default();
+    let time_mode = |mode: StepMode| {
+        let mut cfg = GpuConfig::scaled(2);
+        cfg.step_mode = mode;
+        let mut best = f64::INFINITY;
+        let mut points = 0;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let grid = profile_grid(&spec, &cfg, &GridSpec::coarse(24), window);
+            best = best.min(t.elapsed().as_secs_f64());
+            points = grid.iter().count();
+        }
+        (best, points)
+    };
+    let (ev, points) = time_mode(StepMode::EventDriven);
+    let (rf, _) = time_mode(StepMode::Reference);
+    println!(
+        "sim_throughput/profile_grid-coarse24     {points} points   \
+         event-driven {ev:.2}s   reference {rf:.2}s   speedup {:>5.2}x",
+        rf / ev
+    );
+}
+
+fn main() {
+    // Memory-bound: one streaming warp, no ALU padding.
+    report(
+        "mem-bound-stream-n1",
+        &UniformKernel::streaming(1, 0),
+        WarpTuple::new(1, 1, 24),
+    );
+    // Memory-bound at modest occupancy: still stall-dominated.
+    report(
+        "mem-bound-stream-n4",
+        &UniformKernel::streaming(4, 2),
+        WarpTuple::new(4, 4, 24),
+    );
+    // Compute-bound: long ALU stretches, full occupancy.
+    report(
+        "compute-bound",
+        &UniformKernel::streaming(16, 40),
+        WarpTuple::new(16, 16, 24),
+    );
+    profile_grid_end_to_end();
+}

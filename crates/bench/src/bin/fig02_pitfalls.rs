@@ -27,8 +27,16 @@ fn pcal_converge(grid: &poise_ml::SpeedupGrid, start: WarpTuple) -> WarpTuple {
     // Unit-step hill climb in N.
     let mut n = start.n;
     loop {
-        let up = if n < grid.max_n() { at(n + 1, best_p) } else { f64::NEG_INFINITY };
-        let down = if n > 1 { at(n - 1, best_p) } else { f64::NEG_INFINITY };
+        let up = if n < grid.max_n() {
+            at(n + 1, best_p)
+        } else {
+            f64::NEG_INFINITY
+        };
+        let down = if n > 1 {
+            at(n - 1, best_p)
+        } else {
+            f64::NEG_INFINITY
+        };
         if up > best && up >= down {
             n += 1;
             best = up;
@@ -51,7 +59,10 @@ fn main() {
         .find(|b| b.name == "ii")
         .expect("ii benchmark");
     let kernel = &bench.kernels[0];
-    eprintln!("[bench] profiling the full {{N, p}} grid of {}...", kernel.name);
+    eprintln!(
+        "[bench] profiling the full {{N, p}} grid of {}...",
+        kernel.name
+    );
     let grid = profile_grid(
         kernel,
         &setup.cfg,

@@ -26,8 +26,7 @@ fn main() {
                 .with_l1_indexing(SetIndexing::Linear);
             eprintln!("[bench] {} @ {label} linear L1...", bench.name);
             let gto = experiment::run_benchmark(&bench, Scheme::Gto, &model, &s);
-            let poise =
-                experiment::run_benchmark(&bench, Scheme::Poise, &model, &s);
+            let poise = experiment::run_benchmark(&bench, Scheme::Poise, &model, &s);
             let v = poise.ipc / gto.ipc;
             per_scale[si].push(v);
             row.push(cell(v, 3));

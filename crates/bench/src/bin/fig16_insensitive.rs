@@ -15,16 +15,11 @@ fn main() {
     for bench in compute_insensitive_suite() {
         eprintln!("[bench] {}...", bench.name);
         let gto = experiment::run_benchmark(&bench, Scheme::Gto, &model, &setup);
-        let poise =
-            experiment::run_benchmark(&bench, Scheme::Poise, &model, &setup);
+        let poise = experiment::run_benchmark(&bench, Scheme::Poise, &model, &setup);
         let pb = pbest(&bench.kernels[0], &setup.cfg, ProfileWindow::pbest());
         let v = poise.ipc / gto.ipc;
         ratios.push(v);
-        table.push(vec![
-            bench.name.clone(),
-            cell(v, 3),
-            format!("{pb:.2}x"),
-        ]);
+        table.push(vec![bench.name.clone(), cell(v, 3), format!("{pb:.2}x")]);
     }
     table.push(vec![
         "H-Mean".to_string(),

@@ -19,8 +19,7 @@ fn main() {
     }
     let window = ProfileWindow::pbest();
     let mut rows = Vec::new();
-    for (set, suite) in [("train", training_suite()), ("eval", evaluation_suite())]
-    {
+    for (set, suite) in [("train", training_suite()), ("eval", evaluation_suite())] {
         for bench in suite {
             eprintln!("[bench] Pbest for {}...", bench.name);
             let k = &bench.kernels[0];

@@ -18,10 +18,7 @@ fn main() {
             format!("{} bits", c.warp_bits),
         ],
         vec!["total per SM".into(), format!("{} bits", c.bits_per_sm())],
-        vec![
-            "bytes per SM".into(),
-            format!("{:.2} B", c.bytes_per_sm()),
-        ],
+        vec!["bytes per SM".into(), format!("{:.2} B", c.bytes_per_sm())],
         vec![
             "bytes per chip (32 SMs)".into(),
             format!("{:.0} B", c.bytes_total(32)),

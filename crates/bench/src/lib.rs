@@ -164,9 +164,8 @@ fn row_of(r: &BenchResult) -> MainRow {
 }
 
 fn rows_to_tsv(rows: &[MainRow]) -> String {
-    let mut s = String::from(
-        "bench\tscheme\tipc\tl1_hit_rate\taml\tenergy\tdisp_n\tdisp_p\tdisp_euclid\n",
-    );
+    let mut s =
+        String::from("bench\tscheme\tipc\tl1_hit_rate\taml\tenergy\tdisp_n\tdisp_p\tdisp_euclid\n");
     for r in rows {
         let _ = writeln!(
             s,
@@ -216,10 +215,7 @@ pub fn main_comparison(setup: &Setup, model: &TrainedModel) -> Vec<MainRow> {
         if let Ok(s) = std::fs::read_to_string(&path) {
             if let Some(rows) = rows_from_tsv(&s) {
                 if !rows.is_empty() {
-                    eprintln!(
-                        "[bench] reusing cached comparison from {}",
-                        path.display()
-                    );
+                    eprintln!("[bench] reusing cached comparison from {}", path.display());
                     return rows;
                 }
             }
@@ -227,32 +223,22 @@ pub fn main_comparison(setup: &Setup, model: &TrainedModel) -> Vec<MainRow> {
     }
     let mut rows = Vec::new();
     for bench in evaluation_suite() {
-        eprintln!("[bench] {}: profiling offline schemes...", bench.name);
-        let capped = bench.capped(setup.kernels_cap);
-        let profiles: Vec<_> = capped
-            .kernels
-            .iter()
-            .map(|k| experiment::offline_profile(k, setup))
-            .collect();
-        for scheme in Scheme::main_comparison() {
-            eprintln!("[bench] {}: running {}...", bench.name, scheme.name());
-            let r = experiment::run_benchmark_with_profiles(
-                &bench, scheme, model, &profiles, setup,
-            );
-            rows.push(row_of(&r));
-        }
+        eprintln!(
+            "[bench] {}: running {} schemes (parallel fan-out)...",
+            bench.name,
+            Scheme::main_comparison().len()
+        );
+        // Profiles each kernel once, then fans the scheme × kernel
+        // product across cores.
+        let results = experiment::run_schemes(&bench, &Scheme::main_comparison(), model, setup);
+        rows.extend(results.iter().map(row_of));
     }
     std::fs::write(&path, rows_to_tsv(&rows)).expect("write comparison cache");
     rows
 }
 
 /// Pull one metric for (bench, scheme) out of the rows.
-pub fn metric(
-    rows: &[MainRow],
-    bench: &str,
-    scheme: &str,
-    f: impl Fn(&MainRow) -> f64,
-) -> f64 {
+pub fn metric(rows: &[MainRow], bench: &str, scheme: &str, f: impl Fn(&MainRow) -> f64) -> f64 {
     rows.iter()
         .find(|r| r.bench == bench && r.scheme == scheme)
         .map(f)

@@ -1,5 +1,5 @@
 use gpu_sim::*;
-use poise::profiler::{run_tuple, profile_grid, ProfileWindow, GridSpec};
+use poise::profiler::{profile_grid, run_tuple, GridSpec, ProfileWindow};
 use workloads::*;
 
 fn characterize(name: &str, spec: &KernelSpec, cfg: &GpuConfig) {
@@ -11,10 +11,14 @@ fn characterize(name: &str, spec: &KernelSpec, cfg: &GpuConfig) {
     let big_cfg = cfg.clone().with_l1_scale(64);
     let pbig = run_tuple(spec, &big_cfg, WarpTuple::max(spec.warps_per_scheduler), pw);
     let pb = pbig.ipc() / pbase.ipc().max(1e-9);
-    let t241 = run_tuple(spec, cfg, WarpTuple::new(24,1,24), w);
+    let t241 = run_tuple(spec, cfg, WarpTuple::new(24, 1, 24), w);
     let c = &t241.window;
     let cb = &base.window;
-    let intra_share = if cb.l1_hits>0 {cb.l1_intra_hits as f64/cb.l1_hits as f64} else {0.0};
+    let intra_share = if cb.l1_hits > 0 {
+        cb.l1_intra_hits as f64 / cb.l1_hits as f64
+    } else {
+        0.0
+    };
     println!("{name:10} Pbest={pb:5.2} ho={:.2} ipc_base={:.3} | @(24,1): hp={:.2} hnp={:.2} | intra%={:.0} In={:.1}",
         cb.l1_hit_rate(), cb.ipc(), c.polluting_hit_rate(), c.non_polluting_hit_rate(),
         intra_share*100.0, cb.in_avg());
@@ -29,10 +33,14 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(|s| s.as_str()).unwrap_or("all");
     for b in evaluation_suite() {
-        if which != "all" && b.name != which { continue; }
+        if which != "all" && b.name != which {
+            continue;
+        }
         characterize(&b.name, &b.kernels[0], &cfg);
     }
     if which == "all" || which == "fig4" {
-        for k in fig4_kernels() { characterize(&format!("f4-{}", k.name), &k, &cfg); }
+        for k in fig4_kernels() {
+            characterize(&format!("f4-{}", k.name), &k, &cfg);
+        }
     }
 }

@@ -6,17 +6,21 @@
 //! way the paper reports them (benchmark IPC = total instructions / total
 //! cycles; cross-benchmark means are harmonic for speedups and arithmetic
 //! for rates).
+//!
+//! Kernel runs are independent (each owns its `Gpu`), so [`run_benchmark`]
+//! fans its kernels across the host's cores and [`run_schemes`] fans the
+//! whole scheme × kernel product, profiling each kernel offline exactly
+//! once for all profile-driven schemes.
 
 use crate::hie::PoiseController;
+use crate::parallel::parallel_map;
 use crate::params::PoiseParams;
 use crate::policies::{
-    static_best_from_grid, swl_tuple_from_grid, ApcmController,
-    PcalSwlController, RandomRestartController,
+    static_best_from_grid, swl_tuple_from_grid, ApcmController, PcalSwlController,
+    RandomRestartController,
 };
 use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
-use gpu_sim::{
-    Counters, EnergyBreakdown, FixedTuple, Gpu, GpuConfig, WarpTuple,
-};
+use gpu_sim::{Counters, EnergyBreakdown, FixedTuple, Gpu, GpuConfig, WarpTuple};
 use poise_ml::{SpeedupGrid, TrainedModel};
 use workloads::{Benchmark, KernelSpec};
 
@@ -246,8 +250,7 @@ pub fn run_kernel(
                 } else {
                     Gpu::new(setup.cfg.clone(), spec)
                 };
-                let mut ctrl =
-                    RandomRestartController::new(seed, setup.params.t_period);
+                let mut ctrl = RandomRestartController::new(seed, setup.params.t_period);
                 let r = g.run(&mut ctrl, setup.run_cycles);
                 merged = Some(match merged {
                     None => r,
@@ -312,7 +315,13 @@ fn merge_counters(a: &Counters, b: &Counters) -> Counters {
     out
 }
 
-/// Run a whole benchmark (capped kernels) under one scheme.
+/// Whether a scheme consumes an [`OfflineProfile`].
+fn needs_profile(scheme: Scheme) -> bool {
+    matches!(scheme, Scheme::Swl | Scheme::PcalSwl | Scheme::StaticBest)
+}
+
+/// Run a whole benchmark (capped kernels) under one scheme, fanning the
+/// independent kernel runs across the host's cores.
 pub fn run_benchmark(
     bench: &Benchmark,
     scheme: Scheme,
@@ -320,42 +329,53 @@ pub fn run_benchmark(
     setup: &Setup,
 ) -> BenchResult {
     let capped = bench.capped(setup.kernels_cap);
-    let needs_profile = matches!(
-        scheme,
-        Scheme::Swl | Scheme::PcalSwl | Scheme::StaticBest
-    );
-    let mut kernels = Vec::new();
-    for spec in &capped.kernels {
-        let profile = needs_profile.then(|| offline_profile(spec, setup));
-        kernels.push(run_kernel(spec, scheme, model, profile.as_ref(), setup));
-    }
+    let kernels = parallel_map(&capped.kernels, |spec| {
+        let profile = needs_profile(scheme).then(|| offline_profile(spec, setup));
+        run_kernel(spec, scheme, model, profile.as_ref(), setup)
+    });
     aggregate(bench.name.clone(), scheme, kernels)
 }
 
-/// Run a benchmark reusing precomputed offline profiles (avoids
-/// re-profiling when several schemes share them).
-pub fn run_benchmark_with_profiles(
+/// Run one benchmark under several schemes at once, fanning the whole
+/// scheme × kernel product across the host's cores.
+///
+/// Offline profiles are computed once per kernel (in parallel) and shared
+/// by every profile-driven scheme, so adding SWL / PCAL-SWL / Static-Best
+/// to a comparison costs no extra profiling. Results come back in
+/// `schemes` order.
+pub fn run_schemes(
     bench: &Benchmark,
-    scheme: Scheme,
+    schemes: &[Scheme],
     model: &TrainedModel,
-    profiles: &[OfflineProfile],
     setup: &Setup,
-) -> BenchResult {
+) -> Vec<BenchResult> {
     let capped = bench.capped(setup.kernels_cap);
-    assert_eq!(capped.kernels.len(), profiles.len());
-    let kernels = capped
-        .kernels
+    let profiles: Option<Vec<OfflineProfile>> = schemes
         .iter()
-        .zip(profiles)
-        .map(|(spec, prof)| run_kernel(spec, scheme, model, Some(prof), setup))
+        .any(|&s| needs_profile(s))
+        .then(|| parallel_map(&capped.kernels, |spec| offline_profile(spec, setup)));
+    let pairs: Vec<(Scheme, usize)> = schemes
+        .iter()
+        .flat_map(|&s| (0..capped.kernels.len()).map(move |i| (s, i)))
         .collect();
-    aggregate(bench.name.clone(), scheme, kernels)
+    let runs = parallel_map(&pairs, |&(scheme, i)| {
+        let profile =
+            needs_profile(scheme).then(|| &profiles.as_ref().expect("profiles computed")[i]);
+        run_kernel(&capped.kernels[i], scheme, model, profile, setup)
+    });
+    schemes
+        .iter()
+        .enumerate()
+        .map(|(si, &scheme)| {
+            let lo = si * capped.kernels.len();
+            let kernels = runs[lo..lo + capped.kernels.len()].to_vec();
+            aggregate(bench.name.clone(), scheme, kernels)
+        })
+        .collect()
 }
 
 fn aggregate(bench: String, scheme: Scheme, kernels: Vec<KernelRun>) -> BenchResult {
-    let sum = |f: fn(&Counters) -> u64| -> u64 {
-        kernels.iter().map(|k| f(&k.counters)).sum()
-    };
+    let sum = |f: fn(&Counters) -> u64| -> u64 { kernels.iter().map(|k| f(&k.counters)).sum() };
     let cycles = sum(|c| c.cycles).max(1);
     let instructions = sum(|c| c.instructions);
     let accesses = sum(|c| c.l1_accesses).max(1);
@@ -415,11 +435,7 @@ mod tests {
     fn bench() -> Benchmark {
         Benchmark::new(
             "t",
-            vec![KernelSpec::steady(
-                "t#0",
-                AccessMix::memory_sensitive(),
-                21,
-            )],
+            vec![KernelSpec::steady("t#0", AccessMix::memory_sensitive(), 21)],
         )
     }
 
@@ -458,20 +474,18 @@ mod tests {
 
     #[test]
     fn aggregate_pools_counters() {
-        let mut c1 = Counters::default();
-        c1.cycles = 100;
-        c1.instructions = 50;
-        c1.l1_accesses = 10;
-        c1.l1_hits = 5;
-        c1.l1_misses_completed = 5;
-        c1.miss_latency_sum = 500;
+        let c1 = Counters {
+            cycles: 100,
+            instructions: 50,
+            l1_accesses: 10,
+            l1_hits: 5,
+            l1_misses_completed: 5,
+            miss_latency_sum: 500,
+            ..Counters::default()
+        };
         let mut c2 = c1;
         c2.instructions = 150;
-        let e = EnergyBreakdown::from_counters(
-            &c1,
-            &gpu_sim::EnergyConfig::default(),
-            1,
-        );
+        let e = EnergyBreakdown::from_counters(&c1, &gpu_sim::EnergyConfig::default(), 1);
         let runs = vec![
             KernelRun {
                 kernel: "a".into(),

@@ -412,6 +412,22 @@ impl Controller for PoiseController {
             HieState::Stable => {}
         }
     }
+
+    fn next_wake(&self, _now: u64) -> Option<u64> {
+        // The FSM acts only at epoch rollover or when the active state's
+        // deadline expires; `on_cycle` is a pure no-op before both.
+        let epoch_end = self.epoch_start + self.params.t_period;
+        let state_deadline = match &self.state {
+            HieState::WarmupBase { until }
+            | HieState::SampleBase { until }
+            | HieState::WarmupRef { until }
+            | HieState::SampleRef { until }
+            | HieState::SearchWarmup { until, .. }
+            | HieState::SearchSample { until, .. } => Some(*until),
+            HieState::Stable => None,
+        };
+        Some(state_deadline.map_or(epoch_end, |u| u.min(epoch_end)))
+    }
 }
 
 #[cfg(test)]
@@ -473,7 +489,10 @@ mod tests {
         let mut gpu = Gpu::new(GpuConfig::scaled(1), &compute_kernel());
         gpu.run(&mut ctrl, 15_000);
         assert!(!ctrl.log.is_empty());
-        assert!(ctrl.log[0].early_out, "In > Imax must trigger the early-out");
+        assert!(
+            ctrl.log[0].early_out,
+            "In > Imax must trigger the early-out"
+        );
         assert_eq!(ctrl.log[0].searched, WarpTuple { n: 24, p: 24 });
     }
 

@@ -13,8 +13,8 @@
 //!   random-restart stochastic search and APCM-style instruction-based
 //!   cache bypassing;
 //! * [`profiler`] — offline {N, p} grid profiling (parallelised with
-//!   crossbeam), diagonal/global optima, and the `Pbest` memory-sensitivity
-//!   classification (speedup with a 64× L1);
+//!   scoped threads, see [`parallel`]), diagonal/global optima, and the
+//!   `Pbest` memory-sensitivity classification (speedup with a 64× L1);
 //! * [`train`] — the end-to-end offline training pipeline: profile the
 //!   training suite, score targets (Eq. 12), fit the regressions;
 //! * [`experiment`] — shared runners used by the figure/table regenerators
@@ -39,6 +39,7 @@
 pub mod experiment;
 pub mod hardware_cost;
 pub mod hie;
+pub mod parallel;
 pub mod params;
 pub mod policies;
 pub mod profiler;

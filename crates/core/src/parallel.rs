@@ -1,0 +1,96 @@
+//! Scoped-thread fan-out for the experiment layer.
+//!
+//! Simulation runs are embarrassingly parallel (each owns its `Gpu`), so a
+//! work queue over [`std::thread::scope`] is all that is needed: no
+//! external dependency, panics propagate on join, and results keep the
+//! input order. Nested use (e.g. a parallel benchmark run whose kernels
+//! each profile a grid in parallel) is safe — each level caps its workers
+//! at the host parallelism, and the leaf tasks are multi-millisecond
+//! simulations, so modest oversubscription only helps latency hiding.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` in parallel across the host's cores, preserving
+/// input order. Falls back to a sequential map for empty/singleton inputs
+/// or single-core hosts. Panics if any worker panics.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                match items.get(i) {
+                    Some(item) => {
+                        let r = f(item);
+                        *slots[i].lock().expect("result slot") = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..137).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_fanout_is_safe() {
+        let items: Vec<usize> = (0..8).collect();
+        let out = parallel_map(&items, |&i| {
+            let inner: Vec<usize> = (0..4).collect();
+            parallel_map(&inner, |&j| i * 10 + j).iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        parallel_map(&items, |&x| {
+            if x == 33 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

@@ -106,6 +106,15 @@ impl Controller for ApcmController {
             }
         }
     }
+
+    fn next_wake(&self, _now: u64) -> Option<u64> {
+        // Acts at the monitoring deadline and at every epoch rollover.
+        let epoch_end = self.epoch_start + self.epoch_len;
+        match self.state {
+            State::Monitoring { until } => Some(until.min(epoch_end)),
+            State::Applied => Some(epoch_end),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,11 +157,7 @@ mod tests {
 
     #[test]
     fn apcm_runs_at_maximum_warps() {
-        let spec = KernelSpec::steady(
-            "apcm-w",
-            AccessMix::memory_sensitive(),
-            6,
-        );
+        let spec = KernelSpec::steady("apcm-w", AccessMix::memory_sensitive(), 6);
         let mut gpu = Gpu::new(pc_cfg(), &spec);
         let mut ctrl = ApcmController::new(100_000);
         gpu.run(&mut ctrl, 20_000);

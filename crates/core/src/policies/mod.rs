@@ -14,6 +14,16 @@
 //!   gradient ascent from random starting tuples each epoch.
 //! * **APCM** — [`apcm`]: instruction-based (per-PC) cache bypassing that
 //!   filters streaming accesses; no warp throttling.
+//!
+//! Every policy declares its control cadence through
+//! [`gpu_sim::Controller::next_wake`] so the event-driven run loop can
+//! fast-forward stalled spans between controller actions: the dynamic
+//! controllers (PCAL-SWL, random-restart, APCM, and Poise's HIE in
+//! [`crate::hie`]) report their state-machine deadlines and epoch
+//! boundaries, while the static schemes (GTO, SWL, Static-Best) execute
+//! through [`gpu_sim::FixedTuple`], which never needs waking. The
+//! differential suite in `tests/differential.rs` proves counters are
+//! bit-identical to the cycle-stepped reference loop for all seven.
 
 pub mod apcm;
 pub mod pcal;

@@ -198,6 +198,14 @@ impl Controller for PcalSwlController {
             State::Stable => {}
         }
     }
+
+    fn next_wake(&self, _now: u64) -> Option<u64> {
+        // PCAL has no epoch rollover: once converged it never acts again.
+        match self.state {
+            State::Warmup { until } | State::Sample { until } => Some(until),
+            State::Stable => None,
+        }
+    }
 }
 
 #[cfg(test)]

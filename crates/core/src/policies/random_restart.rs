@@ -133,9 +133,11 @@ impl RandomRestartController {
             }
             if !self.sampled.is_empty() {
                 let cur = self.current_ipc.unwrap_or(0.0);
-                let best = self.sampled.iter().copied().max_by(|a, b| {
-                    a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-                });
+                let best = self
+                    .sampled
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
                 match best {
                     Some((t, ipc)) if ipc > cur => {
                         self.current = t;
@@ -203,6 +205,16 @@ impl Controller for RandomRestartController {
             State::Stable => {}
         }
     }
+
+    fn next_wake(&self, _now: u64) -> Option<u64> {
+        // Acts at the active probe deadline and at every epoch restart.
+        let epoch_end = self.epoch_start + self.epoch_len;
+        let state_deadline = match self.state {
+            State::Warmup { until } | State::Sample { until } => Some(until),
+            State::Stable => None,
+        };
+        Some(state_deadline.map_or(epoch_end, |u| u.min(epoch_end)))
+    }
 }
 
 #[cfg(test)]
@@ -215,8 +227,7 @@ mod tests {
     fn converges_each_epoch_within_domain() {
         let spec = KernelSpec::steady("rr-t", AccessMix::memory_sensitive(), 5);
         let mut gpu = Gpu::new(GpuConfig::scaled(1), &spec);
-        let mut ctrl =
-            RandomRestartController::new(42, 15_000).with_windows(200, 400);
+        let mut ctrl = RandomRestartController::new(42, 15_000).with_windows(200, 400);
         gpu.run(&mut ctrl, 60_000);
         assert!(
             ctrl.converged.len() >= 2,
@@ -233,8 +244,7 @@ mod tests {
         let spec = KernelSpec::steady("rr-s", AccessMix::memory_sensitive(), 5);
         let run = |seed| {
             let mut gpu = Gpu::new(GpuConfig::scaled(1), &spec);
-            let mut ctrl = RandomRestartController::new(seed, 12_000)
-                .with_windows(200, 400);
+            let mut ctrl = RandomRestartController::new(seed, 12_000).with_windows(200, 400);
             gpu.run(&mut ctrl, 40_000);
             ctrl.converged
         };

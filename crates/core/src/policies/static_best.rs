@@ -5,6 +5,10 @@
 //! no runtime overhead but, profiling at whole-kernel granularity, it
 //! cannot react to phase changes inside monolithic kernels — which is how
 //! Poise occasionally beats it (syrk, gsmv, mvt, atax).
+//!
+//! At runtime the chosen tuple executes through [`gpu_sim::FixedTuple`],
+//! whose `next_wake` returns `None`: the event-driven run loop may
+//! fast-forward stalled spans without ever consulting the controller.
 
 use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
 use gpu_sim::{GpuConfig, WarpTuple};

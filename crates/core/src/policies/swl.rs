@@ -4,6 +4,10 @@
 //! by offline profiling. Being static, it pays no runtime overhead — the
 //! paper's comparison is deliberately conservative in SWL's favour — but
 //! it can only reach the `p = N` line of the solution space.
+//!
+//! At runtime the chosen tuple executes through [`gpu_sim::FixedTuple`],
+//! whose `next_wake` returns `None`: the event-driven run loop may
+//! fast-forward stalled spans without ever consulting the controller.
 
 use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
 use gpu_sim::{GpuConfig, WarpTuple};
@@ -11,11 +15,7 @@ use poise_ml::SpeedupGrid;
 use workloads::KernelSpec;
 
 /// Offline-profile the kernel's diagonal and return the best `(n, n)`.
-pub fn swl_tuple(
-    spec: &KernelSpec,
-    cfg: &GpuConfig,
-    window: ProfileWindow,
-) -> WarpTuple {
+pub fn swl_tuple(spec: &KernelSpec, cfg: &GpuConfig, window: ProfileWindow) -> WarpTuple {
     let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
     let grid = profile_grid(spec, cfg, &GridSpec::diagonal(max_warps), window);
     best_of_diagonal(&grid, max_warps)

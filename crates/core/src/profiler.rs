@@ -1,7 +1,8 @@
 //! Offline {N, p} profiling: steady-state runs at fixed tuples, full or
-//! coarse grid sweeps (parallelised), and the `Pbest` classification.
+//! coarse grid sweeps (parallelised with [`std::thread::scope`]), and the
+//! `Pbest` classification.
 
-use crossbeam::thread;
+use crate::parallel::parallel_map;
 use gpu_sim::{Counters, FixedTuple, Gpu, GpuConfig, WarpTuple};
 use poise_ml::SpeedupGrid;
 use workloads::KernelSpec;
@@ -143,9 +144,7 @@ pub fn profile_grid(
     grid: &GridSpec,
     window: ProfileWindow,
 ) -> SpeedupGrid {
-    let max_warps = spec
-        .warps_per_scheduler
-        .min(cfg.max_warps_per_scheduler);
+    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
     let base = run_tuple(spec, cfg, WarpTuple::max(max_warps), window);
     let base_ipc = base.ipc().max(1e-9);
 
@@ -156,37 +155,10 @@ pub fn profile_grid(
         .filter(|&(n, p)| n <= max_warps && p <= n)
         .collect();
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(points.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<(usize, usize, f64)> = thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let next = &next;
-                let points = &points;
-                s.spawn(move |_| {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= points.len() {
-                            break;
-                        }
-                        let (n, p) = points[i];
-                        let st = run_tuple(spec, cfg, WarpTuple { n, p }, window);
-                        local.push((n, p, st.ipc() / base_ipc));
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("profiling worker panicked"))
-            .collect()
-    })
-    .expect("profiling scope");
+    let results = parallel_map(&points, |&(n, p)| {
+        let st = run_tuple(spec, cfg, WarpTuple { n, p }, window);
+        (n, p, st.ipc() / base_ipc)
+    });
 
     let mut out = SpeedupGrid::new(max_warps);
     for (n, p, s) in results {
@@ -200,9 +172,7 @@ pub fn profile_grid(
 /// Compute `Pbest`: the speedup of the kernel when the L1 is scaled 64×
 /// (the paper's memory-sensitivity classifier; sensitive iff > 1.4).
 pub fn pbest(spec: &KernelSpec, cfg: &GpuConfig, window: ProfileWindow) -> f64 {
-    let max_warps = spec
-        .warps_per_scheduler
-        .min(cfg.max_warps_per_scheduler);
+    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
     let t = WarpTuple::max(max_warps);
     let base = run_tuple(spec, cfg, t, window);
     let big_cfg = cfg.clone().with_l1_scale(64);

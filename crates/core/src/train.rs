@@ -8,9 +8,7 @@ use crate::experiment::Setup;
 use crate::params::PoiseParams;
 use crate::profiler::{profile_grid, run_tuple, GridSpec, ProfileWindow};
 use gpu_sim::{GpuConfig, WarpTuple, WindowSample};
-use poise_ml::{
-    scoring, FeatureVector, TrainedModel, TrainingSample, TrainingThresholds,
-};
+use poise_ml::{scoring, FeatureVector, TrainedModel, TrainingSample, TrainingThresholds};
 use workloads::{training_suite, KernelSpec};
 
 /// Collect one training sample from a kernel: profile, score, sample
@@ -28,10 +26,7 @@ pub fn collect_sample(
     let (target, _) = profile
         .best_scored(&params.scoring)
         .unwrap_or((WarpTuple::max(max_warps), 1.0));
-    let best_speedup = profile
-        .best_performance()
-        .map(|(_, s)| s)
-        .unwrap_or(1.0);
+    let best_speedup = profile.best_performance().map(|(_, s)| s).unwrap_or(1.0);
     let scaled = scoring::scale_tuple(target, max_warps, cfg.max_warps_per_scheduler);
 
     // Feature sampling at the same two reference points the HIE uses.

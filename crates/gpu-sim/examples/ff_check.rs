@@ -1,0 +1,37 @@
+//! Quick differential sanity check: event-driven vs reference counters
+//! and wall-clock, across memory-bound and compute-bound kernels.
+
+use gpu_sim::{FixedTuple, Gpu, GpuConfig, StepMode, UniformKernel, WarpTuple};
+use std::time::Instant;
+
+fn main() {
+    for (name, warps, alu) in [
+        ("mem-bound n1", 1usize, 0usize),
+        ("mem-bound n4", 4, 2),
+        ("compute", 8, 40),
+    ] {
+        let kernel = UniformKernel::streaming(warps, alu);
+        let run = |mode: StepMode| {
+            let mut cfg = GpuConfig::scaled(4);
+            cfg.step_mode = mode;
+            let mut gpu = Gpu::new(cfg, &kernel);
+            let t = Instant::now();
+            let r = gpu.run(
+                &mut FixedTuple::new(WarpTuple::new(warps, warps, 24)),
+                2_000_000,
+            );
+            (r, t.elapsed(), gpu.fast_forward_stats())
+        };
+        let (ev, tev, ff) = run(StepMode::EventDriven);
+        let (rf, trf, _) = run(StepMode::Reference);
+        assert_eq!(ev.counters, rf.counters, "{name}: counters diverged");
+        println!(
+            "{name}: identical counters; event {tev:?} vs ref {trf:?} \
+             ({:.1}x), ff spans {} skipped {} of {} cycles",
+            trf.as_secs_f64() / tev.as_secs_f64(),
+            ff.0,
+            ff.1,
+            ev.counters.cycles,
+        );
+    }
+}

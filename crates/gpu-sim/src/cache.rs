@@ -98,9 +98,7 @@ impl SetAssocCache {
             if l.tag == line {
                 match l.state {
                     CacheLineState::Valid => return Lookup::Hit { set, way },
-                    CacheLineState::Reserved => {
-                        return Lookup::PendingHit { set, way }
-                    }
+                    CacheLineState::Reserved => return Lookup::PendingHit { set, way },
                     CacheLineState::Invalid => {}
                 }
             }
@@ -129,7 +127,7 @@ impl SetAssocCache {
                 CacheLineState::Invalid => return Some((set, way)),
                 CacheLineState::Reserved => {}
                 CacheLineState::Valid => {
-                    if best.map_or(true, |(_, lru)| l.lru < lru) {
+                    if best.is_none_or(|(_, lru)| l.lru < lru) {
                         best = Some((way, l.lru));
                     }
                 }
@@ -167,7 +165,10 @@ impl SetAssocCache {
     /// are applied at request time). Evicts the LRU non-reserved way;
     /// silently drops the insert if the set is fully reserved.
     pub fn insert(&mut self, line: u64) {
-        if matches!(self.probe(line), Lookup::Hit { .. } | Lookup::PendingHit { .. }) {
+        if matches!(
+            self.probe(line),
+            Lookup::Hit { .. } | Lookup::PendingHit { .. }
+        ) {
             return;
         }
         if let Some((set, way)) = self.pick_victim(line) {
@@ -182,9 +183,7 @@ impl SetAssocCache {
 
     /// Invalidate a line if present (write-evict stores).
     pub fn invalidate(&mut self, line: u64) {
-        if let Lookup::Hit { set, way } | Lookup::PendingHit { set, way } =
-            self.probe(line)
-        {
+        if let Lookup::Hit { set, way } | Lookup::PendingHit { set, way } = self.probe(line) {
             // Only valid lines are dropped; a reserved line must survive to
             // receive its fill.
             let l = self.line_mut(set, way);

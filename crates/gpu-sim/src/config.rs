@@ -7,6 +7,25 @@
 //! smaller shared memory system) so that per-SM pressure — the quantity all
 //! of Poise's features observe — is preserved while simulation cost drops.
 
+/// Which run loop [`crate::Gpu::run`] uses.
+///
+/// Both modes produce **bit-identical** counters (the differential suite
+/// in the `poise` crate enforces this for every shipped policy); they
+/// differ only in wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// Fast-forward across spans in which no warp can issue, jumping
+    /// straight to the next scheduled event / controller wake / budget
+    /// end and bulk-accounting the skipped cycles. The default.
+    #[cfg_attr(not(feature = "reference-step"), default)]
+    EventDriven,
+    /// Step every cycle. The reference loop the event-driven mode is
+    /// validated against; also the default when the `reference-step`
+    /// feature of `gpu-sim` is enabled.
+    #[cfg_attr(feature = "reference-step", default)]
+    Reference,
+}
+
 /// How a cache maps a line address to a set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetIndexing {
@@ -145,6 +164,9 @@ pub struct GpuConfig {
     pub track_reuse_distance: bool,
     /// Track per-PC load locality (needed by APCM-style bypass policies).
     pub track_pc_stats: bool,
+    /// Which run loop to use (event-driven fast-forward vs. cycle-stepped
+    /// reference; counters are bit-identical either way).
+    pub step_mode: StepMode,
 }
 
 impl GpuConfig {
@@ -188,6 +210,7 @@ impl GpuConfig {
             energy: EnergyConfig::default(),
             track_reuse_distance: false,
             track_pc_stats: false,
+            step_mode: StepMode::default(),
         }
     }
 
@@ -246,10 +269,7 @@ mod tests {
         assert_eq!(cfg.l1.capacity_bytes(), 16 * 1024);
         assert_eq!(cfg.l1_mshrs, 32);
         // 2.25 MB L2: 24 banks x 96 sets x 8 ways x 128 B.
-        assert_eq!(
-            cfg.l2.banks * cfg.l2.geometry.capacity_bytes(),
-            2304 * 1024
-        );
+        assert_eq!(cfg.l2.banks * cfg.l2.geometry.capacity_bytes(), 2304 * 1024);
         assert_eq!(cfg.dram.partitions, 6);
         assert_eq!(cfg.warps_per_sm(), 48);
     }
@@ -262,10 +282,8 @@ mod tests {
         assert_eq!(cfg.dram.partitions, 2);
         // Per-SM L2 capacity matches baseline's.
         let base = GpuConfig::baseline();
-        let per_sm_base =
-            base.l2.banks * base.l2.geometry.capacity_bytes() / base.sms;
-        let per_sm_scaled =
-            cfg.l2.banks * cfg.l2.geometry.capacity_bytes() / cfg.sms;
+        let per_sm_base = base.l2.banks * base.l2.geometry.capacity_bytes() / base.sms;
+        let per_sm_scaled = cfg.l2.banks * cfg.l2.geometry.capacity_bytes() / cfg.sms;
         assert_eq!(per_sm_base, per_sm_scaled);
     }
 

@@ -6,6 +6,25 @@
 //! with a [`ControlCtx`] exposing the windowed performance counters and the
 //! per-scheduler warp-tuple controls — the same observation/actuation
 //! surface the paper's hardware has.
+//!
+//! ## The `next_wake` contract
+//!
+//! Controllers additionally declare their *cadence* through
+//! [`Controller::next_wake`], which the event-driven run loop uses to
+//! fast-forward across spans in which no warp can issue (see the module
+//! docs of [`crate::gpu`]). A controller returning `Some(w)` from
+//! `next_wake(now)` promises that every `on_cycle(t)` with `now < t < w`
+//! is a **pure no-op**: no tuple steering, no window resets, no logging —
+//! no observable effect on the controller or the GPU. Returning `None`
+//! promises that *every* future `on_cycle` is a no-op (purely static
+//! policies such as [`FixedTuple`]). The default implementation returns
+//! `Some(now + 1)` — "wake me every cycle" — which is always correct and
+//! merely disables fast-forwarding across controller waits.
+//!
+//! Violating the contract cannot corrupt the simulation state machine,
+//! but it desynchronises the event-driven loop from the cycle-stepped
+//! reference loop; the differential test suite in `poise` exercises every
+//! shipped policy against this property.
 
 use crate::l1::PcStats;
 use crate::sm::Sm;
@@ -106,6 +125,18 @@ pub trait Controller {
 
     /// Invoked when the kernel drains or the cycle budget expires.
     fn on_kernel_end(&mut self, _ctx: &mut ControlCtx) {}
+
+    /// The next cycle at which [`Controller::on_cycle`] may act, given the
+    /// current cycle `now` (for which `on_cycle` has already run).
+    ///
+    /// See the module docs for the full contract. `Some(w)`: every
+    /// `on_cycle(t)` with `now < t < w` is a no-op. `None`: all future
+    /// `on_cycle` calls are no-ops. The conservative default wakes every
+    /// cycle, which disables fast-forwarding across controller waits but
+    /// is always correct.
+    fn next_wake(&self, now: u64) -> Option<u64> {
+        Some(now.saturating_add(1))
+    }
 }
 
 /// The trivial static policy: install one tuple at kernel start and keep it.
@@ -136,6 +167,11 @@ impl Controller for FixedTuple {
             .tuple
             .unwrap_or_else(|| WarpTuple::max(ctx.kernel_warps));
         ctx.set_tuple_all(t);
+    }
+
+    fn next_wake(&self, _now: u64) -> Option<u64> {
+        // Purely static: `on_cycle` never does anything.
+        None
     }
 }
 

@@ -1,9 +1,37 @@
 //! The top-level GPU: SMs + shared memory system + event queue + run loop.
+//!
+//! ## Event-driven fast-forward
+//!
+//! Memory-bound phases — exactly the regimes Poise targets — spend most
+//! cycles with every vital warp blocked on an outstanding load. The
+//! default [`StepMode::EventDriven`] loop detects that state in
+//! O(SMs × schedulers) via the [`Sm`] readiness counters and jumps the
+//! clock straight to the next point at which anything can change, instead
+//! of stepping idle cycles one by one.
+//!
+//! The skip target is `min(next_event, next_wake − 1, end)`:
+//!
+//! * **next_event** — the earliest scheduled fill / hit completion; the
+//!   loop resumes there to deliver it (a delivery can make warps ready).
+//! * **next_wake − 1** — one cycle *before* the controller's declared
+//!   wake `w` (see [`Controller::next_wake`]): the stepped loop calls
+//!   `on_cycle(w)` after stepping cycle `w − 1`, so cycle `w − 1` must be
+//!   stepped, not skipped, for the wake to fire at the same point.
+//! * **end** — the cycle budget of this `run` call.
+//!
+//! Skipped spans are bulk-accounted exactly as the reference loop would
+//! have: `cycles` advances by the span, and every scheduler with live
+//! warps accrues `stall_scheduler_cycles` (no scheduler can issue during
+//! the span by construction, and warp state only changes through events
+//! or controller steering, neither of which occurs inside a span). All
+//! counters — IPC, AML, hit rates, gap statistics — are therefore
+//! **bit-identical** between the two modes; the differential suite in the
+//! `poise` crate asserts this for every shipped policy.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::config::GpuConfig;
+use crate::config::{GpuConfig, StepMode};
 use crate::controller::{ControlCtx, Controller};
 use crate::energy::EnergyBreakdown;
 use crate::instruction::KernelSource;
@@ -67,7 +95,8 @@ struct EventQueue {
 impl EventSink for EventQueue {
     fn schedule(&mut self, at: u64, sm: usize, ev: SmEvent) {
         self.seq += 1;
-        self.heap.push(Reverse(QueuedEvent::pack(at, self.seq, sm, ev)));
+        self.heap
+            .push(Reverse(QueuedEvent::pack(at, self.seq, sm, ev)));
     }
 }
 
@@ -100,6 +129,9 @@ pub struct Gpu {
     stats: GpuStats,
     cycle: u64,
     kernel_warps: usize,
+    /// Fast-forward diagnostics: (spans taken, cycles skipped).
+    ff_spans: u64,
+    ff_cycles: u64,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -127,6 +159,8 @@ impl Gpu {
             cycle: 0,
             cfg,
             kernel_warps,
+            ff_spans: 0,
+            ff_cycles: 0,
         }
     }
 
@@ -156,13 +190,15 @@ impl Gpu {
         self.cycle
     }
 
+    /// Fast-forward diagnostics: `(spans_taken, cycles_skipped)` since
+    /// construction. Always `(0, 0)` in [`StepMode::Reference`].
+    pub fn fast_forward_stats(&self) -> (u64, u64) {
+        (self.ff_spans, self.ff_cycles)
+    }
+
     /// Run under `controller` for at most `max_cycles` further cycles, or
     /// until every warp drains. Can be called repeatedly to continue.
-    pub fn run(
-        &mut self,
-        controller: &mut dyn Controller,
-        max_cycles: u64,
-    ) -> SimResult {
+    pub fn run(&mut self, controller: &mut dyn Controller, max_cycles: u64) -> SimResult {
         {
             let mut ctx = ControlCtx {
                 cycle: self.cycle,
@@ -175,9 +211,8 @@ impl Gpu {
         }
 
         let end = self.cycle + max_cycles;
+        let fast_forward = self.cfg.step_mode == StepMode::EventDriven;
         let mut completed = false;
-        // Check for drain only periodically: scanning all warps is O(warps).
-        let drain_check_interval = 256;
         while self.cycle < end {
             // Deliver all events due at or before this cycle.
             while let Some(Reverse(top)) = self.events.heap.peek() {
@@ -203,12 +238,15 @@ impl Gpu {
                 };
                 controller.on_cycle(&mut ctx);
             }
-            if self.cycle % drain_check_interval == 0
-                && self.events.heap.is_empty()
-                && !self.sms.iter().any(|sm| sm.live())
-            {
+            // Exact drain check: O(SMs × schedulers) with the incremental
+            // liveness counters, so the completion cycle is precise (the
+            // seed's interval-256 check overcounted up to 255 cycles).
+            if self.events.heap.is_empty() && !self.sms.iter().any(|sm| sm.live()) {
                 completed = true;
                 break;
+            }
+            if fast_forward {
+                self.fast_forward(controller, end);
             }
         }
 
@@ -234,6 +272,46 @@ impl Gpu {
             completed,
         }
     }
+
+    /// Jump the clock across a span in which nothing can happen.
+    ///
+    /// Preconditions established by the caller: `on_cycle(self.cycle)` has
+    /// run and the kernel has not drained. The skip triggers only when no
+    /// scheduler on any SM has a ready vital warp; the span is bounded so
+    /// it never crosses a scheduled event, a controller wake, or the
+    /// budget end (see the module docs for why the wake bound is `w − 1`).
+    fn fast_forward(&mut self, controller: &dyn Controller, end: u64) {
+        if self.sms.iter().any(|sm| sm.can_issue()) {
+            return;
+        }
+        // With live warps and no pending events the machine could only
+        // deadlock (cannot happen: a blocked warp always waits on a
+        // scheduled completion); stepping wouldn't change that, so the
+        // skip is still faithful — but stay conservative and only skip up
+        // to a bound we can actually name.
+        let next_event = self.events.heap.peek().map_or(u64::MAX, |Reverse(q)| q.at);
+        let mut target = next_event.min(end);
+        if let Some(wake) = controller.next_wake(self.cycle) {
+            // Cycle `wake − 1` must be stepped so `on_cycle(wake)` fires
+            // in loop order, exactly as the reference loop would.
+            target = target.min(wake.saturating_sub(1));
+        }
+        if target <= self.cycle {
+            return;
+        }
+        let span = target - self.cycle;
+        // Bulk-account the span exactly as `span` stepped stall cycles:
+        // every cycle bumps `cycles`; each scheduler that still manages
+        // live warps bumps `stall_scheduler_cycles` (none can issue).
+        let stalled: u64 = self.sms.iter().map(|sm| sm.live_scheduler_count()).sum();
+        self.stats.bump(|c| {
+            c.cycles += span;
+            c.stall_scheduler_cycles += span * stalled;
+        });
+        self.cycle = target;
+        self.ff_spans += 1;
+        self.ff_cycles += span;
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +319,40 @@ mod tests {
     use super::*;
     use crate::controller::FixedTuple;
     use crate::instruction::UniformKernel;
+
+    /// A finite ALU-only kernel: `warps` warps per scheduler, each with
+    /// `instrs` instructions.
+    struct FiniteAlu {
+        warps: usize,
+        instrs: u32,
+    }
+
+    struct FiniteStream(u32);
+
+    impl crate::instruction::InstructionStream for FiniteStream {
+        fn next_instr(&mut self) -> Option<crate::instruction::Instr> {
+            if self.0 == 0 {
+                None
+            } else {
+                self.0 -= 1;
+                Some(crate::instruction::Instr::Alu)
+            }
+        }
+    }
+
+    impl KernelSource for FiniteAlu {
+        fn stream_for(
+            &self,
+            _sm: usize,
+            _sched: usize,
+            _warp: usize,
+        ) -> Box<dyn crate::instruction::InstructionStream> {
+            Box::new(FiniteStream(self.instrs))
+        }
+        fn warps_per_scheduler(&self) -> usize {
+            self.warps
+        }
+    }
 
     #[test]
     fn run_is_deterministic() {
@@ -257,14 +369,8 @@ mod tests {
 
     #[test]
     fn resident_kernel_outpaces_streaming_kernel() {
-        let mut hit_gpu = Gpu::new(
-            GpuConfig::scaled(2),
-            &UniformKernel::resident(8, 2),
-        );
-        let mut miss_gpu = Gpu::new(
-            GpuConfig::scaled(2),
-            &UniformKernel::streaming(8, 2),
-        );
+        let mut hit_gpu = Gpu::new(GpuConfig::scaled(2), &UniformKernel::resident(8, 2));
+        let mut miss_gpu = Gpu::new(GpuConfig::scaled(2), &UniformKernel::streaming(8, 2));
         let hit = hit_gpu.run(&mut FixedTuple::max(), 20_000);
         let miss = miss_gpu.run(&mut FixedTuple::max(), 20_000);
         assert!(
@@ -278,10 +384,7 @@ mod tests {
     #[test]
     fn more_warps_hide_latency_for_streaming() {
         let ipc_at = |warps: usize| {
-            let mut gpu = Gpu::new(
-                GpuConfig::scaled(2),
-                &UniformKernel::streaming(warps, 8),
-            );
+            let mut gpu = Gpu::new(GpuConfig::scaled(2), &UniformKernel::streaming(warps, 8));
             gpu.run(&mut FixedTuple::max(), 20_000).ipc()
         };
         let one = ipc_at(1);
@@ -296,10 +399,7 @@ mod tests {
     fn aml_grows_under_heavy_load() {
         // Few warps barely load the memory system; many warps queue.
         let aml_at = |warps: usize| {
-            let mut gpu = Gpu::new(
-                GpuConfig::scaled(2),
-                &UniformKernel::streaming(warps, 0),
-            );
+            let mut gpu = Gpu::new(GpuConfig::scaled(2), &UniformKernel::streaming(warps, 0));
             gpu.run(&mut FixedTuple::max(), 30_000).counters.aml()
         };
         let light = aml_at(1);
@@ -314,35 +414,114 @@ mod tests {
     fn bounded_kernel_completes() {
         // UniformKernel streams are unbounded, so completion is tested via
         // a custom finite kernel.
-        struct Finite;
-        struct FiniteStream(u32);
-        impl crate::instruction::InstructionStream for FiniteStream {
-            fn next_instr(&mut self) -> Option<crate::instruction::Instr> {
-                if self.0 == 0 {
-                    None
-                } else {
-                    self.0 -= 1;
-                    Some(crate::instruction::Instr::Alu)
-                }
-            }
-        }
-        impl KernelSource for Finite {
-            fn stream_for(
-                &self,
-                _sm: usize,
-                _sched: usize,
-                _warp: usize,
-            ) -> Box<dyn crate::instruction::InstructionStream> {
-                Box::new(FiniteStream(100))
-            }
-            fn warps_per_scheduler(&self) -> usize {
-                4
-            }
-        }
-        let mut gpu = Gpu::new(GpuConfig::scaled(1), &Finite);
+        let mut gpu = Gpu::new(
+            GpuConfig::scaled(1),
+            &FiniteAlu {
+                warps: 4,
+                instrs: 100,
+            },
+        );
         let res = gpu.run(&mut FixedTuple::max(), 100_000);
         assert!(res.completed);
         // 1 SM x 2 schedulers x 4 warps x 100 instructions.
         assert_eq!(res.counters.instructions, 800);
+    }
+
+    #[test]
+    fn drain_cycle_is_exact() {
+        // Regression for the seed's interval-256 drain check, which
+        // overcounted up to 255 idle cycles in `SimResult.cycles`.
+        //
+        // 4 warps x 100 ALU instructions per scheduler issue one
+        // instruction per scheduler-cycle: cycles 0..=399 issue all 400,
+        // cycle 400 discovers the exhausted streams (`fetch -> None`), and
+        // the drain is detected after advancing to cycle 401 — in BOTH
+        // step modes.
+        for mode in [StepMode::EventDriven, StepMode::Reference] {
+            let mut cfg = GpuConfig::scaled(1);
+            cfg.step_mode = mode;
+            let mut gpu = Gpu::new(
+                cfg,
+                &FiniteAlu {
+                    warps: 4,
+                    instrs: 100,
+                },
+            );
+            let res = gpu.run(&mut FixedTuple::max(), 100_000);
+            assert!(res.completed);
+            assert_eq!(res.counters.cycles, 401, "{mode:?}");
+            assert_eq!(gpu.cycle(), 401, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_stalled_spans() {
+        // A single streaming warp spends almost every cycle blocked on its
+        // outstanding load; the event-driven loop must skip most of them.
+        let kernel = UniformKernel::streaming(1, 0);
+        let mut gpu = Gpu::new(GpuConfig::scaled(1), &kernel);
+        let res = gpu.run(&mut FixedTuple::max(), 50_000);
+        let (spans, skipped) = gpu.fast_forward_stats();
+        assert!(spans > 100, "expected many skip spans, got {spans}");
+        assert!(
+            skipped > 25_000,
+            "expected most cycles skipped, got {skipped}"
+        );
+        assert_eq!(res.counters.cycles, 50_000);
+    }
+
+    #[test]
+    fn reference_mode_never_skips() {
+        let kernel = UniformKernel::streaming(1, 0);
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.step_mode = StepMode::Reference;
+        let mut gpu = Gpu::new(cfg, &kernel);
+        gpu.run(&mut FixedTuple::max(), 10_000);
+        assert_eq!(gpu.fast_forward_stats(), (0, 0));
+    }
+
+    /// A controller that acts (resets the window and logs) exactly at
+    /// multiples of `period`, declaring its cadence via `next_wake`.
+    struct Tick {
+        period: u64,
+        fired_at: Vec<u64>,
+    }
+
+    impl Controller for Tick {
+        fn on_cycle(&mut self, ctx: &mut ControlCtx) {
+            if ctx.cycle.is_multiple_of(self.period) {
+                self.fired_at.push(ctx.cycle);
+                ctx.reset_window();
+            }
+        }
+
+        fn next_wake(&self, now: u64) -> Option<u64> {
+            Some((now / self.period + 1) * self.period)
+        }
+    }
+
+    #[test]
+    fn fast_forward_never_crosses_a_controller_wake() {
+        // The periodic controller must fire at exactly the same cycles in
+        // both modes: skipped spans stop one cycle short of each wake.
+        let run = |mode: StepMode| {
+            let kernel = UniformKernel::streaming(2, 1);
+            let mut cfg = GpuConfig::scaled(1);
+            cfg.step_mode = mode;
+            let mut gpu = Gpu::new(cfg, &kernel);
+            let mut ctrl = Tick {
+                period: 777,
+                fired_at: Vec::new(),
+            };
+            let res = gpu.run(&mut ctrl, 20_000);
+            (ctrl.fired_at, res.counters, gpu.fast_forward_stats().1)
+        };
+        let (ev_fired, ev_counters, skipped) = run(StepMode::EventDriven);
+        let (rf_fired, rf_counters, _) = run(StepMode::Reference);
+        assert_eq!(ev_fired, rf_fired);
+        assert_eq!(ev_counters, rf_counters);
+        assert!(skipped > 0, "fast-forward must engage for this workload");
+        // Every wake observed exactly once per period boundary.
+        assert!(ev_fired.windows(2).all(|w| w[1] - w[0] == 777));
     }
 }

@@ -49,12 +49,7 @@ pub trait InstructionStream {
 /// built-in implementation for tests and doc examples.
 pub trait KernelSource {
     /// Create the instruction stream for the warp at the given position.
-    fn stream_for(
-        &self,
-        sm: usize,
-        scheduler: usize,
-        warp: usize,
-    ) -> Box<dyn InstructionStream>;
+    fn stream_for(&self, sm: usize, scheduler: usize, warp: usize) -> Box<dyn InstructionStream>;
 
     /// Number of warps launched per scheduler (occupancy), `<=` the
     /// scheduler capacity.
@@ -100,12 +95,7 @@ impl UniformKernel {
 }
 
 impl KernelSource for UniformKernel {
-    fn stream_for(
-        &self,
-        sm: usize,
-        scheduler: usize,
-        warp: usize,
-    ) -> Box<dyn InstructionStream> {
+    fn stream_for(&self, sm: usize, scheduler: usize, warp: usize) -> Box<dyn InstructionStream> {
         let uid = ((sm as u64) << 32) | ((scheduler as u64) << 16) | warp as u64;
         Box::new(UniformStream {
             base: (uid + 1) << 20,

@@ -284,9 +284,7 @@ impl L1Data {
     }
 
     fn find_mshr(&self, line: u64) -> Option<usize> {
-        self.mshrs
-            .iter()
-            .position(|e| e.in_use && e.line == line)
+        self.mshrs.iter().position(|e| e.in_use && e.line == line)
     }
 
     /// Count one real (non-rejected) cache access.
@@ -338,7 +336,10 @@ mod tests {
         let (mut l1, mut st) = l1();
         let out = l1.access_load(42, 0, true, 0, 10, waiter(0, 0), &mut st);
         let mshr = match out {
-            AccessOutcome::Miss { mshr, primary: true } => mshr,
+            AccessOutcome::Miss {
+                mshr,
+                primary: true,
+            } => mshr,
             other => panic!("expected primary miss, got {other:?}"),
         };
         assert_eq!(l1.mshrs_in_use(), 1);
@@ -375,7 +376,10 @@ mod tests {
     fn secondary_miss_merges_and_respects_limit() {
         let (mut l1, mut st) = l1();
         let m0 = match l1.access_load(9, 0, true, 0, 0, waiter(0, 0), &mut st) {
-            AccessOutcome::Miss { mshr, primary: true } => mshr,
+            AccessOutcome::Miss {
+                mshr,
+                primary: true,
+            } => mshr,
             o => panic!("{o:?}"),
         };
         match l1.access_load(9, 1, true, 0, 1, waiter(0, 1), &mut st) {

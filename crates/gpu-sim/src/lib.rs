@@ -57,7 +57,9 @@ pub mod stats;
 pub mod warp;
 
 pub use cache::{CacheLineState, SetAssocCache};
-pub use config::{CacheGeometry, DramConfig, EnergyConfig, GpuConfig, L2Config, SetIndexing};
+pub use config::{
+    CacheGeometry, DramConfig, EnergyConfig, GpuConfig, L2Config, SetIndexing, StepMode,
+};
 pub use controller::{ControlCtx, Controller, FixedTuple};
 pub use energy::EnergyBreakdown;
 pub use gpu::{Gpu, SimResult};

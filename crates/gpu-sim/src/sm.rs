@@ -32,6 +32,18 @@ pub enum SmEvent {
 }
 
 /// One streaming multiprocessor.
+///
+/// Beyond the architectural state, the SM maintains two per-scheduler
+/// counters so that the run loop's "can anything issue?" and "is anything
+/// live?" tests are O(schedulers) instead of O(warps):
+///
+/// * `ready_vital[s]` — warps `w < tuple.n` of scheduler `s` with
+///   [`Warp::ready`] true (issue candidates this cycle);
+/// * `live_warps[s]` — warps of scheduler `s` with [`Warp::live`] true.
+///
+/// The counters are maintained incrementally at every warp state
+/// transition (issue-side blocking, stream exhaustion, load completion)
+/// and recomputed on tuple steering, which moves the vital boundary.
 pub struct Sm {
     /// SM index within the GPU.
     pub id: usize,
@@ -42,6 +54,10 @@ pub struct Sm {
     /// The L1 data cache.
     pub l1: L1Data,
     hit_latency: u64,
+    /// Per-scheduler count of ready vital warps (issue candidates).
+    ready_vital: Vec<u32>,
+    /// Per-scheduler count of live warps.
+    live_warps: Vec<u32>,
 }
 
 impl std::fmt::Debug for Sm {
@@ -69,37 +85,84 @@ impl Sm {
         let warps = (0..cfg.schedulers_per_sm)
             .map(|s| {
                 (0..n_warps)
-                    .map(|w| {
-                        Warp::new(
-                            kernel.stream_for(id, s, w),
-                            cfg.track_reuse_distance,
-                        )
-                    })
+                    .map(|w| Warp::new(kernel.stream_for(id, s, w), cfg.track_reuse_distance))
                     .collect()
             })
             .collect();
+        // Fresh warps are all ready and live; the scheduler starts at the
+        // maximal tuple, so every warp is vital.
+        let ready_vital = vec![n_warps as u32; cfg.schedulers_per_sm];
+        let live_warps = vec![n_warps as u32; cfg.schedulers_per_sm];
         Sm {
             id,
             schedulers,
             warps,
             l1: L1Data::new(cfg, kernel.n_pcs()),
             hit_latency: cfg.l1_hit_latency,
+            ready_vital,
+            live_warps,
         }
     }
 
     /// Install a warp-tuple on every scheduler of this SM.
+    ///
+    /// Steering moves the vital boundary, so the per-scheduler ready
+    /// counters are recomputed (O(warps), but steering is rare — at most
+    /// once per controller wake).
     pub fn set_tuple(&mut self, t: WarpTuple) {
-        for s in &mut self.schedulers {
-            s.set_tuple(t);
+        for (s, sched) in self.schedulers.iter_mut().enumerate() {
+            sched.set_tuple(t);
+            let n_vital = sched.tuple().n.min(sched.n_warps);
+            self.ready_vital[s] = self.warps[s][..n_vital]
+                .iter()
+                .filter(|w| w.ready())
+                .count() as u32;
         }
     }
 
-    /// Whether any warp still has work (instructions or outstanding loads).
+    /// Whether any warp still has work (instructions or outstanding
+    /// loads). O(schedulers) via the incremental liveness counters.
     pub fn live(&self) -> bool {
-        self.warps
-            .iter()
-            .flatten()
-            .any(|w| w.live())
+        self.live_warps.iter().any(|&c| c > 0)
+    }
+
+    /// Whether any scheduler has a ready vital warp, i.e. whether stepping
+    /// this SM could have any effect this cycle. O(schedulers).
+    pub fn can_issue(&self) -> bool {
+        self.ready_vital.iter().any(|&c| c > 0)
+    }
+
+    /// Number of schedulers that still manage live warps (these accrue
+    /// `stall_scheduler_cycles` on cycles with no issue).
+    pub fn live_scheduler_count(&self) -> u64 {
+        self.live_warps.iter().filter(|&&c| c > 0).count() as u64
+    }
+
+    /// Apply `f` to one warp, incrementally maintaining the ready/live
+    /// counters across the state transition `f` may cause.
+    #[inline]
+    fn update_warp<R>(&mut self, sched: usize, w: usize, f: impl FnOnce(&mut Warp) -> R) -> R {
+        let warp = &mut self.warps[sched][w];
+        let was_ready = warp.ready();
+        let was_live = warp.live();
+        let r = f(warp);
+        let now_ready = warp.ready();
+        let now_live = warp.live();
+        if was_ready != now_ready && self.schedulers[sched].vital(w) {
+            if now_ready {
+                self.ready_vital[sched] += 1;
+            } else {
+                self.ready_vital[sched] -= 1;
+            }
+        }
+        if was_live != now_live {
+            if now_live {
+                self.live_warps[sched] += 1;
+            } else {
+                self.live_warps[sched] -= 1;
+            }
+        }
+        r
     }
 
     /// Advance this SM by one cycle: each scheduler attempts one issue.
@@ -111,8 +174,11 @@ impl Sm {
         stats: &mut GpuStats,
     ) {
         for sched_idx in 0..self.schedulers.len() {
-            let issued = self.issue_one(sched_idx, now, mem, events, stats);
-            let any_live = self.warps[sched_idx].iter().any(|w| w.live());
+            // With no ready vital warp the candidate scan cannot issue (or
+            // have any side effect); the counter makes that check O(1).
+            let issued = self.ready_vital[sched_idx] > 0
+                && self.issue_one(sched_idx, now, mem, events, stats);
+            let any_live = self.live_warps[sched_idx] > 0;
             stats.bump(|c| {
                 if issued {
                     c.busy_scheduler_cycles += 1;
@@ -150,9 +216,7 @@ impl Sm {
             if attempts > MAX_ISSUE_ATTEMPTS {
                 break;
             }
-            if let Some(kind) =
-                self.try_issue(sched_idx, w_idx, now, mem, events, stats)
-            {
+            if let Some(kind) = self.try_issue(sched_idx, w_idx, now, mem, events, stats) {
                 self.schedulers[sched_idx].note_issue(w_idx);
                 let warp = &mut self.warps[sched_idx][w_idx];
                 warp.instructions += 1;
@@ -198,13 +262,22 @@ impl Sm {
     ) -> Option<IssuedKind> {
         let polluting = self.schedulers[sched_idx].pollute(w_idx);
         for _ in 0..MAX_SYNC_SKIPS {
-            let warp = &mut self.warps[sched_idx][w_idx];
-            let instr = warp.fetch()?;
+            // `fetch` may exhaust the stream (ready/live transition) and a
+            // sync with loads outstanding blocks the warp (ready
+            // transition); route both through the counter-tracking helper.
+            let instr = self.update_warp(sched_idx, w_idx, Warp::fetch)?;
             match instr {
                 Instr::Alu => return Some(IssuedKind::Alu),
                 Instr::SyncLoads => {
-                    if warp.outstanding_loads > 0 {
-                        warp.waiting_sync = true;
+                    let blocked = self.update_warp(sched_idx, w_idx, |warp| {
+                        if warp.outstanding_loads > 0 {
+                            warp.waiting_sync = true;
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    if blocked {
                         return None;
                     }
                     // Satisfied syncs are free; keep fetching.
@@ -216,6 +289,7 @@ impl Sm {
                     return Some(IssuedKind::Store);
                 }
                 Instr::Load { line, pc } => {
+                    let warp = &mut self.warps[sched_idx][w_idx];
                     if let Some(dist) = warp.observe_reuse(line) {
                         stats.bump(|c| {
                             c.reuse_distance_sum += dist;
@@ -228,9 +302,10 @@ impl Sm {
                         warp: w_idx as u8,
                         issued_at: now,
                     };
-                    match self.l1.access_load(
-                        line, warp_bit, polluting, pc, now, waiter, stats,
-                    ) {
+                    match self
+                        .l1
+                        .access_load(line, warp_bit, polluting, pc, now, waiter, stats)
+                    {
                         AccessOutcome::Hit => {
                             let warp = &mut self.warps[sched_idx][w_idx];
                             warp.outstanding_loads += 1;
@@ -249,11 +324,7 @@ impl Sm {
                             warp.outstanding_loads += 1;
                             if primary {
                                 let ready = mem.read(line, now, stats);
-                                events.schedule(
-                                    ready,
-                                    self.id,
-                                    SmEvent::Fill { mshr },
-                                );
+                                events.schedule(ready, self.id, SmEvent::Fill { mshr });
                             }
                             return Some(IssuedKind::Load);
                         }
@@ -277,12 +348,11 @@ impl Sm {
             SmEvent::Fill { mshr } => {
                 let waiters = self.l1.complete_fill(mshr, now, stats);
                 for w in waiters {
-                    self.warps[w.scheduler as usize][w.warp as usize]
-                        .load_completed();
+                    self.update_warp(w.scheduler as usize, w.warp as usize, Warp::load_completed);
                 }
             }
             SmEvent::HitDone { scheduler, warp } => {
-                self.warps[scheduler as usize][warp as usize].load_completed();
+                self.update_warp(scheduler as usize, warp as usize, Warp::load_completed);
             }
         }
     }
@@ -371,7 +441,10 @@ mod tests {
         // Second load to the same line: must be an L1 hit with a HitDone.
         sm.step(500, &mut mem, &mut ev, &mut st);
         assert_eq!(st.total.l1_hits, 2);
-        assert!(ev.0.iter().any(|(_, _, e)| matches!(e, SmEvent::HitDone { .. })));
+        assert!(ev
+            .0
+            .iter()
+            .any(|(_, _, e)| matches!(e, SmEvent::HitDone { .. })));
     }
 
     #[test]

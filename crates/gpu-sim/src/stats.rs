@@ -278,9 +278,11 @@ mod tests {
 
     #[test]
     fn delta_since_subtracts_fieldwise() {
-        let mut a = Counters::default();
-        a.instructions = 10;
-        a.cycles = 100;
+        let a = Counters {
+            instructions: 10,
+            cycles: 100,
+            ..Counters::default()
+        };
         let mut b = a;
         b.instructions = 25;
         b.cycles = 140;

@@ -79,8 +79,7 @@ impl NbRegression {
         let mut w = vec![0.0; k];
         // Give the intercept-like column (if any column is constant 1) the
         // log-mean; otherwise start at zero and let IRLS move.
-        if let Some(c) = (0..k).find(|&j| x.iter().all(|r| (r[j] - 1.0).abs() < 1e-12))
-        {
+        if let Some(c) = (0..k).find(|&j| x.iter().all(|r| (r[j] - 1.0).abs() < 1e-12)) {
             w[c] = y_mean.ln();
         }
 
@@ -96,14 +95,11 @@ impl NbRegression {
                     .collect();
                 // NB2 IRLS: weight μ/(1+αμ); working response
                 // z = η + (y − μ)/μ.
-                let wts: Vec<f64> =
-                    mus.iter().map(|&m| m / (1.0 + alpha * m)).collect();
+                let wts: Vec<f64> = mus.iter().map(|&m| m / (1.0 + alpha * m)).collect();
                 let zs: Vec<f64> = x
                     .iter()
                     .zip(y.iter().zip(&mus))
-                    .map(|(r, (&yi, &mi))| {
-                        dot(&w, r).clamp(-30.0, 30.0) + (yi - mi) / mi
-                    })
+                    .map(|(r, (&yi, &mi))| dot(&w, r).clamp(-30.0, 30.0) + (yi - mi) / mi)
                     .collect();
                 let (a, b) = weighted_normal_equations(x, &wts, &zs, ridge.max(1e-9));
                 let new_w = solve(a, b).ok_or(FitError::Singular)?;
@@ -198,7 +194,9 @@ mod tests {
             }
             k
         } else {
-            (lam + lam.sqrt() * (rng.gen::<f64>() - 0.5) * 2.0).max(0.0).round()
+            (lam + lam.sqrt() * (rng.gen::<f64>() - 0.5) * 2.0)
+                .max(0.0)
+                .round()
         }
     }
 
@@ -245,10 +243,7 @@ mod tests {
     fn estimates_overdispersion() {
         let mut rng = SmallRng::seed_from_u64(13);
         let xs: Vec<Vec<f64>> = (0..600).map(|_| vec![1.0]).collect();
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|_| nb_sample(&mut rng, 20.0, 0.4))
-            .collect();
+        let ys: Vec<f64> = xs.iter().map(|_| nb_sample(&mut rng, 20.0, 0.4)).collect();
         let m = NbRegression::fit(&xs, &ys, 1e-9).unwrap();
         assert!(
             m.dispersion > 0.05,
@@ -291,9 +286,7 @@ mod tests {
     #[test]
     fn collinear_features_survive_with_ridge() {
         // Two identical columns: singular without ridge, solvable with.
-        let xs: Vec<Vec<f64>> = (0..50)
-            .map(|i| vec![1.0, i as f64, i as f64])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![1.0, i as f64, i as f64]).collect();
         let ys: Vec<f64> = (0..50).map(|i| (0.05 * i as f64).exp()).collect();
         let m = NbRegression::fit(&xs, &ys, 1e-6).unwrap();
         // The two collinear slopes share the effect.

@@ -34,6 +34,10 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
+            // `a[row]` and `a[col]` are distinct rows (row > col), but the
+            // borrow checker cannot see that through the nested Vec, so
+            // index in place and silence the iterator lint.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= factor * a[col][k];
             }
@@ -76,6 +80,9 @@ pub fn weighted_normal_equations(
             }
         }
     }
+    // Mirror the upper triangle; rows `i` and `j` alias through the
+    // nested Vec, so plain indexing is the clearest form here.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..k {
         for j in 0..i {
             xtx[i][j] = xtx[j][i];
@@ -129,24 +136,14 @@ mod tests {
     fn normal_equations_match_manual_computation() {
         // One observation x=[1,2], w=2, z=3:
         // XtWX = [[2,4],[4,8]], XtWz = [6,12].
-        let (xtx, xtz) = weighted_normal_equations(
-            &[vec![1.0, 2.0]],
-            &[2.0],
-            &[3.0],
-            0.0,
-        );
+        let (xtx, xtz) = weighted_normal_equations(&[vec![1.0, 2.0]], &[2.0], &[3.0], 0.0);
         assert_eq!(xtx, vec![vec![2.0, 4.0], vec![4.0, 8.0]]);
         assert_eq!(xtz, vec![6.0, 12.0]);
     }
 
     #[test]
     fn ridge_adds_to_diagonal() {
-        let (xtx, _) = weighted_normal_equations(
-            &[vec![1.0, 0.0]],
-            &[1.0],
-            &[0.0],
-            0.5,
-        );
+        let (xtx, _) = weighted_normal_equations(&[vec![1.0, 0.0]], &[1.0], &[0.0], 0.5);
         assert_eq!(xtx[0][0], 1.5);
         assert_eq!(xtx[1][1], 0.5);
     }
@@ -154,8 +151,7 @@ mod tests {
     #[test]
     fn weighted_least_squares_recovers_coefficients() {
         // y = 2 + 3x fit through noiseless points.
-        let xs: Vec<Vec<f64>> =
-            (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
         let zs: Vec<f64> = (0..10).map(|i| 2.0 + 3.0 * i as f64).collect();
         let ws = vec![1.0; 10];
         let (a, b) = weighted_normal_equations(&xs, &ws, &zs, 0.0);

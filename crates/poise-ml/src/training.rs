@@ -89,10 +89,8 @@ impl TrainedModel {
         thresholds: &TrainingThresholds,
         drop_features: &[usize],
     ) -> Result<Self, FitError> {
-        let admitted: Vec<&TrainingSample> = samples
-            .iter()
-            .filter(|s| thresholds.admits(s))
-            .collect();
+        let admitted: Vec<&TrainingSample> =
+            samples.iter().filter(|s| thresholds.admits(s)).collect();
         let rows: Vec<Vec<f64>> = admitted
             .iter()
             .map(|s| {
@@ -225,8 +223,7 @@ mod tests {
     #[test]
     fn fit_learns_monotone_relationship() {
         let set = synthetic_set();
-        let m = TrainedModel::fit(&set, &TrainingThresholds::default(), &[])
-            .expect("fit");
+        let m = TrainedModel::fit(&set, &TrainingThresholds::default(), &[]).expect("fit");
         assert_eq!(m.samples_used, 40);
         // Predictions must track the synthetic trend: low-gain kernels get
         // large p, high-gain kernels get small p.
@@ -246,11 +243,8 @@ mod tests {
     #[test]
     fn dropped_features_are_recorded_and_applied() {
         let set = synthetic_set();
-        let full = TrainedModel::fit(&set, &TrainingThresholds::default(), &[])
-            .unwrap();
-        let ablated =
-            TrainedModel::fit(&set, &TrainingThresholds::default(), &[4])
-                .unwrap();
+        let full = TrainedModel::fit(&set, &TrainingThresholds::default(), &[]).unwrap();
+        let ablated = TrainedModel::fit(&set, &TrainingThresholds::default(), &[4]).unwrap();
         assert_eq!(ablated.dropped_features, vec![4]);
         // Weight on the dropped feature must be ~0 (only ridge touches it).
         assert!(ablated.alpha[4].abs() < 1e-6);
@@ -259,8 +253,7 @@ mod tests {
 
     #[test]
     fn too_few_admitted_samples_error() {
-        let set: Vec<TrainingSample> =
-            (0..3).map(|_| sample_with(0.2, 0.8, (5, 2), 1.3)).collect();
+        let set: Vec<TrainingSample> = (0..3).map(|_| sample_with(0.2, 0.8, (5, 2), 1.3)).collect();
         assert!(matches!(
             TrainedModel::fit(&set, &TrainingThresholds::default(), &[]),
             Err(FitError::TooFewObservations)
@@ -270,8 +263,7 @@ mod tests {
     #[test]
     fn predict_clamps_into_valid_tuple() {
         let set = synthetic_set();
-        let m = TrainedModel::fit(&set, &TrainingThresholds::default(), &[])
-            .unwrap();
+        let m = TrainedModel::fit(&set, &TrainingThresholds::default(), &[]).unwrap();
         for s in &set {
             let t = m.predict(&s.features, 24);
             assert!(t.n >= 1 && t.n <= 24 && t.p >= 1 && t.p <= t.n);

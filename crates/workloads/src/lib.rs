@@ -26,9 +26,7 @@ pub mod spec;
 pub mod suites;
 
 pub use spec::{AccessMix, Benchmark, KernelSpec, Phase};
-pub use suites::{
-    compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite,
-};
+pub use suites::{compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite};
 
 #[cfg(test)]
 mod tests {

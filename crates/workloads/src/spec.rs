@@ -186,12 +186,7 @@ impl KernelSpec {
 }
 
 impl KernelSource for KernelSpec {
-    fn stream_for(
-        &self,
-        sm: usize,
-        scheduler: usize,
-        warp: usize,
-    ) -> Box<dyn InstructionStream> {
+    fn stream_for(&self, sm: usize, scheduler: usize, warp: usize) -> Box<dyn InstructionStream> {
         Box::new(SpecStream::new(self, sm, scheduler, warp))
     }
 
@@ -218,8 +213,7 @@ struct AddressSpace {
 
 impl AddressSpace {
     fn new(sm: usize, scheduler: usize, warp: usize) -> Self {
-        let warp_uid =
-            ((sm as u64) << 16) | ((scheduler as u64) << 8) | warp as u64;
+        let warp_uid = ((sm as u64) << 16) | ((scheduler as u64) << 8) | warp as u64;
         AddressSpace {
             hot_base: (warp_uid + 1) << 26,
             // The cold buffer is per SM: all warps of an SM sweep the same
@@ -470,13 +464,12 @@ mod tests {
             .iter()
             .filter(|i| matches!(i, Instr::Load { .. } | Instr::Store { .. }))
             .count();
-        assert!(loads >= 9 && loads <= 11, "got {loads} mem ops");
+        assert!((9..=11).contains(&loads), "got {loads} mem ops");
     }
 
     #[test]
     fn trace_len_bounds_stream() {
-        let spec = KernelSpec::steady("t", AccessMix::memory_sensitive(), 3)
-            .with_trace_len(50);
+        let spec = KernelSpec::steady("t", AccessMix::memory_sensitive(), 3).with_trace_len(50);
         let mut s = spec.stream_for(0, 0, 0);
         let mut n = 0;
         while s.next_instr().is_some() {
@@ -569,13 +562,7 @@ mod tests {
     #[test]
     fn capped_subsamples_evenly() {
         let kernels: Vec<KernelSpec> = (0..10)
-            .map(|i| {
-                KernelSpec::steady(
-                    format!("k{i}"),
-                    AccessMix::memory_sensitive(),
-                    i,
-                )
-            })
+            .map(|i| KernelSpec::steady(format!("k{i}"), AccessMix::memory_sensitive(), i))
             .collect();
         let b = Benchmark::new("b", kernels);
         let c = b.capped(3);

@@ -64,8 +64,7 @@ fn family(name: &str, base: AccessMix, count: usize, seed: u64) -> Benchmark {
     let kernels = (0..count)
         .map(|i| {
             let (mix, warps) = jitter(&base, seed, i as u64);
-            KernelSpec::steady(format!("{name}#{i}"), mix, seed ^ (i as u64) << 1)
-                .with_warps(warps)
+            KernelSpec::steady(format!("{name}#{i}"), mix, seed ^ (i as u64) << 1).with_warps(warps)
         })
         .collect();
     Benchmark::new(name, kernels)
@@ -377,7 +376,10 @@ pub fn compute_insensitive_suite() -> Vec<Benchmark> {
         .map(|&(name, alu, seed)| {
             let mut mix = AccessMix::compute_intensive();
             mix.alu_per_load = alu;
-            Benchmark::new(name, vec![KernelSpec::steady(format!("{name}#0"), mix, seed)])
+            Benchmark::new(
+                name,
+                vec![KernelSpec::steady(format!("{name}#0"), mix, seed)],
+            )
         })
         .collect()
 }
@@ -421,10 +423,8 @@ mod tests {
 
     #[test]
     fn training_and_evaluation_are_disjoint() {
-        let train: std::collections::HashSet<String> = training_suite()
-            .iter()
-            .map(|b| b.name.clone())
-            .collect();
+        let train: std::collections::HashSet<String> =
+            training_suite().iter().map(|b| b.name.clone()).collect();
         for b in evaluation_suite() {
             assert!(!train.contains(&b.name));
         }
@@ -452,8 +452,7 @@ mod tests {
 
     #[test]
     fn fig4_kernels_cover_the_four_benchmarks() {
-        let names: Vec<String> =
-            fig4_kernels().iter().map(|k| k.name.clone()).collect();
+        let names: Vec<String> = fig4_kernels().iter().map(|k| k.name.clone()).collect();
         assert_eq!(names, vec!["ii", "bfs", "syr2k", "cfd"]);
     }
 

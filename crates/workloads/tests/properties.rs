@@ -6,36 +6,34 @@ use workloads::{AccessMix, KernelSpec};
 
 fn mix_strategy() -> impl Strategy<Value = AccessMix> {
     (
-        0usize..16,           // alu_per_load
-        1usize..4,            // mlp
-        0usize..8,            // ind_gap
+        0usize..16,                             // alu_per_load
+        1usize..4,                              // mlp
+        0usize..8,                              // ind_gap
         (1usize..64, 1usize..4, 0.0f64..=0.95), // hot lines/repeat/frac
-        1usize..2_000,        // cold lines
-        (1usize..128, 0.0f64..=0.5), // shared lines/frac
-        0.0f64..=0.3,         // stream frac
-        0.0f64..=0.3,         // store frac
+        1usize..2_000,                          // cold lines
+        (1usize..128, 0.0f64..=0.5),            // shared lines/frac
+        0.0f64..=0.3,                           // stream frac
+        0.0f64..=0.3,                           // store frac
     )
-        .prop_map(
-            |(alu, mlp, gap, (hl, hr, hf), cl, (sl, sf), stf, stof)| {
-                let mut stream = stf;
-                if sf + stream > 0.95 {
-                    stream = 0.95 - sf;
-                }
-                AccessMix {
-                    alu_per_load: alu,
-                    mlp,
-                    ind_gap: gap,
-                    hot_lines: hl,
-                    hot_repeat: hr,
-                    hot_frac: hf,
-                    cold_lines: cl,
-                    shared_lines: sl,
-                    shared_frac: sf,
-                    stream_frac: stream,
-                    store_frac: stof,
-                }
-            },
-        )
+        .prop_map(|(alu, mlp, gap, (hl, hr, hf), cl, (sl, sf), stf, stof)| {
+            let mut stream = stf;
+            if sf + stream > 0.95 {
+                stream = 0.95 - sf;
+            }
+            AccessMix {
+                alu_per_load: alu,
+                mlp,
+                ind_gap: gap,
+                hot_lines: hl,
+                hot_repeat: hr,
+                hot_frac: hf,
+                cold_lines: cl,
+                shared_lines: sl,
+                shared_frac: sf,
+                stream_frac: stream,
+                store_frac: stof,
+            }
+        })
 }
 
 proptest! {

@@ -29,8 +29,14 @@ fn main() {
     let kernel = KernelSpec::phased(
         "custom-phased",
         vec![
-            Phase { mix: phase_a, instructions: 30_000 },
-            Phase { mix: phase_b, instructions: 30_000 },
+            Phase {
+                mix: phase_a,
+                instructions: 30_000,
+            },
+            Phase {
+                mix: phase_b,
+                instructions: 30_000,
+            },
         ],
         123,
     );

@@ -7,10 +7,10 @@
 //! cargo run --release --example explore_solution_space [bench-name]
 //! ```
 
+use poise_repro::gpu_sim::GpuConfig;
 use poise_repro::poise::profiler::{profile_grid, GridSpec, ProfileWindow};
 use poise_repro::poise_ml::ScoringWeights;
 use poise_repro::workloads::evaluation_suite;
-use poise_repro::gpu_sim::GpuConfig;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "ii".to_string());
@@ -49,12 +49,19 @@ fn main() {
         }
         println!();
     }
-    println!("     {}", (1..=max_n).map(|n| format!("{:<2}", n % 10)).collect::<String>());
+    println!(
+        "     {}",
+        (1..=max_n)
+            .map(|n| format!("{:<2}", n % 10))
+            .collect::<String>()
+    );
     println!("# >= +10%, + speedup, - small slowdown, : big slowdown");
 
     let (best, s_best) = grid.best_performance().expect("profiled");
     let (diag, s_diag) = grid.best_diagonal().expect("profiled");
-    let (scored, _) = grid.best_scored(&ScoringWeights::default()).expect("scored");
+    let (scored, _) = grid
+        .best_scored(&ScoringWeights::default())
+        .expect("scored");
     println!("\nglobal best        : {best}  ({s_best:.3}x)");
     println!("diagonal best (SWL): {diag}  ({s_diag:.3}x)");
     println!(

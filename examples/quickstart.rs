@@ -39,8 +39,16 @@ fn main() {
     let mut controller = PoiseController::new(model, PoiseParams::default());
     let poise = poise_gpu.run(&mut controller, 300_000);
 
-    println!("GTO   IPC: {:.3}  (L1 hit {:.1}%)", gto.ipc(), 100.0 * gto.counters.l1_hit_rate());
-    println!("Poise IPC: {:.3}  (L1 hit {:.1}%)", poise.ipc(), 100.0 * poise.counters.l1_hit_rate());
+    println!(
+        "GTO   IPC: {:.3}  (L1 hit {:.1}%)",
+        gto.ipc(),
+        100.0 * gto.counters.l1_hit_rate()
+    );
+    println!(
+        "Poise IPC: {:.3}  (L1 hit {:.1}%)",
+        poise.ipc(),
+        100.0 * poise.counters.l1_hit_rate()
+    );
     println!("speedup:   {:.2}x", poise.ipc() / gto.ipc());
     for log in controller.log.iter().take(3) {
         println!(

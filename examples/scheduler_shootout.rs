@@ -23,7 +23,10 @@ fn main() {
     println!("training the regression model (one-time)...");
     let model = train::train_default_model(&setup);
 
-    println!("\n{:<16} {:>8} {:>10} {:>9} {:>8}", "scheme", "IPC", "vs GTO", "L1 hit%", "AML");
+    println!(
+        "\n{:<16} {:>8} {:>10} {:>9} {:>8}",
+        "scheme", "IPC", "vs GTO", "L1 hit%", "AML"
+    );
     let mut gto_ipc = None;
     for scheme in [
         Scheme::Gto,

@@ -35,8 +35,13 @@ fn main() {
         .expect("mm benchmark");
     let gto = experiment::run_benchmark(&bench, Scheme::Gto, &model, &setup);
     let poise = experiment::run_benchmark(&bench, Scheme::Poise, &model, &setup);
-    println!("{}: GTO IPC {:.3} -> Poise IPC {:.3} ({:.2}x)",
-        bench.name, gto.ipc, poise.ipc, poise.ipc / gto.ipc);
+    println!(
+        "{}: GTO IPC {:.3} -> Poise IPC {:.3} ({:.2}x)",
+        bench.name,
+        gto.ipc,
+        poise.ipc,
+        poise.ipc / gto.ipc
+    );
     for k in &poise.kernels {
         for l in k.epoch_logs.iter().take(2) {
             println!(

@@ -6,7 +6,7 @@ use poise_repro::gpu_sim::{FixedTuple, Gpu, GpuConfig, WarpTuple};
 use poise_repro::poise::experiment::{self, Scheme, Setup};
 use poise_repro::poise::profiler::{profile_grid, run_tuple, GridSpec, ProfileWindow};
 use poise_repro::poise::{train, PoiseController, PoiseParams};
-use poise_repro::poise_ml::{N_FEATURES, TrainedModel};
+use poise_repro::poise_ml::{TrainedModel, N_FEATURES};
 use poise_repro::workloads::{AccessMix, Benchmark, KernelSpec};
 
 fn small_setup() -> Setup {
@@ -76,7 +76,10 @@ fn throttling_beats_gto_on_thrashing_kernel() {
         speedup > 1.1,
         "a reduced tuple must beat GTO on a thrashing kernel, best {best} = {speedup}"
     );
-    assert!(best.n < 24, "the optimum must involve throttling, got {best}");
+    assert!(
+        best.n < 24,
+        "the optimum must involve throttling, got {best}"
+    );
 }
 
 #[test]
@@ -105,11 +108,7 @@ fn every_scheme_produces_work_and_valid_metrics() {
     let setup = small_setup();
     let bench = Benchmark::new(
         "integration",
-        vec![KernelSpec::steady(
-            "k0",
-            AccessMix::memory_sensitive(),
-            3,
-        )],
+        vec![KernelSpec::steady("k0", AccessMix::memory_sensitive(), 3)],
     );
     let model = const_model(8.0, 2.0);
     for scheme in [
@@ -149,8 +148,7 @@ fn simulation_is_deterministic_across_full_stack() {
     let kernel = KernelSpec::steady("det", AccessMix::memory_sensitive(), 11);
     let run = || {
         let mut gpu = Gpu::new(setup.cfg.clone(), &kernel);
-        let mut ctrl =
-            PoiseController::new(const_model(6.0, 2.0), PoiseParams::scaled_down(10));
+        let mut ctrl = PoiseController::new(const_model(6.0, 2.0), PoiseParams::scaled_down(10));
         let r = gpu.run(&mut ctrl, 50_000);
         (r.counters, ctrl.log.clone())
     };

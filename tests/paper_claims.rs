@@ -6,12 +6,11 @@ use poise_repro::gpu_sim::{Gpu, GpuConfig, WarpTuple};
 use poise_repro::poise::profiler::{run_tuple, ProfileWindow};
 use poise_repro::poise::{PoiseController, PoiseParams};
 use poise_repro::poise_ml::{
-    scoring, AnalyticalParams, FeatureVector, ReducedParams, SpeedupGrid,
-    TrainedModel, N_FEATURES,
+    scoring, AnalyticalParams, FeatureVector, ReducedParams, SpeedupGrid, TrainedModel, N_FEATURES,
 };
 use poise_repro::workloads::{
-    compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite,
-    AccessMix, KernelSpec,
+    compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite, AccessMix,
+    KernelSpec,
 };
 
 fn window() -> ProfileWindow {
@@ -156,8 +155,7 @@ fn tuple_scaling_round_trip_partial_occupancy() {
         let up = scoring::scale_tuple(t, avail, 24);
         let down = scoring::reverse_scale_tuple(up, avail, 24);
         assert!(
-            (down.n as i64 - t.n as i64).abs() <= 1
-                && (down.p as i64 - t.p as i64).abs() <= 1,
+            (down.n as i64 - t.n as i64).abs() <= 1 && (down.p as i64 - t.p as i64).abs() <= 1,
             "avail {avail}: {t} -> {up} -> {down}"
         );
     }
@@ -167,8 +165,7 @@ fn tuple_scaling_round_trip_partial_occupancy() {
 /// count, never the hardware maximum.
 #[test]
 fn partial_occupancy_clamps_hie_tuples() {
-    let kernel =
-        KernelSpec::steady("occ", AccessMix::memory_sensitive(), 31).with_warps(12);
+    let kernel = KernelSpec::steady("occ", AccessMix::memory_sensitive(), 31).with_warps(12);
     let mut alpha = [0.0; N_FEATURES];
     let mut beta = [0.0; N_FEATURES];
     alpha[N_FEATURES - 1] = (20.0f64).ln(); // model wants N = 20

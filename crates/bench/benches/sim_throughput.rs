@@ -1,43 +1,117 @@
 //! `sim_throughput`: simulated cycles per wall-clock second, the tracked
 //! perf number for the simulator core.
 //!
-//! Reports the event-driven and cycle-stepped reference loops side by
-//! side on the two regimes that bracket the design space:
+//! Reports the per-SM decoupled loop, the global event-driven loop and
+//! the cycle-stepped reference side by side on the regimes that bracket
+//! the design space:
 //!
-//! * **memory-bound** (streaming, N = 1): every vital warp blocks on its
-//!   outstanding load almost immediately — the fast-forward sweet spot
-//!   and, per the paper, the regime Poise's evaluation lives in;
+//! * **memory-bound, low occupancy** (streaming, N = 1/4): every vital
+//!   warp blocks on its outstanding load almost immediately — the regime
+//!   the global skip already handles well;
+//! * **memory-bound, high occupancy** (streaming, N = 16): many warps per
+//!   scheduler keep *some* SM busy at every instant, so the global skip
+//!   collapses to stepping while the per-SM loop still skips each SM's
+//!   own stalls — the regime `StepMode::PerSm` exists for;
 //! * **compute-bound** (long ALU stretches at full occupancy): the
-//!   fast-forward worst case (it almost never triggers), bounding the
-//!   overhead of the readiness bookkeeping.
+//!   fast-forward worst case (skips almost never trigger), bounding the
+//!   overhead of the readiness/horizon bookkeeping.
 //!
 //! Also times `profile_grid` on a coarse(24) grid end-to-end, since that
 //! is the harness path every figure regeneration pays.
 //!
 //! Run with: `cargo bench -p poise-bench --bench sim_throughput`
+//!
+//! Flags (after `--`):
+//!
+//! * `--smoke` — one fast sample per point (CI smoke mode);
+//! * `--json`  — additionally write machine-readable per-commit results
+//!   to `results/sim_throughput.json` (the tracked perf trajectory).
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use gpu_sim::{FixedTuple, Gpu, GpuConfig, StepMode, UniformKernel, WarpTuple};
 use poise::profiler::{profile_grid, GridSpec, ProfileWindow};
+use poise_bench::results_dir;
 use workloads::{AccessMix, KernelSpec};
 
-const BUDGET: u64 = 400_000;
-const SAMPLES: usize = 5;
+const MODES: [(StepMode, &str); 3] = [
+    (StepMode::PerSm, "per_sm"),
+    (StepMode::EventDriven, "event_driven"),
+    (StepMode::Reference, "reference"),
+];
 
-fn cycles_per_second(kernel: &UniformKernel, tuple: WarpTuple, mode: StepMode) -> f64 {
+struct Opts {
+    smoke: bool,
+    json: bool,
+}
+
+impl Opts {
+    fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Opts {
+            smoke: args.iter().any(|a| a == "--smoke"),
+            json: args.iter().any(|a| a == "--json"),
+        }
+    }
+
+    fn budget(&self) -> u64 {
+        if self.smoke {
+            120_000
+        } else {
+            400_000
+        }
+    }
+
+    fn samples(&self) -> usize {
+        if self.smoke {
+            1
+        } else {
+            5
+        }
+    }
+
+    fn grid_reps(&self) -> usize {
+        if self.smoke {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+/// Per-mode result of one workload point: best-of-N throughput plus the
+/// per-SM fast-forward totals of the last run (spans, skipped SM-cycles,
+/// horizon stalls) — the "why didn't this skip?" diagnostics.
+struct ModeResult {
+    rate: f64,
+    ff: (u64, u64, u64),
+}
+
+/// Cycles per second of one (kernel, tuple, mode) point: best of N runs.
+fn cycles_per_second(
+    kernel: &UniformKernel,
+    tuple: WarpTuple,
+    sms: usize,
+    mode: StepMode,
+    opts: &Opts,
+) -> ModeResult {
     let mut best = 0.0f64;
-    for _ in 0..SAMPLES {
-        let mut cfg = GpuConfig::scaled(4);
+    let mut ff = (0, 0, 0);
+    for _ in 0..opts.samples() {
+        let mut cfg = GpuConfig::scaled(sms);
         cfg.step_mode = mode;
         let mut gpu = Gpu::new(cfg, kernel);
         let mut ctrl = FixedTuple::new(tuple);
         let t = Instant::now();
-        let res = gpu.run(&mut ctrl, BUDGET);
+        let res = gpu.run(&mut ctrl, opts.budget());
         let rate = res.counters.cycles as f64 / t.elapsed().as_secs_f64();
         best = best.max(rate);
+        ff = gpu.fast_forward_breakdown().iter().fold((0, 0, 0), |a, f| {
+            (a.0 + f.spans, a.1 + f.skipped, a.2 + f.horizon_stalls)
+        });
     }
-    best
+    ModeResult { rate: best, ff }
 }
 
 fn fmt_rate(r: f64) -> String {
@@ -48,60 +122,234 @@ fn fmt_rate(r: f64) -> String {
     }
 }
 
-fn report(name: &str, kernel: &UniformKernel, tuple: WarpTuple) {
-    let ev = cycles_per_second(kernel, tuple, StepMode::EventDriven);
-    let rf = cycles_per_second(kernel, tuple, StepMode::Reference);
-    println!(
-        "sim_throughput/{name:<24} event-driven {:>14}   reference {:>14}   speedup {:>5.2}x",
-        fmt_rate(ev),
-        fmt_rate(rf),
-        ev / rf
-    );
+struct WorkloadResult {
+    name: &'static str,
+    /// Simulated machine size (SMs).
+    sms: usize,
+    /// cycles/sec per mode, in `MODES` order.
+    rates: [f64; 3],
+    /// Per-SM fast-forward totals of the per-SM mode run:
+    /// (spans, skipped SM-cycles, horizon stalls).
+    per_sm_ff: (u64, u64, u64),
 }
 
-fn profile_grid_end_to_end() {
+impl WorkloadResult {
+    fn speedup_vs_reference(&self) -> f64 {
+        self.rates[0] / self.rates[2]
+    }
+
+    fn speedup_vs_event_driven(&self) -> f64 {
+        self.rates[0] / self.rates[1]
+    }
+}
+
+fn report(
+    name: &'static str,
+    kernel: &UniformKernel,
+    tuple: WarpTuple,
+    sms: usize,
+    opts: &Opts,
+) -> WorkloadResult {
+    let mut rates = [0.0; 3];
+    let mut per_sm_ff = (0, 0, 0);
+    for (i, (mode, _)) in MODES.iter().enumerate() {
+        let r = cycles_per_second(kernel, tuple, sms, *mode, opts);
+        rates[i] = r.rate;
+        if *mode == StepMode::PerSm {
+            per_sm_ff = r.ff;
+        }
+    }
+    println!(
+        "sim_throughput/{name:<24} per-sm {:>14}   event-driven {:>14}   reference {:>14}   \
+         per-sm vs ref {:>6.2}x   vs event {:>5.2}x",
+        fmt_rate(rates[0]),
+        fmt_rate(rates[1]),
+        fmt_rate(rates[2]),
+        rates[0] / rates[2],
+        rates[0] / rates[1],
+    );
+    println!(
+        "    per-sm breakdown: {} spans, {} skipped SM-cycles, {} horizon stalls",
+        per_sm_ff.0, per_sm_ff.1, per_sm_ff.2
+    );
+    WorkloadResult {
+        name,
+        sms,
+        rates,
+        per_sm_ff,
+    }
+}
+
+struct GridResult {
+    points: usize,
+    /// Wall-clock seconds per mode, in `MODES` order.
+    seconds: [f64; 3],
+}
+
+fn profile_grid_end_to_end(opts: &Opts) -> GridResult {
     let spec = KernelSpec::steady("bench-grid", AccessMix::memory_sensitive(), 13);
     let window = ProfileWindow::default();
-    let time_mode = |mode: StepMode| {
+    let mut seconds = [0.0; 3];
+    let mut points = 0;
+    for (i, (mode, _)) in MODES.iter().enumerate() {
         let mut cfg = GpuConfig::scaled(2);
-        cfg.step_mode = mode;
+        cfg.step_mode = *mode;
         let mut best = f64::INFINITY;
-        let mut points = 0;
-        for _ in 0..3 {
+        for _ in 0..opts.grid_reps() {
             let t = Instant::now();
             let grid = profile_grid(&spec, &cfg, &GridSpec::coarse(24), window);
             best = best.min(t.elapsed().as_secs_f64());
             points = grid.iter().count();
         }
-        (best, points)
-    };
-    let (ev, points) = time_mode(StepMode::EventDriven);
-    let (rf, _) = time_mode(StepMode::Reference);
+        seconds[i] = best;
+    }
     println!(
-        "sim_throughput/profile_grid-coarse24     {points} points   \
-         event-driven {ev:.2}s   reference {rf:.2}s   speedup {:>5.2}x",
-        rf / ev
+        "sim_throughput/profile_grid-coarse24     {points} points   per-sm {:.2}s   \
+         event-driven {:.2}s   reference {:.2}s   per-sm vs ref {:>5.2}x   vs event {:>5.2}x",
+        seconds[0],
+        seconds[1],
+        seconds[2],
+        seconds[2] / seconds[0],
+        seconds[1] / seconds[0],
     );
+    GridResult { points, seconds }
+}
+
+/// The commit this run measures, for the tracked trajectory under
+/// `results/`. Prefers the CI-provided sha, falls back to `git`.
+fn commit_id() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(opts: &Opts, workloads: &[WorkloadResult], grid: &GridResult) {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"sim_throughput\",");
+    let _ = writeln!(s, "  \"commit\": \"{}\",", json_escape(&commit_id()));
+    let _ = writeln!(s, "  \"unix_time\": {unix_time},");
+    let _ = writeln!(s, "  \"smoke\": {},", opts.smoke);
+    let _ = writeln!(s, "  \"budget_cycles\": {},", opts.budget());
+    let _ = writeln!(s, "  \"workloads\": [");
+    for (wi, w) in workloads.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(s, "      \"sms\": {},", w.sms);
+        for (i, (_, mode_name)) in MODES.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "      \"{}_cycles_per_sec\": {:.1},",
+                mode_name, w.rates[i]
+            );
+        }
+        let _ = writeln!(
+            s,
+            "      \"per_sm_speedup_vs_reference\": {:.3},",
+            w.speedup_vs_reference()
+        );
+        let _ = writeln!(
+            s,
+            "      \"per_sm_speedup_vs_event_driven\": {:.3},",
+            w.speedup_vs_event_driven()
+        );
+        let _ = writeln!(
+            s,
+            "      \"per_sm_ff\": {{\"spans\": {}, \"skipped_sm_cycles\": {}, \"horizon_stalls\": {}}}",
+            w.per_sm_ff.0, w.per_sm_ff.1, w.per_sm_ff.2
+        );
+        let comma = if wi + 1 < workloads.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"profile_grid_coarse24\": {{");
+    let _ = writeln!(s, "    \"points\": {},", grid.points);
+    for (i, (_, mode_name)) in MODES.iter().enumerate() {
+        let comma = if i + 1 < MODES.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    \"{}_seconds\": {:.4}{comma}",
+            mode_name, grid.seconds[i]
+        );
+    }
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    let path = results_dir().join("sim_throughput.json");
+    std::fs::write(&path, s).expect("write sim_throughput.json");
+    eprintln!("[bench] wrote {}", path.display());
 }
 
 fn main() {
-    // Memory-bound: one streaming warp, no ALU padding.
-    report(
-        "mem-bound-stream-n1",
-        &UniformKernel::streaming(1, 0),
-        WarpTuple::new(1, 1, 24),
-    );
-    // Memory-bound at modest occupancy: still stall-dominated.
-    report(
-        "mem-bound-stream-n4",
-        &UniformKernel::streaming(4, 2),
-        WarpTuple::new(4, 4, 24),
-    );
-    // Compute-bound: long ALU stretches, full occupancy.
-    report(
-        "compute-bound",
-        &UniformKernel::streaming(16, 40),
-        WarpTuple::new(16, 16, 24),
-    );
-    profile_grid_end_to_end();
+    let opts = Opts::from_args();
+    let workloads = vec![
+        // Memory-bound: one streaming warp, no ALU padding.
+        report(
+            "mem-bound-stream-n1",
+            &UniformKernel::streaming(1, 0),
+            WarpTuple::new(1, 1, 24),
+            4,
+            &opts,
+        ),
+        // Memory-bound at modest occupancy: still stall-dominated.
+        report(
+            "mem-bound-stream-n4",
+            &UniformKernel::streaming(4, 2),
+            WarpTuple::new(4, 4, 24),
+            4,
+            &opts,
+        ),
+        // Memory-bound at high occupancy on the full Table IIIb machine:
+        // the SMs desynchronise, the global skip collapses, and only the
+        // per-SM loop keeps skipping each SM's own stalls.
+        report(
+            "mem-bound-stream-n16",
+            &UniformKernel::streaming(16, 2),
+            WarpTuple::new(16, 16, 24),
+            32,
+            &opts,
+        ),
+        // Full occupancy beyond the MSHR file (48 outstanding loads
+        // wanted vs 32 MSHRs) on the full machine: a structural reject
+        // storm, the most expensive rows of a `GridSpec::full(24)`
+        // profiling sweep. Ready warps retry every cycle, so neither
+        // stepped mode can skip at all; the per-SM loop bulk-replays the
+        // storm cycles.
+        report(
+            "reject-storm-stream-n24",
+            &UniformKernel::streaming(24, 0),
+            WarpTuple::new(24, 24, 24),
+            32,
+            &opts,
+        ),
+        // Compute-bound: long ALU stretches, full occupancy.
+        report(
+            "compute-bound",
+            &UniformKernel::streaming(16, 40),
+            WarpTuple::new(16, 16, 24),
+            4,
+            &opts,
+        ),
+    ];
+    let grid = profile_grid_end_to_end(&opts);
+    if opts.json {
+        write_json(&opts, &workloads, &grid);
+    }
 }

@@ -63,16 +63,23 @@ fn main() {
         "[bench] profiling the full {{N, p}} grid of {}...",
         kernel.name
     );
+    // The full 300-point triangle at the hardware scheduler capacity —
+    // affordable since the per-SM decoupled core (the coarse grid was a
+    // concession to the slower cycle-stepped core).
+    let max_n = setup
+        .cfg
+        .max_warps_per_scheduler
+        .min(kernel.warps_per_scheduler);
     let grid = profile_grid(
         kernel,
         &setup.cfg,
-        &GridSpec::full(16),
+        &GridSpec::full(max_n),
         setup.profile_window,
     );
 
     println!("# Fig. 2a — {{N, p}} solution space of {}", kernel.name);
     print!("{}", render_grid(&grid));
-    let ccws = swl_tuple_from_grid(&grid, 16);
+    let ccws = swl_tuple_from_grid(&grid, max_n);
     let pcal = pcal_converge(&grid, ccws);
     let (maxt, maxs) = grid.best_performance().expect("profiled grid");
     println!(
@@ -86,7 +93,7 @@ fn main() {
     println!("MAX (global best):    {maxt} -> {maxs:.3}");
 
     let mut rows = Vec::new();
-    for n in 1..=16usize {
+    for n in 1..=grid.max_n() {
         rows.push(vec![
             n.to_string(),
             grid.get(n, n).map_or("-".into(), |v| cell(v, 3)),

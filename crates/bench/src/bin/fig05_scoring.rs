@@ -18,10 +18,16 @@ fn main() {
     let mut grids = String::new();
     for kernel in [&bench.kernels[2], &bench.kernels[4]] {
         eprintln!("[bench] profiling {} over the full grid...", kernel.name);
+        // Full triangle at the hardware scheduler capacity, affordable
+        // since the per-SM decoupled core.
+        let max_n = setup
+            .cfg
+            .max_warps_per_scheduler
+            .min(kernel.warps_per_scheduler);
         let grid = profile_grid(
             kernel,
             &setup.cfg,
-            &GridSpec::full(20.min(kernel.warps_per_scheduler)),
+            &GridSpec::full(max_n),
             setup.profile_window,
         );
         let (perf_t, perf_s) = grid.best_performance().expect("profiled");

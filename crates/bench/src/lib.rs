@@ -22,13 +22,23 @@ use poise::train;
 use poise_ml::{TrainedModel, N_FEATURES};
 use workloads::evaluation_suite;
 
-/// Directory where figure outputs and caches are written.
+/// Directory where figure outputs and caches are written: always the
+/// workspace-root `results/`, regardless of the invoking working
+/// directory (`cargo bench` runs with the package directory as CWD,
+/// `cargo run` with the caller's). `POISE_RESULTS_DIR` overrides.
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var("POISE_RESULTS_DIR").unwrap_or_else(|_| {
-        // Walk up from the crate to the workspace root if invoked there.
-        "results".to_string()
-    });
-    let p = PathBuf::from(dir);
+    let p = match std::env::var("POISE_RESULTS_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => {
+            // crates/bench -> workspace root.
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest
+                .parent()
+                .and_then(|p| p.parent())
+                .map(|root| root.join("results"))
+                .unwrap_or_else(|| PathBuf::from("results"))
+        }
+    };
     std::fs::create_dir_all(&p).expect("create results dir");
     p
 }

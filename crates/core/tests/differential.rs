@@ -1,13 +1,14 @@
-//! Differential tests: the event-driven fast-forward run loop must be
-//! **bit-identical** to the cycle-stepped reference loop for every shipped
-//! control policy, across streaming / cache-resident / finite kernels.
+//! Differential tests: the per-SM decoupled run loop and the global
+//! event-driven fast-forward loop must both be **bit-identical** to the
+//! cycle-stepped reference loop for every shipped control policy, across
+//! streaming / cache-resident / finite kernels.
 //!
-//! This is the contract that makes the fast-forward optimisation safe to
+//! This is the contract that makes the fast-forward optimisations safe to
 //! lean on everywhere: same `Counters` (so IPC, AML, hit rates and gap
 //! statistics agree exactly), same final cycle, same completion status,
 //! and same controller steering trajectory (tuple changes at the same
 //! cycles with the same values — proving skipped spans never cross a
-//! controller wake).
+//! controller wake, and per-SM epochs barrier exactly on every wake).
 
 use gpu_sim::{ControlCtx, Controller, Counters, FixedTuple, Gpu, GpuConfig, StepMode, WarpTuple};
 use poise::hie::PoiseController;
@@ -132,22 +133,27 @@ fn run_with<C: Controller>(
 
 fn assert_identical<C: Controller>(policy: &str, make: impl Fn() -> C, budget: u64) {
     for (kname, spec) in kernels() {
-        let ev = run_with(StepMode::EventDriven, &spec, &make, budget);
         let rf = run_with(StepMode::Reference, &spec, &make, budget);
-        assert_eq!(
-            ev.counters, rf.counters,
-            "{policy}/{kname}: counters diverged"
-        );
-        assert_eq!(ev.cycle, rf.cycle, "{policy}/{kname}: final cycle");
-        assert_eq!(
-            ev.completed, rf.completed,
-            "{policy}/{kname}: completion status"
-        );
-        assert_eq!(
-            ev.steering, rf.steering,
-            "{policy}/{kname}: steering trajectory (a skip crossed a wake)"
-        );
         assert_eq!(rf.ff_cycles, 0, "reference mode must never skip");
+        for mode in [StepMode::PerSm, StepMode::EventDriven] {
+            let fast = run_with(mode, &spec, &make, budget);
+            assert_eq!(
+                fast.counters, rf.counters,
+                "{policy}/{kname}/{mode:?}: counters diverged"
+            );
+            assert_eq!(
+                fast.cycle, rf.cycle,
+                "{policy}/{kname}/{mode:?}: final cycle"
+            );
+            assert_eq!(
+                fast.completed, rf.completed,
+                "{policy}/{kname}/{mode:?}: completion status"
+            );
+            assert_eq!(
+                fast.steering, rf.steering,
+                "{policy}/{kname}/{mode:?}: steering trajectory (a skip crossed a wake)"
+            );
+        }
     }
 }
 
@@ -213,14 +219,86 @@ fn apcm_is_identical() {
 #[test]
 fn fast_forward_engages_on_memory_bound_runs() {
     // The equality tests above would pass vacuously if fast-forward never
-    // triggered; pin that it actually skips a large share of a
+    // triggered; pin that both fast modes actually skip a large share of a
     // memory-bound run.
     let (_, spec) = kernels().remove(0);
-    let ev = run_with(StepMode::EventDriven, &spec, FixedTuple::max, BUDGET);
+    for mode in [StepMode::PerSm, StepMode::EventDriven] {
+        let fast = run_with(mode, &spec, FixedTuple::max, BUDGET);
+        assert!(
+            fast.ff_cycles > BUDGET / 4,
+            "{mode:?}: expected a large skipped share, got {} of {BUDGET}",
+            fast.ff_cycles
+        );
+    }
+}
+
+#[test]
+fn per_sm_decoupling_beats_the_global_skip_on_multi_sm_machines() {
+    // The regime this mode exists for: multiple desynchronised SMs at high
+    // occupancy. The global skip needs *every* scheduler stalled at once;
+    // the per-SM loop skips each SM's own stalls regardless.
+    let spec = KernelSpec::steady("diff-multi", AccessMix::memory_sensitive(), 11).with_warps(16);
+    let run = |mode: StepMode| {
+        let mut cfg = GpuConfig::scaled(4);
+        cfg.step_mode = mode;
+        let mut gpu = Gpu::new(cfg, &spec);
+        let mut ctrl = FixedTuple::max();
+        let res = gpu.run(&mut ctrl, BUDGET);
+        (res.counters, gpu.fast_forward_stats().1)
+    };
+    let (pc, per_sm_skipped) = run(StepMode::PerSm);
+    let (ec, global_skipped) = run(StepMode::EventDriven);
+    let (rc, _) = run(StepMode::Reference);
+    assert_eq!(pc, rc);
+    assert_eq!(ec, rc);
     assert!(
-        ev.ff_cycles > BUDGET / 4,
-        "expected a large skipped share, got {} of {BUDGET}",
-        ev.ff_cycles
+        per_sm_skipped > global_skipped,
+        "per-SM skipping ({per_sm_skipped} SM-cycles) must beat the global \
+         skip ({global_skipped} cycles) at high occupancy"
+    );
+}
+
+#[test]
+fn reject_storms_are_identical_under_steering_controllers() {
+    // Full occupancy (24 warps/scheduler, 48 outstanding loads wanted
+    // against 32 MSHRs) drives the L1 into a structural reject storm —
+    // the regime the per-SM structural-stall replay exists for. Dynamic
+    // controllers steer tuples mid-storm, repeatedly moving the machine
+    // in and out of it; every mode must agree bit-for-bit. The budget is
+    // modest because the reference loop really steps every storm cycle.
+    let spec = KernelSpec::steady("diff-storm", AccessMix::memory_sensitive(), 3).with_warps(24);
+    let budget = 25_000;
+    let check = |name: &str, make: &dyn Fn() -> Box<dyn Controller>, expect_rejects: bool| {
+        let rf = run_with(StepMode::Reference, &spec, make, budget);
+        if expect_rejects {
+            assert!(
+                rf.counters.l1_rejects > 0,
+                "{name}: expected a reject storm at full occupancy"
+            );
+        }
+        for mode in [StepMode::PerSm, StepMode::EventDriven] {
+            let fast = run_with(mode, &spec, make, budget);
+            assert_eq!(fast.counters, rf.counters, "{name}/{mode:?}: counters");
+            assert_eq!(fast.steering, rf.steering, "{name}/{mode:?}: steering");
+            assert_eq!(fast.cycle, rf.cycle, "{name}/{mode:?}: final cycle");
+        }
+    };
+    check("GTO", &|| Box::new(FixedTuple::max()), true);
+    check(
+        "Poise",
+        &|| {
+            Box::new(PoiseController::new(
+                const_model(20.0, 4.0),
+                PoiseParams::scaled_down(24),
+            ))
+        },
+        // Poise steers away from max occupancy, so the storm may subside.
+        false,
+    );
+    check(
+        "APCM",
+        &|| Box::new(ApcmController::new(12_000).with_monitor_cycles(4_000)),
+        true,
     );
 }
 
@@ -236,5 +314,7 @@ fn poise_epoch_logs_match_across_modes() {
         gpu.run(&mut ctrl, 40_000);
         ctrl.log
     };
-    assert_eq!(run(StepMode::EventDriven), run(StepMode::Reference));
+    let reference = run(StepMode::Reference);
+    assert_eq!(run(StepMode::PerSm), reference);
+    assert_eq!(run(StepMode::EventDriven), reference);
 }

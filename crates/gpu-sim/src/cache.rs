@@ -171,6 +171,14 @@ impl SetAssocCache {
         ) {
             return;
         }
+        self.insert_missing(line);
+    }
+
+    /// [`SetAssocCache::insert`] for a line the caller has already probed
+    /// as missing, skipping the redundant lookup (the L2 read path calls
+    /// this right after its miss lookup).
+    pub fn insert_missing(&mut self, line: u64) {
+        debug_assert_eq!(self.probe(line), Lookup::Miss);
         if let Some((set, way)) = self.pick_victim(line) {
             let stamp = self.next_stamp();
             let l = self.line_mut(set, way);

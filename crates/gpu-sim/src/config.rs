@@ -9,19 +9,29 @@
 
 /// Which run loop [`crate::Gpu::run`] uses.
 ///
-/// Both modes produce **bit-identical** counters (the differential suite
+/// All modes produce **bit-identical** counters (the differential suite
 /// in the `poise` crate enforces this for every shipped policy); they
 /// differ only in wall-clock cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StepMode {
-    /// Fast-forward across spans in which no warp can issue, jumping
-    /// straight to the next scheduled event / controller wake / budget
-    /// end and bulk-accounting the skipped cycles. The default.
+    /// Decoupled per-SM local clocks: each SM runs ahead independently up
+    /// to a conservative horizon (its next event, the shared memory
+    /// system's safe horizon, the next controller wake, the budget end)
+    /// and skips its own stalled spans, so one busy SM no longer pins the
+    /// whole machine to cycle-stepping. The default; see the module docs
+    /// of [`crate::gpu`] for the synchronisation invariant.
     #[cfg_attr(not(feature = "reference-step"), default)]
+    PerSm,
+    /// Globally event-driven: fast-forward only across spans in which no
+    /// warp on *any* SM can issue, jumping straight to the next scheduled
+    /// event / controller wake / budget end and bulk-accounting the
+    /// skipped cycles. Kept as the intermediate point between the
+    /// reference and per-SM loops (and as a cross-check in the
+    /// differential suites).
     EventDriven,
-    /// Step every cycle. The reference loop the event-driven mode is
-    /// validated against; also the default when the `reference-step`
-    /// feature of `gpu-sim` is enabled.
+    /// Step every cycle. The reference loop the other modes are validated
+    /// against; also the default when the `reference-step` feature of
+    /// `gpu-sim` is enabled.
     #[cfg_attr(feature = "reference-step", default)]
     Reference,
 }
@@ -164,8 +174,9 @@ pub struct GpuConfig {
     pub track_reuse_distance: bool,
     /// Track per-PC load locality (needed by APCM-style bypass policies).
     pub track_pc_stats: bool,
-    /// Which run loop to use (event-driven fast-forward vs. cycle-stepped
-    /// reference; counters are bit-identical either way).
+    /// Which run loop to use (decoupled per-SM clocks, global event-driven
+    /// fast-forward, or the cycle-stepped reference; counters are
+    /// bit-identical in every mode).
     pub step_mode: StepMode,
 }
 

@@ -139,6 +139,24 @@ pub trait Controller {
     }
 }
 
+impl<C: Controller + ?Sized> Controller for Box<C> {
+    fn on_kernel_start(&mut self, ctx: &mut ControlCtx) {
+        (**self).on_kernel_start(ctx)
+    }
+
+    fn on_cycle(&mut self, ctx: &mut ControlCtx) {
+        (**self).on_cycle(ctx)
+    }
+
+    fn on_kernel_end(&mut self, ctx: &mut ControlCtx) {
+        (**self).on_kernel_end(ctx)
+    }
+
+    fn next_wake(&self, now: u64) -> Option<u64> {
+        (**self).next_wake(now)
+    }
+}
+
 /// The trivial static policy: install one tuple at kernel start and keep it.
 ///
 /// `FixedTuple::max()` is the paper's GTO baseline (maximum warps, all

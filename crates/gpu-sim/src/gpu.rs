@@ -1,32 +1,74 @@
-//! The top-level GPU: SMs + shared memory system + event queue + run loop.
+//! The top-level GPU: SMs + shared memory system + event queues + run loop.
 //!
-//! ## Event-driven fast-forward
+//! ## Run loops and the fast-forward hierarchy
 //!
 //! Memory-bound phases — exactly the regimes Poise targets — spend most
 //! cycles with every vital warp blocked on an outstanding load. The
-//! default [`StepMode::EventDriven`] loop detects that state in
-//! O(SMs × schedulers) via the [`Sm`] readiness counters and jumps the
-//! clock straight to the next point at which anything can change, instead
-//! of stepping idle cycles one by one.
+//! simulator ships three run loops over identical architectural state
+//! (selected by [`StepMode`]), each proven **bit-identical** to the next
+//! by the differential suite in the `poise` crate:
 //!
-//! The skip target is `min(next_event, next_wake − 1, end)`:
+//! * [`StepMode::Reference`] steps every cycle of every SM.
+//! * [`StepMode::EventDriven`] detects globally-dead cycles — no scheduler
+//!   on *any* SM has a ready vital warp — in O(SMs × schedulers) via the
+//!   [`Sm`] readiness counters and jumps the single global clock to
+//!   `min(next event, next controller wake − 1, budget end)`, bulk-
+//!   accounting the skipped span. One busy scheduler anywhere pins the
+//!   whole machine to stepping, which caps the win at high occupancy.
+//! * [`StepMode::PerSm`] (the default) gives every SM its **own local
+//!   clock** and lets it run ahead — and skip its own stalled spans —
+//!   independently of the others. It also bulk-replays **structural
+//!   stalls** (ready warps retrying rejected loads against exhausted
+//!   MSHRs, where no "nothing can issue" span ever appears): a stepped
+//!   cycle that issues nothing and leaves the SM's warp-state version
+//!   unchanged can only have bumped reject/stall counters, so its exact
+//!   replicas up to the next event are accounted without stepping.
 //!
-//! * **next_event** — the earliest scheduled fill / hit completion; the
-//!   loop resumes there to deliver it (a delivery can make warps ready).
-//! * **next_wake − 1** — one cycle *before* the controller's declared
-//!   wake `w` (see [`Controller::next_wake`]): the stepped loop calls
-//!   `on_cycle(w)` after stepping cycle `w − 1`, so cycle `w − 1` must be
-//!   stepped, not skipped, for the wake to fire at the same point.
-//! * **end** — the cycle budget of this `run` call.
+//! ## The per-SM horizon invariant
 //!
-//! Skipped spans are bulk-accounted exactly as the reference loop would
-//! have: `cycles` advances by the span, and every scheduler with live
-//! warps accrues `stall_scheduler_cycles` (no scheduler can issue during
-//! the span by construction, and warp state only changes through events
-//! or controller steering, neither of which occurs inside a span). All
-//! counters — IPC, AML, hit rates, gap statistics — are therefore
-//! **bit-identical** between the two modes; the differential suite in the
-//! `poise` crate asserts this for every shipped policy.
+//! SMs interact only through two channels, and each bounds how far one SM
+//! may run ahead:
+//!
+//! 1. **The shared memory system.** L2 banks and DRAM partitions are
+//!    stateful queues; requests must be serviced in the exact
+//!    `(cycle, SM, scheduler)` order the reference loop issues them. In
+//!    per-SM mode requests therefore park on per-SM ports
+//!    ([`MemSystem::read`] / [`MemSystem::write`] in deferred mode) and
+//!    are applied by [`MemSystem::apply_ready`] only once no SM with a
+//!    smaller `(local clock, SM id)` key can still issue an
+//!    earlier-ordered request. Deferral gives the issuer lookahead: a read
+//!    issued at cycle `t` cannot fill before `t + l2_hit_round_trip`, so
+//!    [`MemSystem::safe_horizon`] lets the SM keep executing cycles
+//!    strictly below that bound while the request's true completion time
+//!    is still unknown.
+//! 2. **The controller.** Steering and window sampling are global-time
+//!    operations, so [`Controller::on_cycle`] fires only at **global
+//!    barriers**: the wakes the controller declares via
+//!    [`Controller::next_wake`] (all skipped `on_cycle`s are pure no-ops
+//!    by that contract), clamped to the budget end. Every SM must reach
+//!    the barrier before the controller runs, and all SMs leave the
+//!    barrier in lockstep — so steering decisions, window samples and
+//!    epoch logs are bit-identical with the stepped loops.
+//!
+//! An SM at local cycle `c` may therefore execute `c` iff
+//! `c < min(next event addressed to it, memory safe horizon, barrier)`.
+//! The outer loop repeatedly picks the **laggard** SM (smallest
+//! `(clock, id)`), applies newly-safe memory requests, and advances it to
+//! its private horizon; the laggard always progresses (its own pending
+//! reads are by construction safe to apply), so the loop cannot deadlock.
+//! Kernel drain is detected per SM — the cycle after which it has no live
+//! warp, no queued event and no unresolved request — and the global
+//! completion cycle is `max(per-SM drain) + 1`, exactly where the
+//! reference loop's global check fires.
+//!
+//! Skipped spans are bulk-accounted exactly as the reference loop would:
+//! global `cycles` advances at barriers by the epoch length, and every
+//! scheduler with live warps accrues `stall_scheduler_cycles` for each
+//! skipped local cycle (no scheduler can issue inside a span by
+//! construction, and warp state only changes through events or controller
+//! steering, neither of which occurs inside a span). All counters — IPC,
+//! AML, hit rates, gap statistics — are therefore bit-identical across
+//! the three modes.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -37,27 +79,25 @@ use crate::energy::EnergyBreakdown;
 use crate::instruction::KernelSource;
 use crate::memsys::MemSystem;
 use crate::sm::{EventSink, Sm, SmEvent};
-use crate::stats::{Counters, GpuStats};
+use crate::stats::{Counters, GpuStats, SmFastForward};
 
 /// A scheduled event: ordered by time, then by insertion sequence for
-/// determinism.
+/// determinism. Queues are per-SM, so the SM id lives in the queue index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 struct QueuedEvent {
     at: u64,
     seq: u64,
-    sm: usize,
     ev_kind: u8,
     ev_a: u32,
     ev_b: u32,
 }
 
 impl QueuedEvent {
-    fn pack(at: u64, seq: u64, sm: usize, ev: SmEvent) -> Self {
+    fn pack(at: u64, seq: u64, ev: SmEvent) -> Self {
         match ev {
             SmEvent::Fill { mshr } => QueuedEvent {
                 at,
                 seq,
-                sm,
                 ev_kind: 0,
                 ev_a: mshr as u32,
                 ev_b: 0,
@@ -65,7 +105,6 @@ impl QueuedEvent {
             SmEvent::HitDone { scheduler, warp } => QueuedEvent {
                 at,
                 seq,
-                sm,
                 ev_kind: 1,
                 ev_a: scheduler as u32,
                 ev_b: warp as u32,
@@ -86,17 +125,69 @@ impl QueuedEvent {
     }
 }
 
+/// Per-SM event queues. Events only ever target state of their own SM, so
+/// per-SM ordering (time, then insertion sequence) fully determines
+/// behaviour; the stepped loops drain all queues at each global cycle.
 #[derive(Debug, Default)]
 struct EventQueue {
-    heap: BinaryHeap<Reverse<QueuedEvent>>,
-    seq: u64,
+    queues: Vec<BinaryHeap<Reverse<QueuedEvent>>>,
+    seqs: Vec<u64>,
+}
+
+impl EventQueue {
+    fn new(sms: usize) -> Self {
+        EventQueue {
+            queues: (0..sms).map(|_| BinaryHeap::new()).collect(),
+            seqs: vec![0; sms],
+        }
+    }
+
+    /// Pop the next event for `sm` due at or before `now`, if any.
+    fn pop_due(&mut self, sm: usize, now: u64) -> Option<SmEvent> {
+        let q = &mut self.queues[sm];
+        if q.peek().is_some_and(|r| r.0.at <= now) {
+            Some(q.pop().expect("peeked").0.unpack())
+        } else {
+            None
+        }
+    }
+
+    /// Time of the next event for `sm`.
+    fn next_at(&self, sm: usize) -> Option<u64> {
+        self.queues[sm].peek().map(|r| r.0.at)
+    }
+
+    /// Time of the next event on any SM.
+    fn next_at_any(&self) -> Option<u64> {
+        (0..self.queues.len()).filter_map(|i| self.next_at(i)).min()
+    }
+
+    fn all_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
 }
 
 impl EventSink for EventQueue {
     fn schedule(&mut self, at: u64, sm: usize, ev: SmEvent) {
-        self.seq += 1;
-        self.heap
-            .push(Reverse(QueuedEvent::pack(at, self.seq, sm, ev)));
+        self.seqs[sm] += 1;
+        self.queues[sm].push(Reverse(QueuedEvent::pack(at, self.seqs[sm], ev)));
+    }
+}
+
+/// Event sink scoped to one SM's queue, so the decoupled loop can hold the
+/// queue and the SM mutably at once. An SM only ever schedules completions
+/// for itself.
+struct SmSink<'a> {
+    sm: usize,
+    q: &'a mut BinaryHeap<Reverse<QueuedEvent>>,
+    seq: &'a mut u64,
+}
+
+impl EventSink for SmSink<'_> {
+    fn schedule(&mut self, at: u64, sm: usize, ev: SmEvent) {
+        debug_assert_eq!(sm, self.sm, "SMs only schedule their own events");
+        *self.seq += 1;
+        self.q.push(Reverse(QueuedEvent::pack(at, *self.seq, ev)));
     }
 }
 
@@ -129,7 +220,18 @@ pub struct Gpu {
     stats: GpuStats,
     cycle: u64,
     kernel_warps: usize,
-    /// Fast-forward diagnostics: (spans taken, cycles skipped).
+    /// Per-SM local clocks (per-SM mode; equal to `cycle` at barriers).
+    clocks: Vec<u64>,
+    /// Per-SM drain cycle: the local cycle during which the SM's last
+    /// state change occurred, once it has no live warp and no queued
+    /// event. `max + 1` is the global completion cycle.
+    done_at: Vec<Option<u64>>,
+    /// Lazy-deletion min-heap of `(local clock, SM id)` used by the
+    /// decoupled loop to pick the laggard and the request-safety frontier
+    /// in O(log SMs) instead of rescanning every SM per advance.
+    frontier_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Global-skip diagnostics of [`StepMode::EventDriven`]:
+    /// (spans taken, cycles skipped).
     ff_spans: u64,
     ff_cycles: u64,
 }
@@ -146,16 +248,22 @@ impl std::fmt::Debug for Gpu {
 impl Gpu {
     /// Instantiate a GPU and launch `kernel` on it (one stream per warp).
     pub fn new(cfg: GpuConfig, kernel: &dyn KernelSource) -> Self {
-        let sms = (0..cfg.sms).map(|i| Sm::new(i, &cfg, kernel)).collect();
-        let mem = MemSystem::new(&cfg);
+        let sms: Vec<Sm> = (0..cfg.sms).map(|i| Sm::new(i, &cfg, kernel)).collect();
+        let mut mem = MemSystem::new(&cfg);
+        mem.set_deferred(cfg.step_mode == StepMode::PerSm);
         let kernel_warps = kernel
             .warps_per_scheduler()
             .clamp(1, cfg.max_warps_per_scheduler);
+        let mut stats = GpuStats::new();
+        stats.fast_forward = vec![SmFastForward::default(); cfg.sms];
         Gpu {
+            events: EventQueue::new(cfg.sms),
+            clocks: vec![0; cfg.sms],
+            done_at: vec![None; cfg.sms],
+            frontier_heap: BinaryHeap::new(),
             sms,
             mem,
-            events: EventQueue::default(),
-            stats: GpuStats::new(),
+            stats,
             cycle: 0,
             cfg,
             kernel_warps,
@@ -190,77 +298,50 @@ impl Gpu {
         self.cycle
     }
 
-    /// Fast-forward diagnostics: `(spans_taken, cycles_skipped)` since
-    /// construction. Always `(0, 0)` in [`StepMode::Reference`].
+    /// Aggregate fast-forward diagnostics since construction:
+    /// `(spans_taken, cycles_skipped)`, summing the global skips of
+    /// [`StepMode::EventDriven`] and the per-SM skips of
+    /// [`StepMode::PerSm`] (SM-local cycles, so the sum can exceed the
+    /// global cycle count on multi-SM machines). Always `(0, 0)` in
+    /// [`StepMode::Reference`].
     pub fn fast_forward_stats(&self) -> (u64, u64) {
-        (self.ff_spans, self.ff_cycles)
+        let per_sm = &self.stats.fast_forward;
+        (
+            self.ff_spans + per_sm.iter().map(|f| f.spans).sum::<u64>(),
+            self.ff_cycles + per_sm.iter().map(|f| f.skipped).sum::<u64>(),
+        )
+    }
+
+    /// Per-SM fast-forward breakdown (spans, skipped SM-cycles, horizon
+    /// stalls), indexed by SM id. Only [`StepMode::PerSm`] populates it;
+    /// use it to see *why* a workload does not skip (frequent
+    /// `horizon_stalls` mean the SM keeps hitting the shared-memory
+    /// horizon; zero `spans` mean its schedulers stay busy).
+    pub fn fast_forward_breakdown(&self) -> &[SmFastForward] {
+        &self.stats.fast_forward
+    }
+
+    /// Build the controller's view of the machine at the current cycle.
+    fn control_ctx(&mut self) -> ControlCtx<'_> {
+        ControlCtx {
+            cycle: self.cycle,
+            max_warps: self.cfg.max_warps_per_scheduler,
+            kernel_warps: self.kernel_warps,
+            sms: &mut self.sms,
+            stats: &mut self.stats,
+        }
     }
 
     /// Run under `controller` for at most `max_cycles` further cycles, or
     /// until every warp drains. Can be called repeatedly to continue.
     pub fn run(&mut self, controller: &mut dyn Controller, max_cycles: u64) -> SimResult {
-        {
-            let mut ctx = ControlCtx {
-                cycle: self.cycle,
-                max_warps: self.cfg.max_warps_per_scheduler,
-                kernel_warps: self.kernel_warps,
-                sms: &mut self.sms,
-                stats: &mut self.stats,
-            };
-            controller.on_kernel_start(&mut ctx);
-        }
-
+        controller.on_kernel_start(&mut self.control_ctx());
         let end = self.cycle + max_cycles;
-        let fast_forward = self.cfg.step_mode == StepMode::EventDriven;
-        let mut completed = false;
-        while self.cycle < end {
-            // Deliver all events due at or before this cycle.
-            while let Some(Reverse(top)) = self.events.heap.peek() {
-                if top.at > self.cycle {
-                    break;
-                }
-                let Reverse(q) = self.events.heap.pop().expect("peeked");
-                self.sms[q.sm].handle_event(q.unpack(), self.cycle, &mut self.stats);
-            }
-            // Step every SM.
-            for sm in &mut self.sms {
-                sm.step(self.cycle, &mut self.mem, &mut self.events, &mut self.stats);
-            }
-            self.cycle += 1;
-            self.stats.bump(|c| c.cycles += 1);
-            {
-                let mut ctx = ControlCtx {
-                    cycle: self.cycle,
-                    max_warps: self.cfg.max_warps_per_scheduler,
-                    kernel_warps: self.kernel_warps,
-                    sms: &mut self.sms,
-                    stats: &mut self.stats,
-                };
-                controller.on_cycle(&mut ctx);
-            }
-            // Exact drain check: O(SMs × schedulers) with the incremental
-            // liveness counters, so the completion cycle is precise (the
-            // seed's interval-256 check overcounted up to 255 cycles).
-            if self.events.heap.is_empty() && !self.sms.iter().any(|sm| sm.live()) {
-                completed = true;
-                break;
-            }
-            if fast_forward {
-                self.fast_forward(controller, end);
-            }
-        }
-
-        {
-            let mut ctx = ControlCtx {
-                cycle: self.cycle,
-                max_warps: self.cfg.max_warps_per_scheduler,
-                kernel_warps: self.kernel_warps,
-                sms: &mut self.sms,
-                stats: &mut self.stats,
-            };
-            controller.on_kernel_end(&mut ctx);
-        }
-
+        let completed = match self.cfg.step_mode {
+            StepMode::PerSm => self.run_decoupled(controller, end),
+            StepMode::EventDriven | StepMode::Reference => self.run_stepped(controller, end),
+        };
+        controller.on_kernel_end(&mut self.control_ctx());
         SimResult {
             cycles: self.stats.total.cycles,
             counters: self.stats.total,
@@ -273,13 +354,48 @@ impl Gpu {
         }
     }
 
-    /// Jump the clock across a span in which nothing can happen.
+    /// The single-clock loop of [`StepMode::Reference`] and
+    /// [`StepMode::EventDriven`]: every SM steps every global cycle (with
+    /// the optional globally-stalled skip in between).
+    fn run_stepped(&mut self, controller: &mut dyn Controller, end: u64) -> bool {
+        let fast_forward = self.cfg.step_mode == StepMode::EventDriven;
+        while self.cycle < end {
+            // Deliver all events due at or before this cycle.
+            for sm_idx in 0..self.sms.len() {
+                while let Some(ev) = self.events.pop_due(sm_idx, self.cycle) {
+                    self.sms[sm_idx].handle_event(ev, self.cycle, &mut self.stats);
+                }
+            }
+            // Step every SM.
+            for sm in &mut self.sms {
+                sm.step(self.cycle, &mut self.mem, &mut self.events, &mut self.stats);
+            }
+            self.cycle += 1;
+            self.stats.bump(|c| c.cycles += 1);
+            controller.on_cycle(&mut self.control_ctx());
+            // Exact drain check: O(SMs × schedulers) with the incremental
+            // liveness counters, so the completion cycle is precise (the
+            // seed's interval-256 check overcounted up to 255 cycles).
+            if self.events.all_empty() && !self.sms.iter().any(|sm| sm.live()) {
+                return true;
+            }
+            if fast_forward {
+                self.fast_forward(controller, end);
+            }
+        }
+        false
+    }
+
+    /// Jump the global clock across a span in which nothing can happen
+    /// ([`StepMode::EventDriven`] only).
     ///
     /// Preconditions established by the caller: `on_cycle(self.cycle)` has
     /// run and the kernel has not drained. The skip triggers only when no
     /// scheduler on any SM has a ready vital warp; the span is bounded so
     /// it never crosses a scheduled event, a controller wake, or the
-    /// budget end (see the module docs for why the wake bound is `w − 1`).
+    /// budget end (the wake bound is `w − 1` because the stepped loop
+    /// calls `on_cycle(w)` after stepping cycle `w − 1`, so cycle `w − 1`
+    /// must be stepped for the wake to fire at the same point).
     fn fast_forward(&mut self, controller: &dyn Controller, end: u64) {
         if self.sms.iter().any(|sm| sm.can_issue()) {
             return;
@@ -289,7 +405,7 @@ impl Gpu {
         // scheduled completion); stepping wouldn't change that, so the
         // skip is still faithful — but stay conservative and only skip up
         // to a bound we can actually name.
-        let next_event = self.events.heap.peek().map_or(u64::MAX, |Reverse(q)| q.at);
+        let next_event = self.events.next_at_any().unwrap_or(u64::MAX);
         let mut target = next_event.min(end);
         if let Some(wake) = controller.next_wake(self.cycle) {
             // Cycle `wake − 1` must be stepped so `on_cycle(wake)` fires
@@ -312,6 +428,203 @@ impl Gpu {
         self.ff_spans += 1;
         self.ff_cycles += span;
     }
+
+    /// The decoupled loop of [`StepMode::PerSm`]: between controller
+    /// barriers, repeatedly advance the laggard SM to its private horizon,
+    /// applying shared-memory requests in global order as their safety
+    /// frontier passes (see the module docs for the invariant).
+    fn run_decoupled(&mut self, controller: &mut dyn Controller, end: u64) -> bool {
+        // All SMs are synchronised at run entry.
+        for c in &mut self.clocks {
+            *c = self.cycle;
+        }
+        let mut completed = false;
+        while self.cycle < end {
+            let epoch_start = self.cycle;
+            let barrier = controller
+                .next_wake(epoch_start)
+                .unwrap_or(u64::MAX)
+                .min(end)
+                .max(epoch_start + 1);
+            self.frontier_heap.clear();
+            for i in 0..self.sms.len() {
+                if self.done_at[i].is_none() {
+                    self.frontier_heap.push(Reverse((epoch_start, i)));
+                }
+            }
+            loop {
+                // The heap top (stale entries lazily discarded) is both
+                // the request-safety frontier — the minimum `(clock, id)`
+                // over SMs that may still issue — and the laggard to
+                // advance next.
+                let top = loop {
+                    match self.frontier_heap.peek() {
+                        None => break None,
+                        Some(&Reverse((c, i))) => {
+                            if self.done_at[i].is_some() || self.clocks[i] != c {
+                                self.frontier_heap.pop();
+                            } else {
+                                break Some((c, i));
+                            }
+                        }
+                    }
+                };
+                let Some((c, i)) = top else {
+                    // Every SM drained: flush the remaining (write-only)
+                    // requests, which nothing can precede any more.
+                    self.mem
+                        .apply_ready((u64::MAX, 0), &mut self.events, &mut self.stats);
+                    break;
+                };
+                self.mem
+                    .apply_ready((c, i), &mut self.events, &mut self.stats);
+                if c >= barrier {
+                    break; // the laggard reached the barrier: all did
+                }
+                self.advance_sm(i, barrier);
+                debug_assert!(
+                    self.clocks[i] > c || self.done_at[i].is_some(),
+                    "laggard must progress"
+                );
+                if self.done_at[i].is_none() {
+                    self.frontier_heap.push(Reverse((self.clocks[i], i)));
+                }
+            }
+            debug_assert_eq!(
+                self.mem.pending_requests(),
+                0,
+                "requests drained at barrier"
+            );
+            // Every SM is now at `barrier`, or drained for good en route.
+            let all_done = self.done_at.iter().all(|d| d.is_some());
+            let epoch_end = if all_done {
+                completed = true;
+                self.done_at
+                    .iter()
+                    .filter_map(|d| d.map(|c| c + 1))
+                    .max()
+                    .unwrap_or(epoch_start + 1)
+                    .max(epoch_start + 1)
+            } else {
+                barrier
+            };
+            self.stats.bump(|c| c.cycles += epoch_end - epoch_start);
+            self.cycle = epoch_end;
+            for c in &mut self.clocks {
+                *c = epoch_end;
+            }
+            // Fire the controller exactly where the stepped loop would:
+            // at the barrier. A pre-barrier drain skips the call — the
+            // reference loop's `on_cycle` there is a no-op by the
+            // `next_wake` contract.
+            if epoch_end == barrier {
+                controller.on_cycle(&mut self.control_ctx());
+            }
+            if completed {
+                break;
+            }
+        }
+        completed
+    }
+
+    /// Advance SM `i` on its local clock until the barrier, its own drain,
+    /// or the conservative memory horizon stops it, skipping stalled
+    /// spans in bulk along the way.
+    fn advance_sm(&mut self, i: usize, barrier: u64) {
+        let mut clock = self.clocks[i];
+        let sm = &mut self.sms[i];
+        let q = &mut self.events.queues[i];
+        let seq = &mut self.events.seqs[i];
+        let mem = &mut self.mem;
+        let stats = &mut self.stats;
+        // The conservative horizon: the first cycle that may not run until
+        // the SM's oldest unresolved read has been applied in global
+        // order. While advancing, the oldest read can only change from
+        // "none" to "the first read issued here" (later reads queue behind
+        // it and applies happen outside), so it is re-queried only while
+        // unknown.
+        let mut hz = mem.safe_horizon(i, clock);
+        loop {
+            if clock >= barrier {
+                break;
+            }
+            // Deliver every event due at the SM's current cycle (events at
+            // the barrier itself belong to the next epoch, after the
+            // controller has run — hence the barrier check above).
+            while q.peek().is_some_and(|r| r.0.at <= clock) {
+                let ev = q.pop().expect("peeked").0.unpack();
+                sm.handle_event(ev, clock, stats);
+            }
+            // Drained by a delivery: no live warp, no queued event, and
+            // (implied) no unresolved read. The cycle of the last delivery
+            // is the SM's drain cycle.
+            if !sm.live() && q.is_empty() {
+                debug_assert_eq!(hz, u64::MAX);
+                self.done_at[i] = Some(clock);
+                break;
+            }
+            if clock >= hz {
+                stats.fast_forward[i].horizon_stalls += 1;
+                break;
+            }
+            if sm.can_issue() {
+                let pre_version = sm.version();
+                let pre_instr = stats.total.instructions;
+                let pre_rejects = stats.total.l1_rejects;
+                sm.step(clock, mem, &mut SmSink { sm: i, q, seq }, stats);
+                if hz == u64::MAX {
+                    hz = mem.safe_horizon(i, clock + 1);
+                }
+                let drained = !sm.live() && q.is_empty();
+                if drained {
+                    self.done_at[i] = Some(clock);
+                }
+                clock += 1;
+                if drained {
+                    break;
+                }
+                // Structural-stall replay: the step issued nothing and
+                // changed no warp state (a ready warp kept retrying a
+                // structurally rejected load — MSHRs exhausted or merge
+                // limit hit). Until an event, the horizon or the barrier
+                // intervenes, every following cycle replays it
+                // bit-identically, so account the replicas in bulk
+                // (reject and stall counters are its only effects).
+                if stats.total.instructions == pre_instr && sm.version() == pre_version {
+                    let next_ev = q.peek().map_or(u64::MAX, |r| r.0.at);
+                    let target = next_ev.min(hz).min(barrier);
+                    if target > clock {
+                        let span = target - clock;
+                        let rejects = stats.total.l1_rejects - pre_rejects;
+                        let stalled = sm.live_scheduler_count();
+                        stats.bump(|c| {
+                            c.l1_rejects += rejects * span;
+                            c.stall_scheduler_cycles += span * stalled;
+                        });
+                        let ff = &mut stats.fast_forward[i];
+                        ff.spans += 1;
+                        ff.skipped += span;
+                        clock = target;
+                    }
+                }
+            } else {
+                // Nothing can issue before the next event, the horizon or
+                // the barrier: skip the whole span, bulk-accounting it
+                // exactly as that many stepped stall cycles.
+                let next_ev = q.peek().map_or(u64::MAX, |r| r.0.at);
+                let target = next_ev.min(hz).min(barrier);
+                debug_assert!(target > clock);
+                let span = target - clock;
+                let stalled = sm.live_scheduler_count();
+                stats.bump(|c| c.stall_scheduler_cycles += span * stalled);
+                let ff = &mut stats.fast_forward[i];
+                ff.spans += 1;
+                ff.skipped += span;
+                clock = target;
+            }
+        }
+        self.clocks[i] = clock;
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +632,8 @@ mod tests {
     use super::*;
     use crate::controller::FixedTuple;
     use crate::instruction::UniformKernel;
+
+    const ALL_MODES: [StepMode; 3] = [StepMode::PerSm, StepMode::EventDriven, StepMode::Reference];
 
     /// A finite ALU-only kernel: `warps` warps per scheduler, each with
     /// `instrs` instructions.
@@ -435,9 +750,9 @@ mod tests {
         // 4 warps x 100 ALU instructions per scheduler issue one
         // instruction per scheduler-cycle: cycles 0..=399 issue all 400,
         // cycle 400 discovers the exhausted streams (`fetch -> None`), and
-        // the drain is detected after advancing to cycle 401 — in BOTH
+        // the drain is detected after advancing to cycle 401 — in ALL
         // step modes.
-        for mode in [StepMode::EventDriven, StepMode::Reference] {
+        for mode in ALL_MODES {
             let mut cfg = GpuConfig::scaled(1);
             cfg.step_mode = mode;
             let mut gpu = Gpu::new(
@@ -457,17 +772,24 @@ mod tests {
     #[test]
     fn fast_forward_skips_stalled_spans() {
         // A single streaming warp spends almost every cycle blocked on its
-        // outstanding load; the event-driven loop must skip most of them.
-        let kernel = UniformKernel::streaming(1, 0);
-        let mut gpu = Gpu::new(GpuConfig::scaled(1), &kernel);
-        let res = gpu.run(&mut FixedTuple::max(), 50_000);
-        let (spans, skipped) = gpu.fast_forward_stats();
-        assert!(spans > 100, "expected many skip spans, got {spans}");
-        assert!(
-            skipped > 25_000,
-            "expected most cycles skipped, got {skipped}"
-        );
-        assert_eq!(res.counters.cycles, 50_000);
+        // outstanding load; both fast modes must skip most of them.
+        for mode in [StepMode::PerSm, StepMode::EventDriven] {
+            let kernel = UniformKernel::streaming(1, 0);
+            let mut cfg = GpuConfig::scaled(1);
+            cfg.step_mode = mode;
+            let mut gpu = Gpu::new(cfg, &kernel);
+            let res = gpu.run(&mut FixedTuple::max(), 50_000);
+            let (spans, skipped) = gpu.fast_forward_stats();
+            assert!(
+                spans > 100,
+                "{mode:?}: expected many skip spans, got {spans}"
+            );
+            assert!(
+                skipped > 25_000,
+                "{mode:?}: expected most cycles skipped, got {skipped}"
+            );
+            assert_eq!(res.counters.cycles, 50_000);
+        }
     }
 
     #[test]
@@ -478,6 +800,70 @@ mod tests {
         let mut gpu = Gpu::new(cfg, &kernel);
         gpu.run(&mut FixedTuple::max(), 10_000);
         assert_eq!(gpu.fast_forward_stats(), (0, 0));
+    }
+
+    #[test]
+    fn per_sm_mode_decouples_sms() {
+        // On a multi-SM machine, per-SM mode must (a) stay bit-identical
+        // to the reference and (b) skip per SM even though the SMs stay
+        // desynchronised (the global skip cannot engage every span).
+        let kernel = UniformKernel::streaming(16, 2);
+        let run = |mode: StepMode| {
+            let mut cfg = GpuConfig::scaled(4);
+            cfg.step_mode = mode;
+            let mut gpu = Gpu::new(cfg, &kernel);
+            let res = gpu.run(&mut FixedTuple::max(), 30_000);
+            (
+                res.counters,
+                res.completed,
+                gpu.cycle(),
+                gpu.stats().fast_forward.clone(),
+            )
+        };
+        let (pc, pdone, pcyc, breakdown) = run(StepMode::PerSm);
+        let (rc, rdone, rcyc, _) = run(StepMode::Reference);
+        assert_eq!(pc, rc, "per-SM counters diverged from reference");
+        assert_eq!((pdone, pcyc), (rdone, rcyc));
+        for (i, f) in breakdown.iter().enumerate() {
+            assert!(f.spans > 0, "SM {i} never skipped: {f:?}");
+            assert!(
+                f.horizon_stalls > 0,
+                "SM {i} never hit the memory horizon: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mshr_reject_storms_replay_identically() {
+        // 24 warps/scheduler want 48 outstanding loads against 32 MSHRs:
+        // ready warps retry structurally rejected loads every cycle, so no
+        // mode can ever find a "nothing can issue" span. The decoupled
+        // loop must replay those reject cycles in bulk — bit-identically
+        // (every retry bumps `l1_rejects`) and actually skipping them.
+        let kernel = UniformKernel::streaming(24, 0);
+        let run = |mode: StepMode| {
+            let mut cfg = GpuConfig::scaled(2);
+            cfg.step_mode = mode;
+            let mut gpu = Gpu::new(cfg, &kernel);
+            let mut ctrl = FixedTuple::max();
+            let res = gpu.run(&mut ctrl, 20_000);
+            (res.counters, gpu.cycle(), gpu.fast_forward_stats().1)
+        };
+        let (pc, pcyc, pskip) = run(StepMode::PerSm);
+        let (rc, rcyc, _) = run(StepMode::Reference);
+        let (ec, ecyc, eskip) = run(StepMode::EventDriven);
+        assert_eq!((pc, pcyc), (rc, rcyc), "per-SM diverged in a reject storm");
+        assert_eq!(
+            (ec, ecyc),
+            (rc, rcyc),
+            "event-driven diverged in a reject storm"
+        );
+        assert!(rc.l1_rejects > 20_000, "storm must reject heavily");
+        assert_eq!(eskip, 0, "the global skip cannot engage in a storm");
+        assert!(
+            pskip > 15_000,
+            "per-SM structural-stall replay must skip most of the storm, got {pskip}"
+        );
     }
 
     /// A controller that acts (resets the window and logs) exactly at
@@ -503,7 +889,8 @@ mod tests {
     #[test]
     fn fast_forward_never_crosses_a_controller_wake() {
         // The periodic controller must fire at exactly the same cycles in
-        // both modes: skipped spans stop one cycle short of each wake.
+        // every mode: skipped spans stop short of each wake, and per-SM
+        // epochs barrier exactly on it.
         let run = |mode: StepMode| {
             let kernel = UniformKernel::streaming(2, 1);
             let mut cfg = GpuConfig::scaled(1);
@@ -516,12 +903,14 @@ mod tests {
             let res = gpu.run(&mut ctrl, 20_000);
             (ctrl.fired_at, res.counters, gpu.fast_forward_stats().1)
         };
-        let (ev_fired, ev_counters, skipped) = run(StepMode::EventDriven);
         let (rf_fired, rf_counters, _) = run(StepMode::Reference);
-        assert_eq!(ev_fired, rf_fired);
-        assert_eq!(ev_counters, rf_counters);
-        assert!(skipped > 0, "fast-forward must engage for this workload");
+        for mode in [StepMode::PerSm, StepMode::EventDriven] {
+            let (fired, counters, skipped) = run(mode);
+            assert_eq!(fired, rf_fired, "{mode:?}");
+            assert_eq!(counters, rf_counters, "{mode:?}");
+            assert!(skipped > 0, "{mode:?} must engage for this workload");
+        }
         // Every wake observed exactly once per period boundary.
-        assert!(ev_fired.windows(2).all(|w| w[1] - w[0] == 777));
+        assert!(rf_fired.windows(2).all(|w| w[1] - w[0] == 777));
     }
 }

@@ -132,7 +132,10 @@ impl InstructionStream for UniformStream {
         } else {
             Instr::SyncLoads
         };
-        self.phase = (self.phase + 1) % (self.alu_per_load + 2);
+        self.phase += 1;
+        if self.phase == self.alu_per_load + 2 {
+            self.phase = 0;
+        }
         Some(instr)
     }
 }

@@ -74,11 +74,21 @@ pub struct PcStats {
 }
 
 /// The L1 data cache of one SM.
+///
+/// The MSHR file is the hot structure of every load: a miss consults it
+/// for a merge target and a primary miss allocates from it. Both paths are
+/// kept off the entry array itself — `in_use` is a compact `(line, index)`
+/// list scanned for merges (O(misses in flight), two cache lines instead
+/// of the ~30 a full entry scan touches) and `free` is a stack popped for
+/// allocation in O(1).
 #[derive(Debug)]
 pub struct L1Data {
     tags: SetAssocCache,
     mshrs: Vec<MshrEntry>,
-    free_mshrs: usize,
+    /// `(line, entry index)` of every in-use MSHR entry.
+    in_use: Vec<(u64, u32)>,
+    /// Free entry indices (allocation pops, completion pushes).
+    free: Vec<u32>,
     merge_limit: usize,
     /// Per-PC counters (only maintained when enabled in the config).
     pc_stats: Vec<PcStats>,
@@ -93,7 +103,8 @@ impl L1Data {
         L1Data {
             tags: SetAssocCache::new(cfg.l1),
             mshrs: vec![MshrEntry::free(); cfg.l1_mshrs],
-            free_mshrs: cfg.l1_mshrs,
+            in_use: Vec::with_capacity(cfg.l1_mshrs),
+            free: (0..cfg.l1_mshrs as u32).rev().collect(),
             merge_limit: cfg.mshr_merge_limit,
             pc_stats: vec![PcStats::default(); n_pcs.max(1)],
             bypass_pc: vec![false; n_pcs.max(1)],
@@ -108,7 +119,7 @@ impl L1Data {
 
     /// Number of MSHR entries currently in use.
     pub fn mshrs_in_use(&self) -> usize {
-        self.mshrs.len() - self.free_mshrs
+        self.in_use.len()
     }
 
     /// Set or clear the force-bypass flag of a load PC (APCM).
@@ -200,16 +211,13 @@ impl L1Data {
                     };
                 }
                 // Primary miss: need a free MSHR.
-                if self.free_mshrs == 0 {
+                let Some(free_idx) = self.free.pop() else {
                     stats.bump(|c| c.l1_rejects += 1);
                     return AccessOutcome::Reject;
-                }
+                };
                 self.count_access(polluting, pc, stats);
-                let idx = self
-                    .mshrs
-                    .iter()
-                    .position(|e| !e.in_use)
-                    .expect("free_mshrs > 0 implies a free entry");
+                let idx = free_idx as usize;
+                self.in_use.push((line, free_idx));
                 // Polluting warps reserve a line for the fill; non-polluting
                 // requests bypass allocation. If the set is entirely
                 // reserved, fall back to bypassing.
@@ -230,7 +238,6 @@ impl L1Data {
                     issued_at: now,
                     ..waiter
                 });
-                self.free_mshrs -= 1;
                 stats.bump(|c| c.mshr_allocations += 1);
                 AccessOutcome::Miss {
                     mshr: idx,
@@ -272,7 +279,13 @@ impl L1Data {
         }
         e.in_use = false;
         e.target = None;
-        self.free_mshrs += 1;
+        let pos = self
+            .in_use
+            .iter()
+            .position(|&(_, i)| i as usize == mshr)
+            .expect("completed entry was in use");
+        self.in_use.swap_remove(pos);
+        self.free.push(mshr as u32);
         stats.bump(|c| {
             c.l1_misses_completed += waiters.len() as u64;
             c.miss_latency_sum += waiters
@@ -284,7 +297,10 @@ impl L1Data {
     }
 
     fn find_mshr(&self, line: u64) -> Option<usize> {
-        self.mshrs.iter().position(|e| e.in_use && e.line == line)
+        self.in_use
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, i)| i as usize)
     }
 
     /// Count one real (non-rejected) cache access.

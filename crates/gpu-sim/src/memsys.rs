@@ -7,9 +7,44 @@
 //! congestion-dependent average memory latency that the paper's `Lo` and
 //! `L'` terms capture — emerges from the gap between arrival and service
 //! times under load.
+//!
+//! ## Per-SM request ports and the conservative horizon
+//!
+//! Because the servers keep mutable shared state (`next_free` timestamps,
+//! L2 tags), the *order* in which requests are applied matters: the
+//! cycle-stepped reference loop applies them in `(cycle, SM, scheduler)`
+//! order, and every other step mode must reproduce exactly that order to
+//! stay bit-identical. When SMs run on decoupled local clocks
+//! ([`StepMode::PerSm`]), an SM that is ahead cannot apply its requests
+//! immediately — a lagging SM might still issue an earlier-cycle request.
+//!
+//! The memory system therefore supports a **deferred** mode
+//! ([`MemSystem::set_deferred`]) in which [`MemSystem::read`] /
+//! [`MemSystem::write`] only *enqueue* the request on the issuing SM's
+//! private port (FIFO per SM, timestamps nondecreasing by construction).
+//! [`MemSystem::apply_ready`] later drains the ports in global
+//! `(cycle, SM)` order, but only up to the caller-supplied *frontier* —
+//! the smallest `(local clock, SM id)` key over all SMs still able to
+//! issue — so no request is ever serviced before a possibly-earlier one.
+//!
+//! Deferral is what creates lookahead for the issuing SM: a read issued at
+//! cycle `t` cannot possibly fill before `t +`
+//! [`MemSystem::l2_hit_round_trip`] (crossbar + L2 + crossbar, the
+//! uncontended minimum), so the SM may keep executing cycles strictly
+//! below that bound even while the request's actual completion time is
+//! still unknown. [`MemSystem::safe_horizon`] exposes exactly this bound:
+//! the first cycle the SM may **not** execute until its oldest unresolved
+//! read has been applied. Writes produce no reply and never bound their
+//! issuer; they only hold their place in the global application order.
+//!
+//! [`StepMode::PerSm`]: crate::config::StepMode::PerSm
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::cache::{Lookup, SetAssocCache};
 use crate::config::GpuConfig;
+use crate::sm::{EventSink, SmEvent};
 use crate::stats::GpuStats;
 
 #[derive(Debug)]
@@ -23,6 +58,26 @@ struct Partition {
     next_free: u64,
 }
 
+/// One memory request parked on a per-SM port, waiting for the global
+/// application order to reach it.
+#[derive(Debug, Clone, Copy)]
+enum PendingReq {
+    /// A primary-miss read; the fill is delivered to the MSHR entry.
+    Read { line: u64, mshr: usize },
+    /// A write-through store (no reply).
+    Write { line: u64 },
+}
+
+/// The private request port of one SM: issue-order FIFO with
+/// nondecreasing timestamps.
+#[derive(Debug, Default)]
+struct Port {
+    queue: VecDeque<(u64, PendingReq)>,
+    /// Issue cycles of unresolved reads only (front = oldest), for
+    /// [`MemSystem::safe_horizon`] in O(1).
+    reads: VecDeque<u64>,
+}
+
 /// The GPU-wide shared memory system.
 #[derive(Debug)]
 pub struct MemSystem {
@@ -33,10 +88,21 @@ pub struct MemSystem {
     l2_service: u64,
     dram_latency: u64,
     dram_service: u64,
+    /// Deferred mode: requests park on per-SM ports until applied in
+    /// global order (used by the per-SM decoupled run loop).
+    deferred: bool,
+    ports: Vec<Port>,
+    /// Min-heap holding the front `(cycle, SM)` key of every non-empty
+    /// port — exactly one entry per such port — so [`MemSystem::apply_ready`]
+    /// pays O(1) when nothing is due and O(log SMs) per applied request
+    /// instead of rescanning every port.
+    front_heap: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl MemSystem {
-    /// Build the memory system from the GPU configuration.
+    /// Build the memory system from the GPU configuration. Starts in
+    /// immediate mode; the per-SM run loop switches it to deferred via
+    /// [`MemSystem::set_deferred`].
     pub fn new(cfg: &GpuConfig) -> Self {
         MemSystem {
             banks: (0..cfg.l2.banks)
@@ -53,12 +119,124 @@ impl MemSystem {
             l2_service: cfg.l2.service_interval,
             dram_latency: cfg.dram.latency,
             dram_service: cfg.dram.service_interval,
+            deferred: false,
+            ports: (0..cfg.sms).map(|_| Port::default()).collect(),
+            front_heap: BinaryHeap::new(),
         }
     }
 
-    /// Issue a read for `line` at time `now`; returns the cycle at which the
-    /// fill arrives back at the requesting SM.
-    pub fn read(&mut self, line: u64, now: u64, stats: &mut GpuStats) -> u64 {
+    /// Switch between immediate servicing and per-SM deferred ports. Must
+    /// only be flipped while no requests are pending.
+    pub fn set_deferred(&mut self, deferred: bool) {
+        debug_assert_eq!(self.pending_requests(), 0);
+        self.deferred = deferred;
+    }
+
+    /// Requests parked on the per-SM ports, not yet applied.
+    pub fn pending_requests(&self) -> usize {
+        self.ports.iter().map(|p| p.queue.len()).sum()
+    }
+
+    /// Issue a read of `line` by SM `sm` at time `now` on behalf of MSHR
+    /// entry `mshr`. In immediate mode the request is serviced on the spot
+    /// and the fill event is scheduled through `events`; in deferred mode
+    /// it parks on the SM's port until [`MemSystem::apply_ready`] reaches
+    /// it in global order.
+    pub fn read(
+        &mut self,
+        sm: usize,
+        line: u64,
+        now: u64,
+        mshr: usize,
+        events: &mut dyn EventSink,
+        stats: &mut GpuStats,
+    ) {
+        if self.deferred {
+            let port = &mut self.ports[sm];
+            debug_assert!(port.queue.back().is_none_or(|&(at, _)| at <= now));
+            if port.queue.is_empty() {
+                self.front_heap.push(Reverse((now, sm)));
+            }
+            port.queue.push_back((now, PendingReq::Read { line, mshr }));
+            port.reads.push_back(now);
+        } else {
+            let ready = self.service_read(line, now, stats);
+            events.schedule(ready, sm, SmEvent::Fill { mshr });
+        }
+    }
+
+    /// Issue a write of `line` by SM `sm` at time `now`. Writes consume L2
+    /// and (on L2 miss) DRAM bandwidth but produce no reply; L2 is
+    /// write-through no-allocate for this model.
+    pub fn write(&mut self, sm: usize, line: u64, now: u64, stats: &mut GpuStats) {
+        if self.deferred {
+            let port = &mut self.ports[sm];
+            debug_assert!(port.queue.back().is_none_or(|&(at, _)| at <= now));
+            if port.queue.is_empty() {
+                self.front_heap.push(Reverse((now, sm)));
+            }
+            port.queue.push_back((now, PendingReq::Write { line }));
+        } else {
+            self.service_write(line, now, stats);
+        }
+    }
+
+    /// The first cycle SM `sm` (whose local clock is `now`) may **not**
+    /// execute before resynchronising: the earliest possible fill
+    /// completion of its oldest unresolved read, `issue +`
+    /// [`MemSystem::l2_hit_round_trip`]. `u64::MAX` when the SM has no
+    /// unresolved reads (writes never bound their issuer).
+    pub fn safe_horizon(&self, sm: usize, now: u64) -> u64 {
+        match self.ports[sm].reads.front() {
+            Some(&at) => {
+                debug_assert!(at < now, "unresolved read from a cycle not yet executed");
+                at + self.min_fill_latency()
+            }
+            None => u64::MAX,
+        }
+    }
+
+    /// Apply every parked request strictly ordered before `frontier` —
+    /// the minimum `(local clock, SM id)` key over all SMs that may still
+    /// issue (`u64::MAX` clock for drained SMs) — in global
+    /// `(cycle, SM id, issue order)` order, scheduling fill events for
+    /// reads through `events`. This reproduces the exact service order of
+    /// the cycle-stepped reference loop.
+    pub fn apply_ready(
+        &mut self,
+        frontier: (u64, usize),
+        events: &mut dyn EventSink,
+        stats: &mut GpuStats,
+    ) {
+        // The heap top is the globally oldest parked request; O(1) when
+        // nothing is ordered before the frontier.
+        while let Some(&Reverse((at, sm))) = self.front_heap.peek() {
+            if (at, sm) >= frontier {
+                return;
+            }
+            self.front_heap.pop();
+            let (t, req) = self.ports[sm]
+                .queue
+                .pop_front()
+                .expect("heap tracks fronts");
+            debug_assert_eq!(t, at);
+            if let Some(&(next_at, _)) = self.ports[sm].queue.front() {
+                self.front_heap.push(Reverse((next_at, sm)));
+            }
+            match req {
+                PendingReq::Read { line, mshr } => {
+                    self.ports[sm].reads.pop_front();
+                    let ready = self.service_read(line, at, stats);
+                    events.schedule(ready, sm, SmEvent::Fill { mshr });
+                }
+                PendingReq::Write { line } => self.service_write(line, at, stats),
+            }
+        }
+    }
+
+    /// Service a read at time `now`; returns the cycle at which the fill
+    /// arrives back at the requesting SM.
+    fn service_read(&mut self, line: u64, now: u64, stats: &mut GpuStats) -> u64 {
         let arrive_l2 = now + self.xbar_latency;
         let bank_idx = (line % self.banks.len() as u64) as usize;
         let bank = &mut self.banks[bank_idx];
@@ -76,17 +254,15 @@ impl MemSystem {
             Lookup::PendingHit { .. } => start + self.l2_latency,
             Lookup::Miss => {
                 let t = self.dram_read(line, start + self.l2_latency, stats);
-                self.banks[bank_idx].tags.insert(line);
+                self.banks[bank_idx].tags.insert_missing(line);
                 t
             }
         };
         data_ready + self.xbar_latency
     }
 
-    /// Issue a write for `line` at time `now`. Writes consume L2 and (on L2
-    /// miss) DRAM bandwidth but produce no reply; L2 is write-through
-    /// no-allocate for this model.
-    pub fn write(&mut self, line: u64, now: u64, stats: &mut GpuStats) {
+    /// Service a write at time `now`.
+    fn service_write(&mut self, line: u64, now: u64, stats: &mut GpuStats) {
         let arrive_l2 = now + self.xbar_latency;
         let bank_idx = (line % self.banks.len() as u64) as usize;
         let bank = &mut self.banks[bank_idx];
@@ -112,9 +288,16 @@ impl MemSystem {
         start + self.dram_latency
     }
 
-    /// Uncontended round-trip latency of an L2 hit, for reference.
+    /// Uncontended round-trip latency of an L2 hit, for reference. Also
+    /// the lookahead of the per-SM horizon: no read can fill sooner.
     pub fn l2_hit_round_trip(&self) -> u64 {
         2 * self.xbar_latency + self.l2_latency
+    }
+
+    /// The horizon lookahead: at least one cycle even for degenerate
+    /// zero-latency configurations, so decoupled SMs always make progress.
+    fn min_fill_latency(&self) -> u64 {
+        self.l2_hit_round_trip().max(1)
     }
 
     /// Uncontended round-trip latency of a DRAM access, for reference.
@@ -127,15 +310,30 @@ impl MemSystem {
 mod tests {
     use super::*;
 
+    struct VecSink(Vec<(u64, usize, SmEvent)>);
+    impl EventSink for VecSink {
+        fn schedule(&mut self, at: u64, sm: usize, ev: SmEvent) {
+            self.0.push((at, sm, ev));
+        }
+    }
+
     fn memsys() -> (MemSystem, GpuStats) {
         let cfg = GpuConfig::scaled(2);
         (MemSystem::new(&cfg), GpuStats::new())
     }
 
+    /// Immediate-mode read returning the fill time (as the pre-port API
+    /// did), for the service-model tests.
+    fn read_at(m: &mut MemSystem, line: u64, now: u64, st: &mut GpuStats) -> u64 {
+        let mut sink = VecSink(Vec::new());
+        m.read(0, line, now, 0, &mut sink, st);
+        sink.0[0].0
+    }
+
     #[test]
     fn first_read_misses_l2_and_goes_to_dram() {
         let (mut m, mut st) = memsys();
-        let t = m.read(1234, 0, &mut st);
+        let t = read_at(&mut m, 1234, 0, &mut st);
         assert_eq!(t, m.dram_round_trip());
         assert_eq!(st.total.l2_accesses, 1);
         assert_eq!(st.total.l2_hits, 0);
@@ -145,8 +343,8 @@ mod tests {
     #[test]
     fn second_read_hits_l2() {
         let (mut m, mut st) = memsys();
-        let _ = m.read(1234, 0, &mut st);
-        let t = m.read(1234, 10_000, &mut st);
+        let _ = read_at(&mut m, 1234, 0, &mut st);
+        let t = read_at(&mut m, 1234, 10_000, &mut st);
         assert_eq!(t, 10_000 + m.l2_hit_round_trip());
         assert_eq!(st.total.l2_hits, 1);
         assert_eq!(st.total.dram_accesses, 1);
@@ -160,8 +358,8 @@ mod tests {
         let banks = 6; // scaled(2)
         let l0 = 0u64;
         let l1 = banks as u64; // same bank, different line
-        let t0 = m.read(l0, 0, &mut st);
-        let t1 = m.read(l1, 0, &mut st);
+        let t0 = read_at(&mut m, l0, 0, &mut st);
+        let t1 = read_at(&mut m, l1, 0, &mut st);
         assert!(t1 > t0, "contended access must finish later");
     }
 
@@ -176,7 +374,7 @@ mod tests {
         let mut last = 0;
         for k in 0..64u64 {
             let line = k * lcm; // bank 0, partition 0 every time
-            let t = m.read(line, 0, &mut st);
+            let t = read_at(&mut m, line, 0, &mut st);
             assert!(t >= last);
             last = t;
         }
@@ -190,10 +388,74 @@ mod tests {
     #[test]
     fn writes_consume_bandwidth_but_do_not_allocate() {
         let (mut m, mut st) = memsys();
-        m.write(555, 0, &mut st);
+        m.write(0, 555, 0, &mut st);
         assert_eq!(st.total.dram_accesses, 1);
         // Line was not allocated in L2 by the write.
-        let t = m.read(555, 10_000, &mut st);
+        let t = read_at(&mut m, 555, 10_000, &mut st);
         assert_eq!(t, 10_000 + m.dram_round_trip());
+    }
+
+    #[test]
+    fn deferred_requests_park_until_the_frontier_passes() {
+        let (mut m, mut st) = memsys();
+        m.set_deferred(true);
+        let mut sink = VecSink(Vec::new());
+        // SM 1 runs ahead and issues at cycle 10; SM 0 lags at cycle 4.
+        m.read(1, 777, 10, 3, &mut sink, &mut st);
+        assert_eq!(m.pending_requests(), 1);
+        assert_eq!(st.total.l2_accesses, 0, "deferred reads touch no state");
+        // Frontier below the request: nothing may be applied yet.
+        m.apply_ready((4, 0), &mut sink, &mut st);
+        assert_eq!(m.pending_requests(), 1);
+        assert!(sink.0.is_empty());
+        // SM 0 passes cycle 10: the request becomes safe.
+        m.apply_ready((11, 0), &mut sink, &mut st);
+        assert_eq!(m.pending_requests(), 0);
+        assert_eq!(sink.0.len(), 1);
+        let (at, sm, ev) = sink.0[0];
+        assert_eq!(sm, 1);
+        assert_eq!(ev, SmEvent::Fill { mshr: 3 });
+        assert_eq!(at, 10 + m.dram_round_trip());
+    }
+
+    #[test]
+    fn apply_order_matches_the_reference_loop() {
+        // Same-cycle requests from different SMs must be serviced in SM
+        // order, exactly as the stepped loop calls them — observable via
+        // bank queueing on a shared bank.
+        let (mut m_def, mut st_def) = memsys();
+        let (mut m_imm, mut st_imm) = memsys();
+        let banks = m_imm.banks.len() as u64;
+        let mut imm = VecSink(Vec::new());
+        // Reference order: (cycle 5, SM 0) then (cycle 5, SM 1).
+        m_imm.read(0, 0, 5, 0, &mut imm, &mut st_imm);
+        m_imm.read(1, banks, 5, 1, &mut imm, &mut st_imm);
+        // Deferred, enqueued out of SM order (SM 1 advanced first).
+        m_def.set_deferred(true);
+        let mut def = VecSink(Vec::new());
+        m_def.read(1, banks, 5, 1, &mut def, &mut st_def);
+        m_def.read(0, 0, 5, 0, &mut def, &mut st_def);
+        m_def.apply_ready((u64::MAX, 0), &mut def, &mut st_def);
+        let fill_of =
+            |v: &VecSink, sm: usize| v.0.iter().find(|&&(_, s, _)| s == sm).expect("fill").0;
+        assert_eq!(fill_of(&imm, 0), fill_of(&def, 0));
+        assert_eq!(fill_of(&imm, 1), fill_of(&def, 1));
+    }
+
+    #[test]
+    fn safe_horizon_tracks_oldest_unresolved_read() {
+        let (mut m, mut st) = memsys();
+        m.set_deferred(true);
+        let mut sink = VecSink(Vec::new());
+        assert_eq!(m.safe_horizon(0, 50), u64::MAX);
+        m.read(0, 1, 7, 0, &mut sink, &mut st);
+        m.read(0, 2, 9, 1, &mut sink, &mut st);
+        assert_eq!(m.safe_horizon(0, 10), 7 + m.l2_hit_round_trip());
+        // Writes never bound their issuer.
+        m.write(1, 3, 2, &mut st);
+        assert_eq!(m.safe_horizon(1, 5), u64::MAX);
+        // Applying the oldest read moves the horizon to the next one.
+        m.apply_ready((8, 0), &mut sink, &mut st);
+        assert_eq!(m.safe_horizon(0, 10), 9 + m.l2_hit_round_trip());
     }
 }

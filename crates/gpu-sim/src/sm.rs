@@ -34,16 +34,19 @@ pub enum SmEvent {
 /// One streaming multiprocessor.
 ///
 /// Beyond the architectural state, the SM maintains two per-scheduler
-/// counters so that the run loop's "can anything issue?" and "is anything
+/// summaries so that the run loops' "can anything issue?" and "is anything
 /// live?" tests are O(schedulers) instead of O(warps):
 ///
-/// * `ready_vital[s]` — warps `w < tuple.n` of scheduler `s` with
-///   [`Warp::ready`] true (issue candidates this cycle);
+/// * `ready_mask[s]` — bit `w` set iff warp `w` of scheduler `s` has
+///   [`Warp::ready`] true; intersected with the vital prefix
+///   `tuple.n` it yields the issue candidates of a cycle, and the issue
+///   scan walks its set bits instead of probing every slot;
 /// * `live_warps[s]` — warps of scheduler `s` with [`Warp::live`] true.
 ///
-/// The counters are maintained incrementally at every warp state
-/// transition (issue-side blocking, stream exhaustion, load completion)
-/// and recomputed on tuple steering, which moves the vital boundary.
+/// Both are maintained incrementally at every warp state transition
+/// (issue-side blocking, stream exhaustion, load completion); tuple
+/// steering needs no recompute because the mask covers all warps and the
+/// vital prefix is applied at query time.
 pub struct Sm {
     /// SM index within the GPU.
     pub id: usize,
@@ -54,10 +57,27 @@ pub struct Sm {
     /// The L1 data cache.
     pub l1: L1Data,
     hit_latency: u64,
-    /// Per-scheduler count of ready vital warps (issue candidates).
-    ready_vital: Vec<u32>,
+    /// Per-scheduler readiness bitmask (bit `w` = warp `w` is ready).
+    ready_mask: Vec<u64>,
     /// Per-scheduler count of live warps.
     live_warps: Vec<u32>,
+    /// Monotone version of the SM's observable warp state: bumped on
+    /// every ready/live transition and on every instruction pulled from a
+    /// stream. A cycle that issues nothing and leaves the version
+    /// unchanged touched nothing but reject/stall counters — it will
+    /// replay bit-identically until an event arrives (the basis of the
+    /// decoupled loop's structural-stall fast-forward).
+    version: u64,
+}
+
+/// Bitmask of the `n` lowest warp slots.
+#[inline]
+fn warp_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
 }
 
 impl std::fmt::Debug for Sm {
@@ -89,9 +109,9 @@ impl Sm {
                     .collect()
             })
             .collect();
-        // Fresh warps are all ready and live; the scheduler starts at the
-        // maximal tuple, so every warp is vital.
-        let ready_vital = vec![n_warps as u32; cfg.schedulers_per_sm];
+        debug_assert!(n_warps <= 64, "readiness bitmask is u64-wide");
+        // Fresh warps are all ready and live.
+        let ready_mask = vec![warp_mask(n_warps); cfg.schedulers_per_sm];
         let live_warps = vec![n_warps as u32; cfg.schedulers_per_sm];
         Sm {
             id,
@@ -99,25 +119,31 @@ impl Sm {
             warps,
             l1: L1Data::new(cfg, kernel.n_pcs()),
             hit_latency: cfg.l1_hit_latency,
-            ready_vital,
+            ready_mask,
             live_warps,
+            version: 0,
         }
     }
 
-    /// Install a warp-tuple on every scheduler of this SM.
-    ///
-    /// Steering moves the vital boundary, so the per-scheduler ready
-    /// counters are recomputed (O(warps), but steering is rare — at most
-    /// once per controller wake).
+    /// The SM's warp-state version (see the field docs).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Install a warp-tuple on every scheduler of this SM. O(schedulers):
+    /// the readiness mask covers all warps, so moving the vital boundary
+    /// needs no recompute.
     pub fn set_tuple(&mut self, t: WarpTuple) {
-        for (s, sched) in self.schedulers.iter_mut().enumerate() {
+        for sched in self.schedulers.iter_mut() {
             sched.set_tuple(t);
-            let n_vital = sched.tuple().n.min(sched.n_warps);
-            self.ready_vital[s] = self.warps[s][..n_vital]
-                .iter()
-                .filter(|w| w.ready())
-                .count() as u32;
         }
+    }
+
+    /// The ready vital warps of scheduler `s`, as a bitmask.
+    #[inline]
+    fn issue_candidates(&self, s: usize) -> u64 {
+        let sched = &self.schedulers[s];
+        self.ready_mask[s] & warp_mask(sched.tuple().n.min(sched.n_warps))
     }
 
     /// Whether any warp still has work (instructions or outstanding
@@ -129,7 +155,7 @@ impl Sm {
     /// Whether any scheduler has a ready vital warp, i.e. whether stepping
     /// this SM could have any effect this cycle. O(schedulers).
     pub fn can_issue(&self) -> bool {
-        self.ready_vital.iter().any(|&c| c > 0)
+        (0..self.schedulers.len()).any(|s| self.issue_candidates(s) != 0)
     }
 
     /// Number of schedulers that still manage live warps (these accrue
@@ -148,12 +174,14 @@ impl Sm {
         let r = f(warp);
         let now_ready = warp.ready();
         let now_live = warp.live();
-        if was_ready != now_ready && self.schedulers[sched].vital(w) {
+        if was_ready != now_ready {
+            let bit = 1u64 << w;
             if now_ready {
-                self.ready_vital[sched] += 1;
+                self.ready_mask[sched] |= bit;
             } else {
-                self.ready_vital[sched] -= 1;
+                self.ready_mask[sched] &= !bit;
             }
+            self.version += 1;
         }
         if was_live != now_live {
             if now_live {
@@ -161,6 +189,7 @@ impl Sm {
             } else {
                 self.live_warps[sched] -= 1;
             }
+            self.version += 1;
         }
         r
     }
@@ -175,8 +204,8 @@ impl Sm {
     ) {
         for sched_idx in 0..self.schedulers.len() {
             // With no ready vital warp the candidate scan cannot issue (or
-            // have any side effect); the counter makes that check O(1).
-            let issued = self.ready_vital[sched_idx] > 0
+            // have any side effect); the mask makes that check O(1).
+            let issued = self.issue_candidates(sched_idx) != 0
                 && self.issue_one(sched_idx, now, mem, events, stats);
             let any_live = self.live_warps[sched_idx] > 0;
             stats.bump(|c| {
@@ -198,54 +227,75 @@ impl Sm {
         stats: &mut GpuStats,
     ) -> bool {
         // GTO priority order: greedy favourite first, then vital warps
-        // oldest-first. Warps that cannot issue (blocked on a dependence)
-        // are skipped for free; at most MAX_ISSUE_ATTEMPTS ready warps are
-        // probed per cycle (arbitration width).
+        // oldest-first. The scan walks the set bits of the readiness mask
+        // (blocked warps cost nothing); at most MAX_ISSUE_ATTEMPTS ready
+        // warps are probed per cycle (arbitration width). A probe can only
+        // change the probed warp's own state, so the snapshot taken here
+        // matches a fresh readiness check at every candidate.
         let sched = &self.schedulers[sched_idx];
-        let n_vital = sched.tuple().n.min(sched.n_warps);
+        let mut ready = self.issue_candidates(sched_idx);
         let greedy = sched.greedy_warp().filter(|&g| sched.vital(g));
         let mut attempts = 0;
-        let candidates = greedy
-            .into_iter()
-            .chain((0..n_vital).filter(move |&w| Some(w) != greedy));
-        for w_idx in candidates {
-            if !self.warps[sched_idx][w_idx].ready() {
-                continue;
+        if let Some(g) = greedy {
+            let bit = 1u64 << g;
+            if ready & bit != 0 {
+                attempts += 1;
+                if let Some(kind) = self.try_issue(sched_idx, g, now, mem, events, stats) {
+                    self.note_issued(sched_idx, g, kind, stats);
+                    return true;
+                }
             }
+            ready &= !bit;
+        }
+        while ready != 0 {
+            let w_idx = ready.trailing_zeros() as usize;
+            ready &= ready - 1;
             attempts += 1;
             if attempts > MAX_ISSUE_ATTEMPTS {
                 break;
             }
             if let Some(kind) = self.try_issue(sched_idx, w_idx, now, mem, events, stats) {
-                self.schedulers[sched_idx].note_issue(w_idx);
-                let warp = &mut self.warps[sched_idx][w_idx];
-                warp.instructions += 1;
-                stats.bump(|c| c.instructions += 1);
-                match kind {
-                    IssuedKind::Load => {
-                        if warp.seen_load {
-                            let gap = warp.since_last_load;
-                            stats.bump(|c| {
-                                c.in_gap_sum += gap;
-                                c.in_gap_count += 1;
-                            });
-                        }
-                        warp.seen_load = true;
-                        warp.since_last_load = 0;
-                        stats.bump(|c| c.loads += 1);
-                    }
-                    IssuedKind::Store => {
-                        warp.since_last_load += 1;
-                        stats.bump(|c| c.stores += 1);
-                    }
-                    IssuedKind::Alu => {
-                        warp.since_last_load += 1;
-                    }
-                }
+                self.note_issued(sched_idx, w_idx, kind, stats);
                 return true;
             }
         }
         false
+    }
+
+    /// Book-keeping for a successful issue: greedy favourite, instruction
+    /// counts, and the load-gap statistics behind the paper's `In`.
+    fn note_issued(
+        &mut self,
+        sched_idx: usize,
+        w_idx: usize,
+        kind: IssuedKind,
+        stats: &mut GpuStats,
+    ) {
+        self.schedulers[sched_idx].note_issue(w_idx);
+        let warp = &mut self.warps[sched_idx][w_idx];
+        warp.instructions += 1;
+        stats.bump(|c| c.instructions += 1);
+        match kind {
+            IssuedKind::Load => {
+                if warp.seen_load {
+                    let gap = warp.since_last_load;
+                    stats.bump(|c| {
+                        c.in_gap_sum += gap;
+                        c.in_gap_count += 1;
+                    });
+                }
+                warp.seen_load = true;
+                warp.since_last_load = 0;
+                stats.bump(|c| c.loads += 1);
+            }
+            IssuedKind::Store => {
+                warp.since_last_load += 1;
+                stats.bump(|c| c.stores += 1);
+            }
+            IssuedKind::Alu => {
+                warp.since_last_load += 1;
+            }
+        }
     }
 
     /// Attempt to issue the next instruction of a warp. Returns the kind of
@@ -265,6 +315,12 @@ impl Sm {
             // `fetch` may exhaust the stream (ready/live transition) and a
             // sync with loads outstanding blocks the warp (ready
             // transition); route both through the counter-tracking helper.
+            // A fetch that pulls from the stream (rather than re-reading a
+            // stashed instruction) advances warp state even when nothing
+            // issues, so it bumps the version.
+            if !self.warps[sched_idx][w_idx].has_pending() {
+                self.version += 1;
+            }
             let instr = self.update_warp(sched_idx, w_idx, Warp::fetch)?;
             match instr {
                 Instr::Alu => return Some(IssuedKind::Alu),
@@ -285,7 +341,7 @@ impl Sm {
                 }
                 Instr::Store { line, .. } => {
                     self.l1.access_store(line);
-                    mem.write(line, now, stats);
+                    mem.write(self.id, line, now, stats);
                     return Some(IssuedKind::Store);
                 }
                 Instr::Load { line, pc } => {
@@ -323,8 +379,10 @@ impl Sm {
                             let warp = &mut self.warps[sched_idx][w_idx];
                             warp.outstanding_loads += 1;
                             if primary {
-                                let ready = mem.read(line, now, stats);
-                                events.schedule(ready, self.id, SmEvent::Fill { mshr });
+                                // The memory system schedules the fill —
+                                // immediately, or (in deferred mode) once
+                                // the request is applied in global order.
+                                mem.read(self.id, line, now, mshr, events, stats);
                             }
                             return Some(IssuedKind::Load);
                         }

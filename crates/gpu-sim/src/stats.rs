@@ -219,6 +219,29 @@ impl WindowSample {
     }
 }
 
+/// Per-SM fast-forward diagnostics (see the module docs of
+/// [`crate::gpu`]): how often one SM's private run-ahead engaged, how many
+/// of its scheduler cycles were skipped in bulk, and how often its advance
+/// was cut short by the shared memory-system horizon rather than by an
+/// event or a controller barrier.
+///
+/// These are *wall-clock* diagnostics, not architectural counters: they
+/// explain why a workload does (not) benefit from [`StepMode::PerSm`]
+/// without affecting any simulated quantity, and are therefore excluded
+/// from the bit-identity contract on [`Counters`].
+///
+/// [`StepMode::PerSm`]: crate::config::StepMode::PerSm
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmFastForward {
+    /// Contiguous spans this SM skipped without stepping.
+    pub spans: u64,
+    /// SM-local cycles covered by those spans.
+    pub skipped: u64,
+    /// Times the SM's advance stopped at the conservative memory-system
+    /// horizon (an own read still unresolved) instead of an event/barrier.
+    pub horizon_stalls: u64,
+}
+
 /// Total and windowed counters for one simulation.
 #[derive(Debug, Clone, Default)]
 pub struct GpuStats {
@@ -226,6 +249,12 @@ pub struct GpuStats {
     pub total: Counters,
     /// Resettable window counters.
     pub window: Counters,
+    /// Per-SM fast-forward breakdown, indexed by SM id. Populated (and
+    /// sized) by [`crate::Gpu::new`]; only [`StepMode::PerSm`] runs write
+    /// to it.
+    ///
+    /// [`StepMode::PerSm`]: crate::config::StepMode::PerSm
+    pub fast_forward: Vec<SmFastForward>,
 }
 
 impl GpuStats {

@@ -69,6 +69,13 @@ impl Warp {
         !self.done || self.outstanding_loads > 0
     }
 
+    /// Whether an instruction is stashed for retry (so the next
+    /// [`Warp::fetch`] will not consume the stream).
+    #[inline]
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
     /// Fetch the next instruction to attempt, honouring a stashed one.
     pub fn fetch(&mut self) -> Option<Instr> {
         if let Some(i) = self.pending.take() {

@@ -1,0 +1,62 @@
+//! Fast-forward sanity check, promoted from the old `ff_check` example so
+//! it runs under `cargo test` instead of requiring a manual invocation:
+//! every fast run loop must produce bit-identical counters to the
+//! cycle-stepped reference across the three regimes that bracket the
+//! design space, and must actually engage where it is supposed to.
+
+use gpu_sim::{FixedTuple, Gpu, GpuConfig, StepMode, UniformKernel, WarpTuple};
+
+const BUDGET: u64 = 150_000;
+
+fn run(
+    kernel: &UniformKernel,
+    warps: usize,
+    mode: StepMode,
+) -> (gpu_sim::Counters, bool, u64, (u64, u64)) {
+    let mut cfg = GpuConfig::scaled(4);
+    cfg.step_mode = mode;
+    let mut gpu = Gpu::new(cfg, kernel);
+    let mut ctrl = FixedTuple::new(WarpTuple::new(warps, warps, 24));
+    let res = gpu.run(&mut ctrl, BUDGET);
+    (
+        res.counters,
+        res.completed,
+        gpu.cycle(),
+        gpu.fast_forward_stats(),
+    )
+}
+
+#[test]
+fn fast_forward_sanity_check() {
+    for (name, warps, alu) in [
+        ("mem-bound n1", 1usize, 0usize),
+        ("mem-bound n4", 4, 2),
+        ("high-occupancy n16", 16, 2),
+        ("reject-storm n24", 24, 0),
+        ("compute", 8, 40),
+    ] {
+        let kernel = UniformKernel::streaming(warps, alu);
+        let rf = run(&kernel, warps, StepMode::Reference);
+        assert_eq!(rf.3, (0, 0), "{name}: reference must never skip");
+        for mode in [StepMode::PerSm, StepMode::EventDriven] {
+            let fast = run(&kernel, warps, mode);
+            assert_eq!(fast.0, rf.0, "{name}/{mode:?}: counters diverged");
+            assert_eq!(
+                (fast.1, fast.2),
+                (rf.1, rf.2),
+                "{name}/{mode:?}: completion/cycle diverged"
+            );
+        }
+        // The per-SM loop must skip heavily on every memory-bound regime,
+        // including the structural reject storm the stepped skip cannot
+        // touch.
+        if alu < 40 {
+            let (_, _, _, (spans, skipped)) = run(&kernel, warps, StepMode::PerSm);
+            assert!(
+                spans > 0 && skipped > BUDGET / 4,
+                "{name}: per-SM fast-forward barely engaged \
+                 ({spans} spans, {skipped} skipped SM-cycles)"
+            );
+        }
+    }
+}

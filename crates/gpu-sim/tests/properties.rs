@@ -141,18 +141,24 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&r));
     }
 
-    /// The event-driven loop is bit-identical to the cycle-stepped
-    /// reference for arbitrary kernels, tuples and budgets: identical
-    /// counters mean AML (which encodes event delivery times), IPC and
-    /// stall accounting all agree exactly — so no skipped span ever
-    /// crossed a scheduled event, and none ran past the budget end.
+    /// Every fast run loop (per-SM decoupled clocks and the global
+    /// event-driven skip) is bit-identical to the cycle-stepped reference
+    /// for arbitrary kernels, tuples, SM counts and budgets — including
+    /// mid-run `run()` re-entry, which is how the profiler drives the GPU
+    /// (warmup run, window reset, measurement run). Identical counters
+    /// mean AML (which encodes event delivery times), IPC and stall
+    /// accounting all agree exactly — so no skipped span ever crossed a
+    /// scheduled event, no per-SM advance outran the shared memory
+    /// system, and none ran past a budget end.
     #[test]
-    fn fast_forward_matches_reference(
+    fn fast_modes_match_reference(
         warps in 1usize..12,
         alu in 0usize..8,
         n in 1usize..24,
         p in 1usize..24,
+        sms in 1usize..5,
         budget in 500u64..12_000,
+        split_num in 0u64..=4,
         resident in prop_oneof![Just(false), Just(true)],
     ) {
         let kernel = if resident {
@@ -160,16 +166,54 @@ proptest! {
         } else {
             UniformKernel::streaming(warps, alu)
         };
+        // Split the budget into two back-to-back `run()` calls at an
+        // arbitrary point (0% / 25% / 50% / 75% / 100%).
+        let first = budget * split_num / 4;
         let run = |mode: StepMode| {
-            let mut cfg = GpuConfig::scaled(1);
+            let mut cfg = GpuConfig::scaled(sms);
             cfg.step_mode = mode;
             let mut gpu = Gpu::new(cfg, &kernel);
             let mut ctrl = FixedTuple::new(WarpTuple::new(n, p, 24));
-            let res = gpu.run(&mut ctrl, budget);
-            (res.counters, res.completed, gpu.cycle())
+            let mid = gpu.run(&mut ctrl, first);
+            let res = gpu.run(&mut ctrl, budget - first);
+            (mid.counters, mid.completed, res.counters, res.completed, gpu.cycle())
         };
-        let ev = run(StepMode::EventDriven);
         let rf = run(StepMode::Reference);
-        prop_assert_eq!(ev, rf);
+        prop_assert_eq!(run(StepMode::PerSm), rf.clone());
+        prop_assert_eq!(run(StepMode::EventDriven), rf);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// MSHR reject storms (occupancy beyond the MSHR file, so ready warps
+    /// retry structurally rejected loads every cycle) are the regime the
+    /// structural-stall replay targets; the bulk-accounted reject and
+    /// stall counters must stay bit-identical to stepping each retry.
+    /// Cases are few and budgets short because the reference loop really
+    /// does step every storm cycle.
+    #[test]
+    fn reject_storms_match_reference(
+        // 17+ warps/scheduler want 34+ outstanding loads: strictly more
+        // than the 32 MSHRs, so the storm is guaranteed.
+        warps in 17usize..=24,
+        alu in 0usize..3,
+        sms in 1usize..3,
+        budget in 500u64..4_000,
+    ) {
+        let kernel = UniformKernel::streaming(warps, alu);
+        let run = |mode: StepMode| {
+            let mut cfg = GpuConfig::scaled(sms);
+            cfg.step_mode = mode;
+            let mut gpu = Gpu::new(cfg, &kernel);
+            let mut ctrl = FixedTuple::new(WarpTuple::new(warps, warps, 24));
+            let res = gpu.run(&mut ctrl, budget);
+            (res.counters, gpu.cycle())
+        };
+        let rf = run(StepMode::Reference);
+        prop_assert!(rf.0.l1_rejects > 0, "occupancy beyond the MSHRs must reject");
+        prop_assert_eq!(run(StepMode::PerSm), rf.clone());
+        prop_assert_eq!(run(StepMode::EventDriven), rf);
     }
 }

@@ -16,8 +16,10 @@
 //!   fast-forward worst case (skips almost never trigger), bounding the
 //!   overhead of the readiness/horizon bookkeeping.
 //!
-//! Also times `profile_grid` on a coarse(24) grid end-to-end, since that
-//! is the harness path every figure regeneration pays.
+//! Also times `profile_grid` on a coarse(24) grid end-to-end, and the
+//! experiment engine (`poise::jobs`) cold vs warm over a small job
+//! graph, since those are the harness paths every figure regeneration
+//! pays.
 //!
 //! Run with: `cargo bench -p poise-bench --bench sim_throughput`
 //!
@@ -215,6 +217,58 @@ fn profile_grid_end_to_end(opts: &Opts) -> GridResult {
     GridResult { points, seconds }
 }
 
+struct EngineResult {
+    jobs: usize,
+    cold_seconds: f64,
+    warm_seconds: f64,
+}
+
+/// Cold vs warm pass of the experiment engine over a small scheme ×
+/// kernel job graph (1-SM machine, short budgets): the cold figure
+/// tracks per-job orchestration overhead on top of the simulations, the
+/// warm figure the cost of answering the whole graph from the
+/// content-addressed cache.
+fn engine_end_to_end() -> EngineResult {
+    use poise::experiment::{Scheme, Setup};
+    use poise::jobs::{Engine, KernelRunSpec, SimJob};
+
+    let dir = std::env::temp_dir().join(format!("poise-sim-throughput-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut engine = Engine::new(&dir);
+    engine.quiet = true;
+    let setup = Setup::for_tests();
+    let mut jobs = Vec::new();
+    for i in 0..4 {
+        let spec = KernelSpec::steady(
+            format!("engine-bench-{i}"),
+            AccessMix::memory_sensitive(),
+            i,
+        );
+        for s in [Scheme::Gto, Scheme::Swl] {
+            jobs.push(SimJob::Run(KernelRunSpec::new(&spec, s, &setup, None)));
+        }
+    }
+    let t = Instant::now();
+    let (_, cold) = engine.run(&jobs);
+    let cold_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(cold.executed, cold.total, "cold pass must simulate");
+    let t = Instant::now();
+    let (_, warm) = engine.run(&jobs);
+    let warm_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(warm.cache_hits, warm.total, "warm pass must hit");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "sim_throughput/engine-smoke              {} jobs   cold {:.2}s   warm {:.3}s   \
+         ({} sims cold, {} cache hits warm)",
+        cold.total, cold_seconds, warm_seconds, cold.executed, warm.cache_hits,
+    );
+    EngineResult {
+        jobs: cold.total,
+        cold_seconds,
+        warm_seconds,
+    }
+}
+
 /// The commit this run measures, for the tracked trajectory under
 /// `results/`. Prefers the CI-provided sha, falls back to `git`.
 fn commit_id() -> String {
@@ -237,7 +291,7 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(opts: &Opts, workloads: &[WorkloadResult], grid: &GridResult) {
+fn write_json(opts: &Opts, workloads: &[WorkloadResult], grid: &GridResult, engine: &EngineResult) {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -290,6 +344,11 @@ fn write_json(opts: &Opts, workloads: &[WorkloadResult], grid: &GridResult) {
             mode_name, grid.seconds[i]
         );
     }
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"engine_smoke\": {{");
+    let _ = writeln!(s, "    \"jobs\": {},", engine.jobs);
+    let _ = writeln!(s, "    \"cold_seconds\": {:.4},", engine.cold_seconds);
+    let _ = writeln!(s, "    \"warm_seconds\": {:.4}", engine.warm_seconds);
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     let path = results_dir().join("sim_throughput.json");
@@ -349,7 +408,8 @@ fn main() {
         ),
     ];
     let grid = profile_grid_end_to_end(&opts);
+    let engine = engine_end_to_end();
     if opts.json {
-        write_json(&opts, &workloads, &grid);
+        write_json(&opts, &workloads, &grid, &engine);
     }
 }

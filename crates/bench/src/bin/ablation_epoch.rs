@@ -5,40 +5,13 @@
 //! amortise sampling but react slowly. This sweep runs Poise at several
 //! epoch lengths on a phase-changing kernel (gsmv) and a steady kernel
 //! (ii).
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::{self, Scheme};
-use poise_bench::*;
-use workloads::evaluation_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let base = setup();
-    let model = load_or_train_model(&base);
-    let suite = evaluation_suite();
-    let benches: Vec<_> = suite
-        .iter()
-        .filter(|b| b.name == "ii" || b.name == "gsmv")
-        .collect();
-    let periods = [50_000u64, 100_000, 200_000, 400_000];
-
-    let mut rows = Vec::new();
-    for bench in &benches {
-        let gto = experiment::run_benchmark(bench, Scheme::Gto, &model, &base);
-        let mut row = vec![bench.name.clone()];
-        for &t in &periods {
-            let mut s = base.clone();
-            s.params.t_period = t;
-            // Two epochs at every setting for a fair sampling share.
-            s.run_cycles = 2 * t;
-            eprintln!("[bench] {} @ Tperiod {t}...", bench.name);
-            let r = experiment::run_benchmark(bench, Scheme::Poise, &model, &s);
-            row.push(cell(r.ipc / gto.ipc, 3));
-        }
-        rows.push(row);
-    }
-    emit_table(
-        "ablation_epoch.txt",
-        "Ablation — Poise IPC vs GTO across inference epoch lengths",
-        &["bench", "50k", "100k", "200k", "400k"],
-        &rows,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("ablation_epoch")
 }

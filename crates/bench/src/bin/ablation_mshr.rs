@@ -6,37 +6,13 @@
 //! the effect directly: fewer MSHRs raise stall time and depress IPC,
 //! and the returns of adding MSHRs diminish once the DRAM bandwidth
 //! bound takes over.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use gpu_sim::{FixedTuple, Gpu};
-use poise_bench::*;
-use workloads::evaluation_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let bench = evaluation_suite()
-        .into_iter()
-        .find(|b| b.name == "ii")
-        .expect("ii");
-    let kernel = &bench.kernels[0];
-    let mut rows = Vec::new();
-    for mshrs in [4usize, 8, 16, 32, 64] {
-        let mut cfg = setup.cfg.clone();
-        cfg.l1_mshrs = mshrs;
-        let mut gpu = Gpu::new(cfg, kernel);
-        let mut ctrl = FixedTuple::max();
-        gpu.run(&mut ctrl, 60_000);
-        let c = gpu.stats().total;
-        rows.push(vec![
-            mshrs.to_string(),
-            cell(c.ipc(), 3),
-            cell(c.aml(), 0),
-            c.l1_rejects.to_string(),
-        ]);
-    }
-    emit_table(
-        "ablation_mshr.txt",
-        "Ablation — MSHR count at the GTO baseline (ii), Eq. 1's MLP term",
-        &["Kmshr", "IPC", "AML", "rejects"],
-        &rows,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("ablation_mshr")
 }

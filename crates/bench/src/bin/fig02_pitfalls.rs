@@ -3,113 +3,13 @@
 //! CCWS (diagonal best), PCAL convergence and global MAX points; (b) the
 //! `p = N` and `p = 1` slices showing the performance valley that traps
 //! PCAL's unit-step hill climb short of the global optimum.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use gpu_sim::WarpTuple;
-use poise::policies::swl_tuple_from_grid;
-use poise::profiler::{profile_grid, GridSpec};
-use poise_bench::*;
-use workloads::evaluation_suite;
+use std::process::ExitCode;
 
-/// Simulate PCAL's search procedure offline on the profiled surface:
-/// start at the SWL point, pick the best p at that N, then unit-step
-/// hill-climb in N until no neighbour improves.
-fn pcal_converge(grid: &poise_ml::SpeedupGrid, start: WarpTuple) -> WarpTuple {
-    let at = |n: usize, p: usize| grid.get(n, p.min(n)).unwrap_or(f64::NEG_INFINITY);
-    // Parallel p search at the starting N.
-    let mut best_p = start.p;
-    let mut best = at(start.n, start.p);
-    for p in 1..=start.n {
-        if at(start.n, p) > best {
-            best = at(start.n, p);
-            best_p = p;
-        }
-    }
-    // Unit-step hill climb in N.
-    let mut n = start.n;
-    loop {
-        let up = if n < grid.max_n() {
-            at(n + 1, best_p)
-        } else {
-            f64::NEG_INFINITY
-        };
-        let down = if n > 1 {
-            at(n - 1, best_p)
-        } else {
-            f64::NEG_INFINITY
-        };
-        if up > best && up >= down {
-            n += 1;
-            best = up;
-        } else if down > best {
-            n -= 1;
-            best = down;
-        } else {
-            break;
-        }
-    }
-    WarpTuple::new(n, best_p.min(n), grid.max_n())
-}
-
-fn main() {
-    let setup = setup();
-    // The paper profiles ii kernel #112; any intra-heavy family member
-    // shows the same structure — use the ii base kernel.
-    let bench = evaluation_suite()
-        .into_iter()
-        .find(|b| b.name == "ii")
-        .expect("ii benchmark");
-    let kernel = &bench.kernels[0];
-    eprintln!(
-        "[bench] profiling the full {{N, p}} grid of {}...",
-        kernel.name
-    );
-    // The full 300-point triangle at the hardware scheduler capacity —
-    // affordable since the per-SM decoupled core (the coarse grid was a
-    // concession to the slower cycle-stepped core).
-    let max_n = setup
-        .cfg
-        .max_warps_per_scheduler
-        .min(kernel.warps_per_scheduler);
-    let grid = profile_grid(
-        kernel,
-        &setup.cfg,
-        &GridSpec::full(max_n),
-        setup.profile_window,
-    );
-
-    println!("# Fig. 2a — {{N, p}} solution space of {}", kernel.name);
-    print!("{}", render_grid(&grid));
-    let ccws = swl_tuple_from_grid(&grid, max_n);
-    let pcal = pcal_converge(&grid, ccws);
-    let (maxt, maxs) = grid.best_performance().expect("profiled grid");
-    println!(
-        "CCWS (diagonal best): {ccws} -> {:.3}",
-        grid.get(ccws.n, ccws.p).unwrap_or(0.0)
-    );
-    println!(
-        "PCAL convergence:     {pcal} -> {:.3}",
-        grid.get(pcal.n, pcal.p).unwrap_or(0.0)
-    );
-    println!("MAX (global best):    {maxt} -> {maxs:.3}");
-
-    let mut rows = Vec::new();
-    for n in 1..=grid.max_n() {
-        rows.push(vec![
-            n.to_string(),
-            grid.get(n, n).map_or("-".into(), |v| cell(v, 3)),
-            grid.get(n, 1).map_or("-".into(), |v| cell(v, 3)),
-        ]);
-    }
-    emit_table(
-        "fig02_pitfalls.txt",
-        "Fig. 2b — IPC (normalised) along p = N and p = 1",
-        &["N", "p=N", "p=1"],
-        &rows,
-    );
-    let mut extra = String::new();
-    extra.push_str(&render_grid(&grid));
-    extra.push_str(&format!(
-        "CCWS {ccws}  PCAL {pcal}  MAX {maxt} ({maxs:.3})\n"
-    ));
-    std::fs::write(results_dir().join("fig02_grid.txt"), extra).expect("write");
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig02_pitfalls")
 }

@@ -6,43 +6,13 @@
 //!
 //! Paper values: ii 97%/3% R=236; bfs 77%/23% R=1136; syr2k 40%/60%
 //! R=240; cfd 2%/98% R=3161.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use gpu_sim::WarpTuple;
-use poise::profiler::{run_tuple, ProfileWindow};
-use poise_bench::*;
-use workloads::fig4_kernels;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let mut cfg = setup.cfg.clone();
-    cfg.track_reuse_distance = true;
-    let window = ProfileWindow {
-        warmup: setup.profile_window.warmup,
-        measure: setup.profile_window.measure * 2,
-    };
-    let mut rows = Vec::new();
-    for kernel in fig4_kernels() {
-        eprintln!("[bench] characterising {}...", kernel.name);
-        let base = run_tuple(&kernel, &cfg, WarpTuple::max(24), window);
-        let reduced = run_tuple(&kernel, &cfg, WarpTuple::new(24, 1, 24), window);
-        let b = &base.window;
-        let r = &reduced.window;
-        let hits = (b.l1_hits).max(1) as f64;
-        rows.push(vec![
-            kernel.name.clone(),
-            cell(r.polluting_hit_rate(), 3),
-            cell(r.non_polluting_hit_rate(), 3),
-            cell(b.l1_hit_rate(), 3),
-            cell(100.0 * b.l1_intra_hits as f64 / hits, 0),
-            cell(100.0 * b.l1_inter_hits as f64 / hits, 0),
-            cell(b.reuse_distance(), 0),
-        ]);
-    }
-    emit_table(
-        "fig04_hit_rates.txt",
-        "Fig. 4 — L1 hit rates at (24, 1): hp, hnp, baseline ho, \
-         intra/inter share of baseline hits (%), reuse distance R (lines)",
-        &["kernel", "hp", "hnp", "ho", "intra%", "inter%", "R"],
-        &rows,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig04_hit_rates")
 }

@@ -2,53 +2,13 @@
 //! best-performance peak versus the best-*scored* peak that avoids
 //! performance cliffs. Paper: kernel #34 moves (6,5)@+8% → (8,8)@+6%;
 //! kernel #35 moves (11,4)@+15% → (7,6)@+14%.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::profiler::{profile_grid, GridSpec};
-use poise_bench::*;
-use poise_ml::ScoringWeights;
-use workloads::evaluation_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let bench = evaluation_suite()
-        .into_iter()
-        .find(|b| b.name == "ii")
-        .expect("ii benchmark");
-    let mut rows = Vec::new();
-    let mut grids = String::new();
-    for kernel in [&bench.kernels[2], &bench.kernels[4]] {
-        eprintln!("[bench] profiling {} over the full grid...", kernel.name);
-        // Full triangle at the hardware scheduler capacity, affordable
-        // since the per-SM decoupled core.
-        let max_n = setup
-            .cfg
-            .max_warps_per_scheduler
-            .min(kernel.warps_per_scheduler);
-        let grid = profile_grid(
-            kernel,
-            &setup.cfg,
-            &GridSpec::full(max_n),
-            setup.profile_window,
-        );
-        let (perf_t, perf_s) = grid.best_performance().expect("profiled");
-        let (score_t, _) = grid
-            .best_scored(&ScoringWeights::default())
-            .expect("scored");
-        let score_s = grid.get(score_t.n, score_t.p).unwrap_or(1.0);
-        rows.push(vec![
-            kernel.name.clone(),
-            format!("{perf_t}"),
-            cell(perf_s, 3),
-            format!("{score_t}"),
-            cell(score_s, 3),
-        ]);
-        grids.push_str(&format!("== {} ==\n{}", kernel.name, render_grid(&grid)));
-    }
-    emit_table(
-        "fig05_scoring.txt",
-        "Fig. 5 — max-performance vs max-score tuples (speedup vs GTO)",
-        &["kernel", "perf tuple", "speedup", "score tuple", "speedup"],
-        &rows,
-    );
-    std::fs::write(results_dir().join("fig05_grids.txt"), grids).expect("write");
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig05_scoring")
 }

@@ -2,36 +2,13 @@
 //! GTO baseline across the eleven evaluation benchmarks, plus the
 //! harmonic mean. Paper headline: Poise +46.6% H-mean (up to 2.94x on
 //! mm), SWL +21.8%, PCAL-SWL +31.5%, Static-Best +52.8%.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::harmonic_mean;
-use poise_bench::*;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let rows = main_comparison(&setup, &model);
-    let schemes = ["GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"];
-    let mut table = Vec::new();
-    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for bench in bench_order() {
-        let gto = metric(&rows, &bench, "GTO", |r| r.ipc);
-        let mut row = vec![bench.clone()];
-        for (i, s) in schemes.iter().enumerate() {
-            let v = metric(&rows, &bench, s, |r| r.ipc) / gto;
-            speedups[i].push(v);
-            row.push(cell(v, 3));
-        }
-        table.push(row);
-    }
-    let mut hmean = vec!["H-Mean".to_string()];
-    for sp in &speedups {
-        hmean.push(cell(harmonic_mean(sp), 3));
-    }
-    table.push(hmean);
-    emit_table(
-        "fig07_performance.txt",
-        "Fig. 7 — IPC normalised to GTO",
-        &["bench", "GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"],
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig07_performance")
 }

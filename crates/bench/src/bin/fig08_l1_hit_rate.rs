@@ -1,35 +1,13 @@
 //! Fig. 8 — absolute L1 hit rate (%) per scheme with the arithmetic mean.
 //! Paper: GTO 20.6%, PCAL-SWL 27.1%, SWL 37.7%, Poise 40.1%,
 //! Static-Best 43.6%.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::arithmetic_mean;
-use poise_bench::*;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let rows = main_comparison(&setup, &model);
-    let schemes = ["GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"];
-    let mut table = Vec::new();
-    let mut rates: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for bench in bench_order() {
-        let mut row = vec![bench.clone()];
-        for (i, s) in schemes.iter().enumerate() {
-            let v = metric(&rows, &bench, s, |r| r.l1_hit_rate) * 100.0;
-            rates[i].push(v);
-            row.push(cell(v, 1));
-        }
-        table.push(row);
-    }
-    let mut amean = vec!["A-Mean".to_string()];
-    for r in &rates {
-        amean.push(cell(arithmetic_mean(r), 1));
-    }
-    table.push(amean);
-    emit_table(
-        "fig08_l1_hit_rate.txt",
-        "Fig. 8 — absolute L1 hit rate (%)",
-        &["bench", "GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"],
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig08_l1_hit_rate")
 }

@@ -1,36 +1,13 @@
 //! Fig. 9 — average memory latency (AML) of L1 misses, normalised to GTO,
 //! with the arithmetic mean. Paper: SWL 0.893, Poise 1.011, Static-Best
 //! 1.141, PCAL-SWL 1.324.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::arithmetic_mean;
-use poise_bench::*;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let rows = main_comparison(&setup, &model);
-    let schemes = ["GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"];
-    let mut table = Vec::new();
-    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for bench in bench_order() {
-        let gto = metric(&rows, &bench, "GTO", |r| r.aml);
-        let mut row = vec![bench.clone()];
-        for (i, s) in schemes.iter().enumerate() {
-            let v = metric(&rows, &bench, s, |r| r.aml) / gto;
-            ratios[i].push(v);
-            row.push(cell(v, 3));
-        }
-        table.push(row);
-    }
-    let mut amean = vec!["A-Mean".to_string()];
-    for r in &ratios {
-        amean.push(cell(arithmetic_mean(r), 3));
-    }
-    table.push(amean);
-    emit_table(
-        "fig09_aml.txt",
-        "Fig. 9 — AML normalised to GTO",
-        &["bench", "GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"],
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig09_aml")
 }

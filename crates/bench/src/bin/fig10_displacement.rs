@@ -2,35 +2,13 @@
 //! locally-searched warp-tuples, per benchmark, plus arithmetic means.
 //! Paper: mean |ΔN| 1.02, |Δp| 0.87, Euclidean 1.59 — i.e. the search
 //! converges about one warp away from the prediction.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::arithmetic_mean;
-use poise_bench::*;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let rows = main_comparison(&setup, &model);
-    let mut table = Vec::new();
-    let (mut dns, mut dps, mut des) = (Vec::new(), Vec::new(), Vec::new());
-    for bench in bench_order() {
-        let dn = metric(&rows, &bench, "Poise", |r| r.disp_n);
-        let dp = metric(&rows, &bench, "Poise", |r| r.disp_p);
-        let de = metric(&rows, &bench, "Poise", |r| r.disp_euclid);
-        dns.push(dn);
-        dps.push(dp);
-        des.push(de);
-        table.push(vec![bench, cell(dn, 2), cell(dp, 2), cell(de, 2)]);
-    }
-    table.push(vec![
-        "A-Mean".to_string(),
-        cell(arithmetic_mean(&dns), 2),
-        cell(arithmetic_mean(&dps), 2),
-        cell(arithmetic_mean(&des), 2),
-    ]);
-    emit_table(
-        "fig10_displacement.txt",
-        "Fig. 10 — displacement between predicted and converged tuples",
-        &["bench", "N-axis", "p-axis", "Euclidean"],
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig10_displacement")
 }

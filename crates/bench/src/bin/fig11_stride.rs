@@ -2,42 +2,13 @@
 //! (εN, εp) ∈ {(0,0), (1,1), (2,2), (2,4), (4,4)}, H-mean speedup vs GTO.
 //! Paper: (0,0) +23%, (1,1) +43.6%, (2,2) +45.7%, (2,4) +46.6% (best),
 //! (4,4) +45%.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::{self, harmonic_mean, Scheme};
-use poise_bench::*;
-use workloads::evaluation_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let base_setup = setup();
-    let model = load_or_train_model(&base_setup);
-    let strides = [(0usize, 0usize), (1, 1), (2, 2), (2, 4), (4, 4)];
-    let rows_cache = main_comparison(&base_setup, &model);
-
-    let mut table = Vec::new();
-    let mut per_stride: Vec<Vec<f64>> = vec![Vec::new(); strides.len()];
-    for bench in evaluation_suite() {
-        let gto = metric(&rows_cache, &bench.name, "GTO", |r| r.ipc);
-        let mut row = vec![bench.name.clone()];
-        for (si, &(sn, sp)) in strides.iter().enumerate() {
-            let mut s = base_setup.clone();
-            s.params = s.params.with_strides(sn, sp);
-            eprintln!("[bench] {} stride ({sn},{sp})...", bench.name);
-            let r = experiment::run_benchmark(&bench, Scheme::Poise, &model, &s);
-            let v = r.ipc / gto;
-            per_stride[si].push(v);
-            row.push(cell(v, 3));
-        }
-        table.push(row);
-    }
-    let mut hmean = vec!["H-Mean".to_string()];
-    for sp in &per_stride {
-        hmean.push(cell(harmonic_mean(sp), 3));
-    }
-    table.push(hmean);
-    emit_table(
-        "fig11_stride.txt",
-        "Fig. 11 — Poise IPC vs GTO for search strides (eN, ep)",
-        &["bench", "(0,0)", "(1,1)", "(2,2)", "(2,4)", "(4,4)"],
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig11_stride")
 }

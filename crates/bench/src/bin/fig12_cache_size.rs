@@ -2,46 +2,13 @@
 //! weights trained on the 16 KB hash-indexed baseline, normalised to the
 //! GTO baseline of each cache size. Paper: +48% at 16 KB, still +36.7%
 //! at 64 KB — the model transfers across architectural changes.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use gpu_sim::SetIndexing;
-use poise::experiment::{self, harmonic_mean, Scheme};
-use poise_bench::*;
-use workloads::evaluation_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let base_setup = setup();
-    let model = load_or_train_model(&base_setup);
-    let scales = [(1usize, "16KB"), (2, "32KB"), (4, "64KB")];
-
-    let mut table = Vec::new();
-    let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); scales.len()];
-    for bench in evaluation_suite() {
-        let mut row = vec![bench.name.clone()];
-        for (si, &(scale, label)) in scales.iter().enumerate() {
-            let mut s = base_setup.clone();
-            s.cfg = s
-                .cfg
-                .clone()
-                .with_l1_scale(scale)
-                .with_l1_indexing(SetIndexing::Linear);
-            eprintln!("[bench] {} @ {label} linear L1...", bench.name);
-            let gto = experiment::run_benchmark(&bench, Scheme::Gto, &model, &s);
-            let poise = experiment::run_benchmark(&bench, Scheme::Poise, &model, &s);
-            let v = poise.ipc / gto.ipc;
-            per_scale[si].push(v);
-            row.push(cell(v, 3));
-        }
-        table.push(row);
-    }
-    let mut hmean = vec!["H-Mean".to_string()];
-    for sp in &per_scale {
-        hmean.push(cell(harmonic_mean(sp), 3));
-    }
-    table.push(hmean);
-    emit_table(
-        "fig12_cache_size.txt",
-        "Fig. 12 — Poise IPC vs GTO with linear-indexed L1 of 16/32/64 KB",
-        &["bench", "Poise+16KB", "Poise+32KB", "Poise+64KB"],
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig12_cache_size")
 }

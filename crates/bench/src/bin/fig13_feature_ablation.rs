@@ -3,64 +3,13 @@
 //! raw prediction quality shows, and report IPC normalised to the
 //! all-features model. Paper: removing x6 hurts most (−21.7% H-mean),
 //! x7 least (−1.5%); x1/x2 are omitted as they are represented in x7.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::{self, harmonic_mean, Scheme};
-use poise::train;
-use poise_bench::*;
-use workloads::{evaluation_suite, training_suite};
+use std::process::ExitCode;
 
-fn main() {
-    let base_setup = setup();
-    // No local search: strides (0,0), so prediction accuracy is exposed.
-    let mut s = base_setup.clone();
-    s.params = s.params.with_strides(0, 0);
-
-    let kernels: Vec<workloads::KernelSpec> = training_suite()
-        .iter()
-        .flat_map(|b| b.capped(s.train_cap_per_benchmark).kernels)
-        .collect();
-
-    // drop index: feature x_i is index i-1 in the vector.
-    let variants: Vec<(String, Vec<usize>)> = std::iter::once(("all".to_string(), vec![]))
-        .chain((3..=7).rev().map(|i| (format!("-x{i}"), vec![i - 1])))
-        .collect();
-
-    let mut models = Vec::new();
-    for (name, drop) in &variants {
-        eprintln!("[bench] training variant {name}...");
-        models.push(train::train_on_kernels(&kernels, &s, drop));
-    }
-
-    let mut table = Vec::new();
-    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
-    for bench in evaluation_suite() {
-        eprintln!("[bench] {} ablation runs...", bench.name);
-        let mut ipcs = Vec::new();
-        for m in &models {
-            let r = experiment::run_benchmark(&bench, Scheme::Poise, m, &s);
-            ipcs.push(r.ipc);
-        }
-        let all = ipcs[0];
-        let mut row = vec![bench.name.clone()];
-        for (vi, ipc) in ipcs.iter().enumerate() {
-            let v = ipc / all;
-            per_variant[vi].push(v);
-            row.push(cell(v, 3));
-        }
-        table.push(row);
-    }
-    let mut hmean = vec!["H-Mean".to_string()];
-    for pv in &per_variant {
-        hmean.push(cell(harmonic_mean(pv), 3));
-    }
-    table.push(hmean);
-    let header: Vec<&str> = std::iter::once("bench")
-        .chain(variants.iter().map(|(n, _)| n.as_str()))
-        .collect();
-    emit_table(
-        "fig13_feature_ablation.txt",
-        "Fig. 13 — IPC normalised to the all-features model (no local search)",
-        &header,
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig13_feature_ablation")
 }

@@ -6,32 +6,13 @@
 //! Note: the runs are fixed-cycle windows, so equal-cycle energy is
 //! normalised by work: energy-per-instruction ratio Poise/GTO, which
 //! equals the energy ratio of equal-work runs.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::harmonic_mean;
-use poise_bench::*;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let rows = main_comparison(&setup, &model);
-    let mut table = Vec::new();
-    let mut ratios = Vec::new();
-    for bench in bench_order() {
-        let gto_epi = metric(&rows, &bench, "GTO", |r| r.energy / r.ipc);
-        let poise_epi = metric(&rows, &bench, "Poise", |r| r.energy / r.ipc);
-        let v = poise_epi / gto_epi;
-        ratios.push(v);
-        table.push(vec![bench, "1.000".to_string(), cell(v, 3)]);
-    }
-    table.push(vec![
-        "H-Mean".to_string(),
-        "1.000".to_string(),
-        cell(harmonic_mean(&ratios), 3),
-    ]);
-    emit_table(
-        "fig14_energy.txt",
-        "Fig. 14 — energy consumption normalised to GTO (per unit work)",
-        &["bench", "GTO", "Poise"],
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig14_energy")
 }

@@ -1,43 +1,13 @@
 //! Fig. 15 — Poise against APCM-style cache bypassing and random-restart
 //! stochastic search, normalised to GTO. Paper: Poise beats APCM by
 //! +39.5% and random-restart by +22.4% on average.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::{self, harmonic_mean, Scheme};
-use poise_bench::*;
-use workloads::evaluation_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let cached = main_comparison(&setup, &model);
-    let schemes = [Scheme::Apcm, Scheme::RandomRestart];
-
-    let mut table = Vec::new();
-    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
-    for bench in evaluation_suite() {
-        let gto = metric(&cached, &bench.name, "GTO", |r| r.ipc);
-        let poise = metric(&cached, &bench.name, "Poise", |r| r.ipc) / gto;
-        let mut row = vec![bench.name.clone()];
-        for (i, &scheme) in schemes.iter().enumerate() {
-            eprintln!("[bench] {} under {}...", bench.name, scheme.name());
-            let r = experiment::run_benchmark(&bench, scheme, &model, &setup);
-            let v = r.ipc / gto;
-            cols[i].push(v);
-            row.push(cell(v, 3));
-        }
-        cols[2].push(poise);
-        row.push(cell(poise, 3));
-        table.push(row);
-    }
-    let mut hmean = vec!["H-Mean".to_string()];
-    for c in &cols {
-        hmean.push(cell(harmonic_mean(c), 3));
-    }
-    table.push(hmean);
-    emit_table(
-        "fig15_alternatives.txt",
-        "Fig. 15 — APCM and random-restart vs Poise (IPC normalised to GTO)",
-        &["bench", "APCM", "Random-restart", "Poise"],
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig15_alternatives")
 }

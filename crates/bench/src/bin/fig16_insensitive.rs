@@ -1,35 +1,13 @@
 //! Fig. 16 — Poise on compute-intensive (memory-insensitive) applications
 //! with Pbest < 20%: the In > Imax early-out keeps Poise benign.
 //! Paper: −1.6% average overhead, worst case −3.5% (sradv2).
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::{self, harmonic_mean, Scheme};
-use poise::profiler::{pbest, ProfileWindow};
-use poise_bench::*;
-use workloads::compute_insensitive_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let mut table = Vec::new();
-    let mut ratios = Vec::new();
-    for bench in compute_insensitive_suite() {
-        eprintln!("[bench] {}...", bench.name);
-        let gto = experiment::run_benchmark(&bench, Scheme::Gto, &model, &setup);
-        let poise = experiment::run_benchmark(&bench, Scheme::Poise, &model, &setup);
-        let pb = pbest(&bench.kernels[0], &setup.cfg, ProfileWindow::pbest());
-        let v = poise.ipc / gto.ipc;
-        ratios.push(v);
-        table.push(vec![bench.name.clone(), cell(v, 3), format!("{pb:.2}x")]);
-    }
-    table.push(vec![
-        "H-Mean".to_string(),
-        cell(harmonic_mean(&ratios), 3),
-        String::new(),
-    ]);
-    emit_table(
-        "fig16_insensitive.txt",
-        "Fig. 16 — Poise IPC vs GTO on compute-insensitive applications",
-        &["bench", "Poise/GTO", "Pbest"],
-        &table,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig16_insensitive")
 }

@@ -2,61 +2,13 @@
 //! and (b) the tuples Poise predicts and converges to at runtime. The
 //! check is qualitative: predictions should land in the profile's
 //! high-performance zone and avoid the red high-N region.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::experiment::Scheme;
-use poise::profiler::{profile_grid, GridSpec};
-use poise::PoiseController;
-use poise_bench::*;
-use workloads::evaluation_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let bench = evaluation_suite()
-        .into_iter()
-        .find(|b| b.name == "bfs")
-        .expect("bfs");
-    let kernel = &bench.kernels[0];
-
-    eprintln!("[bench] static profile of {} (full grid)...", kernel.name);
-    let grid = profile_grid(
-        kernel,
-        &setup.cfg,
-        &GridSpec::full(kernel.warps_per_scheduler),
-        setup.profile_window,
-    );
-    println!("# Fig. 17a — static profile of {}", kernel.name);
-    print!("{}", render_grid(&grid));
-    let (bt, bs) = grid.best_performance().expect("profiled");
-    println!("best tuple: {bt} -> {bs:.3}\n");
-
-    eprintln!("[bench] Poise runtime trajectory...");
-    let mut gpu = gpu_sim::Gpu::new(setup.cfg.clone(), kernel);
-    let mut ctrl = PoiseController::new(model, setup.params);
-    gpu.run(&mut ctrl, setup.run_cycles.max(3 * setup.params.t_period));
-    println!("# Fig. 17b — Poise predictions and searched tuples");
-    let mut rows = Vec::new();
-    for l in &ctrl.log {
-        rows.push(vec![
-            l.cycle.to_string(),
-            format!("{}", l.predicted),
-            format!("{}", l.searched),
-            grid.get(l.searched.n, l.searched.p)
-                .map_or("-".into(), |v| cell(v, 3)),
-            if l.early_out { "early-out" } else { "" }.to_string(),
-        ]);
-    }
-    emit_table(
-        "fig17_case_study.txt",
-        "Fig. 17b — Poise epochs on bfs (speedup looked up in the static profile)",
-        &["cycle", "predicted", "searched", "profile speedup", "note"],
-        &rows,
-    );
-    let run_scheme = Scheme::Poise; // documented linkage to the main runs
-    let _ = run_scheme;
-    std::fs::write(
-        results_dir().join("fig17_grid.txt"),
-        format!("{}best {bt} ({bs:.3})\n", render_grid(&grid)),
-    )
-    .expect("write");
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("fig17_case_study")
 }

@@ -1,39 +1,13 @@
 //! §VII-B — offline prediction accuracy of the regression model against
 //! profiled kernels from the *evaluation* set (unseen in training).
 //! Paper: mean prediction error 16% for N and 26% for p.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::train::collect_samples;
-use poise_bench::*;
-use workloads::evaluation_suite;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let kernels: Vec<workloads::KernelSpec> = evaluation_suite()
-        .iter()
-        .flat_map(|b| b.capped(2).kernels)
-        .collect();
-    eprintln!(
-        "[bench] profiling {} unseen evaluation kernels for targets...",
-        kernels.len()
-    );
-    let samples = collect_samples(
-        &kernels,
-        &setup.cfg,
-        &setup.eval_grid,
-        setup.profile_window,
-        &setup.params,
-    );
-    let (en, ep) = model.prediction_error(&samples);
-    let rows = vec![
-        vec!["N".to_string(), format!("{:.1}%", en * 100.0)],
-        vec!["p".to_string(), format!("{:.1}%", ep * 100.0)],
-        vec!["kernels".to_string(), samples.len().to_string()],
-    ];
-    emit_table(
-        "prediction_error.txt",
-        "SVII-B — offline mean relative prediction error on unseen kernels",
-        &["output", "error"],
-        &rows,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("prediction_error")
 }

@@ -1,61 +1,27 @@
-//! Run every table/figure regenerator in sequence, writing each output
-//! under `results/`. This is the one-command reproduction of the paper's
-//! evaluation section; see EXPERIMENTS.md for the paper-vs-measured
-//! record.
+//! One-command reproduction of the paper's evaluation section, writing
+//! each output under `results/`; see EXPERIMENTS.md for the engine, the
+//! cache layout and the paper-vs-measured record.
 //!
-//! Effort knobs (environment): `POISE_SMS` (default 8), `POISE_KERNELS_CAP`
-//! (default 5), `POISE_TRAIN_CAP` (default 16), `POISE_RUN_CYCLES`
-//! (default 450000), `POISE_RERUN=1` / `POISE_RETRAIN=1` to invalidate
-//! caches.
+//! Every registered figure declares its simulation jobs up front; the
+//! unified experiment engine executes the deduplicated set once across
+//! the host's cores (answering repeats from the content-addressed cache
+//! in `results/cache/`), then every figure renders from the shared
+//! results — replacing the old 21-process serial harness.
+//!
+//! Flags: `--keep-going` (render every figure even after failures, then
+//! summarise), `--only <a,b,...>`, `--list`.
+//!
+//! Effort knobs (environment): `POISE_SMS` (default 8),
+//! `POISE_KERNELS_CAP` (default 3), `POISE_TRAIN_CAP` (default 8),
+//! `POISE_RUN_CYCLES` (default 400000); `POISE_RERUN=1` bypasses the
+//! result cache wholesale, `POISE_RETRAIN=1` re-runs training only.
+//! Editing any job input (kernel specs, schemes, parameters, machine
+//! configuration) invalidates exactly the affected cache entries, so
+//! these escape hatches are rarely needed.
 
-use std::process::Command;
+use std::process::ExitCode;
 
-fn main() {
-    let bins = [
-        "table4_params",
-        "table_hw_cost",
-        "table2_weights",
-        "fig04_hit_rates",
-        "fig02_pitfalls",
-        "fig05_scoring",
-        "table3_workloads",
-        "fig07_performance",
-        "fig08_l1_hit_rate",
-        "fig09_aml",
-        "fig10_displacement",
-        "fig14_energy",
-        "prediction_error",
-        "fig16_insensitive",
-        "fig15_alternatives",
-        "fig17_case_study",
-        "fig11_stride",
-        "fig12_cache_size",
-        "fig13_feature_ablation",
-        "ablation_mshr",
-        "ablation_epoch",
-    ];
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
-    let t0 = std::time::Instant::now();
-    for bin in bins {
-        println!("\n===== {bin} =====");
-        let status = Command::new(exe_dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            eprintln!("[run_all] {bin} FAILED ({status})");
-            std::process::exit(1);
-        }
-        println!(
-            "[run_all] {bin} done ({:.0}s elapsed total)",
-            t0.elapsed().as_secs_f64()
-        );
-    }
-    println!(
-        "\n[run_all] all experiments complete in {:.0}s; outputs in results/",
-        t0.elapsed().as_secs_f64()
-    );
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    poise_bench::figures::run_all_main(&args)
 }

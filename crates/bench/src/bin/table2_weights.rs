@@ -6,44 +6,13 @@
 //! Negative Binomial fit over the eight Table II features yields usable
 //! predictions on unseen benchmarks — checked by §VII-B's prediction-error
 //! experiment and by Fig. 7.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise_bench::*;
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
-    let model = load_or_train_model(&setup);
-    let names = [
-        "x1 = ho",
-        "x2 = h'",
-        "x3 = eta_o",
-        "x4 = eta'",
-        "x5 = (eta'-eta_o)^2",
-        "x6 = In(eta'-eta_o)^2",
-        "x7 = (L'm'-moLo)^2/1e4",
-        "x8 = 1 (intercept)",
-    ];
-    let mut rows = Vec::new();
-    for (i, n) in names.iter().enumerate() {
-        rows.push(vec![
-            n.to_string(),
-            format!("{:+.6}", model.alpha[i]),
-            format!("{:+.6}", model.beta[i]),
-        ]);
-    }
-    rows.push(vec![
-        "dispersion".to_string(),
-        format!("{:+.6}", model.dispersion_n),
-        format!("{:+.6}", model.dispersion_p),
-    ]);
-    rows.push(vec![
-        "samples used".to_string(),
-        model.samples_used.to_string(),
-        model.samples_used.to_string(),
-    ]);
-    emit_table(
-        "table2_weights.txt",
-        "Table II — learned feature weights (alpha for N, beta for p)",
-        &["feature", "alpha (N)", "beta (p)"],
-        &rows,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("table2_weights")
 }

@@ -5,48 +5,19 @@
 //! syrk 9.03, mm 6.20, ii 5.94, gsmv 3.23, mvt 2.97, bicg 2.93, ss 2.85,
 //! atax 2.73, bfs 1.55, kmeans 1.42 (evaluation). The reproduction aims
 //! at the ordering/grouping, not the absolute values.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
+//! `--config` prints the Table IIIb baseline machine without simulating.
 
-use poise::profiler::{pbest, ProfileWindow};
-use poise_bench::*;
-use workloads::{evaluation_suite, training_suite};
+use std::process::ExitCode;
 
-fn main() {
-    let setup = setup();
+fn main() -> ExitCode {
     if std::env::args().any(|a| a == "--config") {
         println!("# Table IIIb — baseline architecture (GpuConfig::baseline)");
         println!("{:#?}", gpu_sim::GpuConfig::baseline());
-        return;
+        return ExitCode::SUCCESS;
     }
-    let window = ProfileWindow::pbest();
-    let mut rows = Vec::new();
-    for (set, suite) in [("train", training_suite()), ("eval", evaluation_suite())] {
-        for bench in suite {
-            eprintln!("[bench] Pbest for {}...", bench.name);
-            let k = &bench.kernels[0];
-            let p = pbest(k, &setup.cfg, window);
-            rows.push((set, bench.name.clone(), bench.kernels.len(), p));
-        }
-    }
-    // Sort the evaluation set by Pbest, as the paper lists it.
-    rows.sort_by(|a, b| {
-        a.0.cmp(b.0)
-            .then(b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal))
-    });
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|(set, name, kernels, p)| {
-            vec![
-                set.to_string(),
-                name.clone(),
-                kernels.to_string(),
-                format!("{p:.2}x"),
-            ]
-        })
-        .collect();
-    emit_table(
-        "table3_workloads.txt",
-        "Table IIIa — workloads with measured Pbest (64x L1 speedup)",
-        &["set", "benchmark", "#kernels", "Pbest"],
-        &table,
-    );
+    poise_bench::figures::figure_main("table3_workloads")
 }

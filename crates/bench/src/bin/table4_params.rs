@@ -1,74 +1,12 @@
 //! Table IV — Poise's timing and threshold parameters (defaults of
 //! [`poise::PoiseParams`] and the training thresholds).
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::PoiseParams;
-use poise_bench::*;
-use poise_ml::TrainingThresholds;
+use std::process::ExitCode;
 
-fn main() {
-    let p = PoiseParams::default();
-    let t = TrainingThresholds::default();
-    let rows = vec![
-        vec![
-            "w0, w1, w2".into(),
-            "performance scoring weights".into(),
-            format!("{}, {}, {}", p.scoring.0[0], p.scoring.0[1], p.scoring.0[2]),
-        ],
-        vec![
-            "Tperiod".into(),
-            "inference periodicity".into(),
-            format!("{} cycles", p.t_period),
-        ],
-        vec![
-            "Twarmup".into(),
-            "warmup duration".into(),
-            format!("{} cycles", p.t_warmup),
-        ],
-        vec![
-            "Tfeature".into(),
-            "feature sampling duration".into(),
-            format!("{} cycles", p.t_feature),
-        ],
-        vec![
-            "Tsearch".into(),
-            "local-search sampling duration".into(),
-            format!("{} cycles", p.t_search),
-        ],
-        vec![
-            "Imax".into(),
-            "cut-off for instructions between loads".into(),
-            format!("{}", p.i_max),
-        ],
-        vec![
-            "eps_N".into(),
-            "search stride for N".into(),
-            p.stride_n.to_string(),
-        ],
-        vec![
-            "eps_p".into(),
-            "search stride for p".into(),
-            p.stride_p.to_string(),
-        ],
-        vec![
-            "thr speedup".into(),
-            "training kernel best-tuple speedup".into(),
-            format!(">= {:.1}%", (t.min_speedup - 1.0) * 100.0),
-        ],
-        vec![
-            "thr cycles".into(),
-            "training kernel baseline cycles".into(),
-            format!(">= {}", t.min_cycles),
-        ],
-        vec![
-            "thr hit rate".into(),
-            "training kernel L1 hit rate at (1,1)".into(),
-            format!("> {} %", t.min_ref_hit_rate * 100.0),
-        ],
-    ];
-    emit_table(
-        "table4_params.txt",
-        "Table IV — Poise parameters",
-        &["parameter", "description", "value"],
-        &rows,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("table4_params")
 }

@@ -1,33 +1,13 @@
 //! §VII-I — Poise's hardware storage cost: 7 × 32-bit counters, two
 //! 3-bit FSM state registers and 2 bits per warp-queue entry, totalling
 //! 40.75 bytes per SM and 1,304 bytes for the 32-SM chip.
+//!
+//! Thin shim over the registered figure of the same name: declares its
+//! jobs to the unified experiment engine (cache-backed, shared with
+//! `run_all`) and renders from the results. See `poise_bench::figures`.
 
-use poise::hardware_cost::HardwareCost;
-use poise_bench::*;
+use std::process::ExitCode;
 
-fn main() {
-    let c = HardwareCost::paper_baseline();
-    let rows = vec![
-        vec![
-            "performance counters".into(),
-            format!("{} bits", c.counter_bits),
-        ],
-        vec!["FSM state registers".into(), format!("{} bits", c.fsm_bits)],
-        vec![
-            "vital + pollute bits".into(),
-            format!("{} bits", c.warp_bits),
-        ],
-        vec!["total per SM".into(), format!("{} bits", c.bits_per_sm())],
-        vec!["bytes per SM".into(), format!("{:.2} B", c.bytes_per_sm())],
-        vec![
-            "bytes per chip (32 SMs)".into(),
-            format!("{:.0} B", c.bytes_total(32)),
-        ],
-    ];
-    emit_table(
-        "table_hw_cost.txt",
-        "SVII-I — Poise per-SM storage overhead",
-        &["item", "cost"],
-        &rows,
-    );
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("table_hw_cost")
 }

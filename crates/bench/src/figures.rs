@@ -1,0 +1,1468 @@
+//! The figure registry: every table/figure of the evaluation section as a
+//! declarative [`Figure`] over the unified experiment engine.
+//!
+//! A figure contributes two functions:
+//!
+//! * `jobs` — the [`SimJob`]s it needs (kernel × scheme runs, offline
+//!   profiles, Pbest classifications, training samples/fits);
+//! * `render` — formats the figure from the engine's [`ResultStore`] and
+//!   writes it under `results/`.
+//!
+//! `run_all` concatenates every figure's jobs, hands the union to
+//! [`poise::jobs::Engine`] — which deduplicates across figures, executes
+//! the unique set once over the shared work queue, and answers repeats
+//! from the content-addressed cache — then renders each figure in order.
+//! The per-figure binaries call [`figure_main`] with just their own jobs,
+//! hitting the same cache.
+//!
+//! ## Byte-compatibility with the retired per-binary harness
+//!
+//! The old harness computed the Figs. 7–10/14 comparison once (in
+//! `fig07_performance`, which rendered from the in-memory full-precision
+//! rows) and re-read it from `results/main_comparison.tsv` (6-decimal
+//! cells) in every later binary. [`main_rows_cached`] reproduces that
+//! round-trip so every figure renders byte-identically to the per-binary
+//! `run_all`, which the migration was validated against.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gpu_sim::{SetIndexing, WarpTuple};
+use poise::experiment::{self, arithmetic_mean, harmonic_mean, Scheme, Setup};
+use poise::jobs::{
+    Engine, KernelRunSpec, ModelSpec, PbestSpec, ProfileSpec, ResultStore, SampleSpec, SimJob,
+    TupleRunSpec,
+};
+use poise::policies::swl_tuple_from_grid;
+use poise::profiler::{GridSpec, ProfileWindow};
+use poise_ml::{ScoringWeights, SpeedupGrid, TrainingSample};
+use workloads::{
+    compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite, Benchmark,
+    KernelSpec,
+};
+
+use crate::{
+    bench_order, cell, emit_table, metric, model_to_text, render_grid, results_dir, rows_from_tsv,
+    rows_to_tsv, MainRow,
+};
+
+/// Shared context every figure declares and renders against: the
+/// environment-derived [`Setup`] and the default training [`ModelSpec`].
+pub struct FigCtx {
+    /// The experiment setup (machine, params, effort caps).
+    pub setup: Setup,
+    /// The one-time offline training run all Poise figures share.
+    pub model: ModelSpec,
+}
+
+impl FigCtx {
+    /// Build the context from the environment (`POISE_*` knobs).
+    pub fn from_env() -> Self {
+        let setup = crate::setup();
+        let model = ModelSpec::default_training(&setup);
+        FigCtx { setup, model }
+    }
+}
+
+/// One registered figure/table.
+pub struct Figure {
+    /// Binary-compatible name, e.g. `"fig07_performance"`.
+    pub name: &'static str,
+    /// The simulation jobs this figure renders from.
+    pub jobs: fn(&FigCtx) -> Vec<SimJob>,
+    /// Render from cached results; `Err` carries the failure message.
+    pub render: fn(&FigCtx, &ResultStore) -> Result<(), String>,
+}
+
+/// All figures, in the canonical `run_all` order.
+pub fn registry() -> Vec<Figure> {
+    macro_rules! fig {
+        ($name:literal, $jobs:ident, $render:ident) => {
+            Figure {
+                name: $name,
+                jobs: $jobs,
+                render: $render,
+            }
+        };
+    }
+    vec![
+        fig!("table4_params", no_jobs, render_table4),
+        fig!("table_hw_cost", no_jobs, render_table_hw_cost),
+        fig!("table2_weights", jobs_table2, render_table2),
+        fig!("fig04_hit_rates", jobs_fig04, render_fig04),
+        fig!("fig02_pitfalls", jobs_fig02, render_fig02),
+        fig!("fig05_scoring", jobs_fig05, render_fig05),
+        fig!("table3_workloads", jobs_table3, render_table3),
+        fig!("fig07_performance", jobs_main_comparison, render_fig07),
+        fig!("fig08_l1_hit_rate", jobs_main_comparison, render_fig08),
+        fig!("fig09_aml", jobs_main_comparison, render_fig09),
+        fig!("fig10_displacement", jobs_main_comparison, render_fig10),
+        fig!("fig14_energy", jobs_main_comparison, render_fig14),
+        fig!(
+            "prediction_error",
+            jobs_prediction_error,
+            render_prediction_error
+        ),
+        fig!("fig16_insensitive", jobs_fig16, render_fig16),
+        fig!("fig15_alternatives", jobs_fig15, render_fig15),
+        fig!("fig17_case_study", jobs_fig17, render_fig17),
+        fig!("fig11_stride", jobs_fig11, render_fig11),
+        fig!("fig12_cache_size", jobs_fig12, render_fig12),
+        fig!("fig13_feature_ablation", jobs_fig13, render_fig13),
+        fig!("ablation_mshr", jobs_ablation_mshr, render_ablation_mshr),
+        fig!("ablation_epoch", jobs_ablation_epoch, render_ablation_epoch),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Shared job/lookup helpers. `jobs` and `render` construct specs through
+// the same functions, so a figure always looks up exactly what it
+// declared.
+// ---------------------------------------------------------------------------
+
+fn no_jobs(_ctx: &FigCtx) -> Vec<SimJob> {
+    Vec::new()
+}
+
+/// Jobs for one benchmark under one scheme (capped kernels).
+fn scheme_jobs(
+    bench: &Benchmark,
+    scheme: Scheme,
+    setup: &Setup,
+    model: Option<&ModelSpec>,
+) -> Vec<SimJob> {
+    bench
+        .capped(setup.kernels_cap)
+        .kernels
+        .iter()
+        .map(|k| SimJob::Run(KernelRunSpec::new(k, scheme, setup, model)))
+        .collect()
+}
+
+/// Aggregate one benchmark × scheme from cached kernel runs, exactly as
+/// `experiment::run_benchmark` would.
+fn scheme_result(
+    store: &ResultStore,
+    bench: &Benchmark,
+    scheme: Scheme,
+    setup: &Setup,
+    model: Option<&ModelSpec>,
+) -> Result<experiment::BenchResult, String> {
+    let capped = bench.capped(setup.kernels_cap);
+    let mut runs = Vec::with_capacity(capped.kernels.len());
+    for k in &capped.kernels {
+        runs.push(
+            store
+                .run(&KernelRunSpec::new(k, scheme, setup, model))?
+                .clone(),
+        );
+    }
+    Ok(experiment::aggregate(bench.name.clone(), scheme, runs))
+}
+
+/// The Figs. 7–10/14 comparison: five schemes × eleven benchmarks.
+fn jobs_main_comparison(ctx: &FigCtx) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for bench in evaluation_suite() {
+        for scheme in Scheme::main_comparison() {
+            let model = (scheme == Scheme::Poise).then_some(&ctx.model);
+            jobs.extend(scheme_jobs(&bench, scheme, &ctx.setup, model));
+        }
+    }
+    jobs
+}
+
+/// Full-precision main-comparison rows, in the order the old harness
+/// produced them (bench-major, `Scheme::main_comparison` order).
+fn main_rows(ctx: &FigCtx, store: &ResultStore) -> Result<Vec<MainRow>, String> {
+    let mut rows = Vec::new();
+    for bench in evaluation_suite() {
+        for scheme in Scheme::main_comparison() {
+            let model = (scheme == Scheme::Poise).then_some(&ctx.model);
+            rows.push(crate::row_of(&scheme_result(
+                store, &bench, scheme, &ctx.setup, model,
+            )?));
+        }
+    }
+    Ok(rows)
+}
+
+/// Main-comparison rows as every figure after `fig07` saw them in the
+/// per-binary harness: round-tripped through the 6-decimal TSV cells
+/// (see the module docs).
+fn main_rows_cached(ctx: &FigCtx, store: &ResultStore) -> Result<Vec<MainRow>, String> {
+    let rows = main_rows(ctx, store)?;
+    rows_from_tsv(&rows_to_tsv(&rows)).ok_or_else(|| "TSV round-trip failed".to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Table IV — parameters (no simulation).
+// ---------------------------------------------------------------------------
+
+fn render_table4(_ctx: &FigCtx, _store: &ResultStore) -> Result<(), String> {
+    use poise::PoiseParams;
+    use poise_ml::TrainingThresholds;
+    let p = PoiseParams::default();
+    let t = TrainingThresholds::default();
+    let rows = vec![
+        vec![
+            "w0, w1, w2".into(),
+            "performance scoring weights".into(),
+            format!("{}, {}, {}", p.scoring.0[0], p.scoring.0[1], p.scoring.0[2]),
+        ],
+        vec![
+            "Tperiod".into(),
+            "inference periodicity".into(),
+            format!("{} cycles", p.t_period),
+        ],
+        vec![
+            "Twarmup".into(),
+            "warmup duration".into(),
+            format!("{} cycles", p.t_warmup),
+        ],
+        vec![
+            "Tfeature".into(),
+            "feature sampling duration".into(),
+            format!("{} cycles", p.t_feature),
+        ],
+        vec![
+            "Tsearch".into(),
+            "local-search sampling duration".into(),
+            format!("{} cycles", p.t_search),
+        ],
+        vec![
+            "Imax".into(),
+            "cut-off for instructions between loads".into(),
+            format!("{}", p.i_max),
+        ],
+        vec![
+            "eps_N".into(),
+            "search stride for N".into(),
+            p.stride_n.to_string(),
+        ],
+        vec![
+            "eps_p".into(),
+            "search stride for p".into(),
+            p.stride_p.to_string(),
+        ],
+        vec![
+            "thr speedup".into(),
+            "training kernel best-tuple speedup".into(),
+            format!(">= {:.1}%", (t.min_speedup - 1.0) * 100.0),
+        ],
+        vec![
+            "thr cycles".into(),
+            "training kernel baseline cycles".into(),
+            format!(">= {}", t.min_cycles),
+        ],
+        vec![
+            "thr hit rate".into(),
+            "training kernel L1 hit rate at (1,1)".into(),
+            format!("> {} %", t.min_ref_hit_rate * 100.0),
+        ],
+    ];
+    emit_table(
+        "table4_params.txt",
+        "Table IV — Poise parameters",
+        &["parameter", "description", "value"],
+        &rows,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// §VII-I — hardware cost (no simulation).
+// ---------------------------------------------------------------------------
+
+fn render_table_hw_cost(_ctx: &FigCtx, _store: &ResultStore) -> Result<(), String> {
+    use poise::hardware_cost::HardwareCost;
+    let c = HardwareCost::paper_baseline();
+    let rows = vec![
+        vec![
+            "performance counters".into(),
+            format!("{} bits", c.counter_bits),
+        ],
+        vec!["FSM state registers".into(), format!("{} bits", c.fsm_bits)],
+        vec![
+            "vital + pollute bits".into(),
+            format!("{} bits", c.warp_bits),
+        ],
+        vec!["total per SM".into(), format!("{} bits", c.bits_per_sm())],
+        vec!["bytes per SM".into(), format!("{:.2} B", c.bytes_per_sm())],
+        vec![
+            "bytes per chip (32 SMs)".into(),
+            format!("{:.0} B", c.bytes_total(32)),
+        ],
+    ];
+    emit_table(
+        "table_hw_cost.txt",
+        "SVII-I — Poise per-SM storage overhead",
+        &["item", "cost"],
+        &rows,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Table II — learned weights.
+// ---------------------------------------------------------------------------
+
+fn jobs_table2(ctx: &FigCtx) -> Vec<SimJob> {
+    vec![SimJob::Train(ctx.model.clone())]
+}
+
+fn render_table2(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let model = store.model(&ctx.model)?;
+    // Keep the human-readable weight dump the old harness left in
+    // `results/model.txt` (the canonical copy now lives in the job cache).
+    std::fs::write(results_dir().join("model.txt"), model_to_text(model))
+        .map_err(|e| format!("write model.txt: {e}"))?;
+    let names = [
+        "x1 = ho",
+        "x2 = h'",
+        "x3 = eta_o",
+        "x4 = eta'",
+        "x5 = (eta'-eta_o)^2",
+        "x6 = In(eta'-eta_o)^2",
+        "x7 = (L'm'-moLo)^2/1e4",
+        "x8 = 1 (intercept)",
+    ];
+    let mut rows = Vec::new();
+    for (i, n) in names.iter().enumerate() {
+        rows.push(vec![
+            n.to_string(),
+            format!("{:+.6}", model.alpha[i]),
+            format!("{:+.6}", model.beta[i]),
+        ]);
+    }
+    rows.push(vec![
+        "dispersion".to_string(),
+        format!("{:+.6}", model.dispersion_n),
+        format!("{:+.6}", model.dispersion_p),
+    ]);
+    rows.push(vec![
+        "samples used".to_string(),
+        model.samples_used.to_string(),
+        model.samples_used.to_string(),
+    ]);
+    emit_table(
+        "table2_weights.txt",
+        "Table II — learned feature weights (alpha for N, beta for p)",
+        &["feature", "alpha (N)", "beta (p)"],
+        &rows,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4 — L1 hit-rate decomposition.
+// ---------------------------------------------------------------------------
+
+fn fig04_specs(ctx: &FigCtx) -> Vec<(KernelSpec, TupleRunSpec, TupleRunSpec)> {
+    let mut cfg = ctx.setup.cfg.clone();
+    cfg.track_reuse_distance = true;
+    let window = ProfileWindow {
+        warmup: ctx.setup.profile_window.warmup,
+        measure: ctx.setup.profile_window.measure * 2,
+    };
+    fig4_kernels()
+        .into_iter()
+        .map(|kernel| {
+            let base = TupleRunSpec {
+                kernel: kernel.clone(),
+                cfg: cfg.clone(),
+                tuple: WarpTuple::max(24),
+                window,
+            };
+            let reduced = TupleRunSpec {
+                kernel: kernel.clone(),
+                cfg: cfg.clone(),
+                tuple: WarpTuple::new(24, 1, 24),
+                window,
+            };
+            (kernel, base, reduced)
+        })
+        .collect()
+}
+
+fn jobs_fig04(ctx: &FigCtx) -> Vec<SimJob> {
+    fig04_specs(ctx)
+        .into_iter()
+        .flat_map(|(_, base, reduced)| [SimJob::TupleRun(base), SimJob::TupleRun(reduced)])
+        .collect()
+}
+
+fn render_fig04(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let mut rows = Vec::new();
+    for (kernel, base_spec, reduced_spec) in fig04_specs(ctx) {
+        let b = &store.steady(&base_spec)?.window;
+        let r = &store.steady(&reduced_spec)?.window;
+        let hits = (b.l1_hits).max(1) as f64;
+        rows.push(vec![
+            kernel.name.clone(),
+            cell(r.polluting_hit_rate(), 3),
+            cell(r.non_polluting_hit_rate(), 3),
+            cell(b.l1_hit_rate(), 3),
+            cell(100.0 * b.l1_intra_hits as f64 / hits, 0),
+            cell(100.0 * b.l1_inter_hits as f64 / hits, 0),
+            cell(b.reuse_distance(), 0),
+        ]);
+    }
+    emit_table(
+        "fig04_hit_rates.txt",
+        "Fig. 4 — L1 hit rates at (24, 1): hp, hnp, baseline ho, \
+         intra/inter share of baseline hits (%), reuse distance R (lines)",
+        &["kernel", "hp", "hnp", "ho", "intra%", "inter%", "R"],
+        &rows,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 2 — solution-space pitfalls.
+// ---------------------------------------------------------------------------
+
+/// Simulate PCAL's search procedure offline on the profiled surface:
+/// start at the SWL point, pick the best p at that N, then unit-step
+/// hill-climb in N until no neighbour improves.
+fn pcal_converge(grid: &SpeedupGrid, start: WarpTuple) -> WarpTuple {
+    let at = |n: usize, p: usize| grid.get(n, p.min(n)).unwrap_or(f64::NEG_INFINITY);
+    // Parallel p search at the starting N.
+    let mut best_p = start.p;
+    let mut best = at(start.n, start.p);
+    for p in 1..=start.n {
+        if at(start.n, p) > best {
+            best = at(start.n, p);
+            best_p = p;
+        }
+    }
+    // Unit-step hill climb in N.
+    let mut n = start.n;
+    loop {
+        let up = if n < grid.max_n() {
+            at(n + 1, best_p)
+        } else {
+            f64::NEG_INFINITY
+        };
+        let down = if n > 1 {
+            at(n - 1, best_p)
+        } else {
+            f64::NEG_INFINITY
+        };
+        if up > best && up >= down {
+            n += 1;
+            best = up;
+        } else if down > best {
+            n -= 1;
+            best = down;
+        } else {
+            break;
+        }
+    }
+    WarpTuple::new(n, best_p.min(n), grid.max_n())
+}
+
+fn fig02_spec(ctx: &FigCtx) -> ProfileSpec {
+    // The paper profiles ii kernel #112; any intra-heavy family member
+    // shows the same structure — use the ii base kernel. Full 300-point
+    // triangle at the hardware scheduler capacity.
+    let bench = evaluation_suite()
+        .into_iter()
+        .find(|b| b.name == "ii")
+        .expect("ii benchmark");
+    let kernel = bench.kernels[0].clone();
+    let max_n = ctx
+        .setup
+        .cfg
+        .max_warps_per_scheduler
+        .min(kernel.warps_per_scheduler);
+    ProfileSpec {
+        kernel,
+        cfg: ctx.setup.cfg.clone(),
+        grid: GridSpec::full(max_n),
+        window: ctx.setup.profile_window,
+    }
+}
+
+fn jobs_fig02(ctx: &FigCtx) -> Vec<SimJob> {
+    vec![SimJob::Profile(fig02_spec(ctx))]
+}
+
+fn render_fig02(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let spec = fig02_spec(ctx);
+    let grid = store.grid(&spec)?;
+    let max_n = spec
+        .kernel
+        .warps_per_scheduler
+        .min(ctx.setup.cfg.max_warps_per_scheduler);
+
+    println!(
+        "# Fig. 2a — {{N, p}} solution space of {}",
+        spec.kernel.name
+    );
+    print!("{}", render_grid(grid));
+    let ccws = swl_tuple_from_grid(grid, max_n);
+    let pcal = pcal_converge(grid, ccws);
+    let (maxt, maxs) = grid.best_performance().ok_or("unprofiled grid")?;
+    println!(
+        "CCWS (diagonal best): {ccws} -> {:.3}",
+        grid.get(ccws.n, ccws.p).unwrap_or(0.0)
+    );
+    println!(
+        "PCAL convergence:     {pcal} -> {:.3}",
+        grid.get(pcal.n, pcal.p).unwrap_or(0.0)
+    );
+    println!("MAX (global best):    {maxt} -> {maxs:.3}");
+
+    let mut rows = Vec::new();
+    for n in 1..=grid.max_n() {
+        rows.push(vec![
+            n.to_string(),
+            grid.get(n, n).map_or("-".into(), |v| cell(v, 3)),
+            grid.get(n, 1).map_or("-".into(), |v| cell(v, 3)),
+        ]);
+    }
+    emit_table(
+        "fig02_pitfalls.txt",
+        "Fig. 2b — IPC (normalised) along p = N and p = 1",
+        &["N", "p=N", "p=1"],
+        &rows,
+    );
+    let mut extra = String::new();
+    extra.push_str(&render_grid(grid));
+    extra.push_str(&format!(
+        "CCWS {ccws}  PCAL {pcal}  MAX {maxt} ({maxs:.3})\n"
+    ));
+    std::fs::write(results_dir().join("fig02_grid.txt"), extra)
+        .map_err(|e| format!("write fig02_grid.txt: {e}"))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5 — scoring system.
+// ---------------------------------------------------------------------------
+
+fn fig05_specs(ctx: &FigCtx) -> Vec<ProfileSpec> {
+    let bench = evaluation_suite()
+        .into_iter()
+        .find(|b| b.name == "ii")
+        .expect("ii benchmark");
+    [&bench.kernels[2], &bench.kernels[4]]
+        .into_iter()
+        .map(|kernel| {
+            let max_n = ctx
+                .setup
+                .cfg
+                .max_warps_per_scheduler
+                .min(kernel.warps_per_scheduler);
+            ProfileSpec {
+                kernel: kernel.clone(),
+                cfg: ctx.setup.cfg.clone(),
+                grid: GridSpec::full(max_n),
+                window: ctx.setup.profile_window,
+            }
+        })
+        .collect()
+}
+
+fn jobs_fig05(ctx: &FigCtx) -> Vec<SimJob> {
+    fig05_specs(ctx).into_iter().map(SimJob::Profile).collect()
+}
+
+fn render_fig05(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let mut rows = Vec::new();
+    let mut grids = String::new();
+    for spec in fig05_specs(ctx) {
+        let grid = store.grid(&spec)?;
+        let (perf_t, perf_s) = grid.best_performance().ok_or("unprofiled")?;
+        let (score_t, _) = grid
+            .best_scored(&ScoringWeights::default())
+            .ok_or("unscored")?;
+        let score_s = grid.get(score_t.n, score_t.p).unwrap_or(1.0);
+        rows.push(vec![
+            spec.kernel.name.clone(),
+            format!("{perf_t}"),
+            cell(perf_s, 3),
+            format!("{score_t}"),
+            cell(score_s, 3),
+        ]);
+        grids.push_str(&format!(
+            "== {} ==\n{}",
+            spec.kernel.name,
+            render_grid(grid)
+        ));
+    }
+    emit_table(
+        "fig05_scoring.txt",
+        "Fig. 5 — max-performance vs max-score tuples (speedup vs GTO)",
+        &["kernel", "perf tuple", "speedup", "score tuple", "speedup"],
+        &rows,
+    );
+    std::fs::write(results_dir().join("fig05_grids.txt"), grids)
+        .map_err(|e| format!("write fig05_grids.txt: {e}"))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Table III — workloads with Pbest.
+// ---------------------------------------------------------------------------
+
+fn table3_specs(ctx: &FigCtx) -> Vec<(&'static str, Benchmark, PbestSpec)> {
+    let window = ProfileWindow::pbest();
+    let mut specs = Vec::new();
+    for (set, suite) in [("train", training_suite()), ("eval", evaluation_suite())] {
+        for bench in suite {
+            let spec = PbestSpec {
+                kernel: bench.kernels[0].clone(),
+                cfg: ctx.setup.cfg.clone(),
+                window,
+            };
+            specs.push((set, bench, spec));
+        }
+    }
+    specs
+}
+
+fn jobs_table3(ctx: &FigCtx) -> Vec<SimJob> {
+    table3_specs(ctx)
+        .into_iter()
+        .map(|(_, _, spec)| SimJob::Pbest(spec))
+        .collect()
+}
+
+fn render_table3(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let mut rows = Vec::new();
+    for (set, bench, spec) in table3_specs(ctx) {
+        let p = store.pbest(&spec)?;
+        rows.push((set, bench.name.clone(), bench.kernels.len(), p));
+    }
+    // Sort the evaluation set by Pbest, as the paper lists it.
+    rows.sort_by(|a, b| {
+        a.0.cmp(b.0)
+            .then(b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(set, name, kernels, p)| {
+            vec![
+                set.to_string(),
+                name.clone(),
+                kernels.to_string(),
+                format!("{p:.2}x"),
+            ]
+        })
+        .collect();
+    emit_table(
+        "table3_workloads.txt",
+        "Table IIIa — workloads with measured Pbest (64x L1 speedup)",
+        &["set", "benchmark", "#kernels", "Pbest"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — IPC normalised to GTO.
+// ---------------------------------------------------------------------------
+
+fn render_fig07(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let rows = main_rows(ctx, store)?;
+    // The old harness persisted the comparison here; keep the artefact
+    // (now a pure product of the job cache, not a cache itself).
+    std::fs::write(
+        results_dir().join("main_comparison.tsv"),
+        rows_to_tsv(&rows),
+    )
+    .map_err(|e| format!("write main_comparison.tsv: {e}"))?;
+    let schemes = ["GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"];
+    let mut table = Vec::new();
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for bench in bench_order() {
+        let gto = metric(&rows, &bench, "GTO", |r| r.ipc);
+        let mut row = vec![bench.clone()];
+        for (i, s) in schemes.iter().enumerate() {
+            let v = metric(&rows, &bench, s, |r| r.ipc) / gto;
+            speedups[i].push(v);
+            row.push(cell(v, 3));
+        }
+        table.push(row);
+    }
+    let mut hmean = vec!["H-Mean".to_string()];
+    for sp in &speedups {
+        hmean.push(cell(harmonic_mean(sp), 3));
+    }
+    table.push(hmean);
+    emit_table(
+        "fig07_performance.txt",
+        "Fig. 7 — IPC normalised to GTO",
+        &["bench", "GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 8 — absolute L1 hit rate.
+// ---------------------------------------------------------------------------
+
+fn render_fig08(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let rows = main_rows_cached(ctx, store)?;
+    let schemes = ["GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"];
+    let mut table = Vec::new();
+    let mut rates: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for bench in bench_order() {
+        let mut row = vec![bench.clone()];
+        for (i, s) in schemes.iter().enumerate() {
+            let v = metric(&rows, &bench, s, |r| r.l1_hit_rate) * 100.0;
+            rates[i].push(v);
+            row.push(cell(v, 1));
+        }
+        table.push(row);
+    }
+    let mut amean = vec!["A-Mean".to_string()];
+    for r in &rates {
+        amean.push(cell(arithmetic_mean(r), 1));
+    }
+    table.push(amean);
+    emit_table(
+        "fig08_l1_hit_rate.txt",
+        "Fig. 8 — absolute L1 hit rate (%)",
+        &["bench", "GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9 — AML normalised to GTO.
+// ---------------------------------------------------------------------------
+
+fn render_fig09(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let rows = main_rows_cached(ctx, store)?;
+    let schemes = ["GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"];
+    let mut table = Vec::new();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for bench in bench_order() {
+        let gto = metric(&rows, &bench, "GTO", |r| r.aml);
+        let mut row = vec![bench.clone()];
+        for (i, s) in schemes.iter().enumerate() {
+            let v = metric(&rows, &bench, s, |r| r.aml) / gto;
+            ratios[i].push(v);
+            row.push(cell(v, 3));
+        }
+        table.push(row);
+    }
+    let mut amean = vec!["A-Mean".to_string()];
+    for r in &ratios {
+        amean.push(cell(arithmetic_mean(r), 3));
+    }
+    table.push(amean);
+    emit_table(
+        "fig09_aml.txt",
+        "Fig. 9 — AML normalised to GTO",
+        &["bench", "GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10 — prediction/search displacement.
+// ---------------------------------------------------------------------------
+
+fn render_fig10(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let rows = main_rows_cached(ctx, store)?;
+    let mut table = Vec::new();
+    let (mut dns, mut dps, mut des) = (Vec::new(), Vec::new(), Vec::new());
+    for bench in bench_order() {
+        let dn = metric(&rows, &bench, "Poise", |r| r.disp_n);
+        let dp = metric(&rows, &bench, "Poise", |r| r.disp_p);
+        let de = metric(&rows, &bench, "Poise", |r| r.disp_euclid);
+        dns.push(dn);
+        dps.push(dp);
+        des.push(de);
+        table.push(vec![bench, cell(dn, 2), cell(dp, 2), cell(de, 2)]);
+    }
+    table.push(vec![
+        "A-Mean".to_string(),
+        cell(arithmetic_mean(&dns), 2),
+        cell(arithmetic_mean(&dps), 2),
+        cell(arithmetic_mean(&des), 2),
+    ]);
+    emit_table(
+        "fig10_displacement.txt",
+        "Fig. 10 — displacement between predicted and converged tuples",
+        &["bench", "N-axis", "p-axis", "Euclidean"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 14 — energy normalised to GTO.
+// ---------------------------------------------------------------------------
+
+fn render_fig14(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let rows = main_rows_cached(ctx, store)?;
+    let mut table = Vec::new();
+    let mut ratios = Vec::new();
+    for bench in bench_order() {
+        let gto_epi = metric(&rows, &bench, "GTO", |r| r.energy / r.ipc);
+        let poise_epi = metric(&rows, &bench, "Poise", |r| r.energy / r.ipc);
+        let v = poise_epi / gto_epi;
+        ratios.push(v);
+        table.push(vec![bench, "1.000".to_string(), cell(v, 3)]);
+    }
+    table.push(vec![
+        "H-Mean".to_string(),
+        "1.000".to_string(),
+        cell(harmonic_mean(&ratios), 3),
+    ]);
+    emit_table(
+        "fig14_energy.txt",
+        "Fig. 14 — energy consumption normalised to GTO (per unit work)",
+        &["bench", "GTO", "Poise"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// §VII-B — offline prediction error.
+// ---------------------------------------------------------------------------
+
+fn prediction_error_specs(ctx: &FigCtx) -> Vec<SampleSpec> {
+    evaluation_suite()
+        .iter()
+        .flat_map(|b| b.capped(2).kernels)
+        .map(|kernel| SampleSpec {
+            kernel,
+            cfg: ctx.setup.cfg.clone(),
+            grid: ctx.setup.eval_grid.clone(),
+            window: ctx.setup.profile_window,
+            scoring: ctx.setup.params.scoring,
+        })
+        .collect()
+}
+
+fn jobs_prediction_error(ctx: &FigCtx) -> Vec<SimJob> {
+    let mut jobs: Vec<SimJob> = prediction_error_specs(ctx)
+        .into_iter()
+        .map(SimJob::Sample)
+        .collect();
+    jobs.push(SimJob::Train(ctx.model.clone()));
+    jobs
+}
+
+fn render_prediction_error(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let model = store.model(&ctx.model)?;
+    let mut samples: Vec<TrainingSample> = Vec::new();
+    for spec in prediction_error_specs(ctx) {
+        samples.push(store.sample(&spec)?.clone());
+    }
+    let (en, ep) = model.prediction_error(&samples);
+    let rows = vec![
+        vec!["N".to_string(), format!("{:.1}%", en * 100.0)],
+        vec!["p".to_string(), format!("{:.1}%", ep * 100.0)],
+        vec!["kernels".to_string(), samples.len().to_string()],
+    ];
+    emit_table(
+        "prediction_error.txt",
+        "SVII-B — offline mean relative prediction error on unseen kernels",
+        &["output", "error"],
+        &rows,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 16 — memory-insensitive applications.
+// ---------------------------------------------------------------------------
+
+fn jobs_fig16(ctx: &FigCtx) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for bench in compute_insensitive_suite() {
+        jobs.extend(scheme_jobs(&bench, Scheme::Gto, &ctx.setup, None));
+        jobs.extend(scheme_jobs(
+            &bench,
+            Scheme::Poise,
+            &ctx.setup,
+            Some(&ctx.model),
+        ));
+        jobs.push(SimJob::Pbest(PbestSpec {
+            kernel: bench.kernels[0].clone(),
+            cfg: ctx.setup.cfg.clone(),
+            window: ProfileWindow::pbest(),
+        }));
+    }
+    jobs
+}
+
+fn render_fig16(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let mut table = Vec::new();
+    let mut ratios = Vec::new();
+    for bench in compute_insensitive_suite() {
+        let gto = scheme_result(store, &bench, Scheme::Gto, &ctx.setup, None)?;
+        let poise = scheme_result(store, &bench, Scheme::Poise, &ctx.setup, Some(&ctx.model))?;
+        let pb = store.pbest(&PbestSpec {
+            kernel: bench.kernels[0].clone(),
+            cfg: ctx.setup.cfg.clone(),
+            window: ProfileWindow::pbest(),
+        })?;
+        let v = poise.ipc / gto.ipc;
+        ratios.push(v);
+        table.push(vec![bench.name.clone(), cell(v, 3), format!("{pb:.2}x")]);
+    }
+    table.push(vec![
+        "H-Mean".to_string(),
+        cell(harmonic_mean(&ratios), 3),
+        String::new(),
+    ]);
+    emit_table(
+        "fig16_insensitive.txt",
+        "Fig. 16 — Poise IPC vs GTO on compute-insensitive applications",
+        &["bench", "Poise/GTO", "Pbest"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 15 — APCM and random-restart alternatives.
+// ---------------------------------------------------------------------------
+
+fn jobs_fig15(ctx: &FigCtx) -> Vec<SimJob> {
+    let mut jobs = jobs_main_comparison(ctx);
+    for bench in evaluation_suite() {
+        for scheme in [Scheme::Apcm, Scheme::RandomRestart] {
+            jobs.extend(scheme_jobs(&bench, scheme, &ctx.setup, None));
+        }
+    }
+    jobs
+}
+
+fn render_fig15(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let cached = main_rows_cached(ctx, store)?;
+    let schemes = [Scheme::Apcm, Scheme::RandomRestart];
+    let mut table = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for bench in evaluation_suite() {
+        let gto = metric(&cached, &bench.name, "GTO", |r| r.ipc);
+        let poise = metric(&cached, &bench.name, "Poise", |r| r.ipc) / gto;
+        let mut row = vec![bench.name.clone()];
+        for (i, &scheme) in schemes.iter().enumerate() {
+            let r = scheme_result(store, &bench, scheme, &ctx.setup, None)?;
+            let v = r.ipc / gto;
+            cols[i].push(v);
+            row.push(cell(v, 3));
+        }
+        cols[2].push(poise);
+        row.push(cell(poise, 3));
+        table.push(row);
+    }
+    let mut hmean = vec!["H-Mean".to_string()];
+    for c in &cols {
+        hmean.push(cell(harmonic_mean(c), 3));
+    }
+    table.push(hmean);
+    emit_table(
+        "fig15_alternatives.txt",
+        "Fig. 15 — APCM and random-restart vs Poise (IPC normalised to GTO)",
+        &["bench", "APCM", "Random-restart", "Poise"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 17 — bfs case study.
+// ---------------------------------------------------------------------------
+
+fn fig17_specs(ctx: &FigCtx) -> (ProfileSpec, KernelRunSpec) {
+    let bench = evaluation_suite()
+        .into_iter()
+        .find(|b| b.name == "bfs")
+        .expect("bfs");
+    let kernel = bench.kernels[0].clone();
+    let profile = ProfileSpec {
+        kernel: kernel.clone(),
+        cfg: ctx.setup.cfg.clone(),
+        grid: GridSpec::full(kernel.warps_per_scheduler),
+        window: ctx.setup.profile_window,
+    };
+    let mut run = KernelRunSpec::new(&kernel, Scheme::Poise, &ctx.setup, Some(&ctx.model));
+    run.run_cycles = ctx.setup.run_cycles.max(3 * ctx.setup.params.t_period);
+    (profile, run)
+}
+
+fn jobs_fig17(ctx: &FigCtx) -> Vec<SimJob> {
+    let (profile, run) = fig17_specs(ctx);
+    vec![SimJob::Profile(profile), SimJob::Run(run)]
+}
+
+fn render_fig17(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let (profile_spec, run_spec) = fig17_specs(ctx);
+    let grid = store.grid(&profile_spec)?;
+    println!(
+        "# Fig. 17a — static profile of {}",
+        profile_spec.kernel.name
+    );
+    print!("{}", render_grid(grid));
+    let (bt, bs) = grid.best_performance().ok_or("unprofiled")?;
+    println!("best tuple: {bt} -> {bs:.3}\n");
+
+    let run = store.run(&run_spec)?;
+    println!("# Fig. 17b — Poise predictions and searched tuples");
+    let mut rows = Vec::new();
+    for l in &run.epoch_logs {
+        rows.push(vec![
+            l.cycle.to_string(),
+            format!("{}", l.predicted),
+            format!("{}", l.searched),
+            grid.get(l.searched.n, l.searched.p)
+                .map_or("-".into(), |v| cell(v, 3)),
+            if l.early_out { "early-out" } else { "" }.to_string(),
+        ]);
+    }
+    emit_table(
+        "fig17_case_study.txt",
+        "Fig. 17b — Poise epochs on bfs (speedup looked up in the static profile)",
+        &["cycle", "predicted", "searched", "profile speedup", "note"],
+        &rows,
+    );
+    std::fs::write(
+        results_dir().join("fig17_grid.txt"),
+        format!("{}best {bt} ({bs:.3})\n", render_grid(grid)),
+    )
+    .map_err(|e| format!("write fig17_grid.txt: {e}"))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11 — search-stride sensitivity.
+// ---------------------------------------------------------------------------
+
+const FIG11_STRIDES: [(usize, usize); 5] = [(0, 0), (1, 1), (2, 2), (2, 4), (4, 4)];
+
+fn fig11_setup(ctx: &FigCtx, sn: usize, sp: usize) -> Setup {
+    let mut s = ctx.setup.clone();
+    s.params = s.params.with_strides(sn, sp);
+    s
+}
+
+fn jobs_fig11(ctx: &FigCtx) -> Vec<SimJob> {
+    // The GTO baselines come from the main comparison; the (2, 4) stride
+    // equals the Table IV default, so those Poise runs deduplicate with
+    // the main comparison as well.
+    let mut jobs = jobs_main_comparison(ctx);
+    for bench in evaluation_suite() {
+        for (sn, sp) in FIG11_STRIDES {
+            let s = fig11_setup(ctx, sn, sp);
+            jobs.extend(scheme_jobs(&bench, Scheme::Poise, &s, Some(&ctx.model)));
+        }
+    }
+    jobs
+}
+
+fn render_fig11(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let rows_cache = main_rows_cached(ctx, store)?;
+    let mut table = Vec::new();
+    let mut per_stride: Vec<Vec<f64>> = vec![Vec::new(); FIG11_STRIDES.len()];
+    for bench in evaluation_suite() {
+        let gto = metric(&rows_cache, &bench.name, "GTO", |r| r.ipc);
+        let mut row = vec![bench.name.clone()];
+        for (si, (sn, sp)) in FIG11_STRIDES.into_iter().enumerate() {
+            let s = fig11_setup(ctx, sn, sp);
+            let r = scheme_result(store, &bench, Scheme::Poise, &s, Some(&ctx.model))?;
+            let v = r.ipc / gto;
+            per_stride[si].push(v);
+            row.push(cell(v, 3));
+        }
+        table.push(row);
+    }
+    let mut hmean = vec!["H-Mean".to_string()];
+    for sp in &per_stride {
+        hmean.push(cell(harmonic_mean(sp), 3));
+    }
+    table.push(hmean);
+    emit_table(
+        "fig11_stride.txt",
+        "Fig. 11 — Poise IPC vs GTO for search strides (eN, ep)",
+        &["bench", "(0,0)", "(1,1)", "(2,2)", "(2,4)", "(4,4)"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — cache-size sensitivity.
+// ---------------------------------------------------------------------------
+
+const FIG12_SCALES: [(usize, &str); 3] = [(1, "16KB"), (2, "32KB"), (4, "64KB")];
+
+fn fig12_setup(ctx: &FigCtx, scale: usize) -> Setup {
+    let mut s = ctx.setup.clone();
+    s.cfg = s
+        .cfg
+        .clone()
+        .with_l1_scale(scale)
+        .with_l1_indexing(SetIndexing::Linear);
+    s
+}
+
+fn jobs_fig12(ctx: &FigCtx) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for bench in evaluation_suite() {
+        for (scale, _) in FIG12_SCALES {
+            let s = fig12_setup(ctx, scale);
+            jobs.extend(scheme_jobs(&bench, Scheme::Gto, &s, None));
+            jobs.extend(scheme_jobs(&bench, Scheme::Poise, &s, Some(&ctx.model)));
+        }
+    }
+    jobs
+}
+
+fn render_fig12(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let mut table = Vec::new();
+    let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); FIG12_SCALES.len()];
+    for bench in evaluation_suite() {
+        let mut row = vec![bench.name.clone()];
+        for (si, (scale, _)) in FIG12_SCALES.into_iter().enumerate() {
+            let s = fig12_setup(ctx, scale);
+            let gto = scheme_result(store, &bench, Scheme::Gto, &s, None)?;
+            let poise = scheme_result(store, &bench, Scheme::Poise, &s, Some(&ctx.model))?;
+            let v = poise.ipc / gto.ipc;
+            per_scale[si].push(v);
+            row.push(cell(v, 3));
+        }
+        table.push(row);
+    }
+    let mut hmean = vec!["H-Mean".to_string()];
+    for sp in &per_scale {
+        hmean.push(cell(harmonic_mean(sp), 3));
+    }
+    table.push(hmean);
+    emit_table(
+        "fig12_cache_size.txt",
+        "Fig. 12 — Poise IPC vs GTO with linear-indexed L1 of 16/32/64 KB",
+        &["bench", "Poise+16KB", "Poise+32KB", "Poise+64KB"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13 — leave-one-feature-out ablation.
+// ---------------------------------------------------------------------------
+
+fn fig13_setup(ctx: &FigCtx) -> Setup {
+    // No local search: strides (0, 0), so prediction accuracy is exposed.
+    let mut s = ctx.setup.clone();
+    s.params = s.params.with_strides(0, 0);
+    s
+}
+
+/// The model variants: all features, then drop x3..x7 (drop index i − 1).
+fn fig13_variants(ctx: &FigCtx) -> Vec<(String, ModelSpec)> {
+    std::iter::once(("all".to_string(), Vec::new()))
+        .chain((3..=7).rev().map(|i| (format!("-x{i}"), vec![i - 1])))
+        .map(|(name, drop)| (name, ctx.model.clone().with_dropped(drop)))
+        .collect()
+}
+
+fn jobs_fig13(ctx: &FigCtx) -> Vec<SimJob> {
+    let s = fig13_setup(ctx);
+    let mut jobs = Vec::new();
+    for (_, model) in fig13_variants(ctx) {
+        jobs.push(SimJob::Train(model.clone()));
+        for bench in evaluation_suite() {
+            jobs.extend(scheme_jobs(&bench, Scheme::Poise, &s, Some(&model)));
+        }
+    }
+    jobs
+}
+
+fn render_fig13(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let s = fig13_setup(ctx);
+    let variants = fig13_variants(ctx);
+    let mut table = Vec::new();
+    let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
+    for bench in evaluation_suite() {
+        let mut ipcs = Vec::new();
+        for (_, model) in &variants {
+            let r = scheme_result(store, &bench, Scheme::Poise, &s, Some(model))?;
+            ipcs.push(r.ipc);
+        }
+        let all = ipcs[0];
+        let mut row = vec![bench.name.clone()];
+        for (vi, ipc) in ipcs.iter().enumerate() {
+            let v = ipc / all;
+            per_variant[vi].push(v);
+            row.push(cell(v, 3));
+        }
+        table.push(row);
+    }
+    let mut hmean = vec!["H-Mean".to_string()];
+    for pv in &per_variant {
+        hmean.push(cell(harmonic_mean(pv), 3));
+    }
+    table.push(hmean);
+    let header: Vec<&str> = std::iter::once("bench")
+        .chain(variants.iter().map(|(n, _)| n.as_str()))
+        .collect();
+    emit_table(
+        "fig13_feature_ablation.txt",
+        "Fig. 13 — IPC normalised to the all-features model (no local search)",
+        &header,
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Ablation — MSHR count sweep.
+// ---------------------------------------------------------------------------
+
+const MSHR_SWEEP: [usize; 5] = [4, 8, 16, 32, 64];
+
+fn ablation_mshr_specs(ctx: &FigCtx) -> Vec<(usize, KernelRunSpec)> {
+    let bench = evaluation_suite()
+        .into_iter()
+        .find(|b| b.name == "ii")
+        .expect("ii");
+    let kernel = bench.kernels[0].clone();
+    MSHR_SWEEP
+        .into_iter()
+        .map(|mshrs| {
+            let mut s = ctx.setup.clone();
+            s.cfg.l1_mshrs = mshrs;
+            s.run_cycles = 60_000;
+            (mshrs, KernelRunSpec::new(&kernel, Scheme::Gto, &s, None))
+        })
+        .collect()
+}
+
+fn jobs_ablation_mshr(ctx: &FigCtx) -> Vec<SimJob> {
+    ablation_mshr_specs(ctx)
+        .into_iter()
+        .map(|(_, spec)| SimJob::Run(spec))
+        .collect()
+}
+
+fn render_ablation_mshr(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let mut rows = Vec::new();
+    for (mshrs, spec) in ablation_mshr_specs(ctx) {
+        let c = store.run(&spec)?.counters;
+        rows.push(vec![
+            mshrs.to_string(),
+            cell(c.ipc(), 3),
+            cell(c.aml(), 0),
+            c.l1_rejects.to_string(),
+        ]);
+    }
+    emit_table(
+        "ablation_mshr.txt",
+        "Ablation — MSHR count at the GTO baseline (ii), Eq. 1's MLP term",
+        &["Kmshr", "IPC", "AML", "rejects"],
+        &rows,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Ablation — inference-epoch sensitivity.
+// ---------------------------------------------------------------------------
+
+const EPOCH_SWEEP: [u64; 4] = [50_000, 100_000, 200_000, 400_000];
+
+fn ablation_epoch_benches() -> Vec<Benchmark> {
+    evaluation_suite()
+        .into_iter()
+        .filter(|b| b.name == "ii" || b.name == "gsmv")
+        .collect()
+}
+
+fn ablation_epoch_setup(ctx: &FigCtx, t: u64) -> Setup {
+    let mut s = ctx.setup.clone();
+    s.params.t_period = t;
+    // Two epochs at every setting for a fair sampling share.
+    s.run_cycles = 2 * t;
+    s
+}
+
+fn jobs_ablation_epoch(ctx: &FigCtx) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for bench in ablation_epoch_benches() {
+        jobs.extend(scheme_jobs(&bench, Scheme::Gto, &ctx.setup, None));
+        for t in EPOCH_SWEEP {
+            let s = ablation_epoch_setup(ctx, t);
+            jobs.extend(scheme_jobs(&bench, Scheme::Poise, &s, Some(&ctx.model)));
+        }
+    }
+    jobs
+}
+
+fn render_ablation_epoch(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    let mut rows = Vec::new();
+    for bench in ablation_epoch_benches() {
+        let gto = scheme_result(store, &bench, Scheme::Gto, &ctx.setup, None)?;
+        let mut row = vec![bench.name.clone()];
+        for t in EPOCH_SWEEP {
+            let s = ablation_epoch_setup(ctx, t);
+            let r = scheme_result(store, &bench, Scheme::Poise, &s, Some(&ctx.model))?;
+            row.push(cell(r.ipc / gto.ipc, 3));
+        }
+        rows.push(row);
+    }
+    emit_table(
+        "ablation_epoch.txt",
+        "Ablation — Poise IPC vs GTO across inference epoch lengths",
+        &["bench", "50k", "100k", "200k", "400k"],
+        &rows,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Run a single figure end to end (the per-figure binary shims call
+/// this): execute its jobs — answered from the shared cache when warm —
+/// then render.
+pub fn figure_main(name: &str) -> ExitCode {
+    let registry = registry();
+    let Some(figure) = registry.iter().find(|f| f.name == name) else {
+        eprintln!("[bench] unknown figure {name:?}");
+        return ExitCode::FAILURE;
+    };
+    let ctx = FigCtx::from_env();
+    let engine = Engine::from_env(&results_dir());
+    let (store, report) = engine.run(&(figure.jobs)(&ctx));
+    if let Err(e) = (figure.render)(&ctx, &store) {
+        eprintln!("[bench] {name} FAILED: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[bench] {name} done ({})", report.summary_line());
+    ExitCode::SUCCESS
+}
+
+/// The status of one figure in a `run_all` pass.
+enum FigStatus {
+    Pass(f64),
+    Fail(String),
+    Skipped,
+}
+
+/// One-command reproduction of the evaluation section: collect every
+/// figure's jobs up front, execute the deduplicated set once across
+/// cores, then render each figure. Flags:
+///
+/// * `--keep-going` — render every figure even after failures (the
+///   default stops at the first failing figure, like the old harness,
+///   but always prints the pass/fail summary instead of bare `exit(1)`);
+/// * `--only <a,b,...>` — restrict to the named figures;
+/// * `--list` — print the registry and exit.
+pub fn run_all_main(args: &[String]) -> ExitCode {
+    let keep_going = args.iter().any(|a| a == "--keep-going");
+    let only: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    let figures: Vec<Figure> = registry()
+        .into_iter()
+        .filter(|f| only.as_ref().is_none_or(|o| o.iter().any(|n| n == f.name)))
+        .collect();
+    if args.iter().any(|a| a == "--list") {
+        for f in &figures {
+            println!("{}", f.name);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if figures.is_empty() {
+        eprintln!("[run_all] no figures matched --only filter");
+        return ExitCode::FAILURE;
+    }
+
+    let t0 = Instant::now();
+    let ctx = FigCtx::from_env();
+    let engine = Engine::from_env(&results_dir());
+
+    // Phase 1: every figure's jobs, deduplicated, in one parallel pass.
+    let jobs: Vec<SimJob> = figures.iter().flat_map(|f| (f.jobs)(&ctx)).collect();
+    eprintln!(
+        "[run_all] {} figures declared {} jobs; executing the deduplicated set...",
+        figures.len(),
+        jobs.len()
+    );
+    let (store, report) = engine.run(&jobs);
+
+    // Phase 2: render in order.
+    let mut statuses: Vec<(&str, FigStatus)> = Vec::new();
+    let mut stop = false;
+    for figure in &figures {
+        if stop {
+            statuses.push((figure.name, FigStatus::Skipped));
+            continue;
+        }
+        println!("\n===== {} =====", figure.name);
+        let ft = Instant::now();
+        match (figure.render)(&ctx, &store) {
+            Ok(()) => statuses.push((figure.name, FigStatus::Pass(ft.elapsed().as_secs_f64()))),
+            Err(e) => {
+                eprintln!("[run_all] {} FAILED: {e}", figure.name);
+                statuses.push((figure.name, FigStatus::Fail(e)));
+                if !keep_going {
+                    stop = true;
+                }
+            }
+        }
+    }
+
+    // Phase 3: the summary table (printed and persisted).
+    let failed = statuses
+        .iter()
+        .filter(|(_, s)| matches!(s, FigStatus::Fail(_)))
+        .count();
+    let rows: Vec<Vec<String>> = statuses
+        .iter()
+        .map(|(name, status)| {
+            let (st, detail) = match status {
+                FigStatus::Pass(secs) => ("pass".to_string(), format!("{secs:.2}s")),
+                FigStatus::Fail(e) => ("FAIL".to_string(), e.clone()),
+                FigStatus::Skipped => ("skipped".to_string(), "after earlier failure".into()),
+            };
+            vec![name.to_string(), st, detail]
+        })
+        .collect();
+    println!();
+    emit_table(
+        "run_all_summary.txt",
+        &format!(
+            "run_all summary — {}/{} figures pass; engine: {}; total wall {:.1}s",
+            statuses.len()
+                - failed
+                - statuses
+                    .iter()
+                    .filter(|(_, s)| matches!(s, FigStatus::Skipped))
+                    .count(),
+            statuses.len(),
+            report.summary_line(),
+            t0.elapsed().as_secs_f64()
+        ),
+        &["figure", "status", "detail"],
+        &rows,
+    );
+
+    if failed > 0 {
+        eprintln!("[run_all] {failed} figure(s) failed");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "\n[run_all] all experiments complete in {:.0}s; outputs in results/",
+            t0.elapsed().as_secs_f64()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,129 @@
+//! Static properties of the figure registry: job declarations are pure
+//! (no simulation happens here), so these tests can assert the
+//! cross-figure deduplication structure that `run_all` relies on.
+
+use std::collections::HashSet;
+
+use poise_bench::figures::{registry, FigCtx};
+
+fn jobs_of(ctx: &FigCtx, name: &str) -> Vec<poise::SimJob> {
+    let reg = registry();
+    let f = reg
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("{name} not registered"));
+    (f.jobs)(ctx)
+}
+
+fn specs_of(jobs: &[poise::SimJob]) -> HashSet<String> {
+    jobs.iter().map(|j| j.spec_text()).collect()
+}
+
+#[test]
+fn registry_is_complete_and_unique() {
+    let reg = registry();
+    assert_eq!(reg.len(), 21, "all 21 figures/tables must be registered");
+    let names: HashSet<&str> = reg.iter().map(|f| f.name).collect();
+    assert_eq!(names.len(), reg.len(), "figure names must be unique");
+    for expected in [
+        "table2_weights",
+        "table3_workloads",
+        "table4_params",
+        "table_hw_cost",
+        "fig02_pitfalls",
+        "fig07_performance",
+        "fig17_case_study",
+        "ablation_epoch",
+        "prediction_error",
+    ] {
+        assert!(names.contains(expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn main_comparison_figures_declare_identical_jobs() {
+    // Figs. 7, 8, 9, 10 and 14 all render from the same scheme × kernel
+    // runs; under the engine they must declare spec-identical job sets so
+    // the whole block simulates exactly once.
+    let ctx = FigCtx::from_env();
+    let fig07 = specs_of(&jobs_of(&ctx, "fig07_performance"));
+    for other in [
+        "fig08_l1_hit_rate",
+        "fig09_aml",
+        "fig10_displacement",
+        "fig14_energy",
+    ] {
+        assert_eq!(
+            fig07,
+            specs_of(&jobs_of(&ctx, other)),
+            "{other} must share fig07's jobs"
+        );
+    }
+}
+
+#[test]
+fn stride_default_and_alternatives_reuse_main_comparison_runs() {
+    let ctx = FigCtx::from_env();
+    let main = specs_of(&jobs_of(&ctx, "fig07_performance"));
+    // Fig. 11's (2, 4) stride equals the Table IV default, and its GTO
+    // baselines are the main comparison's, so its job set must overlap
+    // the main block substantially — and add only the non-default stride
+    // variants on top.
+    let fig11 = jobs_of(&ctx, "fig11_stride");
+    let fig11_specs = specs_of(&fig11);
+    assert!(
+        main.is_subset(&fig11_specs),
+        "fig11 must reuse the whole main comparison"
+    );
+    let extra = fig11_specs.len() - main.len();
+    let declared_poise_variants = 4 * 11 * ctx.setup.kernels_cap; // non-default strides
+    assert!(
+        extra <= declared_poise_variants,
+        "fig11 may only add per-stride Poise runs, got {extra} extras"
+    );
+    // Fig. 15 reuses the main block too (plus APCM/random-restart runs).
+    let fig15 = specs_of(&jobs_of(&ctx, "fig15_alternatives"));
+    assert!(main.is_subset(&fig15));
+}
+
+#[test]
+fn fig13_variants_share_sampling_through_train_deps() {
+    // The six Fig. 13 model variants differ only in dropped features, so
+    // their Train jobs must expand to the *same* per-kernel Sample jobs —
+    // the expensive profiling passes are collected once, not six times.
+    let ctx = FigCtx::from_env();
+    let jobs = jobs_of(&ctx, "fig13_feature_ablation");
+    let trains: Vec<_> = jobs
+        .iter()
+        .filter(|j| matches!(j, poise::SimJob::Train(_)))
+        .collect();
+    assert_eq!(trains.len(), 6, "six model variants");
+    let sample_sets: Vec<HashSet<String>> = trains
+        .iter()
+        .map(|t| t.deps().iter().map(|d| d.spec_text()).collect())
+        .collect();
+    for set in &sample_sets[1..] {
+        assert_eq!(&sample_sets[0], set, "variants must share sample jobs");
+    }
+    assert!(!sample_sets[0].is_empty());
+}
+
+#[test]
+fn whole_registry_dedupes_substantially() {
+    // The headline property of the engine: the union of every figure's
+    // declared jobs collapses to far fewer unique specs than the figures
+    // declare in total (the old harness re-simulated each declaration).
+    let ctx = FigCtx::from_env();
+    let mut declared = 0usize;
+    let mut unique: HashSet<String> = HashSet::new();
+    for f in registry() {
+        let jobs = (f.jobs)(&ctx);
+        declared += jobs.len();
+        unique.extend(jobs.iter().map(|j| j.spec_text()));
+    }
+    assert!(
+        unique.len() * 2 < declared,
+        "dedup must at least halve the workload: {} unique of {declared} declared",
+        unique.len()
+    );
+}

@@ -1,0 +1,404 @@
+//! Content-addressed result cache for the experiment engine.
+//!
+//! Every simulation job (see [`crate::jobs`]) renders its *full* input
+//! specification — kernel spec, scheme, controller parameters, machine
+//! configuration, and digests of any upstream outputs such as trained
+//! model weights — into a canonical text form, and the SHA-256 of that
+//! text addresses the job's result under `results/cache/`. Editing any
+//! input therefore invalidates exactly the runs that depend on it; nothing
+//! else is re-simulated, and a blanket `POISE_RERUN=1` is only needed to
+//! bypass the cache wholesale (e.g. after a simulator code change).
+//!
+//! ## File format
+//!
+//! One file per job, named `<kind>-<hash>.txt`:
+//!
+//! ```text
+//! # poise job cache v1
+//! # key: <64 hex chars>
+//! # spec:
+//! #   <canonical spec, one line per field>
+//! <output serialization, kind-specific>
+//! ```
+//!
+//! Loads verify the header version and key; any parse failure (truncated
+//! file, stale format, hand-edited content) is treated as a miss and the
+//! job silently re-runs. Stores write to a temporary file and `rename`
+//! into place, so an interrupted `run_all` never leaves a half-written
+//! entry and the next invocation resumes from the completed jobs.
+//!
+//! ## Float canonicalisation
+//!
+//! `f64` values are serialised with Rust's shortest-round-trip formatting
+//! (`{:?}`), which parses back to the identical bit pattern. A cache hit
+//! therefore returns *bit-identical* rows to the run that produced it.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Format an `f64` so that parsing recovers the identical bits.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+/// Parse an `f64` serialised by [`fmt_f64`] (also accepts `inf`/`NaN`).
+pub fn parse_f64(s: &str) -> Option<f64> {
+    s.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4), self-contained: the build environment has no
+// registry access, and the hash must stay stable across Rust releases —
+// unlike `std::hash::DefaultHasher`, which is explicitly unstable.
+// ---------------------------------------------------------------------------
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Streaming SHA-256 hasher.
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        while !data.is_empty() {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, c) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    /// Finish and return the digest as 64 lowercase hex characters.
+    pub fn finish_hex(mut self) -> String {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // The length block bypasses `total_len` accounting by design.
+        let block_start = self.buf_len;
+        self.buf[block_start..block_start + 8].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = String::with_capacity(64);
+        for s in self.state {
+            out.push_str(&format!("{s:08x}"));
+        }
+        out
+    }
+}
+
+/// SHA-256 of a string, as hex.
+pub fn sha256_hex(s: &str) -> String {
+    let mut h = Sha256::new();
+    h.update(s.as_bytes());
+    h.finish_hex()
+}
+
+// ---------------------------------------------------------------------------
+// The on-disk store.
+// ---------------------------------------------------------------------------
+
+/// Hit/miss/store counters for one engine run (cheap, lock-free).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Jobs answered from disk.
+    pub hits: AtomicU64,
+    /// Jobs that had no (valid) entry.
+    pub misses: AtomicU64,
+    /// Results written.
+    pub stores: AtomicU64,
+}
+
+impl CacheStats {
+    /// Snapshot `(hits, misses, stores)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.stores.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A content-addressed result store rooted at a directory
+/// (conventionally `results/cache/`).
+#[derive(Debug)]
+pub struct Cache {
+    root: PathBuf,
+    /// When set, `load` always misses (the `POISE_RERUN=1` escape hatch);
+    /// results are still stored, refreshing the cache.
+    pub bypass: bool,
+    /// Run statistics.
+    pub stats: CacheStats,
+    seq: AtomicU64,
+}
+
+impl Cache {
+    /// Open (creating if needed) a cache rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        let root = root.into();
+        std::fs::create_dir_all(&root).expect("create cache dir");
+        Cache {
+            root,
+            bypass: false,
+            stats: CacheStats::default(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, kind: &str, key: &str) -> PathBuf {
+        self.root.join(format!("{kind}-{key}.txt"))
+    }
+
+    /// Look up `key`; returns the stored body (without the header) when a
+    /// valid entry exists. Corrupt, truncated or stale-format entries are
+    /// reported as misses so the caller silently re-runs the job.
+    pub fn load(&self, kind: &str, key: &str) -> Option<String> {
+        if self.bypass {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let parsed = std::fs::read_to_string(self.path_of(kind, key))
+            .ok()
+            .and_then(|text| Self::parse_entry(&text, key));
+        match parsed {
+            Some(body) => {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn parse_entry(text: &str, key: &str) -> Option<String> {
+        let mut lines = text.lines();
+        if lines.next()? != "# poise job cache v1" {
+            return None;
+        }
+        if lines.next()?.strip_prefix("# key: ")? != key {
+            return None;
+        }
+        // Skip the embedded spec (all `#` comment lines); the body is
+        // everything after, terminated by an explicit end marker so a
+        // truncated write can be told apart from a short body.
+        let body_start = text.find("\n# end-spec\n")? + "\n# end-spec\n".len();
+        let body = &text[body_start..];
+        let body = body.strip_suffix("# end\n")?;
+        Some(body.to_string())
+    }
+
+    /// Store `body` under `key`, embedding the human-readable `spec` in
+    /// the header. Atomic: concurrent writers and interrupts leave either
+    /// the old entry or the complete new one.
+    pub fn store(&self, kind: &str, key: &str, spec: &str, body: &str) {
+        let mut text = String::with_capacity(spec.len() + body.len() + 128);
+        text.push_str("# poise job cache v1\n");
+        text.push_str(&format!("# key: {key}\n"));
+        text.push_str("# spec:\n");
+        for line in spec.lines() {
+            text.push_str("#   ");
+            text.push_str(line);
+            text.push('\n');
+        }
+        text.push_str("# end-spec\n");
+        text.push_str(body);
+        text.push_str("# end\n");
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        // Failures to persist are non-fatal: the engine still holds the
+        // in-memory result; the job will simply re-run next time.
+        if std::fs::write(&tmp, &text).is_ok()
+            && std::fs::rename(&tmp, self.path_of(kind, key)).is_ok()
+        {
+            self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_matches_known_vectors() {
+        // FIPS 180-4 test vectors.
+        assert_eq!(
+            sha256_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Multi-block input exercising the buffering path.
+        let long = "a".repeat(1000);
+        let mut h = Sha256::new();
+        for chunk in long.as_bytes().chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish_hex(), sha256_hex(&long));
+    }
+
+    #[test]
+    fn f64_round_trips_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            1.234567890123456e-300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let back = parse_f64(&fmt_f64(v)).unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{v}");
+        }
+        assert!(parse_f64(&fmt_f64(f64::NAN)).unwrap().is_nan());
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("poise-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::new(&dir);
+        let key = sha256_hex("spec");
+        assert!(cache.load("run", &key).is_none());
+        cache.store("run", &key, "kernel t\nscheme GTO", "a 1\nb 2\n");
+        assert_eq!(cache.load("run", &key).as_deref(), Some("a 1\nb 2\n"));
+        let (h, m, s) = cache.stats.snapshot();
+        assert_eq!((h, m, s), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let dir = std::env::temp_dir().join(format!("poise-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::new(&dir);
+        let key = sha256_hex("x");
+        cache.store("run", &key, "spec", "body line\n");
+        let path = dir.join(format!("run-{key}.txt"));
+        // Truncated: the end marker is gone.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        assert!(cache.load("run", &key).is_none());
+        // Garbage.
+        std::fs::write(&path, "not a cache file").unwrap();
+        assert!(cache.load("run", &key).is_none());
+        // Wrong key in the header.
+        let other = sha256_hex("y");
+        cache.store("run", &other, "spec", "body\n");
+        std::fs::rename(dir.join(format!("run-{other}.txt")), &path).unwrap();
+        assert!(cache.load("run", &key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bypass_forces_misses_but_still_stores() {
+        let dir = std::env::temp_dir().join(format!("poise-cache-bypass-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = Cache::new(&dir);
+        let key = sha256_hex("z");
+        cache.store("run", &key, "spec", "body\n");
+        cache.bypass = true;
+        assert!(cache.load("run", &key).is_none());
+        cache.bypass = false;
+        assert_eq!(cache.load("run", &key).as_deref(), Some("body\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

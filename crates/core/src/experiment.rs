@@ -188,6 +188,18 @@ pub struct OfflineProfile {
     pub best: WarpTuple,
 }
 
+/// The two tuples a run extracts from an [`OfflineProfile`] — the only
+/// part of a profile the profile-driven schemes actually consume (which
+/// is why the job-cache key of such a run digests just these, see
+/// [`crate::jobs`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileTuples {
+    /// Best diagonal tuple (SWL's choice, PCAL's starting point).
+    pub swl: WarpTuple,
+    /// Best overall tuple (Static-Best's choice).
+    pub best: WarpTuple,
+}
+
 /// Profile one kernel offline (used by the static schemes).
 pub fn offline_profile(spec: &KernelSpec, setup: &Setup) -> OfflineProfile {
     let max_warps = spec
@@ -212,7 +224,38 @@ pub fn run_kernel(
     profile: Option<&OfflineProfile>,
     setup: &Setup,
 ) -> KernelRun {
-    let mut cfg = setup.cfg.clone();
+    run_kernel_configured(
+        spec,
+        scheme,
+        Some(model),
+        profile.map(|p| ProfileTuples {
+            swl: p.swl,
+            best: p.best,
+        }),
+        &setup.cfg,
+        &setup.params,
+        &setup.rr_seeds,
+        setup.run_cycles,
+    )
+}
+
+/// Run one kernel under `scheme` with every input explicit — the
+/// execution core shared by [`run_kernel`] and the job engine
+/// ([`crate::jobs`]). The explicit argument list is deliberately the
+/// dependency surface of a run: everything a scheme's result can depend
+/// on is a parameter here and a cache-key field there.
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_configured(
+    spec: &KernelSpec,
+    scheme: Scheme,
+    model: Option<&TrainedModel>,
+    tuples: Option<ProfileTuples>,
+    base_cfg: &GpuConfig,
+    params: &PoiseParams,
+    rr_seeds: &[u64],
+    run_cycles: u64,
+) -> KernelRun {
+    let mut cfg = base_cfg.clone();
     if scheme == Scheme::Apcm {
         cfg.track_pc_stats = true;
     }
@@ -220,23 +263,24 @@ pub fn run_kernel(
     let mut epoch_logs = Vec::new();
 
     let result = match scheme {
-        Scheme::Gto => gpu.run(&mut FixedTuple::max(), setup.run_cycles),
+        Scheme::Gto => gpu.run(&mut FixedTuple::max(), run_cycles),
         Scheme::Swl => {
-            let t = profile.expect("SWL needs an offline profile").swl;
-            gpu.run(&mut FixedTuple::new(t), setup.run_cycles)
+            let t = tuples.expect("SWL needs an offline profile").swl;
+            gpu.run(&mut FixedTuple::new(t), run_cycles)
         }
         Scheme::StaticBest => {
-            let t = profile.expect("Static-Best needs an offline profile").best;
-            gpu.run(&mut FixedTuple::new(t), setup.run_cycles)
+            let t = tuples.expect("Static-Best needs an offline profile").best;
+            gpu.run(&mut FixedTuple::new(t), run_cycles)
         }
         Scheme::PcalSwl => {
-            let start = profile.expect("PCAL-SWL needs an offline profile").swl;
+            let start = tuples.expect("PCAL-SWL needs an offline profile").swl;
             let mut ctrl = PcalSwlController::new(start);
-            gpu.run(&mut ctrl, setup.run_cycles)
+            gpu.run(&mut ctrl, run_cycles)
         }
         Scheme::Poise => {
-            let mut ctrl = PoiseController::new(model.clone(), setup.params);
-            let r = gpu.run(&mut ctrl, setup.run_cycles);
+            let model = model.expect("Poise needs a trained model");
+            let mut ctrl = PoiseController::new(model.clone(), *params);
+            let r = gpu.run(&mut ctrl, run_cycles);
             epoch_logs = ctrl.log.clone();
             r
         }
@@ -244,14 +288,14 @@ pub fn run_kernel(
             // Average over seeds: run each seed for the full budget and
             // merge counters (equal-cycle weighting).
             let mut merged: Option<gpu_sim::SimResult> = None;
-            for (i, &seed) in setup.rr_seeds.iter().enumerate() {
+            for (i, &seed) in rr_seeds.iter().enumerate() {
                 let mut g = if i == 0 {
-                    std::mem::replace(&mut gpu, Gpu::new(setup.cfg.clone(), spec))
+                    std::mem::replace(&mut gpu, Gpu::new(base_cfg.clone(), spec))
                 } else {
-                    Gpu::new(setup.cfg.clone(), spec)
+                    Gpu::new(base_cfg.clone(), spec)
                 };
-                let mut ctrl = RandomRestartController::new(seed, setup.params.t_period);
-                let r = g.run(&mut ctrl, setup.run_cycles);
+                let mut ctrl = RandomRestartController::new(seed, params.t_period);
+                let r = g.run(&mut ctrl, run_cycles);
                 merged = Some(match merged {
                     None => r,
                     Some(mut acc) => {
@@ -264,8 +308,8 @@ pub fn run_kernel(
             merged.expect("at least one seed")
         }
         Scheme::Apcm => {
-            let mut ctrl = ApcmController::new(setup.params.t_period);
-            gpu.run(&mut ctrl, setup.run_cycles)
+            let mut ctrl = ApcmController::new(params.t_period);
+            gpu.run(&mut ctrl, run_cycles)
         }
     };
 
@@ -374,7 +418,10 @@ pub fn run_schemes(
         .collect()
 }
 
-fn aggregate(bench: String, scheme: Scheme, kernels: Vec<KernelRun>) -> BenchResult {
+/// Aggregate per-kernel runs into a [`BenchResult`] the way the paper
+/// reports benchmarks (Σ-counter rates). Public so the figure engine can
+/// rebuild benchmark aggregates from individually cached kernel runs.
+pub fn aggregate(bench: String, scheme: Scheme, kernels: Vec<KernelRun>) -> BenchResult {
     let sum = |f: fn(&Counters) -> u64| -> u64 { kernels.iter().map(|k| f(&k.counters)).sum() };
     let cycles = sum(|c| c.cycles).max(1);
     let instructions = sum(|c| c.instructions);

@@ -1,0 +1,1344 @@
+//! The unified experiment engine: typed simulation jobs, a deduplicating
+//! in-process work queue, and content-addressed result caching.
+//!
+//! The paper's ~20 figures and tables all draw from the same pool of
+//! simulation runs — `(kernel × scheme × machine configuration)` products,
+//! offline {N, p} profiles, training samples and model fits. Instead of
+//! each figure binary re-simulating its slice, a figure *declares* its
+//! jobs as [`SimJob`] values and the [`Engine`] executes the deduplicated
+//! set once over a shared work queue (built on
+//! [`parallel_map`](crate::parallel::parallel_map)), answering repeats
+//! from the content-addressed cache in `results/cache/` (see
+//! [`crate::cache`]).
+//!
+//! ## Job kinds and dependencies
+//!
+//! | job | inputs (cache key) | output |
+//! |-----|--------------------|--------|
+//! | [`SimJob::Profile`] | kernel, cfg, grid, window | [`SpeedupGrid`] |
+//! | [`SimJob::Pbest`] | kernel, cfg, window | speedup scalar |
+//! | [`SimJob::TupleRun`] | kernel, cfg, tuple, window | windowed counters |
+//! | [`SimJob::Sample`] | kernel, cfg, grid, window, scoring | training sample |
+//! | [`SimJob::Train`] | kernels, cfg, grid, window, scoring, dropped features; **sample outputs** | model weights |
+//! | [`SimJob::Run`] | kernel, scheme, cfg, cycles, controller params; **model weights** / **profile tuples** | counters + energy + epoch log |
+//!
+//! Jobs reference their dependencies *by spec*: a Poise run embeds the
+//! [`ModelSpec`] it is to be driven by, and the engine resolves the
+//! corresponding [`SimJob::Train`] first (training in turn depends on one
+//! [`SimJob::Sample`] per training kernel, so the expensive profiling
+//! passes are shared between e.g. the Fig. 13 model variants). The cache
+//! key of a job hashes its own spec **plus digests of the dependency
+//! outputs it consumes** — for a Poise run the trained weights, for an
+//! SWL/PCAL/Static-Best run only the two tuples derived from the profile
+//! — so editing any input (a kernel spec, a controller parameter, the
+//! machine configuration, the training population) invalidates exactly
+//! the affected runs, and noise that does not reach a job's inputs (e.g.
+//! a profile change that leaves the chosen tuples intact) invalidates
+//! nothing.
+//!
+//! ## Execution model
+//!
+//! [`Engine::run`] expands the requested jobs to their transitive
+//! dependency closure, deduplicates by canonical spec, and executes in
+//! three waves (leaf jobs → model fits → scheme runs), fanning each wave
+//! across the host's cores. Each job runs under `catch_unwind`, so one
+//! panicking simulation marks its dependants failed without tearing down
+//! the run. Progress is reported per job completion; cache hit/miss/store
+//! counts are aggregated in the [`RunReport`].
+//!
+//! Executed results are canonicalised through their own serialisation
+//! before being returned, so a cold run and a warm (all-hits) run hand
+//! the renderer bit-identical values by construction.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::cache::{fmt_f64, parse_f64, sha256_hex, Cache};
+use crate::experiment::{run_kernel_configured, KernelRun, ProfileTuples, Scheme, Setup};
+use crate::params::PoiseParams;
+use crate::policies::{static_best_from_grid, swl_tuple_from_grid};
+use crate::profiler::{pbest, profile_grid, run_tuple, GridSpec, ProfileWindow, SteadyState};
+use crate::train::{collect_sample_scored, fit_samples};
+use gpu_sim::{Counters, EnergyBreakdown, GpuConfig, WarpTuple};
+use poise_ml::{ScoringWeights, SpeedupGrid, TrainedModel, TrainingSample, N_FEATURES};
+use workloads::{training_suite, KernelSpec};
+
+/// Salt mixed into every cache key. The cache hashes job *inputs*, not
+/// simulator code — bump this when a simulator/serialisation change
+/// alters what existing specs would produce, to deterministically
+/// invalidate every prior entry (a blanket alternative to
+/// `POISE_RERUN=1`, which only refreshes the specs of that one run).
+pub const CACHE_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Job specifications.
+// ---------------------------------------------------------------------------
+
+/// Offline {N, p} profile of one kernel (drives SWL / PCAL-SWL /
+/// Static-Best and the Fig. 2/5/17 surfaces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSpec {
+    /// Kernel to profile.
+    pub kernel: KernelSpec,
+    /// Machine configuration.
+    pub cfg: GpuConfig,
+    /// Grid points to sweep.
+    pub grid: GridSpec,
+    /// Warmup/measure windows per point.
+    pub window: ProfileWindow,
+}
+
+/// `Pbest` memory-sensitivity classification (64× L1 speedup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PbestSpec {
+    /// Kernel to classify.
+    pub kernel: KernelSpec,
+    /// Machine configuration (the 64× L1 variant is derived internally).
+    pub cfg: GpuConfig,
+    /// Warmup/measure windows.
+    pub window: ProfileWindow,
+}
+
+/// One steady-state run at a fixed tuple (Fig. 4 characterisation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleRunSpec {
+    /// Kernel to run.
+    pub kernel: KernelSpec,
+    /// Machine configuration.
+    pub cfg: GpuConfig,
+    /// The fixed warp-tuple.
+    pub tuple: WarpTuple,
+    /// Warmup/measure windows.
+    pub window: ProfileWindow,
+}
+
+/// One training sample: profile a kernel, score the surface (Eq. 12),
+/// sample the Table II features at the two reference points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSpec {
+    /// Kernel to sample.
+    pub kernel: KernelSpec,
+    /// Machine configuration.
+    pub cfg: GpuConfig,
+    /// Profiling grid.
+    pub grid: GridSpec,
+    /// Warmup/measure windows.
+    pub window: ProfileWindow,
+    /// Eq. 12 scoring weights (the only [`PoiseParams`] field sampling
+    /// reads, kept minimal so e.g. search-stride studies share samples).
+    pub scoring: ScoringWeights,
+}
+
+/// A model fit over a training population. Depends on one
+/// [`SampleSpec`] per kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// The training kernels (order matters for the fit).
+    pub kernels: Vec<KernelSpec>,
+    /// Machine configuration for the sampling runs.
+    pub cfg: GpuConfig,
+    /// Profiling grid for the sampling runs.
+    pub grid: GridSpec,
+    /// Warmup/measure windows for the sampling runs.
+    pub window: ProfileWindow,
+    /// Eq. 12 scoring weights.
+    pub scoring: ScoringWeights,
+    /// Feature indices zeroed before fitting (Fig. 13 ablations).
+    pub drop_features: Vec<usize>,
+}
+
+impl ModelSpec {
+    /// The default offline training run of a [`Setup`]: the training
+    /// suite capped per benchmark, profiled on the setup's training grid.
+    pub fn default_training(setup: &Setup) -> Self {
+        let kernels = training_suite()
+            .iter()
+            .flat_map(|b| b.capped(setup.train_cap_per_benchmark).kernels)
+            .collect();
+        ModelSpec {
+            kernels,
+            cfg: setup.cfg.clone(),
+            grid: setup.train_grid.clone(),
+            window: setup.profile_window,
+            scoring: setup.params.scoring,
+            drop_features: Vec::new(),
+        }
+    }
+
+    /// The same training run with features dropped (Fig. 13).
+    pub fn with_dropped(mut self, drop_features: Vec<usize>) -> Self {
+        self.drop_features = drop_features;
+        self
+    }
+
+    fn sample_specs(&self) -> Vec<SampleSpec> {
+        self.kernels
+            .iter()
+            .map(|k| SampleSpec {
+                kernel: k.clone(),
+                cfg: self.cfg.clone(),
+                grid: self.grid.clone(),
+                window: self.window,
+                scoring: self.scoring,
+            })
+            .collect()
+    }
+}
+
+/// One evaluation run: a kernel under a scheme for a cycle budget.
+///
+/// Only the inputs the scheme actually consumes enter the spec: GTO and
+/// the profile-driven schemes ignore [`PoiseParams`] entirely, APCM and
+/// random-restart read only the epoch length, Poise the full parameter
+/// set — so a Fig. 11 stride sweep re-simulates Poise runs only, and the
+/// shared GTO baselines stay cached.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRunSpec {
+    /// Kernel to run.
+    pub kernel: KernelSpec,
+    /// Scheduling scheme.
+    pub scheme: Scheme,
+    /// Machine configuration (APCM's per-PC tracking is implied by the
+    /// scheme, as in [`run_kernel_configured`]).
+    pub cfg: GpuConfig,
+    /// Cycle budget.
+    pub run_cycles: u64,
+    /// Full Poise parameters (`Some` iff the scheme is Poise).
+    pub params: Option<PoiseParams>,
+    /// Epoch length for APCM / random-restart.
+    pub t_period: Option<u64>,
+    /// Seeds for random-restart averaging (empty otherwise).
+    pub rr_seeds: Vec<u64>,
+    /// The model driving a Poise run.
+    pub model: Option<Box<ModelSpec>>,
+    /// The offline profile driving SWL / PCAL-SWL / Static-Best.
+    pub profile: Option<Box<ProfileSpec>>,
+}
+
+impl KernelRunSpec {
+    /// Build the spec for running `kernel` under `scheme` as configured
+    /// by `setup`. `model` is required for Poise runs.
+    pub fn new(
+        kernel: &KernelSpec,
+        scheme: Scheme,
+        setup: &Setup,
+        model: Option<&ModelSpec>,
+    ) -> Self {
+        let needs_profile = matches!(scheme, Scheme::Swl | Scheme::PcalSwl | Scheme::StaticBest);
+        KernelRunSpec {
+            kernel: kernel.clone(),
+            scheme,
+            cfg: setup.cfg.clone(),
+            run_cycles: setup.run_cycles,
+            params: (scheme == Scheme::Poise).then_some(setup.params),
+            t_period: matches!(scheme, Scheme::Apcm | Scheme::RandomRestart)
+                .then_some(setup.params.t_period),
+            rr_seeds: if scheme == Scheme::RandomRestart {
+                setup.rr_seeds.clone()
+            } else {
+                Vec::new()
+            },
+            model: (scheme == Scheme::Poise)
+                .then(|| Box::new(model.expect("a Poise run needs a ModelSpec").clone())),
+            profile: needs_profile.then(|| {
+                Box::new(ProfileSpec {
+                    kernel: kernel.clone(),
+                    cfg: setup.cfg.clone(),
+                    grid: setup.eval_grid.clone(),
+                    window: setup.profile_window,
+                })
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimJob.
+// ---------------------------------------------------------------------------
+
+/// One unit of simulation work. See the module docs for the catalogue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimJob {
+    /// Offline {N, p} profile.
+    Profile(ProfileSpec),
+    /// Pbest classification.
+    Pbest(PbestSpec),
+    /// Steady-state run at a fixed tuple.
+    TupleRun(TupleRunSpec),
+    /// Training-sample collection.
+    Sample(SampleSpec),
+    /// Model fit (depends on its samples).
+    Train(ModelSpec),
+    /// Evaluation run (may depend on a model and/or a profile).
+    Run(KernelRunSpec),
+}
+
+impl SimJob {
+    /// Short cache-file/kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimJob::Profile(_) => "profile",
+            SimJob::Pbest(_) => "pbest",
+            SimJob::TupleRun(_) => "tuple",
+            SimJob::Sample(_) => "sample",
+            SimJob::Train(_) => "train",
+            SimJob::Run(_) => "run",
+        }
+    }
+
+    /// Human-readable progress label.
+    pub fn label(&self) -> String {
+        match self {
+            SimJob::Profile(s) => format!("profile[{} {}pt]", s.kernel.name, s.grid.points().len()),
+            SimJob::Pbest(s) => format!("pbest[{}]", s.kernel.name),
+            SimJob::TupleRun(s) => format!("tuple[{} {}]", s.kernel.name, s.tuple),
+            SimJob::Sample(s) => format!("sample[{}]", s.kernel.name),
+            SimJob::Train(s) => format!("train[{}k drop{:?}]", s.kernels.len(), s.drop_features),
+            SimJob::Run(s) => format!("run[{} {}]", s.kernel.name, s.scheme.name()),
+        }
+    }
+
+    /// Canonical specification text: every input field, one per line,
+    /// rendered with exact (round-trip) float formatting. Dependencies
+    /// appear as the SHA-256 of *their* spec text, so input edits
+    /// propagate through the graph.
+    pub fn spec_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "job {}", self.kind());
+        match self {
+            SimJob::Profile(p) => {
+                let _ = writeln!(s, "kernel {:?}", p.kernel);
+                let _ = writeln!(s, "cfg {:?}", p.cfg);
+                let _ = writeln!(s, "grid {:?}", p.grid);
+                let _ = writeln!(s, "window {:?}", p.window);
+            }
+            SimJob::Pbest(p) => {
+                let _ = writeln!(s, "kernel {:?}", p.kernel);
+                let _ = writeln!(s, "cfg {:?}", p.cfg);
+                let _ = writeln!(s, "window {:?}", p.window);
+            }
+            SimJob::TupleRun(t) => {
+                let _ = writeln!(s, "kernel {:?}", t.kernel);
+                let _ = writeln!(s, "cfg {:?}", t.cfg);
+                let _ = writeln!(s, "tuple {:?}", t.tuple);
+                let _ = writeln!(s, "window {:?}", t.window);
+            }
+            SimJob::Sample(p) => {
+                let _ = writeln!(s, "kernel {:?}", p.kernel);
+                let _ = writeln!(s, "cfg {:?}", p.cfg);
+                let _ = writeln!(s, "grid {:?}", p.grid);
+                let _ = writeln!(s, "window {:?}", p.window);
+                let _ = writeln!(s, "scoring {:?}", p.scoring);
+            }
+            SimJob::Train(m) => {
+                for k in &m.kernels {
+                    let _ = writeln!(s, "kernel {k:?}");
+                }
+                let _ = writeln!(s, "cfg {:?}", m.cfg);
+                let _ = writeln!(s, "grid {:?}", m.grid);
+                let _ = writeln!(s, "window {:?}", m.window);
+                let _ = writeln!(s, "scoring {:?}", m.scoring);
+                let _ = writeln!(s, "drop_features {:?}", m.drop_features);
+            }
+            SimJob::Run(r) => {
+                let _ = writeln!(s, "kernel {:?}", r.kernel);
+                let _ = writeln!(s, "scheme {}", r.scheme.name());
+                let _ = writeln!(s, "cfg {:?}", r.cfg);
+                let _ = writeln!(s, "run_cycles {}", r.run_cycles);
+                if let Some(p) = &r.params {
+                    let _ = writeln!(s, "params {p:?}");
+                }
+                if let Some(t) = r.t_period {
+                    let _ = writeln!(s, "t_period {t}");
+                }
+                if !r.rr_seeds.is_empty() {
+                    let _ = writeln!(s, "rr_seeds {:?}", r.rr_seeds);
+                }
+                if let Some(m) = &r.model {
+                    let _ = writeln!(
+                        s,
+                        "model {}",
+                        sha256_hex(&SimJob::Train((**m).clone()).spec_text())
+                    );
+                }
+                if let Some(p) = &r.profile {
+                    let _ = writeln!(
+                        s,
+                        "profile {}",
+                        sha256_hex(&SimJob::Profile((**p).clone()).spec_text())
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    /// Direct dependencies (jobs whose outputs this job consumes).
+    pub fn deps(&self) -> Vec<SimJob> {
+        match self {
+            SimJob::Train(m) => m.sample_specs().into_iter().map(SimJob::Sample).collect(),
+            SimJob::Run(r) => {
+                let mut d = Vec::new();
+                if let Some(m) = &r.model {
+                    d.push(SimJob::Train((**m).clone()));
+                }
+                if let Some(p) = &r.profile {
+                    d.push(SimJob::Profile((**p).clone()));
+                }
+                d
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Execution wave: dependencies always live in strictly lower waves.
+    fn wave(&self) -> usize {
+        match self {
+            SimJob::Train(_) => 1,
+            SimJob::Run(_) => 2,
+            _ => 0,
+        }
+    }
+
+    /// Execute the job. `dep_outputs` holds the resolved outputs in
+    /// [`SimJob::deps`] order. Panics propagate to the engine's isolation
+    /// layer.
+    fn execute(&self, dep_outputs: &[&JobOutput]) -> JobOutput {
+        match self {
+            SimJob::Profile(p) => {
+                JobOutput::Grid(profile_grid(&p.kernel, &p.cfg, &p.grid, p.window))
+            }
+            SimJob::Pbest(p) => JobOutput::Scalar(pbest(&p.kernel, &p.cfg, p.window)),
+            SimJob::TupleRun(t) => {
+                JobOutput::Steady(run_tuple(&t.kernel, &t.cfg, t.tuple, t.window))
+            }
+            SimJob::Sample(p) => JobOutput::Sample(collect_sample_scored(
+                &p.kernel, &p.cfg, &p.grid, p.window, &p.scoring,
+            )),
+            SimJob::Train(m) => {
+                let samples: Vec<TrainingSample> = dep_outputs
+                    .iter()
+                    .map(|o| o.as_sample().expect("train dep is a sample").clone())
+                    .collect();
+                JobOutput::Model(fit_samples(&samples, m.window, &m.drop_features))
+            }
+            SimJob::Run(r) => {
+                let mut di = dep_outputs.iter();
+                let model = r
+                    .model
+                    .as_ref()
+                    .map(|_| di.next().expect("model dep").as_model().expect("model"));
+                let grid = r
+                    .profile
+                    .as_ref()
+                    .map(|_| di.next().expect("profile dep").as_grid().expect("grid"));
+                let tuples = grid.map(|g| {
+                    let max_warps = r
+                        .kernel
+                        .warps_per_scheduler
+                        .min(r.cfg.max_warps_per_scheduler);
+                    ProfileTuples {
+                        swl: swl_tuple_from_grid(g, max_warps),
+                        best: static_best_from_grid(g, max_warps),
+                    }
+                });
+                let params = match (r.params, r.t_period) {
+                    (Some(p), _) => p,
+                    (None, Some(t)) => PoiseParams {
+                        t_period: t,
+                        ..PoiseParams::default()
+                    },
+                    (None, None) => PoiseParams::default(),
+                };
+                JobOutput::Run(run_kernel_configured(
+                    &r.kernel,
+                    r.scheme,
+                    model,
+                    tuples,
+                    &r.cfg,
+                    &params,
+                    &r.rr_seeds,
+                    r.run_cycles,
+                ))
+            }
+        }
+    }
+
+    /// The digest of a dependency's output *as consumed by this job*: a
+    /// Poise run digests the model weights, a profile-driven run only the
+    /// two derived tuples (so profile jitter that leaves the chosen
+    /// tuples intact does not invalidate the run), and training digests
+    /// the full sample rows.
+    fn dep_digest(&self, dep: &SimJob, out: &JobOutput) -> String {
+        match (self, dep, out) {
+            (SimJob::Run(r), SimJob::Profile(_), JobOutput::Grid(g)) => {
+                let max_warps = r
+                    .kernel
+                    .warps_per_scheduler
+                    .min(r.cfg.max_warps_per_scheduler);
+                format!(
+                    "tuples swl={:?} best={:?}",
+                    swl_tuple_from_grid(g, max_warps),
+                    static_best_from_grid(g, max_warps)
+                )
+            }
+            _ => sha256_hex(&out.to_text()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job outputs and their serialisation.
+// ---------------------------------------------------------------------------
+
+/// The result of one [`SimJob`].
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Profile output.
+    Grid(SpeedupGrid),
+    /// Pbest output.
+    Scalar(f64),
+    /// Fixed-tuple steady-state output.
+    Steady(SteadyState),
+    /// Training-sample output.
+    Sample(TrainingSample),
+    /// Model-fit output.
+    Model(TrainedModel),
+    /// Evaluation-run output.
+    Run(KernelRun),
+}
+
+macro_rules! counter_fields {
+    ($m:ident) => {
+        $m!(
+            cycles,
+            instructions,
+            loads,
+            stores,
+            l1_accesses,
+            l1_hits,
+            l1_intra_hits,
+            l1_inter_hits,
+            l1_hits_polluting,
+            l1_accesses_polluting,
+            l1_hits_non_polluting,
+            l1_accesses_non_polluting,
+            l1_misses_completed,
+            miss_latency_sum,
+            l1_rejects,
+            mshr_allocations,
+            mshr_merges,
+            l2_accesses,
+            l2_hits,
+            dram_accesses,
+            busy_scheduler_cycles,
+            stall_scheduler_cycles,
+            in_gap_sum,
+            in_gap_count,
+            reuse_distance_sum,
+            reuse_distance_count
+        )
+    };
+}
+
+fn counters_to_line(c: &Counters) -> String {
+    macro_rules! list {
+        ($($f:ident),*) => {{
+            // Exhaustive destructuring (no `..`): adding a field to
+            // `Counters` without extending `counter_fields!` fails to
+            // compile here, instead of silently serialising — and, via
+            // the engine's canonicalise-through-serialisation step,
+            // zeroing — the new counter.
+            let Counters { $($f),* } = *c;
+            vec![$($f.to_string()),*]
+        }};
+    }
+    counter_fields!(list).join(" ")
+}
+
+fn counters_from_line(line: &str) -> Option<Counters> {
+    let vals: Vec<u64> = line
+        .split_whitespace()
+        .map(|v| v.parse().ok())
+        .collect::<Option<Vec<_>>>()?;
+    let mut c = Counters::default();
+    macro_rules! assign {
+        ($($f:ident),*) => {{
+            let mut it = vals.iter();
+            $(c.$f = *it.next()?;)*
+            if it.next().is_some() { return None; }
+        }};
+    }
+    counter_fields!(assign);
+    Some(c)
+}
+
+fn floats_to_line(vs: &[f64]) -> String {
+    vs.iter().map(|v| fmt_f64(*v)).collect::<Vec<_>>().join(" ")
+}
+
+fn floats_from_line(line: &str, n: usize) -> Option<Vec<f64>> {
+    let vs: Vec<f64> = line
+        .split_whitespace()
+        .map(parse_f64)
+        .collect::<Option<Vec<_>>>()?;
+    (vs.len() == n).then_some(vs)
+}
+
+impl JobOutput {
+    /// Serialise to the cache body format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        match self {
+            JobOutput::Grid(g) => {
+                let _ = writeln!(s, "max_n {}", g.max_n());
+                for (n, p, v) in g.iter() {
+                    let _ = writeln!(s, "cell {n} {p} {}", fmt_f64(v));
+                }
+            }
+            JobOutput::Scalar(v) => {
+                let _ = writeln!(s, "value {}", fmt_f64(*v));
+            }
+            JobOutput::Steady(st) => {
+                let _ = writeln!(s, "tuple {} {}", st.tuple.n, st.tuple.p);
+                let _ = writeln!(s, "window {}", counters_to_line(&st.window));
+            }
+            JobOutput::Sample(t) => {
+                let _ = writeln!(s, "kernel {}", t.kernel);
+                let _ = writeln!(s, "features {}", floats_to_line(&t.features.0));
+                let _ = writeln!(s, "target {} {}", t.target.n, t.target.p);
+                let _ = writeln!(s, "best_speedup {}", fmt_f64(t.best_speedup));
+                let _ = writeln!(s, "baseline_cycles {}", t.baseline_cycles);
+                let _ = writeln!(s, "ref_hit_rate {}", fmt_f64(t.ref_hit_rate));
+            }
+            JobOutput::Model(m) => {
+                let _ = writeln!(s, "alpha {}", floats_to_line(&m.alpha));
+                let _ = writeln!(s, "beta {}", floats_to_line(&m.beta));
+                let _ = writeln!(
+                    s,
+                    "dispersion {} {}",
+                    fmt_f64(m.dispersion_n),
+                    fmt_f64(m.dispersion_p)
+                );
+                let _ = writeln!(s, "samples_used {}", m.samples_used);
+                let _ = writeln!(s, "dropped_features {:?}", m.dropped_features);
+            }
+            JobOutput::Run(r) => {
+                let _ = writeln!(s, "kernel {}", r.kernel);
+                let _ = writeln!(s, "counters {}", counters_to_line(&r.counters));
+                let _ = writeln!(
+                    s,
+                    "energy {}",
+                    floats_to_line(&[
+                        r.energy.alu,
+                        r.energy.l1,
+                        r.energy.l2,
+                        r.energy.dram,
+                        r.energy.leakage
+                    ])
+                );
+                for l in &r.epoch_logs {
+                    let _ = writeln!(
+                        s,
+                        "epoch {} {} {} {} {} {}",
+                        l.cycle,
+                        l.predicted.n,
+                        l.predicted.p,
+                        l.searched.n,
+                        l.searched.p,
+                        u8::from(l.early_out)
+                    );
+                }
+            }
+        }
+        s
+    }
+
+    /// Parse a cache body of the given kind. `None` on any mismatch, in
+    /// which case the job silently re-runs.
+    pub fn from_text(kind: &str, body: &str) -> Option<JobOutput> {
+        let mut lines = body.lines();
+        match kind {
+            "profile" => {
+                let max_n: usize = lines.next()?.strip_prefix("max_n ")?.parse().ok()?;
+                // Range-check everything before touching SpeedupGrid: its
+                // constructor/setter assert their invariants, and a panic
+                // here (a corrupt body that survived the header checks)
+                // would escape the engine's per-job isolation.
+                if max_n == 0 {
+                    return None;
+                }
+                let mut g = SpeedupGrid::new(max_n);
+                for line in lines {
+                    let rest = line.strip_prefix("cell ")?;
+                    let mut it = rest.split_whitespace();
+                    let n: usize = it.next()?.parse().ok()?;
+                    let p: usize = it.next()?.parse().ok()?;
+                    let v = parse_f64(it.next()?)?;
+                    if n == 0 || p == 0 || n > max_n || p > n {
+                        return None;
+                    }
+                    g.set(n, p, v);
+                }
+                Some(JobOutput::Grid(g))
+            }
+            "pbest" => {
+                let v = parse_f64(lines.next()?.strip_prefix("value ")?)?;
+                Some(JobOutput::Scalar(v))
+            }
+            "tuple" => {
+                let mut t = lines.next()?.strip_prefix("tuple ")?.split_whitespace();
+                let n: usize = t.next()?.parse().ok()?;
+                let p: usize = t.next()?.parse().ok()?;
+                let window = counters_from_line(lines.next()?.strip_prefix("window ")?)?;
+                Some(JobOutput::Steady(SteadyState {
+                    tuple: WarpTuple { n, p },
+                    window,
+                }))
+            }
+            "sample" => {
+                let kernel = lines.next()?.strip_prefix("kernel ")?.to_string();
+                let feats = floats_from_line(lines.next()?.strip_prefix("features ")?, N_FEATURES)?;
+                let mut t = lines.next()?.strip_prefix("target ")?.split_whitespace();
+                let n: usize = t.next()?.parse().ok()?;
+                let p: usize = t.next()?.parse().ok()?;
+                let best_speedup = parse_f64(lines.next()?.strip_prefix("best_speedup ")?)?;
+                let baseline_cycles = lines
+                    .next()?
+                    .strip_prefix("baseline_cycles ")?
+                    .parse()
+                    .ok()?;
+                let ref_hit_rate = parse_f64(lines.next()?.strip_prefix("ref_hit_rate ")?)?;
+                let mut features = poise_ml::FeatureVector([0.0; N_FEATURES]);
+                features.0.copy_from_slice(&feats);
+                Some(JobOutput::Sample(TrainingSample {
+                    kernel,
+                    features,
+                    target: WarpTuple { n, p },
+                    best_speedup,
+                    baseline_cycles,
+                    ref_hit_rate,
+                }))
+            }
+            "train" => {
+                let alpha = floats_from_line(lines.next()?.strip_prefix("alpha ")?, N_FEATURES)?;
+                let beta = floats_from_line(lines.next()?.strip_prefix("beta ")?, N_FEATURES)?;
+                let disp = floats_from_line(lines.next()?.strip_prefix("dispersion ")?, 2)?;
+                let samples_used = lines.next()?.strip_prefix("samples_used ")?.parse().ok()?;
+                let dropped = lines.next()?.strip_prefix("dropped_features ")?;
+                let dropped_features: Vec<usize> = dropped
+                    .trim_start_matches('[')
+                    .trim_end_matches(']')
+                    .split(',')
+                    .filter(|t| !t.trim().is_empty())
+                    .map(|t| t.trim().parse().ok())
+                    .collect::<Option<Vec<_>>>()?;
+                let mut m = TrainedModel {
+                    alpha: [0.0; N_FEATURES],
+                    beta: [0.0; N_FEATURES],
+                    dispersion_n: disp[0],
+                    dispersion_p: disp[1],
+                    samples_used,
+                    dropped_features,
+                };
+                m.alpha.copy_from_slice(&alpha);
+                m.beta.copy_from_slice(&beta);
+                Some(JobOutput::Model(m))
+            }
+            "run" => {
+                let kernel = lines.next()?.strip_prefix("kernel ")?.to_string();
+                let counters = counters_from_line(lines.next()?.strip_prefix("counters ")?)?;
+                let e = floats_from_line(lines.next()?.strip_prefix("energy ")?, 5)?;
+                let mut epoch_logs = Vec::new();
+                for line in lines {
+                    let mut it = line.strip_prefix("epoch ")?.split_whitespace();
+                    let cycle: u64 = it.next()?.parse().ok()?;
+                    let pn: usize = it.next()?.parse().ok()?;
+                    let pp: usize = it.next()?.parse().ok()?;
+                    let sn: usize = it.next()?.parse().ok()?;
+                    let sp: usize = it.next()?.parse().ok()?;
+                    let early: u8 = it.next()?.parse().ok()?;
+                    epoch_logs.push(crate::hie::EpochLog {
+                        cycle,
+                        predicted: WarpTuple { n: pn, p: pp },
+                        searched: WarpTuple { n: sn, p: sp },
+                        early_out: early != 0,
+                    });
+                }
+                Some(JobOutput::Run(KernelRun {
+                    kernel,
+                    counters,
+                    energy: EnergyBreakdown {
+                        alu: e[0],
+                        l1: e[1],
+                        l2: e[2],
+                        dram: e[3],
+                        leakage: e[4],
+                    },
+                    epoch_logs,
+                }))
+            }
+            _ => None,
+        }
+    }
+
+    /// Downcast helpers.
+    pub fn as_grid(&self) -> Option<&SpeedupGrid> {
+        match self {
+            JobOutput::Grid(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The Pbest scalar, if that is what this output is.
+    pub fn as_scalar(&self) -> Option<f64> {
+        match self {
+            JobOutput::Scalar(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The steady-state tuple run, if that is what this output is.
+    pub fn as_steady(&self) -> Option<&SteadyState> {
+        match self {
+            JobOutput::Steady(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The training sample, if that is what this output is.
+    pub fn as_sample(&self) -> Option<&TrainingSample> {
+        match self {
+            JobOutput::Sample(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The trained model, if that is what this output is.
+    pub fn as_model(&self) -> Option<&TrainedModel> {
+        match self {
+            JobOutput::Model(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The evaluation run, if that is what this output is.
+    pub fn as_run(&self) -> Option<&KernelRun> {
+        match self {
+            JobOutput::Run(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+/// Resolved results of an engine run, addressed by job spec.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    outputs: HashMap<String, Result<JobOutput, String>>,
+}
+
+impl ResultStore {
+    /// Fetch a job's output; `Err` carries the failure (or "never ran").
+    pub fn get(&self, job: &SimJob) -> Result<&JobOutput, String> {
+        match self.outputs.get(&job.spec_text()) {
+            Some(Ok(o)) => Ok(o),
+            Some(Err(e)) => Err(e.clone()),
+            None => Err(format!("{} was not executed", job.label())),
+        }
+    }
+
+    /// The profile grid for `spec`.
+    pub fn grid(&self, spec: &ProfileSpec) -> Result<&SpeedupGrid, String> {
+        self.get(&SimJob::Profile(spec.clone()))
+            .map(|o| o.as_grid().expect("profile output"))
+    }
+
+    /// The Pbest scalar for `spec`.
+    pub fn pbest(&self, spec: &PbestSpec) -> Result<f64, String> {
+        self.get(&SimJob::Pbest(spec.clone()))
+            .map(|o| o.as_scalar().expect("pbest output"))
+    }
+
+    /// The steady-state run for `spec`.
+    pub fn steady(&self, spec: &TupleRunSpec) -> Result<&SteadyState, String> {
+        self.get(&SimJob::TupleRun(spec.clone()))
+            .map(|o| o.as_steady().expect("tuple output"))
+    }
+
+    /// The training sample for `spec`.
+    pub fn sample(&self, spec: &SampleSpec) -> Result<&TrainingSample, String> {
+        self.get(&SimJob::Sample(spec.clone()))
+            .map(|o| o.as_sample().expect("sample output"))
+    }
+
+    /// The trained model for `spec`.
+    pub fn model(&self, spec: &ModelSpec) -> Result<&TrainedModel, String> {
+        self.get(&SimJob::Train(spec.clone()))
+            .map(|o| o.as_model().expect("train output"))
+    }
+
+    /// The evaluation run for `spec`.
+    pub fn run(&self, spec: &KernelRunSpec) -> Result<&KernelRun, String> {
+        self.get(&SimJob::Run(spec.clone()))
+            .map(|o| o.as_run().expect("run output"))
+    }
+}
+
+/// Outcome summary of one [`Engine::run`].
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Unique jobs in the expanded graph.
+    pub total: usize,
+    /// Jobs actually simulated this run.
+    pub executed: usize,
+    /// Jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Failed jobs as `(label, error)`; dependants of a failed job fail
+    /// with a "dependency failed" error.
+    pub failed: Vec<(String, String)>,
+    /// Wall-clock of the engine run.
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// Cache hit rate over the whole graph, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / self.total as f64
+        }
+    }
+
+    /// One-line summary for logs.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "jobs={} executed={} cache_hits={} failed={} hit_rate={:.1}% wall={:.1}s",
+            self.total,
+            self.executed,
+            self.cache_hits,
+            self.failed.len(),
+            100.0 * self.hit_rate(),
+            self.wall.as_secs_f64()
+        )
+    }
+}
+
+/// The experiment engine: expands, deduplicates, caches and executes
+/// [`SimJob`] graphs. See the module docs.
+pub struct Engine {
+    cache: Cache,
+    /// Re-fit (and re-sample) models even when cached
+    /// (`POISE_RETRAIN=1`).
+    pub retrain: bool,
+    /// Suppress per-job progress lines.
+    pub quiet: bool,
+}
+
+impl Engine {
+    /// An engine whose cache lives under `cache_root`.
+    pub fn new(cache_root: impl Into<PathBuf>) -> Self {
+        Engine {
+            cache: Cache::new(cache_root),
+            retrain: false,
+            quiet: false,
+        }
+    }
+
+    /// An engine honouring the `POISE_RERUN` / `POISE_RETRAIN`
+    /// environment knobs, with its cache under `<results_dir>/cache`.
+    pub fn from_env(results_dir: &std::path::Path) -> Self {
+        let mut e = Engine::new(results_dir.join("cache"));
+        e.cache.bypass = std::env::var("POISE_RERUN").is_ok();
+        e.retrain = std::env::var("POISE_RETRAIN").is_ok();
+        e
+    }
+
+    /// The underlying cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Execute `jobs` (plus their transitive dependencies), deduplicated,
+    /// across the host's cores. Never panics on job failure: failed jobs
+    /// (and their dependants) surface in the report and as `Err` entries
+    /// in the store.
+    pub fn run(&self, jobs: &[SimJob]) -> (ResultStore, RunReport) {
+        let t0 = Instant::now();
+
+        // Expand to the dependency closure, deduplicating by spec.
+        let mut by_spec: HashMap<String, SimJob> = HashMap::new();
+        let mut order: Vec<String> = Vec::new();
+        let mut worklist: Vec<SimJob> = jobs.to_vec();
+        while let Some(job) = worklist.pop() {
+            let spec = job.spec_text();
+            if by_spec.contains_key(&spec) {
+                continue;
+            }
+            worklist.extend(job.deps());
+            by_spec.insert(spec.clone(), job);
+            order.push(spec);
+        }
+        // Stable order: wave, then expansion order (reversed so that the
+        // originally-requested jobs come before late-discovered deps of
+        // the same wave — purely cosmetic, execution is parallel anyway).
+        order.sort_by_key(|s| by_spec[s].wave());
+        let total = order.len();
+
+        let mut store = ResultStore::default();
+        let mut report = RunReport {
+            total,
+            ..RunReport::default()
+        };
+        let done = AtomicUsize::new(0);
+
+        for wave in 0..=2 {
+            let wave_jobs: Vec<&SimJob> = order
+                .iter()
+                .map(|s| &by_spec[s])
+                .filter(|j| j.wave() == wave)
+                .collect();
+            if wave_jobs.is_empty() {
+                continue;
+            }
+            let results: Vec<(String, Result<JobOutput, String>, bool)> =
+                crate::parallel::parallel_map(&wave_jobs, |job| {
+                    let jt = Instant::now();
+                    let (result, was_hit) = self.run_one(job, &store);
+                    let i = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    if !self.quiet {
+                        let status = match (&result, was_hit) {
+                            (Ok(_), true) => "hit".to_string(),
+                            (Ok(_), false) => format!("ran {:.2}s", jt.elapsed().as_secs_f64()),
+                            (Err(e), _) => format!("FAILED: {e}"),
+                        };
+                        eprintln!("[engine] {i}/{total} {} {status}", job.label());
+                    }
+                    (job.spec_text(), result, was_hit)
+                });
+            for (spec, result, was_hit) in results {
+                match &result {
+                    Ok(_) if was_hit => report.cache_hits += 1,
+                    Ok(_) => report.executed += 1,
+                    Err(e) => report.failed.push((by_spec[&spec].label(), e.clone())),
+                }
+                store.outputs.insert(spec, result);
+            }
+        }
+
+        report.wall = t0.elapsed();
+        if !self.quiet {
+            eprintln!("[engine] {}", report.summary_line());
+        }
+        (store, report)
+    }
+
+    /// Run (or load) one job whose dependencies are already in `store`.
+    /// Returns the output and whether it came from the cache.
+    fn run_one(&self, job: &SimJob, store: &ResultStore) -> (Result<JobOutput, String>, bool) {
+        let deps = job.deps();
+        let mut dep_outputs: Vec<&JobOutput> = Vec::with_capacity(deps.len());
+        let mut dep_digests = String::new();
+        for dep in &deps {
+            match store.get(dep) {
+                Ok(o) => {
+                    dep_digests.push_str(&format!("dep {}\n", job.dep_digest(dep, o)));
+                    dep_outputs.push(o);
+                }
+                Err(e) => {
+                    return (
+                        Err(format!("dependency {} failed: {e}", dep.label())),
+                        false,
+                    )
+                }
+            }
+        }
+
+        let spec = job.spec_text();
+        let kind = job.kind();
+        let key = sha256_hex(&format!("{CACHE_VERSION}\n{spec}--deps--\n{dep_digests}"));
+        let skip_cache = self.retrain && matches!(job, SimJob::Train(_) | SimJob::Sample(_));
+        if !skip_cache {
+            if let Some(body) = self.cache.load(kind, &key) {
+                if let Some(out) = JobOutput::from_text(kind, &body) {
+                    return (Ok(out), true);
+                }
+            }
+        }
+
+        let executed = catch_unwind(AssertUnwindSafe(|| job.execute(&dep_outputs)));
+        match executed {
+            Ok(out) => {
+                let body = out.to_text();
+                self.cache.store(kind, &key, &spec, &body);
+                // Canonicalise through the serialisation so a cold run
+                // returns bit-identical values to a later warm run. A
+                // non-round-tripping output is a bug in the job's
+                // serialiser, but it must fail *this job*, not panic
+                // past the engine's isolation and abort the whole run.
+                match JobOutput::from_text(kind, &body) {
+                    Some(canonical) => (Ok(canonical), false),
+                    None => (
+                        Err(format!(
+                            "{} produced output that does not round-trip through its \
+                             serialisation (engine bug)",
+                            job.label()
+                        )),
+                        false,
+                    ),
+                }
+            }
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "job panicked".to_string());
+                (Err(msg), false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::AccessMix;
+
+    fn tmp_engine(tag: &str) -> (Engine, PathBuf) {
+        let dir = std::env::temp_dir().join(format!("poise-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut e = Engine::new(&dir);
+        e.quiet = true;
+        (e, dir)
+    }
+
+    fn tiny_setup() -> Setup {
+        let mut s = Setup::for_tests();
+        s.run_cycles = 10_000;
+        s.eval_grid = GridSpec::diagonal(6);
+        s.profile_window = ProfileWindow {
+            warmup: 200,
+            measure: 800,
+        };
+        s
+    }
+
+    fn kernel(seed: u64) -> KernelSpec {
+        KernelSpec::steady(format!("jk{seed}"), AccessMix::memory_sensitive(), seed)
+    }
+
+    #[test]
+    fn duplicate_jobs_execute_once_and_second_run_hits() {
+        let (engine, dir) = tmp_engine("dedup");
+        let setup = tiny_setup();
+        // The same GTO run requested three times, plus one distinct run.
+        let gto = SimJob::Run(KernelRunSpec::new(&kernel(1), Scheme::Gto, &setup, None));
+        let other = SimJob::Run(KernelRunSpec::new(&kernel(2), Scheme::Gto, &setup, None));
+        let jobs = vec![gto.clone(), gto.clone(), other, gto.clone()];
+        let (store, report) = engine.run(&jobs);
+        assert_eq!(report.total, 2, "duplicates must deduplicate");
+        assert_eq!(report.executed, 2);
+        assert_eq!(report.cache_hits, 0);
+        assert!(store.get(&gto).is_ok());
+        // Second run: everything from cache, zero simulations.
+        let (store2, report2) = engine.run(&jobs);
+        assert_eq!(report2.executed, 0);
+        assert_eq!(report2.cache_hits, 2);
+        let a = store.get(&gto).unwrap().as_run().unwrap();
+        let b = store2.get(&gto).unwrap().as_run().unwrap();
+        assert_eq!(a.counters, b.counters, "cache hit must be bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_driven_run_resolves_its_dependency() {
+        let (engine, dir) = tmp_engine("deps");
+        let setup = tiny_setup();
+        let job = SimJob::Run(KernelRunSpec::new(&kernel(3), Scheme::Swl, &setup, None));
+        let (store, report) = engine.run(std::slice::from_ref(&job));
+        // The profile dependency was discovered and executed too.
+        assert_eq!(report.total, 2);
+        assert_eq!(report.executed, 2);
+        let run = store.get(&job).unwrap().as_run().unwrap();
+        assert!(run.counters.instructions > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_dependants_fail_gracefully() {
+        let (engine, dir) = tmp_engine("panic");
+        // An invalid kernel (no phases) makes the profiler panic.
+        let bad = KernelSpec {
+            name: "bad".into(),
+            warps_per_scheduler: 4,
+            phases: Vec::new(),
+            trace_len: None,
+            seed: 0,
+        };
+        let setup = tiny_setup();
+        let bad_job = SimJob::Run(KernelRunSpec::new(&bad, Scheme::Swl, &setup, None));
+        let good_job = SimJob::Run(KernelRunSpec::new(&kernel(4), Scheme::Gto, &setup, None));
+        let (store, report) = engine.run(&[bad_job.clone(), good_job.clone()]);
+        // The profile panics; the dependant run fails with a dependency
+        // error; the unrelated job still completes.
+        assert_eq!(report.failed.len(), 2);
+        assert!(store.get(&good_job).is_ok());
+        let err = store.get(&bad_job).unwrap_err();
+        assert!(err.contains("dependency"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_perturbations_miss_the_cache() {
+        let (engine, dir) = tmp_engine("perturb");
+        let setup = tiny_setup();
+        let base = KernelRunSpec::new(&kernel(5), Scheme::Gto, &setup, None);
+        let (_, r0) = engine.run(&[SimJob::Run(base.clone())]);
+        assert_eq!(r0.executed, 1);
+
+        // Each perturbation of the job spec must be a miss.
+        let mut cycles = base.clone();
+        cycles.run_cycles += 1;
+        let mut cfg = base.clone();
+        cfg.cfg.l1_mshrs += 1;
+        let mut kern = base.clone();
+        kern.kernel.seed += 1;
+        let mut sched = base.clone();
+        sched.scheme = Scheme::RandomRestart;
+        sched.t_period = Some(5_000);
+        sched.rr_seeds = vec![1];
+        for (i, variant) in [cycles, cfg, kern, sched].into_iter().enumerate() {
+            let (_, r) = engine.run(&[SimJob::Run(variant)]);
+            assert_eq!(r.executed, 1, "perturbation {i} should re-run");
+        }
+        // And the unperturbed spec still hits.
+        let (_, r1) = engine.run(&[SimJob::Run(base)]);
+        assert_eq!((r1.executed, r1.cache_hits), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_re_run_silently() {
+        let (engine, dir) = tmp_engine("corrupt");
+        let setup = tiny_setup();
+        let job = SimJob::Run(KernelRunSpec::new(&kernel(6), Scheme::Gto, &setup, None));
+        let (store, _) = engine.run(std::slice::from_ref(&job));
+        let want = store.get(&job).unwrap().as_run().unwrap().counters;
+        // Truncate / garble every cache file.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let p = entry.unwrap().path();
+            std::fs::write(&p, "# poise job cache v1\ngarbage").unwrap();
+        }
+        let (store2, r2) = engine.run(std::slice::from_ref(&job));
+        assert_eq!(r2.executed, 1, "corrupt entry must re-run, not panic");
+        assert_eq!(
+            store2.get(&job).unwrap().as_run().unwrap().counters,
+            want,
+            "re-run must reproduce the result"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outputs_round_trip_through_text() {
+        // Grid.
+        let mut g = SpeedupGrid::new(4);
+        g.set(3, 2, 1.23456789012345);
+        g.set(4, 4, 1.0);
+        let t = JobOutput::Grid(g.clone()).to_text();
+        let back = JobOutput::from_text("profile", &t).unwrap();
+        assert_eq!(back.as_grid().unwrap().get(3, 2), g.get(3, 2));
+        // Model.
+        let m = TrainedModel {
+            alpha: [0.1, -0.2, 0.3, 0.0, 1.5, -2.0, 0.004, 1.6],
+            beta: [3.7, 0.48, -6.3, 10.3, -6.5, -0.9, 0.08, -2.1],
+            dispersion_n: 0.12,
+            dispersion_p: 0.34,
+            samples_used: 42,
+            dropped_features: vec![2, 5],
+        };
+        let t = JobOutput::Model(m.clone()).to_text();
+        let back = JobOutput::from_text("train", &t).unwrap();
+        let m2 = back.as_model().unwrap();
+        assert_eq!(m.alpha, m2.alpha);
+        assert_eq!(m.beta, m2.beta);
+        assert_eq!(m.dropped_features, m2.dropped_features);
+        // Run with epoch logs.
+        let r = KernelRun {
+            kernel: "k#1".into(),
+            counters: Counters {
+                cycles: 100,
+                instructions: 42,
+                ..Counters::default()
+            },
+            energy: EnergyBreakdown {
+                alu: 1.0,
+                l1: 2.0,
+                l2: 3.0,
+                dram: 4.5,
+                leakage: 6.25,
+            },
+            epoch_logs: vec![crate::hie::EpochLog {
+                cycle: 7,
+                predicted: WarpTuple { n: 8, p: 2 },
+                searched: WarpTuple { n: 6, p: 3 },
+                early_out: false,
+            }],
+        };
+        let t = JobOutput::Run(r.clone()).to_text();
+        let back = JobOutput::from_text("run", &t).unwrap();
+        let r2 = back.as_run().unwrap();
+        assert_eq!(r.counters, r2.counters);
+        assert_eq!(r.epoch_logs, r2.epoch_logs);
+        assert_eq!(r.energy, r2.energy);
+        // Truncated bodies parse to None, not panic.
+        assert!(JobOutput::from_text("run", "kernel k\n").is_none());
+        assert!(JobOutput::from_text("train", "alpha 1 2\n").is_none());
+        // Out-of-range grid cells (corrupt bodies) must be rejected
+        // before reaching SpeedupGrid's asserting constructor/setter —
+        // a panic here would escape the engine's per-job isolation.
+        assert!(JobOutput::from_text("profile", "max_n 0\n").is_none());
+        assert!(JobOutput::from_text("profile", "max_n 4\ncell 0 0 1.0\n").is_none());
+        assert!(JobOutput::from_text("profile", "max_n 4\ncell 3 0 1.0\n").is_none());
+        assert!(JobOutput::from_text("profile", "max_n 4\ncell 5 1 1.0\n").is_none());
+    }
+
+    #[test]
+    fn model_spec_changes_invalidate_poise_runs_only_via_digest() {
+        // Two model specs differing in a training kernel produce
+        // different run spec texts (the model is referenced by spec
+        // hash), so the Poise run re-simulates.
+        let setup = tiny_setup();
+        let mut ms = ModelSpec::default_training(&setup);
+        ms.kernels.truncate(2);
+        let run_a = SimJob::Run(KernelRunSpec::new(
+            &kernel(7),
+            Scheme::Poise,
+            &setup,
+            Some(&ms),
+        ));
+        let mut ms2 = ms.clone();
+        ms2.kernels[0].seed += 1;
+        let run_b = SimJob::Run(KernelRunSpec::new(
+            &kernel(7),
+            Scheme::Poise,
+            &setup,
+            Some(&ms2),
+        ));
+        assert_ne!(run_a.spec_text(), run_b.spec_text());
+        // A GTO run spec is independent of the model entirely.
+        let gto_a = SimJob::Run(KernelRunSpec::new(&kernel(7), Scheme::Gto, &setup, None));
+        let gto_b = SimJob::Run(KernelRunSpec::new(&kernel(7), Scheme::Gto, &setup, None));
+        assert_eq!(gto_a.spec_text(), gto_b.spec_text());
+    }
+}

@@ -19,6 +19,9 @@
 //!   training suite, score targets (Eq. 12), fit the regressions;
 //! * [`experiment`] — shared runners used by the figure/table regenerators
 //!   in the `poise-bench` crate;
+//! * [`jobs`] — the unified experiment engine: typed simulation jobs over
+//!   a deduplicating in-process work queue, with content-addressed result
+//!   caching in [`cache`] (`results/cache/`);
 //! * [`hardware_cost`] — the §VII-I storage-overhead accounting
 //!   (≈ 41 bytes per SM).
 //!
@@ -36,9 +39,11 @@
 //! println!("speedup: {:.2}x", poise.ipc / gto.ipc);
 //! ```
 
+pub mod cache;
 pub mod experiment;
 pub mod hardware_cost;
 pub mod hie;
+pub mod jobs;
 pub mod parallel;
 pub mod params;
 pub mod policies;
@@ -47,5 +52,6 @@ pub mod train;
 
 pub use experiment::{BenchResult, Scheme, Setup};
 pub use hie::{EpochLog, PoiseController};
+pub use jobs::{Engine, JobOutput, ResultStore, RunReport, SimJob};
 pub use params::PoiseParams;
 pub use profiler::{GridSpec, ProfileWindow};

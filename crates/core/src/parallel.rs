@@ -3,10 +3,15 @@
 //! Simulation runs are embarrassingly parallel (each owns its `Gpu`), so a
 //! work queue over [`std::thread::scope`] is all that is needed: no
 //! external dependency, panics propagate on join, and results keep the
-//! input order. Nested use (e.g. a parallel benchmark run whose kernels
-//! each profile a grid in parallel) is safe — each level caps its workers
-//! at the host parallelism, and the leaf tasks are multi-millisecond
-//! simulations, so modest oversubscription only helps latency hiding.
+//! input order. Nested use (e.g. the job engine of [`crate::jobs`]
+//! fanning a wave of jobs whose grid profiles each fan their points in
+//! parallel) is safe — each level caps its workers at the host
+//! parallelism, and the leaf tasks are multi-millisecond simulations, so
+//! modest oversubscription only helps latency hiding.
+//!
+//! Callers that need per-task failure isolation (the job engine) wrap
+//! `f` in `catch_unwind` themselves; `parallel_map` keeps the strict
+//! propagate-on-join contract so plain experiment fan-outs fail fast.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -20,11 +20,25 @@ pub fn collect_sample(
     window: ProfileWindow,
     params: &PoiseParams,
 ) -> TrainingSample {
+    collect_sample_scored(spec, cfg, grid, window, &params.scoring)
+}
+
+/// [`collect_sample`] with the scoring weights alone — the only
+/// [`PoiseParams`] field sampling reads. The job engine keys sample
+/// caches on exactly this argument list, so parameter studies that leave
+/// the scoring untouched (e.g. the Fig. 11 stride sweep) share samples.
+pub fn collect_sample_scored(
+    spec: &KernelSpec,
+    cfg: &GpuConfig,
+    grid: &GridSpec,
+    window: ProfileWindow,
+    scoring: &poise_ml::ScoringWeights,
+) -> TrainingSample {
     let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
     let profile = profile_grid(spec, cfg, grid, window);
 
     let (target, _) = profile
-        .best_scored(&params.scoring)
+        .best_scored(scoring)
         .unwrap_or((WarpTuple::max(max_warps), 1.0));
     let best_speedup = profile.best_performance().map(|(_, s)| s).unwrap_or(1.0);
     let scaled = scoring::scale_tuple(target, max_warps, cfg.max_warps_per_scheduler);
@@ -84,16 +98,26 @@ pub fn train_on_kernels(
         setup.profile_window,
         &setup.params,
     );
+    fit_samples(&samples, setup.profile_window, drop_features)
+}
+
+/// Fit a model on already-collected samples, with the admission
+/// thresholds interpreted against the profiling window (and relaxed when
+/// the population is too small for the paper's defaults). Shared by
+/// [`train_on_kernels`] and the job engine, which caches sample
+/// collection and fitting separately.
+pub fn fit_samples(
+    samples: &[TrainingSample],
+    window: ProfileWindow,
+    drop_features: &[usize],
+) -> TrainedModel {
     let thresholds = TrainingThresholds {
         // The profiling windows are fixed-length; the cycle threshold is
         // interpreted against the window length.
-        min_cycles: setup
-            .profile_window
-            .measure
-            .min(TrainingThresholds::default().min_cycles),
+        min_cycles: window.measure.min(TrainingThresholds::default().min_cycles),
         ..TrainingThresholds::default()
     };
-    match TrainedModel::fit(&samples, &thresholds, drop_features) {
+    match TrainedModel::fit(samples, &thresholds, drop_features) {
         Ok(m) => m,
         // Small training populations can fall below the admission
         // thresholds (which assume the paper's 277-kernel set); relax them
@@ -104,7 +128,7 @@ pub fn train_on_kernels(
                 min_cycles: 0,
                 min_ref_hit_rate: -1.0,
             };
-            TrainedModel::fit(&samples, &relaxed, drop_features)
+            TrainedModel::fit(samples, &relaxed, drop_features)
                 .expect("relaxed training fit must succeed")
         }
     }

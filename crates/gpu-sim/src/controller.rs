@@ -42,11 +42,33 @@ pub struct ControlCtx<'a> {
     pub kernel_warps: usize,
     pub(crate) sms: &'a mut [Sm],
     pub(crate) stats: &'a mut GpuStats,
+    /// True when this `on_cycle` call falls strictly *between* the
+    /// controller's declared `next_wake` barriers, i.e. inside a span the
+    /// controller promised to treat as a pure no-op. Debug builds of the
+    /// cycle-stepped loops set this so every observation/actuation method
+    /// below can assert the contract; the fast-forwarding loops never get
+    /// here (they skip the span entirely), which is exactly why a
+    /// violation must be caught in the stepped loops.
+    pub(crate) in_declared_quiet_span: bool,
 }
 
 impl<'a> ControlCtx<'a> {
+    /// Assert that the controller is not acting inside a span it declared
+    /// quiet via [`Controller::next_wake`]. Debug builds only.
+    #[inline]
+    fn assert_awake(&self, what: &str) {
+        debug_assert!(
+            !self.in_declared_quiet_span,
+            "next_wake contract violation: controller called ControlCtx::{what} at cycle {} \
+             inside a span it declared as a pure no-op; the fast-forwarding step modes would \
+             skip this cycle and desynchronise from the reference loop",
+            self.cycle
+        );
+    }
+
     /// Install a warp-tuple on every scheduler of every SM.
     pub fn set_tuple_all(&mut self, t: WarpTuple) {
+        self.assert_awake("set_tuple_all");
         let t = WarpTuple::new(t.n, t.p, self.kernel_warps);
         for sm in self.sms.iter_mut() {
             sm.set_tuple(t);
@@ -65,22 +87,26 @@ impl<'a> ControlCtx<'a> {
 
     /// Sample the current counter window.
     pub fn window(&self) -> WindowSample {
+        self.assert_awake("window");
         self.stats.window_sample()
     }
 
     /// Reset the counter window (totals are unaffected).
     pub fn reset_window(&mut self) {
+        self.assert_awake("reset_window");
         self.stats.reset_window();
     }
 
     /// Cumulative counters since simulation start.
     pub fn totals(&self) -> &crate::stats::Counters {
+        self.assert_awake("totals");
         &self.stats.total
     }
 
     /// Aggregate per-PC load statistics across all SMs (zeros unless
     /// per-PC tracking is enabled in the configuration).
     pub fn pc_stats(&self) -> Vec<PcStats> {
+        self.assert_awake("pc_stats");
         let n = self
             .sms
             .first()
@@ -99,6 +125,7 @@ impl<'a> ControlCtx<'a> {
 
     /// Reset per-PC statistics on every SM.
     pub fn reset_pc_stats(&mut self) {
+        self.assert_awake("reset_pc_stats");
         for sm in self.sms.iter_mut() {
             sm.l1.reset_pc_stats();
         }
@@ -106,6 +133,7 @@ impl<'a> ControlCtx<'a> {
 
     /// Force (or clear) L1 bypass for a load PC on every SM (APCM-style).
     pub fn set_bypass_pc(&mut self, pc: usize, bypass: bool) {
+        self.assert_awake("set_bypass_pc");
         for sm in self.sms.iter_mut() {
             sm.l1.set_bypass_pc(pc, bypass);
         }

@@ -329,6 +329,7 @@ impl Gpu {
             kernel_warps: self.kernel_warps,
             sms: &mut self.sms,
             stats: &mut self.stats,
+            in_declared_quiet_span: false,
         }
     }
 
@@ -359,6 +360,15 @@ impl Gpu {
     /// the optional globally-stalled skip in between).
     fn run_stepped(&mut self, controller: &mut dyn Controller, end: u64) -> bool {
         let fast_forward = self.cfg.step_mode == StepMode::EventDriven;
+        // Debug builds track the controller's declared `next_wake` so the
+        // `ControlCtx` methods can assert the quiet-span contract: an
+        // `on_cycle(t)` with `t` strictly before the declared wake (or
+        // after a declared `None`) must be a pure no-op. The stepped
+        // loops are the only place a violation is *observable* — the
+        // fast-forwarding loops skip those cycles outright — so this is
+        // where third-party controllers get caught before the
+        // differential suite has to diagnose a divergence.
+        let mut declared_wake: Option<Option<u64>> = None;
         while self.cycle < end {
             // Deliver all events due at or before this cycle.
             for sm_idx in 0..self.sms.len() {
@@ -372,7 +382,16 @@ impl Gpu {
             }
             self.cycle += 1;
             self.stats.bump(|c| c.cycles += 1);
-            controller.on_cycle(&mut self.control_ctx());
+            let mut ctx = self.control_ctx();
+            ctx.in_declared_quiet_span = match declared_wake {
+                Some(None) => true,
+                Some(Some(w)) => ctx.cycle < w,
+                None => false,
+            };
+            controller.on_cycle(&mut ctx);
+            if cfg!(debug_assertions) {
+                declared_wake = Some(controller.next_wake(self.cycle));
+            }
             // Exact drain check: O(SMs × schedulers) with the incremental
             // liveness counters, so the completion cycle is precise (the
             // seed's interval-256 check overcounted up to 255 cycles).
@@ -883,6 +902,49 @@ mod tests {
 
         fn next_wake(&self, now: u64) -> Option<u64> {
             Some((now / self.period + 1) * self.period)
+        }
+    }
+
+    /// A broken controller: declares a sparse wake cadence but samples
+    /// the window on every cycle anyway.
+    struct ContractViolator;
+
+    impl Controller for ContractViolator {
+        fn on_cycle(&mut self, ctx: &mut ControlCtx) {
+            let _ = ctx.window(); // illegal between declared wakes
+        }
+
+        fn next_wake(&self, now: u64) -> Option<u64> {
+            Some(now + 1_000)
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "next_wake contract violation")]
+    fn stepped_loop_catches_next_wake_contract_violations() {
+        let kernel = UniformKernel::streaming(2, 1);
+        let mut cfg = GpuConfig::scaled(1);
+        cfg.step_mode = StepMode::Reference;
+        let mut gpu = Gpu::new(cfg, &kernel);
+        gpu.run(&mut ContractViolator, 5_000);
+    }
+
+    #[test]
+    fn compliant_controllers_pass_the_contract_assertion() {
+        // The periodic Tick controller declares its cadence correctly and
+        // must run clean under the debug assertion in every stepped mode.
+        for mode in [StepMode::Reference, StepMode::EventDriven] {
+            let kernel = UniformKernel::streaming(2, 1);
+            let mut cfg = GpuConfig::scaled(1);
+            cfg.step_mode = mode;
+            let mut gpu = Gpu::new(cfg, &kernel);
+            let mut ctrl = Tick {
+                period: 500,
+                fired_at: Vec::new(),
+            };
+            gpu.run(&mut ctrl, 5_000);
+            assert!(!ctrl.fired_at.is_empty());
         }
     }
 

@@ -39,7 +39,7 @@ fn win() -> ProfileWindow {
     }
 }
 
-fn ii_kernel() -> workloads::KernelSpec {
+fn ii_kernel() -> workloads::Workload {
     evaluation_suite()
         .into_iter()
         .find(|b| b.name == "ii")
@@ -60,7 +60,7 @@ fn fig04_characterisation(c: &mut Criterion) {
     let s = tiny_setup();
     let mut cfg = s.cfg.clone();
     cfg.track_reuse_distance = true;
-    let k = fig4_kernels().remove(0);
+    let k: workloads::Workload = fig4_kernels().remove(0).into();
     c.bench_function("fig04/hit-rate-decomposition", |b| {
         b.iter(|| run_tuple(&k, &cfg, WarpTuple::new(24, 1, 24), win()))
     });

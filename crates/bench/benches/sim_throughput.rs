@@ -189,7 +189,8 @@ struct GridResult {
 }
 
 fn profile_grid_end_to_end(opts: &Opts) -> GridResult {
-    let spec = KernelSpec::steady("bench-grid", AccessMix::memory_sensitive(), 13);
+    let spec: workloads::Workload =
+        KernelSpec::steady("bench-grid", AccessMix::memory_sensitive(), 13).into();
     let window = ProfileWindow::default();
     let mut seconds = [0.0; 3];
     let mut points = 0;
@@ -239,11 +240,12 @@ fn engine_end_to_end() -> EngineResult {
     let setup = Setup::for_tests();
     let mut jobs = Vec::new();
     for i in 0..4 {
-        let spec = KernelSpec::steady(
+        let spec: workloads::Workload = KernelSpec::steady(
             format!("engine-bench-{i}"),
             AccessMix::memory_sensitive(),
             i,
-        );
+        )
+        .into();
         for s in [Scheme::Gto, Scheme::Swl] {
             jobs.push(SimJob::Run(KernelRunSpec::new(&spec, s, &setup, None)));
         }

@@ -1,0 +1,200 @@
+//! Record the committed trace workloads under `traces/` — one per
+//! synthetic kernel class (streaming, hot-set, shared-heavy,
+//! compute-bound) — and verify the record→replay differential.
+//!
+//! ```sh
+//! # (Re)generate the shipped traces:
+//! cargo run --release -p poise-bench --bin record_traces
+//!
+//! # Verify the replay differential without touching the filesystem:
+//! # record each class in memory and require bit-identical counters and
+//! # epoch logs vs the live generator for all 7 schemes under both the
+//! # per-SM and the cycle-stepped reference loop.
+//! cargo run --release -p poise-bench --bin record_traces -- --check
+//! ```
+//!
+//! Flags: `--out <dir>` (default the workspace `traces/`),
+//! `--ops <n>` per-warp recording horizon (default 2600), `--sms <n>`
+//! recorded SM count (default 1; replay folds larger machines onto the
+//! recorded geometry modulo), `--check` as above.
+//!
+//! The shipped traces are recorded at 1 SM × 2 schedulers × 8 warps so
+//! the files stay reviewably small; CI runs `--check` at every commit,
+//! and `crates/core/tests/trace_replay.rs` pins the same differential
+//! per-controller in the tier-1 suite.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gpu_sim::{GpuConfig, StepMode, WarpTuple};
+use poise::experiment::{run_kernel_configured, ProfileTuples, Scheme};
+use poise::params::PoiseParams;
+use poise_ml::{TrainedModel, N_FEATURES};
+use workloads::{record_kernel, AccessMix, KernelSpec, TraceRef, Workload};
+
+/// The four shipped kernel classes.
+fn trace_kernels() -> Vec<(&'static str, KernelSpec)> {
+    let mut streaming = AccessMix::memory_sensitive();
+    streaming.stream_frac = 0.6;
+    streaming.hot_frac = 0.2;
+    let hotset = AccessMix::memory_sensitive();
+    let mut shared = AccessMix::memory_sensitive();
+    shared.shared_frac = 0.55;
+    shared.shared_lines = 72;
+    shared.hot_frac = 0.4;
+    let compute = AccessMix::compute_intensive();
+    vec![
+        (
+            "streaming",
+            KernelSpec::steady("trace-streaming", streaming, 71).with_warps(8),
+        ),
+        (
+            "hotset",
+            KernelSpec::steady("trace-hotset", hotset, 72).with_warps(8),
+        ),
+        (
+            "shared",
+            KernelSpec::steady("trace-shared", shared, 73).with_warps(8),
+        ),
+        (
+            "compute",
+            KernelSpec::steady("trace-compute", compute, 74).with_warps(8),
+        ),
+    ]
+}
+
+fn const_model(n: f64, p: f64) -> TrainedModel {
+    let mut alpha = [0.0; N_FEATURES];
+    let mut beta = [0.0; N_FEATURES];
+    alpha[N_FEATURES - 1] = n.ln();
+    beta[N_FEATURES - 1] = p.ln();
+    TrainedModel {
+        alpha,
+        beta,
+        dispersion_n: 0.1,
+        dispersion_p: 0.1,
+        samples_used: 0,
+        dropped_features: Vec::new(),
+    }
+}
+
+/// Run one workload under every scheme, in both step modes, and return
+/// the outcomes in a comparable form.
+fn run_all_schemes(workload: &Workload, base_cfg: &GpuConfig, budget: u64) -> Vec<String> {
+    let model = const_model(6.0, 2.0);
+    let tuples = ProfileTuples {
+        swl: WarpTuple::new(4, 4, 24),
+        best: WarpTuple::new(6, 2, 24),
+    };
+    let params = PoiseParams::scaled_down(20);
+    let mut out = Vec::new();
+    for mode in [StepMode::PerSm, StepMode::Reference] {
+        let mut cfg = base_cfg.clone();
+        cfg.step_mode = mode;
+        cfg.track_pc_stats = true; // uniform config so APCM is comparable
+        for scheme in [
+            Scheme::Gto,
+            Scheme::Swl,
+            Scheme::PcalSwl,
+            Scheme::Poise,
+            Scheme::StaticBest,
+            Scheme::RandomRestart,
+            Scheme::Apcm,
+        ] {
+            let run = run_kernel_configured(
+                workload,
+                scheme,
+                Some(&model),
+                Some(tuples),
+                &cfg,
+                &params,
+                &[11, 23],
+                budget,
+            );
+            out.push(format!(
+                "{mode:?}/{} counters={:?} epochs={:?}",
+                scheme.name(),
+                run.counters,
+                run.epoch_logs
+            ));
+        }
+    }
+    out
+}
+
+fn check() -> ExitCode {
+    let cfg = GpuConfig::scaled(1);
+    let budget = 15_000;
+    let mut failures = 0;
+    for (class, spec) in trace_kernels() {
+        let data = record_kernel(
+            &spec,
+            &spec.name,
+            1,
+            cfg.schedulers_per_sm,
+            (2 * budget + 8) as usize,
+        );
+        let replay = Workload::from(TraceRef::from_data(data));
+        let live = run_all_schemes(&Workload::from(spec), &cfg, budget);
+        let replayed = run_all_schemes(&replay, &cfg, budget);
+        let diverged = live
+            .iter()
+            .zip(&replayed)
+            .filter(|(a, b)| a != b)
+            .map(|(a, _)| a.split(' ').next().unwrap_or("?").to_string())
+            .collect::<Vec<_>>();
+        if diverged.is_empty() {
+            println!("[record_traces] {class}: replay identical across 7 schemes x 2 step modes");
+        } else {
+            eprintln!("[record_traces] {class}: replay DIVERGED at {diverged:?}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("[record_traces] --check FAILED for {failures} class(es)");
+        ExitCode::FAILURE
+    } else {
+        println!("[record_traces] --check passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_val = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if args.iter().any(|a| a == "--check") {
+        return check();
+    }
+    let out: PathBuf = flag_val("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(poise_bench::traces_dir);
+    let ops: usize = flag_val("--ops")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_600);
+    let sms: usize = flag_val("--sms").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let cfg = GpuConfig::scaled(1);
+
+    for (class, spec) in trace_kernels() {
+        let data = record_kernel(&spec, &spec.name, sms, cfg.schedulers_per_sm, ops);
+        let path = out.join(format!("{class}.trace"));
+        match TraceRef::write(&data, &path) {
+            Ok(t) => println!(
+                "[record_traces] wrote {} ({} warps x <= {ops} ops, {} instrs, digest {})",
+                path.display(),
+                sms * cfg.schedulers_per_sm * data.warps_per_scheduler,
+                data.total_instructions(),
+                &t.digest[..12],
+            ),
+            Err(e) => {
+                eprintln!("[record_traces] {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

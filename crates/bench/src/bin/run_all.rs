@@ -9,7 +9,8 @@
 //! results — replacing the old 21-process serial harness.
 //!
 //! Flags: `--keep-going` (render every figure even after failures, then
-//! summarise), `--only <a,b,...>`, `--list`.
+//! summarise), `--only <a,b,...>`, `--list`, `--gc` (prune cache entries
+//! the current job set no longer references).
 //!
 //! Effort knobs (environment): `POISE_SMS` (default 8),
 //! `POISE_KERNELS_CAP` (default 3), `POISE_TRAIN_CAP` (default 8),

@@ -1,0 +1,11 @@
+//! Run every scheduling scheme over the recorded trace workloads under
+//! `traces/` (see `record_traces` for regenerating them) and tabulate
+//! IPC normalised to GTO per trace. Thin shim over the `trace_eval`
+//! figure; shares the experiment engine's content-addressed cache, in
+//! which each trace's jobs are keyed by the trace file's digest.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("trace_eval")
+}

@@ -27,7 +27,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gpu_sim::{SetIndexing, WarpTuple};
+use gpu_sim::{KernelSource, SetIndexing, WarpTuple};
 use poise::experiment::{self, arithmetic_mean, harmonic_mean, Scheme, Setup};
 use poise::jobs::{
     Engine, KernelRunSpec, ModelSpec, PbestSpec, ProfileSpec, ResultStore, SampleSpec, SimJob,
@@ -37,8 +37,8 @@ use poise::policies::swl_tuple_from_grid;
 use poise::profiler::{GridSpec, ProfileWindow};
 use poise_ml::{ScoringWeights, SpeedupGrid, TrainingSample};
 use workloads::{
-    compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite, Benchmark,
-    KernelSpec,
+    compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite, Benchmark, TraceRef,
+    Workload,
 };
 
 use crate::{
@@ -53,6 +53,15 @@ pub struct FigCtx {
     pub setup: Setup,
     /// The one-time offline training run all Poise figures share.
     pub model: ModelSpec,
+    /// The trace workloads under [`crate::traces_dir`], loaded once at
+    /// context construction so the `trace_eval` jobs and renderer see
+    /// the same snapshot (and each file is read and digested once).
+    pub traces: Vec<Workload>,
+    /// Load failures from the traces directory (`file: error`). The
+    /// loadable traces still declare jobs, but `trace_eval`'s render
+    /// fails while any trace is unreadable — a corrupt committed trace
+    /// must fail the run (and veto `--gc`), not silently shrink it.
+    pub trace_errors: Vec<String>,
 }
 
 impl FigCtx {
@@ -60,7 +69,13 @@ impl FigCtx {
     pub fn from_env() -> Self {
         let setup = crate::setup();
         let model = ModelSpec::default_training(&setup);
-        FigCtx { setup, model }
+        let (traces, trace_errors) = load_trace_workloads();
+        FigCtx {
+            setup,
+            model,
+            traces,
+            trace_errors,
+        }
     }
 }
 
@@ -104,6 +119,7 @@ pub fn registry() -> Vec<Figure> {
             render_prediction_error
         ),
         fig!("fig16_insensitive", jobs_fig16, render_fig16),
+        fig!("trace_eval", jobs_trace_eval, render_trace_eval),
         fig!("fig15_alternatives", jobs_fig15, render_fig15),
         fig!("fig17_case_study", jobs_fig17, render_fig17),
         fig!("fig11_stride", jobs_fig11, render_fig11),
@@ -358,7 +374,7 @@ fn render_table2(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 4 — L1 hit-rate decomposition.
 // ---------------------------------------------------------------------------
 
-fn fig04_specs(ctx: &FigCtx) -> Vec<(KernelSpec, TupleRunSpec, TupleRunSpec)> {
+fn fig04_specs(ctx: &FigCtx) -> Vec<(Workload, TupleRunSpec, TupleRunSpec)> {
     let mut cfg = ctx.setup.cfg.clone();
     cfg.track_reuse_distance = true;
     let window = ProfileWindow {
@@ -367,15 +383,16 @@ fn fig04_specs(ctx: &FigCtx) -> Vec<(KernelSpec, TupleRunSpec, TupleRunSpec)> {
     };
     fig4_kernels()
         .into_iter()
+        .map(Workload::from)
         .map(|kernel| {
             let base = TupleRunSpec {
-                kernel: kernel.clone(),
+                workload: kernel.clone(),
                 cfg: cfg.clone(),
                 tuple: WarpTuple::max(24),
                 window,
             };
             let reduced = TupleRunSpec {
-                kernel: kernel.clone(),
+                workload: kernel.clone(),
                 cfg: cfg.clone(),
                 tuple: WarpTuple::new(24, 1, 24),
                 window,
@@ -399,7 +416,7 @@ fn render_fig04(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
         let r = &store.steady(&reduced_spec)?.window;
         let hits = (b.l1_hits).max(1) as f64;
         rows.push(vec![
-            kernel.name.clone(),
+            kernel.name().to_string(),
             cell(r.polluting_hit_rate(), 3),
             cell(r.non_polluting_hit_rate(), 3),
             cell(b.l1_hit_rate(), 3),
@@ -475,9 +492,9 @@ fn fig02_spec(ctx: &FigCtx) -> ProfileSpec {
         .setup
         .cfg
         .max_warps_per_scheduler
-        .min(kernel.warps_per_scheduler);
+        .min(kernel.warps_per_scheduler());
     ProfileSpec {
-        kernel,
+        workload: kernel,
         cfg: ctx.setup.cfg.clone(),
         grid: GridSpec::full(max_n),
         window: ctx.setup.profile_window,
@@ -492,13 +509,13 @@ fn render_fig02(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
     let spec = fig02_spec(ctx);
     let grid = store.grid(&spec)?;
     let max_n = spec
-        .kernel
-        .warps_per_scheduler
+        .workload
+        .warps_per_scheduler()
         .min(ctx.setup.cfg.max_warps_per_scheduler);
 
     println!(
         "# Fig. 2a — {{N, p}} solution space of {}",
-        spec.kernel.name
+        spec.workload.name()
     );
     print!("{}", render_grid(grid));
     let ccws = swl_tuple_from_grid(grid, max_n);
@@ -554,9 +571,9 @@ fn fig05_specs(ctx: &FigCtx) -> Vec<ProfileSpec> {
                 .setup
                 .cfg
                 .max_warps_per_scheduler
-                .min(kernel.warps_per_scheduler);
+                .min(kernel.warps_per_scheduler());
             ProfileSpec {
-                kernel: kernel.clone(),
+                workload: kernel.clone(),
                 cfg: ctx.setup.cfg.clone(),
                 grid: GridSpec::full(max_n),
                 window: ctx.setup.profile_window,
@@ -580,7 +597,7 @@ fn render_fig05(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
             .ok_or("unscored")?;
         let score_s = grid.get(score_t.n, score_t.p).unwrap_or(1.0);
         rows.push(vec![
-            spec.kernel.name.clone(),
+            spec.workload.name().to_string(),
             format!("{perf_t}"),
             cell(perf_s, 3),
             format!("{score_t}"),
@@ -588,7 +605,7 @@ fn render_fig05(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
         ]);
         grids.push_str(&format!(
             "== {} ==\n{}",
-            spec.kernel.name,
+            spec.workload.name(),
             render_grid(grid)
         ));
     }
@@ -613,7 +630,7 @@ fn table3_specs(ctx: &FigCtx) -> Vec<(&'static str, Benchmark, PbestSpec)> {
     for (set, suite) in [("train", training_suite()), ("eval", evaluation_suite())] {
         for bench in suite {
             let spec = PbestSpec {
-                kernel: bench.kernels[0].clone(),
+                workload: bench.kernels[0].clone(),
                 cfg: ctx.setup.cfg.clone(),
                 window,
             };
@@ -836,7 +853,7 @@ fn prediction_error_specs(ctx: &FigCtx) -> Vec<SampleSpec> {
         .iter()
         .flat_map(|b| b.capped(2).kernels)
         .map(|kernel| SampleSpec {
-            kernel,
+            workload: kernel,
             cfg: ctx.setup.cfg.clone(),
             grid: ctx.setup.eval_grid.clone(),
             window: ctx.setup.profile_window,
@@ -890,7 +907,7 @@ fn jobs_fig16(ctx: &FigCtx) -> Vec<SimJob> {
             Some(&ctx.model),
         ));
         jobs.push(SimJob::Pbest(PbestSpec {
-            kernel: bench.kernels[0].clone(),
+            workload: bench.kernels[0].clone(),
             cfg: ctx.setup.cfg.clone(),
             window: ProfileWindow::pbest(),
         }));
@@ -905,7 +922,7 @@ fn render_fig16(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
         let gto = scheme_result(store, &bench, Scheme::Gto, &ctx.setup, None)?;
         let poise = scheme_result(store, &bench, Scheme::Poise, &ctx.setup, Some(&ctx.model))?;
         let pb = store.pbest(&PbestSpec {
-            kernel: bench.kernels[0].clone(),
+            workload: bench.kernels[0].clone(),
             cfg: ctx.setup.cfg.clone(),
             window: ProfileWindow::pbest(),
         })?;
@@ -922,6 +939,127 @@ fn render_fig16(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
         "fig16_insensitive.txt",
         "Fig. 16 — Poise IPC vs GTO on compute-insensitive applications",
         &["bench", "Poise/GTO", "Pbest"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// trace_eval — every scheme over the committed trace workloads.
+// ---------------------------------------------------------------------------
+
+/// All seven schemes, in the order `trace_eval` reports them.
+const TRACE_EVAL_SCHEMES: [Scheme; 7] = [
+    Scheme::Gto,
+    Scheme::Swl,
+    Scheme::PcalSwl,
+    Scheme::Poise,
+    Scheme::StaticBest,
+    Scheme::RandomRestart,
+    Scheme::Apcm,
+];
+
+/// Load every `*.trace` file under [`crate::traces_dir`], sorted by file
+/// name for a deterministic job order. Returns the loadable workloads
+/// plus one message per unreadable/corrupt file; the caller surfaces
+/// those as a `trace_eval` failure. Called once per [`FigCtx`]; figures
+/// read the cached `ctx.traces`.
+fn load_trace_workloads() -> (Vec<Workload>, Vec<String>) {
+    let dir = crate::traces_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        // No traces directory at all is a valid (trace-less) checkout.
+        return (Vec::new(), Vec::new());
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "trace"))
+        .collect();
+    paths.sort();
+    let mut traces = Vec::new();
+    let mut errors = Vec::new();
+    for p in paths {
+        match TraceRef::load(&p) {
+            Ok(t) => traces.push(Workload::from(t)),
+            Err(e) => errors.push(format!("{}: {e}", p.display())),
+        }
+    }
+    (traces, errors)
+}
+
+fn jobs_trace_eval(ctx: &FigCtx) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for workload in &ctx.traces {
+        for scheme in TRACE_EVAL_SCHEMES {
+            let model = (scheme == Scheme::Poise).then_some(&ctx.model);
+            jobs.push(SimJob::Run(KernelRunSpec::new(
+                workload, scheme, &ctx.setup, model,
+            )));
+        }
+    }
+    jobs
+}
+
+fn render_trace_eval(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+    if !ctx.trace_errors.is_empty() {
+        return Err(format!(
+            "unreadable trace file(s): {}",
+            ctx.trace_errors.join("; ")
+        ));
+    }
+    let workloads = &ctx.traces;
+    let mut table = Vec::new();
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); TRACE_EVAL_SCHEMES.len()];
+    for workload in workloads {
+        let run_of = |scheme: Scheme| -> Result<poise::experiment::KernelRun, String> {
+            let model = (scheme == Scheme::Poise).then_some(&ctx.model);
+            store
+                .run(&KernelRunSpec::new(workload, scheme, &ctx.setup, model))
+                .cloned()
+        };
+        let gto = run_of(Scheme::Gto)?;
+        let gto_ipc = gto.counters.ipc().max(1e-12);
+        let mut row = vec![
+            workload.name().to_string(),
+            workload.trace().expect("trace workload").digest[..12].to_string(),
+        ];
+        for (si, &scheme) in TRACE_EVAL_SCHEMES.iter().enumerate() {
+            let r = run_of(scheme)?;
+            let v = r.counters.ipc() / gto_ipc;
+            per_scheme[si].push(v);
+            row.push(cell(v, 3));
+        }
+        row.push(cell(100.0 * gto.counters.l1_hit_rate(), 1));
+        table.push(row);
+    }
+    if workloads.is_empty() {
+        table.push(vec![format!(
+            "(no .trace files under {}; run record_traces)",
+            crate::traces_dir().display()
+        )]);
+    } else {
+        let mut hmean = vec!["H-Mean".to_string(), String::new()];
+        for sp in &per_scheme {
+            hmean.push(cell(harmonic_mean(sp), 3));
+        }
+        hmean.push(String::new());
+        table.push(hmean);
+    }
+    emit_table(
+        "trace_eval.txt",
+        "trace_eval — all schemes over the recorded traces (IPC vs GTO; \
+         GTO L1 hit % absolute)",
+        &[
+            "trace",
+            "digest",
+            "GTO",
+            "SWL",
+            "PCAL-SWL",
+            "Poise",
+            "Static-Best",
+            "Rand-restart",
+            "APCM",
+            "GTO-hit%",
+        ],
         &table,
     );
     Ok(())
@@ -985,9 +1123,9 @@ fn fig17_specs(ctx: &FigCtx) -> (ProfileSpec, KernelRunSpec) {
         .expect("bfs");
     let kernel = bench.kernels[0].clone();
     let profile = ProfileSpec {
-        kernel: kernel.clone(),
+        workload: kernel.clone(),
         cfg: ctx.setup.cfg.clone(),
-        grid: GridSpec::full(kernel.warps_per_scheduler),
+        grid: GridSpec::full(kernel.warps_per_scheduler()),
         window: ctx.setup.profile_window,
     };
     let mut run = KernelRunSpec::new(&kernel, Scheme::Poise, &ctx.setup, Some(&ctx.model));
@@ -1005,7 +1143,7 @@ fn render_fig17(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
     let grid = store.grid(&profile_spec)?;
     println!(
         "# Fig. 17a — static profile of {}",
-        profile_spec.kernel.name
+        profile_spec.workload.name()
     );
     print!("{}", render_grid(grid));
     let (bt, bs) = grid.best_performance().ok_or("unprofiled")?;
@@ -1362,9 +1500,15 @@ enum FigStatus {
 ///   default stops at the first failing figure, like the old harness,
 ///   but always prints the pass/fail summary instead of bare `exit(1)`);
 /// * `--only <a,b,...>` — restrict to the named figures;
-/// * `--list` — print the registry and exit.
+/// * `--list` — print the registry and exit;
+/// * `--gc` — after a fully successful pass, prune `results/cache/`
+///   entries the current job set no longer references (entries keyed by
+///   edited-away kernel specs, old knob settings, deleted traces). The
+///   content-addressed store never looks those up again, so without an
+///   occasional `--gc` it grows without bound across spec edits.
 pub fn run_all_main(args: &[String]) -> ExitCode {
     let keep_going = args.iter().any(|a| a == "--keep-going");
+    let gc = args.iter().any(|a| a == "--gc");
     let only: Option<Vec<String>> = args
         .iter()
         .position(|a| a == "--only")
@@ -1454,6 +1598,28 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         &["figure", "status", "detail"],
         &rows,
     );
+
+    // Phase 4 (opt-in): garbage-collect cache entries the current job
+    // set no longer references. Only when every requested figure ran —
+    // a failed/skipped figure's entries must survive for the retry —
+    // and never under --only, which would see a partial job set.
+    if gc {
+        let all_ran = statuses
+            .iter()
+            .all(|(_, s)| matches!(s, FigStatus::Pass(_)));
+        if only.is_some() {
+            eprintln!("[run_all] --gc ignored under --only (partial job set)");
+        } else if !all_ran {
+            eprintln!("[run_all] --gc skipped: not every figure completed");
+        } else {
+            match engine.cache().prune_untouched() {
+                Ok((removed, kept)) => {
+                    eprintln!("[run_all] cache gc: removed {removed} stale entries, kept {kept}")
+                }
+                Err(e) => eprintln!("[run_all] cache gc failed: {e}"),
+            }
+        }
+    }
 
     if failed > 0 {
         eprintln!("[run_all] {failed} figure(s) failed");

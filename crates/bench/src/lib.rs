@@ -51,6 +51,24 @@ pub fn setup() -> Setup {
     Setup::default()
 }
 
+/// Directory scanned for committed trace workloads (`*.trace` files):
+/// the workspace-root `traces/`, or `POISE_TRACES_DIR`. Unlike
+/// [`results_dir`] this is not created on demand — a missing directory
+/// simply means no trace workloads.
+pub fn traces_dir() -> PathBuf {
+    match std::env::var("POISE_TRACES_DIR") {
+        Ok(dir) => PathBuf::from(dir),
+        Err(_) => {
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest
+                .parent()
+                .and_then(|p| p.parent())
+                .map(|root| root.join("traces"))
+                .unwrap_or_else(|| PathBuf::from("traces"))
+        }
+    }
+}
+
 /// Serialise a trained model to a small text format.
 pub fn model_to_text(m: &TrainedModel) -> String {
     let mut s = String::new();

@@ -22,7 +22,11 @@ fn specs_of(jobs: &[poise::SimJob]) -> HashSet<String> {
 #[test]
 fn registry_is_complete_and_unique() {
     let reg = registry();
-    assert_eq!(reg.len(), 21, "all 21 figures/tables must be registered");
+    assert_eq!(
+        reg.len(),
+        22,
+        "all 21 paper figures/tables plus trace_eval must be registered"
+    );
     let names: HashSet<&str> = reg.iter().map(|f| f.name).collect();
     assert_eq!(names.len(), reg.len(), "figure names must be unique");
     for expected in [
@@ -35,8 +39,29 @@ fn registry_is_complete_and_unique() {
         "fig17_case_study",
         "ablation_epoch",
         "prediction_error",
+        "trace_eval",
     ] {
         assert!(names.contains(expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn trace_eval_covers_all_schemes_per_trace() {
+    // Each committed trace runs under all 7 schemes; every job carries a
+    // trace workload keyed by content digest (visible in the spec text).
+    let ctx = FigCtx::from_env();
+    let jobs = jobs_of(&ctx, "trace_eval");
+    if jobs.is_empty() {
+        // No traces/ directory in this checkout — nothing to assert.
+        return;
+    }
+    assert_eq!(jobs.len() % 7, 0, "7 schemes per trace workload");
+    for j in &jobs {
+        let spec = j.spec_text();
+        assert!(
+            spec.contains("trace TraceRef") && spec.contains("digest"),
+            "trace jobs must be keyed by trace digest, got:\n{spec}"
+        );
     }
 }
 

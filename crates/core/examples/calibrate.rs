@@ -2,14 +2,19 @@ use gpu_sim::*;
 use poise::profiler::{profile_grid, run_tuple, GridSpec, ProfileWindow};
 use workloads::*;
 
-fn characterize(name: &str, spec: &KernelSpec, cfg: &GpuConfig) {
+fn characterize(name: &str, spec: &Workload, cfg: &GpuConfig) {
     let w = ProfileWindow::default();
-    let base = run_tuple(spec, cfg, WarpTuple::max(spec.warps_per_scheduler), w);
+    let base = run_tuple(spec, cfg, WarpTuple::max(spec.warps_per_scheduler()), w);
     // Pbest with a long window
     let pw = ProfileWindow::pbest();
-    let pbase = run_tuple(spec, cfg, WarpTuple::max(spec.warps_per_scheduler), pw);
+    let pbase = run_tuple(spec, cfg, WarpTuple::max(spec.warps_per_scheduler()), pw);
     let big_cfg = cfg.clone().with_l1_scale(64);
-    let pbig = run_tuple(spec, &big_cfg, WarpTuple::max(spec.warps_per_scheduler), pw);
+    let pbig = run_tuple(
+        spec,
+        &big_cfg,
+        WarpTuple::max(spec.warps_per_scheduler()),
+        pw,
+    );
     let pb = pbig.ipc() / pbase.ipc().max(1e-9);
     let t241 = run_tuple(spec, cfg, WarpTuple::new(24, 1, 24), w);
     let c = &t241.window;
@@ -40,7 +45,7 @@ fn main() {
     }
     if which == "all" || which == "fig4" {
         for k in fig4_kernels() {
-            characterize(&format!("f4-{}", k.name), &k, &cfg);
+            characterize(&format!("f4-{}", k.name), &k.clone().into(), &cfg);
         }
     }
 }

@@ -33,8 +33,15 @@
 //! (`{:?}`), which parses back to the identical bit pattern. A cache hit
 //! therefore returns *bit-identical* rows to the run that produced it.
 
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// The SHA-256 implementation lives in `workloads::digest` (trace
+// workloads key themselves by content digest down there); re-exported
+// here so the engine keeps one canonical hash.
+pub use workloads::digest::{sha256_hex, Sha256};
 
 /// Format an `f64` so that parsing recovers the identical bits.
 pub fn fmt_f64(v: f64) -> String {
@@ -44,133 +51,6 @@ pub fn fmt_f64(v: f64) -> String {
 /// Parse an `f64` serialised by [`fmt_f64`] (also accepts `inf`/`NaN`).
 pub fn parse_f64(s: &str) -> Option<f64> {
     s.parse().ok()
-}
-
-// ---------------------------------------------------------------------------
-// SHA-256 (FIPS 180-4), self-contained: the build environment has no
-// registry access, and the hash must stay stable across Rust releases —
-// unlike `std::hash::DefaultHasher`, which is explicitly unstable.
-// ---------------------------------------------------------------------------
-
-const K: [u32; 64] = [
-    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
-    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
-    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
-    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
-    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
-    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
-    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
-    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
-];
-
-/// Streaming SHA-256 hasher.
-pub struct Sha256 {
-    state: [u32; 8],
-    buf: [u8; 64],
-    buf_len: usize,
-    total_len: u64,
-}
-
-impl Default for Sha256 {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Sha256 {
-    /// A fresh hasher.
-    pub fn new() -> Self {
-        Sha256 {
-            state: [
-                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
-                0x5be0cd19,
-            ],
-            buf: [0; 64],
-            buf_len: 0,
-            total_len: 0,
-        }
-    }
-
-    /// Absorb bytes.
-    pub fn update(&mut self, mut data: &[u8]) {
-        self.total_len = self.total_len.wrapping_add(data.len() as u64);
-        while !data.is_empty() {
-            let take = (64 - self.buf_len).min(data.len());
-            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
-            self.buf_len += take;
-            data = &data[take..];
-            if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
-                self.buf_len = 0;
-            }
-        }
-    }
-
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, c) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
-            *s = s.wrapping_add(v);
-        }
-    }
-
-    /// Finish and return the digest as 64 lowercase hex characters.
-    pub fn finish_hex(mut self) -> String {
-        let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
-        }
-        // The length block bypasses `total_len` accounting by design.
-        let block_start = self.buf_len;
-        self.buf[block_start..block_start + 8].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
-        self.compress(&block);
-        let mut out = String::with_capacity(64);
-        for s in self.state {
-            out.push_str(&format!("{s:08x}"));
-        }
-        out
-    }
-}
-
-/// SHA-256 of a string, as hex.
-pub fn sha256_hex(s: &str) -> String {
-    let mut h = Sha256::new();
-    h.update(s.as_bytes());
-    h.finish_hex()
 }
 
 // ---------------------------------------------------------------------------
@@ -209,6 +89,9 @@ pub struct Cache {
     pub bypass: bool,
     /// Run statistics.
     pub stats: CacheStats,
+    /// File names this cache instance has read or written — the live set
+    /// for [`Cache::prune_untouched`].
+    touched: Mutex<HashSet<String>>,
     seq: AtomicU64,
 }
 
@@ -221,6 +104,7 @@ impl Cache {
             root,
             bypass: false,
             stats: CacheStats::default(),
+            touched: Mutex::new(HashSet::new()),
             seq: AtomicU64::new(0),
         }
     }
@@ -231,7 +115,18 @@ impl Cache {
     }
 
     fn path_of(&self, kind: &str, key: &str) -> PathBuf {
-        self.root.join(format!("{kind}-{key}.txt"))
+        self.root.join(self.file_of(kind, key))
+    }
+
+    fn file_of(&self, kind: &str, key: &str) -> String {
+        format!("{kind}-{key}.txt")
+    }
+
+    fn touch(&self, kind: &str, key: &str) {
+        self.touched
+            .lock()
+            .expect("touched set")
+            .insert(self.file_of(kind, key));
     }
 
     /// Look up `key`; returns the stored body (without the header) when a
@@ -248,6 +143,7 @@ impl Cache {
         match parsed {
             Some(body) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(kind, key);
                 Some(body)
             }
             None => {
@@ -301,7 +197,42 @@ impl Cache {
             && std::fs::rename(&tmp, self.path_of(kind, key)).is_ok()
         {
             self.stats.stores.fetch_add(1, Ordering::Relaxed);
+            self.touch(kind, key);
         }
+    }
+
+    /// Garbage-collect the store: delete every cache entry this instance
+    /// has neither read nor written (plus orphaned temporaries from
+    /// crashed writers). Returns `(removed, kept)` counts.
+    ///
+    /// Intended to run *after* a job graph has executed against this
+    /// cache (`run_all --gc`): the touched set is then exactly the
+    /// entries the current job set references, and everything else is a
+    /// leftover of earlier specs — edited kernels, old knob settings,
+    /// abandoned traces — that content addressing will never look up
+    /// again.
+    pub fn prune_untouched(&self) -> std::io::Result<(usize, usize)> {
+        let touched = self.touched.lock().expect("touched set");
+        let mut removed = 0;
+        let mut kept = 0;
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let stale_tmp = name.starts_with(".tmp-");
+            if !stale_tmp && touched.contains(&name) {
+                kept += 1;
+            } else if stale_tmp || name.ends_with(".txt") {
+                std::fs::remove_file(entry.path())?;
+                removed += 1;
+            } else {
+                // Not ours (no .txt suffix): leave foreign files alone.
+                kept += 1;
+            }
+        }
+        Ok((removed, kept))
     }
 }
 
@@ -310,27 +241,40 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sha256_matches_known_vectors() {
-        // FIPS 180-4 test vectors.
-        assert_eq!(
-            sha256_hex(""),
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
-        );
+    fn sha256_is_the_workloads_digest() {
+        // The implementation moved to `workloads::digest`; the re-export
+        // must keep producing FIPS 180-4 values.
         assert_eq!(
             sha256_hex("abc"),
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
         );
-        assert_eq!(
-            sha256_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
-            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
-        );
-        // Multi-block input exercising the buffering path.
-        let long = "a".repeat(1000);
-        let mut h = Sha256::new();
-        for chunk in long.as_bytes().chunks(7) {
-            h.update(chunk);
+        let _ = Sha256::new();
+    }
+
+    #[test]
+    fn prune_untouched_keeps_the_live_set() {
+        let dir = std::env::temp_dir().join(format!("poise-cache-prune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            // A previous "run" leaves three entries behind.
+            let old = Cache::new(&dir);
+            for k in ["a", "b", "c"] {
+                old.store("run", &sha256_hex(k), "spec", "body\n");
+            }
         }
-        assert_eq!(h.finish_hex(), sha256_hex(&long));
+        // A stale temporary from a crashed writer.
+        std::fs::write(dir.join(".tmp-999-0"), "torn").unwrap();
+        // The current run touches one existing entry (load) and writes a
+        // new one (store).
+        let cache = Cache::new(&dir);
+        assert!(cache.load("run", &sha256_hex("a")).is_some());
+        cache.store("run", &sha256_hex("d"), "spec", "body\n");
+        let (removed, kept) = cache.prune_untouched().unwrap();
+        assert_eq!((removed, kept), (3, 2), "b, c and the tmp file go");
+        assert!(cache.load("run", &sha256_hex("a")).is_some());
+        assert!(cache.load("run", &sha256_hex("d")).is_some());
+        assert!(cache.load("run", &sha256_hex("b")).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -20,9 +20,9 @@ use crate::policies::{
     RandomRestartController,
 };
 use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
-use gpu_sim::{Counters, EnergyBreakdown, FixedTuple, Gpu, GpuConfig, WarpTuple};
+use gpu_sim::{Counters, EnergyBreakdown, FixedTuple, Gpu, GpuConfig, KernelSource, WarpTuple};
 use poise_ml::{SpeedupGrid, TrainedModel};
-use workloads::{Benchmark, KernelSpec};
+use workloads::{Benchmark, Workload};
 
 /// The warp-scheduling schemes of the evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -200,10 +200,10 @@ pub struct ProfileTuples {
     pub best: WarpTuple,
 }
 
-/// Profile one kernel offline (used by the static schemes).
-pub fn offline_profile(spec: &KernelSpec, setup: &Setup) -> OfflineProfile {
+/// Profile one workload offline (used by the static schemes).
+pub fn offline_profile(spec: &Workload, setup: &Setup) -> OfflineProfile {
     let max_warps = spec
-        .warps_per_scheduler
+        .warps_per_scheduler()
         .min(setup.cfg.max_warps_per_scheduler);
     let grid = profile_grid(spec, &setup.cfg, &setup.eval_grid, setup.profile_window);
     OfflineProfile {
@@ -218,7 +218,7 @@ pub fn offline_profile(spec: &KernelSpec, setup: &Setup) -> OfflineProfile {
 /// `profile` must be provided for the profile-driven schemes (SWL,
 /// PCAL-SWL, Static-Best); `model` for Poise.
 pub fn run_kernel(
-    spec: &KernelSpec,
+    spec: &Workload,
     scheme: Scheme,
     model: &TrainedModel,
     profile: Option<&OfflineProfile>,
@@ -246,7 +246,7 @@ pub fn run_kernel(
 /// on is a parameter here and a cache-key field there.
 #[allow(clippy::too_many_arguments)]
 pub fn run_kernel_configured(
-    spec: &KernelSpec,
+    spec: &Workload,
     scheme: Scheme,
     model: Option<&TrainedModel>,
     tuples: Option<ProfileTuples>,
@@ -314,7 +314,7 @@ pub fn run_kernel_configured(
     };
 
     KernelRun {
-        kernel: spec.name.clone(),
+        kernel: spec.name().to_string(),
         counters: result.counters,
         energy: result.energy,
         epoch_logs,

@@ -62,9 +62,10 @@ use crate::params::PoiseParams;
 use crate::policies::{static_best_from_grid, swl_tuple_from_grid};
 use crate::profiler::{pbest, profile_grid, run_tuple, GridSpec, ProfileWindow, SteadyState};
 use crate::train::{collect_sample_scored, fit_samples};
+use gpu_sim::KernelSource;
 use gpu_sim::{Counters, EnergyBreakdown, GpuConfig, WarpTuple};
 use poise_ml::{ScoringWeights, SpeedupGrid, TrainedModel, TrainingSample, N_FEATURES};
-use workloads::{training_suite, KernelSpec};
+use workloads::{training_suite, Workload};
 
 /// Salt mixed into every cache key. The cache hashes job *inputs*, not
 /// simulator code — bump this when a simulator/serialisation change
@@ -81,8 +82,8 @@ pub const CACHE_VERSION: u32 = 1;
 /// Static-Best and the Fig. 2/5/17 surfaces).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProfileSpec {
-    /// Kernel to profile.
-    pub kernel: KernelSpec,
+    /// Workload to profile (synthetic or trace).
+    pub workload: Workload,
     /// Machine configuration.
     pub cfg: GpuConfig,
     /// Grid points to sweep.
@@ -94,8 +95,8 @@ pub struct ProfileSpec {
 /// `Pbest` memory-sensitivity classification (64× L1 speedup).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PbestSpec {
-    /// Kernel to classify.
-    pub kernel: KernelSpec,
+    /// Workload to classify.
+    pub workload: Workload,
     /// Machine configuration (the 64× L1 variant is derived internally).
     pub cfg: GpuConfig,
     /// Warmup/measure windows.
@@ -105,8 +106,8 @@ pub struct PbestSpec {
 /// One steady-state run at a fixed tuple (Fig. 4 characterisation).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TupleRunSpec {
-    /// Kernel to run.
-    pub kernel: KernelSpec,
+    /// Workload to run.
+    pub workload: Workload,
     /// Machine configuration.
     pub cfg: GpuConfig,
     /// The fixed warp-tuple.
@@ -119,8 +120,8 @@ pub struct TupleRunSpec {
 /// sample the Table II features at the two reference points.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SampleSpec {
-    /// Kernel to sample.
-    pub kernel: KernelSpec,
+    /// Workload to sample.
+    pub workload: Workload,
     /// Machine configuration.
     pub cfg: GpuConfig,
     /// Profiling grid.
@@ -136,8 +137,8 @@ pub struct SampleSpec {
 /// [`SampleSpec`] per kernel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelSpec {
-    /// The training kernels (order matters for the fit).
-    pub kernels: Vec<KernelSpec>,
+    /// The training workloads (order matters for the fit).
+    pub kernels: Vec<Workload>,
     /// Machine configuration for the sampling runs.
     pub cfg: GpuConfig,
     /// Profiling grid for the sampling runs.
@@ -178,7 +179,7 @@ impl ModelSpec {
         self.kernels
             .iter()
             .map(|k| SampleSpec {
-                kernel: k.clone(),
+                workload: k.clone(),
                 cfg: self.cfg.clone(),
                 grid: self.grid.clone(),
                 window: self.window,
@@ -197,8 +198,8 @@ impl ModelSpec {
 /// shared GTO baselines stay cached.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelRunSpec {
-    /// Kernel to run.
-    pub kernel: KernelSpec,
+    /// Workload to run.
+    pub workload: Workload,
     /// Scheduling scheme.
     pub scheme: Scheme,
     /// Machine configuration (APCM's per-PC tracking is implied by the
@@ -222,14 +223,14 @@ impl KernelRunSpec {
     /// Build the spec for running `kernel` under `scheme` as configured
     /// by `setup`. `model` is required for Poise runs.
     pub fn new(
-        kernel: &KernelSpec,
+        workload: &Workload,
         scheme: Scheme,
         setup: &Setup,
         model: Option<&ModelSpec>,
     ) -> Self {
         let needs_profile = matches!(scheme, Scheme::Swl | Scheme::PcalSwl | Scheme::StaticBest);
         KernelRunSpec {
-            kernel: kernel.clone(),
+            workload: workload.clone(),
             scheme,
             cfg: setup.cfg.clone(),
             run_cycles: setup.run_cycles,
@@ -245,7 +246,7 @@ impl KernelRunSpec {
                 .then(|| Box::new(model.expect("a Poise run needs a ModelSpec").clone())),
             profile: needs_profile.then(|| {
                 Box::new(ProfileSpec {
-                    kernel: kernel.clone(),
+                    workload: workload.clone(),
                     cfg: setup.cfg.clone(),
                     grid: setup.eval_grid.clone(),
                     window: setup.profile_window,
@@ -292,12 +293,14 @@ impl SimJob {
     /// Human-readable progress label.
     pub fn label(&self) -> String {
         match self {
-            SimJob::Profile(s) => format!("profile[{} {}pt]", s.kernel.name, s.grid.points().len()),
-            SimJob::Pbest(s) => format!("pbest[{}]", s.kernel.name),
-            SimJob::TupleRun(s) => format!("tuple[{} {}]", s.kernel.name, s.tuple),
-            SimJob::Sample(s) => format!("sample[{}]", s.kernel.name),
+            SimJob::Profile(s) => {
+                format!("profile[{} {}pt]", s.workload.name(), s.grid.points().len())
+            }
+            SimJob::Pbest(s) => format!("pbest[{}]", s.workload.name()),
+            SimJob::TupleRun(s) => format!("tuple[{} {}]", s.workload.name(), s.tuple),
+            SimJob::Sample(s) => format!("sample[{}]", s.workload.name()),
             SimJob::Train(s) => format!("train[{}k drop{:?}]", s.kernels.len(), s.drop_features),
-            SimJob::Run(s) => format!("run[{} {}]", s.kernel.name, s.scheme.name()),
+            SimJob::Run(s) => format!("run[{} {}]", s.workload.name(), s.scheme.name()),
         }
     }
 
@@ -311,24 +314,24 @@ impl SimJob {
         let _ = writeln!(s, "job {}", self.kind());
         match self {
             SimJob::Profile(p) => {
-                let _ = writeln!(s, "kernel {:?}", p.kernel);
+                let _ = writeln!(s, "{}", p.workload.spec_line());
                 let _ = writeln!(s, "cfg {:?}", p.cfg);
                 let _ = writeln!(s, "grid {:?}", p.grid);
                 let _ = writeln!(s, "window {:?}", p.window);
             }
             SimJob::Pbest(p) => {
-                let _ = writeln!(s, "kernel {:?}", p.kernel);
+                let _ = writeln!(s, "{}", p.workload.spec_line());
                 let _ = writeln!(s, "cfg {:?}", p.cfg);
                 let _ = writeln!(s, "window {:?}", p.window);
             }
             SimJob::TupleRun(t) => {
-                let _ = writeln!(s, "kernel {:?}", t.kernel);
+                let _ = writeln!(s, "{}", t.workload.spec_line());
                 let _ = writeln!(s, "cfg {:?}", t.cfg);
                 let _ = writeln!(s, "tuple {:?}", t.tuple);
                 let _ = writeln!(s, "window {:?}", t.window);
             }
             SimJob::Sample(p) => {
-                let _ = writeln!(s, "kernel {:?}", p.kernel);
+                let _ = writeln!(s, "{}", p.workload.spec_line());
                 let _ = writeln!(s, "cfg {:?}", p.cfg);
                 let _ = writeln!(s, "grid {:?}", p.grid);
                 let _ = writeln!(s, "window {:?}", p.window);
@@ -336,7 +339,7 @@ impl SimJob {
             }
             SimJob::Train(m) => {
                 for k in &m.kernels {
-                    let _ = writeln!(s, "kernel {k:?}");
+                    let _ = writeln!(s, "{}", k.spec_line());
                 }
                 let _ = writeln!(s, "cfg {:?}", m.cfg);
                 let _ = writeln!(s, "grid {:?}", m.grid);
@@ -345,7 +348,7 @@ impl SimJob {
                 let _ = writeln!(s, "drop_features {:?}", m.drop_features);
             }
             SimJob::Run(r) => {
-                let _ = writeln!(s, "kernel {:?}", r.kernel);
+                let _ = writeln!(s, "{}", r.workload.spec_line());
                 let _ = writeln!(s, "scheme {}", r.scheme.name());
                 let _ = writeln!(s, "cfg {:?}", r.cfg);
                 let _ = writeln!(s, "run_cycles {}", r.run_cycles);
@@ -410,14 +413,18 @@ impl SimJob {
     fn execute(&self, dep_outputs: &[&JobOutput]) -> JobOutput {
         match self {
             SimJob::Profile(p) => {
-                JobOutput::Grid(profile_grid(&p.kernel, &p.cfg, &p.grid, p.window))
+                JobOutput::Grid(profile_grid(&p.workload, &p.cfg, &p.grid, p.window))
             }
-            SimJob::Pbest(p) => JobOutput::Scalar(pbest(&p.kernel, &p.cfg, p.window)),
+            SimJob::Pbest(p) => JobOutput::Scalar(pbest(&p.workload, &p.cfg, p.window)),
             SimJob::TupleRun(t) => {
-                JobOutput::Steady(run_tuple(&t.kernel, &t.cfg, t.tuple, t.window))
+                JobOutput::Steady(run_tuple(&t.workload, &t.cfg, t.tuple, t.window))
             }
             SimJob::Sample(p) => JobOutput::Sample(collect_sample_scored(
-                &p.kernel, &p.cfg, &p.grid, p.window, &p.scoring,
+                &p.workload,
+                &p.cfg,
+                &p.grid,
+                p.window,
+                &p.scoring,
             )),
             SimJob::Train(m) => {
                 let samples: Vec<TrainingSample> = dep_outputs
@@ -438,8 +445,8 @@ impl SimJob {
                     .map(|_| di.next().expect("profile dep").as_grid().expect("grid"));
                 let tuples = grid.map(|g| {
                     let max_warps = r
-                        .kernel
-                        .warps_per_scheduler
+                        .workload
+                        .warps_per_scheduler()
                         .min(r.cfg.max_warps_per_scheduler);
                     ProfileTuples {
                         swl: swl_tuple_from_grid(g, max_warps),
@@ -455,7 +462,7 @@ impl SimJob {
                     (None, None) => PoiseParams::default(),
                 };
                 JobOutput::Run(run_kernel_configured(
-                    &r.kernel,
+                    &r.workload,
                     r.scheme,
                     model,
                     tuples,
@@ -477,8 +484,8 @@ impl SimJob {
         match (self, dep, out) {
             (SimJob::Run(r), SimJob::Profile(_), JobOutput::Grid(g)) => {
                 let max_warps = r
-                    .kernel
-                    .warps_per_scheduler
+                    .workload
+                    .warps_per_scheduler()
                     .min(r.cfg.max_warps_per_scheduler);
                 format!(
                     "tuples swl={:?} best={:?}",
@@ -1112,7 +1119,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workloads::AccessMix;
+    use workloads::{AccessMix, KernelSpec};
 
     fn tmp_engine(tag: &str) -> (Engine, PathBuf) {
         let dir = std::env::temp_dir().join(format!("poise-engine-{tag}-{}", std::process::id()));
@@ -1133,8 +1140,8 @@ mod tests {
         s
     }
 
-    fn kernel(seed: u64) -> KernelSpec {
-        KernelSpec::steady(format!("jk{seed}"), AccessMix::memory_sensitive(), seed)
+    fn kernel(seed: u64) -> Workload {
+        KernelSpec::steady(format!("jk{seed}"), AccessMix::memory_sensitive(), seed).into()
     }
 
     #[test]
@@ -1178,13 +1185,14 @@ mod tests {
     fn panicking_job_is_isolated_and_dependants_fail_gracefully() {
         let (engine, dir) = tmp_engine("panic");
         // An invalid kernel (no phases) makes the profiler panic.
-        let bad = KernelSpec {
+        let bad: Workload = KernelSpec {
             name: "bad".into(),
             warps_per_scheduler: 4,
             phases: Vec::new(),
             trace_len: None,
             seed: 0,
-        };
+        }
+        .into();
         let setup = tiny_setup();
         let bad_job = SimJob::Run(KernelRunSpec::new(&bad, Scheme::Swl, &setup, None));
         let good_job = SimJob::Run(KernelRunSpec::new(&kernel(4), Scheme::Gto, &setup, None));
@@ -1212,7 +1220,7 @@ mod tests {
         let mut cfg = base.clone();
         cfg.cfg.l1_mshrs += 1;
         let mut kern = base.clone();
-        kern.kernel.seed += 1;
+        kern.workload.synthetic_mut().unwrap().seed += 1;
         let mut sched = base.clone();
         sched.scheme = Scheme::RandomRestart;
         sched.t_period = Some(5_000);
@@ -1314,6 +1322,68 @@ mod tests {
     }
 
     #[test]
+    fn editing_a_trace_file_invalidates_only_that_workloads_jobs() {
+        use workloads::{record_kernel, TraceRef};
+        let (engine, dir) = tmp_engine("trace-edit");
+        let setup = tiny_setup();
+        let trace_path = dir.join("k.trace");
+        let record = |seed: u64| {
+            let spec = KernelSpec::steady("tk", AccessMix::memory_sensitive(), seed).with_warps(4);
+            let data = record_kernel(&spec, "tk", 1, setup.cfg.schedulers_per_sm, 2_000);
+            Workload::from(TraceRef::write(&data, &trace_path).unwrap())
+        };
+
+        let trace_a = record(1);
+        let synth = kernel(9);
+        let jobs = |t: &Workload| {
+            vec![
+                SimJob::Run(KernelRunSpec::new(t, Scheme::Gto, &setup, None)),
+                SimJob::Run(KernelRunSpec::new(&synth, Scheme::Gto, &setup, None)),
+            ]
+        };
+        let (_, r1) = engine.run(&jobs(&trace_a));
+        assert_eq!((r1.executed, r1.cache_hits), (2, 0));
+
+        // Unchanged file, reloaded: both jobs hit.
+        let reloaded = Workload::from(TraceRef::load(&trace_path).unwrap());
+        assert_eq!(reloaded.spec_line(), trace_a.spec_line());
+        let (_, r2) = engine.run(&jobs(&reloaded));
+        assert_eq!((r2.executed, r2.cache_hits), (0, 2));
+
+        // Edited file: only the trace workload's job re-runs; the
+        // synthetic job still answers from cache.
+        let trace_b = record(2);
+        assert_ne!(trace_b.spec_line(), trace_a.spec_line());
+        let (_, r3) = engine.run(&jobs(&trace_b));
+        assert_eq!((r3.executed, r3.cache_hits), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_untouched_drops_jobs_outside_the_current_set() {
+        let (engine, dir) = tmp_engine("gc");
+        let setup = tiny_setup();
+        let a = SimJob::Run(KernelRunSpec::new(&kernel(11), Scheme::Gto, &setup, None));
+        let b = SimJob::Run(KernelRunSpec::new(&kernel(12), Scheme::Gto, &setup, None));
+        engine.run(&[a.clone(), b.clone()]);
+
+        // A later engine (fresh touched set) only runs job `a` — e.g.
+        // after `b`'s kernel was edited out of the suites — and gc's.
+        let mut engine2 = Engine::new(&dir);
+        engine2.quiet = true;
+        let (_, r) = engine2.run(std::slice::from_ref(&a));
+        assert_eq!(r.cache_hits, 1);
+        let (removed, kept) = engine2.cache().prune_untouched().unwrap();
+        assert_eq!((removed, kept), (1, 1), "b's entry goes, a's stays");
+        // `a` still hits afterwards; `b` re-runs.
+        let mut engine3 = Engine::new(&dir);
+        engine3.quiet = true;
+        let (_, r) = engine3.run(&[a, b]);
+        assert_eq!((r.executed, r.cache_hits), (1, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn model_spec_changes_invalidate_poise_runs_only_via_digest() {
         // Two model specs differing in a training kernel produce
         // different run spec texts (the model is referenced by spec
@@ -1328,7 +1398,7 @@ mod tests {
             Some(&ms),
         ));
         let mut ms2 = ms.clone();
-        ms2.kernels[0].seed += 1;
+        ms2.kernels[0].synthetic_mut().unwrap().seed += 1;
         let run_b = SimJob::Run(KernelRunSpec::new(
             &kernel(7),
             Scheme::Poise,

@@ -11,18 +11,18 @@
 //! fast-forward stalled spans without ever consulting the controller.
 
 use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
-use gpu_sim::{GpuConfig, WarpTuple};
+use gpu_sim::{GpuConfig, KernelSource, WarpTuple};
 use poise_ml::SpeedupGrid;
-use workloads::KernelSpec;
+use workloads::Workload;
 
 /// Offline-profile the kernel over a grid and return the best tuple.
 pub fn static_best_tuple(
-    spec: &KernelSpec,
+    spec: &Workload,
     cfg: &GpuConfig,
     grid: &GridSpec,
     window: ProfileWindow,
 ) -> WarpTuple {
-    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
+    let max_warps = spec.warps_per_scheduler().min(cfg.max_warps_per_scheduler);
     let profile = profile_grid(spec, cfg, grid, window);
     static_best_from_grid(&profile, max_warps)
 }

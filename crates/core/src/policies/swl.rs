@@ -10,13 +10,13 @@
 //! fast-forward stalled spans without ever consulting the controller.
 
 use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
-use gpu_sim::{GpuConfig, WarpTuple};
+use gpu_sim::{GpuConfig, KernelSource, WarpTuple};
 use poise_ml::SpeedupGrid;
-use workloads::KernelSpec;
+use workloads::Workload;
 
 /// Offline-profile the kernel's diagonal and return the best `(n, n)`.
-pub fn swl_tuple(spec: &KernelSpec, cfg: &GpuConfig, window: ProfileWindow) -> WarpTuple {
-    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
+pub fn swl_tuple(spec: &Workload, cfg: &GpuConfig, window: ProfileWindow) -> WarpTuple {
+    let max_warps = spec.warps_per_scheduler().min(cfg.max_warps_per_scheduler);
     let grid = profile_grid(spec, cfg, &GridSpec::diagonal(max_warps), window);
     best_of_diagonal(&grid, max_warps)
 }

@@ -3,9 +3,9 @@
 //! `Pbest` classification.
 
 use crate::parallel::parallel_map;
-use gpu_sim::{Counters, FixedTuple, Gpu, GpuConfig, WarpTuple};
+use gpu_sim::{Counters, FixedTuple, Gpu, GpuConfig, KernelSource, WarpTuple};
 use poise_ml::SpeedupGrid;
-use workloads::KernelSpec;
+use workloads::Workload;
 
 /// Warmup/measure windows of a profiling run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +59,7 @@ impl SteadyState {
 
 /// Run `spec` at a fixed `tuple` and return windowed counters.
 pub fn run_tuple(
-    spec: &KernelSpec,
+    spec: &Workload,
     cfg: &GpuConfig,
     tuple: WarpTuple,
     window: ProfileWindow,
@@ -139,12 +139,12 @@ impl GridSpec {
 /// tuple `(max, max)` (the GTO baseline). Runs points in parallel across
 /// the host's cores.
 pub fn profile_grid(
-    spec: &KernelSpec,
+    spec: &Workload,
     cfg: &GpuConfig,
     grid: &GridSpec,
     window: ProfileWindow,
 ) -> SpeedupGrid {
-    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
+    let max_warps = spec.warps_per_scheduler().min(cfg.max_warps_per_scheduler);
     let base = run_tuple(spec, cfg, WarpTuple::max(max_warps), window);
     let base_ipc = base.ipc().max(1e-9);
 
@@ -171,8 +171,8 @@ pub fn profile_grid(
 
 /// Compute `Pbest`: the speedup of the kernel when the L1 is scaled 64×
 /// (the paper's memory-sensitivity classifier; sensitive iff > 1.4).
-pub fn pbest(spec: &KernelSpec, cfg: &GpuConfig, window: ProfileWindow) -> f64 {
-    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
+pub fn pbest(spec: &Workload, cfg: &GpuConfig, window: ProfileWindow) -> f64 {
+    let max_warps = spec.warps_per_scheduler().min(cfg.max_warps_per_scheduler);
     let t = WarpTuple::max(max_warps);
     let base = run_tuple(spec, cfg, t, window);
     let big_cfg = cfg.clone().with_l1_scale(64);
@@ -183,14 +183,14 @@ pub fn pbest(spec: &KernelSpec, cfg: &GpuConfig, window: ProfileWindow) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workloads::AccessMix;
+    use workloads::{AccessMix, KernelSpec};
 
     fn quick_cfg() -> GpuConfig {
         GpuConfig::scaled(2)
     }
 
-    fn thrashy_kernel() -> KernelSpec {
-        KernelSpec::steady("thrash", AccessMix::memory_sensitive(), 5)
+    fn thrashy_kernel() -> Workload {
+        KernelSpec::steady("thrash", AccessMix::memory_sensitive(), 5).into()
     }
 
     #[test]
@@ -257,7 +257,9 @@ mod tests {
 
     #[test]
     fn profile_respects_kernel_occupancy() {
-        let k = thrashy_kernel().with_warps(8);
+        let k: Workload = KernelSpec::steady("thrash", AccessMix::memory_sensitive(), 5)
+            .with_warps(8)
+            .into();
         let g = profile_grid(
             &k,
             &quick_cfg(),

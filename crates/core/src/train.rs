@@ -7,14 +7,14 @@
 use crate::experiment::Setup;
 use crate::params::PoiseParams;
 use crate::profiler::{profile_grid, run_tuple, GridSpec, ProfileWindow};
-use gpu_sim::{GpuConfig, WarpTuple, WindowSample};
+use gpu_sim::{GpuConfig, KernelSource, WarpTuple, WindowSample};
 use poise_ml::{scoring, FeatureVector, TrainedModel, TrainingSample, TrainingThresholds};
-use workloads::{training_suite, KernelSpec};
+use workloads::{training_suite, Workload};
 
 /// Collect one training sample from a kernel: profile, score, sample
 /// features at the two reference points.
 pub fn collect_sample(
-    spec: &KernelSpec,
+    spec: &Workload,
     cfg: &GpuConfig,
     grid: &GridSpec,
     window: ProfileWindow,
@@ -28,13 +28,13 @@ pub fn collect_sample(
 /// caches on exactly this argument list, so parameter studies that leave
 /// the scoring untouched (e.g. the Fig. 11 stride sweep) share samples.
 pub fn collect_sample_scored(
-    spec: &KernelSpec,
+    spec: &Workload,
     cfg: &GpuConfig,
     grid: &GridSpec,
     window: ProfileWindow,
     scoring: &poise_ml::ScoringWeights,
 ) -> TrainingSample {
-    let max_warps = spec.warps_per_scheduler.min(cfg.max_warps_per_scheduler);
+    let max_warps = spec.warps_per_scheduler().min(cfg.max_warps_per_scheduler);
     let profile = profile_grid(spec, cfg, grid, window);
 
     let (target, _) = profile
@@ -50,7 +50,7 @@ pub fn collect_sample_scored(
     let ref_s = WindowSample::from_counters(&refp.window);
 
     TrainingSample {
-        kernel: spec.name.clone(),
+        kernel: spec.name().to_string(),
         features: FeatureVector::from_samples(&base_s, &ref_s),
         target: scaled,
         best_speedup,
@@ -61,7 +61,7 @@ pub fn collect_sample_scored(
 
 /// Collect samples for a set of kernels.
 pub fn collect_samples(
-    kernels: &[KernelSpec],
+    kernels: &[Workload],
     cfg: &GpuConfig,
     grid: &GridSpec,
     window: ProfileWindow,
@@ -78,7 +78,7 @@ pub fn collect_samples(
 /// step of the paper; evaluation benchmarks are never seen here.
 pub fn train_default_model(setup: &Setup) -> TrainedModel {
     let suite = training_suite();
-    let kernels: Vec<KernelSpec> = suite
+    let kernels: Vec<Workload> = suite
         .iter()
         .flat_map(|b| b.capped(setup.train_cap_per_benchmark).kernels)
         .collect();
@@ -87,7 +87,7 @@ pub fn train_default_model(setup: &Setup) -> TrainedModel {
 
 /// Train on explicit kernels, optionally dropping features (Fig. 13).
 pub fn train_on_kernels(
-    kernels: &[KernelSpec],
+    kernels: &[Workload],
     setup: &Setup,
     drop_features: &[usize],
 ) -> TrainedModel {
@@ -137,7 +137,7 @@ pub fn fit_samples(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use workloads::AccessMix;
+    use workloads::{AccessMix, KernelSpec};
 
     fn tiny_setup() -> Setup {
         Setup::for_tests()
@@ -146,7 +146,7 @@ mod tests {
     #[test]
     fn collect_sample_produces_valid_training_row() {
         let setup = tiny_setup();
-        let spec = KernelSpec::steady("tr", AccessMix::memory_sensitive(), 11);
+        let spec: Workload = KernelSpec::steady("tr", AccessMix::memory_sensitive(), 11).into();
         let s = collect_sample(
             &spec,
             &setup.cfg,
@@ -162,12 +162,12 @@ mod tests {
     #[test]
     fn training_on_diverse_kernels_fits() {
         let setup = tiny_setup();
-        let kernels: Vec<KernelSpec> = (0..10)
+        let kernels: Vec<Workload> = (0..10)
             .map(|i| {
                 let mut mix = AccessMix::memory_sensitive();
                 mix.hot_lines = 8 + 4 * i;
                 mix.hot_frac = 0.4 + 0.05 * i as f64;
-                KernelSpec::steady(format!("k{i}"), mix, i as u64)
+                KernelSpec::steady(format!("k{i}"), mix, i as u64).into()
             })
             .collect();
         let model = train_on_kernels(&kernels, &setup, &[]);

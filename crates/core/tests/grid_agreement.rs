@@ -10,7 +10,7 @@
 
 use gpu_sim::GpuConfig;
 use poise::profiler::{profile_grid, GridSpec, ProfileWindow};
-use workloads::{evaluation_suite, AccessMix, KernelSpec};
+use workloads::{evaluation_suite, AccessMix, KernelSpec, Workload};
 
 #[test]
 fn full_and_coarse_grids_agree_on_the_best_tuple() {
@@ -24,7 +24,11 @@ fn full_and_coarse_grids_agree_on_the_best_tuple() {
         .find(|b| b.name == "ii")
         .expect("ii benchmark");
     let kernels = [
-        KernelSpec::steady("agree-thrash", AccessMix::memory_sensitive(), 5),
+        Workload::from(KernelSpec::steady(
+            "agree-thrash",
+            AccessMix::memory_sensitive(),
+            5,
+        )),
         ii.kernels[0].clone(),
     ];
     for spec in &kernels {
@@ -37,14 +41,14 @@ fn full_and_coarse_grids_agree_on_the_best_tuple() {
         assert!(
             dn <= 1 && dp <= 1,
             "{}: full(24) best {ft} and coarse(24) best {ct} are not adjacent",
-            spec.name
+            spec.name()
         );
         // The coarse pick must also be competitive in speedup, not merely
         // nearby in the plane.
         assert!(
             cs >= 0.95 * fs,
             "{}: coarse best {ct}@{cs:.3} far below full best {ft}@{fs:.3}",
-            spec.name
+            spec.name()
         );
     }
 }

@@ -1,32 +1,48 @@
-//! # workloads — synthetic GPU kernels for the Poise reproduction
+//! # workloads — kernel workloads for the Poise reproduction
 //!
 //! The Poise paper evaluates on CUDA benchmarks (Rodinia, Polybench, Mars
-//! MapReduce, the Graph suite) executed under GPGPU-Sim. Neither the
-//! binaries nor their traces are usable here, so this crate generates
-//! *synthetic* kernels whose memory behaviour is tuned to match what the
-//! paper reports about each benchmark: the intra-/inter-warp locality split
-//! and reuse distance of Fig. 4, the kernel counts and `Pbest` (speedup
-//! with a 64× L1) ordering of Table IIIa, the monolithic phase-changing
-//! kernels called out in Section VII-D, and the compute-intensive suite of
-//! Fig. 16.
+//! MapReduce, the Graph suite) executed under GPGPU-Sim. This crate
+//! provides the kernels the reproduction runs instead, behind one
+//! identity type — [`Workload`] — with **two backends**:
 //!
-//! A [`KernelSpec`] describes one kernel as a sequence of [`Phase`]s, each
-//! with an [`AccessMix`]: how many ALU instructions separate loads (the
-//! paper's `In`), how many loads issue back-to-back (memory-level
-//! parallelism), how far a load's consumer trails it (instruction
-//! concurrency), and where loads go — a small *hot* per-warp set (short
-//! reuse distance → intra-warp locality), a large *cold* per-warp set
-//! (long reuse distance → thrashing pressure), a per-SM *shared* set
-//! (inter-warp locality) or a *streaming* region (no reuse).
+//! * **Synthetic** ([`spec`]): generated kernels whose memory behaviour
+//!   is tuned to match what the paper reports about each benchmark — the
+//!   intra-/inter-warp locality split and reuse distance of Fig. 4, the
+//!   kernel counts and `Pbest` (speedup with a 64× L1) ordering of
+//!   Table IIIa, the monolithic phase-changing kernels of Section VII-D,
+//!   and the compute-intensive suite of Fig. 16. A [`KernelSpec`]
+//!   describes one kernel as a sequence of [`Phase`]s, each with an
+//!   [`AccessMix`]: how many ALU instructions separate loads (the paper's
+//!   `In`), how many loads issue back-to-back (memory-level parallelism),
+//!   how far a load's consumer trails it (instruction concurrency), and
+//!   where loads go — a small *hot* per-warp set, a large per-SM *cold*
+//!   sweep, a per-SM *shared* set or a *streaming* region.
 //!
-//! Kernels implement [`gpu_sim::KernelSource`] and are deterministic given
-//! their seed.
+//! * **Trace replay** ([`trace`]): recorded per-warp instruction streams
+//!   in a compact versioned text format, replayed through the same
+//!   [`gpu_sim::InstructionStream`] seam. Traces come from the
+//!   **recorder** (which can dump any [`gpu_sim::KernelSource`] —
+//!   including the synthetic generator, giving a bit-exact replay
+//!   oracle), or from the Accel-Sim-style importer
+//!   ([`trace::import_accelsim`]). A loaded trace is identified by the
+//!   SHA-256 of its file contents, so experiment caches key trace
+//!   workloads by *content*, not location.
+//!
+//! Both backends implement [`gpu_sim::KernelSource`] and are
+//! deterministic: synthetic kernels given their seed, traces given their
+//! bytes. Everything above the simulator (profiler, trainer, experiment
+//! engine, figures) takes [`Workload`] and treats the two identically.
 
+pub mod digest;
 pub mod spec;
 pub mod suites;
+pub mod trace;
+pub mod workload;
 
 pub use spec::{AccessMix, Benchmark, KernelSpec, Phase};
 pub use suites::{compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite};
+pub use trace::{import_accelsim, record_kernel, TraceData, TraceError, TraceKernel, TraceRef};
+pub use workload::Workload;
 
 #[cfg(test)]
 mod tests {
@@ -47,7 +63,7 @@ mod tests {
             assert!(
                 res.counters.instructions > 0,
                 "kernel {} of {} issued nothing",
-                k.name,
+                k.name(),
                 bench.name
             );
         }
@@ -57,5 +73,21 @@ mod tests {
     fn kernels_expose_pcs() {
         let suite = evaluation_suite();
         assert!(suite[0].kernels[0].n_pcs() >= 4);
+    }
+
+    #[test]
+    fn recorded_suite_kernel_replays_through_workload() {
+        // The two backends are interchangeable behind Workload: a recorded
+        // suite kernel drives the simulator exactly like its generator.
+        let bench = &evaluation_suite()[0];
+        let spec = bench.kernels[0].synthetic().unwrap().clone();
+        let trace = trace::record_kernel(&spec, spec.name.as_str(), 1, 2, 3_000);
+        let workload = Workload::from(TraceRef::from_data(trace));
+        let cfg = GpuConfig::scaled(1);
+        let run = |w: &Workload| {
+            let mut gpu = Gpu::new(cfg.clone(), w);
+            gpu.run(&mut FixedTuple::max(), 1_000).counters
+        };
+        assert_eq!(run(&Workload::from(spec)), run(&workload));
     }
 }

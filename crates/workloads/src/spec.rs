@@ -1,6 +1,7 @@
 //! Kernel specifications and the deterministic instruction-stream
 //! generator.
 
+use crate::workload::Workload;
 use gpu_sim::{Instr, InstructionStream, KernelSource};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -379,19 +380,26 @@ impl InstructionStream for SpecStream {
     }
 }
 
-/// A named group of kernels executed in sequence (a benchmark
-/// application).
+/// A named group of workloads executed in sequence (a benchmark
+/// application). Synthetic kernels and trace replays mix freely — every
+/// member is a [`Workload`].
 #[derive(Debug, Clone)]
 pub struct Benchmark {
     /// Suite-qualified benchmark name, e.g. `"ii"`.
     pub name: String,
-    /// The kernels, in launch order.
-    pub kernels: Vec<KernelSpec>,
+    /// The workloads, in launch order.
+    pub kernels: Vec<Workload>,
 }
 
 impl Benchmark {
-    /// Build a benchmark from kernels.
-    pub fn new(name: impl Into<String>, kernels: Vec<KernelSpec>) -> Self {
+    /// Build a benchmark from workloads (synthetic [`KernelSpec`]s and
+    /// [`crate::TraceRef`]s both convert).
+    pub fn new<I>(name: impl Into<String>, kernels: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Workload>,
+    {
+        let kernels: Vec<Workload> = kernels.into_iter().map(Into::into).collect();
         assert!(!kernels.is_empty());
         Benchmark {
             name: name.into(),
@@ -567,7 +575,7 @@ mod tests {
         let b = Benchmark::new("b", kernels);
         let c = b.capped(3);
         assert_eq!(c.kernels.len(), 3);
-        assert_eq!(c.kernels[0].name, "k0");
+        assert_eq!(c.kernels[0].name(), "k0");
         assert!(b.capped(20).kernels.len() == 10);
     }
 

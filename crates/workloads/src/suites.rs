@@ -61,7 +61,7 @@ fn jitter(base: &AccessMix, bench_seed: u64, idx: u64) -> (AccessMix, usize) {
 
 /// Build a jittered kernel family.
 fn family(name: &str, base: AccessMix, count: usize, seed: u64) -> Benchmark {
-    let kernels = (0..count)
+    let kernels: Vec<KernelSpec> = (0..count)
         .map(|i| {
             let (mix, warps) = jitter(&base, seed, i as u64);
             KernelSpec::steady(format!("{name}#{i}"), mix, seed ^ (i as u64) << 1).with_warps(warps)
@@ -444,7 +444,7 @@ mod tests {
     #[test]
     fn compute_insensitive_kernels_have_high_in() {
         for b in compute_insensitive_suite() {
-            let mix = b.kernels[0].base_mix();
+            let mix = b.kernels[0].synthetic().unwrap().base_mix();
             // In ~ alu_per_load + ind_gap per load; must exceed Imax = 49.
             assert!(mix.alu_per_load + mix.ind_gap > 49, "{}", b.name);
         }

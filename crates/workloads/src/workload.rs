@@ -1,0 +1,148 @@
+//! The [`Workload`] abstraction: the one kernel-identity type everything
+//! above `gpu-sim` speaks.
+//!
+//! A workload is either a *synthetic* kernel (a [`KernelSpec`] realised
+//! lazily by the deterministic generator) or a *trace* (a recorded or
+//! imported instruction stream replayed by [`crate::trace::TraceRef`]).
+//! Profilers, trainers, experiment runners, the job engine and the figure
+//! registry all take `&Workload`; the simulator below stays on the
+//! [`KernelSource`] seam and never knows which backend produced its
+//! streams.
+//!
+//! ## Identity
+//!
+//! A workload's identity — what experiment cache keys hash — is its
+//! [`Workload::spec_line`]: the full field-wise `KernelSpec` for a
+//! synthetic kernel, and the *content digest* of the trace file for a
+//! trace. Editing a trace file therefore invalidates exactly that
+//! workload's cached results on the next load, the same way editing a
+//! synthetic spec does.
+
+use crate::spec::KernelSpec;
+use crate::trace::TraceRef;
+use gpu_sim::{InstructionStream, KernelSource};
+
+/// One kernel workload: a synthetic spec or a recorded trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// A synthetic kernel realised by the generator in [`crate::spec`].
+    Synthetic(KernelSpec),
+    /// A recorded/imported trace replayed from a trace file.
+    Trace(TraceRef),
+}
+
+impl Workload {
+    /// The kernel's display name.
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Synthetic(s) => &s.name,
+            Workload::Trace(t) => t.name(),
+        }
+    }
+
+    /// The canonical one-line identity used in job spec texts (and thus
+    /// cache keys): every [`KernelSpec`] field for a synthetic kernel,
+    /// the content digest (not the path) for a trace.
+    pub fn spec_line(&self) -> String {
+        match self {
+            Workload::Synthetic(s) => format!("kernel {s:?}"),
+            Workload::Trace(t) => format!("trace {t:?}"),
+        }
+    }
+
+    /// The synthetic spec, if this workload is one.
+    pub fn synthetic(&self) -> Option<&KernelSpec> {
+        match self {
+            Workload::Synthetic(s) => Some(s),
+            Workload::Trace(_) => None,
+        }
+    }
+
+    /// Mutable access to the synthetic spec, if this workload is one
+    /// (used by tests to perturb job inputs).
+    pub fn synthetic_mut(&mut self) -> Option<&mut KernelSpec> {
+        match self {
+            Workload::Synthetic(s) => Some(s),
+            Workload::Trace(_) => None,
+        }
+    }
+
+    /// The trace reference, if this workload is one.
+    pub fn trace(&self) -> Option<&TraceRef> {
+        match self {
+            Workload::Synthetic(_) => None,
+            Workload::Trace(t) => Some(t),
+        }
+    }
+}
+
+impl From<KernelSpec> for Workload {
+    fn from(spec: KernelSpec) -> Self {
+        Workload::Synthetic(spec)
+    }
+}
+
+impl From<TraceRef> for Workload {
+    fn from(t: TraceRef) -> Self {
+        Workload::Trace(t)
+    }
+}
+
+impl KernelSource for Workload {
+    fn stream_for(&self, sm: usize, scheduler: usize, warp: usize) -> Box<dyn InstructionStream> {
+        match self {
+            Workload::Synthetic(s) => s.stream_for(sm, scheduler, warp),
+            Workload::Trace(t) => t.stream_for(sm, scheduler, warp),
+        }
+    }
+
+    fn warps_per_scheduler(&self) -> usize {
+        match self {
+            Workload::Synthetic(s) => KernelSource::warps_per_scheduler(s),
+            Workload::Trace(t) => KernelSource::warps_per_scheduler(t),
+        }
+    }
+
+    fn n_pcs(&self) -> usize {
+        match self {
+            Workload::Synthetic(s) => KernelSource::n_pcs(s),
+            Workload::Trace(t) => KernelSource::n_pcs(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::record_kernel;
+    use crate::AccessMix;
+
+    #[test]
+    fn spec_line_distinguishes_backends_and_contents() {
+        let a = Workload::from(KernelSpec::steady("k", AccessMix::memory_sensitive(), 1));
+        let b = Workload::from(KernelSpec::steady("k", AccessMix::memory_sensitive(), 2));
+        assert_ne!(a.spec_line(), b.spec_line(), "seed must enter the line");
+        assert!(a.spec_line().starts_with("kernel "));
+
+        let spec = KernelSpec::steady("k", AccessMix::memory_sensitive(), 1).with_warps(2);
+        let t1 = Workload::from(TraceRef::from_data(record_kernel(&spec, "k", 1, 1, 50)));
+        let t2 = Workload::from(TraceRef::from_data(record_kernel(&spec, "k", 1, 1, 60)));
+        assert!(t1.spec_line().starts_with("trace "));
+        assert!(t1.spec_line().contains(t1.trace().unwrap().digest.as_str()));
+        assert_ne!(t1.spec_line(), t2.spec_line(), "content keys the trace");
+        assert_ne!(a.spec_line(), t1.spec_line());
+    }
+
+    #[test]
+    fn workload_delegates_kernel_source() {
+        let spec = KernelSpec::steady("k", AccessMix::memory_sensitive(), 7).with_warps(3);
+        let w = Workload::from(spec.clone());
+        assert_eq!(KernelSource::warps_per_scheduler(&w), 3);
+        assert_eq!(KernelSource::n_pcs(&w), crate::spec::pcs::COUNT);
+        let mut a = w.stream_for(0, 0, 1);
+        let mut b = spec.stream_for(0, 0, 1);
+        for _ in 0..100 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+}

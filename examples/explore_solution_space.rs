@@ -7,7 +7,7 @@
 //! cargo run --release --example explore_solution_space [bench-name]
 //! ```
 
-use poise_repro::gpu_sim::GpuConfig;
+use poise_repro::gpu_sim::{GpuConfig, KernelSource};
 use poise_repro::poise::profiler::{profile_grid, GridSpec, ProfileWindow};
 use poise_repro::poise_ml::ScoringWeights;
 use poise_repro::workloads::evaluation_suite;
@@ -21,11 +21,11 @@ fn main() {
     let kernel = &bench.kernels[0];
     let cfg = GpuConfig::scaled(4);
 
-    println!("profiling {} over the full {{N, p}} grid...", kernel.name);
+    println!("profiling {} over the full {{N, p}} grid...", kernel.name());
     let grid = profile_grid(
         kernel,
         &cfg,
-        &GridSpec::full(kernel.warps_per_scheduler.min(16)),
+        &GridSpec::full(kernel.warps_per_scheduler().min(16)),
         ProfileWindow::default(),
     );
 

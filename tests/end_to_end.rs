@@ -7,7 +7,7 @@ use poise_repro::poise::experiment::{self, Scheme, Setup};
 use poise_repro::poise::profiler::{profile_grid, run_tuple, GridSpec, ProfileWindow};
 use poise_repro::poise::{train, PoiseController, PoiseParams};
 use poise_repro::poise_ml::{TrainedModel, N_FEATURES};
-use poise_repro::workloads::{AccessMix, Benchmark, KernelSpec};
+use poise_repro::workloads::{AccessMix, Benchmark, KernelSpec, Workload};
 
 fn small_setup() -> Setup {
     let mut s = Setup::for_tests();
@@ -34,13 +34,13 @@ fn const_model(n: f64, p: f64) -> TrainedModel {
 fn trained_model_deploys_on_unseen_kernel() {
     let setup = small_setup();
     // Train on a small diverse population...
-    let kernels: Vec<KernelSpec> = (0..10)
+    let kernels: Vec<Workload> = (0..10)
         .map(|i| {
             let mut mix = AccessMix::memory_sensitive();
             mix.hot_lines = 6 + 3 * i;
             mix.hot_frac = 0.5 + 0.04 * i as f64;
             mix.shared_frac = 0.05 + 0.03 * i as f64;
-            KernelSpec::steady(format!("train{i}"), mix, 1000 + i as u64)
+            KernelSpec::steady(format!("train{i}"), mix, 1000 + i as u64).into()
         })
         .collect();
     let model = train::train_on_kernels(&kernels, &setup, &[]);
@@ -65,7 +65,7 @@ fn throttling_beats_gto_on_thrashing_kernel() {
     // The core premise of the paper: some reduced tuple outperforms the
     // maximum-warps baseline on a cache-thrashing kernel.
     let setup = small_setup();
-    let kernel = KernelSpec::steady("thrash", AccessMix::memory_sensitive(), 77);
+    let kernel: Workload = KernelSpec::steady("thrash", AccessMix::memory_sensitive(), 77).into();
     let window = ProfileWindow {
         warmup: 25_000,
         measure: 10_000,
@@ -88,7 +88,7 @@ fn pollute_bit_improves_polluting_warp_hit_rate() {
     // polluting warps see a far better hit rate than the baseline net
     // rate (Fig. 4's hp >> ho).
     let setup = small_setup();
-    let kernel = KernelSpec::steady("fig4", AccessMix::memory_sensitive(), 99);
+    let kernel: Workload = KernelSpec::steady("fig4", AccessMix::memory_sensitive(), 99).into();
     let window = ProfileWindow {
         warmup: 30_000,
         measure: 10_000,

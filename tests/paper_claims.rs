@@ -2,7 +2,7 @@
 //! that must hold for the evaluation's shape to emerge, each checked on
 //! a small machine so the suite stays fast.
 
-use poise_repro::gpu_sim::{Gpu, GpuConfig, WarpTuple};
+use poise_repro::gpu_sim::{Gpu, GpuConfig, KernelSource, WarpTuple};
 use poise_repro::poise::profiler::{run_tuple, ProfileWindow};
 use poise_repro::poise::{PoiseController, PoiseParams};
 use poise_repro::poise_ml::{
@@ -10,7 +10,7 @@ use poise_repro::poise_ml::{
 };
 use poise_repro::workloads::{
     compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite, AccessMix,
-    KernelSpec,
+    KernelSpec, Workload,
 };
 
 fn window() -> ProfileWindow {
@@ -28,7 +28,7 @@ fn cfg() -> GpuConfig {
 /// thrashing; restricting pollution restores the polluting warps' hits.
 #[test]
 fn pollute_knob_controls_thrashing() {
-    let kernel = KernelSpec::steady("k", AccessMix::memory_sensitive(), 1);
+    let kernel: Workload = KernelSpec::steady("k", AccessMix::memory_sensitive(), 1).into();
     let c = cfg();
     let all = run_tuple(&kernel, &c, WarpTuple::new(24, 24, 24), window());
     let one = run_tuple(&kernel, &c, WarpTuple::new(24, 1, 24), window());
@@ -46,7 +46,7 @@ fn fig4_locality_split_ordering() {
     let c = cfg();
     let mut shares = Vec::new();
     for k in fig4_kernels() {
-        let base = run_tuple(&k, &c, WarpTuple::max(24), window());
+        let base = run_tuple(&k.clone().into(), &c, WarpTuple::max(24), window());
         let w = base.window;
         let hits = w.l1_hits.max(1) as f64;
         shares.push((k.name.clone(), w.l1_intra_hits as f64 / hits));
@@ -99,7 +99,7 @@ fn insensitive_suite_exceeds_imax() {
 /// rates are substituted into the model.
 #[test]
 fn analytical_model_agrees_with_observed_speedup_direction() {
-    let kernel = KernelSpec::steady("k", AccessMix::memory_sensitive(), 9);
+    let kernel: Workload = KernelSpec::steady("k", AccessMix::memory_sensitive(), 9).into();
     let c = cfg();
     let base = run_tuple(&kernel, &c, WarpTuple::max(24), window());
     let tuned = run_tuple(&kernel, &c, WarpTuple::new(8, 2, 24), window());
@@ -196,13 +196,18 @@ fn partial_occupancy_clamps_hie_tuples() {
 #[test]
 fn features_are_finite_for_all_suite_archetypes() {
     let c = cfg();
-    let mut kernels: Vec<KernelSpec> = Vec::new();
+    let mut kernels: Vec<Workload> = Vec::new();
     for b in evaluation_suite() {
         kernels.push(b.kernels[0].clone());
     }
     kernels.push(compute_insensitive_suite()[0].kernels[0].clone());
     for k in kernels {
-        let base = run_tuple(&k, &c, WarpTuple::max(k.warps_per_scheduler), window());
+        let base = run_tuple(
+            &k,
+            &c,
+            WarpTuple::max(KernelSource::warps_per_scheduler(&k)),
+            window(),
+        );
         let refp = run_tuple(&k, &c, WarpTuple::new(1, 1, 24), window());
         let x = FeatureVector::from_samples(
             &poise_repro::gpu_sim::WindowSample::from_counters(&base.window),
@@ -211,7 +216,7 @@ fn features_are_finite_for_all_suite_archetypes() {
         assert!(
             x.as_slice().iter().all(|v| v.is_finite()),
             "{}: {x}",
-            k.name
+            k.name()
         );
     }
 }

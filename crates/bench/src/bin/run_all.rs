@@ -9,16 +9,21 @@
 //! results — replacing the old 21-process serial harness.
 //!
 //! Flags: `--keep-going` (render every figure even after failures, then
-//! summarise), `--only <a,b,...>`, `--list`, `--gc` (prune cache entries
-//! the current job set no longer references).
+//! summarise), `--only <a,b,...>` (exact names or underscore prefixes,
+//! e.g. `fig12`), `--list`, `--gc` (prune cache entries the current job
+//! set no longer references), `--set <knob>=<value>` (apply a knob to
+//! the base setup, e.g. `--set sms=32`), and `--sweep <knob>=<v1,v2,..>`
+//! (sweep a knob across every selected figure's plan — see
+//! `poise::plan` and the "Plans & sweeps" section of EXPERIMENTS.md for
+//! the knob grammar).
 //!
-//! Effort knobs (environment): `POISE_SMS` (default 8),
-//! `POISE_KERNELS_CAP` (default 3), `POISE_TRAIN_CAP` (default 8),
-//! `POISE_RUN_CYCLES` (default 400000); `POISE_RERUN=1` bypasses the
-//! result cache wholesale, `POISE_RETRAIN=1` re-runs training only.
-//! Editing any job input (kernel specs, schemes, parameters, machine
-//! configuration) invalidates exactly the affected cache entries, so
-//! these escape hatches are rarely needed.
+//! The legacy effort-knob environment variables (`POISE_SMS`,
+//! `POISE_KERNELS_CAP`, `POISE_TRAIN_CAP`, `POISE_RUN_CYCLES`) are
+//! deprecated aliases feeding the same knob overlay; `--set` wins.
+//! `POISE_RERUN=1` bypasses the result cache wholesale, `POISE_RETRAIN=1`
+//! re-runs training only. Editing any job input (kernel specs, schemes,
+//! parameters, machine configuration) invalidates exactly the affected
+//! cache entries, so these escape hatches are rarely needed.
 
 use std::process::ExitCode;
 

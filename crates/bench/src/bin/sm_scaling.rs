@@ -1,0 +1,10 @@
+//! Shim over the `sm_scaling` sweep figure: IPC and simulation
+//! throughput of every scheme across machine sizes (1→32 SMs at the
+//! paper baseline). See `poise_bench::figures` and EXPERIMENTS.md;
+//! `run_all --sweep sms=...` overrides the default SM ladder.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    poise_bench::figures::figure_main("sm_scaling")
+}

@@ -33,6 +33,7 @@ use poise::jobs::{
     Engine, KernelRunSpec, ModelSpec, PbestSpec, ProfileSpec, ResultStore, SampleSpec, SimJob,
     TupleRunSpec,
 };
+use poise::plan::{Axis, ExperimentPlan, KnobOverlay, PlanExpansion, SweepPoint};
 use poise::policies::swl_tuple_from_grid;
 use poise::profiler::{GridSpec, ProfileWindow};
 use poise_ml::{ScoringWeights, SpeedupGrid, TrainingSample};
@@ -65,9 +66,9 @@ pub struct FigCtx {
 }
 
 impl FigCtx {
-    /// Build the context from the environment (`POISE_*` knobs).
-    pub fn from_env() -> Self {
-        let setup = crate::setup();
+    /// Build the context over an explicit base [`Setup`] (the knob
+    /// overlay has already been applied by the CLI entry point).
+    pub fn new(setup: Setup) -> Self {
         let model = ModelSpec::default_training(&setup);
         let (traces, trace_errors) = load_trace_workloads();
         FigCtx {
@@ -77,16 +78,61 @@ impl FigCtx {
             trace_errors,
         }
     }
+
+    /// Build the context from the deprecated `POISE_*` aliases only (the
+    /// per-figure binary shims take no `--set` arguments). Errors on
+    /// malformed alias values.
+    pub fn from_env() -> Result<Self, String> {
+        Ok(FigCtx::new(crate::base_setup(&crate::env_overlay()?)))
+    }
 }
 
 /// One registered figure/table.
+///
+/// Every figure is an [`ExperimentPlan`]: `axes` declares its intrinsic
+/// sweep (empty for the common single-point figures; `run_all --sweep`
+/// can override or extend it), `jobs` is a pure function of one sweep
+/// point's [`Setup`], and `render` receives every expanded point. The
+/// shared [`FigCtx`] carries what is deliberately *not* swept: the base
+/// setup, the one offline-trained model every point deploys, and the
+/// trace workloads.
 pub struct Figure {
     /// Binary-compatible name, e.g. `"fig07_performance"`.
     pub name: &'static str,
-    /// The simulation jobs this figure renders from.
-    pub jobs: fn(&FigCtx) -> Vec<SimJob>,
+    /// The figure's intrinsic sweep axes over the base setup.
+    pub axes: fn(&FigCtx) -> Vec<Axis>,
+    /// Whether the renderer can present more than one sweep point.
+    /// `run_all` rejects a `--sweep` that expands a non-sweepable
+    /// figure *before* simulating anything — paying for the whole
+    /// swept job graph only to fail at render time would waste hours
+    /// at paper knobs.
+    pub sweepable: bool,
+    /// The simulation jobs of one sweep point.
+    pub jobs: fn(&FigCtx, &Setup) -> Vec<SimJob>,
     /// Render from cached results; `Err` carries the failure message.
-    pub render: fn(&FigCtx, &ResultStore) -> Result<(), String>,
+    pub render: fn(&FigCtx, &[SweepPoint], &ResultStore) -> Result<(), String>,
+}
+
+impl Figure {
+    /// The figure's plan: its axes applied over the context's base setup.
+    /// `override_axes` (from `run_all --sweep`) replace a same-knob
+    /// default axis or extend the axis list.
+    pub fn plan(&self, ctx: &FigCtx, override_axes: &[Axis]) -> ExperimentPlan {
+        let mut axes = (self.axes)(ctx);
+        for o in override_axes {
+            match axes.iter_mut().find(|a| a.knob == o.knob) {
+                Some(a) => *a = o.clone(),
+                None => axes.push(o.clone()),
+            }
+        }
+        ExperimentPlan::new(ctx.setup.clone(), axes)
+    }
+
+    /// Expand this figure's plan into its per-point jobs.
+    pub fn expand(&self, ctx: &FigCtx, override_axes: &[Axis]) -> PlanExpansion {
+        self.plan(ctx, override_axes)
+            .expand(|setup| (self.jobs)(ctx, setup))
+    }
 }
 
 /// All figures, in the canonical `run_all` order.
@@ -95,6 +141,18 @@ pub fn registry() -> Vec<Figure> {
         ($name:literal, $jobs:ident, $render:ident) => {
             Figure {
                 name: $name,
+                axes: no_axes,
+                sweepable: false,
+                jobs: $jobs,
+                render: $render,
+            }
+        };
+        // Figures declaring axes render arbitrary point sets.
+        ($name:literal, $axes:ident, $jobs:ident, $render:ident) => {
+            Figure {
+                name: $name,
+                axes: $axes,
+                sweepable: true,
                 jobs: $jobs,
                 render: $render,
             }
@@ -123,10 +181,16 @@ pub fn registry() -> Vec<Figure> {
         fig!("fig15_alternatives", jobs_fig15, render_fig15),
         fig!("fig17_case_study", jobs_fig17, render_fig17),
         fig!("fig11_stride", jobs_fig11, render_fig11),
-        fig!("fig12_cache_size", jobs_fig12, render_fig12),
+        fig!("fig12_cache_size", axes_fig12, jobs_fig12, render_fig12),
         fig!("fig13_feature_ablation", jobs_fig13, render_fig13),
         fig!("ablation_mshr", jobs_ablation_mshr, render_ablation_mshr),
         fig!("ablation_epoch", jobs_ablation_epoch, render_ablation_epoch),
+        fig!(
+            "sm_scaling",
+            axes_sm_scaling,
+            jobs_sm_scaling,
+            render_sm_scaling
+        ),
     ]
 }
 
@@ -136,8 +200,27 @@ pub fn registry() -> Vec<Figure> {
 // declared.
 // ---------------------------------------------------------------------------
 
-fn no_jobs(_ctx: &FigCtx) -> Vec<SimJob> {
+fn no_axes(_ctx: &FigCtx) -> Vec<Axis> {
     Vec::new()
+}
+
+fn no_jobs(_ctx: &FigCtx, _setup: &Setup) -> Vec<SimJob> {
+    Vec::new()
+}
+
+/// The single sweep point of a figure without axes. Figures whose
+/// renderer calls this do not support `--sweep`: expanding them to
+/// several points is a loud render error, never a silent overwrite of
+/// one point's output by another's.
+fn single_point(points: &[SweepPoint]) -> Result<&SweepPoint, String> {
+    match points {
+        [p] => Ok(p),
+        _ => Err(format!(
+            "figure renders a single sweep point but the plan expanded to {} \
+             (this figure does not support --sweep)",
+            points.len()
+        )),
+    }
 }
 
 /// Jobs for one benchmark under one scheme (capped kernels).
@@ -177,12 +260,12 @@ fn scheme_result(
 }
 
 /// The Figs. 7–10/14 comparison: five schemes × eleven benchmarks.
-fn jobs_main_comparison(ctx: &FigCtx) -> Vec<SimJob> {
+fn jobs_main_comparison(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
     let mut jobs = Vec::new();
     for bench in evaluation_suite() {
         for scheme in Scheme::main_comparison() {
             let model = (scheme == Scheme::Poise).then_some(&ctx.model);
-            jobs.extend(scheme_jobs(&bench, scheme, &ctx.setup, model));
+            jobs.extend(scheme_jobs(&bench, scheme, setup, model));
         }
     }
     jobs
@@ -190,13 +273,13 @@ fn jobs_main_comparison(ctx: &FigCtx) -> Vec<SimJob> {
 
 /// Full-precision main-comparison rows, in the order the old harness
 /// produced them (bench-major, `Scheme::main_comparison` order).
-fn main_rows(ctx: &FigCtx, store: &ResultStore) -> Result<Vec<MainRow>, String> {
+fn main_rows(ctx: &FigCtx, setup: &Setup, store: &ResultStore) -> Result<Vec<MainRow>, String> {
     let mut rows = Vec::new();
     for bench in evaluation_suite() {
         for scheme in Scheme::main_comparison() {
             let model = (scheme == Scheme::Poise).then_some(&ctx.model);
             rows.push(crate::row_of(&scheme_result(
-                store, &bench, scheme, &ctx.setup, model,
+                store, &bench, scheme, setup, model,
             )?));
         }
     }
@@ -206,8 +289,12 @@ fn main_rows(ctx: &FigCtx, store: &ResultStore) -> Result<Vec<MainRow>, String> 
 /// Main-comparison rows as every figure after `fig07` saw them in the
 /// per-binary harness: round-tripped through the 6-decimal TSV cells
 /// (see the module docs).
-fn main_rows_cached(ctx: &FigCtx, store: &ResultStore) -> Result<Vec<MainRow>, String> {
-    let rows = main_rows(ctx, store)?;
+fn main_rows_cached(
+    ctx: &FigCtx,
+    setup: &Setup,
+    store: &ResultStore,
+) -> Result<Vec<MainRow>, String> {
+    let rows = main_rows(ctx, setup, store)?;
     rows_from_tsv(&rows_to_tsv(&rows)).ok_or_else(|| "TSV round-trip failed".to_string())
 }
 
@@ -215,7 +302,11 @@ fn main_rows_cached(ctx: &FigCtx, store: &ResultStore) -> Result<Vec<MainRow>, S
 // Table IV — parameters (no simulation).
 // ---------------------------------------------------------------------------
 
-fn render_table4(_ctx: &FigCtx, _store: &ResultStore) -> Result<(), String> {
+fn render_table4(
+    _ctx: &FigCtx,
+    _points: &[SweepPoint],
+    _store: &ResultStore,
+) -> Result<(), String> {
     use poise::PoiseParams;
     use poise_ml::TrainingThresholds;
     let p = PoiseParams::default();
@@ -290,7 +381,11 @@ fn render_table4(_ctx: &FigCtx, _store: &ResultStore) -> Result<(), String> {
 // §VII-I — hardware cost (no simulation).
 // ---------------------------------------------------------------------------
 
-fn render_table_hw_cost(_ctx: &FigCtx, _store: &ResultStore) -> Result<(), String> {
+fn render_table_hw_cost(
+    _ctx: &FigCtx,
+    _points: &[SweepPoint],
+    _store: &ResultStore,
+) -> Result<(), String> {
     use poise::hardware_cost::HardwareCost;
     let c = HardwareCost::paper_baseline();
     let rows = vec![
@@ -323,11 +418,11 @@ fn render_table_hw_cost(_ctx: &FigCtx, _store: &ResultStore) -> Result<(), Strin
 // Table II — learned weights.
 // ---------------------------------------------------------------------------
 
-fn jobs_table2(ctx: &FigCtx) -> Vec<SimJob> {
+fn jobs_table2(ctx: &FigCtx, _setup: &Setup) -> Vec<SimJob> {
     vec![SimJob::Train(ctx.model.clone())]
 }
 
-fn render_table2(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_table2(ctx: &FigCtx, _points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
     let model = store.model(&ctx.model)?;
     // Keep the human-readable weight dump the old harness left in
     // `results/model.txt` (the canonical copy now lives in the job cache).
@@ -374,12 +469,12 @@ fn render_table2(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 4 — L1 hit-rate decomposition.
 // ---------------------------------------------------------------------------
 
-fn fig04_specs(ctx: &FigCtx) -> Vec<(Workload, TupleRunSpec, TupleRunSpec)> {
-    let mut cfg = ctx.setup.cfg.clone();
+fn fig04_specs(setup: &Setup) -> Vec<(Workload, TupleRunSpec, TupleRunSpec)> {
+    let mut cfg = setup.cfg.clone();
     cfg.track_reuse_distance = true;
     let window = ProfileWindow {
-        warmup: ctx.setup.profile_window.warmup,
-        measure: ctx.setup.profile_window.measure * 2,
+        warmup: setup.profile_window.warmup,
+        measure: setup.profile_window.measure * 2,
     };
     fig4_kernels()
         .into_iter()
@@ -402,16 +497,17 @@ fn fig04_specs(ctx: &FigCtx) -> Vec<(Workload, TupleRunSpec, TupleRunSpec)> {
         .collect()
 }
 
-fn jobs_fig04(ctx: &FigCtx) -> Vec<SimJob> {
-    fig04_specs(ctx)
+fn jobs_fig04(_ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    fig04_specs(setup)
         .into_iter()
         .flat_map(|(_, base, reduced)| [SimJob::TupleRun(base), SimJob::TupleRun(reduced)])
         .collect()
 }
 
-fn render_fig04(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_fig04(_ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
     let mut rows = Vec::new();
-    for (kernel, base_spec, reduced_spec) in fig04_specs(ctx) {
+    for (kernel, base_spec, reduced_spec) in fig04_specs(setup) {
         let b = &store.steady(&base_spec)?.window;
         let r = &store.steady(&reduced_spec)?.window;
         let hits = (b.l1_hits).max(1) as f64;
@@ -479,7 +575,7 @@ fn pcal_converge(grid: &SpeedupGrid, start: WarpTuple) -> WarpTuple {
     WarpTuple::new(n, best_p.min(n), grid.max_n())
 }
 
-fn fig02_spec(ctx: &FigCtx) -> ProfileSpec {
+fn fig02_spec(setup: &Setup) -> ProfileSpec {
     // The paper profiles ii kernel #112; any intra-heavy family member
     // shows the same structure — use the ii base kernel. Full 300-point
     // triangle at the hardware scheduler capacity.
@@ -488,30 +584,30 @@ fn fig02_spec(ctx: &FigCtx) -> ProfileSpec {
         .find(|b| b.name == "ii")
         .expect("ii benchmark");
     let kernel = bench.kernels[0].clone();
-    let max_n = ctx
-        .setup
+    let max_n = setup
         .cfg
         .max_warps_per_scheduler
         .min(kernel.warps_per_scheduler());
     ProfileSpec {
         workload: kernel,
-        cfg: ctx.setup.cfg.clone(),
+        cfg: setup.cfg.clone(),
         grid: GridSpec::full(max_n),
-        window: ctx.setup.profile_window,
+        window: setup.profile_window,
     }
 }
 
-fn jobs_fig02(ctx: &FigCtx) -> Vec<SimJob> {
-    vec![SimJob::Profile(fig02_spec(ctx))]
+fn jobs_fig02(_ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    vec![SimJob::Profile(fig02_spec(setup))]
 }
 
-fn render_fig02(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let spec = fig02_spec(ctx);
+fn render_fig02(_ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
+    let spec = fig02_spec(setup);
     let grid = store.grid(&spec)?;
     let max_n = spec
         .workload
         .warps_per_scheduler()
-        .min(ctx.setup.cfg.max_warps_per_scheduler);
+        .min(setup.cfg.max_warps_per_scheduler);
 
     println!(
         "# Fig. 2a — {{N, p}} solution space of {}",
@@ -559,7 +655,7 @@ fn render_fig02(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 5 — scoring system.
 // ---------------------------------------------------------------------------
 
-fn fig05_specs(ctx: &FigCtx) -> Vec<ProfileSpec> {
+fn fig05_specs(setup: &Setup) -> Vec<ProfileSpec> {
     let bench = evaluation_suite()
         .into_iter()
         .find(|b| b.name == "ii")
@@ -567,29 +663,32 @@ fn fig05_specs(ctx: &FigCtx) -> Vec<ProfileSpec> {
     [&bench.kernels[2], &bench.kernels[4]]
         .into_iter()
         .map(|kernel| {
-            let max_n = ctx
-                .setup
+            let max_n = setup
                 .cfg
                 .max_warps_per_scheduler
                 .min(kernel.warps_per_scheduler());
             ProfileSpec {
                 workload: kernel.clone(),
-                cfg: ctx.setup.cfg.clone(),
+                cfg: setup.cfg.clone(),
                 grid: GridSpec::full(max_n),
-                window: ctx.setup.profile_window,
+                window: setup.profile_window,
             }
         })
         .collect()
 }
 
-fn jobs_fig05(ctx: &FigCtx) -> Vec<SimJob> {
-    fig05_specs(ctx).into_iter().map(SimJob::Profile).collect()
+fn jobs_fig05(_ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    fig05_specs(setup)
+        .into_iter()
+        .map(SimJob::Profile)
+        .collect()
 }
 
-fn render_fig05(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_fig05(_ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
     let mut rows = Vec::new();
     let mut grids = String::new();
-    for spec in fig05_specs(ctx) {
+    for spec in fig05_specs(setup) {
         let grid = store.grid(&spec)?;
         let (perf_t, perf_s) = grid.best_performance().ok_or("unprofiled")?;
         let (score_t, _) = grid
@@ -624,14 +723,14 @@ fn render_fig05(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Table III — workloads with Pbest.
 // ---------------------------------------------------------------------------
 
-fn table3_specs(ctx: &FigCtx) -> Vec<(&'static str, Benchmark, PbestSpec)> {
+fn table3_specs(setup: &Setup) -> Vec<(&'static str, Benchmark, PbestSpec)> {
     let window = ProfileWindow::pbest();
     let mut specs = Vec::new();
     for (set, suite) in [("train", training_suite()), ("eval", evaluation_suite())] {
         for bench in suite {
             let spec = PbestSpec {
                 workload: bench.kernels[0].clone(),
-                cfg: ctx.setup.cfg.clone(),
+                cfg: setup.cfg.clone(),
                 window,
             };
             specs.push((set, bench, spec));
@@ -640,16 +739,17 @@ fn table3_specs(ctx: &FigCtx) -> Vec<(&'static str, Benchmark, PbestSpec)> {
     specs
 }
 
-fn jobs_table3(ctx: &FigCtx) -> Vec<SimJob> {
-    table3_specs(ctx)
+fn jobs_table3(_ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    table3_specs(setup)
         .into_iter()
         .map(|(_, _, spec)| SimJob::Pbest(spec))
         .collect()
 }
 
-fn render_table3(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_table3(_ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
     let mut rows = Vec::new();
-    for (set, bench, spec) in table3_specs(ctx) {
+    for (set, bench, spec) in table3_specs(setup) {
         let p = store.pbest(&spec)?;
         rows.push((set, bench.name.clone(), bench.kernels.len(), p));
     }
@@ -682,8 +782,9 @@ fn render_table3(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 7 — IPC normalised to GTO.
 // ---------------------------------------------------------------------------
 
-fn render_fig07(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let rows = main_rows(ctx, store)?;
+fn render_fig07(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
+    let rows = main_rows(ctx, setup, store)?;
     // The old harness persisted the comparison here; keep the artefact
     // (now a pure product of the job cache, not a cache itself).
     std::fs::write(
@@ -722,8 +823,8 @@ fn render_fig07(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 8 — absolute L1 hit rate.
 // ---------------------------------------------------------------------------
 
-fn render_fig08(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let rows = main_rows_cached(ctx, store)?;
+fn render_fig08(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let rows = main_rows_cached(ctx, &single_point(points)?.setup, store)?;
     let schemes = ["GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"];
     let mut table = Vec::new();
     let mut rates: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
@@ -754,8 +855,8 @@ fn render_fig08(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 9 — AML normalised to GTO.
 // ---------------------------------------------------------------------------
 
-fn render_fig09(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let rows = main_rows_cached(ctx, store)?;
+fn render_fig09(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let rows = main_rows_cached(ctx, &single_point(points)?.setup, store)?;
     let schemes = ["GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"];
     let mut table = Vec::new();
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
@@ -787,8 +888,8 @@ fn render_fig09(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 10 — prediction/search displacement.
 // ---------------------------------------------------------------------------
 
-fn render_fig10(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let rows = main_rows_cached(ctx, store)?;
+fn render_fig10(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let rows = main_rows_cached(ctx, &single_point(points)?.setup, store)?;
     let mut table = Vec::new();
     let (mut dns, mut dps, mut des) = (Vec::new(), Vec::new(), Vec::new());
     for bench in bench_order() {
@@ -819,8 +920,8 @@ fn render_fig10(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 14 — energy normalised to GTO.
 // ---------------------------------------------------------------------------
 
-fn render_fig14(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let rows = main_rows_cached(ctx, store)?;
+fn render_fig14(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let rows = main_rows_cached(ctx, &single_point(points)?.setup, store)?;
     let mut table = Vec::new();
     let mut ratios = Vec::new();
     for bench in bench_order() {
@@ -848,22 +949,22 @@ fn render_fig14(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // §VII-B — offline prediction error.
 // ---------------------------------------------------------------------------
 
-fn prediction_error_specs(ctx: &FigCtx) -> Vec<SampleSpec> {
+fn prediction_error_specs(setup: &Setup) -> Vec<SampleSpec> {
     evaluation_suite()
         .iter()
         .flat_map(|b| b.capped(2).kernels)
         .map(|kernel| SampleSpec {
             workload: kernel,
-            cfg: ctx.setup.cfg.clone(),
-            grid: ctx.setup.eval_grid.clone(),
-            window: ctx.setup.profile_window,
-            scoring: ctx.setup.params.scoring,
+            cfg: setup.cfg.clone(),
+            grid: setup.eval_grid.clone(),
+            window: setup.profile_window,
+            scoring: setup.params.scoring,
         })
         .collect()
 }
 
-fn jobs_prediction_error(ctx: &FigCtx) -> Vec<SimJob> {
-    let mut jobs: Vec<SimJob> = prediction_error_specs(ctx)
+fn jobs_prediction_error(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    let mut jobs: Vec<SimJob> = prediction_error_specs(setup)
         .into_iter()
         .map(SimJob::Sample)
         .collect();
@@ -871,10 +972,15 @@ fn jobs_prediction_error(ctx: &FigCtx) -> Vec<SimJob> {
     jobs
 }
 
-fn render_prediction_error(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_prediction_error(
+    ctx: &FigCtx,
+    points: &[SweepPoint],
+    store: &ResultStore,
+) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
     let model = store.model(&ctx.model)?;
     let mut samples: Vec<TrainingSample> = Vec::new();
-    for spec in prediction_error_specs(ctx) {
+    for spec in prediction_error_specs(setup) {
         samples.push(store.sample(&spec)?.clone());
     }
     let (en, ep) = model.prediction_error(&samples);
@@ -896,34 +1002,30 @@ fn render_prediction_error(ctx: &FigCtx, store: &ResultStore) -> Result<(), Stri
 // Fig. 16 — memory-insensitive applications.
 // ---------------------------------------------------------------------------
 
-fn jobs_fig16(ctx: &FigCtx) -> Vec<SimJob> {
+fn jobs_fig16(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
     let mut jobs = Vec::new();
     for bench in compute_insensitive_suite() {
-        jobs.extend(scheme_jobs(&bench, Scheme::Gto, &ctx.setup, None));
-        jobs.extend(scheme_jobs(
-            &bench,
-            Scheme::Poise,
-            &ctx.setup,
-            Some(&ctx.model),
-        ));
+        jobs.extend(scheme_jobs(&bench, Scheme::Gto, setup, None));
+        jobs.extend(scheme_jobs(&bench, Scheme::Poise, setup, Some(&ctx.model)));
         jobs.push(SimJob::Pbest(PbestSpec {
             workload: bench.kernels[0].clone(),
-            cfg: ctx.setup.cfg.clone(),
+            cfg: setup.cfg.clone(),
             window: ProfileWindow::pbest(),
         }));
     }
     jobs
 }
 
-fn render_fig16(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_fig16(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
     let mut table = Vec::new();
     let mut ratios = Vec::new();
     for bench in compute_insensitive_suite() {
-        let gto = scheme_result(store, &bench, Scheme::Gto, &ctx.setup, None)?;
-        let poise = scheme_result(store, &bench, Scheme::Poise, &ctx.setup, Some(&ctx.model))?;
+        let gto = scheme_result(store, &bench, Scheme::Gto, setup, None)?;
+        let poise = scheme_result(store, &bench, Scheme::Poise, setup, Some(&ctx.model))?;
         let pb = store.pbest(&PbestSpec {
             workload: bench.kernels[0].clone(),
-            cfg: ctx.setup.cfg.clone(),
+            cfg: setup.cfg.clone(),
             window: ProfileWindow::pbest(),
         })?;
         let v = poise.ipc / gto.ipc;
@@ -986,20 +1088,25 @@ fn load_trace_workloads() -> (Vec<Workload>, Vec<String>) {
     (traces, errors)
 }
 
-fn jobs_trace_eval(ctx: &FigCtx) -> Vec<SimJob> {
+fn jobs_trace_eval(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
     let mut jobs = Vec::new();
     for workload in &ctx.traces {
         for scheme in TRACE_EVAL_SCHEMES {
             let model = (scheme == Scheme::Poise).then_some(&ctx.model);
             jobs.push(SimJob::Run(KernelRunSpec::new(
-                workload, scheme, &ctx.setup, model,
+                workload, scheme, setup, model,
             )));
         }
     }
     jobs
 }
 
-fn render_trace_eval(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_trace_eval(
+    ctx: &FigCtx,
+    points: &[SweepPoint],
+    store: &ResultStore,
+) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
     if !ctx.trace_errors.is_empty() {
         return Err(format!(
             "unreadable trace file(s): {}",
@@ -1013,7 +1120,7 @@ fn render_trace_eval(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
         let run_of = |scheme: Scheme| -> Result<poise::experiment::KernelRun, String> {
             let model = (scheme == Scheme::Poise).then_some(&ctx.model);
             store
-                .run(&KernelRunSpec::new(workload, scheme, &ctx.setup, model))
+                .run(&KernelRunSpec::new(workload, scheme, setup, model))
                 .cloned()
         };
         let gto = run_of(Scheme::Gto)?;
@@ -1069,18 +1176,19 @@ fn render_trace_eval(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 15 — APCM and random-restart alternatives.
 // ---------------------------------------------------------------------------
 
-fn jobs_fig15(ctx: &FigCtx) -> Vec<SimJob> {
-    let mut jobs = jobs_main_comparison(ctx);
+fn jobs_fig15(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    let mut jobs = jobs_main_comparison(ctx, setup);
     for bench in evaluation_suite() {
         for scheme in [Scheme::Apcm, Scheme::RandomRestart] {
-            jobs.extend(scheme_jobs(&bench, scheme, &ctx.setup, None));
+            jobs.extend(scheme_jobs(&bench, scheme, setup, None));
         }
     }
     jobs
 }
 
-fn render_fig15(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let cached = main_rows_cached(ctx, store)?;
+fn render_fig15(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
+    let cached = main_rows_cached(ctx, setup, store)?;
     let schemes = [Scheme::Apcm, Scheme::RandomRestart];
     let mut table = Vec::new();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
@@ -1089,7 +1197,7 @@ fn render_fig15(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
         let poise = metric(&cached, &bench.name, "Poise", |r| r.ipc) / gto;
         let mut row = vec![bench.name.clone()];
         for (i, &scheme) in schemes.iter().enumerate() {
-            let r = scheme_result(store, &bench, scheme, &ctx.setup, None)?;
+            let r = scheme_result(store, &bench, scheme, setup, None)?;
             let v = r.ipc / gto;
             cols[i].push(v);
             row.push(cell(v, 3));
@@ -1116,7 +1224,7 @@ fn render_fig15(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 17 — bfs case study.
 // ---------------------------------------------------------------------------
 
-fn fig17_specs(ctx: &FigCtx) -> (ProfileSpec, KernelRunSpec) {
+fn fig17_specs(ctx: &FigCtx, setup: &Setup) -> (ProfileSpec, KernelRunSpec) {
     let bench = evaluation_suite()
         .into_iter()
         .find(|b| b.name == "bfs")
@@ -1124,22 +1232,22 @@ fn fig17_specs(ctx: &FigCtx) -> (ProfileSpec, KernelRunSpec) {
     let kernel = bench.kernels[0].clone();
     let profile = ProfileSpec {
         workload: kernel.clone(),
-        cfg: ctx.setup.cfg.clone(),
+        cfg: setup.cfg.clone(),
         grid: GridSpec::full(kernel.warps_per_scheduler()),
-        window: ctx.setup.profile_window,
+        window: setup.profile_window,
     };
-    let mut run = KernelRunSpec::new(&kernel, Scheme::Poise, &ctx.setup, Some(&ctx.model));
-    run.run_cycles = ctx.setup.run_cycles.max(3 * ctx.setup.params.t_period);
+    let mut run = KernelRunSpec::new(&kernel, Scheme::Poise, setup, Some(&ctx.model));
+    run.run_cycles = setup.run_cycles.max(3 * setup.params.t_period);
     (profile, run)
 }
 
-fn jobs_fig17(ctx: &FigCtx) -> Vec<SimJob> {
-    let (profile, run) = fig17_specs(ctx);
+fn jobs_fig17(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    let (profile, run) = fig17_specs(ctx, setup);
     vec![SimJob::Profile(profile), SimJob::Run(run)]
 }
 
-fn render_fig17(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let (profile_spec, run_spec) = fig17_specs(ctx);
+fn render_fig17(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let (profile_spec, run_spec) = fig17_specs(ctx, &single_point(points)?.setup);
     let grid = store.grid(&profile_spec)?;
     println!(
         "# Fig. 17a — static profile of {}",
@@ -1182,35 +1290,36 @@ fn render_fig17(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 
 const FIG11_STRIDES: [(usize, usize); 5] = [(0, 0), (1, 1), (2, 2), (2, 4), (4, 4)];
 
-fn fig11_setup(ctx: &FigCtx, sn: usize, sp: usize) -> Setup {
-    let mut s = ctx.setup.clone();
+fn fig11_setup(setup: &Setup, sn: usize, sp: usize) -> Setup {
+    let mut s = setup.clone();
     s.params = s.params.with_strides(sn, sp);
     s
 }
 
-fn jobs_fig11(ctx: &FigCtx) -> Vec<SimJob> {
+fn jobs_fig11(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
     // The GTO baselines come from the main comparison; the (2, 4) stride
     // equals the Table IV default, so those Poise runs deduplicate with
     // the main comparison as well.
-    let mut jobs = jobs_main_comparison(ctx);
+    let mut jobs = jobs_main_comparison(ctx, setup);
     for bench in evaluation_suite() {
         for (sn, sp) in FIG11_STRIDES {
-            let s = fig11_setup(ctx, sn, sp);
+            let s = fig11_setup(setup, sn, sp);
             jobs.extend(scheme_jobs(&bench, Scheme::Poise, &s, Some(&ctx.model)));
         }
     }
     jobs
 }
 
-fn render_fig11(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let rows_cache = main_rows_cached(ctx, store)?;
+fn render_fig11(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
+    let rows_cache = main_rows_cached(ctx, setup, store)?;
     let mut table = Vec::new();
     let mut per_stride: Vec<Vec<f64>> = vec![Vec::new(); FIG11_STRIDES.len()];
     for bench in evaluation_suite() {
         let gto = metric(&rows_cache, &bench.name, "GTO", |r| r.ipc);
         let mut row = vec![bench.name.clone()];
         for (si, (sn, sp)) in FIG11_STRIDES.into_iter().enumerate() {
-            let s = fig11_setup(ctx, sn, sp);
+            let s = fig11_setup(setup, sn, sp);
             let r = scheme_result(store, &bench, Scheme::Poise, &s, Some(&ctx.model))?;
             let v = r.ipc / gto;
             per_stride[si].push(v);
@@ -1236,39 +1345,37 @@ fn render_fig11(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 12 — cache-size sensitivity.
 // ---------------------------------------------------------------------------
 
-const FIG12_SCALES: [(usize, &str); 3] = [(1, "16KB"), (2, "32KB"), (4, "64KB")];
+/// Fig. 12 is a *plan*: linear indexing pinned by a one-value axis, L1
+/// capacity swept by `l1_scale`. The model stays the one trained on the
+/// base machine (`ctx.model`), so an L1 sweep re-simulates runs only —
+/// the training pass is shared by every point.
+const FIG12_SCALES: [usize; 3] = [1, 2, 4];
 
-fn fig12_setup(ctx: &FigCtx, scale: usize) -> Setup {
-    let mut s = ctx.setup.clone();
-    s.cfg = s
-        .cfg
-        .clone()
-        .with_l1_scale(scale)
-        .with_l1_indexing(SetIndexing::Linear);
-    s
+fn axes_fig12(_ctx: &FigCtx) -> Vec<Axis> {
+    vec![
+        Axis::l1_indexing([SetIndexing::Linear]),
+        Axis::l1_scale(FIG12_SCALES),
+    ]
 }
 
-fn jobs_fig12(ctx: &FigCtx) -> Vec<SimJob> {
+fn jobs_fig12(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
     let mut jobs = Vec::new();
     for bench in evaluation_suite() {
-        for (scale, _) in FIG12_SCALES {
-            let s = fig12_setup(ctx, scale);
-            jobs.extend(scheme_jobs(&bench, Scheme::Gto, &s, None));
-            jobs.extend(scheme_jobs(&bench, Scheme::Poise, &s, Some(&ctx.model)));
-        }
+        jobs.extend(scheme_jobs(&bench, Scheme::Gto, setup, None));
+        jobs.extend(scheme_jobs(&bench, Scheme::Poise, setup, Some(&ctx.model)));
     }
     jobs
 }
 
-fn render_fig12(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_fig12(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
     let mut table = Vec::new();
-    let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); FIG12_SCALES.len()];
+    let mut per_scale: Vec<Vec<f64>> = vec![Vec::new(); points.len()];
     for bench in evaluation_suite() {
         let mut row = vec![bench.name.clone()];
-        for (si, (scale, _)) in FIG12_SCALES.into_iter().enumerate() {
-            let s = fig12_setup(ctx, scale);
-            let gto = scheme_result(store, &bench, Scheme::Gto, &s, None)?;
-            let poise = scheme_result(store, &bench, Scheme::Poise, &s, Some(&ctx.model))?;
+        for (si, point) in points.iter().enumerate() {
+            let gto = scheme_result(store, &bench, Scheme::Gto, &point.setup, None)?;
+            let poise =
+                scheme_result(store, &bench, Scheme::Poise, &point.setup, Some(&ctx.model))?;
             let v = poise.ipc / gto.ipc;
             per_scale[si].push(v);
             row.push(cell(v, 3));
@@ -1280,10 +1387,20 @@ fn render_fig12(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
         hmean.push(cell(harmonic_mean(sp), 3));
     }
     table.push(hmean);
+    let kb: Vec<String> = points
+        .iter()
+        .map(|p| format!("{}", p.setup.cfg.l1.capacity_bytes() / 1024))
+        .collect();
+    let header: Vec<String> = std::iter::once("bench".to_string())
+        .chain(kb.iter().map(|k| format!("Poise+{k}KB")))
+        .collect();
     emit_table(
         "fig12_cache_size.txt",
-        "Fig. 12 — Poise IPC vs GTO with linear-indexed L1 of 16/32/64 KB",
-        &["bench", "Poise+16KB", "Poise+32KB", "Poise+64KB"],
+        &format!(
+            "Fig. 12 — Poise IPC vs GTO with linear-indexed L1 of {} KB",
+            kb.join("/")
+        ),
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
         &table,
     );
     Ok(())
@@ -1293,9 +1410,9 @@ fn render_fig12(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 // Fig. 13 — leave-one-feature-out ablation.
 // ---------------------------------------------------------------------------
 
-fn fig13_setup(ctx: &FigCtx) -> Setup {
+fn fig13_setup(setup: &Setup) -> Setup {
     // No local search: strides (0, 0), so prediction accuracy is exposed.
-    let mut s = ctx.setup.clone();
+    let mut s = setup.clone();
     s.params = s.params.with_strides(0, 0);
     s
 }
@@ -1308,8 +1425,8 @@ fn fig13_variants(ctx: &FigCtx) -> Vec<(String, ModelSpec)> {
         .collect()
 }
 
-fn jobs_fig13(ctx: &FigCtx) -> Vec<SimJob> {
-    let s = fig13_setup(ctx);
+fn jobs_fig13(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    let s = fig13_setup(setup);
     let mut jobs = Vec::new();
     for (_, model) in fig13_variants(ctx) {
         jobs.push(SimJob::Train(model.clone()));
@@ -1320,8 +1437,8 @@ fn jobs_fig13(ctx: &FigCtx) -> Vec<SimJob> {
     jobs
 }
 
-fn render_fig13(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
-    let s = fig13_setup(ctx);
+fn render_fig13(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Result<(), String> {
+    let s = fig13_setup(&single_point(points)?.setup);
     let variants = fig13_variants(ctx);
     let mut table = Vec::new();
     let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
@@ -1363,7 +1480,7 @@ fn render_fig13(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
 
 const MSHR_SWEEP: [usize; 5] = [4, 8, 16, 32, 64];
 
-fn ablation_mshr_specs(ctx: &FigCtx) -> Vec<(usize, KernelRunSpec)> {
+fn ablation_mshr_specs(setup: &Setup) -> Vec<(usize, KernelRunSpec)> {
     let bench = evaluation_suite()
         .into_iter()
         .find(|b| b.name == "ii")
@@ -1372,7 +1489,7 @@ fn ablation_mshr_specs(ctx: &FigCtx) -> Vec<(usize, KernelRunSpec)> {
     MSHR_SWEEP
         .into_iter()
         .map(|mshrs| {
-            let mut s = ctx.setup.clone();
+            let mut s = setup.clone();
             s.cfg.l1_mshrs = mshrs;
             s.run_cycles = 60_000;
             (mshrs, KernelRunSpec::new(&kernel, Scheme::Gto, &s, None))
@@ -1380,16 +1497,21 @@ fn ablation_mshr_specs(ctx: &FigCtx) -> Vec<(usize, KernelRunSpec)> {
         .collect()
 }
 
-fn jobs_ablation_mshr(ctx: &FigCtx) -> Vec<SimJob> {
-    ablation_mshr_specs(ctx)
+fn jobs_ablation_mshr(_ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    ablation_mshr_specs(setup)
         .into_iter()
         .map(|(_, spec)| SimJob::Run(spec))
         .collect()
 }
 
-fn render_ablation_mshr(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_ablation_mshr(
+    _ctx: &FigCtx,
+    points: &[SweepPoint],
+    store: &ResultStore,
+) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
     let mut rows = Vec::new();
-    for (mshrs, spec) in ablation_mshr_specs(ctx) {
+    for (mshrs, spec) in ablation_mshr_specs(setup) {
         let c = store.run(&spec)?.counters;
         rows.push(vec![
             mshrs.to_string(),
@@ -1420,33 +1542,38 @@ fn ablation_epoch_benches() -> Vec<Benchmark> {
         .collect()
 }
 
-fn ablation_epoch_setup(ctx: &FigCtx, t: u64) -> Setup {
-    let mut s = ctx.setup.clone();
+fn ablation_epoch_setup(setup: &Setup, t: u64) -> Setup {
+    let mut s = setup.clone();
     s.params.t_period = t;
     // Two epochs at every setting for a fair sampling share.
     s.run_cycles = 2 * t;
     s
 }
 
-fn jobs_ablation_epoch(ctx: &FigCtx) -> Vec<SimJob> {
+fn jobs_ablation_epoch(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
     let mut jobs = Vec::new();
     for bench in ablation_epoch_benches() {
-        jobs.extend(scheme_jobs(&bench, Scheme::Gto, &ctx.setup, None));
+        jobs.extend(scheme_jobs(&bench, Scheme::Gto, setup, None));
         for t in EPOCH_SWEEP {
-            let s = ablation_epoch_setup(ctx, t);
+            let s = ablation_epoch_setup(setup, t);
             jobs.extend(scheme_jobs(&bench, Scheme::Poise, &s, Some(&ctx.model)));
         }
     }
     jobs
 }
 
-fn render_ablation_epoch(ctx: &FigCtx, store: &ResultStore) -> Result<(), String> {
+fn render_ablation_epoch(
+    ctx: &FigCtx,
+    points: &[SweepPoint],
+    store: &ResultStore,
+) -> Result<(), String> {
+    let setup = &single_point(points)?.setup;
     let mut rows = Vec::new();
     for bench in ablation_epoch_benches() {
-        let gto = scheme_result(store, &bench, Scheme::Gto, &ctx.setup, None)?;
+        let gto = scheme_result(store, &bench, Scheme::Gto, setup, None)?;
         let mut row = vec![bench.name.clone()];
         for t in EPOCH_SWEEP {
-            let s = ablation_epoch_setup(ctx, t);
+            let s = ablation_epoch_setup(setup, t);
             let r = scheme_result(store, &bench, Scheme::Poise, &s, Some(&ctx.model))?;
             row.push(cell(r.ipc / gto.ipc, 3));
         }
@@ -1462,22 +1589,132 @@ fn render_ablation_epoch(ctx: &FigCtx, store: &ResultStore) -> Result<(), String
 }
 
 // ---------------------------------------------------------------------------
+// sm_scaling — every scheme across machine sizes (a sweep figure).
+// ---------------------------------------------------------------------------
+
+/// The default SM ladder: powers of two from 1 up to the base machine.
+/// With the paper machine (`--set sms=32`) this is 1→32 SMs; smaller
+/// base machines (CI smoke) get proportionally shorter sweeps. Override
+/// with `run_all --sweep sms=...`.
+fn axes_sm_scaling(ctx: &FigCtx) -> Vec<Axis> {
+    let max = ctx.setup.cfg.sms;
+    let mut ladder = Vec::new();
+    let mut s = 1;
+    while s < max {
+        ladder.push(s);
+        s *= 2;
+    }
+    ladder.push(max);
+    vec![Axis::sms(ladder)]
+}
+
+/// One kernel per evaluation benchmark keeps the 7-scheme × machine-size
+/// product tractable.
+fn sm_scaling_benches() -> Vec<Benchmark> {
+    evaluation_suite()
+        .into_iter()
+        .map(|b| b.capped(1))
+        .collect()
+}
+
+fn jobs_sm_scaling(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
+    let mut jobs = Vec::new();
+    for bench in sm_scaling_benches() {
+        for scheme in TRACE_EVAL_SCHEMES {
+            let model = (scheme == Scheme::Poise).then_some(&ctx.model);
+            jobs.extend(scheme_jobs(&bench, scheme, setup, model));
+        }
+    }
+    jobs
+}
+
+fn render_sm_scaling(
+    ctx: &FigCtx,
+    points: &[SweepPoint],
+    store: &ResultStore,
+) -> Result<(), String> {
+    let mut table = Vec::new();
+    for point in points {
+        let setup = &point.setup;
+        // GTO first: the normalisation base at this machine size.
+        let mut gto_ipc = f64::NAN;
+        for &scheme in &TRACE_EVAL_SCHEMES {
+            let model = (scheme == Scheme::Poise).then_some(&ctx.model);
+            let mut cycles = 0u64;
+            let mut instructions = 0u64;
+            let mut wall = 0.0f64;
+            for bench in sm_scaling_benches() {
+                for k in &bench.capped(setup.kernels_cap).kernels {
+                    let spec = KernelRunSpec::new(k, scheme, setup, model);
+                    let job = SimJob::Run(spec.clone());
+                    let run = store.run(&spec)?;
+                    cycles += run.counters.cycles;
+                    instructions += run.counters.instructions;
+                    wall += store.wall(&job).unwrap_or(0.0);
+                }
+            }
+            let ipc = instructions as f64 / cycles.max(1) as f64;
+            if scheme == Scheme::Gto {
+                gto_ipc = ipc;
+            }
+            // Simulation throughput: simulated cycles per wall-second of
+            // the runs that produced these results (recorded in the
+            // cache entries, so warm renders match the cold pass).
+            let thr = if wall > 0.0 {
+                cell(cycles as f64 / wall / 1.0e6, 2)
+            } else {
+                "-".to_string()
+            };
+            table.push(vec![
+                setup.cfg.sms.to_string(),
+                scheme.name().to_string(),
+                cell(ipc, 3),
+                cell(ipc / gto_ipc, 3),
+                thr,
+            ]);
+        }
+    }
+    emit_table(
+        "sm_scaling.txt",
+        "sm_scaling — all schemes across machine sizes (aggregate IPC over one \
+         kernel per evaluation benchmark; sim-throughput from recorded execution walls)",
+        &["sms", "scheme", "IPC", "vs GTO", "sim Mcyc/s"],
+        &table,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Entry points.
 // ---------------------------------------------------------------------------
 
 /// Run a single figure end to end (the per-figure binary shims call
-/// this): execute its jobs — answered from the shared cache when warm —
-/// then render.
+/// this): expand its plan, execute the jobs — answered from the shared
+/// cache when warm — then render.
 pub fn figure_main(name: &str) -> ExitCode {
     let registry = registry();
     let Some(figure) = registry.iter().find(|f| f.name == name) else {
         eprintln!("[bench] unknown figure {name:?}");
         return ExitCode::FAILURE;
     };
-    let ctx = FigCtx::from_env();
+    let ctx = match FigCtx::from_env() {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("[bench] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let engine = Engine::from_env(&results_dir());
-    let (store, report) = engine.run(&(figure.jobs)(&ctx));
-    if let Err(e) = (figure.render)(&ctx, &store) {
+    let exp = figure.expand(&ctx, &[]);
+    if exp.points.len() > 1 {
+        eprintln!(
+            "[bench] {name}: {} sweep points, {} jobs shared across points (executed once)",
+            exp.points.len(),
+            exp.shared
+        );
+    }
+    let (store, report) = engine.run(&exp.jobs);
+    if let Err(e) = (figure.render)(&ctx, &exp.points, &store) {
         eprintln!("[bench] {name} FAILED: {e}");
         return ExitCode::FAILURE;
     }
@@ -1499,7 +1736,14 @@ enum FigStatus {
 /// * `--keep-going` — render every figure even after failures (the
 ///   default stops at the first failing figure, like the old harness,
 ///   but always prints the pass/fail summary instead of bare `exit(1)`);
-/// * `--only <a,b,...>` — restrict to the named figures;
+/// * `--only <a,b,...>` — restrict to the named figures (exact name or a
+///   prefix up to an underscore: `fig12` matches `fig12_cache_size`);
+/// * `--set <knob>=<value>` (repeatable) — apply a knob to the base
+///   setup (the declarative replacement for the `POISE_*` env vars);
+/// * `--sweep <knob>=<v1,v2,...>` (repeatable) — sweep a knob: replaces
+///   a same-knob default axis of each selected figure (e.g.
+///   `sm_scaling`'s SM ladder) or extends the figure's plan. Figures
+///   whose renderer cannot present multiple points fail loudly;
 /// * `--list` — print the registry and exit;
 /// * `--gc` — after a fully successful pass, prune `results/cache/`
 ///   entries the current job set no longer references (entries keyed by
@@ -1509,14 +1753,51 @@ enum FigStatus {
 pub fn run_all_main(args: &[String]) -> ExitCode {
     let keep_going = args.iter().any(|a| a == "--keep-going");
     let gc = args.iter().any(|a| a == "--gc");
+    let mut sets: Vec<String> = Vec::new();
+    let mut sweeps: Vec<String> = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        let value = |flag: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a knob=value argument"))
+        };
+        match a.as_str() {
+            "--set" => match value("--set") {
+                Ok(v) => sets.push(v),
+                Err(e) => {
+                    eprintln!("[run_all] {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sweep" => match value("--sweep") {
+                Ok(v) => sweeps.push(v),
+                Err(e) => {
+                    eprintln!("[run_all] {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => {}
+        }
+    }
     let only: Option<Vec<String>> = args
         .iter()
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
+    let matches_only = |name: &str| -> bool {
+        only.as_ref().is_none_or(|o| {
+            o.iter().any(|n| {
+                name == n
+                    || name
+                        .strip_prefix(n.as_str())
+                        .is_some_and(|rest| rest.starts_with('_'))
+            })
+        })
+    };
     let figures: Vec<Figure> = registry()
         .into_iter()
-        .filter(|f| only.as_ref().is_none_or(|o| o.iter().any(|n| n == f.name)))
+        .filter(|f| matches_only(f.name))
         .collect();
     if args.iter().any(|a| a == "--list") {
         for f in &figures {
@@ -1529,12 +1810,68 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // The knob overlay: deprecated env aliases first, then --set
+    // assignments (CLI wins). Parsed exactly once, here.
+    let overlay = crate::env_overlay().and_then(|env| Ok(env.merged(KnobOverlay::parse(&sets)?)));
+    let overlay = match overlay {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("[run_all] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sweep_axes: Vec<Axis> = match sweeps.iter().map(|s| Axis::parse(s)).collect() {
+        Ok(axes) => axes,
+        Err(e) => {
+            eprintln!("[run_all] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let t0 = Instant::now();
-    let ctx = FigCtx::from_env();
+    let ctx = FigCtx::new(crate::base_setup(&overlay));
+    if !overlay.is_empty() {
+        eprintln!("[run_all] knob overlay: {}", overlay.summary());
+    }
     let engine = Engine::from_env(&results_dir());
 
-    // Phase 1: every figure's jobs, deduplicated, in one parallel pass.
-    let jobs: Vec<SimJob> = figures.iter().flat_map(|f| (f.jobs)(&ctx)).collect();
+    // Phase 1: expand every figure's plan and execute the union of all
+    // points' jobs, deduplicated, in one parallel pass.
+    let expansions: Vec<PlanExpansion> = figures
+        .iter()
+        .map(|f| f.expand(&ctx, &sweep_axes))
+        .collect();
+    // Reject a sweep that reaches a single-point renderer *now*, before
+    // any simulation is paid for (the renderer's own single_point()
+    // guard stays as defence in depth).
+    let unsweepable: Vec<&str> = figures
+        .iter()
+        .zip(&expansions)
+        .filter(|(f, e)| e.points.len() > 1 && !f.sweepable)
+        .map(|(f, _)| f.name)
+        .collect();
+    if !unsweepable.is_empty() {
+        eprintln!(
+            "[run_all] --sweep expands figures that render a single point only: {}; \
+             restrict with --only to sweep-aware figures (e.g. sm_scaling, fig12_cache_size)",
+            unsweepable.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut sweep_shared = 0usize;
+    for (figure, exp) in figures.iter().zip(&expansions) {
+        if exp.points.len() > 1 {
+            sweep_shared += exp.shared;
+            eprintln!(
+                "[run_all] {}: {} sweep points, {} jobs shared across points (executed once)",
+                figure.name,
+                exp.points.len(),
+                exp.shared
+            );
+        }
+    }
+    let sweeping = expansions.iter().any(|e| e.points.len() > 1);
+    let jobs: Vec<SimJob> = expansions.iter().flat_map(|e| e.jobs.clone()).collect();
     eprintln!(
         "[run_all] {} figures declared {} jobs; executing the deduplicated set...",
         figures.len(),
@@ -1545,14 +1882,14 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
     // Phase 2: render in order.
     let mut statuses: Vec<(&str, FigStatus)> = Vec::new();
     let mut stop = false;
-    for figure in &figures {
+    for (figure, exp) in figures.iter().zip(&expansions) {
         if stop {
             statuses.push((figure.name, FigStatus::Skipped));
             continue;
         }
         println!("\n===== {} =====", figure.name);
         let ft = Instant::now();
-        match (figure.render)(&ctx, &store) {
+        match (figure.render)(&ctx, &exp.points, &store) {
             Ok(()) => statuses.push((figure.name, FigStatus::Pass(ft.elapsed().as_secs_f64()))),
             Err(e) => {
                 eprintln!("[run_all] {} FAILED: {e}", figure.name);
@@ -1581,10 +1918,17 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         })
         .collect();
     println!();
+    // Only a sweeping run carries the shared-job statistic, keeping the
+    // default (single-point) summary line unchanged.
+    let sweep_note = if sweeping {
+        format!(" sweep_shared={sweep_shared};")
+    } else {
+        String::new()
+    };
     emit_table(
         "run_all_summary.txt",
         &format!(
-            "run_all summary — {}/{} figures pass; engine: {}; total wall {:.1}s",
+            "run_all summary — {}/{} figures pass; engine: {};{sweep_note} total wall {:.1}s",
             statuses.len()
                 - failed
                 - statuses

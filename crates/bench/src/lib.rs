@@ -8,13 +8,15 @@
 //! [`figures::figure_main`] kept for CLI compatibility; `run_all` executes
 //! the union of every figure's jobs in one in-process pass. See
 //! `EXPERIMENTS.md` at the workspace root for the engine, the cache
-//! layout/keys, and the effort-knob environment variables
-//! (`POISE_SMS`, `POISE_KERNELS_CAP`, `POISE_TRAIN_CAP`,
-//! `POISE_RUN_CYCLES`, `POISE_RERUN`, `POISE_RETRAIN`).
+//! layout/keys, and the `--set`/`--sweep` knob grammar (the `POISE_SMS`,
+//! `POISE_KERNELS_CAP`, `POISE_TRAIN_CAP` and `POISE_RUN_CYCLES`
+//! environment variables survive as deprecated aliases feeding the same
+//! [`poise::plan::KnobOverlay`]; `POISE_RERUN`/`POISE_RETRAIN` control
+//! the cache, not the setup).
 //!
-//! Shared plumbing in this module: [`setup`] builds the experiment
-//! [`Setup`] from the environment, plus small text/table formatting
-//! helpers.
+//! Shared plumbing in this module: [`base_setup`] builds the experiment
+//! [`Setup`] by applying a knob overlay to the pure default, plus small
+//! text/table formatting helpers.
 
 pub mod figures;
 
@@ -22,6 +24,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use poise::experiment::{BenchResult, Setup};
+use poise::plan::KnobOverlay;
 use poise_ml::TrainedModel;
 use workloads::evaluation_suite;
 
@@ -46,9 +49,24 @@ pub fn results_dir() -> PathBuf {
     p
 }
 
-/// Build the experiment setup from the environment.
-pub fn setup() -> Setup {
-    Setup::default()
+/// Parse the deprecated `POISE_*` effort-knob aliases into an overlay —
+/// the **one** place the environment is read for setup knobs, called
+/// once per process at CLI entry. Prints a deprecation warning per alias
+/// found; malformed values are a loud error (they used to fall back to
+/// defaults silently).
+pub fn env_overlay() -> Result<KnobOverlay, String> {
+    let (overlay, warnings) = KnobOverlay::from_env()?;
+    for w in warnings {
+        eprintln!("[bench] {w}");
+    }
+    Ok(overlay)
+}
+
+/// The base experiment setup: the pure [`Setup::default`] with `overlay`
+/// applied. Figures are pure functions of the resulting setup — nothing
+/// below this reads the environment.
+pub fn base_setup(overlay: &KnobOverlay) -> Setup {
+    overlay.applied_to(&Setup::default())
 }
 
 /// Directory scanned for committed trace workloads (`*.trace` files):

@@ -6,13 +6,19 @@ use std::collections::HashSet;
 
 use poise_bench::figures::{registry, FigCtx};
 
+/// A context over the pure default setup (tests must not depend on the
+/// invoking environment).
+fn test_ctx() -> FigCtx {
+    FigCtx::new(poise::Setup::default())
+}
+
 fn jobs_of(ctx: &FigCtx, name: &str) -> Vec<poise::SimJob> {
     let reg = registry();
     let f = reg
         .iter()
         .find(|f| f.name == name)
         .unwrap_or_else(|| panic!("{name} not registered"));
-    (f.jobs)(ctx)
+    (f.jobs)(ctx, &ctx.setup)
 }
 
 fn specs_of(jobs: &[poise::SimJob]) -> HashSet<String> {
@@ -24,8 +30,8 @@ fn registry_is_complete_and_unique() {
     let reg = registry();
     assert_eq!(
         reg.len(),
-        22,
-        "all 21 paper figures/tables plus trace_eval must be registered"
+        23,
+        "all 21 paper figures/tables plus trace_eval and sm_scaling"
     );
     let names: HashSet<&str> = reg.iter().map(|f| f.name).collect();
     assert_eq!(names.len(), reg.len(), "figure names must be unique");
@@ -40,6 +46,7 @@ fn registry_is_complete_and_unique() {
         "ablation_epoch",
         "prediction_error",
         "trace_eval",
+        "sm_scaling",
     ] {
         assert!(names.contains(expected), "missing {expected}");
     }
@@ -49,7 +56,7 @@ fn registry_is_complete_and_unique() {
 fn trace_eval_covers_all_schemes_per_trace() {
     // Each committed trace runs under all 7 schemes; every job carries a
     // trace workload keyed by content digest (visible in the spec text).
-    let ctx = FigCtx::from_env();
+    let ctx = test_ctx();
     let jobs = jobs_of(&ctx, "trace_eval");
     if jobs.is_empty() {
         // No traces/ directory in this checkout — nothing to assert.
@@ -70,7 +77,7 @@ fn main_comparison_figures_declare_identical_jobs() {
     // Figs. 7, 8, 9, 10 and 14 all render from the same scheme × kernel
     // runs; under the engine they must declare spec-identical job sets so
     // the whole block simulates exactly once.
-    let ctx = FigCtx::from_env();
+    let ctx = test_ctx();
     let fig07 = specs_of(&jobs_of(&ctx, "fig07_performance"));
     for other in [
         "fig08_l1_hit_rate",
@@ -88,7 +95,7 @@ fn main_comparison_figures_declare_identical_jobs() {
 
 #[test]
 fn stride_default_and_alternatives_reuse_main_comparison_runs() {
-    let ctx = FigCtx::from_env();
+    let ctx = test_ctx();
     let main = specs_of(&jobs_of(&ctx, "fig07_performance"));
     // Fig. 11's (2, 4) stride equals the Table IV default, and its GTO
     // baselines are the main comparison's, so its job set must overlap
@@ -116,7 +123,7 @@ fn fig13_variants_share_sampling_through_train_deps() {
     // The six Fig. 13 model variants differ only in dropped features, so
     // their Train jobs must expand to the *same* per-kernel Sample jobs —
     // the expensive profiling passes are collected once, not six times.
-    let ctx = FigCtx::from_env();
+    let ctx = test_ctx();
     let jobs = jobs_of(&ctx, "fig13_feature_ablation");
     let trains: Vec<_> = jobs
         .iter()
@@ -138,11 +145,11 @@ fn whole_registry_dedupes_substantially() {
     // The headline property of the engine: the union of every figure's
     // declared jobs collapses to far fewer unique specs than the figures
     // declare in total (the old harness re-simulated each declaration).
-    let ctx = FigCtx::from_env();
+    let ctx = test_ctx();
     let mut declared = 0usize;
     let mut unique: HashSet<String> = HashSet::new();
     for f in registry() {
-        let jobs = (f.jobs)(&ctx);
+        let jobs = (f.jobs)(&ctx, &ctx.setup);
         declared += jobs.len();
         unique.extend(jobs.iter().map(|j| j.spec_text()));
     }

@@ -16,10 +16,16 @@
 //! ```text
 //! # poise job cache v1
 //! # key: <64 hex chars>
+//! # wall: <execution seconds of the run that produced the entry>
 //! # spec:
 //! #   <canonical spec, one line per field>
 //! <output serialization, kind-specific>
 //! ```
+//!
+//! The `wall` line is metadata, not identity: it records how long the
+//! simulation that produced the entry took, so figures that report
+//! simulation throughput (e.g. `sm_scaling`) render identically from a
+//! warm cache and from the cold run that filled it.
 //!
 //! Loads verify the header version and key; any parse failure (truncated
 //! file, stale format, hand-edited content) is treated as a miss and the
@@ -129,10 +135,11 @@ impl Cache {
             .insert(self.file_of(kind, key));
     }
 
-    /// Look up `key`; returns the stored body (without the header) when a
-    /// valid entry exists. Corrupt, truncated or stale-format entries are
-    /// reported as misses so the caller silently re-runs the job.
-    pub fn load(&self, kind: &str, key: &str) -> Option<String> {
+    /// Look up `key`; returns the stored body (without the header) plus
+    /// the recorded execution wall seconds when a valid entry exists.
+    /// Corrupt, truncated or stale-format entries are reported as misses
+    /// so the caller silently re-runs the job.
+    pub fn load(&self, kind: &str, key: &str) -> Option<(String, f64)> {
         if self.bypass {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -141,10 +148,10 @@ impl Cache {
             .ok()
             .and_then(|text| Self::parse_entry(&text, key));
         match parsed {
-            Some(body) => {
+            Some(entry) => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 self.touch(kind, key);
-                Some(body)
+                Some(entry)
             }
             None => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -153,7 +160,7 @@ impl Cache {
         }
     }
 
-    fn parse_entry(text: &str, key: &str) -> Option<String> {
+    fn parse_entry(text: &str, key: &str) -> Option<(String, f64)> {
         let mut lines = text.lines();
         if lines.next()? != "# poise job cache v1" {
             return None;
@@ -161,22 +168,31 @@ impl Cache {
         if lines.next()?.strip_prefix("# key: ")? != key {
             return None;
         }
+        // Metadata: optional, absent in entries written before the wall
+        // line existed (still valid — the recorded time is just unknown).
+        let wall = lines
+            .next()
+            .and_then(|l| l.strip_prefix("# wall: "))
+            .and_then(parse_f64)
+            .unwrap_or(0.0);
         // Skip the embedded spec (all `#` comment lines); the body is
         // everything after, terminated by an explicit end marker so a
         // truncated write can be told apart from a short body.
         let body_start = text.find("\n# end-spec\n")? + "\n# end-spec\n".len();
         let body = &text[body_start..];
         let body = body.strip_suffix("# end\n")?;
-        Some(body.to_string())
+        Some((body.to_string(), wall))
     }
 
-    /// Store `body` under `key`, embedding the human-readable `spec` in
-    /// the header. Atomic: concurrent writers and interrupts leave either
-    /// the old entry or the complete new one.
-    pub fn store(&self, kind: &str, key: &str, spec: &str, body: &str) {
+    /// Store `body` under `key`, embedding the human-readable `spec` and
+    /// the producing run's execution `wall` seconds in the header.
+    /// Atomic: concurrent writers and interrupts leave either the old
+    /// entry or the complete new one.
+    pub fn store(&self, kind: &str, key: &str, spec: &str, body: &str, wall: f64) {
         let mut text = String::with_capacity(spec.len() + body.len() + 128);
         text.push_str("# poise job cache v1\n");
         text.push_str(&format!("# key: {key}\n"));
+        text.push_str(&format!("# wall: {}\n", fmt_f64(wall)));
         text.push_str("# spec:\n");
         for line in spec.lines() {
             text.push_str("#   ");
@@ -259,7 +275,7 @@ mod tests {
             // A previous "run" leaves three entries behind.
             let old = Cache::new(&dir);
             for k in ["a", "b", "c"] {
-                old.store("run", &sha256_hex(k), "spec", "body\n");
+                old.store("run", &sha256_hex(k), "spec", "body\n", 0.0);
             }
         }
         // A stale temporary from a crashed writer.
@@ -268,7 +284,7 @@ mod tests {
         // new one (store).
         let cache = Cache::new(&dir);
         assert!(cache.load("run", &sha256_hex("a")).is_some());
-        cache.store("run", &sha256_hex("d"), "spec", "body\n");
+        cache.store("run", &sha256_hex("d"), "spec", "body\n", 0.0);
         let (removed, kept) = cache.prune_untouched().unwrap();
         assert_eq!((removed, kept), (3, 2), "b, c and the tmp file go");
         assert!(cache.load("run", &sha256_hex("a")).is_some());
@@ -302,8 +318,10 @@ mod tests {
         let cache = Cache::new(&dir);
         let key = sha256_hex("spec");
         assert!(cache.load("run", &key).is_none());
-        cache.store("run", &key, "kernel t\nscheme GTO", "a 1\nb 2\n");
-        assert_eq!(cache.load("run", &key).as_deref(), Some("a 1\nb 2\n"));
+        cache.store("run", &key, "kernel t\nscheme GTO", "a 1\nb 2\n", 0.25);
+        let (body, wall) = cache.load("run", &key).expect("hit");
+        assert_eq!(body, "a 1\nb 2\n");
+        assert_eq!(wall, 0.25, "wall metadata round-trips");
         let (h, m, s) = cache.stats.snapshot();
         assert_eq!((h, m, s), (1, 1, 1));
         let _ = std::fs::remove_dir_all(&dir);
@@ -315,7 +333,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let cache = Cache::new(&dir);
         let key = sha256_hex("x");
-        cache.store("run", &key, "spec", "body line\n");
+        cache.store("run", &key, "spec", "body line\n", 0.0);
         let path = dir.join(format!("run-{key}.txt"));
         // Truncated: the end marker is gone.
         let full = std::fs::read_to_string(&path).unwrap();
@@ -326,7 +344,7 @@ mod tests {
         assert!(cache.load("run", &key).is_none());
         // Wrong key in the header.
         let other = sha256_hex("y");
-        cache.store("run", &other, "spec", "body\n");
+        cache.store("run", &other, "spec", "body\n", 0.0);
         std::fs::rename(dir.join(format!("run-{other}.txt")), &path).unwrap();
         assert!(cache.load("run", &key).is_none());
         let _ = std::fs::remove_dir_all(&dir);
@@ -338,11 +356,14 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let mut cache = Cache::new(&dir);
         let key = sha256_hex("z");
-        cache.store("run", &key, "spec", "body\n");
+        cache.store("run", &key, "spec", "body\n", 0.0);
         cache.bypass = true;
         assert!(cache.load("run", &key).is_none());
         cache.bypass = false;
-        assert_eq!(cache.load("run", &key).as_deref(), Some("body\n"));
+        assert_eq!(
+            cache.load("run", &key).map(|(b, _)| b).as_deref(),
+            Some("body\n")
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

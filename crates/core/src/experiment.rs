@@ -95,31 +95,21 @@ pub struct Setup {
 
 impl Default for Setup {
     fn default() -> Self {
-        let sms = std::env::var("POISE_SMS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(8);
-        let kernels_cap = std::env::var("POISE_KERNELS_CAP")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(3);
-        let train_cap = std::env::var("POISE_TRAIN_CAP")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(8);
-        let run_cycles = std::env::var("POISE_RUN_CYCLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(400_000);
+        // Deliberately a *pure* constant: effort knobs reach a Setup only
+        // through an explicitly applied `crate::plan::KnobOverlay`, parsed
+        // once at CLI entry (`--set` / `--sweep`, with the legacy
+        // `POISE_*` variables as deprecated aliases). Reading the
+        // environment here let two jobs built in one process silently
+        // disagree when a variable changed mid-run.
         Setup {
-            cfg: GpuConfig::scaled(sms),
+            cfg: GpuConfig::scaled(8),
             params: PoiseParams::default(),
             profile_window: ProfileWindow::default(),
             eval_grid: GridSpec::coarse(24),
             train_grid: GridSpec::coarse(24),
-            run_cycles,
-            kernels_cap,
-            train_cap_per_benchmark: train_cap,
+            run_cycles: 400_000,
+            kernels_cap: 3,
+            train_cap_per_benchmark: 8,
             rr_seeds: vec![11, 23, 47],
         }
     }

@@ -72,7 +72,175 @@ use workloads::{training_suite, Workload};
 /// alters what existing specs would produce, to deterministically
 /// invalidate every prior entry (a blanket alternative to
 /// `POISE_RERUN=1`, which only refreshes the specs of that one run).
-pub const CACHE_VERSION: u32 = 1;
+///
+/// v2: spec texts moved from `derive(Debug)` formatting to the explicit
+/// versioned renderings in [`spec_render`].
+pub const CACHE_VERSION: u32 = 2;
+
+/// Explicit, versioned spec renderings of the configuration structs that
+/// enter cache keys.
+///
+/// Cache identity must be a deliberate statement of a job's inputs, not
+/// an accident of `derive(Debug)`: a field rename or a `Debug` tweak
+/// would silently invalidate (or worse, alias) every entry. Each
+/// renderer here emits one line, `<tag> v<N> field=value ...`, with
+/// exhaustive destructuring so adding a field to the source struct fails
+/// to compile until the rendering (and its version) is revisited.
+pub mod spec_render {
+    use crate::cache::fmt_f64;
+    use crate::params::PoiseParams;
+    use crate::profiler::{GridSpec, ProfileWindow};
+    use gpu_sim::WarpTuple;
+    use gpu_sim::{CacheGeometry, DramConfig, EnergyConfig, GpuConfig, L2Config, SetIndexing};
+    use poise_ml::ScoringWeights;
+    use std::fmt::Write as _;
+
+    fn indexing(ix: SetIndexing) -> &'static str {
+        match ix {
+            SetIndexing::Linear => "linear",
+            SetIndexing::Hashed => "hashed",
+        }
+    }
+
+    fn geometry(g: &CacheGeometry) -> String {
+        let CacheGeometry {
+            sets,
+            ways,
+            line_bytes,
+            indexing: ix,
+        } = *g;
+        format!(
+            "sets:{sets},ways:{ways},line:{line_bytes},index:{}",
+            indexing(ix)
+        )
+    }
+
+    /// One-line rendering of a [`GpuConfig`].
+    ///
+    /// `step_mode` is deliberately **excluded**: all step modes are
+    /// proven bit-identical (the differential suites pin it per policy),
+    /// so results are interchangeable across modes and switching the
+    /// default must keep hitting the same entries.
+    pub fn gpu_config(c: &GpuConfig) -> String {
+        let GpuConfig {
+            sms,
+            schedulers_per_sm,
+            max_warps_per_scheduler,
+            l1,
+            l1_hit_latency,
+            l1_mshrs,
+            mshr_merge_limit,
+            l2,
+            xbar_latency,
+            dram,
+            energy,
+            track_reuse_distance,
+            track_pc_stats,
+            step_mode: _, // bit-identical by contract; see above.
+        } = c;
+        let L2Config {
+            geometry: l2_geo,
+            banks,
+            latency: l2_latency,
+            service_interval: l2_service,
+        } = l2;
+        let DramConfig {
+            partitions,
+            latency: dram_latency,
+            service_interval: dram_service,
+        } = dram;
+        let EnergyConfig {
+            alu_op,
+            l1_access,
+            l2_access,
+            dram_access,
+            leakage_per_sm_cycle,
+        } = energy;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "gpu v1 sms={sms} schedulers={schedulers_per_sm} \
+             max_warps={max_warps_per_scheduler} l1={} l1_hit_latency={l1_hit_latency} \
+             l1_mshrs={l1_mshrs} mshr_merge_limit={mshr_merge_limit} l2={},banks:{banks},\
+             latency:{l2_latency},service:{l2_service} xbar={xbar_latency} \
+             dram=partitions:{partitions},latency:{dram_latency},service:{dram_service} \
+             energy=alu:{},l1:{},l2:{},dram:{},leak:{} track_reuse={track_reuse_distance} \
+             track_pc={track_pc_stats}",
+            geometry(l1),
+            geometry(l2_geo),
+            fmt_f64(*alu_op),
+            fmt_f64(*l1_access),
+            fmt_f64(*l2_access),
+            fmt_f64(*dram_access),
+            fmt_f64(*leakage_per_sm_cycle),
+        );
+        s
+    }
+
+    /// One-line rendering of a [`GridSpec`]: the explicit point list, so
+    /// identity survives constructor refactors (a re-derived `coarse`
+    /// ladder that yields the same points keeps the same key).
+    pub fn grid(g: &GridSpec) -> String {
+        let points = g
+            .points()
+            .iter()
+            .map(|(n, p)| format!("{n}:{p}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("grid v1 max_n={} points={points}", g.max_n())
+    }
+
+    /// One-line rendering of a [`ProfileWindow`].
+    pub fn window(w: &ProfileWindow) -> String {
+        let ProfileWindow { warmup, measure } = *w;
+        format!("window v1 warmup={warmup} measure={measure}")
+    }
+
+    /// One-line rendering of [`ScoringWeights`].
+    pub fn scoring(w: &ScoringWeights) -> String {
+        let ScoringWeights([w0, w1, w2]) = *w;
+        format!(
+            "scoring v1 w={},{},{}",
+            fmt_f64(w0),
+            fmt_f64(w1),
+            fmt_f64(w2)
+        )
+    }
+
+    /// One-line rendering of the full [`PoiseParams`].
+    pub fn params(p: &PoiseParams) -> String {
+        let PoiseParams {
+            scoring: sw,
+            t_period,
+            t_warmup,
+            t_feature,
+            t_search,
+            i_max,
+            stride_n,
+            stride_p,
+        } = p;
+        format!(
+            "params v1 {} t_period={t_period} t_warmup={t_warmup} t_feature={t_feature} \
+             t_search={t_search} i_max={} stride_n={stride_n} stride_p={stride_p}",
+            scoring(sw),
+            fmt_f64(*i_max)
+        )
+    }
+
+    /// One-line rendering of a [`WarpTuple`].
+    pub fn tuple(t: &WarpTuple) -> String {
+        let WarpTuple { n, p } = *t;
+        format!("tuple v1 n={n} p={p}")
+    }
+
+    /// Comma-joined integer list (seeds, dropped feature indices).
+    pub fn int_list<T: std::fmt::Display>(vs: &[T]) -> String {
+        vs.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Job specifications.
@@ -196,7 +364,7 @@ impl ModelSpec {
 /// random-restart read only the epoch length, Poise the full parameter
 /// set — so a Fig. 11 stride sweep re-simulates Poise runs only, and the
 /// shared GTO baselines stay cached.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct KernelRunSpec {
     /// Workload to run.
     pub workload: Workload,
@@ -217,6 +385,40 @@ pub struct KernelRunSpec {
     pub model: Option<Box<ModelSpec>>,
     /// The offline profile driving SWL / PCAL-SWL / Static-Best.
     pub profile: Option<Box<ProfileSpec>>,
+    /// Display-only sweep tag (e.g. `sms=16`), set by
+    /// [`crate::plan::ExperimentPlan::expand`] on jobs unique to one
+    /// sweep point so `run_all` progress lines are distinguishable
+    /// within a sweep. Never part of [`SimJob::spec_text`] / cache
+    /// identity, and excluded from equality.
+    pub tag: Option<String>,
+}
+
+impl PartialEq for KernelRunSpec {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring: a new field fails to compile here
+        // until it is classified as identity (compare) or display (skip).
+        let KernelRunSpec {
+            workload,
+            scheme,
+            cfg,
+            run_cycles,
+            params,
+            t_period,
+            rr_seeds,
+            model,
+            profile,
+            tag: _, // display-only
+        } = self;
+        workload == &other.workload
+            && scheme == &other.scheme
+            && cfg == &other.cfg
+            && run_cycles == &other.run_cycles
+            && params == &other.params
+            && t_period == &other.t_period
+            && rr_seeds == &other.rr_seeds
+            && model == &other.model
+            && profile == &other.profile
+    }
 }
 
 impl KernelRunSpec {
@@ -252,6 +454,7 @@ impl KernelRunSpec {
                     window: setup.profile_window,
                 })
             }),
+            tag: None,
         }
     }
 }
@@ -300,12 +503,19 @@ impl SimJob {
             SimJob::TupleRun(s) => format!("tuple[{} {}]", s.workload.name(), s.tuple),
             SimJob::Sample(s) => format!("sample[{}]", s.workload.name()),
             SimJob::Train(s) => format!("train[{}k drop{:?}]", s.kernels.len(), s.drop_features),
-            SimJob::Run(s) => format!("run[{} {}]", s.workload.name(), s.scheme.name()),
+            SimJob::Run(s) => match &s.tag {
+                // Sweep-expanded jobs show the varied axis value so
+                // progress lines are distinguishable within a sweep.
+                Some(tag) => format!("run[{} {} {tag}]", s.workload.name(), s.scheme.name()),
+                None => format!("run[{} {}]", s.workload.name(), s.scheme.name()),
+            },
         }
     }
 
     /// Canonical specification text: every input field, one per line,
-    /// rendered with exact (round-trip) float formatting. Dependencies
+    /// rendered through the explicit versioned [`spec_render`] functions
+    /// (never `derive(Debug)` — cache identity must survive struct
+    /// refactors) with exact (round-trip) float formatting. Dependencies
     /// appear as the SHA-256 of *their* spec text, so input edits
     /// propagate through the graph.
     pub fn spec_text(&self) -> String {
@@ -315,51 +525,55 @@ impl SimJob {
         match self {
             SimJob::Profile(p) => {
                 let _ = writeln!(s, "{}", p.workload.spec_line());
-                let _ = writeln!(s, "cfg {:?}", p.cfg);
-                let _ = writeln!(s, "grid {:?}", p.grid);
-                let _ = writeln!(s, "window {:?}", p.window);
+                let _ = writeln!(s, "cfg {}", spec_render::gpu_config(&p.cfg));
+                let _ = writeln!(s, "{}", spec_render::grid(&p.grid));
+                let _ = writeln!(s, "{}", spec_render::window(&p.window));
             }
             SimJob::Pbest(p) => {
                 let _ = writeln!(s, "{}", p.workload.spec_line());
-                let _ = writeln!(s, "cfg {:?}", p.cfg);
-                let _ = writeln!(s, "window {:?}", p.window);
+                let _ = writeln!(s, "cfg {}", spec_render::gpu_config(&p.cfg));
+                let _ = writeln!(s, "{}", spec_render::window(&p.window));
             }
             SimJob::TupleRun(t) => {
                 let _ = writeln!(s, "{}", t.workload.spec_line());
-                let _ = writeln!(s, "cfg {:?}", t.cfg);
-                let _ = writeln!(s, "tuple {:?}", t.tuple);
-                let _ = writeln!(s, "window {:?}", t.window);
+                let _ = writeln!(s, "cfg {}", spec_render::gpu_config(&t.cfg));
+                let _ = writeln!(s, "{}", spec_render::tuple(&t.tuple));
+                let _ = writeln!(s, "{}", spec_render::window(&t.window));
             }
             SimJob::Sample(p) => {
                 let _ = writeln!(s, "{}", p.workload.spec_line());
-                let _ = writeln!(s, "cfg {:?}", p.cfg);
-                let _ = writeln!(s, "grid {:?}", p.grid);
-                let _ = writeln!(s, "window {:?}", p.window);
-                let _ = writeln!(s, "scoring {:?}", p.scoring);
+                let _ = writeln!(s, "cfg {}", spec_render::gpu_config(&p.cfg));
+                let _ = writeln!(s, "{}", spec_render::grid(&p.grid));
+                let _ = writeln!(s, "{}", spec_render::window(&p.window));
+                let _ = writeln!(s, "{}", spec_render::scoring(&p.scoring));
             }
             SimJob::Train(m) => {
                 for k in &m.kernels {
                     let _ = writeln!(s, "{}", k.spec_line());
                 }
-                let _ = writeln!(s, "cfg {:?}", m.cfg);
-                let _ = writeln!(s, "grid {:?}", m.grid);
-                let _ = writeln!(s, "window {:?}", m.window);
-                let _ = writeln!(s, "scoring {:?}", m.scoring);
-                let _ = writeln!(s, "drop_features {:?}", m.drop_features);
+                let _ = writeln!(s, "cfg {}", spec_render::gpu_config(&m.cfg));
+                let _ = writeln!(s, "{}", spec_render::grid(&m.grid));
+                let _ = writeln!(s, "{}", spec_render::window(&m.window));
+                let _ = writeln!(s, "{}", spec_render::scoring(&m.scoring));
+                let _ = writeln!(
+                    s,
+                    "drop_features {}",
+                    spec_render::int_list(&m.drop_features)
+                );
             }
             SimJob::Run(r) => {
                 let _ = writeln!(s, "{}", r.workload.spec_line());
                 let _ = writeln!(s, "scheme {}", r.scheme.name());
-                let _ = writeln!(s, "cfg {:?}", r.cfg);
+                let _ = writeln!(s, "cfg {}", spec_render::gpu_config(&r.cfg));
                 let _ = writeln!(s, "run_cycles {}", r.run_cycles);
                 if let Some(p) = &r.params {
-                    let _ = writeln!(s, "params {p:?}");
+                    let _ = writeln!(s, "{}", spec_render::params(p));
                 }
                 if let Some(t) = r.t_period {
                     let _ = writeln!(s, "t_period {t}");
                 }
                 if !r.rr_seeds.is_empty() {
-                    let _ = writeln!(s, "rr_seeds {:?}", r.rr_seeds);
+                    let _ = writeln!(s, "rr_seeds {}", spec_render::int_list(&r.rr_seeds));
                 }
                 if let Some(m) = &r.model {
                     let _ = writeln!(
@@ -851,6 +1065,10 @@ impl JobOutput {
 #[derive(Debug, Default)]
 pub struct ResultStore {
     outputs: HashMap<String, Result<JobOutput, String>>,
+    /// Execution wall seconds per job spec: measured for executed jobs,
+    /// recalled from the entry's metadata for cache hits — so
+    /// throughput-reporting figures render identically cold and warm.
+    walls: HashMap<String, f64>,
 }
 
 impl ResultStore {
@@ -861,6 +1079,16 @@ impl ResultStore {
             Some(Err(e)) => Err(e.clone()),
             None => Err(format!("{} was not executed", job.label())),
         }
+    }
+
+    /// The execution wall seconds of a job's simulation (see `walls`).
+    /// `None` for failed/never-run jobs or entries predating the
+    /// metadata.
+    pub fn wall(&self, job: &SimJob) -> Option<f64> {
+        self.walls
+            .get(&job.spec_text())
+            .copied()
+            .filter(|w| *w > 0.0)
     }
 
     /// The profile grid for `spec`.
@@ -1017,10 +1245,10 @@ impl Engine {
             if wave_jobs.is_empty() {
                 continue;
             }
-            let results: Vec<(String, Result<JobOutput, String>, bool)> =
+            let results: Vec<(String, Result<JobOutput, String>, bool, f64)> =
                 crate::parallel::parallel_map(&wave_jobs, |job| {
                     let jt = Instant::now();
-                    let (result, was_hit) = self.run_one(job, &store);
+                    let (result, was_hit, wall) = self.run_one(job, &store);
                     let i = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if !self.quiet {
                         let status = match (&result, was_hit) {
@@ -1030,13 +1258,16 @@ impl Engine {
                         };
                         eprintln!("[engine] {i}/{total} {} {status}", job.label());
                     }
-                    (job.spec_text(), result, was_hit)
+                    (job.spec_text(), result, was_hit, wall)
                 });
-            for (spec, result, was_hit) in results {
+            for (spec, result, was_hit, wall) in results {
                 match &result {
                     Ok(_) if was_hit => report.cache_hits += 1,
                     Ok(_) => report.executed += 1,
                     Err(e) => report.failed.push((by_spec[&spec].label(), e.clone())),
+                }
+                if result.is_ok() {
+                    store.walls.insert(spec.clone(), wall);
                 }
                 store.outputs.insert(spec, result);
             }
@@ -1050,8 +1281,10 @@ impl Engine {
     }
 
     /// Run (or load) one job whose dependencies are already in `store`.
-    /// Returns the output and whether it came from the cache.
-    fn run_one(&self, job: &SimJob, store: &ResultStore) -> (Result<JobOutput, String>, bool) {
+    /// Returns the output, whether it came from the cache, and the
+    /// simulation's execution wall seconds (recorded in the entry's
+    /// metadata, so a hit reports the producing run's time).
+    fn run_one(&self, job: &SimJob, store: &ResultStore) -> (Result<JobOutput, String>, bool, f64) {
         let deps = job.deps();
         let mut dep_outputs: Vec<&JobOutput> = Vec::with_capacity(deps.len());
         let mut dep_digests = String::new();
@@ -1065,6 +1298,7 @@ impl Engine {
                     return (
                         Err(format!("dependency {} failed: {e}", dep.label())),
                         false,
+                        0.0,
                     )
                 }
             }
@@ -1075,25 +1309,27 @@ impl Engine {
         let key = sha256_hex(&format!("{CACHE_VERSION}\n{spec}--deps--\n{dep_digests}"));
         let skip_cache = self.retrain && matches!(job, SimJob::Train(_) | SimJob::Sample(_));
         if !skip_cache {
-            if let Some(body) = self.cache.load(kind, &key) {
+            if let Some((body, wall)) = self.cache.load(kind, &key) {
                 if let Some(out) = JobOutput::from_text(kind, &body) {
-                    return (Ok(out), true);
+                    return (Ok(out), true, wall);
                 }
             }
         }
 
+        let t0 = Instant::now();
         let executed = catch_unwind(AssertUnwindSafe(|| job.execute(&dep_outputs)));
+        let wall = t0.elapsed().as_secs_f64();
         match executed {
             Ok(out) => {
                 let body = out.to_text();
-                self.cache.store(kind, &key, &spec, &body);
+                self.cache.store(kind, &key, &spec, &body, wall);
                 // Canonicalise through the serialisation so a cold run
                 // returns bit-identical values to a later warm run. A
                 // non-round-tripping output is a bug in the job's
                 // serialiser, but it must fail *this job*, not panic
                 // past the engine's isolation and abort the whole run.
                 match JobOutput::from_text(kind, &body) {
-                    Some(canonical) => (Ok(canonical), false),
+                    Some(canonical) => (Ok(canonical), false, wall),
                     None => (
                         Err(format!(
                             "{} produced output that does not round-trip through its \
@@ -1101,6 +1337,7 @@ impl Engine {
                             job.label()
                         )),
                         false,
+                        wall,
                     ),
                 }
             }
@@ -1110,7 +1347,7 @@ impl Engine {
                     .map(|s| s.to_string())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "job panicked".to_string());
-                (Err(msg), false)
+                (Err(msg), false, wall)
             }
         }
     }

@@ -22,6 +22,9 @@
 //! * [`jobs`] — the unified experiment engine: typed simulation jobs over
 //!   a deduplicating in-process work queue, with content-addressed result
 //!   caching in [`cache`] (`results/cache/`);
+//! * [`plan`] — declarative experiment plans: typed sweep axes and the
+//!   knob overlay (`--set` / `--sweep`) whose cartesian expansion feeds
+//!   `(Setup, SimJob)` sets through the engine with cross-point sharing;
 //! * [`hardware_cost`] — the §VII-I storage-overhead accounting
 //!   (≈ 41 bytes per SM).
 //!
@@ -46,6 +49,7 @@ pub mod hie;
 pub mod jobs;
 pub mod parallel;
 pub mod params;
+pub mod plan;
 pub mod policies;
 pub mod profiler;
 pub mod train;
@@ -54,4 +58,5 @@ pub use experiment::{BenchResult, Scheme, Setup};
 pub use hie::{EpochLog, PoiseController};
 pub use jobs::{Engine, JobOutput, ResultStore, RunReport, SimJob};
 pub use params::PoiseParams;
+pub use plan::{Axis, ExperimentPlan, Knob, KnobOverlay, KnobValue, PlanExpansion, SweepPoint};
 pub use profiler::{GridSpec, ProfileWindow};

@@ -230,15 +230,24 @@ impl GpuConfig {
     /// The shared L2 banks and DRAM partitions shrink with the SM count so
     /// that per-SM cache capacity and per-SM memory bandwidth match the
     /// 32-SM baseline. Used by the experiment harness to keep full figure
-    /// sweeps tractable on small hosts; `POISE_SMS=32` restores Table IIIb.
+    /// sweeps tractable on small hosts; `--set sms=32` restores Table IIIb.
     pub fn scaled(sms: usize) -> Self {
         let mut cfg = Self::baseline();
+        cfg.rescale_sms(sms);
+        cfg
+    }
+
+    /// Rescale the SM count **in place**: shrink the shared L2 banks and
+    /// DRAM partitions proportionally (the invariant of [`Self::scaled`])
+    /// while leaving every other field — e.g. an already-customised L1
+    /// geometry — untouched. The experiment knob overlay uses this so a
+    /// later `sms=` assignment preserves earlier edits.
+    pub fn rescale_sms(&mut self, sms: usize) {
         let sms = sms.max(1);
         let ratio = sms as f64 / 32.0;
-        cfg.sms = sms;
-        cfg.l2.banks = ((24.0 * ratio).round() as usize).max(1);
-        cfg.dram.partitions = ((6.0 * ratio).round() as usize).max(1);
-        cfg
+        self.sms = sms;
+        self.l2.banks = ((24.0 * ratio).round() as usize).max(1);
+        self.dram.partitions = ((6.0 * ratio).round() as usize).max(1);
     }
 
     /// Scale the L1 capacity by an integral factor, keeping associativity

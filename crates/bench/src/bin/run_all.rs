@@ -17,6 +17,18 @@
 //! `poise::plan` and the "Plans & sweeps" section of EXPERIMENTS.md for
 //! the knob grammar).
 //!
+//! Robustness: `--inject seed=S,rate=P[,kinds=a+b]` turns on
+//! deterministic fault injection (panics, transient errors, stalls,
+//! torn cache writes, bit flips — see `poise::faults`); the engine
+//! retries transient failures with backoff, a watchdog cancels jobs
+//! past `--set job_deadline=<secs>`, and corrupt cache entries are
+//! quarantined and re-run. Failed points render as `MISSING` cells and
+//! every troubled job's attempt history lands in
+//! `results/run_all_failures.txt`. `--fsck` re-validates the whole
+//! cache offline. Exit codes: 0 clean, 1 hard failures, 3 pass after
+//! self-healing, 4 timeout-only failures (see "Failure handling & fault
+//! injection" in EXPERIMENTS.md).
+//!
 //! The legacy effort-knob environment variables (`POISE_SMS`,
 //! `POISE_KERNELS_CAP`, `POISE_TRAIN_CAP`, `POISE_RUN_CYCLES`) are
 //! deprecated aliases feeding the same knob overlay; `--set` wins.

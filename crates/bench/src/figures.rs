@@ -30,12 +30,13 @@ use std::time::Instant;
 use gpu_sim::{KernelSource, SetIndexing, WarpTuple};
 use poise::experiment::{self, arithmetic_mean, harmonic_mean, Scheme, Setup};
 use poise::jobs::{
-    Engine, KernelRunSpec, ModelSpec, PbestSpec, ProfileSpec, ResultStore, SampleSpec, SimJob,
-    TupleRunSpec,
+    Engine, KernelRunSpec, ModelSpec, PbestSpec, ProfileSpec, ResultStore, RunReport, SampleSpec,
+    SimJob, TupleRunSpec,
 };
 use poise::plan::{Axis, ExperimentPlan, KnobOverlay, PlanExpansion, SweepPoint};
 use poise::policies::swl_tuple_from_grid;
 use poise::profiler::{GridSpec, ProfileWindow};
+use poise::FaultPlan;
 use poise_ml::{ScoringWeights, SpeedupGrid, TrainingSample};
 use workloads::{
     compute_insensitive_suite, evaluation_suite, fig4_kernels, training_suite, Benchmark, TraceRef,
@@ -271,16 +272,44 @@ fn jobs_main_comparison(ctx: &FigCtx, setup: &Setup) -> Vec<SimJob> {
     jobs
 }
 
+/// A placeholder row for a (bench, scheme) point whose jobs failed:
+/// every metric NaN, which [`crate::cell`] renders as `MISSING`. The
+/// figure still emits its full table; the failure detail lives in
+/// `results/run_all_failures.txt`.
+fn missing_row(bench: &str, scheme: Scheme) -> MainRow {
+    MainRow {
+        bench: bench.to_string(),
+        scheme: scheme.name().to_string(),
+        ipc: f64::NAN,
+        l1_hit_rate: f64::NAN,
+        aml: f64::NAN,
+        energy: f64::NAN,
+        disp_n: f64::NAN,
+        disp_p: f64::NAN,
+        disp_euclid: f64::NAN,
+    }
+}
+
 /// Full-precision main-comparison rows, in the order the old harness
 /// produced them (bench-major, `Scheme::main_comparison` order).
+/// Points whose jobs failed degrade to [`missing_row`] instead of
+/// failing the whole figure.
 fn main_rows(ctx: &FigCtx, setup: &Setup, store: &ResultStore) -> Result<Vec<MainRow>, String> {
     let mut rows = Vec::new();
     for bench in evaluation_suite() {
         for scheme in Scheme::main_comparison() {
             let model = (scheme == Scheme::Poise).then_some(&ctx.model);
-            rows.push(crate::row_of(&scheme_result(
-                store, &bench, scheme, setup, model,
-            )?));
+            match scheme_result(store, &bench, scheme, setup, model) {
+                Ok(r) => rows.push(crate::row_of(&r)),
+                Err(e) => {
+                    eprintln!(
+                        "[bench] {} × {}: {e}; rendering MISSING cells",
+                        bench.name,
+                        scheme.name()
+                    );
+                    rows.push(missing_row(&bench.name, scheme));
+                }
+            }
         }
     }
     Ok(rows)
@@ -1373,10 +1402,22 @@ fn render_fig12(ctx: &FigCtx, points: &[SweepPoint], store: &ResultStore) -> Res
     for bench in evaluation_suite() {
         let mut row = vec![bench.name.clone()];
         for (si, point) in points.iter().enumerate() {
-            let gto = scheme_result(store, &bench, Scheme::Gto, &point.setup, None)?;
-            let poise =
-                scheme_result(store, &bench, Scheme::Poise, &point.setup, Some(&ctx.model))?;
-            let v = poise.ipc / gto.ipc;
+            // A failed point degrades to a MISSING cell (and poisons
+            // this scale's H-Mean to MISSING) instead of failing the
+            // figure.
+            let v = match (
+                scheme_result(store, &bench, Scheme::Gto, &point.setup, None),
+                scheme_result(store, &bench, Scheme::Poise, &point.setup, Some(&ctx.model)),
+            ) {
+                (Ok(gto), Ok(poise)) => poise.ipc / gto.ipc,
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!(
+                        "[bench] fig12 {} @ point {si}: {e}; rendering MISSING",
+                        bench.name
+                    );
+                    f64::NAN
+                }
+            };
             per_scale[si].push(v);
             row.push(cell(v, 3));
         }
@@ -1640,31 +1681,50 @@ fn render_sm_scaling(
         let mut gto_ipc = f64::NAN;
         for &scheme in &TRACE_EVAL_SCHEMES {
             let model = (scheme == Scheme::Poise).then_some(&ctx.model);
-            let mut cycles = 0u64;
-            let mut instructions = 0u64;
-            let mut wall = 0.0f64;
-            for bench in sm_scaling_benches() {
-                for k in &bench.capped(setup.kernels_cap).kernels {
-                    let spec = KernelRunSpec::new(k, scheme, setup, model);
-                    let job = SimJob::Run(spec.clone());
-                    let run = store.run(&spec)?;
-                    cycles += run.counters.cycles;
-                    instructions += run.counters.instructions;
-                    wall += store.wall(&job).unwrap_or(0.0);
+            // Aggregate this scheme's runs; a failed job degrades the
+            // whole (scheme, size) cell to MISSING rather than failing
+            // the figure. A missing GTO leaves gto_ipc NaN, so the
+            // "vs GTO" column of the other schemes goes MISSING too.
+            let aggregate = || -> Result<(u64, u64, f64), String> {
+                let (mut cycles, mut instructions, mut wall) = (0u64, 0u64, 0.0f64);
+                for bench in sm_scaling_benches() {
+                    for k in &bench.capped(setup.kernels_cap).kernels {
+                        let spec = KernelRunSpec::new(k, scheme, setup, model);
+                        let job = SimJob::Run(spec.clone());
+                        let run = store.run(&spec)?;
+                        cycles += run.counters.cycles;
+                        instructions += run.counters.instructions;
+                        wall += store.wall(&job).unwrap_or(0.0);
+                    }
                 }
-            }
-            let ipc = instructions as f64 / cycles.max(1) as f64;
+                Ok((cycles, instructions, wall))
+            };
+            let (ipc, thr) = match aggregate() {
+                Ok((cycles, instructions, wall)) => {
+                    let ipc = instructions as f64 / cycles.max(1) as f64;
+                    // Simulation throughput: simulated cycles per
+                    // wall-second of the runs that produced these
+                    // results (recorded in the cache entries, so warm
+                    // renders match the cold pass).
+                    let thr = if wall > 0.0 {
+                        cell(cycles as f64 / wall / 1.0e6, 2)
+                    } else {
+                        "-".to_string()
+                    };
+                    (ipc, thr)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "[bench] sm_scaling {} SMs × {}: {e}; rendering MISSING",
+                        setup.cfg.sms,
+                        scheme.name()
+                    );
+                    (f64::NAN, "-".to_string())
+                }
+            };
             if scheme == Scheme::Gto {
                 gto_ipc = ipc;
             }
-            // Simulation throughput: simulated cycles per wall-second of
-            // the runs that produced these results (recorded in the
-            // cache entries, so warm renders match the cold pass).
-            let thr = if wall > 0.0 {
-                cell(cycles as f64 / wall / 1.0e6, 2)
-            } else {
-                "-".to_string()
-            };
             table.push(vec![
                 setup.cfg.sms.to_string(),
                 scheme.name().to_string(),
@@ -1749,12 +1809,34 @@ enum FigStatus {
 ///   entries the current job set no longer references (entries keyed by
 ///   edited-away kernel specs, old knob settings, deleted traces). The
 ///   content-addressed store never looks those up again, so without an
-///   occasional `--gc` it grows without bound across spec edits.
+///   occasional `--gc` it grows without bound across spec edits;
+/// * `--inject seed=S,rate=P[,kinds=a+b+...]` — deterministic fault
+///   injection (see [`poise::faults`]): job panics, transient errors,
+///   stalls, torn cache writes and bit flips, all derived from the seed
+///   so a run is exactly reproducible. The robustness machinery (retry
+///   with backoff, watchdog deadlines, cache quarantine) absorbs the
+///   faults; surviving outputs are bit-identical to a fault-free pass;
+/// * `--fsck` — offline cache re-validation: parse and checksum every
+///   entry, quarantine invalid ones, remove stale temp files, then exit
+///   (failure exit if anything was corrupt — a second `--fsck` passes).
+///
+/// Exit codes (CI and scripts key off these):
+/// * `0` — clean pass;
+/// * `1` — figure or job failures (hard errors: panics, exhausted
+///   retries, dependency failures, render errors);
+/// * `3` — every figure passed but the run needed self-healing
+///   (retried-then-recovered jobs or quarantined cache corruption);
+/// * `4` — failures whose job-level causes are exclusively watchdog
+///   timeouts (raise `--set job_deadline=...` and retry).
 pub fn run_all_main(args: &[String]) -> ExitCode {
     let keep_going = args.iter().any(|a| a == "--keep-going");
     let gc = args.iter().any(|a| a == "--gc");
+    if args.iter().any(|a| a == "--fsck") {
+        return fsck_main();
+    }
     let mut sets: Vec<String> = Vec::new();
     let mut sweeps: Vec<String> = Vec::new();
+    let mut inject: Option<String> = None;
     for (i, a) in args.iter().enumerate() {
         let value = |flag: &str| -> Result<String, String> {
             args.get(i + 1)
@@ -1777,9 +1859,23 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--inject" => match value("--inject") {
+                Ok(v) => inject = Some(v),
+                Err(e) => {
+                    eprintln!("[run_all] {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
             _ => {}
         }
     }
+    let faults = match inject.as_deref().map(FaultPlan::parse).transpose() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("[run_all] --inject: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let only: Option<Vec<String>> = args
         .iter()
         .position(|a| a == "--only")
@@ -1833,7 +1929,20 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
     if !overlay.is_empty() {
         eprintln!("[run_all] knob overlay: {}", overlay.summary());
     }
-    let engine = Engine::from_env(&results_dir());
+    let mut engine = Engine::from_env(&results_dir());
+    // The `job_deadline` knob is an engine (watchdog) setting, not part
+    // of any job's cache identity — lift it off the setup here.
+    engine.deadline = ctx.setup.job_deadline;
+    if let Some(plan) = faults {
+        eprintln!("[run_all] fault injection: {}", plan.summary());
+        if plan.can_stall() && engine.deadline.is_none() {
+            // Stalls never finish on their own; without a watchdog
+            // deadline the run would wedge. Pick a generous default.
+            engine.deadline = Some(10.0);
+            eprintln!("[run_all] stall faults without --set job_deadline=...; defaulting to 10s");
+        }
+        engine.set_faults(Some(plan));
+    }
 
     // Phase 1: expand every figure's plan and execute the union of all
     // points' jobs, deduplicated, in one parallel pass.
@@ -1901,6 +2010,17 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         }
     }
 
+    // The structured failures report: every troubled job's attempt
+    // history plus cache-corruption events. Written on every pass (a
+    // clean one records that, too) so CI can upload it unconditionally.
+    let failures_path = results_dir().join("run_all_failures.txt");
+    if let Err(e) = std::fs::write(&failures_path, failures_report(&engine, &report)) {
+        eprintln!("[run_all] could not write {}: {e}", failures_path.display());
+    }
+    if !report.trouble.is_empty() || report.corrupt > 0 {
+        eprintln!("[run_all] failure details in {}", failures_path.display());
+    }
+
     // Phase 3: the summary table (printed and persisted).
     let failed = statuses
         .iter()
@@ -1965,9 +2085,34 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         }
     }
 
-    if failed > 0 {
-        eprintln!("[run_all] {failed} figure(s) failed");
-        ExitCode::FAILURE
+    // Exit-code mapping (documented on `run_all_main`): clean 0; hard
+    // failures 1; timeout-only failures 4; pass-after-self-healing 3.
+    let job_failures = report.failed.len();
+    if failed > 0 || job_failures > 0 {
+        if failed > 0 {
+            eprintln!("[run_all] {failed} figure(s) failed");
+        }
+        if job_failures > 0 {
+            eprintln!(
+                "[run_all] {job_failures} job(s) failed, {} timed out (see {})",
+                report.timed_out,
+                failures_path.display()
+            );
+        }
+        if job_failures > 0 && report.timed_out == job_failures {
+            ExitCode::from(4)
+        } else {
+            ExitCode::FAILURE
+        }
+    } else if report.recovered > 0 || report.corrupt > 0 {
+        println!(
+            "\n[run_all] all experiments complete in {:.0}s; outputs in results/ \
+             (self-healed: {} recovered job(s), {} corrupt cache entries quarantined)",
+            t0.elapsed().as_secs_f64(),
+            report.recovered,
+            report.corrupt
+        );
+        ExitCode::from(3)
     } else {
         println!(
             "\n[run_all] all experiments complete in {:.0}s; outputs in results/",
@@ -1975,4 +2120,73 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         );
         ExitCode::SUCCESS
     }
+}
+
+/// `run_all --fsck`: offline re-validation of every cache entry (see
+/// [`Engine::fsck`]). Corrupt entries are quarantined, so a failing
+/// fsck leaves the store clean and a second pass succeeds.
+fn fsck_main() -> ExitCode {
+    let engine = Engine::from_env(&results_dir());
+    match engine.fsck() {
+        Ok(r) => {
+            println!(
+                "[run_all] fsck: {} entries scanned, {} valid, {} corrupt (quarantined), \
+                 {} stale temp file(s) removed",
+                r.scanned, r.valid, r.corrupt, r.tmp_removed
+            );
+            if r.corrupt > 0 {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("[run_all] fsck failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Render `results/run_all_failures.txt`: the fault plan (if any), the
+/// engine summary, cache-corruption counters, and the full attempt
+/// history of every troubled job — recovered, failed and timed-out.
+fn failures_report(engine: &Engine, report: &RunReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# run_all failures report");
+    let _ = writeln!(
+        s,
+        "# fault injection: {}",
+        engine
+            .faults()
+            .map_or_else(|| "none".to_string(), |p| p.summary())
+    );
+    let _ = writeln!(s, "# engine: {}", report.summary_line());
+    let _ = writeln!(
+        s,
+        "# cache: {} corrupt entries found, {} quarantined under cache/quarantine/",
+        report.corrupt, report.quarantined
+    );
+    if report.trouble.is_empty() {
+        let _ = writeln!(s, "# no troubled jobs");
+        return s;
+    }
+    for t in &report.trouble {
+        let _ = writeln!(s, "\njob: {}", t.label);
+        let _ = writeln!(s, "  outcome: {}", t.outcome.name());
+        for (i, a) in t.attempts.iter().enumerate() {
+            let backoff = if a.backoff_ms > 0 {
+                format!(" (retried after {}ms backoff)", a.backoff_ms)
+            } else {
+                String::new()
+            };
+            let _ = writeln!(
+                s,
+                "  attempt {i}: {} — {}{backoff}",
+                a.class.name(),
+                a.error
+            );
+        }
+    }
+    s
 }

@@ -249,7 +249,15 @@ pub fn emit_table(file: &str, title: &str, header: &[&str], rows: &[Vec<String>]
 
 /// Format a float with fixed decimals, as a table cell.
 pub fn cell(v: f64, decimals: usize) -> String {
-    format!("{v:.decimals$}")
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        // A failed or missing sweep point (job failure, timeout,
+        // degraded render): an explicit marker beats `NaN` in a table
+        // meant for human diffing. Details live in
+        // `results/run_all_failures.txt`.
+        "MISSING".to_string()
+    }
 }
 
 /// ASCII rendering of a {N, p} speedup surface (used by Figs. 2, 5, 17).

@@ -17,6 +17,7 @@
 //! # poise job cache v1
 //! # key: <64 hex chars>
 //! # wall: <execution seconds of the run that produced the entry>
+//! # sha256: <64 hex chars over the body>
 //! # spec:
 //! #   <canonical spec, one line per field>
 //! <output serialization, kind-specific>
@@ -25,13 +26,33 @@
 //! The `wall` line is metadata, not identity: it records how long the
 //! simulation that produced the entry took, so figures that report
 //! simulation throughput (e.g. `sm_scaling`) render identically from a
-//! warm cache and from the cold run that filled it.
+//! warm cache and from the cold run that filled it. The `sha256` line is
+//! an end-to-end body checksum: the header/end-marker checks catch
+//! truncation, but only the checksum catches silent in-place corruption
+//! (a flipped bit in a stored counter still parses). Both lines are
+//! optional on load, so entries written by earlier versions stay valid.
 //!
-//! Loads verify the header version and key; any parse failure (truncated
-//! file, stale format, hand-edited content) is treated as a miss and the
-//! job silently re-runs. Stores write to a temporary file and `rename`
-//! into place, so an interrupted `run_all` never leaves a half-written
-//! entry and the next invocation resumes from the completed jobs.
+//! ## Self-healing
+//!
+//! Loads verify the header version, key, end marker and (when present)
+//! the body checksum. An invalid entry is **quarantined** — moved under
+//! `quarantine/` beside the store, counted in [`CacheStats::corrupt`] /
+//! [`CacheStats::quarantined`] — and reported distinctly from a plain
+//! miss ([`Lookup::Corrupt`]), so the engine can re-run the job *and*
+//! the run summary can say corruption happened; nothing silently
+//! vanishes. [`Cache::fsck`] applies the same validation to every entry
+//! offline (`run_all --fsck`). Stores write to a temporary file and
+//! `rename` into place, so an interrupted `run_all` never leaves a
+//! half-written entry and the next invocation resumes from the completed
+//! jobs.
+//!
+//! ## Fault injection
+//!
+//! A [`FaultPlan`](crate::faults::FaultPlan) installed via
+//! [`Cache::set_faults`] injects torn (truncated) writes and single-bit
+//! body flips at the store seam, deterministically per entry key and
+//! store occurrence — see [`crate::faults`] for how occurrences count
+//! quarantined casualties so that self-healing converges.
 //!
 //! ## Float canonicalisation
 //!
@@ -39,10 +60,12 @@
 //! (`{:?}`), which parses back to the identical bit pattern. A cache hit
 //! therefore returns *bit-identical* rows to the run that produced it.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use crate::faults::{FaultKind, FaultPlan};
 
 // The SHA-256 implementation lives in `workloads::digest` (trace
 // workloads key themselves by content digest down there); re-exported
@@ -72,6 +95,13 @@ pub struct CacheStats {
     pub misses: AtomicU64,
     /// Results written.
     pub stores: AtomicU64,
+    /// Entries that existed on disk but failed validation (truncated,
+    /// stale format, checksum mismatch, wrong key). Every corrupt entry
+    /// also counts as a miss — the job re-runs — but never silently:
+    /// this counter surfaces in the run summary.
+    pub corrupt: AtomicU64,
+    /// Corrupt entries successfully moved under `quarantine/`.
+    pub quarantined: AtomicU64,
 }
 
 impl CacheStats {
@@ -83,6 +113,55 @@ impl CacheStats {
             self.stores.load(Ordering::Relaxed),
         )
     }
+
+    /// Corrupt-entry count (see the field docs).
+    pub fn corrupt_count(&self) -> u64 {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Quarantined-entry count.
+    pub fn quarantined_count(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+}
+
+/// The outcome of one cache lookup, distinguishing "no entry" from "an
+/// entry existed but was invalid" — the latter is telemetry the engine
+/// must not swallow.
+#[derive(Debug)]
+pub enum Lookup {
+    /// A valid entry: body plus recorded execution wall seconds.
+    Hit(String, f64),
+    /// No entry (or bypass mode).
+    Miss,
+    /// An entry existed but failed validation; it has been quarantined.
+    /// `prior_wall` carries the entry's recorded wall seconds when the
+    /// header survived — the best available deadline budget for the
+    /// re-run.
+    Corrupt {
+        /// Wall seconds of the producing run, if the header parsed.
+        prior_wall: Option<f64>,
+    },
+}
+
+/// Result of an offline [`Cache::fsck`] pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Entries examined.
+    pub scanned: usize,
+    /// Entries that validated (header, key, end marker, checksum, body).
+    pub valid: usize,
+    /// Entries that failed validation (all quarantined).
+    pub corrupt: usize,
+    /// Orphaned `.tmp-*` files from crashed writers, removed.
+    pub tmp_removed: usize,
+}
+
+/// Internal parse result: valid body, or invalid with whatever wall
+/// metadata survived.
+enum Parsed {
+    Valid { body: String, wall: f64 },
+    Invalid { prior_wall: Option<f64> },
 }
 
 /// A content-addressed result store rooted at a directory
@@ -99,6 +178,12 @@ pub struct Cache {
     /// for [`Cache::prune_untouched`].
     touched: Mutex<HashSet<String>>,
     seq: AtomicU64,
+    /// Injected store faults (torn writes, bit flips); `None` in normal
+    /// operation.
+    faults: Option<Arc<FaultPlan>>,
+    /// In-process store count per file name, part of the fault-decision
+    /// occurrence index (see [`crate::faults`]).
+    store_counts: Mutex<HashMap<String, u64>>,
 }
 
 impl Cache {
@@ -112,12 +197,24 @@ impl Cache {
             stats: CacheStats::default(),
             touched: Mutex::new(HashSet::new()),
             seq: AtomicU64::new(0),
+            faults: None,
+            store_counts: Mutex::new(HashMap::new()),
         }
     }
 
     /// The cache directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The quarantine directory (`<root>/quarantine`); created lazily.
+    pub fn quarantine_root(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// Install a fault-injection plan for the store seam.
+    pub fn set_faults(&mut self, plan: Option<Arc<FaultPlan>>) {
+        self.faults = plan;
     }
 
     fn path_of(&self, kind: &str, key: &str) -> PathBuf {
@@ -137,62 +234,139 @@ impl Cache {
 
     /// Look up `key`; returns the stored body (without the header) plus
     /// the recorded execution wall seconds when a valid entry exists.
-    /// Corrupt, truncated or stale-format entries are reported as misses
-    /// so the caller silently re-runs the job.
+    /// Corrupt entries are reported as misses (they are quarantined and
+    /// counted — see [`Cache::lookup`] for the distinction).
     pub fn load(&self, kind: &str, key: &str) -> Option<(String, f64)> {
+        match self.lookup(kind, key) {
+            Lookup::Hit(body, wall) => Some((body, wall)),
+            _ => None,
+        }
+    }
+
+    /// Look up `key`, distinguishing a plain miss from a corrupt entry.
+    /// A corrupt entry is counted, quarantined, and reported with
+    /// whatever wall metadata survived.
+    pub fn lookup(&self, kind: &str, key: &str) -> Lookup {
         if self.bypass {
             self.stats.misses.fetch_add(1, Ordering::Relaxed);
-            return None;
+            return Lookup::Miss;
         }
-        let parsed = std::fs::read_to_string(self.path_of(kind, key))
-            .ok()
-            .and_then(|text| Self::parse_entry(&text, key));
-        match parsed {
-            Some(entry) => {
+        let path = self.path_of(kind, key);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return Lookup::Miss;
+        };
+        match Self::parse_entry(&text, key) {
+            Parsed::Valid { body, wall } => {
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 self.touch(kind, key);
-                Some(entry)
+                Lookup::Hit(body, wall)
             }
-            None => {
+            Parsed::Invalid { prior_wall } => {
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                if self.quarantine(&path) {
+                    self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                }
+                Lookup::Corrupt { prior_wall }
             }
         }
     }
 
-    fn parse_entry(text: &str, key: &str) -> Option<(String, f64)> {
+    /// Move an invalid entry under `quarantine/`, suffixed with the
+    /// first free casualty index so repeat corruption of one key keeps
+    /// every specimen. Returns whether the move succeeded.
+    fn quarantine(&self, path: &Path) -> bool {
+        let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+            return false;
+        };
+        let qdir = self.quarantine_root();
+        if std::fs::create_dir_all(&qdir).is_err() {
+            return false;
+        }
+        let mut n = self.quarantine_count(&name);
+        // First free slot (a concurrent loader may have taken ours).
+        loop {
+            let dest = qdir.join(format!("{name}.{n}"));
+            if !dest.exists() {
+                return std::fs::rename(path, &dest).is_ok();
+            }
+            n += 1;
+        }
+    }
+
+    /// How many quarantined casualties exist for cache file `name`.
+    fn quarantine_count(&self, name: &str) -> u64 {
+        let qdir = self.quarantine_root();
+        let Ok(entries) = std::fs::read_dir(&qdir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .strip_prefix(name)
+                    .is_some_and(|rest| rest.starts_with('.'))
+            })
+            .count() as u64
+    }
+
+    fn parse_entry(text: &str, key: &str) -> Parsed {
+        let invalid = |prior_wall: Option<f64>| Parsed::Invalid { prior_wall };
         let mut lines = text.lines();
-        if lines.next()? != "# poise job cache v1" {
-            return None;
+        if lines.next() != Some("# poise job cache v1") {
+            return invalid(None);
         }
-        if lines.next()?.strip_prefix("# key: ")? != key {
-            return None;
+        match lines.next().and_then(|l| l.strip_prefix("# key: ")) {
+            Some(k) if k == key => {}
+            _ => return invalid(None),
         }
-        // Metadata: optional, absent in entries written before the wall
-        // line existed (still valid — the recorded time is just unknown).
-        let wall = lines
-            .next()
-            .and_then(|l| l.strip_prefix("# wall: "))
-            .and_then(parse_f64)
-            .unwrap_or(0.0);
+        // Metadata lines: optional (absent in entries written before
+        // they existed — still valid, the recorded time is just unknown
+        // and corruption detection falls back to the end marker).
+        let mut wall: Option<f64> = None;
+        let mut sha: Option<&str> = None;
+        for l in lines {
+            if let Some(w) = l.strip_prefix("# wall: ") {
+                wall = parse_f64(w);
+            } else if let Some(s) = l.strip_prefix("# sha256: ") {
+                sha = Some(s);
+            } else {
+                break; // `# spec:` (or anything else) ends the metadata.
+            }
+        }
         // Skip the embedded spec (all `#` comment lines); the body is
         // everything after, terminated by an explicit end marker so a
         // truncated write can be told apart from a short body.
-        let body_start = text.find("\n# end-spec\n")? + "\n# end-spec\n".len();
-        let body = &text[body_start..];
-        let body = body.strip_suffix("# end\n")?;
-        Some((body.to_string(), wall))
+        let Some(marker) = text.find("\n# end-spec\n") else {
+            return invalid(wall);
+        };
+        let body = &text[marker + "\n# end-spec\n".len()..];
+        let Some(body) = body.strip_suffix("# end\n") else {
+            return invalid(wall);
+        };
+        if let Some(sha) = sha {
+            if sha256_hex(body) != sha {
+                return invalid(wall);
+            }
+        }
+        Parsed::Valid {
+            body: body.to_string(),
+            wall: wall.unwrap_or(0.0),
+        }
     }
 
-    /// Store `body` under `key`, embedding the human-readable `spec` and
-    /// the producing run's execution `wall` seconds in the header.
-    /// Atomic: concurrent writers and interrupts leave either the old
-    /// entry or the complete new one.
+    /// Store `body` under `key`, embedding the human-readable `spec`,
+    /// the producing run's execution `wall` seconds and the body
+    /// checksum in the header. Atomic: concurrent writers and interrupts
+    /// leave either the old entry or the complete new one.
     pub fn store(&self, kind: &str, key: &str, spec: &str, body: &str, wall: f64) {
-        let mut text = String::with_capacity(spec.len() + body.len() + 128);
+        let mut text = String::with_capacity(spec.len() + body.len() + 224);
         text.push_str("# poise job cache v1\n");
         text.push_str(&format!("# key: {key}\n"));
         text.push_str(&format!("# wall: {}\n", fmt_f64(wall)));
+        text.push_str(&format!("# sha256: {}\n", sha256_hex(body)));
         text.push_str("# spec:\n");
         for line in spec.lines() {
             text.push_str("#   ");
@@ -200,8 +374,10 @@ impl Cache {
             text.push('\n');
         }
         text.push_str("# end-spec\n");
+        let body_start = text.len();
         text.push_str(body);
         text.push_str("# end\n");
+        self.inject_store_fault(kind, key, &mut text, body_start, body.len());
         let tmp = self.root.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
@@ -215,6 +391,92 @@ impl Cache {
             self.stats.stores.fetch_add(1, Ordering::Relaxed);
             self.touch(kind, key);
         }
+    }
+
+    /// Apply an injected store fault to the rendered entry, when a plan
+    /// is installed and rolls one for this key/occurrence. The
+    /// occurrence index counts prior in-process stores plus quarantined
+    /// casualties of earlier runs, so a healing re-store re-rolls
+    /// instead of deterministically re-corrupting (see [`crate::faults`]).
+    fn inject_store_fault(
+        &self,
+        kind: &str,
+        key: &str,
+        text: &mut String,
+        body_start: usize,
+        body_len: usize,
+    ) {
+        let Some(plan) = &self.faults else { return };
+        let name = self.file_of(kind, key);
+        let occurrence = {
+            let mut counts = self.store_counts.lock().expect("store counts");
+            let c = counts.entry(name.clone()).or_insert(0);
+            let mine = *c;
+            *c += 1;
+            mine + self.quarantine_count(&name)
+        };
+        match plan.store_fault(key, occurrence) {
+            Some(FaultKind::TornWrite) => {
+                // Cut strictly before the end marker: every torn entry is
+                // detectably incomplete.
+                let max = text.len() - "# end\n".len();
+                let cut = plan.corrupt_offset(key, occurrence, max).max(1);
+                text.truncate(cut);
+            }
+            Some(FaultKind::BitFlip) if body_len > 0 => {
+                let off = body_start + plan.corrupt_offset(key, occurrence, body_len);
+                // SAFETY-free byte flip: rebuild around the flipped byte
+                // (may break UTF-8 on multi-byte chars; bodies are ASCII).
+                let mut bytes = std::mem::take(text).into_bytes();
+                bytes[off] ^= 0x01;
+                *text = String::from_utf8_lossy(&bytes).into_owned();
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-validate every entry offline: header, key-vs-filename, end
+    /// marker, checksum, plus the caller's body validation (typically a
+    /// deserialisation round-trip). Invalid entries are quarantined.
+    /// Orphaned `.tmp-*` files are removed. Foreign files (no `.txt`
+    /// suffix or unrecognised name shape) are left alone.
+    pub fn fsck(&self, validate: &dyn Fn(&str, &str) -> bool) -> std::io::Result<FsckReport> {
+        let mut report = FsckReport::default();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") {
+                std::fs::remove_file(entry.path())?;
+                report.tmp_removed += 1;
+                continue;
+            }
+            let Some((kind, key)) = name
+                .strip_suffix(".txt")
+                .and_then(|stem| stem.split_once('-'))
+            else {
+                continue; // foreign file
+            };
+            report.scanned += 1;
+            let ok = std::fs::read_to_string(entry.path())
+                .ok()
+                .is_some_and(|text| match Self::parse_entry(&text, key) {
+                    Parsed::Valid { body, .. } => validate(kind, &body),
+                    Parsed::Invalid { .. } => false,
+                });
+            if ok {
+                report.valid += 1;
+            } else {
+                report.corrupt += 1;
+                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                if self.quarantine(&entry.path()) {
+                    self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// Garbage-collect the store: delete every cache entry this instance
@@ -256,6 +518,12 @@ impl Cache {
 mod tests {
     use super::*;
 
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("poise-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn sha256_is_the_workloads_digest() {
         // The implementation moved to `workloads::digest`; the re-export
@@ -269,8 +537,7 @@ mod tests {
 
     #[test]
     fn prune_untouched_keeps_the_live_set() {
-        let dir = std::env::temp_dir().join(format!("poise-cache-prune-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmp_dir("prune");
         {
             // A previous "run" leaves three entries behind.
             let old = Cache::new(&dir);
@@ -313,8 +580,7 @@ mod tests {
 
     #[test]
     fn store_and_load_round_trip() {
-        let dir = std::env::temp_dir().join(format!("poise-cache-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmp_dir("test");
         let cache = Cache::new(&dir);
         let key = sha256_hex("spec");
         assert!(cache.load("run", &key).is_none());
@@ -324,36 +590,95 @@ mod tests {
         assert_eq!(wall, 0.25, "wall metadata round-trips");
         let (h, m, s) = cache.stats.snapshot();
         assert_eq!((h, m, s), (1, 1, 1));
+        assert_eq!(cache.stats.corrupt_count(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn corrupt_entries_are_misses() {
-        let dir = std::env::temp_dir().join(format!("poise-cache-corrupt-{}", std::process::id()));
+    fn entries_without_metadata_lines_stay_valid() {
+        // Back-compat: entries written before the wall/sha256 lines.
+        let dir = tmp_dir("compat");
+        let cache = Cache::new(&dir);
+        let key = sha256_hex("old");
+        let text = format!(
+            "# poise job cache v1\n# key: {key}\n# spec:\n#   s\n# end-spec\nbody\n# end\n"
+        );
+        std::fs::write(dir.join(format!("run-{key}.txt")), text).unwrap();
+        let (body, wall) = cache.load("run", &key).expect("valid without metadata");
+        assert_eq!(body, "body\n");
+        assert_eq!(wall, 0.0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_counted_and_quarantined() {
+        let dir = tmp_dir("corrupt");
         let cache = Cache::new(&dir);
         let key = sha256_hex("x");
-        cache.store("run", &key, "spec", "body line\n", 0.0);
+        cache.store("run", &key, "spec", "body line\n", 0.5);
         let path = dir.join(format!("run-{key}.txt"));
         // Truncated: the end marker is gone.
         let full = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 7]).unwrap();
-        assert!(cache.load("run", &key).is_none());
-        // Garbage.
+        match cache.lookup("run", &key) {
+            Lookup::Corrupt { prior_wall } => {
+                assert_eq!(prior_wall, Some(0.5), "wall survives truncation")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert_eq!(cache.stats.corrupt_count(), 1);
+        assert_eq!(cache.stats.quarantined_count(), 1);
+        assert!(!path.exists(), "corrupt entry moved away");
+        let q = cache.quarantine_root().join(format!("run-{key}.txt.0"));
+        assert!(q.exists(), "quarantined under a casualty index");
+        // The next lookup is a plain miss (nothing left to quarantine).
+        assert!(matches!(cache.lookup("run", &key), Lookup::Miss));
+
+        // A bit flip in the body parses fine structurally — only the
+        // checksum catches it.
+        cache.store("run", &key, "spec", "body line\n", 0.5);
+        let full = std::fs::read_to_string(&path).unwrap();
+        let flipped = full.replace("body line", "bodz line");
+        std::fs::write(&path, flipped).unwrap();
+        assert!(matches!(
+            cache.lookup("run", &key),
+            Lookup::Corrupt {
+                prior_wall: Some(_)
+            }
+        ));
+        assert_eq!(cache.stats.corrupt_count(), 2);
+        assert!(
+            cache
+                .quarantine_root()
+                .join(format!("run-{key}.txt.1"))
+                .exists(),
+            "second casualty gets the next index"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_key_and_garbage_are_corrupt() {
+        let dir = tmp_dir("wrongkey");
+        let cache = Cache::new(&dir);
+        let key = sha256_hex("x");
+        let path = dir.join(format!("run-{key}.txt"));
         std::fs::write(&path, "not a cache file").unwrap();
-        assert!(cache.load("run", &key).is_none());
+        assert!(matches!(
+            cache.lookup("run", &key),
+            Lookup::Corrupt { prior_wall: None }
+        ));
         // Wrong key in the header.
         let other = sha256_hex("y");
         cache.store("run", &other, "spec", "body\n", 0.0);
         std::fs::rename(dir.join(format!("run-{other}.txt")), &path).unwrap();
-        assert!(cache.load("run", &key).is_none());
+        assert!(matches!(cache.lookup("run", &key), Lookup::Corrupt { .. }));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn bypass_forces_misses_but_still_stores() {
-        let dir = std::env::temp_dir().join(format!("poise-cache-bypass-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmp_dir("bypass");
         let mut cache = Cache::new(&dir);
         let key = sha256_hex("z");
         cache.store("run", &key, "spec", "body\n", 0.0);
@@ -364,6 +689,81 @@ mod tests {
             cache.load("run", &key).map(|(b, _)| b).as_deref(),
             Some("body\n")
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_is_caught_and_heals() {
+        let dir = tmp_dir("torn");
+        let mut cache = Cache::new(&dir);
+        cache.set_faults(Some(Arc::new(
+            FaultPlan::new(1, 1.0).with_kinds(&[FaultKind::TornWrite]),
+        )));
+        let key = sha256_hex("t");
+        cache.store("run", &key, "spec", "body\n", 0.0);
+        // Occurrence 0 tore the write; detection quarantines it.
+        assert!(matches!(cache.lookup("run", &key), Lookup::Corrupt { .. }));
+        assert_eq!(cache.stats.quarantined_count(), 1);
+        // rate=1.0 tears every occurrence; drop the plan to verify the
+        // occurrence index advanced past the quarantined casualty.
+        cache.set_faults(None);
+        cache.store("run", &key, "spec", "body\n", 0.0);
+        assert!(cache.load("run", &key).is_some(), "clean store heals");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_bit_flip_is_caught_by_checksum() {
+        let dir = tmp_dir("flip");
+        let mut cache = Cache::new(&dir);
+        cache.set_faults(Some(Arc::new(
+            FaultPlan::new(2, 1.0).with_kinds(&[FaultKind::BitFlip]),
+        )));
+        let key = sha256_hex("f");
+        cache.store("run", &key, "spec", "value 1.25\n", 0.0);
+        assert!(
+            matches!(cache.lookup("run", &key), Lookup::Corrupt { .. }),
+            "flipped body must fail the checksum"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_quarantines_invalid_entries_and_cleans_temporaries() {
+        let dir = tmp_dir("fsck");
+        let cache = Cache::new(&dir);
+        for k in ["a", "b", "c"] {
+            cache.store(
+                "run",
+                &sha256_hex(k),
+                "spec",
+                format!("{k}\n").as_str(),
+                0.0,
+            );
+        }
+        // Corrupt one entry in place; leave a stale temporary and a
+        // foreign file.
+        let victim = dir.join(format!("run-{}.txt", sha256_hex("b")));
+        let text = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &text[..text.len() - 3]).unwrap();
+        std::fs::write(dir.join(".tmp-1-1"), "torn").unwrap();
+        std::fs::write(dir.join("README"), "foreign").unwrap();
+
+        let report = cache
+            .fsck(&|kind, body| kind == "run" && !body.is_empty())
+            .unwrap();
+        assert_eq!(report.scanned, 3);
+        assert_eq!(report.valid, 2);
+        assert_eq!(report.corrupt, 1);
+        assert_eq!(report.tmp_removed, 1);
+        assert!(!victim.exists(), "invalid entry quarantined");
+        assert!(dir.join("README").exists(), "foreign file untouched");
+        // A second pass is clean.
+        let report = cache.fsck(&|_, _| true).unwrap();
+        assert_eq!((report.scanned, report.corrupt), (2, 0));
+        // The caller's validator can also reject parseable bodies.
+        let report = cache.fsck(&|_, _| false).unwrap();
+        assert_eq!(report.corrupt, 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

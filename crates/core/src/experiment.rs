@@ -91,6 +91,11 @@ pub struct Setup {
     pub train_cap_per_benchmark: usize,
     /// Seeds for random-restart averaging.
     pub rr_seeds: Vec<u64>,
+    /// Per-job watchdog deadline in wall seconds (`job_deadline` knob):
+    /// a job attempt exceeding it is cooperatively cancelled and marked
+    /// timed out. `None` = unbounded. An engine robustness knob — never
+    /// part of any job's cache identity (no spec renders it).
+    pub job_deadline: Option<f64>,
 }
 
 impl Default for Setup {
@@ -111,6 +116,7 @@ impl Default for Setup {
             kernels_cap: 3,
             train_cap_per_benchmark: 8,
             rr_seeds: vec![11, 23, 47],
+            job_deadline: None,
         }
     }
 }
@@ -131,6 +137,7 @@ impl Setup {
             kernels_cap: 2,
             train_cap_per_benchmark: 4,
             rr_seeds: vec![1],
+            job_deadline: None,
         }
     }
 }

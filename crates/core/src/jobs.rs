@@ -53,17 +53,19 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::cache::{fmt_f64, parse_f64, sha256_hex, Cache};
+use crate::cache::{fmt_f64, parse_f64, sha256_hex, Cache, FsckReport, Lookup};
 use crate::experiment::{run_kernel_configured, KernelRun, ProfileTuples, Scheme, Setup};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::params::PoiseParams;
 use crate::policies::{static_best_from_grid, swl_tuple_from_grid};
 use crate::profiler::{pbest, profile_grid, run_tuple, GridSpec, ProfileWindow, SteadyState};
 use crate::train::{collect_sample_scored, fit_samples};
 use gpu_sim::KernelSource;
-use gpu_sim::{Counters, EnergyBreakdown, GpuConfig, WarpTuple};
+use gpu_sim::{CancelToken, Counters, EnergyBreakdown, GpuConfig, WarpTuple};
 use poise_ml::{ScoringWeights, SpeedupGrid, TrainedModel, TrainingSample, N_FEATURES};
 use workloads::{training_suite, Workload};
 
@@ -1128,6 +1130,82 @@ impl ResultStore {
     }
 }
 
+/// How one execution attempt (or a whole job) failed. The class decides
+/// the retry policy: transient errors and timeouts are retried with
+/// exponential backoff, panics and dependency failures are terminal (a
+/// panic is a deterministic bug — retrying re-executes the same crash;
+/// a dependency failure can only be fixed upstream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailClass {
+    /// The job panicked (caught by the engine's isolation layer).
+    Panic,
+    /// A transient error (in practice: injected; a real fabric would map
+    /// flaky I/O here). Retryable.
+    Transient,
+    /// The watchdog cancelled the attempt past its deadline. Retryable.
+    Timeout,
+    /// An upstream dependency failed; never attempted.
+    Dependency,
+}
+
+impl FailClass {
+    /// Stable display name (used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailClass::Panic => "panic",
+            FailClass::Transient => "transient",
+            FailClass::Timeout => "timeout",
+            FailClass::Dependency => "dependency",
+        }
+    }
+}
+
+/// One failed execution attempt of a job.
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// Failure classification.
+    pub class: FailClass,
+    /// The error / panic payload.
+    pub error: String,
+    /// Backoff slept after this attempt before the next one (0 when the
+    /// attempt was terminal).
+    pub backoff_ms: u64,
+}
+
+/// Final disposition of a job that had at least one failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// A retry succeeded; the job's output is valid.
+    Recovered,
+    /// All attempts exhausted (or the failure was terminal).
+    Failed,
+    /// The final attempt was cancelled by the watchdog.
+    TimedOut,
+}
+
+impl JobOutcome {
+    /// Stable display name (used in summaries and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobOutcome::Recovered => "recovered",
+            JobOutcome::Failed => "failed",
+            JobOutcome::TimedOut => "timed out",
+        }
+    }
+}
+
+/// The full failure history of one troubled job, for the structured
+/// failures report (`results/run_all_failures.txt`).
+#[derive(Debug, Clone)]
+pub struct JobTrouble {
+    /// The job's progress label.
+    pub label: String,
+    /// Every failed attempt, in order.
+    pub attempts: Vec<AttemptRecord>,
+    /// Where the job ended up.
+    pub outcome: JobOutcome,
+}
+
 /// Outcome summary of one [`Engine::run`].
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -1138,8 +1216,25 @@ pub struct RunReport {
     /// Jobs answered from the cache.
     pub cache_hits: usize,
     /// Failed jobs as `(label, error)`; dependants of a failed job fail
-    /// with a "dependency failed" error.
+    /// with a "dependency failed" error. Includes timed-out jobs (see
+    /// [`RunReport::timed_out`] and the per-job [`JobTrouble`] records
+    /// for the distinction).
     pub failed: Vec<(String, String)>,
+    /// Jobs that needed more than one execution attempt.
+    pub retried: usize,
+    /// Jobs that failed at least once but ultimately succeeded.
+    pub recovered: usize,
+    /// Jobs whose *final* disposition was a watchdog timeout (subset of
+    /// `failed`).
+    pub timed_out: usize,
+    /// Cache entries found corrupt during this run (quarantined and
+    /// re-executed; see [`crate::cache`]).
+    pub corrupt: u64,
+    /// Corrupt entries successfully moved under `quarantine/`.
+    pub quarantined: u64,
+    /// Failure history of every troubled job — recovered, failed and
+    /// timed-out alike — for the structured failures report.
+    pub trouble: Vec<JobTrouble>,
     /// Wall-clock of the engine run.
     pub wall: Duration,
 }
@@ -1154,18 +1249,91 @@ impl RunReport {
         }
     }
 
-    /// One-line summary for logs.
+    /// One-line summary for logs. The robustness counters (`timed_out`,
+    /// `retried`, `recovered`) appear only when nonzero, so quiet runs
+    /// keep the familiar shape; `corrupt` is always shown — silence must
+    /// mean "checked and clean", not "unchecked".
     pub fn summary_line(&self) -> String {
-        format!(
-            "jobs={} executed={} cache_hits={} failed={} hit_rate={:.1}% wall={:.1}s",
+        let mut s = format!(
+            "jobs={} executed={} cache_hits={} failed={}",
             self.total,
             self.executed,
             self.cache_hits,
             self.failed.len(),
+        );
+        if self.timed_out > 0 {
+            s.push_str(&format!(" timed_out={}", self.timed_out));
+        }
+        if self.retried > 0 {
+            s.push_str(&format!(" retried={}", self.retried));
+        }
+        if self.recovered > 0 {
+            s.push_str(&format!(" recovered={}", self.recovered));
+        }
+        s.push_str(&format!(
+            " hit_rate={:.1}% corrupt={} wall={:.1}s",
             100.0 * self.hit_rate(),
+            self.corrupt,
             self.wall.as_secs_f64()
-        )
+        ));
+        s
     }
+}
+
+/// The per-run watchdog: a registry of `(cancellation token, due time)`
+/// pairs patrolled by one background thread for the duration of an
+/// [`Engine::run`]. An attempt that outlives its deadline has its token
+/// cancelled; the simulator checks the token cooperatively at its
+/// controller barriers (see `gpu_sim::cancel`), so the worker unwinds at
+/// the next epoch boundary instead of wedging the wave.
+#[derive(Default)]
+struct Watchdog {
+    entries: Mutex<Vec<(CancelToken, Instant)>>,
+    stop: AtomicBool,
+}
+
+impl Watchdog {
+    fn register(&self, token: CancelToken, deadline: Duration) {
+        self.entries
+            .lock()
+            .expect("watchdog registry")
+            .push((token, Instant::now() + deadline));
+    }
+
+    fn unregister(&self, token: &CancelToken) {
+        self.entries
+            .lock()
+            .expect("watchdog registry")
+            .retain(|(t, _)| !t.same_as(token));
+    }
+
+    fn patrol(&self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            let now = Instant::now();
+            self.entries
+                .lock()
+                .expect("watchdog registry")
+                .retain(|(token, due)| {
+                    if now >= *due {
+                        token.cancel();
+                        false
+                    } else {
+                        true
+                    }
+                });
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// What [`Engine::run_one`] hands back to the wave loop.
+struct Disposition {
+    result: Result<JobOutput, String>,
+    was_hit: bool,
+    wall: f64,
+    /// Failed attempts, in order (empty for a clean first-attempt
+    /// success or a cache hit).
+    attempts: Vec<AttemptRecord>,
 }
 
 /// The experiment engine: expands, deduplicates, caches and executes
@@ -1177,6 +1345,19 @@ pub struct Engine {
     pub retrain: bool,
     /// Suppress per-job progress lines.
     pub quiet: bool,
+    /// Fault-injection plan for the execution seam (`None` in normal
+    /// operation). Install via [`Engine::set_faults`] so the cache's
+    /// store seam shares the plan.
+    faults: Option<Arc<FaultPlan>>,
+    /// Per-job deadline in seconds. When unset, a job that lost a cache
+    /// entry to corruption still gets a budget derived from the entry's
+    /// recorded wall time (`4×`, floored at 1 s); otherwise attempts run
+    /// unbounded.
+    pub deadline: Option<f64>,
+    /// Maximum retries after a retryable failure (attempts = retries+1).
+    pub max_retries: u32,
+    /// First backoff; doubles per retry (`base × 2^attempt`).
+    pub backoff_base: Duration,
 }
 
 impl Engine {
@@ -1186,6 +1367,10 @@ impl Engine {
             cache: Cache::new(cache_root),
             retrain: false,
             quiet: false,
+            faults: None,
+            deadline: None,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(50),
         }
     }
 
@@ -1201,6 +1386,27 @@ impl Engine {
     /// The underlying cache.
     pub fn cache(&self) -> &Cache {
         &self.cache
+    }
+
+    /// Install (or clear) a fault-injection plan, shared between the
+    /// execution seam here and the cache's store seam.
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        let plan = plan.map(Arc::new);
+        self.cache.set_faults(plan.clone());
+        self.faults = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
+    }
+
+    /// Offline re-validation of every cache entry (`run_all --fsck`):
+    /// header, key, end marker, checksum, plus a full deserialisation
+    /// round-trip of the body. Invalid entries are quarantined.
+    pub fn fsck(&self) -> std::io::Result<FsckReport> {
+        self.cache
+            .fsck(&|kind, body| JobOutput::from_text(kind, body).is_some())
     }
 
     /// Execute `jobs` (plus their transitive dependencies), deduplicated,
@@ -1235,6 +1441,18 @@ impl Engine {
             ..RunReport::default()
         };
         let done = AtomicUsize::new(0);
+        let (corrupt0, quarantined0) = (
+            self.cache.stats.corrupt_count(),
+            self.cache.stats.quarantined_count(),
+        );
+
+        // One watchdog patrol thread for the whole run; registrations
+        // come and go per attempt.
+        let watchdog = Arc::new(Watchdog::default());
+        let patrol = {
+            let w = Arc::clone(&watchdog);
+            std::thread::spawn(move || w.patrol())
+        };
 
         for wave in 0..=2 {
             let wave_jobs: Vec<&SimJob> = order
@@ -1245,34 +1463,77 @@ impl Engine {
             if wave_jobs.is_empty() {
                 continue;
             }
-            let results: Vec<(String, Result<JobOutput, String>, bool, f64)> =
+            let results: Vec<(String, Disposition)> =
                 crate::parallel::parallel_map(&wave_jobs, |job| {
                     let jt = Instant::now();
-                    let (result, was_hit, wall) = self.run_one(job, &store);
+                    let d = self.run_one(job, &store, &watchdog);
                     let i = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if !self.quiet {
-                        let status = match (&result, was_hit) {
+                        let status = match (&d.result, d.was_hit) {
                             (Ok(_), true) => "hit".to_string(),
-                            (Ok(_), false) => format!("ran {:.2}s", jt.elapsed().as_secs_f64()),
+                            (Ok(_), false) if d.attempts.is_empty() => {
+                                format!("ran {:.2}s", jt.elapsed().as_secs_f64())
+                            }
+                            (Ok(_), false) => format!(
+                                "ran {:.2}s (recovered after {} failed attempt(s))",
+                                jt.elapsed().as_secs_f64(),
+                                d.attempts.len()
+                            ),
                             (Err(e), _) => format!("FAILED: {e}"),
                         };
                         eprintln!("[engine] {i}/{total} {} {status}", job.label());
                     }
-                    (job.spec_text(), result, was_hit, wall)
+                    (job.spec_text(), d)
                 });
-            for (spec, result, was_hit, wall) in results {
-                match &result {
-                    Ok(_) if was_hit => report.cache_hits += 1,
-                    Ok(_) => report.executed += 1,
-                    Err(e) => report.failed.push((by_spec[&spec].label(), e.clone())),
+            for (spec, d) in results {
+                let label = by_spec[&spec].label();
+                match (&d.result, d.attempts.as_slice()) {
+                    (Ok(_), []) if d.was_hit => report.cache_hits += 1,
+                    (Ok(_), []) => report.executed += 1,
+                    (Ok(_), _) => {
+                        report.executed += 1;
+                        report.retried += 1;
+                        report.recovered += 1;
+                        report.trouble.push(JobTrouble {
+                            label,
+                            attempts: d.attempts,
+                            outcome: JobOutcome::Recovered,
+                        });
+                    }
+                    (Err(e), attempts) => {
+                        report.failed.push((label.clone(), e.clone()));
+                        let timed_out = attempts
+                            .last()
+                            .is_some_and(|a| a.class == FailClass::Timeout);
+                        if timed_out {
+                            report.timed_out += 1;
+                        }
+                        if attempts.len() > 1 {
+                            report.retried += 1;
+                        }
+                        report.trouble.push(JobTrouble {
+                            label,
+                            attempts: d.attempts,
+                            outcome: if timed_out {
+                                JobOutcome::TimedOut
+                            } else {
+                                JobOutcome::Failed
+                            },
+                        });
+                    }
                 }
-                if result.is_ok() {
-                    store.walls.insert(spec.clone(), wall);
+                if d.result.is_ok() {
+                    store.walls.insert(spec.clone(), d.wall);
                 }
-                store.outputs.insert(spec, result);
+                store.outputs.insert(spec, d.result);
             }
         }
 
+        watchdog.stop.store(true, Ordering::Relaxed);
+        let _ = patrol.join();
+
+        report.corrupt = self.cache.stats.corrupt_count() - corrupt0;
+        report.quarantined = self.cache.stats.quarantined_count() - quarantined0;
         report.wall = t0.elapsed();
         if !self.quiet {
             eprintln!("[engine] {}", report.summary_line());
@@ -1280,11 +1541,18 @@ impl Engine {
         (store, report)
     }
 
-    /// Run (or load) one job whose dependencies are already in `store`.
-    /// Returns the output, whether it came from the cache, and the
-    /// simulation's execution wall seconds (recorded in the entry's
-    /// metadata, so a hit reports the producing run's time).
-    fn run_one(&self, job: &SimJob, store: &ResultStore) -> (Result<JobOutput, String>, bool, f64) {
+    /// Run (or load) one job whose dependencies are already in `store`,
+    /// with bounded retry for transient failures and timeouts, a
+    /// watchdog deadline per attempt, and injected execution faults when
+    /// a plan is installed.
+    fn run_one(&self, job: &SimJob, store: &ResultStore, watchdog: &Watchdog) -> Disposition {
+        let fail = |attempts: Vec<AttemptRecord>, error: String| Disposition {
+            result: Err(error),
+            was_hit: false,
+            wall: 0.0,
+            attempts,
+        };
+
         let deps = job.deps();
         let mut dep_outputs: Vec<&JobOutput> = Vec::with_capacity(deps.len());
         let mut dep_digests = String::new();
@@ -1295,11 +1563,15 @@ impl Engine {
                     dep_outputs.push(o);
                 }
                 Err(e) => {
-                    return (
-                        Err(format!("dependency {} failed: {e}", dep.label())),
-                        false,
-                        0.0,
-                    )
+                    let error = format!("dependency {} failed: {e}", dep.label());
+                    return fail(
+                        vec![AttemptRecord {
+                            class: FailClass::Dependency,
+                            error: error.clone(),
+                            backoff_ms: 0,
+                        }],
+                        error,
+                    );
                 }
             }
         }
@@ -1308,47 +1580,156 @@ impl Engine {
         let kind = job.kind();
         let key = sha256_hex(&format!("{CACHE_VERSION}\n{spec}--deps--\n{dep_digests}"));
         let skip_cache = self.retrain && matches!(job, SimJob::Train(_) | SimJob::Sample(_));
+        // Wall seconds recorded by a prior execution whose entry was just
+        // quarantined — the best deadline budget for the re-run.
+        let mut prior_wall: Option<f64> = None;
         if !skip_cache {
-            if let Some((body, wall)) = self.cache.load(kind, &key) {
-                if let Some(out) = JobOutput::from_text(kind, &body) {
-                    return (Ok(out), true, wall);
+            match self.cache.lookup(kind, &key) {
+                Lookup::Hit(body, wall) => {
+                    if let Some(out) = JobOutput::from_text(kind, &body) {
+                        return Disposition {
+                            result: Ok(out),
+                            was_hit: true,
+                            wall,
+                            attempts: Vec::new(),
+                        };
+                    }
+                    // Checksum-valid but semantically stale (format
+                    // evolution): fall through and re-execute; the store
+                    // below overwrites the entry.
                 }
+                Lookup::Corrupt { prior_wall: w } => prior_wall = w,
+                Lookup::Miss => {}
             }
         }
 
-        let t0 = Instant::now();
-        let executed = catch_unwind(AssertUnwindSafe(|| job.execute(&dep_outputs)));
-        let wall = t0.elapsed().as_secs_f64();
-        match executed {
-            Ok(out) => {
-                let body = out.to_text();
-                self.cache.store(kind, &key, &spec, &body, wall);
-                // Canonicalise through the serialisation so a cold run
-                // returns bit-identical values to a later warm run. A
-                // non-round-tripping output is a bug in the job's
-                // serialiser, but it must fail *this job*, not panic
-                // past the engine's isolation and abort the whole run.
-                match JobOutput::from_text(kind, &body) {
-                    Some(canonical) => (Ok(canonical), false, wall),
-                    None => (
-                        Err(format!(
-                            "{} produced output that does not round-trip through its \
-                             serialisation (engine bug)",
-                            job.label()
-                        )),
-                        false,
-                        wall,
-                    ),
+        // Deadline: the explicit knob wins; else a corrupt entry's
+        // recorded wall gives a generous budget (4×, floored at 1 s);
+        // else attempts run unbounded.
+        let deadline = self
+            .deadline
+            .or_else(|| prior_wall.map(|w| (4.0 * w).max(1.0)));
+        let spec_hash = sha256_hex(&spec);
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+
+        loop {
+            let attempt = attempts.len() as u32;
+            let injected = self
+                .faults
+                .as_ref()
+                .and_then(|p| p.exec_fault(&spec_hash, attempt));
+            // A stall is only meaningful under a watchdog: without a
+            // deadline nothing would ever cancel it and the wave would
+            // wedge, so it degrades to a transient error.
+            let injected = match injected {
+                Some(FaultKind::Stall) if deadline.is_none() => Some(FaultKind::Transient),
+                other => other,
+            };
+
+            let token = CancelToken::new();
+            let guard = gpu_sim::cancel::install(Some(token.clone()));
+            if let Some(d) = deadline {
+                watchdog.register(token.clone(), Duration::from_secs_f64(d));
+            }
+            let t0 = Instant::now();
+            let executed = catch_unwind(AssertUnwindSafe(|| -> Result<JobOutput, String> {
+                match injected {
+                    Some(FaultKind::Panic) => panic!("injected fault: panic"),
+                    Some(FaultKind::Transient) => {
+                        return Err("injected fault: transient error".to_string())
+                    }
+                    Some(FaultKind::Stall) => {
+                        // A wedged worker: burn time until the watchdog
+                        // cancels the attempt.
+                        while !token.is_cancelled() {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        return Err("injected fault: stall".to_string());
+                    }
+                    _ => {}
+                }
+                Ok(job.execute(&dep_outputs))
+            }));
+            watchdog.unregister(&token);
+            drop(guard);
+            let wall = t0.elapsed().as_secs_f64();
+            let cancelled = token.is_cancelled();
+
+            // Success: store, canonicalise, return — unless the watchdog
+            // fired mid-run, in which case the output is from a cancelled
+            // (possibly early-returned) simulation and must be discarded.
+            if let Ok(Ok(out)) = &executed {
+                if !cancelled {
+                    let body = out.to_text();
+                    self.cache.store(kind, &key, &spec, &body, wall);
+                    // Canonicalise through the serialisation so a cold
+                    // run returns bit-identical values to a later warm
+                    // run. A non-round-tripping output is a bug in the
+                    // job's serialiser, but it must fail *this job*, not
+                    // panic past the engine's isolation.
+                    return match JobOutput::from_text(kind, &body) {
+                        Some(canonical) => Disposition {
+                            result: Ok(canonical),
+                            was_hit: false,
+                            wall,
+                            attempts,
+                        },
+                        None => fail(
+                            attempts,
+                            format!(
+                                "{} produced output that does not round-trip through its \
+                                 serialisation (engine bug)",
+                                job.label()
+                            ),
+                        ),
+                    };
                 }
             }
-            Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "job panicked".to_string());
-                (Err(msg), false, wall)
+
+            // Classify the failure.
+            let (class, error) = match executed {
+                _ if cancelled => (
+                    FailClass::Timeout,
+                    format!(
+                        "timed out after {:.1}s (deadline {:.1}s)",
+                        wall,
+                        deadline.unwrap_or(0.0)
+                    ),
+                ),
+                Ok(Err(e)) => (FailClass::Transient, e),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "job panicked".to_string());
+                    (FailClass::Panic, msg)
+                }
+                Ok(Ok(_)) => unreachable!("uncancelled success returned above"),
+            };
+
+            let retryable = matches!(class, FailClass::Transient | FailClass::Timeout);
+            let exhausted = attempt >= self.max_retries;
+            if !retryable || exhausted {
+                attempts.push(AttemptRecord {
+                    class,
+                    error: error.clone(),
+                    backoff_ms: 0,
+                });
+                let prefix = match class {
+                    FailClass::Timeout => String::new(),
+                    _ if attempt > 0 => format!("after {} attempts: ", attempt + 1),
+                    _ => String::new(),
+                };
+                return fail(attempts, format!("{prefix}{error}"));
             }
+            let backoff = self.backoff_base * 2u32.saturating_pow(attempt);
+            attempts.push(AttemptRecord {
+                class,
+                error,
+                backoff_ms: backoff.as_millis() as u64,
+            });
+            std::thread::sleep(backoff);
         }
     }
 }
@@ -1473,7 +1854,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_cache_entries_re_run_silently() {
+    fn corrupt_cache_entries_re_run_and_are_quarantined() {
         let (engine, dir) = tmp_engine("corrupt");
         let setup = tiny_setup();
         let job = SimJob::Run(KernelRunSpec::new(&kernel(6), Scheme::Gto, &setup, None));
@@ -1481,16 +1862,30 @@ mod tests {
         let want = store.get(&job).unwrap().as_run().unwrap().counters;
         // Truncate / garble every cache file.
         for entry in std::fs::read_dir(&dir).unwrap() {
-            let p = entry.unwrap().path();
-            std::fs::write(&p, "# poise job cache v1\ngarbage").unwrap();
+            let entry = entry.unwrap();
+            if entry.file_type().unwrap().is_file() {
+                std::fs::write(entry.path(), "# poise job cache v1\ngarbage").unwrap();
+            }
         }
         let (store2, r2) = engine.run(std::slice::from_ref(&job));
         assert_eq!(r2.executed, 1, "corrupt entry must re-run, not panic");
+        assert_eq!(r2.corrupt, 1, "corruption must be counted, not silent");
+        assert_eq!(r2.quarantined, 1);
+        assert!(
+            engine.cache().quarantine_root().read_dir().unwrap().count() == 1,
+            "the garbled entry is preserved under quarantine/"
+        );
         assert_eq!(
             store2.get(&job).unwrap().as_run().unwrap().counters,
             want,
             "re-run must reproduce the result"
         );
+        // The healed store is clean: a third run hits, an fsck agrees.
+        let (_, r3) = engine.run(std::slice::from_ref(&job));
+        assert_eq!((r3.executed, r3.cache_hits, r3.corrupt), (0, 1, 0));
+        let report = engine.fsck().unwrap();
+        assert_eq!(report.corrupt, 0);
+        assert_eq!(report.valid, report.scanned);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1618,6 +2013,220 @@ mod tests {
         let (_, r) = engine3.run(&[a, b]);
         assert_eq!((r.executed, r.cache_hits), (1, 1));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The lowest plan seed for which the given predicate holds — used
+    /// to pin deterministic fault patterns against a concrete job's spec
+    /// hash (no run-time entropy anywhere).
+    fn find_seed(
+        rate: f64,
+        kinds: &[crate::faults::FaultKind],
+        pred: impl Fn(&crate::faults::FaultPlan) -> bool,
+    ) -> crate::faults::FaultPlan {
+        (0..10_000u64)
+            .map(|s| crate::faults::FaultPlan::new(s, rate).with_kinds(kinds))
+            .find(pred)
+            .expect("a seed with the wanted fault pattern exists")
+    }
+
+    #[test]
+    fn transient_failures_retry_with_backoff_and_recover() {
+        use crate::faults::FaultKind;
+        let setup = tiny_setup();
+        let job = SimJob::Run(KernelRunSpec::new(&kernel(21), Scheme::Gto, &setup, None));
+        // Fault-free baseline in a separate store.
+        let (baseline_engine, base_dir) = tmp_engine("transient-base");
+        let (store0, _) = baseline_engine.run(std::slice::from_ref(&job));
+        let want = store0.get(&job).unwrap().as_run().unwrap().counters;
+
+        let spec_hash = sha256_hex(&job.spec_text());
+        let plan = find_seed(0.6, &[FaultKind::Transient], |p| {
+            p.exec_fault(&spec_hash, 0).is_some() && p.exec_fault(&spec_hash, 1).is_none()
+        });
+        let (mut engine, dir) = tmp_engine("transient");
+        engine.backoff_base = Duration::from_millis(1);
+        engine.set_faults(Some(plan));
+        let (store, report) = engine.run(std::slice::from_ref(&job));
+        assert!(
+            report.failed.is_empty(),
+            "retry must recover: {:?}",
+            report.failed
+        );
+        assert_eq!(
+            (report.retried, report.recovered, report.timed_out),
+            (1, 1, 0)
+        );
+        assert_eq!(report.trouble.len(), 1);
+        let t = &report.trouble[0];
+        assert_eq!(t.outcome, JobOutcome::Recovered);
+        assert_eq!(t.attempts.len(), 1);
+        assert_eq!(t.attempts[0].class, FailClass::Transient);
+        assert!(t.attempts[0].backoff_ms >= 1, "backoff recorded");
+        assert_eq!(
+            store.get(&job).unwrap().as_run().unwrap().counters,
+            want,
+            "recovered output must be bit-identical to the fault-free run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&base_dir);
+    }
+
+    #[test]
+    fn injected_panic_is_terminal_no_retry() {
+        use crate::faults::FaultKind;
+        let setup = tiny_setup();
+        let job = SimJob::Run(KernelRunSpec::new(&kernel(22), Scheme::Gto, &setup, None));
+        let (mut engine, dir) = tmp_engine("panic-terminal");
+        engine.backoff_base = Duration::from_millis(1);
+        // rate 1.0: every attempt would fire — the proof of no-retry is
+        // that exactly one attempt happened.
+        engine.set_faults(Some(
+            crate::faults::FaultPlan::new(0, 1.0).with_kinds(&[FaultKind::Panic]),
+        ));
+        let (store, report) = engine.run(std::slice::from_ref(&job));
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(
+            (report.retried, report.recovered, report.timed_out),
+            (0, 0, 0)
+        );
+        let t = &report.trouble[0];
+        assert_eq!(t.outcome, JobOutcome::Failed);
+        assert_eq!(t.attempts.len(), 1, "panics must not be retried");
+        assert_eq!(t.attempts[0].class, FailClass::Panic);
+        assert!(t.attempts[0].error.contains("injected fault: panic"));
+        assert!(store.get(&job).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_exhaustion_is_a_terminal_failure() {
+        use crate::faults::FaultKind;
+        let setup = tiny_setup();
+        let job = SimJob::Run(KernelRunSpec::new(&kernel(23), Scheme::Gto, &setup, None));
+        let (mut engine, dir) = tmp_engine("exhaust");
+        engine.backoff_base = Duration::from_millis(1);
+        engine.max_retries = 2;
+        engine.set_faults(Some(
+            crate::faults::FaultPlan::new(0, 1.0).with_kinds(&[FaultKind::Transient]),
+        ));
+        let (_, report) = engine.run(std::slice::from_ref(&job));
+        assert_eq!(report.failed.len(), 1);
+        assert!(report.failed[0].1.contains("after 3 attempts"));
+        let t = &report.trouble[0];
+        assert_eq!(t.outcome, JobOutcome::Failed);
+        assert_eq!(t.attempts.len(), 3, "retries+1 attempts then give up");
+        // Backoff doubles: 1ms, 2ms, then terminal.
+        assert_eq!(t.attempts[0].backoff_ms, 1);
+        assert_eq!(t.attempts[1].backoff_ms, 2);
+        assert_eq!(t.attempts[2].backoff_ms, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stall_times_out_under_watchdog_and_recovers_on_retry() {
+        use crate::faults::FaultKind;
+        let setup = tiny_setup();
+        let job = SimJob::Run(KernelRunSpec::new(&kernel(24), Scheme::Gto, &setup, None));
+        let spec_hash = sha256_hex(&job.spec_text());
+        let plan = find_seed(0.6, &[FaultKind::Stall], |p| {
+            p.exec_fault(&spec_hash, 0).is_some() && p.exec_fault(&spec_hash, 1).is_none()
+        });
+        let (mut engine, dir) = tmp_engine("stall");
+        engine.backoff_base = Duration::from_millis(1);
+        engine.deadline = Some(0.2);
+        engine.set_faults(Some(plan));
+        let (store, report) = engine.run(std::slice::from_ref(&job));
+        assert!(report.failed.is_empty(), "{:?}", report.failed);
+        assert_eq!((report.retried, report.recovered), (1, 1));
+        assert_eq!(report.timed_out, 0, "final outcome is success");
+        let t = &report.trouble[0];
+        assert_eq!(t.outcome, JobOutcome::Recovered);
+        assert_eq!(t.attempts[0].class, FailClass::Timeout);
+        assert!(store.get(&job).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stall_without_deadline_degrades_to_transient() {
+        use crate::faults::FaultKind;
+        let setup = tiny_setup();
+        let job = SimJob::Run(KernelRunSpec::new(&kernel(25), Scheme::Gto, &setup, None));
+        let spec_hash = sha256_hex(&job.spec_text());
+        let plan = find_seed(0.6, &[FaultKind::Stall], |p| {
+            p.exec_fault(&spec_hash, 0).is_some() && p.exec_fault(&spec_hash, 1).is_none()
+        });
+        let (mut engine, dir) = tmp_engine("stall-nodeadline");
+        engine.backoff_base = Duration::from_millis(1);
+        engine.set_faults(Some(plan)); // no deadline set
+        let (_, report) = engine.run(std::slice::from_ref(&job));
+        assert!(report.failed.is_empty());
+        assert_eq!(report.trouble[0].attempts[0].class, FailClass::Transient);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn watchdog_cancels_an_overlong_simulation() {
+        let setup = {
+            let mut s = tiny_setup();
+            // Far beyond what the deadline allows on any host.
+            s.run_cycles = u64::MAX / 4;
+            s
+        };
+        let slow = SimJob::Run(KernelRunSpec::new(&kernel(26), Scheme::Gto, &setup, None));
+        let quick = {
+            let tiny = tiny_setup();
+            SimJob::Run(KernelRunSpec::new(&kernel(27), Scheme::Gto, &tiny, None))
+        };
+        let (mut engine, dir) = tmp_engine("watchdog");
+        engine.deadline = Some(0.3);
+        engine.max_retries = 0;
+        let (store, report) = engine.run(&[slow.clone(), quick.clone()]);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.timed_out, 1);
+        assert_eq!(report.trouble[0].outcome, JobOutcome::TimedOut);
+        let err = store.get(&slow).unwrap_err();
+        assert!(err.contains("timed out"), "unexpected error: {err}");
+        assert!(
+            store.get(&quick).is_ok(),
+            "the wave continues past a timed-out job"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_faults_corrupt_on_disk_but_never_in_memory() {
+        use crate::faults::FaultKind;
+        let setup = tiny_setup();
+        let job = SimJob::Run(KernelRunSpec::new(&kernel(28), Scheme::Gto, &setup, None));
+        // Fault-free baseline.
+        let (baseline_engine, base_dir) = tmp_engine("store-base");
+        let (store0, _) = baseline_engine.run(std::slice::from_ref(&job));
+        let want = store0.get(&job).unwrap().as_run().unwrap().counters;
+
+        let (mut engine, dir) = tmp_engine("store-faults");
+        engine.set_faults(Some(
+            crate::faults::FaultPlan::new(0, 1.0)
+                .with_kinds(&[FaultKind::TornWrite, FaultKind::BitFlip]),
+        ));
+        // Every store is corrupted, so every run re-executes — but the
+        // in-memory result is canonicalised from the clean body, never
+        // from disk, so consumers always see correct values.
+        let (s1, r1) = engine.run(std::slice::from_ref(&job));
+        assert_eq!(s1.get(&job).unwrap().as_run().unwrap().counters, want);
+        assert_eq!(r1.failed.len(), 0);
+        let (s2, r2) = engine.run(std::slice::from_ref(&job));
+        assert_eq!(s2.get(&job).unwrap().as_run().unwrap().counters, want);
+        assert_eq!(r2.corrupt, 1, "the torn first store is detected");
+        // Healing: drop the plan; the next run re-executes and stores
+        // cleanly; the one after hits.
+        engine.set_faults(None);
+        let (_, r3) = engine.run(std::slice::from_ref(&job));
+        assert_eq!(r3.executed, 1);
+        let (_, r4) = engine.run(std::slice::from_ref(&job));
+        assert_eq!((r4.cache_hits, r4.corrupt), (1, 0));
+        assert_eq!(engine.fsck().unwrap().corrupt, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&base_dir);
     }
 
     #[test]

@@ -32,18 +32,28 @@ where
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
+    // Cancellation tokens travel via a thread-local (see
+    // `gpu_sim::cancel`); re-install the caller's token in every worker
+    // so a watchdog can reach nested fan-outs (a job's grid profile
+    // fanning its points across threads).
+    let inherited = gpu_sim::cancel::current();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
+        let (f, next, slots) = (&f, &next, &slots);
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                match items.get(i) {
-                    Some(item) => {
-                        let r = f(item);
-                        *slots[i].lock().expect("result slot") = Some(r);
+            let inherited = inherited.clone();
+            s.spawn(move || {
+                let _guard = gpu_sim::cancel::install(inherited);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    match items.get(i) {
+                        Some(item) => {
+                            let r = f(item);
+                            *slots[i].lock().expect("result slot") = Some(r);
+                        }
+                        None => break,
                     }
-                    None => break,
                 }
             });
         }
@@ -85,6 +95,17 @@ mod tests {
         });
         let expect: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn cancellation_token_reaches_workers() {
+        let token = gpu_sim::CancelToken::new();
+        let _g = gpu_sim::cancel::install(Some(token.clone()));
+        let items: Vec<u32> = (0..64).collect();
+        let seen = parallel_map(&items, |_| {
+            gpu_sim::cancel::current().is_some_and(|t| t.same_as(&token))
+        });
+        assert!(seen.iter().all(|&b| b), "every worker sees the token");
     }
 
     #[test]

@@ -92,6 +92,11 @@ pub enum Knob {
     Strides,
     /// Eq. 12 scoring weights as `w0:w1:w2`.
     Scoring,
+    /// Per-job watchdog deadline in seconds (fractional allowed). An
+    /// engine robustness knob: an attempt exceeding it is cancelled and
+    /// classified `timed out`. Never part of cache identity — no job
+    /// spec renders it.
+    JobDeadline,
 }
 
 /// A typed knob value. Produced by [`Knob::parse_value`] (CLI / env) or
@@ -130,7 +135,7 @@ impl fmt::Display for KnobValue {
 }
 
 /// All knobs with their CLI names, in documentation order.
-pub const KNOBS: [(Knob, &str); 20] = [
+pub const KNOBS: [(Knob, &str); 21] = [
     (Knob::Sms, "sms"),
     (Knob::L1Scale, "l1_scale"),
     (Knob::L1Sets, "l1_sets"),
@@ -151,6 +156,7 @@ pub const KNOBS: [(Knob, &str); 20] = [
     (Knob::IMax, "i_max"),
     (Knob::Strides, "strides"),
     (Knob::Scoring, "scoring"),
+    (Knob::JobDeadline, "job_deadline"),
 ];
 
 /// The deprecated environment aliases still feeding the overlay.
@@ -207,6 +213,13 @@ impl Knob {
             }
             Knob::IMax => {
                 let v: f64 = s.parse().map_err(|_| bad("expected a number"))?;
+                Ok(KnobValue::Real(v))
+            }
+            Knob::JobDeadline => {
+                let v: f64 = s.parse().map_err(|_| bad("expected seconds"))?;
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err(bad("must be a positive number of seconds"));
+                }
                 Ok(KnobValue::Real(v))
             }
             Knob::L1Indexing => match s {
@@ -323,6 +336,10 @@ impl Knob {
             },
             Knob::Scoring => match value {
                 KnobValue::Weights(w) => setup.params.scoring = ScoringWeights(*w),
+                _ => kind_bug(),
+            },
+            Knob::JobDeadline => match value {
+                KnobValue::Real(v) => setup.job_deadline = Some(*v),
                 _ => kind_bug(),
             },
         }
@@ -859,6 +876,19 @@ mod tests {
     /// environment (set_var races concurrent env reads on glibc); any
     /// future env-touching test must take the same lock.
     static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn job_deadline_knob_parses_and_applies() {
+        assert_eq!(Knob::from_name("job_deadline"), Some(Knob::JobDeadline));
+        let v = Knob::JobDeadline.parse_value("2.5").unwrap();
+        let mut s = Setup::for_tests();
+        assert_eq!(s.job_deadline, None, "unbounded by default");
+        Knob::JobDeadline.apply(&mut s, &v);
+        assert_eq!(s.job_deadline, Some(2.5));
+        assert!(Knob::JobDeadline.parse_value("0").is_err());
+        assert!(Knob::JobDeadline.parse_value("-1").is_err());
+        assert!(Knob::JobDeadline.parse_value("inf").is_err());
+    }
 
     #[test]
     fn env_aliases_feed_the_overlay_with_warnings() {

@@ -1,0 +1,120 @@
+//! Cooperative cancellation for in-flight simulations.
+//!
+//! A [`CancelToken`] is a shared flag an external watchdog (the
+//! experiment engine's per-job deadline enforcement) can raise to ask a
+//! running simulation to stop. [`crate::Gpu::run`] polls the current
+//! thread's installed token at its controller barriers — every cycle in
+//! the stepped loops, every epoch in the decoupled loop — and returns
+//! early with `completed = false` when it fires. Cancellation is purely
+//! cooperative and lossy by design: a cancelled run's partial counters
+//! are garbage and the caller must discard them (the engine never caches
+//! or reports a cancelled job's output).
+//!
+//! The token travels by **thread-local installation** rather than by
+//! parameter: the call chain between the engine and `Gpu::run` spans
+//! profilers, training and experiment runners whose signatures have
+//! nothing to do with cancellation, and several of them fan out over
+//! `poise::parallel::parallel_map`, which re-installs the spawning
+//! thread's token in its workers so nested fan-outs stay cancellable.
+//!
+//! Nothing in this module reads the clock; *when* a token fires is the
+//! watchdog's business. Simulations that are never cancelled are
+//! bit-identical with and without an installed token (the poll is a
+//! relaxed atomic load on the cold path of the run loops).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise the flag. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the flag been raised?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Do two tokens share one flag?
+    pub fn same_as(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// The token installed on this thread, if any.
+pub fn current() -> Option<CancelToken> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Install `token` on this thread until the returned guard drops, which
+/// restores whatever was installed before. Pass `None` to shield a
+/// region from an inherited token.
+pub fn install(token: Option<CancelToken>) -> InstallGuard {
+    let previous = CURRENT.with(|c| c.replace(token));
+    InstallGuard { previous }
+}
+
+/// Restores the previously installed token on drop (see [`install`]).
+#[must_use = "dropping the guard immediately uninstalls the token"]
+pub struct InstallGuard {
+    previous: Option<CancelToken>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.replace(self.previous.take()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_fires_across_clones_and_threads() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let c = t.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || c.cancel());
+        });
+        assert!(t.is_cancelled());
+        assert!(t.same_as(&t.clone()));
+        assert!(!t.same_as(&CancelToken::new()));
+    }
+
+    #[test]
+    fn install_guard_restores_previous_token() {
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        let g1 = install(Some(outer.clone()));
+        assert!(current().unwrap().same_as(&outer));
+        {
+            let _g2 = install(Some(inner.clone()));
+            assert!(current().unwrap().same_as(&inner));
+            {
+                let _g3 = install(None);
+                assert!(current().is_none(), "None shields the region");
+            }
+            assert!(current().unwrap().same_as(&inner));
+        }
+        assert!(current().unwrap().same_as(&outer));
+        drop(g1);
+        assert!(current().is_none());
+    }
+}

@@ -369,7 +369,15 @@ impl Gpu {
         // where third-party controllers get caught before the
         // differential suite has to diagnose a divergence.
         let mut declared_wake: Option<Option<u64>> = None;
+        // Cooperative cancellation: the engine's watchdog installs a
+        // token on the executing thread; poll it where the controller
+        // fires (every stepped cycle). A cancelled run's counters are
+        // partial garbage by contract — the caller discards them.
+        let cancel = crate::cancel::current();
         while self.cycle < end {
+            if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                return false;
+            }
             // Deliver all events due at or before this cycle.
             for sm_idx in 0..self.sms.len() {
                 while let Some(ev) = self.events.pop_due(sm_idx, self.cycle) {
@@ -458,7 +466,13 @@ impl Gpu {
             *c = self.cycle;
         }
         let mut completed = false;
+        // Polled once per controller barrier (epoch), the only points
+        // where this loop is globally synchronised; see `run_stepped`.
+        let cancel = crate::cancel::current();
         while self.cycle < end {
+            if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                return false;
+            }
             let epoch_start = self.cycle;
             let barrier = controller
                 .next_wake(epoch_start)
@@ -472,6 +486,14 @@ impl Gpu {
                 }
             }
             loop {
+                // Also polled per laggard advance: a controller that
+                // declares no wakes (e.g. a static tuple) makes the whole
+                // budget one epoch, and an overdue run must still be
+                // cancellable inside it. Partial counters are discarded
+                // by the caller, so breaking mid-epoch is safe.
+                if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    return false;
+                }
                 // The heap top (stale entries lazily discarded) is both
                 // the request-safety frontier — the minimum `(clock, id)`
                 // over SMs that may still issue — and the laggard to

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod cache;
+pub mod cancel;
 pub mod config;
 pub mod controller;
 pub mod energy;
@@ -57,6 +58,7 @@ pub mod stats;
 pub mod warp;
 
 pub use cache::{CacheLineState, SetAssocCache};
+pub use cancel::CancelToken;
 pub use config::{
     CacheGeometry, DramConfig, EnergyConfig, GpuConfig, L2Config, SetIndexing, StepMode,
 };

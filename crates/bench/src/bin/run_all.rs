@@ -24,10 +24,21 @@
 //! past `--set job_deadline=<secs>`, and corrupt cache entries are
 //! quarantined and re-run. Failed points render as `MISSING` cells and
 //! every troubled job's attempt history lands in
-//! `results/run_all_failures.txt`. `--fsck` re-validates the whole
-//! cache offline. Exit codes: 0 clean, 1 hard failures, 3 pass after
-//! self-healing, 4 timeout-only failures (see "Failure handling & fault
-//! injection" in EXPERIMENTS.md).
+//! `results/run_all_failures.txt` (prose) and
+//! `results/run_all_failures.jsonl` (machine-readable, one JSON object
+//! per troubled job with worker attribution). `--fsck` re-validates the
+//! whole cache offline and reclaims orphaned worker leases. Exit codes:
+//! 0 clean, 1 hard failures, 3 pass after self-healing, 4 timeout-only
+//! failures (see "Failure handling & fault injection" in
+//! EXPERIMENTS.md).
+//!
+//! Distributed sweeps: `--workers N` drains the job graph cooperatively
+//! across N worker processes sharing `results/cache/` via crash-safe
+//! lease files — dead workers' claims are stolen by survivors, and the
+//! coordinator's final in-process pass keeps the exit-code contract.
+//! `--worker [--fabric-dir D] [--worker-id ID]` runs one standalone
+//! worker (joining from another terminal or host sharing the
+//! filesystem). See "Distributed sweeps" in EXPERIMENTS.md.
 //!
 //! The legacy effort-knob environment variables (`POISE_SMS`,
 //! `POISE_KERNELS_CAP`, `POISE_TRAIN_CAP`, `POISE_RUN_CYCLES`) are

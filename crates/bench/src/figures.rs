@@ -1817,8 +1817,16 @@ enum FigStatus {
 ///   with backoff, watchdog deadlines, cache quarantine) absorbs the
 ///   faults; surviving outputs are bit-identical to a fault-free pass;
 /// * `--fsck` — offline cache re-validation: parse and checksum every
-///   entry, quarantine invalid ones, remove stale temp files, then exit
-///   (failure exit if anything was corrupt — a second `--fsck` passes).
+///   entry, quarantine invalid ones, remove stale temp files and
+///   orphaned job leases, then exit (failure exit if anything was
+///   corrupt — a second `--fsck` passes);
+/// * `--workers <N>` (or `--set workers=N`) — distributed sweep: spawn
+///   `N` worker processes that execute the job graph cooperatively over
+///   the shared cache via crash-safe leases (see [`poise::fabric`]),
+///   then run the authoritative in-process pass over the warmed store;
+/// * `--worker --fabric-dir <D> [--worker-id <id>]` — run as one fabric
+///   worker (what `--workers` spawns; usable standalone to grow a fleet
+///   by hand). Workers execute and report but render nothing.
 ///
 /// Exit codes (CI and scripts key off these):
 /// * `0` — clean pass;
@@ -1828,12 +1836,19 @@ enum FigStatus {
 ///   (retried-then-recovered jobs or quarantined cache corruption);
 /// * `4` — failures whose job-level causes are exclusively watchdog
 ///   timeouts (raise `--set job_deadline=...` and retry).
+///
+/// A worker process's exit reflects only its local view (`0` when it saw
+/// no hard job failures, `1` otherwise); the coordinator's exit is the
+/// authoritative one.
 pub fn run_all_main(args: &[String]) -> ExitCode {
     let keep_going = args.iter().any(|a| a == "--keep-going");
     let gc = args.iter().any(|a| a == "--gc");
     if args.iter().any(|a| a == "--fsck") {
         return fsck_main();
     }
+    let worker_mode = args.iter().any(|a| a == "--worker");
+    let mut fabric_dir: Option<String> = None;
+    let mut worker_id: Option<String> = None;
     let mut sets: Vec<String> = Vec::new();
     let mut sweeps: Vec<String> = Vec::new();
     let mut inject: Option<String> = None;
@@ -1842,7 +1857,7 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
             args.get(i + 1)
                 .filter(|v| !v.starts_with("--"))
                 .cloned()
-                .ok_or_else(|| format!("{flag} needs a knob=value argument"))
+                .ok_or_else(|| format!("{flag} needs an argument"))
         };
         match a.as_str() {
             "--set" => match value("--set") {
@@ -1861,6 +1876,29 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
             },
             "--inject" => match value("--inject") {
                 Ok(v) => inject = Some(v),
+                Err(e) => {
+                    eprintln!("[run_all] {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            // Sugar for `--set workers=N`, through the same knob so the
+            // value is validated once and recorded in the overlay.
+            "--workers" => match value("--workers") {
+                Ok(v) => sets.push(format!("workers={v}")),
+                Err(e) => {
+                    eprintln!("[run_all] {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fabric-dir" => match value("--fabric-dir") {
+                Ok(v) => fabric_dir = Some(v),
+                Err(e) => {
+                    eprintln!("[run_all] {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--worker-id" => match value("--worker-id") {
+                Ok(v) => worker_id = Some(v),
                 Err(e) => {
                     eprintln!("[run_all] {e}");
                     return ExitCode::FAILURE;
@@ -1981,12 +2019,27 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
     }
     let sweeping = expansions.iter().any(|e| e.points.len() > 1);
     let jobs: Vec<SimJob> = expansions.iter().flat_map(|e| e.jobs.clone()).collect();
+
+    // Fabric worker mode: execute cooperatively over the shared cache,
+    // publish a report, render nothing (the coordinator renders).
+    if worker_mode {
+        let dir = fabric_dir
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| results_dir().join("fabric"));
+        let id = worker_id.unwrap_or_else(|| format!("w{}", std::process::id()));
+        return worker_main(&engine, &jobs, &ctx.setup, &dir, &id);
+    }
+
     eprintln!(
         "[run_all] {} figures declared {} jobs; executing the deduplicated set...",
         figures.len(),
         jobs.len()
     );
-    let (store, report) = engine.run(&jobs);
+    let (store, report) = if ctx.setup.workers > 0 {
+        run_fleet(&engine, &jobs, &ctx.setup, args)
+    } else {
+        engine.run(&jobs)
+    };
 
     // Phase 2: render in order.
     let mut statuses: Vec<(&str, FigStatus)> = Vec::new();
@@ -2016,6 +2069,18 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
     let failures_path = results_dir().join("run_all_failures.txt");
     if let Err(e) = std::fs::write(&failures_path, failures_report(&engine, &report)) {
         eprintln!("[run_all] could not write {}: {e}", failures_path.display());
+    }
+    // The machine-readable twin: one JSON object per troubled job with
+    // worker id, spec key, failure class and per-attempt timings, so
+    // chaos tests and CI assert on fields instead of scraping prose.
+    let jsonl_path = results_dir().join("run_all_failures.jsonl");
+    let jsonl: String = report
+        .trouble
+        .iter()
+        .map(|t| poise::fabric::trouble_json(t).render() + "\n")
+        .collect();
+    if let Err(e) = std::fs::write(&jsonl_path, jsonl) {
+        eprintln!("[run_all] could not write {}: {e}", jsonl_path.display());
     }
     if !report.trouble.is_empty() || report.corrupt > 0 {
         eprintln!("[run_all] failure details in {}", failures_path.display());
@@ -2122,17 +2187,157 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// `run_all --worker`: one fabric worker process (see [`poise::fabric`]).
+/// Verifies its job-graph expansion against the coordinator's manifest
+/// (publishing one first when run standalone), drains the graph
+/// cooperatively, and publishes its report. Renders nothing.
+fn worker_main(
+    engine: &Engine,
+    jobs: &[SimJob],
+    setup: &Setup,
+    fabric_dir: &std::path::Path,
+    worker_id: &str,
+) -> ExitCode {
+    use poise::fabric;
+    if fabric::verify_manifest(fabric_dir, jobs).is_err() {
+        // Standalone worker (no coordinator): publish the manifest for
+        // later-joining peers, then re-verify — a real skew (peers
+        // expanding a different graph) still fails loudly.
+        let _ = fabric::write_manifest(fabric_dir, jobs);
+        if let Err(e) = fabric::verify_manifest(fabric_dir, jobs) {
+            eprintln!("[{worker_id}] {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let cfg = fabric::FabricConfig::for_worker(fabric_dir, worker_id, setup);
+    let (_store, report) = fabric::run_worker(engine, jobs, &cfg);
+    if let Err(e) = fabric::write_worker_report(fabric_dir, worker_id, &report) {
+        eprintln!("[{worker_id}] could not write report: {e}");
+    }
+    // A worker's exit reflects its local view only; the coordinator's
+    // final pass decides the authoritative outcome.
+    if report.failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `run_all --workers N`: the fabric coordinator. Publishes the job
+/// manifest, spawns `N` worker processes re-running this invocation with
+/// `--worker`, waits them out (dead workers are expected under chaos —
+/// survivors steal their leases), then runs the authoritative in-process
+/// pass over the warmed store and folds the worker reports in for
+/// attribution.
+fn run_fleet(
+    engine: &Engine,
+    jobs: &[SimJob],
+    setup: &Setup,
+    args: &[String],
+) -> (ResultStore, RunReport) {
+    use poise::fabric;
+    use std::collections::HashSet;
+
+    let fabric_dir = results_dir().join("fabric");
+    let _ = std::fs::remove_dir_all(&fabric_dir);
+    let _ = std::fs::create_dir_all(fabric_dir.join("reports"));
+    if let Err(e) = fabric::write_manifest(&fabric_dir, jobs) {
+        eprintln!("[fabric] cannot write manifest: {e}; running in-process instead");
+        return engine.run(jobs);
+    }
+    // Startup sweep: leases left by a previous (crashed) fleet are all
+    // orphans — ours is the only fleet on this store now.
+    let reaped0 = engine.cache().reap_stale_leases(0.0) as u64;
+    if reaped0 > 0 {
+        eprintln!("[fabric] reaped {reaped0} orphaned lease(s) at startup");
+    }
+
+    let mut children = Vec::new();
+    match std::env::current_exe() {
+        Ok(exe) => {
+            for i in 1..=setup.workers {
+                let id = format!("w{i}");
+                match std::process::Command::new(&exe)
+                    .args(args)
+                    .arg("--worker")
+                    .arg("--fabric-dir")
+                    .arg(&fabric_dir)
+                    .args(["--worker-id", &id])
+                    .spawn()
+                {
+                    Ok(c) => children.push((id, c)),
+                    Err(e) => eprintln!("[fabric] could not spawn {id}: {e}"),
+                }
+            }
+        }
+        Err(e) => eprintln!("[fabric] current_exe: {e}; running in-process only"),
+    }
+    eprintln!(
+        "[fabric] coordinator: {} worker(s) over the shared cache",
+        children.len()
+    );
+    for (id, mut child) in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => eprintln!("[fabric] {id} exited with {status}"),
+            Err(e) => eprintln!("[fabric] waiting on {id} failed: {e}"),
+        }
+    }
+
+    // Every worker has exited, so any lease still on disk is orphaned
+    // (held by a killed worker). Reap before the final pass.
+    let reaped1 = engine.cache().reap_stale_leases(0.0) as u64;
+    // The authoritative pass: resolves the whole graph from the warmed
+    // store in-process, re-executing whatever dying workers left
+    // behind. Kill faults never apply here (see FabricConfig), so this
+    // pass always terminates.
+    let (store, mut report) = engine.run(jobs);
+    report.workers = setup.workers;
+    report.reaped = reaped0 + reaped1;
+
+    // Fold worker reports in: attribution lines, fabric counters, and
+    // re-attribution of work (a job a worker executed is a cache hit to
+    // the final pass).
+    let mut seen: HashSet<String> = report.trouble.iter().map(|t| t.spec_hash.clone()).collect();
+    for (id, w) in fabric::read_worker_reports(&fabric_dir) {
+        eprintln!(
+            "[fabric] {id}: executed={} cache_hits={} failed={} stolen={} lost={} wall={:.1}s",
+            w.executed,
+            w.cache_hits,
+            w.failed.len(),
+            w.stolen,
+            w.lost,
+            w.wall.as_secs_f64()
+        );
+        report.cache_hits = report.cache_hits.saturating_sub(w.executed);
+        report.executed += w.executed;
+        report.retried += w.retried;
+        report.recovered += w.recovered;
+        report.stolen += w.stolen;
+        report.lost += w.lost;
+        report.corrupt += w.corrupt;
+        report.quarantined += w.quarantined;
+        for t in w.trouble {
+            if seen.insert(t.spec_hash.clone()) {
+                report.trouble.push(t);
+            }
+        }
+    }
+    (store, report)
+}
+
 /// `run_all --fsck`: offline re-validation of every cache entry (see
-/// [`Engine::fsck`]). Corrupt entries are quarantined, so a failing
-/// fsck leaves the store clean and a second pass succeeds.
+/// [`Engine::fsck`]), plus reclamation of tmp orphans and job leases
+/// left by killed workers. Corrupt entries are quarantined, so a
+/// failing fsck leaves the store clean and a second pass succeeds.
 fn fsck_main() -> ExitCode {
     let engine = Engine::from_env(&results_dir());
     match engine.fsck() {
         Ok(r) => {
             println!(
                 "[run_all] fsck: {} entries scanned, {} valid, {} corrupt (quarantined), \
-                 {} stale temp file(s) removed",
-                r.scanned, r.valid, r.corrupt, r.tmp_removed
+                 {} stale temp file(s) removed, {} orphaned lease(s) reclaimed",
+                r.scanned, r.valid, r.corrupt, r.tmp_removed, r.leases_removed
             );
             if r.corrupt > 0 {
                 ExitCode::FAILURE

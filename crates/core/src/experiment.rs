@@ -96,6 +96,18 @@ pub struct Setup {
     /// timed out. `None` = unbounded. An engine robustness knob — never
     /// part of any job's cache identity (no spec renders it).
     pub job_deadline: Option<f64>,
+    /// Fabric worker processes (`workers` knob): 0 = plain in-process
+    /// run, N ≥ 1 = coordinator + N spawned workers sharing the cache
+    /// via leases. Engine-only — never part of cache identity.
+    pub workers: usize,
+    /// Lease heartbeat TTL in seconds (`lease_ttl` knob): a lease whose
+    /// heartbeat is older than this is considered owned by a dead
+    /// worker and may be stolen. Engine-only.
+    pub lease_ttl: f64,
+    /// Straggler threshold in seconds (`steal_after` knob): a lease
+    /// older than this is stolen even with a live heartbeat. `None` =
+    /// heartbeat-staleness only. Engine-only.
+    pub steal_after: Option<f64>,
 }
 
 impl Default for Setup {
@@ -117,6 +129,9 @@ impl Default for Setup {
             train_cap_per_benchmark: 8,
             rr_seeds: vec![11, 23, 47],
             job_deadline: None,
+            workers: 0,
+            lease_ttl: 2.0,
+            steal_after: None,
         }
     }
 }
@@ -138,6 +153,9 @@ impl Setup {
             train_cap_per_benchmark: 4,
             rr_seeds: vec![1],
             job_deadline: None,
+            workers: 0,
+            lease_ttl: 2.0,
+            steal_after: None,
         }
     }
 }

@@ -615,7 +615,7 @@ impl SimJob {
     }
 
     /// Execution wave: dependencies always live in strictly lower waves.
-    fn wave(&self) -> usize {
+    pub(crate) fn wave(&self) -> usize {
         match self {
             SimJob::Train(_) => 1,
             SimJob::Run(_) => 2,
@@ -1066,11 +1066,11 @@ impl JobOutput {
 /// Resolved results of an engine run, addressed by job spec.
 #[derive(Debug, Default)]
 pub struct ResultStore {
-    outputs: HashMap<String, Result<JobOutput, String>>,
+    pub(crate) outputs: HashMap<String, Result<JobOutput, String>>,
     /// Execution wall seconds per job spec: measured for executed jobs,
     /// recalled from the entry's metadata for cache hits — so
     /// throughput-reporting figures render identically cold and warm.
-    walls: HashMap<String, f64>,
+    pub(crate) walls: HashMap<String, f64>,
 }
 
 impl ResultStore {
@@ -1158,6 +1158,17 @@ impl FailClass {
             FailClass::Dependency => "dependency",
         }
     }
+
+    /// Inverse of [`FailClass::name`], for parsing worker reports.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "panic" => Some(FailClass::Panic),
+            "transient" => Some(FailClass::Transient),
+            "timeout" => Some(FailClass::Timeout),
+            "dependency" => Some(FailClass::Dependency),
+            _ => None,
+        }
+    }
 }
 
 /// One failed execution attempt of a job.
@@ -1170,6 +1181,9 @@ pub struct AttemptRecord {
     /// Backoff slept after this attempt before the next one (0 when the
     /// attempt was terminal).
     pub backoff_ms: u64,
+    /// Wall milliseconds the attempt itself ran before failing (0 for
+    /// synthetic records, e.g. a lease-steal marker).
+    pub wall_ms: u64,
 }
 
 /// Final disposition of a job that had at least one failed attempt.
@@ -1192,6 +1206,16 @@ impl JobOutcome {
             JobOutcome::TimedOut => "timed out",
         }
     }
+
+    /// Inverse of [`JobOutcome::name`], for parsing worker reports.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "recovered" => Some(JobOutcome::Recovered),
+            "failed" => Some(JobOutcome::Failed),
+            "timed out" => Some(JobOutcome::TimedOut),
+            _ => None,
+        }
+    }
 }
 
 /// The full failure history of one troubled job, for the structured
@@ -1200,6 +1224,12 @@ impl JobOutcome {
 pub struct JobTrouble {
     /// The job's progress label.
     pub label: String,
+    /// SHA-256 of the job's spec text — the stable cross-process job
+    /// identity (the full cache key needs dependency outputs).
+    pub spec_hash: String,
+    /// Which worker finally disposed of the job: `"local"` for the
+    /// in-process engine, the worker id under the fabric.
+    pub worker: String,
     /// Every failed attempt, in order.
     pub attempts: Vec<AttemptRecord>,
     /// Where the job ended up.
@@ -1235,6 +1265,16 @@ pub struct RunReport {
     /// Failure history of every troubled job — recovered, failed and
     /// timed-out alike — for the structured failures report.
     pub trouble: Vec<JobTrouble>,
+    /// Leases this run stole from stale owners (fabric only).
+    pub stolen: u64,
+    /// Completed executions discarded because the lease was lost
+    /// mid-run (fabric only; never counted in `executed`).
+    pub lost: u64,
+    /// Orphaned leases reaped at startup / shutdown (fabric only).
+    pub reaped: u64,
+    /// Workers that contributed to this report (0 = plain in-process
+    /// run, which omits the fabric counters from the summary line).
+    pub workers: usize,
     /// Wall-clock of the engine run.
     pub wall: Duration,
 }
@@ -1270,6 +1310,12 @@ impl RunReport {
         if self.recovered > 0 {
             s.push_str(&format!(" recovered={}", self.recovered));
         }
+        if self.workers > 0 {
+            s.push_str(&format!(
+                " workers={} stolen={} lost={} reaped={}",
+                self.workers, self.stolen, self.lost, self.reaped
+            ));
+        }
         s.push_str(&format!(
             " hit_rate={:.1}% corrupt={} wall={:.1}s",
             100.0 * self.hit_rate(),
@@ -1287,9 +1333,9 @@ impl RunReport {
 /// controller barriers (see `gpu_sim::cancel`), so the worker unwinds at
 /// the next epoch boundary instead of wedging the wave.
 #[derive(Default)]
-struct Watchdog {
+pub(crate) struct Watchdog {
     entries: Mutex<Vec<(CancelToken, Instant)>>,
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
 }
 
 impl Watchdog {
@@ -1307,7 +1353,7 @@ impl Watchdog {
             .retain(|(t, _)| !t.same_as(token));
     }
 
-    fn patrol(&self) {
+    pub(crate) fn patrol(&self) {
         while !self.stop.load(Ordering::Relaxed) {
             let now = Instant::now();
             self.entries
@@ -1326,20 +1372,68 @@ impl Watchdog {
     }
 }
 
+/// The deduplicated dependency closure of a requested job set, in the
+/// stable execution order both the local engine and every fabric worker
+/// derive independently (the fabric distributes *work*, not job
+/// descriptions: each worker re-expands the same graph from the same
+/// invocation — see [`crate::fabric`]).
+pub(crate) struct JobGraph {
+    pub(crate) by_spec: HashMap<String, SimJob>,
+    pub(crate) order: Vec<String>,
+}
+
+/// Expand `jobs` to their transitive dependency closure, deduplicated by
+/// canonical spec, ordered by wave then expansion order.
+pub(crate) fn expand_graph(jobs: &[SimJob]) -> JobGraph {
+    let mut by_spec: HashMap<String, SimJob> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut worklist: Vec<SimJob> = jobs.to_vec();
+    while let Some(job) = worklist.pop() {
+        let spec = job.spec_text();
+        if by_spec.contains_key(&spec) {
+            continue;
+        }
+        worklist.extend(job.deps());
+        by_spec.insert(spec.clone(), job);
+        order.push(spec);
+    }
+    // Stable order: wave, then expansion order (reversed so that the
+    // originally-requested jobs come before late-discovered deps of
+    // the same wave — purely cosmetic, execution is parallel anyway).
+    order.sort_by_key(|s| by_spec[s].wave());
+    JobGraph { by_spec, order }
+}
+
+/// A job's cache identity, resolvable once its dependencies are in the
+/// store (the key hashes dependency-output digests).
+pub(crate) struct JobIdentity {
+    pub(crate) kind: &'static str,
+    pub(crate) spec: String,
+    /// SHA-256 of the spec text alone — the stable pre-dependency
+    /// identity used by fault plans, manifests and failure reports.
+    pub(crate) spec_hash: String,
+    /// The full cache key (spec + dependency digests).
+    pub(crate) key: String,
+}
+
 /// What [`Engine::run_one`] hands back to the wave loop.
-struct Disposition {
-    result: Result<JobOutput, String>,
-    was_hit: bool,
-    wall: f64,
+pub(crate) struct Disposition {
+    pub(crate) result: Result<JobOutput, String>,
+    pub(crate) was_hit: bool,
+    pub(crate) wall: f64,
     /// Failed attempts, in order (empty for a clean first-attempt
     /// success or a cache hit).
-    attempts: Vec<AttemptRecord>,
+    pub(crate) attempts: Vec<AttemptRecord>,
+    /// The execution succeeded but the store gate refused it (the
+    /// fabric's lease was stolen mid-run): the result was discarded and
+    /// must not be counted as executed.
+    pub(crate) lost: bool,
 }
 
 /// The experiment engine: expands, deduplicates, caches and executes
 /// [`SimJob`] graphs. See the module docs.
 pub struct Engine {
-    cache: Cache,
+    pub(crate) cache: Cache,
     /// Re-fit (and re-sample) models even when cached
     /// (`POISE_RETRAIN=1`).
     pub retrain: bool,
@@ -1348,7 +1442,7 @@ pub struct Engine {
     /// Fault-injection plan for the execution seam (`None` in normal
     /// operation). Install via [`Engine::set_faults`] so the cache's
     /// store seam shares the plan.
-    faults: Option<Arc<FaultPlan>>,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
     /// Per-job deadline in seconds. When unset, a job that lost a cache
     /// entry to corruption still gets a budget derived from the entry's
     /// recorded wall time (`4×`, floored at 1 s); otherwise attempts run
@@ -1415,24 +1509,7 @@ impl Engine {
     /// in the store.
     pub fn run(&self, jobs: &[SimJob]) -> (ResultStore, RunReport) {
         let t0 = Instant::now();
-
-        // Expand to the dependency closure, deduplicating by spec.
-        let mut by_spec: HashMap<String, SimJob> = HashMap::new();
-        let mut order: Vec<String> = Vec::new();
-        let mut worklist: Vec<SimJob> = jobs.to_vec();
-        while let Some(job) = worklist.pop() {
-            let spec = job.spec_text();
-            if by_spec.contains_key(&spec) {
-                continue;
-            }
-            worklist.extend(job.deps());
-            by_spec.insert(spec.clone(), job);
-            order.push(spec);
-        }
-        // Stable order: wave, then expansion order (reversed so that the
-        // originally-requested jobs come before late-discovered deps of
-        // the same wave — purely cosmetic, execution is parallel anyway).
-        order.sort_by_key(|s| by_spec[s].wave());
+        let JobGraph { by_spec, order } = expand_graph(jobs);
         let total = order.len();
 
         let mut store = ResultStore::default();
@@ -1466,7 +1543,7 @@ impl Engine {
             let results: Vec<(String, Disposition)> =
                 crate::parallel::parallel_map(&wave_jobs, |job| {
                     let jt = Instant::now();
-                    let d = self.run_one(job, &store, &watchdog);
+                    let d = self.run_one(job, &store, &watchdog, 0, None);
                     let i = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if !self.quiet {
                         let status = match (&d.result, d.was_hit) {
@@ -1496,6 +1573,8 @@ impl Engine {
                         report.recovered += 1;
                         report.trouble.push(JobTrouble {
                             label,
+                            spec_hash: sha256_hex(&spec),
+                            worker: "local".to_string(),
                             attempts: d.attempts,
                             outcome: JobOutcome::Recovered,
                         });
@@ -1513,6 +1592,8 @@ impl Engine {
                         }
                         report.trouble.push(JobTrouble {
                             label,
+                            spec_hash: sha256_hex(&spec),
+                            worker: "local".to_string(),
                             attempts: d.attempts,
                             outcome: if timed_out {
                                 JobOutcome::TimedOut
@@ -1541,44 +1622,80 @@ impl Engine {
         (store, report)
     }
 
+    /// Resolve a job's cache identity against `store` (dependencies must
+    /// already be resolved there — their output digests enter the key).
+    /// `Err` carries the dependency-failure message.
+    pub(crate) fn identify(
+        &self,
+        job: &SimJob,
+        store: &ResultStore,
+    ) -> Result<JobIdentity, String> {
+        let mut dep_digests = String::new();
+        for dep in &job.deps() {
+            match store.get(dep) {
+                Ok(o) => dep_digests.push_str(&format!("dep {}\n", job.dep_digest(dep, o))),
+                Err(e) => return Err(format!("dependency {} failed: {e}", dep.label())),
+            }
+        }
+        let spec = job.spec_text();
+        Ok(JobIdentity {
+            kind: job.kind(),
+            spec_hash: sha256_hex(&spec),
+            key: sha256_hex(&format!("{CACHE_VERSION}\n{spec}--deps--\n{dep_digests}")),
+            spec,
+        })
+    }
+
     /// Run (or load) one job whose dependencies are already in `store`,
     /// with bounded retry for transient failures and timeouts, a
     /// watchdog deadline per attempt, and injected execution faults when
     /// a plan is installed.
-    fn run_one(&self, job: &SimJob, store: &ResultStore, watchdog: &Watchdog) -> Disposition {
+    ///
+    /// `start_attempt` seeds the cumulative attempt counter: the fabric
+    /// passes the count carried in a stolen lease so fault-plan
+    /// occurrence indexing, backoff and the retry budget span process
+    /// boundaries; the local engine passes 0. `store_gate`, when given,
+    /// is consulted immediately before the cache store — a `false`
+    /// verdict (the fabric's lease was stolen while we ran) discards the
+    /// result (`Disposition::lost`) instead of double-committing it.
+    pub(crate) fn run_one(
+        &self,
+        job: &SimJob,
+        store: &ResultStore,
+        watchdog: &Watchdog,
+        start_attempt: u32,
+        store_gate: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Disposition {
         let fail = |attempts: Vec<AttemptRecord>, error: String| Disposition {
             result: Err(error),
             was_hit: false,
             wall: 0.0,
             attempts,
+            lost: false,
         };
 
-        let deps = job.deps();
-        let mut dep_outputs: Vec<&JobOutput> = Vec::with_capacity(deps.len());
-        let mut dep_digests = String::new();
-        for dep in &deps {
-            match store.get(dep) {
-                Ok(o) => {
-                    dep_digests.push_str(&format!("dep {}\n", job.dep_digest(dep, o)));
-                    dep_outputs.push(o);
-                }
-                Err(e) => {
-                    let error = format!("dependency {} failed: {e}", dep.label());
-                    return fail(
-                        vec![AttemptRecord {
-                            class: FailClass::Dependency,
-                            error: error.clone(),
-                            backoff_ms: 0,
-                        }],
-                        error,
-                    );
-                }
+        let identity = match self.identify(job, store) {
+            Ok(i) => i,
+            Err(error) => {
+                return fail(
+                    vec![AttemptRecord {
+                        class: FailClass::Dependency,
+                        error: error.clone(),
+                        backoff_ms: 0,
+                        wall_ms: 0,
+                    }],
+                    error,
+                )
             }
-        }
-
-        let spec = job.spec_text();
-        let kind = job.kind();
-        let key = sha256_hex(&format!("{CACHE_VERSION}\n{spec}--deps--\n{dep_digests}"));
+        };
+        let deps = job.deps();
+        let dep_outputs: Vec<&JobOutput> = deps
+            .iter()
+            .map(|d| store.get(d).expect("identify() checked every dep"))
+            .collect();
+        let JobIdentity {
+            kind, spec, key, ..
+        } = identity;
         let skip_cache = self.retrain && matches!(job, SimJob::Train(_) | SimJob::Sample(_));
         // Wall seconds recorded by a prior execution whose entry was just
         // quarantined — the best deadline budget for the re-run.
@@ -1592,6 +1709,7 @@ impl Engine {
                             was_hit: true,
                             wall,
                             attempts: Vec::new(),
+                            lost: false,
                         };
                     }
                     // Checksum-valid but semantically stale (format
@@ -1613,7 +1731,9 @@ impl Engine {
         let mut attempts: Vec<AttemptRecord> = Vec::new();
 
         loop {
-            let attempt = attempts.len() as u32;
+            // Cumulative across lease owners: a stolen job resumes the
+            // dead owner's count rather than restarting the budget.
+            let attempt = start_attempt + attempts.len() as u32;
             let injected = self
                 .faults
                 .as_ref()
@@ -1660,6 +1780,23 @@ impl Engine {
             // (possibly early-returned) simulation and must be discarded.
             if let Ok(Ok(out)) = &executed {
                 if !cancelled {
+                    // The gate is the fabric's lease-ownership check: if
+                    // our claim was stolen while we executed, another
+                    // worker owns this key now — discard instead of
+                    // double-committing.
+                    if let Some(gate) = store_gate {
+                        if !gate() {
+                            return Disposition {
+                                result: Err(
+                                    "store discarded: lease lost to another worker".to_string()
+                                ),
+                                was_hit: false,
+                                wall,
+                                attempts,
+                                lost: true,
+                            };
+                        }
+                    }
                     let body = out.to_text();
                     self.cache.store(kind, &key, &spec, &body, wall);
                     // Canonicalise through the serialisation so a cold
@@ -1673,6 +1810,7 @@ impl Engine {
                             was_hit: false,
                             wall,
                             attempts,
+                            lost: false,
                         },
                         None => fail(
                             attempts,
@@ -1715,6 +1853,7 @@ impl Engine {
                     class,
                     error: error.clone(),
                     backoff_ms: 0,
+                    wall_ms: (wall * 1000.0) as u64,
                 });
                 let prefix = match class {
                     FailClass::Timeout => String::new(),
@@ -1728,6 +1867,7 @@ impl Engine {
                 class,
                 error,
                 backoff_ms: backoff.as_millis() as u64,
+                wall_ms: (wall * 1000.0) as u64,
             });
             std::thread::sleep(backoff);
         }

@@ -44,6 +44,7 @@
 
 pub mod cache;
 pub mod experiment;
+pub mod fabric;
 pub mod faults;
 pub mod hardware_cost;
 pub mod hie;
@@ -56,6 +57,7 @@ pub mod profiler;
 pub mod train;
 
 pub use experiment::{BenchResult, Scheme, Setup};
+pub use fabric::FabricConfig;
 pub use faults::{FaultKind, FaultPlan};
 pub use hie::{EpochLog, PoiseController};
 pub use jobs::{Engine, JobOutput, ResultStore, RunReport, SimJob};

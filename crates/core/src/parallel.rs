@@ -16,6 +16,15 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// The host's available parallelism, floored at 1. The fan-out width
+/// here and the fabric's per-poll lease-claim cap (claiming more jobs
+/// than cores just widens the blast radius of a worker death).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Map `f` over `items` in parallel across the host's cores, preserving
 /// input order. Falls back to a sequential map for empty/singleton inputs
 /// or single-core hosts. Panics if any worker panics.
@@ -25,10 +34,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len());
+    let workers = host_parallelism().min(items.len());
     if workers <= 1 {
         return items.iter().map(f).collect();
     }

@@ -97,6 +97,15 @@ pub enum Knob {
     /// classified `timed out`. Never part of cache identity — no job
     /// spec renders it.
     JobDeadline,
+    /// Fabric worker processes for `run_all` (0 = in-process). Engine
+    /// knob: never part of cache identity.
+    Workers,
+    /// Lease heartbeat TTL in seconds before a claim counts as dead and
+    /// becomes stealable. Engine knob.
+    LeaseTtl,
+    /// Straggler threshold in seconds: a lease older than this is
+    /// stolen even with a live heartbeat. Engine knob.
+    StealAfter,
 }
 
 /// A typed knob value. Produced by [`Knob::parse_value`] (CLI / env) or
@@ -135,7 +144,7 @@ impl fmt::Display for KnobValue {
 }
 
 /// All knobs with their CLI names, in documentation order.
-pub const KNOBS: [(Knob, &str); 21] = [
+pub const KNOBS: [(Knob, &str); 24] = [
     (Knob::Sms, "sms"),
     (Knob::L1Scale, "l1_scale"),
     (Knob::L1Sets, "l1_sets"),
@@ -157,6 +166,9 @@ pub const KNOBS: [(Knob, &str); 21] = [
     (Knob::Strides, "strides"),
     (Knob::Scoring, "scoring"),
     (Knob::JobDeadline, "job_deadline"),
+    (Knob::Workers, "workers"),
+    (Knob::LeaseTtl, "lease_ttl"),
+    (Knob::StealAfter, "steal_after"),
 ];
 
 /// The deprecated environment aliases still feeding the overlay.
@@ -200,7 +212,7 @@ impl Knob {
         };
         match self {
             Knob::Sms | Knob::L1Scale | Knob::L1Sets | Knob::L1Ways | Knob::L2Banks => count(1),
-            Knob::KernelsCap | Knob::TrainCap => count(0),
+            Knob::KernelsCap | Knob::TrainCap | Knob::Workers => count(0),
             Knob::RunCycles
             | Knob::ProfileWarmup
             | Knob::ProfileMeasure
@@ -215,7 +227,7 @@ impl Knob {
                 let v: f64 = s.parse().map_err(|_| bad("expected a number"))?;
                 Ok(KnobValue::Real(v))
             }
-            Knob::JobDeadline => {
+            Knob::JobDeadline | Knob::LeaseTtl | Knob::StealAfter => {
                 let v: f64 = s.parse().map_err(|_| bad("expected seconds"))?;
                 if !(v > 0.0 && v.is_finite()) {
                     return Err(bad("must be a positive number of seconds"));
@@ -340,6 +352,18 @@ impl Knob {
             },
             Knob::JobDeadline => match value {
                 KnobValue::Real(v) => setup.job_deadline = Some(*v),
+                _ => kind_bug(),
+            },
+            Knob::Workers => match value {
+                KnobValue::Count(v) => setup.workers = *v,
+                _ => kind_bug(),
+            },
+            Knob::LeaseTtl => match value {
+                KnobValue::Real(v) => setup.lease_ttl = *v,
+                _ => kind_bug(),
+            },
+            Knob::StealAfter => match value {
+                KnobValue::Real(v) => setup.steal_after = Some(*v),
                 _ => kind_bug(),
             },
         }
@@ -888,6 +912,35 @@ mod tests {
         assert!(Knob::JobDeadline.parse_value("0").is_err());
         assert!(Knob::JobDeadline.parse_value("-1").is_err());
         assert!(Knob::JobDeadline.parse_value("inf").is_err());
+    }
+
+    #[test]
+    fn fabric_knobs_parse_and_apply() {
+        let mut s = Setup::for_tests();
+        assert_eq!(s.workers, 0, "in-process by default");
+        assert_eq!(s.lease_ttl, 2.0);
+        assert_eq!(s.steal_after, None, "heartbeat-staleness only");
+
+        let v = Knob::Workers.parse_value("3").unwrap();
+        Knob::Workers.apply(&mut s, &v);
+        assert_eq!(s.workers, 3);
+        assert!(Knob::Workers.parse_value("-1").is_err());
+
+        let v = Knob::LeaseTtl.parse_value("0.5").unwrap();
+        Knob::LeaseTtl.apply(&mut s, &v);
+        assert_eq!(s.lease_ttl, 0.5);
+        assert!(Knob::LeaseTtl.parse_value("0").is_err());
+
+        let v = Knob::StealAfter.parse_value("30").unwrap();
+        Knob::StealAfter.apply(&mut s, &v);
+        assert_eq!(s.steal_after, Some(30.0));
+        assert!(Knob::StealAfter.parse_value("nan").is_err());
+
+        // Engine knobs never reach a job spec, so they cannot perturb
+        // cache identity.
+        assert_eq!(Knob::from_name("workers"), Some(Knob::Workers));
+        assert_eq!(Knob::from_name("lease_ttl"), Some(Knob::LeaseTtl));
+        assert_eq!(Knob::from_name("steal_after"), Some(Knob::StealAfter));
     }
 
     #[test]

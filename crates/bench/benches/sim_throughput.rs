@@ -16,6 +16,11 @@
 //!   fast-forward worst case (skips almost never trigger), bounding the
 //!   overhead of the readiness/horizon bookkeeping.
 //!
+//! Each workload additionally ladders `StepMode::ParallelSm` over
+//! `sim_threads` ∈ {1, 2, 4, 8} against the single-threaded per-SM
+//! loop, reporting speedup and parallel efficiency next to the host's
+//! core count (the ladder is only meaningful on multi-core hosts).
+//!
 //! Also times `profile_grid` on a coarse(24) grid end-to-end, and the
 //! experiment engine (`poise::jobs`) cold vs warm over a small job
 //! graph, since those are the harness paths every figure regeneration
@@ -42,6 +47,12 @@ const MODES: [(StepMode, &str); 3] = [
     (StepMode::EventDriven, "event_driven"),
     (StepMode::Reference, "reference"),
 ];
+
+/// `sim_threads` points for the `StepMode::ParallelSm` ladder. The
+/// 1-thread point measures the round-loop overhead of the parallel
+/// path itself (the acceptance bar is a small single-digit regression
+/// vs `PerSm`); higher points measure scaling up to the host's cores.
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
 
 struct Opts {
     smoke: bool,
@@ -96,6 +107,7 @@ fn cycles_per_second(
     tuple: WarpTuple,
     sms: usize,
     mode: StepMode,
+    sim_threads: usize,
     opts: &Opts,
 ) -> ModeResult {
     let mut best = 0.0f64;
@@ -103,6 +115,7 @@ fn cycles_per_second(
     for _ in 0..opts.samples() {
         let mut cfg = GpuConfig::scaled(sms);
         cfg.step_mode = mode;
+        cfg.sim_threads = sim_threads;
         let mut gpu = Gpu::new(cfg, kernel);
         let mut ctrl = FixedTuple::new(tuple);
         let t = Instant::now();
@@ -130,6 +143,8 @@ struct WorkloadResult {
     sms: usize,
     /// cycles/sec per mode, in `MODES` order.
     rates: [f64; 3],
+    /// cycles/sec of `StepMode::ParallelSm` per `THREAD_LADDER` point.
+    parallel_rates: [f64; THREAD_LADDER.len()],
     /// Per-SM fast-forward totals of the per-SM mode run:
     /// (spans, skipped SM-cycles, horizon stalls).
     per_sm_ff: (u64, u64, u64),
@@ -143,6 +158,12 @@ impl WorkloadResult {
     fn speedup_vs_event_driven(&self) -> f64 {
         self.rates[0] / self.rates[1]
     }
+
+    /// ParallelSm throughput at ladder point `i` relative to the
+    /// single-threaded PerSm loop.
+    fn parallel_speedup(&self, i: usize) -> f64 {
+        self.parallel_rates[i] / self.rates[0]
+    }
 }
 
 fn report(
@@ -155,11 +176,16 @@ fn report(
     let mut rates = [0.0; 3];
     let mut per_sm_ff = (0, 0, 0);
     for (i, (mode, _)) in MODES.iter().enumerate() {
-        let r = cycles_per_second(kernel, tuple, sms, *mode, opts);
+        let r = cycles_per_second(kernel, tuple, sms, *mode, 1, opts);
         rates[i] = r.rate;
         if *mode == StepMode::PerSm {
             per_sm_ff = r.ff;
         }
+    }
+    let mut parallel_rates = [0.0; THREAD_LADDER.len()];
+    for (i, &t) in THREAD_LADDER.iter().enumerate() {
+        parallel_rates[i] =
+            cycles_per_second(kernel, tuple, sms, StepMode::ParallelSm, t, opts).rate;
     }
     println!(
         "sim_throughput/{name:<24} per-sm {:>14}   event-driven {:>14}   reference {:>14}   \
@@ -174,10 +200,24 @@ fn report(
         "    per-sm breakdown: {} spans, {} skipped SM-cycles, {} horizon stalls",
         per_sm_ff.0, per_sm_ff.1, per_sm_ff.2
     );
+    let ladder = THREAD_LADDER
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            format!(
+                "t{t} {} ({:.2}x)",
+                fmt_rate(parallel_rates[i]),
+                parallel_rates[i] / rates[0]
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("   ");
+    println!("    parallel-sm ladder (vs per-sm): {ladder}");
     WorkloadResult {
         name,
         sms,
         rates,
+        parallel_rates,
         per_sm_ff,
     }
 }
@@ -293,6 +333,33 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Physical core count: unique `(physical id, core id)` pairs from
+/// `/proc/cpuinfo`, falling back to the logical count when the file is
+/// absent or unparsable (non-Linux hosts, restricted containers).
+fn physical_cores(logical: usize) -> usize {
+    let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return logical;
+    };
+    let mut cores = std::collections::HashSet::new();
+    let mut package = String::from("0");
+    for line in info.lines() {
+        if let Some((k, v)) = line.split_once(':') {
+            match k.trim() {
+                "physical id" => package = v.trim().to_string(),
+                "core id" => {
+                    cores.insert((package.clone(), v.trim().to_string()));
+                }
+                _ => {}
+            }
+        }
+    }
+    if cores.is_empty() {
+        logical
+    } else {
+        cores.len()
+    }
+}
+
 fn write_json(opts: &Opts, workloads: &[WorkloadResult], grid: &GridResult, engine: &EngineResult) {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -305,6 +372,21 @@ fn write_json(opts: &Opts, workloads: &[WorkloadResult], grid: &GridResult, engi
     let _ = writeln!(s, "  \"unix_time\": {unix_time},");
     let _ = writeln!(s, "  \"smoke\": {},", opts.smoke);
     let _ = writeln!(s, "  \"budget_cycles\": {},", opts.budget());
+    // Host context: thread-ladder numbers are only interpretable
+    // against the parallelism the host can actually supply (a 1-core
+    // container pins every ladder point at the inline path).
+    let logical = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(s, "  \"host\": {{");
+    let _ = writeln!(s, "    \"logical_cpus\": {logical},");
+    let _ = writeln!(s, "    \"physical_cores\": {},", physical_cores(logical));
+    let _ = writeln!(
+        s,
+        "    \"thread_budget\": {}",
+        gpu_sim::threadpool::thread_budget()
+    );
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"workloads\": [");
     for (wi, w) in workloads.iter().enumerate() {
         let _ = writeln!(s, "    {{");
@@ -327,6 +409,19 @@ fn write_json(opts: &Opts, workloads: &[WorkloadResult], grid: &GridResult, engi
             "      \"per_sm_speedup_vs_event_driven\": {:.3},",
             w.speedup_vs_event_driven()
         );
+        let _ = writeln!(s, "      \"parallel_sm_ladder\": [");
+        for (i, &t) in THREAD_LADDER.iter().enumerate() {
+            let comma = if i + 1 < THREAD_LADDER.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{\"sim_threads\": {t}, \"cycles_per_sec\": {:.1}, \
+                 \"speedup_vs_per_sm\": {:.3}, \"parallel_efficiency\": {:.3}}}{comma}",
+                w.parallel_rates[i],
+                w.parallel_speedup(i),
+                w.parallel_speedup(i) / t as f64,
+            );
+        }
+        let _ = writeln!(s, "      ],");
         let _ = writeln!(
             s,
             "      \"per_sm_ff\": {{\"spans\": {}, \"skipped_sm_cycles\": {}, \"horizon_stalls\": {}}}",

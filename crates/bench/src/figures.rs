@@ -1731,6 +1731,11 @@ fn render_sm_scaling(
                 cell(ipc, 3),
                 cell(ipc / gto_ipc, 3),
                 thr,
+                // Engine context for the throughput column: how many
+                // threads stepped the SMs of the runs that recorded
+                // these walls. Results (IPC, vs GTO) are bit-identical
+                // across thread counts, so only `sim Mcyc/s` varies.
+                setup.cfg.sim_threads.to_string(),
             ]);
         }
     }
@@ -1738,7 +1743,14 @@ fn render_sm_scaling(
         "sm_scaling.txt",
         "sm_scaling — all schemes across machine sizes (aggregate IPC over one \
          kernel per evaluation benchmark; sim-throughput from recorded execution walls)",
-        &["sms", "scheme", "IPC", "vs GTO", "sim Mcyc/s"],
+        &[
+            "sms",
+            "scheme",
+            "IPC",
+            "vs GTO",
+            "sim Mcyc/s",
+            "sim_threads",
+        ],
         &table,
     );
     Ok(())
@@ -1827,6 +1839,10 @@ enum FigStatus {
 /// * `--worker --fabric-dir <D> [--worker-id <id>]` — run as one fabric
 ///   worker (what `--workers` spawns; usable standalone to grow a fleet
 ///   by hand). Workers execute and report but render nothing.
+/// * `--set sim_threads=N` — step the SMs of each simulation on `N`
+///   threads (bit-identical to single-threaded; engine knob, shares the
+///   process thread budget with the fleet: each spawned worker gets
+///   `POISE_THREAD_BUDGET / (workers + 1)`).
 ///
 /// Exit codes (CI and scripts key off these):
 /// * `0` — clean pass;
@@ -2252,6 +2268,10 @@ fn run_fleet(
         eprintln!("[fabric] reaped {reaped0} orphaned lease(s) at startup");
     }
 
+    // Divide the process thread budget across the fleet (coordinator +
+    // N workers) so per-run `sim_threads` pools compose with process
+    // fan-out instead of oversubscribing the host.
+    let share = (gpu_sim::threadpool::thread_budget() / (setup.workers + 1)).max(1);
     let mut children = Vec::new();
     match std::env::current_exe() {
         Ok(exe) => {
@@ -2263,6 +2283,7 @@ fn run_fleet(
                     .arg("--fabric-dir")
                     .arg(&fabric_dir)
                     .args(["--worker-id", &id])
+                    .env(gpu_sim::threadpool::BUDGET_ENV, share.to_string())
                     .spawn()
                 {
                     Ok(c) => children.push((id, c)),

@@ -119,10 +119,11 @@ pub mod spec_render {
 
     /// One-line rendering of a [`GpuConfig`].
     ///
-    /// `step_mode` is deliberately **excluded**: all step modes are
-    /// proven bit-identical (the differential suites pin it per policy),
-    /// so results are interchangeable across modes and switching the
-    /// default must keep hitting the same entries.
+    /// `step_mode` and `sim_threads` are deliberately **excluded**: all
+    /// step modes (at any thread count) are proven bit-identical (the
+    /// differential suites pin it per policy), so results are
+    /// interchangeable across modes and switching the default must keep
+    /// hitting the same entries.
     pub fn gpu_config(c: &GpuConfig) -> String {
         let GpuConfig {
             sms,
@@ -138,7 +139,8 @@ pub mod spec_render {
             energy,
             track_reuse_distance,
             track_pc_stats,
-            step_mode: _, // bit-identical by contract; see above.
+            step_mode: _,   // bit-identical by contract; see above.
+            sim_threads: _, // engine knob — bit-identical by contract; see above.
         } = c;
         let L2Config {
             geometry: l2_geo,

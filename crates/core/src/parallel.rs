@@ -3,11 +3,13 @@
 //! Simulation runs are embarrassingly parallel (each owns its `Gpu`), so a
 //! work queue over [`std::thread::scope`] is all that is needed: no
 //! external dependency, panics propagate on join, and results keep the
-//! input order. Nested use (e.g. the job engine of [`crate::jobs`]
-//! fanning a wave of jobs whose grid profiles each fan their points in
-//! parallel) is safe — each level caps its workers at the host
-//! parallelism, and the leaf tasks are multi-millisecond simulations, so
-//! modest oversubscription only helps latency hiding.
+//! input order. Helper threads are leased from the process-wide budget
+//! ([`gpu_sim::threadpool::acquire_helpers`], `POISE_THREAD_BUDGET`), the
+//! same pot the simulator's per-SM advance pool draws from, so nested use
+//! (e.g. the job engine of [`crate::jobs`] fanning a wave of jobs whose
+//! runs each step SMs with `sim_threads > 1`) composes instead of
+//! oversubscribing: inner fan-outs see what the outer ones left and
+//! degrade to sequential on their own thread when the pot is dry.
 //!
 //! Callers that need per-task failure isolation (the job engine) wrap
 //! `f` in `catch_unwind` themselves; `parallel_map` keeps the strict
@@ -25,17 +27,21 @@ pub fn host_parallelism() -> usize {
         .unwrap_or(1)
 }
 
-/// Map `f` over `items` in parallel across the host's cores, preserving
-/// input order. Falls back to a sequential map for empty/singleton inputs
-/// or single-core hosts. Panics if any worker panics.
+/// Map `f` over `items` in parallel, preserving input order. Helper
+/// threads are leased from the process-wide budget (the calling thread
+/// always participates); empty/singleton inputs and a dry budget fall
+/// back to a sequential map. Panics if any worker panics.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = host_parallelism().min(items.len());
-    if workers <= 1 {
+    if items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let lease = gpu_sim::threadpool::acquire_helpers(items.len() - 1);
+    if lease.granted() == 0 {
         return items.iter().map(f).collect();
     }
     // Cancellation tokens travel via a thread-local (see
@@ -47,22 +53,26 @@ where
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         let (f, next, slots) = (&f, &next, &slots);
-        for _ in 0..workers {
+        let drain = move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            match items.get(i) {
+                Some(item) => {
+                    let r = f(item);
+                    *slots[i].lock().expect("result slot") = Some(r);
+                }
+                None => break,
+            }
+        };
+        for _ in 0..lease.granted() {
             let inherited = inherited.clone();
             s.spawn(move || {
                 let _guard = gpu_sim::cancel::install(inherited);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    match items.get(i) {
-                        Some(item) => {
-                            let r = f(item);
-                            *slots[i].lock().expect("result slot") = Some(r);
-                        }
-                        None => break,
-                    }
-                }
+                drain();
             });
         }
+        // The caller works too — its thread is the one the budget's
+        // `- 1` reservation accounts for.
+        drain();
     });
     slots
         .into_iter()
@@ -112,6 +122,17 @@ mod tests {
             gpu_sim::cancel::current().is_some_and(|t| t.same_as(&token))
         });
         assert!(seen.iter().all(|&b| b), "every worker sees the token");
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_sequential() {
+        // Hog the whole process budget; the map must still complete
+        // (sequentially, on the calling thread).
+        let hog = gpu_sim::threadpool::acquire_helpers(usize::MAX);
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, |&x| x + 1);
+        assert_eq!(out, items.iter().map(|&x| x + 1).collect::<Vec<_>>());
+        drop(hog);
     }
 
     #[test]

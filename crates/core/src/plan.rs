@@ -100,6 +100,13 @@ pub enum Knob {
     /// Fabric worker processes for `run_all` (0 = in-process). Engine
     /// knob: never part of cache identity.
     Workers,
+    /// Threads stepping SMs inside a single simulation run: `1` keeps
+    /// the default single-threaded loop, `n > 1` selects
+    /// [`gpu_sim::StepMode::ParallelSm`] with a pool of `n` (bounded by
+    /// the process thread budget at run time). Engine knob: results are
+    /// bit-identical at every thread count, so it is never part of
+    /// cache identity.
+    SimThreads,
     /// Lease heartbeat TTL in seconds before a claim counts as dead and
     /// becomes stealable. Engine knob.
     LeaseTtl,
@@ -144,7 +151,7 @@ impl fmt::Display for KnobValue {
 }
 
 /// All knobs with their CLI names, in documentation order.
-pub const KNOBS: [(Knob, &str); 24] = [
+pub const KNOBS: [(Knob, &str); 25] = [
     (Knob::Sms, "sms"),
     (Knob::L1Scale, "l1_scale"),
     (Knob::L1Sets, "l1_sets"),
@@ -167,6 +174,7 @@ pub const KNOBS: [(Knob, &str); 24] = [
     (Knob::Scoring, "scoring"),
     (Knob::JobDeadline, "job_deadline"),
     (Knob::Workers, "workers"),
+    (Knob::SimThreads, "sim_threads"),
     (Knob::LeaseTtl, "lease_ttl"),
     (Knob::StealAfter, "steal_after"),
 ];
@@ -211,7 +219,12 @@ impl Knob {
             Ok(KnobValue::Count(v))
         };
         match self {
-            Knob::Sms | Knob::L1Scale | Knob::L1Sets | Knob::L1Ways | Knob::L2Banks => count(1),
+            Knob::Sms
+            | Knob::L1Scale
+            | Knob::L1Sets
+            | Knob::L1Ways
+            | Knob::L2Banks
+            | Knob::SimThreads => count(1),
             Knob::KernelsCap | Knob::TrainCap | Knob::Workers => count(0),
             Knob::RunCycles
             | Knob::ProfileWarmup
@@ -358,6 +371,18 @@ impl Knob {
                 KnobValue::Count(v) => setup.workers = *v,
                 _ => kind_bug(),
             },
+            Knob::SimThreads => {
+                let n = as_count(value);
+                setup.cfg.sim_threads = n;
+                // `1` restores the build's default loop (PerSm, or
+                // Reference under the `reference-step` feature) so a
+                // sweep axis over thread counts exercises both paths.
+                setup.cfg.step_mode = if n > 1 {
+                    gpu_sim::StepMode::ParallelSm
+                } else {
+                    gpu_sim::StepMode::default()
+                };
+            }
             Knob::LeaseTtl => match value {
                 KnobValue::Real(v) => setup.lease_ttl = *v,
                 _ => kind_bug(),
@@ -912,6 +937,37 @@ mod tests {
         assert!(Knob::JobDeadline.parse_value("0").is_err());
         assert!(Knob::JobDeadline.parse_value("-1").is_err());
         assert!(Knob::JobDeadline.parse_value("inf").is_err());
+    }
+
+    #[test]
+    fn sim_threads_knob_parses_and_applies() {
+        assert_eq!(Knob::from_name("sim_threads"), Some(Knob::SimThreads));
+        let mut s = Setup::for_tests();
+        assert_eq!(s.cfg.sim_threads, 1, "single-threaded by default");
+
+        let v = Knob::SimThreads.parse_value("4").unwrap();
+        Knob::SimThreads.apply(&mut s, &v);
+        assert_eq!(s.cfg.sim_threads, 4);
+        assert_eq!(s.cfg.step_mode, gpu_sim::StepMode::ParallelSm);
+
+        // `1` restores the build's default step loop.
+        let v = Knob::SimThreads.parse_value("1").unwrap();
+        Knob::SimThreads.apply(&mut s, &v);
+        assert_eq!(s.cfg.sim_threads, 1);
+        assert_eq!(s.cfg.step_mode, gpu_sim::StepMode::default());
+
+        assert!(Knob::SimThreads.parse_value("0").is_err());
+        assert!(Knob::SimThreads.parse_value("two").is_err());
+
+        // Engine knob: the rendered job spec must not change with it,
+        // so cached results are shared across thread counts.
+        let base = Setup::for_tests();
+        let mut threaded = Setup::for_tests();
+        Knob::SimThreads.apply(&mut threaded, &KnobValue::Count(8));
+        assert_eq!(
+            crate::jobs::spec_render::gpu_config(&base.cfg),
+            crate::jobs::spec_render::gpu_config(&threaded.cfg),
+        );
     }
 
     #[test]

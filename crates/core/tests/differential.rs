@@ -1,7 +1,8 @@
-//! Differential tests: the per-SM decoupled run loop and the global
-//! event-driven fast-forward loop must both be **bit-identical** to the
-//! cycle-stepped reference loop for every shipped control policy, across
-//! streaming / cache-resident / finite kernels.
+//! Differential tests: the per-SM decoupled run loop (single-threaded
+//! and on the work-stealing pool), and the global event-driven
+//! fast-forward loop, must all be **bit-identical** to the cycle-stepped
+//! reference loop for every shipped control policy, across streaming /
+//! cache-resident / finite / phased kernels.
 //!
 //! This is the contract that makes the fast-forward optimisations safe to
 //! lean on everywhere: same `Counters` (so IPC, AML, hit rates and gap
@@ -15,7 +16,7 @@ use poise::hie::PoiseController;
 use poise::params::PoiseParams;
 use poise::policies::{ApcmController, PcalSwlController, RandomRestartController};
 use poise_ml::{TrainedModel, N_FEATURES};
-use workloads::{AccessMix, KernelSpec};
+use workloads::{AccessMix, KernelSpec, Phase};
 
 /// Wraps a controller, recording every tuple change it steers, so two
 /// runs can be compared action-by-action.
@@ -73,7 +74,9 @@ fn const_model(n: f64, p: f64) -> TrainedModel {
 }
 
 /// The kernels of the differential matrix: streaming-heavy,
-/// cache-resident, and a finite trace that drains mid-run.
+/// cache-resident, a finite trace that drains mid-run, and a phased
+/// kernel that alternates compute-bound and memory-bound regimes (so
+/// fast-forward engages and disengages repeatedly within one run).
 fn kernels() -> Vec<(&'static str, KernelSpec)> {
     let mut resident = AccessMix::memory_sensitive();
     resident.hot_lines = 4;
@@ -99,6 +102,24 @@ fn kernels() -> Vec<(&'static str, KernelSpec)> {
                 .with_warps(6)
                 .with_trace_len(400),
         ),
+        (
+            "phased",
+            KernelSpec::phased(
+                "diff-phased",
+                vec![
+                    Phase {
+                        mix: AccessMix::compute_intensive(),
+                        instructions: 300,
+                    },
+                    Phase {
+                        mix: AccessMix::memory_sensitive(),
+                        instructions: 300,
+                    },
+                ],
+                7,
+            )
+            .with_warps(8),
+        ),
     ]
 }
 
@@ -119,6 +140,9 @@ fn run_with<C: Controller>(
     let mut cfg = GpuConfig::scaled(1);
     cfg.track_pc_stats = true; // uniform config so APCM is comparable
     cfg.step_mode = mode;
+    if mode == StepMode::ParallelSm {
+        cfg.sim_threads = 2;
+    }
     let mut gpu = Gpu::new(cfg, spec);
     let mut ctrl = Recording::new(make());
     let res = gpu.run(&mut ctrl, budget);
@@ -135,7 +159,7 @@ fn assert_identical<C: Controller>(policy: &str, make: impl Fn() -> C, budget: u
     for (kname, spec) in kernels() {
         let rf = run_with(StepMode::Reference, &spec, &make, budget);
         assert_eq!(rf.ff_cycles, 0, "reference mode must never skip");
-        for mode in [StepMode::PerSm, StepMode::EventDriven] {
+        for mode in [StepMode::PerSm, StepMode::ParallelSm, StepMode::EventDriven] {
             let fast = run_with(mode, &spec, &make, budget);
             assert_eq!(
                 fast.counters, rf.counters,
@@ -222,7 +246,7 @@ fn fast_forward_engages_on_memory_bound_runs() {
     // triggered; pin that both fast modes actually skip a large share of a
     // memory-bound run.
     let (_, spec) = kernels().remove(0);
-    for mode in [StepMode::PerSm, StepMode::EventDriven] {
+    for mode in [StepMode::PerSm, StepMode::ParallelSm, StepMode::EventDriven] {
         let fast = run_with(mode, &spec, FixedTuple::max, BUDGET);
         assert!(
             fast.ff_cycles > BUDGET / 4,
@@ -241,15 +265,20 @@ fn per_sm_decoupling_beats_the_global_skip_on_multi_sm_machines() {
     let run = |mode: StepMode| {
         let mut cfg = GpuConfig::scaled(4);
         cfg.step_mode = mode;
+        if mode == StepMode::ParallelSm {
+            cfg.sim_threads = 2;
+        }
         let mut gpu = Gpu::new(cfg, &spec);
         let mut ctrl = FixedTuple::max();
         let res = gpu.run(&mut ctrl, BUDGET);
         (res.counters, gpu.fast_forward_stats().1)
     };
     let (pc, per_sm_skipped) = run(StepMode::PerSm);
+    let (tc, _) = run(StepMode::ParallelSm);
     let (ec, global_skipped) = run(StepMode::EventDriven);
     let (rc, _) = run(StepMode::Reference);
     assert_eq!(pc, rc);
+    assert_eq!(tc, rc);
     assert_eq!(ec, rc);
     assert!(
         per_sm_skipped > global_skipped,
@@ -276,7 +305,7 @@ fn reject_storms_are_identical_under_steering_controllers() {
                 "{name}: expected a reject storm at full occupancy"
             );
         }
-        for mode in [StepMode::PerSm, StepMode::EventDriven] {
+        for mode in [StepMode::PerSm, StepMode::ParallelSm, StepMode::EventDriven] {
             let fast = run_with(mode, &spec, make, budget);
             assert_eq!(fast.counters, rf.counters, "{name}/{mode:?}: counters");
             assert_eq!(fast.steering, rf.steering, "{name}/{mode:?}: steering");
@@ -309,6 +338,9 @@ fn poise_epoch_logs_match_across_modes() {
     let run = |mode: StepMode| {
         let mut cfg = GpuConfig::scaled(1);
         cfg.step_mode = mode;
+        if mode == StepMode::ParallelSm {
+            cfg.sim_threads = 2;
+        }
         let mut gpu = Gpu::new(cfg, &spec);
         let mut ctrl = PoiseController::new(const_model(8.0, 2.0), PoiseParams::scaled_down(20));
         gpu.run(&mut ctrl, 40_000);
@@ -316,5 +348,6 @@ fn poise_epoch_logs_match_across_modes() {
     };
     let reference = run(StepMode::Reference);
     assert_eq!(run(StepMode::PerSm), reference);
+    assert_eq!(run(StepMode::ParallelSm), reference);
     assert_eq!(run(StepMode::EventDriven), reference);
 }

@@ -22,6 +22,14 @@ pub enum StepMode {
     /// of [`crate::gpu`] for the synchronisation invariant.
     #[cfg_attr(not(feature = "reference-step"), default)]
     PerSm,
+    /// [`StepMode::PerSm`] with the per-SM advances run on a work-stealing
+    /// thread pool of [`GpuConfig::sim_threads`] threads: within each
+    /// controller epoch, workers claim laggard SMs and advance each to its
+    /// private conservative horizon, buffering the SM's memory requests in
+    /// its own port; a sequential reduction then applies them through the
+    /// shared memory system in global `(cycle, SM)` order. Bit-identical
+    /// to `PerSm` by construction (see [`crate::gpu`] module docs).
+    ParallelSm,
     /// Globally event-driven: fast-forward only across spans in which no
     /// warp on *any* SM can issue, jumping straight to the next scheduled
     /// event / controller wake / budget end and bulk-accounting the
@@ -178,6 +186,14 @@ pub struct GpuConfig {
     /// fast-forward, or the cycle-stepped reference; counters are
     /// bit-identical in every mode).
     pub step_mode: StepMode,
+    /// Thread count for [`StepMode::ParallelSm`] (1 = effectively
+    /// sequential; ignored by the other modes). An **engine** knob, not an
+    /// architectural one: it never changes simulated results and is
+    /// excluded from the result-cache identity, like `step_mode`. The
+    /// pool spawns `sim_threads - 1` workers (the calling thread
+    /// participates), capped by the process-wide thread budget
+    /// ([`crate::threadpool`]).
+    pub sim_threads: usize,
 }
 
 impl GpuConfig {
@@ -222,6 +238,7 @@ impl GpuConfig {
             track_reuse_distance: false,
             track_pc_stats: false,
             step_mode: StepMode::default(),
+            sim_threads: 1,
         }
     }
 

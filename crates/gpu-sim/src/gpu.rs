@@ -72,14 +72,16 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 use crate::config::{GpuConfig, StepMode};
 use crate::controller::{ControlCtx, Controller};
 use crate::energy::EnergyBreakdown;
 use crate::instruction::KernelSource;
-use crate::memsys::MemSystem;
+use crate::memsys::{MemSystem, Port, PortRequester};
 use crate::sm::{EventSink, Sm, SmEvent};
 use crate::stats::{Counters, GpuStats, SmFastForward};
+use crate::threadpool::ThreadPool;
 
 /// A scheduled event: ordered by time, then by insertion sequence for
 /// determinism. Queues are per-SM, so the SM id lives in the queue index.
@@ -228,8 +230,22 @@ pub struct Gpu {
     done_at: Vec<Option<u64>>,
     /// Lazy-deletion min-heap of `(local clock, SM id)` used by the
     /// decoupled loop to pick the laggard and the request-safety frontier
-    /// in O(log SMs) instead of rescanning every SM per advance.
+    /// in O(log SMs) instead of rescanning every SM per advance. Owned by
+    /// the `Gpu` (rather than rebuilt per epoch) so its allocation is
+    /// reused across epochs — `clear()` keeps the capacity.
     frontier_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Worker pool of [`StepMode::ParallelSm`], built lazily on the first
+    /// parallel run and reused across rounds, epochs and `run()` calls so
+    /// the per-round cost is a condvar wake, not a thread spawn.
+    pool: Option<ThreadPool>,
+    /// Per-SM scratch statistics for parallel rounds (each advancing lane
+    /// accumulates into its own, merged sequentially in SM id order);
+    /// reused across rounds to avoid reallocation.
+    lane_scratch: Vec<GpuStats>,
+    /// Reused scratch listing the SMs whose port went empty → non-empty
+    /// during a parallel round and must be re-registered in the memory
+    /// system's front heap.
+    reindex_scratch: Vec<usize>,
     /// Global-skip diagnostics of [`StepMode::EventDriven`]:
     /// (spans taken, cycles skipped).
     ff_spans: u64,
@@ -250,7 +266,10 @@ impl Gpu {
     pub fn new(cfg: GpuConfig, kernel: &dyn KernelSource) -> Self {
         let sms: Vec<Sm> = (0..cfg.sms).map(|i| Sm::new(i, &cfg, kernel)).collect();
         let mut mem = MemSystem::new(&cfg);
-        mem.set_deferred(cfg.step_mode == StepMode::PerSm);
+        mem.set_deferred(matches!(
+            cfg.step_mode,
+            StepMode::PerSm | StepMode::ParallelSm
+        ));
         let kernel_warps = kernel
             .warps_per_scheduler()
             .clamp(1, cfg.max_warps_per_scheduler);
@@ -261,6 +280,9 @@ impl Gpu {
             clocks: vec![0; cfg.sms],
             done_at: vec![None; cfg.sms],
             frontier_heap: BinaryHeap::new(),
+            pool: None,
+            lane_scratch: Vec::new(),
+            reindex_scratch: Vec::new(),
             sms,
             mem,
             stats,
@@ -340,6 +362,16 @@ impl Gpu {
         let end = self.cycle + max_cycles;
         let completed = match self.cfg.step_mode {
             StepMode::PerSm => self.run_decoupled(controller, end),
+            // At one thread the round structure of the parallel loop is
+            // pure overhead; the sequential decoupled loop is the same
+            // algorithm minus the rounds (bit-identical), so use it.
+            // The choice is a pure function of the config — a dry
+            // thread budget at `sim_threads > 1` still runs the round
+            // loop (inline), it does not silently change the loop.
+            StepMode::ParallelSm if self.cfg.sim_threads <= 1 => {
+                self.run_decoupled(controller, end)
+            }
+            StepMode::ParallelSm => self.run_parallel(controller, end),
             StepMode::EventDriven | StepMode::Reference => self.run_stepped(controller, end),
         };
         controller.on_kernel_end(&mut self.control_ctx());
@@ -523,6 +555,11 @@ impl Gpu {
                     break; // the laggard reached the barrier: all did
                 }
                 self.advance_sm(i, barrier);
+                // A lane advance can break early when the watchdog fires
+                // mid-advance; check before asserting progress.
+                if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    return false;
+                }
                 debug_assert!(
                     self.clocks[i] > c || self.done_at[i].is_some(),
                     "laggard must progress"
@@ -570,55 +607,343 @@ impl Gpu {
 
     /// Advance SM `i` on its local clock until the barrier, its own drain,
     /// or the conservative memory horizon stops it, skipping stalled
-    /// spans in bulk along the way.
+    /// spans in bulk along the way (the sequential laggard advance of
+    /// [`StepMode::PerSm`], expressed as a one-off [`Lane`]).
     fn advance_sm(&mut self, i: usize, barrier: u64) {
-        let mut clock = self.clocks[i];
-        let sm = &mut self.sms[i];
-        let q = &mut self.events.queues[i];
-        let seq = &mut self.events.seqs[i];
-        let mem = &mut self.mem;
-        let stats = &mut self.stats;
-        // The conservative horizon: the first cycle that may not run until
-        // the SM's oldest unresolved read has been applied in global
-        // order. While advancing, the oldest read can only change from
-        // "none" to "the first read issued here" (later reads queue behind
-        // it and applies happen outside), so it is re-queried only while
-        // unknown.
-        let mut hz = mem.safe_horizon(i, clock);
-        loop {
+        let min_fill = self.mem.min_fill_latency();
+        {
+            let port = &mut self.mem.ports_mut()[i];
+            // `apply_ready((clock, i))` just drained every request this SM
+            // issued before its current cycle, so its port is empty and
+            // untracked — exactly the reindex contract.
+            debug_assert!(port.is_empty(), "laggard port drained by apply_ready");
+            let mut lane = Lane {
+                id: i,
+                sm: &mut self.sms[i],
+                q: &mut self.events.queues[i],
+                seq: &mut self.events.seqs[i],
+                port,
+                stats: &mut self.stats,
+                ff_idx: i,
+                clock: self.clocks[i],
+                done_at: None,
+                barrier,
+                min_fill,
+            };
+            lane.advance();
+            self.clocks[i] = lane.clock;
+            if lane.done_at.is_some() {
+                self.done_at[i] = lane.done_at;
+            }
+        }
+        self.mem.reindex_port(i);
+    }
+
+    /// The parallel loop of [`StepMode::ParallelSm`]: the same epochs and
+    /// barriers as [`Self::run_decoupled`], but within an epoch the SMs
+    /// advance in **rounds** — every SM strictly below its own
+    /// conservative horizon advances concurrently on the worker pool,
+    /// issuing memory requests onto its private port — and a sequential
+    /// reduction between rounds applies the parked requests through
+    /// [`MemSystem::apply_ready`] in global `(cycle, SM)` order and merges
+    /// the per-lane counters in SM id order.
+    ///
+    /// **Why this is bit-identical to `PerSm`.** Each SM's execution is a
+    /// pure function of its own state and its delivered events. A lane
+    /// only executes cycles strictly below `oldest unapplied read +
+    /// min_fill_latency`, and no unapplied read can produce a fill before
+    /// that bound, so every event a lane can ever receive for the cycles
+    /// it executes is already in its queue — per-SM trajectories are
+    /// schedule-independent. Requests are applied in the same global key
+    /// order (the frontier sequence is non-decreasing in both loops), so
+    /// the shared bank/partition state sees the identical request
+    /// sequence and produces identical fill times. All architectural
+    /// counters are commutative sums, merged in a fixed order. The only
+    /// divergence is how skipped spans are *partitioned* (a round
+    /// boundary can split one `PerSm` span in two), which moves the
+    /// [`SmFastForward`] diagnostics but none of the architectural
+    /// accounting — reject replay and stall bulk-accounting are
+    /// span-partition-invariant.
+    fn run_parallel(&mut self, controller: &mut dyn Controller, end: u64) -> bool {
+        if self.pool.is_none() {
+            self.pool = Some(ThreadPool::new(self.cfg.sim_threads.saturating_sub(1)));
+        }
+        if self.lane_scratch.len() != self.cfg.sms {
+            self.lane_scratch = (0..self.cfg.sms)
+                .map(|_| {
+                    let mut s = GpuStats::new();
+                    s.fast_forward = vec![SmFastForward::default()];
+                    s
+                })
+                .collect();
+        }
+        for c in &mut self.clocks {
+            *c = self.cycle;
+        }
+        let mut completed = false;
+        let cancel = crate::cancel::current();
+        while self.cycle < end {
+            if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                return false;
+            }
+            let epoch_start = self.cycle;
+            let barrier = controller
+                .next_wake(epoch_start)
+                .unwrap_or(u64::MAX)
+                .min(end)
+                .max(epoch_start + 1);
+            loop {
+                if cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    return false;
+                }
+                // The frontier: minimum `(clock, id)` over SMs that may
+                // still issue. O(SMs) rescan per round (a round advances
+                // many SMs, so there is no laggard heap to maintain).
+                let frontier = self
+                    .done_at
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.is_none())
+                    .map(|(i, _)| (self.clocks[i], i))
+                    .min();
+                let Some((c, i)) = frontier else {
+                    // Every SM drained: flush the remaining (write-only)
+                    // requests, which nothing can precede any more.
+                    self.mem
+                        .apply_ready((u64::MAX, 0), &mut self.events, &mut self.stats);
+                    break;
+                };
+                self.mem
+                    .apply_ready((c, i), &mut self.events, &mut self.stats);
+                if c >= barrier {
+                    break; // the laggard reached the barrier: all did
+                }
+                self.advance_ready_lanes(barrier);
+            }
+            debug_assert_eq!(
+                self.mem.pending_requests(),
+                0,
+                "requests drained at barrier"
+            );
+            // Identical epoch epilogue to `run_decoupled`.
+            let all_done = self.done_at.iter().all(|d| d.is_some());
+            let epoch_end = if all_done {
+                completed = true;
+                self.done_at
+                    .iter()
+                    .filter_map(|d| d.map(|c| c + 1))
+                    .max()
+                    .unwrap_or(epoch_start + 1)
+                    .max(epoch_start + 1)
+            } else {
+                barrier
+            };
+            self.stats.bump(|c| c.cycles += epoch_end - epoch_start);
+            self.cycle = epoch_end;
+            for c in &mut self.clocks {
+                *c = epoch_end;
+            }
+            if epoch_end == barrier {
+                controller.on_cycle(&mut self.control_ctx());
+            }
+            if completed {
+                break;
+            }
+        }
+        completed
+    }
+
+    /// One parallel round: build a [`Lane`] for every SM strictly below
+    /// its lane-local horizon, advance them on the pool (work-stealing
+    /// over the ready list, caller participating), then sequentially — in
+    /// SM id order — write back clocks/drains, fold the per-lane counter
+    /// scratches into the global statistics, and re-register ports that
+    /// went empty → non-empty in the memory system's front heap.
+    fn advance_ready_lanes(&mut self, barrier: u64) {
+        let min_fill = self.mem.min_fill_latency();
+        let pool = self.pool.as_mut().expect("pool built at run entry");
+        let ports = self.mem.ports_mut();
+        let mut lanes: Vec<(Mutex<Lane<'_>>, bool)> = Vec::with_capacity(self.cfg.sms);
+        for ((((sm, q), seq), port), scratch) in self
+            .sms
+            .iter_mut()
+            .zip(self.events.queues.iter_mut())
+            .zip(self.events.seqs.iter_mut())
+            .zip(ports.iter_mut())
+            .zip(self.lane_scratch.iter_mut())
+        {
+            let i = sm.id;
+            if self.done_at[i].is_some() {
+                continue;
+            }
+            let clock = self.clocks[i];
             if clock >= barrier {
+                continue;
+            }
+            // The lane-local horizon: conservative (computed from the
+            // lane's own unapplied reads, exactly like `safe_horizon`), so
+            // a lane at or past it simply sits this round out — the
+            // laggard, whose port the reduction just drained, is always
+            // below it, so every round makes progress.
+            let hz = port.next_read_at().map_or(u64::MAX, |at| at + min_fill);
+            if clock >= hz {
+                continue;
+            }
+            scratch.total = Counters::default();
+            scratch.window = Counters::default();
+            scratch.fast_forward[0] = SmFastForward::default();
+            let was_empty = port.is_empty();
+            lanes.push((
+                Mutex::new(Lane {
+                    id: i,
+                    sm,
+                    q,
+                    seq,
+                    port,
+                    stats: scratch,
+                    ff_idx: 0,
+                    clock,
+                    done_at: None,
+                    barrier,
+                    min_fill,
+                }),
+                was_empty,
+            ));
+        }
+        pool.run(lanes.len(), |k| {
+            let mut lane = lanes[k].0.try_lock().expect("each lane claimed once");
+            lane.advance();
+        });
+        // Sequential reduction, in SM id order (lanes were built in it).
+        self.reindex_scratch.clear();
+        for (lane, was_empty) in &mut lanes {
+            let lane = lane.get_mut().expect("round finished");
+            self.clocks[lane.id] = lane.clock;
+            if lane.done_at.is_some() {
+                self.done_at[lane.id] = lane.done_at;
+            }
+            self.stats.total.accumulate(&lane.stats.total);
+            self.stats.window.accumulate(&lane.stats.window);
+            self.stats.fast_forward[lane.id].accumulate(&lane.stats.fast_forward[0]);
+            if *was_empty && !lane.port.is_empty() {
+                self.reindex_scratch.push(lane.id);
+            }
+        }
+        drop(lanes);
+        for k in 0..self.reindex_scratch.len() {
+            self.mem.reindex_port(self.reindex_scratch[k]);
+        }
+    }
+}
+
+/// One SM's decoupled advance, bundling the disjoint `&mut` borrows a
+/// worker needs: the SM, its event queue and sequence counter, its private
+/// memory port, and a statistics sink (the real one with `ff_idx = id` in
+/// the sequential loop; a per-lane scratch with `ff_idx = 0` in parallel
+/// rounds, merged afterwards). `Send`, so parallel rounds can move lanes
+/// to pool workers.
+struct Lane<'a> {
+    id: usize,
+    sm: &'a mut Sm,
+    q: &'a mut BinaryHeap<Reverse<QueuedEvent>>,
+    seq: &'a mut u64,
+    port: &'a mut Port,
+    stats: &'a mut GpuStats,
+    /// Index into `stats.fast_forward` for this lane's skip diagnostics.
+    ff_idx: usize,
+    /// Local clock (in/out).
+    clock: u64,
+    /// Drain cycle discovered by this advance, if any (out).
+    done_at: Option<u64>,
+    barrier: u64,
+    /// [`MemSystem::min_fill_latency`], hoisted by the caller.
+    min_fill: u64,
+}
+
+/// Lane advance iterations between cancellation polls: cheap enough to
+/// keep watchdogs responsive inside a long parallel round, rare enough to
+/// stay invisible on the hot path.
+const CANCEL_POLL_MASK: u32 = 0xFFF;
+
+impl Lane<'_> {
+    /// The lane-local conservative horizon: first cycle that may not run
+    /// until the oldest unapplied read has been applied in global order.
+    /// Identical to [`MemSystem::safe_horizon`] — a port is the only
+    /// memory state an SM's own reads park on.
+    fn horizon(&self) -> u64 {
+        self.port
+            .next_read_at()
+            .map_or(u64::MAX, |at| at + self.min_fill)
+    }
+
+    /// Advance until the barrier, the lane's drain, its horizon, or a
+    /// cancellation stops it, skipping stalled spans in bulk along the
+    /// way. The body is the former sequential `advance_sm`, verbatim up
+    /// to the borrow seam: memory requests go through a [`PortRequester`]
+    /// over the lane's own port (identical parking semantics; the front
+    /// heap is reindexed by the caller afterwards).
+    fn advance(&mut self) {
+        // Re-read the token here (not at lane construction): on a pool
+        // worker this picks up the token the pool re-installed from the
+        // submitting thread, so watchdogs fire mid-round inside workers.
+        let cancel = crate::cancel::current();
+        let mut iters = 0u32;
+        let mut clock = self.clock;
+        // The conservative horizon: re-queried only while unknown — while
+        // advancing, the oldest unapplied read can only change from
+        // "none" to "the first read issued here" (later reads queue
+        // behind it and applies happen outside the advance).
+        let mut hz = self.horizon();
+        loop {
+            iters = iters.wrapping_add(1);
+            if iters & CANCEL_POLL_MASK == 0 && cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                break;
+            }
+            if clock >= self.barrier {
                 break;
             }
             // Deliver every event due at the SM's current cycle (events at
             // the barrier itself belong to the next epoch, after the
             // controller has run — hence the barrier check above).
-            while q.peek().is_some_and(|r| r.0.at <= clock) {
-                let ev = q.pop().expect("peeked").0.unpack();
-                sm.handle_event(ev, clock, stats);
+            while self.q.peek().is_some_and(|r| r.0.at <= clock) {
+                let ev = self.q.pop().expect("peeked").0.unpack();
+                self.sm.handle_event(ev, clock, self.stats);
             }
             // Drained by a delivery: no live warp, no queued event, and
             // (implied) no unresolved read. The cycle of the last delivery
             // is the SM's drain cycle.
-            if !sm.live() && q.is_empty() {
+            if !self.sm.live() && self.q.is_empty() {
                 debug_assert_eq!(hz, u64::MAX);
-                self.done_at[i] = Some(clock);
+                self.done_at = Some(clock);
                 break;
             }
             if clock >= hz {
-                stats.fast_forward[i].horizon_stalls += 1;
+                self.stats.fast_forward[self.ff_idx].horizon_stalls += 1;
                 break;
             }
-            if sm.can_issue() {
-                let pre_version = sm.version();
-                let pre_instr = stats.total.instructions;
-                let pre_rejects = stats.total.l1_rejects;
-                sm.step(clock, mem, &mut SmSink { sm: i, q, seq }, stats);
+            if self.sm.can_issue() {
+                let pre_version = self.sm.version();
+                let pre_instr = self.stats.total.instructions;
+                let pre_rejects = self.stats.total.l1_rejects;
+                self.sm.step(
+                    clock,
+                    &mut PortRequester {
+                        sm: self.id,
+                        port: &mut *self.port,
+                    },
+                    &mut SmSink {
+                        sm: self.id,
+                        q: &mut *self.q,
+                        seq: &mut *self.seq,
+                    },
+                    self.stats,
+                );
                 if hz == u64::MAX {
-                    hz = mem.safe_horizon(i, clock + 1);
+                    hz = self.horizon();
                 }
-                let drained = !sm.live() && q.is_empty();
+                let drained = !self.sm.live() && self.q.is_empty();
                 if drained {
-                    self.done_at[i] = Some(clock);
+                    self.done_at = Some(clock);
                 }
                 clock += 1;
                 if drained {
@@ -631,18 +956,18 @@ impl Gpu {
                 // intervenes, every following cycle replays it
                 // bit-identically, so account the replicas in bulk
                 // (reject and stall counters are its only effects).
-                if stats.total.instructions == pre_instr && sm.version() == pre_version {
-                    let next_ev = q.peek().map_or(u64::MAX, |r| r.0.at);
-                    let target = next_ev.min(hz).min(barrier);
+                if self.stats.total.instructions == pre_instr && self.sm.version() == pre_version {
+                    let next_ev = self.q.peek().map_or(u64::MAX, |r| r.0.at);
+                    let target = next_ev.min(hz).min(self.barrier);
                     if target > clock {
                         let span = target - clock;
-                        let rejects = stats.total.l1_rejects - pre_rejects;
-                        let stalled = sm.live_scheduler_count();
-                        stats.bump(|c| {
+                        let rejects = self.stats.total.l1_rejects - pre_rejects;
+                        let stalled = self.sm.live_scheduler_count();
+                        self.stats.bump(|c| {
                             c.l1_rejects += rejects * span;
                             c.stall_scheduler_cycles += span * stalled;
                         });
-                        let ff = &mut stats.fast_forward[i];
+                        let ff = &mut self.stats.fast_forward[self.ff_idx];
                         ff.spans += 1;
                         ff.skipped += span;
                         clock = target;
@@ -652,19 +977,20 @@ impl Gpu {
                 // Nothing can issue before the next event, the horizon or
                 // the barrier: skip the whole span, bulk-accounting it
                 // exactly as that many stepped stall cycles.
-                let next_ev = q.peek().map_or(u64::MAX, |r| r.0.at);
-                let target = next_ev.min(hz).min(barrier);
+                let next_ev = self.q.peek().map_or(u64::MAX, |r| r.0.at);
+                let target = next_ev.min(hz).min(self.barrier);
                 debug_assert!(target > clock);
                 let span = target - clock;
-                let stalled = sm.live_scheduler_count();
-                stats.bump(|c| c.stall_scheduler_cycles += span * stalled);
-                let ff = &mut stats.fast_forward[i];
+                let stalled = self.sm.live_scheduler_count();
+                self.stats
+                    .bump(|c| c.stall_scheduler_cycles += span * stalled);
+                let ff = &mut self.stats.fast_forward[self.ff_idx];
                 ff.spans += 1;
                 ff.skipped += span;
                 clock = target;
             }
         }
-        self.clocks[i] = clock;
+        self.clock = clock;
     }
 }
 
@@ -674,7 +1000,21 @@ mod tests {
     use crate::controller::FixedTuple;
     use crate::instruction::UniformKernel;
 
-    const ALL_MODES: [StepMode; 3] = [StepMode::PerSm, StepMode::EventDriven, StepMode::Reference];
+    const ALL_MODES: [StepMode; 4] = [
+        StepMode::PerSm,
+        StepMode::ParallelSm,
+        StepMode::EventDriven,
+        StepMode::Reference,
+    ];
+
+    /// `cfg` switched to `mode`, with two worker threads when parallel.
+    fn cfg_with(mut cfg: GpuConfig, mode: StepMode) -> GpuConfig {
+        cfg.step_mode = mode;
+        if mode == StepMode::ParallelSm {
+            cfg.sim_threads = 2;
+        }
+        cfg
+    }
 
     /// A finite ALU-only kernel: `warps` warps per scheduler, each with
     /// `instrs` instructions.
@@ -794,8 +1134,7 @@ mod tests {
         // the drain is detected after advancing to cycle 401 — in ALL
         // step modes.
         for mode in ALL_MODES {
-            let mut cfg = GpuConfig::scaled(1);
-            cfg.step_mode = mode;
+            let cfg = cfg_with(GpuConfig::scaled(1), mode);
             let mut gpu = Gpu::new(
                 cfg,
                 &FiniteAlu {
@@ -814,10 +1153,9 @@ mod tests {
     fn fast_forward_skips_stalled_spans() {
         // A single streaming warp spends almost every cycle blocked on its
         // outstanding load; both fast modes must skip most of them.
-        for mode in [StepMode::PerSm, StepMode::EventDriven] {
+        for mode in [StepMode::PerSm, StepMode::ParallelSm, StepMode::EventDriven] {
             let kernel = UniformKernel::streaming(1, 0);
-            let mut cfg = GpuConfig::scaled(1);
-            cfg.step_mode = mode;
+            let cfg = cfg_with(GpuConfig::scaled(1), mode);
             let mut gpu = Gpu::new(cfg, &kernel);
             let res = gpu.run(&mut FixedTuple::max(), 50_000);
             let (spans, skipped) = gpu.fast_forward_stats();
@@ -875,6 +1213,83 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sm_matches_per_sm_across_thread_counts() {
+        // Bit-identity must hold for any thread count — including more
+        // threads than SMs, and a 1-thread pool (zero workers, inline).
+        let kernel = UniformKernel::streaming(16, 2);
+        let run = |mode: StepMode, threads: usize| {
+            let mut cfg = GpuConfig::scaled(4);
+            cfg.step_mode = mode;
+            cfg.sim_threads = threads;
+            let mut gpu = Gpu::new(cfg, &kernel);
+            let res = gpu.run(&mut FixedTuple::max(), 30_000);
+            (res.counters, res.completed, gpu.cycle())
+        };
+        let base = run(StepMode::PerSm, 1);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                run(StepMode::ParallelSm, threads),
+                base,
+                "sim_threads={threads} diverged from PerSm"
+            );
+        }
+    }
+
+    /// An unbounded ALU-only kernel: every lane's horizon is `u64::MAX`
+    /// (no loads), so a parallel advance never returns on its own.
+    struct InfiniteAlu {
+        warps: usize,
+    }
+
+    struct InfiniteStream;
+
+    impl crate::instruction::InstructionStream for InfiniteStream {
+        fn next_instr(&mut self) -> Option<crate::instruction::Instr> {
+            Some(crate::instruction::Instr::Alu)
+        }
+    }
+
+    impl KernelSource for InfiniteAlu {
+        fn stream_for(
+            &self,
+            _sm: usize,
+            _sched: usize,
+            _warp: usize,
+        ) -> Box<dyn crate::instruction::InstructionStream> {
+            Box::new(InfiniteStream)
+        }
+        fn warps_per_scheduler(&self) -> usize {
+            self.warps
+        }
+    }
+
+    #[test]
+    fn watchdog_cancels_inside_parallel_workers() {
+        // A controller that never wakes makes the whole budget one epoch,
+        // and an ALU-only kernel has no memory horizon — so the very
+        // first parallel round would honestly run for ~2^62 cycles. The
+        // only way this test can finish is the worker lanes polling the
+        // re-installed token mid-advance: it *hangs* (rather than fails)
+        // if cancellation does not reach inside parallel workers.
+        let token = crate::cancel::CancelToken::new();
+        let _guard = crate::cancel::install(Some(token.clone()));
+        let watchdog = {
+            let token = token.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                token.cancel();
+            })
+        };
+        let mut cfg = GpuConfig::scaled(4);
+        cfg.step_mode = StepMode::ParallelSm;
+        cfg.sim_threads = 3;
+        let mut gpu = Gpu::new(cfg, &InfiniteAlu { warps: 4 });
+        let res = gpu.run(&mut FixedTuple::max(), u64::MAX / 4);
+        assert!(!res.completed, "cancelled run must report incompletion");
+        watchdog.join().unwrap();
+    }
+
+    #[test]
     fn mshr_reject_storms_replay_identically() {
         // 24 warps/scheduler want 48 outstanding loads against 32 MSHRs:
         // ready warps retry structurally rejected loads every cycle, so no
@@ -883,8 +1298,7 @@ mod tests {
         // (every retry bumps `l1_rejects`) and actually skipping them.
         let kernel = UniformKernel::streaming(24, 0);
         let run = |mode: StepMode| {
-            let mut cfg = GpuConfig::scaled(2);
-            cfg.step_mode = mode;
+            let cfg = cfg_with(GpuConfig::scaled(2), mode);
             let mut gpu = Gpu::new(cfg, &kernel);
             let mut ctrl = FixedTuple::max();
             let res = gpu.run(&mut ctrl, 20_000);
@@ -893,11 +1307,21 @@ mod tests {
         let (pc, pcyc, pskip) = run(StepMode::PerSm);
         let (rc, rcyc, _) = run(StepMode::Reference);
         let (ec, ecyc, eskip) = run(StepMode::EventDriven);
+        let (tc, tcyc, tskip) = run(StepMode::ParallelSm);
         assert_eq!((pc, pcyc), (rc, rcyc), "per-SM diverged in a reject storm");
         assert_eq!(
             (ec, ecyc),
             (rc, rcyc),
             "event-driven diverged in a reject storm"
+        );
+        assert_eq!(
+            (tc, tcyc),
+            (rc, rcyc),
+            "parallel-SM diverged in a reject storm"
+        );
+        assert!(
+            tskip > 15_000,
+            "parallel structural-stall replay must engage too, got {tskip}"
         );
         assert!(rc.l1_rejects > 20_000, "storm must reject heavily");
         assert_eq!(eskip, 0, "the global skip cannot engage in a storm");
@@ -977,8 +1401,7 @@ mod tests {
         // epochs barrier exactly on it.
         let run = |mode: StepMode| {
             let kernel = UniformKernel::streaming(2, 1);
-            let mut cfg = GpuConfig::scaled(1);
-            cfg.step_mode = mode;
+            let cfg = cfg_with(GpuConfig::scaled(1), mode);
             let mut gpu = Gpu::new(cfg, &kernel);
             let mut ctrl = Tick {
                 period: 777,
@@ -988,7 +1411,7 @@ mod tests {
             (ctrl.fired_at, res.counters, gpu.fast_forward_stats().1)
         };
         let (rf_fired, rf_counters, _) = run(StepMode::Reference);
-        for mode in [StepMode::PerSm, StepMode::EventDriven] {
+        for mode in [StepMode::PerSm, StepMode::ParallelSm, StepMode::EventDriven] {
             let (fired, counters, skipped) = run(mode);
             assert_eq!(fired, rf_fired, "{mode:?}");
             assert_eq!(counters, rf_counters, "{mode:?}");

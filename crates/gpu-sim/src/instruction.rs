@@ -38,7 +38,11 @@ pub enum Instr {
 ///
 /// Streams may be unbounded (steady-state kernels); the simulator bounds
 /// execution with a cycle limit.
-pub trait InstructionStream {
+///
+/// `Send` because [`StepMode::ParallelSm`](crate::config::StepMode)
+/// advances SMs (and therefore pulls from their warps' streams) on worker
+/// threads.
+pub trait InstructionStream: Send {
     /// Produce the next instruction, or `None` when the warp's trace ends.
     fn next_instr(&mut self) -> Option<Instr>;
 }

@@ -252,20 +252,26 @@ impl L1Data {
         self.tags.invalidate(line);
     }
 
-    /// Complete the fill of MSHR entry `mshr` at time `now`; returns the
-    /// drained waiters for warp wake-up.
-    pub fn complete_fill(
+    /// Complete the fill of MSHR entry `mshr` at time `now`, draining the
+    /// waiters into `out` for warp wake-up. `out` is cleared first; using a
+    /// caller-owned scratch (instead of returning a fresh `Vec`) keeps the
+    /// per-fill hot path allocation-free — `drain` preserves the MSHR
+    /// entry's waiter capacity for reuse too.
+    pub fn complete_fill_into(
         &mut self,
         mshr: usize,
         now: u64,
         stats: &mut GpuStats,
-    ) -> Vec<MshrWaiter> {
+        out: &mut Vec<MshrWaiter>,
+    ) {
+        out.clear();
         let e = &mut self.mshrs[mshr];
         debug_assert!(e.in_use, "fill of a free MSHR entry");
-        let waiters = std::mem::take(&mut e.waiters);
+        out.append(&mut e.waiters);
+        let waiters: &[MshrWaiter] = out;
         // Touchers: all waiting warps have logically touched the line.
         let mut touchers = 0u64;
-        for w in &waiters {
+        for w in waiters {
             let warp_bit = sm_local_warp_bit(w.scheduler, w.warp);
             touchers |= 1u64 << (warp_bit % 64);
         }
@@ -293,7 +299,19 @@ impl L1Data {
                 .map(|w| now.saturating_sub(w.issued_at))
                 .sum::<u64>();
         });
-        waiters
+    }
+
+    /// [`Self::complete_fill_into`] with a freshly allocated waiter list.
+    #[cfg(test)]
+    pub fn complete_fill(
+        &mut self,
+        mshr: usize,
+        now: u64,
+        stats: &mut GpuStats,
+    ) -> Vec<MshrWaiter> {
+        let mut out = Vec::new();
+        self.complete_fill_into(mshr, now, stats, &mut out);
+        out
     }
 
     fn find_mshr(&self, line: u64) -> Option<usize> {

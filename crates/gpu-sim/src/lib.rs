@@ -55,6 +55,7 @@ pub mod memsys;
 pub mod scheduler;
 pub mod sm;
 pub mod stats;
+pub mod threadpool;
 pub mod warp;
 
 pub use cache::{CacheLineState, SetAssocCache};
@@ -67,7 +68,7 @@ pub use energy::EnergyBreakdown;
 pub use gpu::{Gpu, SimResult};
 pub use instruction::{Instr, InstructionStream, KernelSource, UniformKernel};
 pub use l1::{AccessOutcome, L1Data};
-pub use memsys::MemSystem;
+pub use memsys::{MemRequester, MemSystem};
 pub use scheduler::WarpScheduler;
 pub use sm::Sm;
 pub use stats::{Counters, GpuStats, WindowSample};

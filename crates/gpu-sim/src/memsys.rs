@@ -70,12 +70,118 @@ enum PendingReq {
 
 /// The private request port of one SM: issue-order FIFO with
 /// nondecreasing timestamps.
+///
+/// A port is the *only* memory-system state an SM's decoupled advance
+/// touches, which is what makes [`StepMode::ParallelSm`] sound: worker
+/// threads hold disjoint `&mut Port`s (via [`MemSystem::ports_mut`]) and
+/// append through [`PortRequester`], while the shared service state (bank
+/// queues, L2 tags, the front heap) is only ever read or written by the
+/// sequential [`MemSystem::apply_ready`] reduction between rounds.
+///
+/// [`StepMode::ParallelSm`]: crate::config::StepMode::ParallelSm
 #[derive(Debug, Default)]
-struct Port {
+pub(crate) struct Port {
     queue: VecDeque<(u64, PendingReq)>,
     /// Issue cycles of unresolved reads only (front = oldest), for
     /// [`MemSystem::safe_horizon`] in O(1).
     reads: VecDeque<u64>,
+}
+
+impl Port {
+    /// Whether the port holds no parked requests.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Issue cycle of the port's globally-oldest parked request.
+    pub(crate) fn front_at(&self) -> Option<u64> {
+        self.queue.front().map(|&(at, _)| at)
+    }
+
+    /// Issue cycle of the oldest unresolved *read* (writes never bound
+    /// their issuer); the lane-local equivalent of
+    /// [`MemSystem::safe_horizon`]'s numerator.
+    pub(crate) fn next_read_at(&self) -> Option<u64> {
+        self.reads.front().copied()
+    }
+}
+
+/// The memory-request surface an SM issues through — implemented by
+/// [`MemSystem`] itself (immediate or deferred, for the single-threaded
+/// loops) and by [`PortRequester`] (append-only onto one lane-held port,
+/// for the decoupled loops). Generic at the call sites so both paths
+/// monomorphize: the per-issue hot path pays no virtual dispatch.
+pub trait MemRequester {
+    /// Issue a read of `line` by SM `sm` at time `now` on behalf of MSHR
+    /// entry `mshr`; the fill event is scheduled through `events` (possibly
+    /// later, once the request is applied in global order).
+    fn read(
+        &mut self,
+        sm: usize,
+        line: u64,
+        now: u64,
+        mshr: usize,
+        events: &mut dyn EventSink,
+        stats: &mut GpuStats,
+    );
+
+    /// Issue a write of `line` by SM `sm` at time `now` (no reply).
+    fn write(&mut self, sm: usize, line: u64, now: u64, stats: &mut GpuStats);
+}
+
+impl MemRequester for MemSystem {
+    fn read(
+        &mut self,
+        sm: usize,
+        line: u64,
+        now: u64,
+        mshr: usize,
+        events: &mut dyn EventSink,
+        stats: &mut GpuStats,
+    ) {
+        MemSystem::read(self, sm, line, now, mshr, events, stats);
+    }
+
+    fn write(&mut self, sm: usize, line: u64, now: u64, stats: &mut GpuStats) {
+        MemSystem::write(self, sm, line, now, stats);
+    }
+}
+
+/// A [`MemRequester`] over one SM's own port: appends requests without
+/// touching any shared [`MemSystem`] state (in particular not the front
+/// heap, which the owning loop reindexes sequentially after the advance).
+/// This is what a decoupled SM advance — single-threaded laggard or
+/// parallel worker lane — issues through.
+pub(crate) struct PortRequester<'a> {
+    /// The SM that owns the port (debug-asserted on every request).
+    pub(crate) sm: usize,
+    /// The port itself, disjointly borrowed from [`MemSystem::ports_mut`].
+    pub(crate) port: &'a mut Port,
+}
+
+impl MemRequester for PortRequester<'_> {
+    fn read(
+        &mut self,
+        sm: usize,
+        line: u64,
+        now: u64,
+        mshr: usize,
+        _events: &mut dyn EventSink,
+        _stats: &mut GpuStats,
+    ) {
+        debug_assert_eq!(sm, self.sm, "lanes only issue on their own port");
+        debug_assert!(self.port.queue.back().is_none_or(|&(at, _)| at <= now));
+        self.port
+            .queue
+            .push_back((now, PendingReq::Read { line, mshr }));
+        self.port.reads.push_back(now);
+    }
+
+    fn write(&mut self, sm: usize, line: u64, now: u64, _stats: &mut GpuStats) {
+        debug_assert_eq!(sm, self.sm, "lanes only issue on their own port");
+        debug_assert!(self.port.queue.back().is_none_or(|&(at, _)| at <= now));
+        self.port.queue.push_back((now, PendingReq::Write { line }));
+    }
 }
 
 /// The GPU-wide shared memory system.
@@ -288,6 +394,25 @@ impl MemSystem {
         start + self.dram_latency
     }
 
+    /// The per-SM ports as a slice, so the decoupled loops can hand each
+    /// advancing lane a disjoint `&mut` to its own port (the borrow
+    /// checker's view of "SM advances only touch SM-private memory state").
+    pub(crate) fn ports_mut(&mut self) -> &mut [Port] {
+        &mut self.ports
+    }
+
+    /// Re-register SM `sm`'s port in the front heap after a decoupled
+    /// advance filled it through a [`PortRequester`] (which deliberately
+    /// does not touch the heap). Caller contract: the port was **empty**
+    /// (hence untracked) when the advance started — a port that was
+    /// already non-empty kept its valid heap entry, because advances only
+    /// append behind an unchanged front.
+    pub(crate) fn reindex_port(&mut self, sm: usize) {
+        if let Some(at) = self.ports[sm].front_at() {
+            self.front_heap.push(Reverse((at, sm)));
+        }
+    }
+
     /// Uncontended round-trip latency of an L2 hit, for reference. Also
     /// the lookahead of the per-SM horizon: no read can fill sooner.
     pub fn l2_hit_round_trip(&self) -> u64 {
@@ -296,7 +421,10 @@ impl MemSystem {
 
     /// The horizon lookahead: at least one cycle even for degenerate
     /// zero-latency configurations, so decoupled SMs always make progress.
-    fn min_fill_latency(&self) -> u64 {
+    /// `safe_horizon(sm) = oldest unresolved read + min_fill_latency`;
+    /// public so decoupled lanes can compute the same bound from their own
+    /// port without reaching into shared state.
+    pub fn min_fill_latency(&self) -> u64 {
         self.l2_hit_round_trip().max(1)
     }
 

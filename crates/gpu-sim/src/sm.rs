@@ -3,7 +3,7 @@
 use crate::config::GpuConfig;
 use crate::instruction::{Instr, KernelSource};
 use crate::l1::{sm_local_warp_bit, AccessOutcome, L1Data, MshrWaiter};
-use crate::memsys::MemSystem;
+use crate::memsys::MemRequester;
 use crate::scheduler::WarpScheduler;
 use crate::stats::GpuStats;
 use crate::warp::Warp;
@@ -68,6 +68,10 @@ pub struct Sm {
     /// replay bit-identically until an event arrives (the basis of the
     /// decoupled loop's structural-stall fast-forward).
     version: u64,
+    /// Reused scratch for fill completions: [`L1Data::complete_fill_into`]
+    /// drains each MSHR entry's waiters into this buffer so the hot path
+    /// allocates nothing per fill.
+    fill_scratch: Vec<MshrWaiter>,
 }
 
 /// Bitmask of the `n` lowest warp slots.
@@ -122,6 +126,7 @@ impl Sm {
             ready_mask,
             live_warps,
             version: 0,
+            fill_scratch: Vec::new(),
         }
     }
 
@@ -195,10 +200,14 @@ impl Sm {
     }
 
     /// Advance this SM by one cycle: each scheduler attempts one issue.
-    pub fn step(
+    ///
+    /// Generic over the memory requester so the parallel step mode can
+    /// substitute a per-SM [`crate::memsys::PortRequester`] (append-only,
+    /// no shared state) without virtual dispatch on the issue hot path.
+    pub fn step<M: MemRequester>(
         &mut self,
         now: u64,
-        mem: &mut MemSystem,
+        mem: &mut M,
         events: &mut dyn EventSink,
         stats: &mut GpuStats,
     ) {
@@ -218,11 +227,11 @@ impl Sm {
         }
     }
 
-    fn issue_one(
+    fn issue_one<M: MemRequester>(
         &mut self,
         sched_idx: usize,
         now: u64,
-        mem: &mut MemSystem,
+        mem: &mut M,
         events: &mut dyn EventSink,
         stats: &mut GpuStats,
     ) -> bool {
@@ -301,12 +310,12 @@ impl Sm {
     /// Attempt to issue the next instruction of a warp. Returns the kind of
     /// instruction issued, or `None` if the warp could not issue (stalled,
     /// structurally rejected, or ran out of instructions).
-    fn try_issue(
+    fn try_issue<M: MemRequester>(
         &mut self,
         sched_idx: usize,
         w_idx: usize,
         now: u64,
-        mem: &mut MemSystem,
+        mem: &mut M,
         events: &mut dyn EventSink,
         stats: &mut GpuStats,
     ) -> Option<IssuedKind> {
@@ -404,10 +413,13 @@ impl Sm {
     pub fn handle_event(&mut self, ev: SmEvent, now: u64, stats: &mut GpuStats) {
         match ev {
             SmEvent::Fill { mshr } => {
-                let waiters = self.l1.complete_fill(mshr, now, stats);
-                for w in waiters {
+                let mut waiters = std::mem::take(&mut self.fill_scratch);
+                self.l1.complete_fill_into(mshr, now, stats, &mut waiters);
+                for w in &waiters {
                     self.update_warp(w.scheduler as usize, w.warp as usize, Warp::load_completed);
                 }
+                waiters.clear();
+                self.fill_scratch = waiters;
             }
             SmEvent::HitDone { scheduler, warp } => {
                 self.update_warp(scheduler as usize, warp as usize, Warp::load_completed);
@@ -427,6 +439,7 @@ enum IssuedKind {
 mod tests {
     use super::*;
     use crate::instruction::UniformKernel;
+    use crate::memsys::MemSystem;
 
     struct VecSink(Vec<(u64, usize, SmEvent)>);
     impl EventSink for VecSink {

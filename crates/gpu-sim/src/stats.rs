@@ -133,6 +133,69 @@ impl Counters {
         ratio(self.l2_hits, self.l2_accesses)
     }
 
+    /// Counter-wise sum (`self += other`); used to fold the per-lane
+    /// scratch counters of a parallel advance back into the global stats.
+    /// Every counter is a commutative event sum, so folding lane scratches
+    /// in any fixed order reproduces the sequential accumulation exactly.
+    pub fn accumulate(&mut self, other: &Counters) {
+        // Exhaustive destructure: adding a counter field without extending
+        // the merge is a compile error, not a silent bit-identity break.
+        let Counters {
+            cycles,
+            instructions,
+            loads,
+            stores,
+            l1_accesses,
+            l1_hits,
+            l1_intra_hits,
+            l1_inter_hits,
+            l1_hits_polluting,
+            l1_accesses_polluting,
+            l1_hits_non_polluting,
+            l1_accesses_non_polluting,
+            l1_misses_completed,
+            miss_latency_sum,
+            l1_rejects,
+            mshr_allocations,
+            mshr_merges,
+            l2_accesses,
+            l2_hits,
+            dram_accesses,
+            busy_scheduler_cycles,
+            stall_scheduler_cycles,
+            in_gap_sum,
+            in_gap_count,
+            reuse_distance_sum,
+            reuse_distance_count,
+        } = *other;
+        self.cycles += cycles;
+        self.instructions += instructions;
+        self.loads += loads;
+        self.stores += stores;
+        self.l1_accesses += l1_accesses;
+        self.l1_hits += l1_hits;
+        self.l1_intra_hits += l1_intra_hits;
+        self.l1_inter_hits += l1_inter_hits;
+        self.l1_hits_polluting += l1_hits_polluting;
+        self.l1_accesses_polluting += l1_accesses_polluting;
+        self.l1_hits_non_polluting += l1_hits_non_polluting;
+        self.l1_accesses_non_polluting += l1_accesses_non_polluting;
+        self.l1_misses_completed += l1_misses_completed;
+        self.miss_latency_sum += miss_latency_sum;
+        self.l1_rejects += l1_rejects;
+        self.mshr_allocations += mshr_allocations;
+        self.mshr_merges += mshr_merges;
+        self.l2_accesses += l2_accesses;
+        self.l2_hits += l2_hits;
+        self.dram_accesses += dram_accesses;
+        self.busy_scheduler_cycles += busy_scheduler_cycles;
+        self.stall_scheduler_cycles += stall_scheduler_cycles;
+        self.in_gap_sum += in_gap_sum;
+        self.in_gap_count += in_gap_count;
+        self.reuse_distance_sum += reuse_distance_sum;
+        self.reuse_distance_count += reuse_distance_count;
+    }
+
     /// Counter-wise difference (`self − earlier`); useful for deriving a
     /// window from two cumulative snapshots.
     pub fn delta_since(&self, earlier: &Counters) -> Counters {
@@ -228,9 +291,13 @@ impl WindowSample {
 /// These are *wall-clock* diagnostics, not architectural counters: they
 /// explain why a workload does (not) benefit from [`StepMode::PerSm`]
 /// without affecting any simulated quantity, and are therefore excluded
-/// from the bit-identity contract on [`Counters`].
+/// from the bit-identity contract on [`Counters`]. In particular
+/// [`StepMode::ParallelSm`] partitions the same skipped cycles into
+/// different spans than [`StepMode::PerSm`] (a round boundary splits a
+/// span; the architectural accounting is span-partition-invariant).
 ///
 /// [`StepMode::PerSm`]: crate::config::StepMode::PerSm
+/// [`StepMode::ParallelSm`]: crate::config::StepMode::ParallelSm
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SmFastForward {
     /// Contiguous spans this SM skipped without stepping.
@@ -240,6 +307,20 @@ pub struct SmFastForward {
     /// Times the SM's advance stopped at the conservative memory-system
     /// horizon (an own read still unresolved) instead of an event/barrier.
     pub horizon_stalls: u64,
+}
+
+impl SmFastForward {
+    /// Fold another breakdown into this one (parallel-lane scratch merge).
+    pub fn accumulate(&mut self, other: &SmFastForward) {
+        let SmFastForward {
+            spans,
+            skipped,
+            horizon_stalls,
+        } = *other;
+        self.spans += spans;
+        self.skipped += skipped;
+        self.horizon_stalls += horizon_stalls;
+    }
 }
 
 /// Total and windowed counters for one simulation.

@@ -311,6 +311,159 @@ fn engine_end_to_end() -> EngineResult {
     }
 }
 
+struct PrefixReuseResult {
+    schemes: usize,
+    horizons: usize,
+    declared_jobs: usize,
+    prefix_jobs: usize,
+    prefix_shared: usize,
+    /// Simulated epochs (cycles stepped by evaluation runs + prefixes),
+    /// cold vs factored — the structural saving, independent of host.
+    cold_epochs: u64,
+    forked_epochs: u64,
+    cold_seconds: f64,
+    forked_seconds: f64,
+    /// The two run stores agree byte-for-byte (modulo `# wall:` lines).
+    stores_identical: bool,
+}
+
+/// Every durable cache entry under `dir`, keyed by file name, with the
+/// wall-clock header line (the only legitimately nondeterministic byte
+/// of an entry) stripped. Prefix blobs are excluded: they exist only in
+/// the forked store by design.
+fn normalized_cache_entries(dir: &std::path::Path) -> std::collections::BTreeMap<String, String> {
+    let mut entries = std::collections::BTreeMap::new();
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return entries;
+    };
+    for entry in rd.flatten() {
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with('.') || name.starts_with("prefix-") {
+            continue;
+        }
+        let body = std::fs::read_to_string(&path).unwrap_or_default();
+        let norm = body
+            .lines()
+            .filter(|l| !l.starts_with("# wall:"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        entries.insert(name, norm);
+    }
+    entries
+}
+
+/// Cold vs prefix-forked pass over a `run_cycles` ladder of every
+/// scheme: the cold engine simulates each horizon from cycle 0, the
+/// forked engine factors the ladder through `factor_prefixes` so each
+/// scheme pays one simulation of the longest horizon (random-restart
+/// never factors and stays cold on both sides — the honest comparison).
+/// Model training and profiling run in both engines alike, so the
+/// wall-clock ratio understates the epoch ratio by that shared cost.
+fn prefix_reuse_end_to_end(opts: &Opts) -> PrefixReuseResult {
+    use poise::experiment::{Scheme, Setup};
+    use poise::jobs::{factor_prefixes, Engine, KernelRunSpec, ModelSpec, SimJob};
+
+    let schemes = [
+        Scheme::Gto,
+        Scheme::Swl,
+        Scheme::PcalSwl,
+        Scheme::Poise,
+        Scheme::StaticBest,
+        Scheme::RandomRestart,
+        Scheme::Apcm,
+    ];
+    let h = if opts.smoke { 3_000u64 } else { 10_000 };
+    let horizons = [h, 2 * h, 3 * h, 4 * h];
+    let mut setup = Setup::for_tests();
+    setup.run_cycles = *horizons.last().unwrap();
+    let model = ModelSpec::default_training(&setup);
+    let spec: workloads::Workload =
+        KernelSpec::steady("prefix-bench", AccessMix::memory_sensitive(), 5).into();
+    let mut declared = Vec::new();
+    for &s in &schemes {
+        let ms = (s == Scheme::Poise).then_some(&model);
+        for &cycles in &horizons {
+            let mut r = KernelRunSpec::new(&spec, s, &setup, ms);
+            r.run_cycles = cycles;
+            declared.push(SimJob::Run(r));
+        }
+    }
+
+    let cold_dir = std::env::temp_dir().join(format!("poise-prefix-cold-{}", std::process::id()));
+    let fork_dir = std::env::temp_dir().join(format!("poise-prefix-fork-{}", std::process::id()));
+    for d in [&cold_dir, &fork_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let mut cold_engine = Engine::new(&cold_dir);
+    cold_engine.quiet = true;
+    let t = Instant::now();
+    let (_, cold) = cold_engine.run(&declared);
+    let cold_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(cold.failed.len(), 0, "cold pass must succeed");
+
+    let mut factored = declared.clone();
+    let prefix_shared = factor_prefixes(&mut factored, 0);
+    let mut fork_engine = Engine::new(&fork_dir);
+    fork_engine.quiet = true;
+    let t = Instant::now();
+    let (_, fork) = fork_engine.run(&factored);
+    let forked_seconds = t.elapsed().as_secs_f64();
+    assert_eq!(fork.failed.len(), 0, "forked pass must succeed");
+
+    // Simulated epochs: each job steps exactly its horizon minus the
+    // deepest snapshot boundary it forks from (random-restart's seeded
+    // reruns multiply both sides equally and are counted once).
+    let span = |job: &SimJob| match job {
+        SimJob::Run(r) | SimJob::Prefix(r) => {
+            r.run_cycles - r.prefix_chain.last().copied().unwrap_or(0)
+        }
+        _ => 0,
+    };
+    let cold_epochs: u64 = declared.iter().map(&span).sum();
+    let forked_epochs: u64 = factored.iter().map(&span).sum();
+
+    let stores_identical =
+        normalized_cache_entries(&cold_dir) == normalized_cache_entries(&fork_dir);
+    for d in [&cold_dir, &fork_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let out = PrefixReuseResult {
+        schemes: schemes.len(),
+        horizons: horizons.len(),
+        declared_jobs: declared.len(),
+        prefix_jobs: factored.len() - declared.len(),
+        prefix_shared,
+        cold_epochs,
+        forked_epochs,
+        cold_seconds,
+        forked_seconds,
+        stores_identical,
+    };
+    println!(
+        "sim_throughput/prefix-reuse              {} schemes x {} horizons   cold {:.2}s   \
+         forked {:.2}s ({:.2}x)   epochs {} -> {} ({:.2}x)   stores {}",
+        out.schemes,
+        out.horizons,
+        out.cold_seconds,
+        out.forked_seconds,
+        out.cold_seconds / out.forked_seconds,
+        out.cold_epochs,
+        out.forked_epochs,
+        out.cold_epochs as f64 / out.forked_epochs as f64,
+        if out.stores_identical {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        },
+    );
+    assert!(out.stores_identical, "forked store diverged from cold");
+    out
+}
+
 /// The commit this run measures, for the tracked trajectory under
 /// `results/`. Prefers the CI-provided sha, falls back to `git`.
 fn commit_id() -> String {
@@ -360,7 +513,13 @@ fn physical_cores(logical: usize) -> usize {
     }
 }
 
-fn write_json(opts: &Opts, workloads: &[WorkloadResult], grid: &GridResult, engine: &EngineResult) {
+fn write_json(
+    opts: &Opts,
+    workloads: &[WorkloadResult],
+    grid: &GridResult,
+    engine: &EngineResult,
+    prefix: &PrefixReuseResult,
+) {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -446,6 +605,28 @@ fn write_json(opts: &Opts, workloads: &[WorkloadResult], grid: &GridResult, engi
     let _ = writeln!(s, "    \"jobs\": {},", engine.jobs);
     let _ = writeln!(s, "    \"cold_seconds\": {:.4},", engine.cold_seconds);
     let _ = writeln!(s, "    \"warm_seconds\": {:.4}", engine.warm_seconds);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"prefix_reuse\": {{");
+    let _ = writeln!(s, "    \"schemes\": {},", prefix.schemes);
+    let _ = writeln!(s, "    \"horizons\": {},", prefix.horizons);
+    let _ = writeln!(s, "    \"declared_jobs\": {},", prefix.declared_jobs);
+    let _ = writeln!(s, "    \"prefix_jobs\": {},", prefix.prefix_jobs);
+    let _ = writeln!(s, "    \"prefix_shared\": {},", prefix.prefix_shared);
+    let _ = writeln!(s, "    \"cold_epochs\": {},", prefix.cold_epochs);
+    let _ = writeln!(s, "    \"forked_epochs\": {},", prefix.forked_epochs);
+    let _ = writeln!(
+        s,
+        "    \"epoch_reduction\": {:.3},",
+        prefix.cold_epochs as f64 / prefix.forked_epochs as f64
+    );
+    let _ = writeln!(s, "    \"cold_seconds\": {:.4},", prefix.cold_seconds);
+    let _ = writeln!(s, "    \"forked_seconds\": {:.4},", prefix.forked_seconds);
+    let _ = writeln!(
+        s,
+        "    \"wall_speedup\": {:.3},",
+        prefix.cold_seconds / prefix.forked_seconds
+    );
+    let _ = writeln!(s, "    \"stores_identical\": {}", prefix.stores_identical);
     let _ = writeln!(s, "  }}");
     let _ = writeln!(s, "}}");
     let path = results_dir().join("sim_throughput.json");
@@ -506,7 +687,8 @@ fn main() {
     ];
     let grid = profile_grid_end_to_end(&opts);
     let engine = engine_end_to_end();
+    let prefix = prefix_reuse_end_to_end(&opts);
     if opts.json {
-        write_json(&opts, &workloads, &grid, &engine);
+        write_json(&opts, &workloads, &grid, &engine, &prefix);
     }
 }

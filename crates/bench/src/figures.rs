@@ -2034,7 +2034,20 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         }
     }
     let sweeping = expansions.iter().any(|e| e.points.len() > 1);
-    let jobs: Vec<SimJob> = expansions.iter().flat_map(|e| e.jobs.clone()).collect();
+    let mut jobs: Vec<SimJob> = expansions.iter().flat_map(|e| e.jobs.clone()).collect();
+    // Prefix factoring: runs that differ only in their cycle horizon
+    // collapse into one chained simulation plus per-horizon forks (a
+    // `run_cycles` sweep axis is the canonical producer). This must run
+    // on the shared declaration path — coordinator and fabric workers
+    // each re-derive the same factored graph, so the manifest and the
+    // prefix cache keys agree across the fleet.
+    let prefix_shared = poise::jobs::factor_prefixes(&mut jobs, ctx.setup.snapshot_every);
+    if prefix_shared > 0 {
+        eprintln!(
+            "[run_all] prefix factoring: {prefix_shared} run(s) fork from shared \
+             snapshot prefixes instead of simulating from cycle 0"
+        );
+    }
 
     // Fabric worker mode: execute cooperatively over the shared cache,
     // publish a report, render nothing (the coordinator renders).
@@ -2120,12 +2133,16 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         .collect();
     println!();
     // Only a sweeping run carries the shared-job statistic, keeping the
-    // default (single-point) summary line unchanged.
-    let sweep_note = if sweeping {
+    // default (single-point) summary line unchanged; likewise the
+    // prefix-factoring statistic only appears when factoring fired.
+    let mut sweep_note = if sweeping {
         format!(" sweep_shared={sweep_shared};")
     } else {
         String::new()
     };
+    if prefix_shared > 0 {
+        sweep_note.push_str(&format!(" prefix_shared={prefix_shared};"));
+    }
     emit_table(
         "run_all_summary.txt",
         &format!(

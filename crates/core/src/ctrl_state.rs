@@ -1,0 +1,317 @@
+//! Token-stream helpers for controller state serialization.
+//!
+//! Policy controllers carry mutable state between controller barriers
+//! (FSM positions, sampled IPCs, RNG streams). Simulation snapshots
+//! (`gpu_sim::snapshot`) capture the machine; the [`Controller::save_state`]
+//! / [`Controller::load_state`] hooks capture the policy. This module gives
+//! every controller the same compact, whitespace-separated token format:
+//!
+//! * integers in decimal;
+//! * `f64` as 16 hex digits of `to_bits` (bit-exact round trips — the
+//!   differential oracle compares restored runs for byte identity, so
+//!   decimal shortest-round-trip formatting is not good enough);
+//! * warp-tuples as `n:p` single tokens;
+//! * `Option<_>` as `-` for `None`, the value token otherwise;
+//! * `Vec<_>` as a length token followed by the elements.
+//!
+//! Loading is all-or-nothing: [`Loader`] methods return `Option` so a
+//! controller can parse the full stream into locals and only then commit,
+//! and [`Loader::done`] rejects trailing garbage. A failed load leaves the
+//! controller untouched and `load_state` returns `false`, which the
+//! segmented runner treats as "snapshot unusable — fall back to a cold
+//! prefix run".
+//!
+//! [`Controller::save_state`]: gpu_sim::Controller::save_state
+//! [`Controller::load_state`]: gpu_sim::Controller::load_state
+
+use gpu_sim::{WarpTuple, WindowSample};
+use std::fmt::Write as _;
+use std::str::SplitWhitespace;
+
+/// Accumulates tokens for `save_state`.
+#[derive(Debug)]
+pub(crate) struct Saver {
+    buf: String,
+}
+
+impl Saver {
+    /// Start a stream with a single-token version header
+    /// (e.g. `poise-hie-v1`).
+    pub(crate) fn new(header: &str) -> Self {
+        debug_assert!(!header.contains(char::is_whitespace));
+        Saver {
+            buf: header.to_string(),
+        }
+    }
+
+    fn tok(&mut self, t: &str) {
+        self.buf.push(' ');
+        self.buf.push_str(t);
+    }
+
+    pub(crate) fn lit(&mut self, t: &str) {
+        debug_assert!(!t.is_empty() && !t.contains(char::is_whitespace));
+        self.tok(t);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        let _ = write!(self.buf, " {v}");
+    }
+
+    pub(crate) fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub(crate) fn bool(&mut self, v: bool) {
+        self.tok(if v { "1" } else { "0" });
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        let _ = write!(self.buf, " {:016x}", v.to_bits());
+    }
+
+    pub(crate) fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(v) => self.f64(v),
+            None => self.tok("-"),
+        }
+    }
+
+    pub(crate) fn tuple(&mut self, t: WarpTuple) {
+        let _ = write!(self.buf, " {}:{}", t.n, t.p);
+    }
+
+    pub(crate) fn opt_tuple(&mut self, t: Option<WarpTuple>) {
+        match t {
+            Some(t) => self.tuple(t),
+            None => self.tok("-"),
+        }
+    }
+
+    pub(crate) fn tuples(&mut self, ts: &[WarpTuple]) {
+        self.usize(ts.len());
+        for &t in ts {
+            self.tuple(t);
+        }
+    }
+
+    /// `(tuple, ipc)` measurement lists, common to every search FSM.
+    pub(crate) fn pairs(&mut self, ps: &[(WarpTuple, f64)]) {
+        self.usize(ps.len());
+        for &(t, ipc) in ps {
+            self.tuple(t);
+            self.f64(ipc);
+        }
+    }
+
+    pub(crate) fn usizes(&mut self, vs: &[usize]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.usize(v);
+        }
+    }
+
+    pub(crate) fn opt_window(&mut self, w: Option<&WindowSample>) {
+        match w {
+            None => self.tok("-"),
+            Some(w) => {
+                // Exhaustive destructure: a new WindowSample field fails
+                // compile here until the encoding is versioned.
+                let WindowSample {
+                    cycles,
+                    instructions,
+                    hit_rate,
+                    intra_rate,
+                    aml,
+                    in_avg,
+                    ipc,
+                } = *w;
+                self.lit("w");
+                self.u64(cycles);
+                self.u64(instructions);
+                self.f64(hit_rate);
+                self.f64(intra_rate);
+                self.f64(aml);
+                self.f64(in_avg);
+                self.f64(ipc);
+            }
+        }
+    }
+
+    pub(crate) fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Cursor over a `save_state` token stream.
+#[derive(Debug)]
+pub(crate) struct Loader<'a> {
+    it: SplitWhitespace<'a>,
+}
+
+/// Guard against hostile or corrupt length prefixes allocating unbounded
+/// memory before a later token fails to parse.
+const MAX_LIST: usize = 1 << 20;
+
+impl<'a> Loader<'a> {
+    /// Open a stream, consuming and checking the version header.
+    pub(crate) fn new(state: &'a str, header: &str) -> Option<Self> {
+        let mut it = state.split_whitespace();
+        (it.next() == Some(header)).then_some(Loader { it })
+    }
+
+    pub(crate) fn next(&mut self) -> Option<&'a str> {
+        self.it.next()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn lit(&mut self, expect: &str) -> Option<()> {
+        (self.next()? == expect).then_some(())
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.next()?.parse().ok()
+    }
+
+    pub(crate) fn usize(&mut self) -> Option<usize> {
+        self.next()?.parse().ok()
+    }
+
+    pub(crate) fn bool(&mut self) -> Option<bool> {
+        match self.next()? {
+            "0" => Some(false),
+            "1" => Some(true),
+            _ => None,
+        }
+    }
+
+    fn f64_tok(tok: &str) -> Option<f64> {
+        (tok.len() == 16)
+            .then(|| u64::from_str_radix(tok, 16).ok())
+            .flatten()
+            .map(f64::from_bits)
+    }
+
+    pub(crate) fn f64(&mut self) -> Option<f64> {
+        Self::f64_tok(self.next()?)
+    }
+
+    pub(crate) fn opt_f64(&mut self) -> Option<Option<f64>> {
+        let tok = self.next()?;
+        if tok == "-" {
+            return Some(None);
+        }
+        Self::f64_tok(tok).map(Some)
+    }
+
+    fn tuple_tok(tok: &str) -> Option<WarpTuple> {
+        let (n, p) = tok.split_once(':')?;
+        let (n, p) = (n.parse().ok()?, p.parse().ok()?);
+        (1 <= p && p <= n).then_some(WarpTuple { n, p })
+    }
+
+    pub(crate) fn tuple(&mut self) -> Option<WarpTuple> {
+        Self::tuple_tok(self.next()?)
+    }
+
+    pub(crate) fn opt_tuple(&mut self) -> Option<Option<WarpTuple>> {
+        let tok = self.next()?;
+        if tok == "-" {
+            return Some(None);
+        }
+        Self::tuple_tok(tok).map(Some)
+    }
+
+    fn len(&mut self) -> Option<usize> {
+        let n = self.usize()?;
+        (n <= MAX_LIST).then_some(n)
+    }
+
+    pub(crate) fn tuples(&mut self) -> Option<Vec<WarpTuple>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.tuple()).collect()
+    }
+
+    pub(crate) fn pairs(&mut self) -> Option<Vec<(WarpTuple, f64)>> {
+        let n = self.len()?;
+        (0..n).map(|_| Some((self.tuple()?, self.f64()?))).collect()
+    }
+
+    pub(crate) fn usizes(&mut self) -> Option<Vec<usize>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    pub(crate) fn opt_window(&mut self) -> Option<Option<WindowSample>> {
+        match self.next()? {
+            "-" => Some(None),
+            "w" => Some(Some(WindowSample {
+                cycles: self.u64()?,
+                instructions: self.u64()?,
+                hit_rate: self.f64()?,
+                intra_rate: self.f64()?,
+                aml: self.f64()?,
+                in_avg: self.f64()?,
+                ipc: self.f64()?,
+            })),
+            _ => None,
+        }
+    }
+
+    /// The stream must be fully consumed; trailing tokens mean the writer
+    /// and reader disagree about the format and the load must fail.
+    pub(crate) fn done(mut self) -> Option<()> {
+        self.it.next().is_none().then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_token_kind() {
+        let mut s = Saver::new("t-v1");
+        s.lit("tag");
+        s.u64(42);
+        s.bool(true);
+        s.f64(-0.0);
+        s.f64(f64::NAN);
+        s.opt_f64(None);
+        s.opt_f64(Some(1.5));
+        s.tuple(WarpTuple { n: 8, p: 3 });
+        s.opt_tuple(None);
+        s.tuples(&[WarpTuple { n: 2, p: 1 }]);
+        s.pairs(&[(WarpTuple { n: 4, p: 4 }, 0.25)]);
+        s.usizes(&[7, 9]);
+        let text = s.finish();
+
+        let mut l = Loader::new(&text, "t-v1").unwrap();
+        l.lit("tag").unwrap();
+        assert_eq!(l.u64(), Some(42));
+        assert_eq!(l.bool(), Some(true));
+        let neg_zero = l.f64().unwrap();
+        assert_eq!(neg_zero.to_bits(), (-0.0f64).to_bits());
+        assert!(l.f64().unwrap().is_nan());
+        assert_eq!(l.opt_f64(), Some(None));
+        assert_eq!(l.opt_f64(), Some(Some(1.5)));
+        assert_eq!(l.tuple(), Some(WarpTuple { n: 8, p: 3 }));
+        assert_eq!(l.opt_tuple(), Some(None));
+        assert_eq!(l.tuples(), Some(vec![WarpTuple { n: 2, p: 1 }]));
+        assert_eq!(l.pairs(), Some(vec![(WarpTuple { n: 4, p: 4 }, 0.25)]));
+        assert_eq!(l.usizes(), Some(vec![7, 9]));
+        l.done().unwrap();
+    }
+
+    #[test]
+    fn rejects_header_mismatch_truncation_and_trailing() {
+        assert!(Loader::new("t-v2 1", "t-v1").is_none());
+        let mut l = Loader::new("t-v1", "t-v1").unwrap();
+        assert_eq!(l.u64(), None); // truncated
+        let l = Loader::new("t-v1 extra", "t-v1").unwrap();
+        assert!(l.done().is_none()); // trailing garbage
+        let mut l = Loader::new("t-v1 5:2 2:5", "t-v1").unwrap();
+        assert_eq!(l.tuple(), Some(WarpTuple { n: 5, p: 2 }));
+        assert_eq!(l.tuple(), None); // p > n rejected
+    }
+}

@@ -20,7 +20,9 @@ use crate::policies::{
     RandomRestartController,
 };
 use crate::profiler::{profile_grid, GridSpec, ProfileWindow};
-use gpu_sim::{Counters, EnergyBreakdown, FixedTuple, Gpu, GpuConfig, KernelSource, WarpTuple};
+use gpu_sim::{
+    Controller, Counters, EnergyBreakdown, FixedTuple, Gpu, GpuConfig, KernelSource, WarpTuple,
+};
 use poise_ml::{SpeedupGrid, TrainedModel};
 use workloads::{Benchmark, Workload};
 
@@ -108,6 +110,13 @@ pub struct Setup {
     /// older than this is stolen even with a live heartbeat. `None` =
     /// heartbeat-staleness only. Engine-only.
     pub steal_after: Option<f64>,
+    /// Periodic snapshot barrier interval in cycles (`snapshot_every`
+    /// knob): `> 0` threads checkpoint barriers at every multiple into
+    /// each factorable run's prefix chain, so interrupted runs (and
+    /// stolen fabric leases) resume from the last published blob rather
+    /// than cycle 0. `0` disables. Pure execution strategy — results are
+    /// bit-identical either way, so never part of cache identity.
+    pub snapshot_every: u64,
 }
 
 impl Default for Setup {
@@ -132,6 +141,7 @@ impl Default for Setup {
             workers: 0,
             lease_ttl: 2.0,
             steal_after: None,
+            snapshot_every: 0,
         }
     }
 }
@@ -156,6 +166,7 @@ impl Setup {
             workers: 0,
             lease_ttl: 2.0,
             steal_after: None,
+            snapshot_every: 0,
         }
     }
 }
@@ -334,6 +345,285 @@ pub fn run_kernel_configured(
         energy: result.energy,
         epoch_logs,
     }
+}
+
+/// Version header of the serialized prefix blob (see [`PrefixBlob`]).
+/// Bump on any encoding change — blobs are durable cache entries shared
+/// between fleet workers, like `SimJob::spec_text`.
+pub const PREFIX_HEADER: &str = "poise-prefix v1";
+
+/// A serialized simulation prefix: the full machine image plus the
+/// controller's policy state at a barrier cycle. This is the unit of
+/// prefix-shared execution — any run (on any worker) whose declared
+/// inputs match can restore the blob and simulate only its suffix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixBlob {
+    /// Barrier cycle the blob was taken at.
+    pub cycles: u64,
+    /// `Controller::save_state` token stream (empty for stateless
+    /// controllers such as the fixed-tuple schemes).
+    pub ctrl: String,
+    /// `Gpu::snapshot` text.
+    pub gpu: String,
+}
+
+impl PrefixBlob {
+    /// Render the durable on-disk form.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("{PREFIX_HEADER}\ncycles {}\nctrl", self.cycles);
+        if !self.ctrl.is_empty() {
+            out.push(' ');
+            out.push_str(&self.ctrl);
+        }
+        out.push('\n');
+        out.push_str(&self.gpu);
+        out
+    }
+
+    /// Parse the durable form; `None` on any structural damage. The gpu
+    /// text is *not* validated here — restoring does that (and the cache
+    /// fsck path runs `gpu_sim::snapshot::validate` separately).
+    pub fn parse(text: &str) -> Option<PrefixBlob> {
+        let rest = text.strip_prefix(PREFIX_HEADER)?.strip_prefix('\n')?;
+        let (cycles_line, rest) = rest.split_once('\n')?;
+        let cycles = cycles_line.strip_prefix("cycles ")?.parse().ok()?;
+        let (ctrl_line, gpu) = rest.split_once('\n')?;
+        let ctrl = ctrl_line.strip_prefix("ctrl")?.trim_start().to_string();
+        if gpu.is_empty() {
+            return None;
+        }
+        Some(PrefixBlob {
+            cycles,
+            ctrl,
+            gpu: gpu.to_string(),
+        })
+    }
+}
+
+/// Snapshot transport for segmented runs, implemented by the job engine
+/// over its result cache. `load` returning `None` (miss, quarantined
+/// corruption, version drift) makes the runner fall back to simulating
+/// that span from its deepest usable ancestor — a damaged blob costs
+/// re-simulation, never correctness.
+pub trait PrefixStore {
+    /// Barrier cycles (ascending) this run may fork from or publish to.
+    fn boundaries(&self) -> &[u64];
+    /// Fetch the blob text at a boundary.
+    fn load(&self, cycles: u64) -> Option<String>;
+    /// Publish the blob text produced at a boundary.
+    fn store(&self, cycles: u64, blob: &str);
+}
+
+/// The concrete controller of a segmented run. `run_kernel_configured`
+/// can keep its controllers anonymous on the stack; the segmented runner
+/// must rebuild *the same* controller type twice (once to try loading
+/// serialized state into, once as the cold fallback), so the scheme →
+/// controller mapping is reified here. Random-restart is deliberately
+/// absent: its result is an average over per-seed reruns of the same
+/// span, which has no shareable prefix (the factoring step never emits
+/// one).
+#[derive(Debug)]
+enum Ctl {
+    Fixed(FixedTuple),
+    Pcal(PcalSwlController),
+    Poise(Box<PoiseController>),
+    Apcm(ApcmController),
+}
+
+impl Ctl {
+    fn build(
+        scheme: Scheme,
+        model: Option<&TrainedModel>,
+        tuples: Option<ProfileTuples>,
+        params: &PoiseParams,
+    ) -> Ctl {
+        match scheme {
+            Scheme::Gto => Ctl::Fixed(FixedTuple::max()),
+            Scheme::Swl => Ctl::Fixed(FixedTuple::new(tuples.expect("SWL needs a profile").swl)),
+            Scheme::StaticBest => Ctl::Fixed(FixedTuple::new(
+                tuples.expect("Static-Best needs a profile").best,
+            )),
+            Scheme::PcalSwl => Ctl::Pcal(PcalSwlController::new(
+                tuples.expect("PCAL-SWL needs a profile").swl,
+            )),
+            Scheme::Poise => Ctl::Poise(Box::new(PoiseController::new(
+                model.expect("Poise needs a trained model").clone(),
+                *params,
+            ))),
+            Scheme::Apcm => Ctl::Apcm(ApcmController::new(params.t_period)),
+            Scheme::RandomRestart => {
+                unreachable!("random-restart runs are never prefix-factored")
+            }
+        }
+    }
+
+    fn as_dyn(&mut self) -> &mut dyn Controller {
+        match self {
+            Ctl::Fixed(c) => c,
+            Ctl::Pcal(c) => c,
+            Ctl::Poise(c) => c.as_mut(),
+            Ctl::Apcm(c) => c,
+        }
+    }
+
+    fn save_state(&self) -> String {
+        match self {
+            Ctl::Fixed(c) => c.save_state(),
+            Ctl::Pcal(c) => c.save_state(),
+            Ctl::Poise(c) => c.save_state(),
+            Ctl::Apcm(c) => c.save_state(),
+        }
+    }
+
+    fn load_state(&mut self, state: &str) -> bool {
+        match self {
+            Ctl::Fixed(c) => c.load_state(state),
+            Ctl::Pcal(c) => c.load_state(state),
+            Ctl::Poise(c) => c.load_state(state),
+            Ctl::Apcm(c) => c.load_state(state),
+        }
+    }
+
+    fn into_epoch_logs(self) -> Vec<crate::hie::EpochLog> {
+        match self {
+            Ctl::Poise(c) => c.log,
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Core of prefix-shared execution: fork from the deepest usable
+/// snapshot at or below `run_cycles`, then march through the remaining
+/// boundaries publishing a blob at each, and finish the suffix.
+///
+/// Bit-identity with a cold `run(run_cycles)` is the contract proven by
+/// the `snapshot_oracle` differential suite: `run(j)` + snapshot +
+/// restore-into-fresh-machine + `resume(k − j)` composes to the same
+/// counters, cycle, completion status, steering trajectory and
+/// controller state for every shipped policy, kernel class and step
+/// mode — including re-entry chains and forks at a drained machine.
+#[allow(clippy::too_many_arguments)]
+fn run_segments(
+    spec: &Workload,
+    scheme: Scheme,
+    model: Option<&TrainedModel>,
+    tuples: Option<ProfileTuples>,
+    base_cfg: &GpuConfig,
+    params: &PoiseParams,
+    run_cycles: u64,
+    io: &dyn PrefixStore,
+) -> (gpu_sim::SimResult, Ctl, Gpu) {
+    let mut cfg = base_cfg.clone();
+    if scheme == Scheme::Apcm {
+        cfg.track_pc_stats = true;
+    }
+    let mut ctl = Ctl::build(scheme, model, tuples, params);
+    let mut at = 0u64;
+    let mut gpu = None;
+    for &b in io.boundaries().iter().rev() {
+        if b > run_cycles {
+            continue;
+        }
+        // Any defect — missing blob, version drift, snapshot damage,
+        // controller-state damage — skips to the next-deepest boundary.
+        let Some(text) = io.load(b) else { continue };
+        let Some(blob) = PrefixBlob::parse(&text) else {
+            continue;
+        };
+        if blob.cycles != b {
+            continue;
+        }
+        let Ok(g) = Gpu::restore(cfg.clone(), spec, &blob.gpu) else {
+            continue;
+        };
+        let mut c = Ctl::build(scheme, model, tuples, params);
+        if !c.load_state(&blob.ctrl) {
+            continue;
+        }
+        gpu = Some(g);
+        ctl = c;
+        at = b;
+        break;
+    }
+    let mut started = gpu.is_some();
+    let mut gpu = gpu.unwrap_or_else(|| Gpu::new(cfg, spec));
+    loop {
+        let next = io
+            .boundaries()
+            .iter()
+            .copied()
+            .find(|&b| b > at && b < run_cycles)
+            .unwrap_or(run_cycles);
+        // `resume` skips `on_kernel_start` (the restored controller state
+        // already reflects it); a fork at exactly `run_cycles` resumes a
+        // zero-cycle span, which just settles the result.
+        let res = if started {
+            gpu.resume(ctl.as_dyn(), next - at)
+        } else {
+            started = true;
+            gpu.run(ctl.as_dyn(), next)
+        };
+        at = next;
+        if at >= run_cycles {
+            return (res, ctl, gpu);
+        }
+        let blob = PrefixBlob {
+            cycles: at,
+            ctrl: ctl.save_state(),
+            gpu: gpu.snapshot(),
+        };
+        io.store(at, &blob.to_text());
+    }
+}
+
+/// [`run_kernel_configured`] for a prefix-factored run: same result, but
+/// forked from the deepest usable snapshot in `io` and publishing blobs
+/// at the boundaries it passes. Only called for schemes with a single
+/// deterministic machine (never random-restart).
+#[allow(clippy::too_many_arguments)]
+pub fn run_kernel_segmented(
+    spec: &Workload,
+    scheme: Scheme,
+    model: Option<&TrainedModel>,
+    tuples: Option<ProfileTuples>,
+    base_cfg: &GpuConfig,
+    params: &PoiseParams,
+    run_cycles: u64,
+    io: &dyn PrefixStore,
+) -> KernelRun {
+    let (result, ctl, _gpu) = run_segments(
+        spec, scheme, model, tuples, base_cfg, params, run_cycles, io,
+    );
+    KernelRun {
+        kernel: spec.name().to_string(),
+        counters: result.counters,
+        energy: result.energy,
+        epoch_logs: ctl.into_epoch_logs(),
+    }
+}
+
+/// Execute a `Prefix` job: run (or fork-and-extend) to `run_cycles` and
+/// return the blob at that barrier — the job's cacheable output.
+#[allow(clippy::too_many_arguments)]
+pub fn run_prefix_blob(
+    spec: &Workload,
+    scheme: Scheme,
+    model: Option<&TrainedModel>,
+    tuples: Option<ProfileTuples>,
+    base_cfg: &GpuConfig,
+    params: &PoiseParams,
+    run_cycles: u64,
+    io: &dyn PrefixStore,
+) -> String {
+    let (_result, ctl, gpu) = run_segments(
+        spec, scheme, model, tuples, base_cfg, params, run_cycles, io,
+    );
+    PrefixBlob {
+        cycles: run_cycles,
+        ctrl: ctl.save_state(),
+        gpu: gpu.snapshot(),
+    }
+    .to_text()
 }
 
 fn merge_counters(a: &Counters, b: &Counters) -> Counters {
@@ -566,5 +856,48 @@ mod tests {
         assert!((agg.ipc - 1.0).abs() < 1e-12); // 200 instr / 200 cycles
         assert!((agg.l1_hit_rate - 0.5).abs() < 1e-12);
         assert!((agg.aml - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_blob_round_trips() {
+        let blob = PrefixBlob {
+            cycles: 17_000,
+            ctrl: "pcal-swl-v1 n:12 3ff0000000000000".into(),
+            gpu: "gpu state\nline two\n".into(),
+        };
+        let text = blob.to_text();
+        let back = PrefixBlob::parse(&text).expect("round-trip");
+        assert_eq!(back.cycles, blob.cycles);
+        assert_eq!(back.ctrl, blob.ctrl);
+        assert_eq!(back.gpu, blob.gpu);
+        // Stateless controllers carry an empty ctrl line — no trailing
+        // space, still round-trips.
+        let bare = PrefixBlob {
+            cycles: 5,
+            ctrl: String::new(),
+            gpu: "g\n".into(),
+        };
+        let bare_text = bare.to_text();
+        assert!(bare_text.contains("\nctrl\n"), "got: {bare_text:?}");
+        assert_eq!(PrefixBlob::parse(&bare_text).unwrap().ctrl, "");
+    }
+
+    #[test]
+    fn prefix_blob_parse_rejects_structural_damage() {
+        let good = PrefixBlob {
+            cycles: 9,
+            ctrl: "x".into(),
+            gpu: "g\n".into(),
+        }
+        .to_text();
+        assert!(PrefixBlob::parse(&good).is_some());
+        // Wrong header version, missing fields, truncation, empty body.
+        assert!(PrefixBlob::parse(&good.replace("v1", "v9")).is_none());
+        assert!(PrefixBlob::parse(&good.replace("cycles", "cycels")).is_none());
+        assert!(PrefixBlob::parse(&good.replace("ctrl", "ctlr")).is_none());
+        let truncated = &good[..good.rfind("g\n").unwrap()];
+        assert!(PrefixBlob::parse(truncated).is_none(), "empty gpu text");
+        assert!(PrefixBlob::parse("").is_none());
+        assert!(PrefixBlob::parse("poise-prefix v1").is_none());
     }
 }

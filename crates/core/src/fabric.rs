@@ -453,7 +453,13 @@ pub fn run_worker(
     let mut nonce_seq = 0u64;
     let nonce_base = format!("{}:{}", cfg.worker_id, std::process::id());
 
-    for wave in 0..=2 {
+    // Distinct waves actually present, ascending — the classic three
+    // plus one per prefix-chain depth when the plan was prefix-factored
+    // (identical on every worker: all expand the same manifest).
+    let mut waves: Vec<usize> = order.iter().map(|s| by_spec[s].wave()).collect();
+    waves.sort_unstable();
+    waves.dedup();
+    for wave in waves {
         let mut pending: Vec<String> = order
             .iter()
             .filter(|s| by_spec[*s].wave() == wave)

@@ -22,9 +22,14 @@
 //! The implementation is a cycle-driven FSM, mirroring the paper's
 //! seven-state hardware FSM (§VII-I).
 
+use crate::ctrl_state::{Loader, Saver};
 use crate::params::PoiseParams;
 use gpu_sim::{ControlCtx, Controller, WarpTuple, WindowSample};
 use poise_ml::{scoring, FeatureVector, TrainedModel};
+
+/// Version header of the serialized HIE state (see
+/// [`Controller::save_state`]).
+const STATE_HEADER: &str = "poise-hie-v1";
 
 /// One epoch's record: what was predicted and where the search converged
 /// (consumed by the Fig. 10 displacement and Fig. 17 trajectory studies).
@@ -320,6 +325,55 @@ impl PoiseController {
     }
 }
 
+impl LocalSearch {
+    fn save(&self, s: &mut Saver) {
+        // Exhaustive destructure: adding a LocalSearch field breaks this
+        // until the serialized encoding is versioned alongside it.
+        let LocalSearch {
+            axis,
+            stride,
+            stride_p_initial,
+            current,
+            current_ipc,
+            pending,
+            sampled,
+            measuring,
+            max_warps,
+        } = self;
+        s.lit(match axis {
+            Axis::N => "n",
+            Axis::P => "p",
+        });
+        s.usize(*stride);
+        s.usize(*stride_p_initial);
+        s.tuple(*current);
+        s.opt_f64(*current_ipc);
+        s.tuples(pending);
+        s.pairs(sampled);
+        s.opt_tuple(*measuring);
+        s.usize(*max_warps);
+    }
+
+    fn load(l: &mut Loader) -> Option<Self> {
+        let axis = match l.next()? {
+            "n" => Axis::N,
+            "p" => Axis::P,
+            _ => return None,
+        };
+        Some(LocalSearch {
+            axis,
+            stride: l.usize()?,
+            stride_p_initial: l.usize()?,
+            current: l.tuple()?,
+            current_ipc: l.opt_f64()?,
+            pending: l.tuples()?,
+            sampled: l.pairs()?,
+            measuring: l.opt_tuple()?,
+            max_warps: l.usize()?,
+        })
+    }
+}
+
 impl Controller for PoiseController {
     fn on_kernel_start(&mut self, ctx: &mut ControlCtx) {
         self.begin_epoch(ctx);
@@ -427,6 +481,126 @@ impl Controller for PoiseController {
             HieState::Stable => None,
         };
         Some(state_deadline.map_or(epoch_end, |u| u.min(epoch_end)))
+    }
+
+    fn save_state(&self) -> String {
+        // Exhaustive destructure: a new mutable field must be added to the
+        // encoding (params/model are spec-derived and rebuilt on restore).
+        let PoiseController {
+            params: _,
+            model: _,
+            state,
+            epoch_start,
+            base_sample,
+            predicted,
+            log,
+            tuple_trace,
+        } = self;
+        let mut s = Saver::new(STATE_HEADER);
+        s.u64(*epoch_start);
+        s.opt_window(base_sample.as_ref());
+        s.opt_tuple(*predicted);
+        s.usize(log.len());
+        for e in log {
+            let EpochLog {
+                cycle,
+                predicted,
+                searched,
+                early_out,
+            } = *e;
+            s.u64(cycle);
+            s.tuple(predicted);
+            s.tuple(searched);
+            s.bool(early_out);
+        }
+        s.usize(tuple_trace.len());
+        for &(cycle, t) in tuple_trace {
+            s.u64(cycle);
+            s.tuple(t);
+        }
+        match state {
+            HieState::WarmupBase { until } => {
+                s.lit("warmup-base");
+                s.u64(*until);
+            }
+            HieState::SampleBase { until } => {
+                s.lit("sample-base");
+                s.u64(*until);
+            }
+            HieState::WarmupRef { until } => {
+                s.lit("warmup-ref");
+                s.u64(*until);
+            }
+            HieState::SampleRef { until } => {
+                s.lit("sample-ref");
+                s.u64(*until);
+            }
+            HieState::SearchWarmup { until, search } => {
+                s.lit("search-warmup");
+                s.u64(*until);
+                search.save(&mut s);
+            }
+            HieState::SearchSample { until, search } => {
+                s.lit("search-sample");
+                s.u64(*until);
+                search.save(&mut s);
+            }
+            HieState::Stable => s.lit("stable"),
+        }
+        s.finish()
+    }
+
+    fn load_state(&mut self, state: &str) -> bool {
+        // All-or-nothing: parse the full stream into locals, commit last.
+        let parse = || -> Option<_> {
+            let mut l = Loader::new(state, STATE_HEADER)?;
+            let epoch_start = l.u64()?;
+            let base_sample = l.opt_window()?;
+            let predicted = l.opt_tuple()?;
+            let n_log = l.usize()?;
+            let mut log = Vec::with_capacity(n_log.min(4096));
+            for _ in 0..n_log {
+                log.push(EpochLog {
+                    cycle: l.u64()?,
+                    predicted: l.tuple()?,
+                    searched: l.tuple()?,
+                    early_out: l.bool()?,
+                });
+            }
+            let n_trace = l.usize()?;
+            let mut tuple_trace = Vec::with_capacity(n_trace.min(4096));
+            for _ in 0..n_trace {
+                tuple_trace.push((l.u64()?, l.tuple()?));
+            }
+            let fsm = match l.next()? {
+                "warmup-base" => HieState::WarmupBase { until: l.u64()? },
+                "sample-base" => HieState::SampleBase { until: l.u64()? },
+                "warmup-ref" => HieState::WarmupRef { until: l.u64()? },
+                "sample-ref" => HieState::SampleRef { until: l.u64()? },
+                "search-warmup" => HieState::SearchWarmup {
+                    until: l.u64()?,
+                    search: LocalSearch::load(&mut l)?,
+                },
+                "search-sample" => HieState::SearchSample {
+                    until: l.u64()?,
+                    search: LocalSearch::load(&mut l)?,
+                },
+                "stable" => HieState::Stable,
+                _ => return None,
+            };
+            l.done()?;
+            Some((epoch_start, base_sample, predicted, log, tuple_trace, fsm))
+        };
+        let Some((epoch_start, base_sample, predicted, log, tuple_trace, fsm)) = parse() else {
+            return false;
+        };
+        self.epoch_start = epoch_start;
+        self.base_sample = base_sample;
+        self.predicted = predicted;
+        self.log = log;
+        self.tuple_trace = tuple_trace;
+        self.state = fsm;
+        true
     }
 }
 

@@ -58,7 +58,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::cache::{fmt_f64, parse_f64, sha256_hex, Cache, FsckReport, Lookup};
-use crate::experiment::{run_kernel_configured, KernelRun, ProfileTuples, Scheme, Setup};
+use crate::experiment::{
+    run_kernel_configured, run_kernel_segmented, run_prefix_blob, KernelRun, PrefixBlob,
+    PrefixStore, ProfileTuples, Scheme, Setup,
+};
 use crate::faults::{FaultKind, FaultPlan};
 use crate::params::PoiseParams;
 use crate::policies::{static_best_from_grid, swl_tuple_from_grid};
@@ -395,6 +398,13 @@ pub struct KernelRunSpec {
     /// within a sweep. Never part of [`SimJob::spec_text`] / cache
     /// identity, and excluded from equality.
     pub tag: Option<String>,
+    /// Barrier cycles (strictly ascending, each `<= run_cycles`) at which
+    /// this run may fork from — and publish — prefix snapshots, set by
+    /// [`factor_prefixes`]. Pure execution strategy: the result is
+    /// bit-identical with any chain (including none), so like `tag` this
+    /// is never part of [`SimJob::spec_text`] / cache identity and is
+    /// excluded from equality.
+    pub prefix_chain: Vec<u64>,
 }
 
 impl PartialEq for KernelRunSpec {
@@ -411,7 +421,8 @@ impl PartialEq for KernelRunSpec {
             rr_seeds,
             model,
             profile,
-            tag: _, // display-only
+            tag: _,          // display-only
+            prefix_chain: _, // execution strategy, not identity
         } = self;
         workload == &other.workload
             && scheme == &other.scheme
@@ -459,7 +470,62 @@ impl KernelRunSpec {
                 })
             }),
             tag: None,
+            prefix_chain: Vec::new(),
         }
+    }
+
+    /// The spec of the synthetic [`SimJob::Prefix`] job at barrier
+    /// `cycles`, given the boundaries below it: same inputs, shorter
+    /// budget, chained through the lower boundaries. Both the factoring
+    /// step (which materialises these as jobs) and the engine (which
+    /// resolves a run's chain back to cache keys) derive prefix identity
+    /// through here, so they agree by construction.
+    fn prefix_at(&self, cycles: u64, below: &[u64]) -> KernelRunSpec {
+        let mut p = self.clone();
+        p.run_cycles = cycles;
+        p.prefix_chain = below.to_vec();
+        // Deterministic regardless of which run of the group derived it
+        // (the prefix label shows its own barrier cycle instead).
+        p.tag = None;
+        p
+    }
+
+    /// Resolve the scheme's consumed inputs from the dep outputs (in
+    /// [`SimJob::deps`] order) — shared by the run and prefix arms of
+    /// `execute`, which must agree exactly for a forked suffix to see
+    /// the same controller as the prefix that produced the blob.
+    fn resolve_inputs<'a>(
+        &self,
+        dep_outputs: &[&'a JobOutput],
+    ) -> (Option<&'a TrainedModel>, Option<ProfileTuples>, PoiseParams) {
+        let mut di = dep_outputs.iter();
+        let model = self
+            .model
+            .as_ref()
+            .map(|_| di.next().expect("model dep").as_model().expect("model"));
+        let grid = self
+            .profile
+            .as_ref()
+            .map(|_| di.next().expect("profile dep").as_grid().expect("grid"));
+        let tuples = grid.map(|g| {
+            let max_warps = self
+                .workload
+                .warps_per_scheduler()
+                .min(self.cfg.max_warps_per_scheduler);
+            ProfileTuples {
+                swl: swl_tuple_from_grid(g, max_warps),
+                best: static_best_from_grid(g, max_warps),
+            }
+        });
+        let params = match (self.params, self.t_period) {
+            (Some(p), _) => p,
+            (None, Some(t)) => PoiseParams {
+                t_period: t,
+                ..PoiseParams::default()
+            },
+            (None, None) => PoiseParams::default(),
+        };
+        (model, tuples, params)
     }
 }
 
@@ -482,6 +548,13 @@ pub enum SimJob {
     Train(ModelSpec),
     /// Evaluation run (may depend on a model and/or a profile).
     Run(KernelRunSpec),
+    /// Shared simulation prefix: the same inputs as a [`SimJob::Run`]
+    /// but its output is the machine + controller snapshot blob at
+    /// `run_cycles`, content-addressed in the cache like any other job
+    /// output. Runs (and deeper prefixes) whose declared chain contains
+    /// this barrier fork from the blob instead of re-simulating the span
+    /// — on any worker, since the cache is the fabric's shared medium.
+    Prefix(KernelRunSpec),
 }
 
 impl SimJob {
@@ -494,6 +567,7 @@ impl SimJob {
             SimJob::Sample(_) => "sample",
             SimJob::Train(_) => "train",
             SimJob::Run(_) => "run",
+            SimJob::Prefix(_) => "prefix",
         }
     }
 
@@ -513,6 +587,12 @@ impl SimJob {
                 Some(tag) => format!("run[{} {} {tag}]", s.workload.name(), s.scheme.name()),
                 None => format!("run[{} {}]", s.workload.name(), s.scheme.name()),
             },
+            SimJob::Prefix(s) => format!(
+                "prefix[{} {} @{}]",
+                s.workload.name(),
+                s.scheme.name(),
+                s.run_cycles
+            ),
         }
     }
 
@@ -565,7 +645,11 @@ impl SimJob {
                     spec_render::int_list(&m.drop_features)
                 );
             }
-            SimJob::Run(r) => {
+            // A prefix renders the same input lines as the run it was
+            // factored from (under its own `job prefix` header): its
+            // identity is exactly "the simulation of these inputs up to
+            // run_cycles", which is what suffix runs resolve against.
+            SimJob::Run(r) | SimJob::Prefix(r) => {
                 let _ = writeln!(s, "{}", r.workload.spec_line());
                 let _ = writeln!(s, "scheme {}", r.scheme.name());
                 let _ = writeln!(s, "cfg {}", spec_render::gpu_config(&r.cfg));
@@ -602,7 +686,7 @@ impl SimJob {
     pub fn deps(&self) -> Vec<SimJob> {
         match self {
             SimJob::Train(m) => m.sample_specs().into_iter().map(SimJob::Sample).collect(),
-            SimJob::Run(r) => {
+            SimJob::Run(r) | SimJob::Prefix(r) => {
                 let mut d = Vec::new();
                 if let Some(m) = &r.model {
                     d.push(SimJob::Train((**m).clone()));
@@ -617,18 +701,29 @@ impl SimJob {
     }
 
     /// Execution wave: dependencies always live in strictly lower waves.
+    /// Prefix chains are *soft* dependencies — a missing or corrupt blob
+    /// degrades to re-simulation, not failure — so they are ordered by
+    /// wave (each prefix one wave after the deepest boundary it forks
+    /// from) rather than by graph edges, which keeps chains out of cache
+    /// identity.
     pub(crate) fn wave(&self) -> usize {
+        const PREFIX_BASE: usize = 2;
         match self {
             SimJob::Train(_) => 1,
-            SimJob::Run(_) => 2,
+            SimJob::Prefix(r) => PREFIX_BASE + r.prefix_chain.len(),
+            // All evaluation runs share the final wave so the fan-out
+            // across schemes/kernels keeps every core busy; by then every
+            // prefix blob they could fork from is in the cache.
+            SimJob::Run(_) => usize::MAX,
             _ => 0,
         }
     }
 
     /// Execute the job. `dep_outputs` holds the resolved outputs in
-    /// [`SimJob::deps`] order. Panics propagate to the engine's isolation
-    /// layer.
-    fn execute(&self, dep_outputs: &[&JobOutput]) -> JobOutput {
+    /// [`SimJob::deps`] order; `prefixes` is the engine's snapshot
+    /// transport for jobs with a prefix chain (`None` runs cold). Panics
+    /// propagate to the engine's isolation layer.
+    fn execute(&self, dep_outputs: &[&JobOutput], prefixes: Option<&PrefixIo>) -> JobOutput {
         match self {
             SimJob::Profile(p) => {
                 JobOutput::Grid(profile_grid(&p.workload, &p.cfg, &p.grid, p.window))
@@ -652,42 +747,60 @@ impl SimJob {
                 JobOutput::Model(fit_samples(&samples, m.window, &m.drop_features))
             }
             SimJob::Run(r) => {
-                let mut di = dep_outputs.iter();
-                let model = r
-                    .model
-                    .as_ref()
-                    .map(|_| di.next().expect("model dep").as_model().expect("model"));
-                let grid = r
-                    .profile
-                    .as_ref()
-                    .map(|_| di.next().expect("profile dep").as_grid().expect("grid"));
-                let tuples = grid.map(|g| {
-                    let max_warps = r
-                        .workload
-                        .warps_per_scheduler()
-                        .min(r.cfg.max_warps_per_scheduler);
-                    ProfileTuples {
-                        swl: swl_tuple_from_grid(g, max_warps),
-                        best: static_best_from_grid(g, max_warps),
+                let (model, tuples, params) = r.resolve_inputs(dep_outputs);
+                // Fork from the deepest cached prefix when a chain was
+                // declared and the engine could resolve it; the cold path
+                // is the unchanged legacy runner, so unfactored plans are
+                // byte-for-byte unaffected.
+                match prefixes.filter(|_| !r.prefix_chain.is_empty()) {
+                    Some(io) => JobOutput::Run(run_kernel_segmented(
+                        &r.workload,
+                        r.scheme,
+                        model,
+                        tuples,
+                        &r.cfg,
+                        &params,
+                        r.run_cycles,
+                        io,
+                    )),
+                    None => JobOutput::Run(run_kernel_configured(
+                        &r.workload,
+                        r.scheme,
+                        model,
+                        tuples,
+                        &r.cfg,
+                        &params,
+                        &r.rr_seeds,
+                        r.run_cycles,
+                    )),
+                }
+            }
+            SimJob::Prefix(r) => {
+                let (model, tuples, params) = r.resolve_inputs(dep_outputs);
+                /// Cold transport for a chainless (or unresolvable)
+                /// prefix: no boundaries to fork from or publish to.
+                struct NoPrefixes;
+                impl PrefixStore for NoPrefixes {
+                    fn boundaries(&self) -> &[u64] {
+                        &[]
                     }
-                });
-                let params = match (r.params, r.t_period) {
-                    (Some(p), _) => p,
-                    (None, Some(t)) => PoiseParams {
-                        t_period: t,
-                        ..PoiseParams::default()
-                    },
-                    (None, None) => PoiseParams::default(),
-                };
-                JobOutput::Run(run_kernel_configured(
+                    fn load(&self, _cycles: u64) -> Option<String> {
+                        None
+                    }
+                    fn store(&self, _cycles: u64, _blob: &str) {}
+                }
+                let io = prefixes
+                    .map(|p| p as &dyn PrefixStore)
+                    .unwrap_or(&NoPrefixes);
+                JobOutput::Snapshot(run_prefix_blob(
                     &r.workload,
                     r.scheme,
                     model,
                     tuples,
                     &r.cfg,
                     &params,
-                    &r.rr_seeds,
                     r.run_cycles,
+                    io,
                 ))
             }
         }
@@ -700,7 +813,7 @@ impl SimJob {
     /// the full sample rows.
     fn dep_digest(&self, dep: &SimJob, out: &JobOutput) -> String {
         match (self, dep, out) {
-            (SimJob::Run(r), SimJob::Profile(_), JobOutput::Grid(g)) => {
+            (SimJob::Run(r) | SimJob::Prefix(r), SimJob::Profile(_), JobOutput::Grid(g)) => {
                 let max_warps = r
                     .workload
                     .warps_per_scheduler()
@@ -735,6 +848,9 @@ pub enum JobOutput {
     Model(TrainedModel),
     /// Evaluation-run output.
     Run(KernelRun),
+    /// Prefix-job output: a [`PrefixBlob`] in its durable text form,
+    /// kept verbatim so a cache round trip is byte-identical.
+    Snapshot(String),
 }
 
 macro_rules! counter_fields {
@@ -880,6 +996,9 @@ impl JobOutput {
                     );
                 }
             }
+            JobOutput::Snapshot(blob) => {
+                s.push_str(blob);
+            }
         }
         s
     }
@@ -1008,6 +1127,16 @@ impl JobOutput {
                     epoch_logs,
                 }))
             }
+            "prefix" => {
+                // Full structural + snapshot-grammar validation: this is
+                // the path `--fsck` (and every cache hit) goes through,
+                // so a bit-flipped blob is caught here and quarantined by
+                // the cache's self-healing machinery rather than fed to
+                // `Gpu::restore` later.
+                let blob = PrefixBlob::parse(body)?;
+                gpu_sim::snapshot::validate(&blob.gpu).ok()?;
+                Some(JobOutput::Snapshot(body.to_string()))
+            }
             _ => None,
         }
     }
@@ -1048,6 +1177,14 @@ impl JobOutput {
     pub fn as_model(&self) -> Option<&TrainedModel> {
         match self {
             JobOutput::Model(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The prefix snapshot blob text, if that is what this output is.
+    pub fn as_snapshot(&self) -> Option<&str> {
+        match self {
+            JobOutput::Snapshot(b) => Some(b),
             _ => None,
         }
     }
@@ -1406,6 +1543,104 @@ pub(crate) fn expand_graph(jobs: &[SimJob]) -> JobGraph {
     JobGraph { by_spec, order }
 }
 
+/// Factor the declared jobs into shared prefixes and suffix runs.
+///
+/// Evaluation runs that differ **only** in `run_cycles` (same kernel,
+/// scheme, machine, controller parameters, model and profile — i.e. the
+/// same simulation trajectory observed at different horizons, which is
+/// exactly what a `run_cycles` sweep axis declares) are one chained
+/// simulation wearing several jobs. For each such group this emits a
+/// [`SimJob::Prefix`] at every distinct horizon but the last, chains
+/// them, and points every run's `prefix_chain` at the boundaries at or
+/// below its own horizon: the whole ladder then costs one simulation of
+/// the longest horizon instead of the sum of all of them, and each
+/// suffix is bit-identical to its cold run by the snapshot oracle's
+/// contract.
+///
+/// `snapshot_every > 0` additionally threads periodic barrier cycles
+/// (multiples of the knob, below each group's longest horizon) into
+/// every chain. No prefix jobs are materialised for these; runs publish
+/// blobs as they pass, so an interrupted or watchdog-killed run — or a
+/// fabric worker picking up its stolen lease — resumes from the last
+/// checkpoint instead of cycle 0.
+///
+/// Random-restart runs never factor: their output averages several
+/// seeded reruns of the same span, which has no single shareable
+/// machine state.
+///
+/// Returns the number of runs that will fork from a shared prefix (the
+/// `prefix_shared` figure in `run_all` reports).
+pub fn factor_prefixes(jobs: &mut Vec<SimJob>, snapshot_every: u64) -> usize {
+    // Group factorable runs by their horizon-free identity.
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let SimJob::Run(r) = job else { continue };
+        if r.scheme == Scheme::RandomRestart {
+            continue;
+        }
+        groups
+            .entry(SimJob::Run(r.prefix_at(0, &[])).spec_text())
+            .or_default()
+            .push(i);
+    }
+    let mut shared = 0;
+    let mut prefixes: Vec<SimJob> = Vec::new();
+    let mut group_keys: Vec<&String> = groups.keys().collect();
+    group_keys.sort(); // deterministic emission order
+    for key in group_keys {
+        let idxs = &groups[key];
+        let mut ladder: Vec<u64> = idxs
+            .iter()
+            .map(|&i| match &jobs[i] {
+                SimJob::Run(r) => r.run_cycles,
+                _ => unreachable!("groups hold runs only"),
+            })
+            .collect();
+        ladder.sort_unstable();
+        ladder.dedup();
+        let longest = *ladder.last().expect("groups are non-empty");
+        let laddered = ladder.len() >= 2;
+        // The group's barrier set: every horizon but the longest, plus
+        // the periodic checkpoints.
+        let mut bounds: Vec<u64> = ladder[..ladder.len() - 1].to_vec();
+        if snapshot_every > 0 {
+            bounds.extend(
+                (1..)
+                    .map(|m| m * snapshot_every)
+                    .take_while(|&b| b < longest),
+            );
+            bounds.sort_unstable();
+            bounds.dedup();
+        }
+        if bounds.is_empty() {
+            continue;
+        }
+        let proto = match &jobs[idxs[0]] {
+            SimJob::Run(r) => r.clone(),
+            _ => unreachable!("groups hold runs only"),
+        };
+        if laddered {
+            for &b in &ladder[..ladder.len() - 1] {
+                let below: Vec<u64> = bounds.iter().copied().filter(|&x| x < b).collect();
+                prefixes.push(SimJob::Prefix(proto.prefix_at(b, &below)));
+            }
+            shared += idxs.len();
+        }
+        for &i in idxs {
+            let SimJob::Run(r) = &mut jobs[i] else {
+                unreachable!("groups hold runs only")
+            };
+            r.prefix_chain = bounds
+                .iter()
+                .copied()
+                .filter(|&b| b <= r.run_cycles)
+                .collect();
+        }
+    }
+    jobs.append(&mut prefixes);
+    shared
+}
+
 /// A job's cache identity, resolvable once its dependencies are in the
 /// store (the key hashes dependency-output digests).
 pub(crate) struct JobIdentity {
@@ -1454,6 +1689,60 @@ pub struct Engine {
     pub max_retries: u32,
     /// First backoff; doubles per retry (`base × 2^attempt`).
     pub backoff_base: Duration,
+}
+
+/// One resolved prefix barrier: the cycle and the cache coordinates of
+/// the [`SimJob::Prefix`] output at that barrier.
+struct PrefixPoint {
+    cycles: u64,
+    key: String,
+    spec: String,
+}
+
+/// The engine's [`PrefixStore`]: snapshot blobs are ordinary cache
+/// entries (kind `prefix`), so prefix sharing inherits the cache's whole
+/// story — content addressing, checksums, corruption quarantine, fsck,
+/// gc, and cross-worker sharing through the fabric's shared directory.
+struct PrefixIo<'a> {
+    cache: &'a Cache,
+    boundaries: Vec<u64>,
+    points: Vec<PrefixPoint>,
+    /// Job start, so published blobs record the wall time actually spent
+    /// reaching their barrier (the deadline heuristics read it back).
+    t0: Instant,
+}
+
+impl PrefixStore for PrefixIo<'_> {
+    fn boundaries(&self) -> &[u64] {
+        &self.boundaries
+    }
+
+    fn load(&self, cycles: u64) -> Option<String> {
+        let p = self.points.iter().find(|p| p.cycles == cycles)?;
+        match self.cache.lookup("prefix", &p.key) {
+            // Re-validate through the output parser (structure + snapshot
+            // grammar); a stale or damaged body degrades to a miss and
+            // the runner re-simulates the span.
+            Lookup::Hit(body, _) => JobOutput::from_text("prefix", &body)
+                .is_some()
+                .then_some(body),
+            // `lookup` already quarantined the entry (self-healing): the
+            // next prefix job to want this barrier re-runs and re-stores.
+            Lookup::Corrupt { .. } | Lookup::Miss => None,
+        }
+    }
+
+    fn store(&self, cycles: u64, blob: &str) {
+        if let Some(p) = self.points.iter().find(|p| p.cycles == cycles) {
+            self.cache.store(
+                "prefix",
+                &p.key,
+                &p.spec,
+                blob,
+                self.t0.elapsed().as_secs_f64(),
+            );
+        }
+    }
 }
 
 impl Engine {
@@ -1533,15 +1822,18 @@ impl Engine {
             std::thread::spawn(move || w.patrol())
         };
 
-        for wave in 0..=2 {
+        // Distinct waves actually present, ascending: the classic three
+        // (leaves → fits → runs) plus one wave per prefix-chain depth
+        // when the plan was prefix-factored.
+        let mut waves: Vec<usize> = order.iter().map(|s| by_spec[s].wave()).collect();
+        waves.sort_unstable();
+        waves.dedup();
+        for wave in waves {
             let wave_jobs: Vec<&SimJob> = order
                 .iter()
                 .map(|s| &by_spec[s])
                 .filter(|j| j.wave() == wave)
                 .collect();
-            if wave_jobs.is_empty() {
-                continue;
-            }
             let results: Vec<(String, Disposition)> =
                 crate::parallel::parallel_map(&wave_jobs, |job| {
                     let jt = Instant::now();
@@ -1648,6 +1940,40 @@ impl Engine {
         })
     }
 
+    /// Resolve a job's prefix chain to concrete cache coordinates: each
+    /// barrier cycle maps to the synthetic [`SimJob::Prefix`] at that
+    /// boundary, identified exactly like a real job (spec text + dep
+    /// digests), so a chain entry and the standalone prefix job the
+    /// factoring emitted address the same cache entry — on this worker
+    /// or any other sharing the cache. `None` when the job has no chain
+    /// (or its deps failed, in which case `run_one` fails first anyway);
+    /// the job then runs cold.
+    fn prefix_io(&self, job: &SimJob, store: &ResultStore) -> Option<PrefixIo<'_>> {
+        let r = match job {
+            SimJob::Run(r) | SimJob::Prefix(r) => r,
+            _ => return None,
+        };
+        if r.prefix_chain.is_empty() {
+            return None;
+        }
+        let mut points = Vec::with_capacity(r.prefix_chain.len());
+        for (i, &cycles) in r.prefix_chain.iter().enumerate() {
+            let synth = SimJob::Prefix(r.prefix_at(cycles, &r.prefix_chain[..i]));
+            let id = self.identify(&synth, store).ok()?;
+            points.push(PrefixPoint {
+                cycles,
+                key: id.key,
+                spec: id.spec,
+            });
+        }
+        Some(PrefixIo {
+            cache: &self.cache,
+            boundaries: r.prefix_chain.clone(),
+            points,
+            t0: Instant::now(),
+        })
+    }
+
     /// Run (or load) one job whose dependencies are already in `store`,
     /// with bounded retry for transient failures and timeouts, a
     /// watchdog deadline per attempt, and injected execution faults when
@@ -1729,6 +2055,7 @@ impl Engine {
         let deadline = self
             .deadline
             .or_else(|| prior_wall.map(|w| (4.0 * w).max(1.0)));
+        let prefixes = self.prefix_io(job, store);
         let spec_hash = sha256_hex(&spec);
         let mut attempts: Vec<AttemptRecord> = Vec::new();
 
@@ -1770,7 +2097,7 @@ impl Engine {
                     }
                     _ => {}
                 }
-                Ok(job.execute(&dep_outputs))
+                Ok(job.execute(&dep_outputs, prefixes.as_ref()))
             }));
             watchdog.unregister(&token);
             drop(guard);
@@ -2157,6 +2484,53 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    #[test]
+    fn gc_and_fsck_cover_prefix_blobs() {
+        let setup = tiny_setup();
+        let mut factored: Vec<SimJob> = [4_000u64, 8_000]
+            .iter()
+            .map(|&c| run_at(17, Scheme::Gto, c, &setup))
+            .collect();
+        factor_prefixes(&mut factored, 0);
+        // 3 entries on disk: both runs and the 4k blob. fsck validates
+        // blob structure and snapshot grammar.
+        let (engine, dir) = tmp_engine("prefix-gc");
+        engine.run(&factored);
+        assert_eq!(engine.fsck().unwrap().corrupt, 0);
+        // gc: a later engine that only wants the short horizon keeps its
+        // run but drops the unreferenced blob and the long run.
+        let mut engine2 = Engine::new(&dir);
+        engine2.quiet = true;
+        let (_, r) = engine2.run(std::slice::from_ref(&factored[0]));
+        assert_eq!(r.cache_hits, 1);
+        let (removed, kept) = engine2.cache().prune_untouched().unwrap();
+        assert_eq!((removed, kept), (2, 1), "blob + long run go, short stays");
+        // A factored pass touches everything it re-creates or hits, so
+        // gc right after it removes nothing.
+        let mut engine3 = Engine::new(&dir);
+        engine3.quiet = true;
+        engine3.run(&factored);
+        let (removed, kept) = engine3.cache().prune_untouched().unwrap();
+        assert_eq!(removed, 0);
+        assert_eq!(kept, 3, "2 runs + 1 blob all live");
+        // fsck quarantines a damaged blob like any other entry.
+        let blob_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| {
+                p.is_file()
+                    && p.file_name()
+                        .is_some_and(|n| n.to_string_lossy().starts_with("prefix-"))
+            })
+            .expect("the factored run stored a prefix blob");
+        std::fs::write(&blob_path, "# poise job cache v1\ngarbage").unwrap();
+        let fsck = engine3.fsck().unwrap();
+        assert_eq!(fsck.corrupt, 1);
+        assert!(!blob_path.exists(), "fsck quarantines the casualty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// The lowest plan seed for which the given predicate holds — used
     /// to pin deterministic fault patterns against a concrete job's spec
     /// hash (no run-time entropy anywhere).
@@ -2398,5 +2772,219 @@ mod tests {
         let gto_a = SimJob::Run(KernelRunSpec::new(&kernel(7), Scheme::Gto, &setup, None));
         let gto_b = SimJob::Run(KernelRunSpec::new(&kernel(7), Scheme::Gto, &setup, None));
         assert_eq!(gto_a.spec_text(), gto_b.spec_text());
+    }
+
+    /// A run at `cycles` for `kernel(seed)` under `scheme`.
+    fn run_at(seed: u64, scheme: Scheme, cycles: u64, setup: &Setup) -> SimJob {
+        let mut r = KernelRunSpec::new(&kernel(seed), scheme, setup, None);
+        r.run_cycles = cycles;
+        SimJob::Run(r)
+    }
+
+    fn chain_of(job: &SimJob) -> &[u64] {
+        match job {
+            SimJob::Run(r) | SimJob::Prefix(r) => &r.prefix_chain,
+            _ => panic!("not a kernel job"),
+        }
+    }
+
+    #[test]
+    fn factor_prefixes_builds_chained_ladders() {
+        let setup = tiny_setup();
+        // A GTO horizon ladder, a lone APCM run, and a random-restart
+        // ladder that must never factor.
+        let mut jobs = vec![
+            run_at(7, Scheme::Gto, 10_000, &setup),
+            run_at(7, Scheme::Gto, 20_000, &setup),
+            run_at(7, Scheme::Gto, 40_000, &setup),
+            run_at(7, Scheme::Apcm, 40_000, &setup),
+            run_at(7, Scheme::RandomRestart, 10_000, &setup),
+            run_at(7, Scheme::RandomRestart, 20_000, &setup),
+        ];
+        let shared = factor_prefixes(&mut jobs, 0);
+        assert_eq!(shared, 3, "only the GTO ladder forks");
+        // Two prefixes appended: GTO@10k (root) and GTO@20k (chained).
+        assert_eq!(jobs.len(), 8);
+        let (p10, p20) = (&jobs[6], &jobs[7]);
+        assert!(matches!(p10, SimJob::Prefix(r) if r.run_cycles == 10_000));
+        assert!(matches!(p20, SimJob::Prefix(r) if r.run_cycles == 20_000));
+        assert_eq!(chain_of(p10), &[] as &[u64]);
+        assert_eq!(chain_of(p20), &[10_000]);
+        // Each run forks from the deepest boundary at or below its own
+        // horizon; the lone and random-restart runs are untouched.
+        assert_eq!(chain_of(&jobs[0]), &[10_000]);
+        assert_eq!(chain_of(&jobs[1]), &[10_000, 20_000]);
+        assert_eq!(chain_of(&jobs[2]), &[10_000, 20_000]);
+        for job in &jobs[3..6] {
+            assert_eq!(chain_of(job), &[] as &[u64]);
+        }
+        // Waves: the root prefix runs before the chained one, and every
+        // evaluation run shares the final wave.
+        assert!(p10.wave() < p20.wave());
+        assert!(jobs[..6].iter().all(|j| j.wave() == usize::MAX));
+    }
+
+    #[test]
+    fn snapshot_every_threads_checkpoints_without_prefix_jobs() {
+        let setup = tiny_setup();
+        // A single run gains periodic checkpoints but no prefix jobs —
+        // nothing shares them, they only bound lost work on re-entry.
+        let mut solo = vec![run_at(3, Scheme::Gto, 40_000, &setup)];
+        assert_eq!(factor_prefixes(&mut solo, 15_000), 0);
+        assert_eq!(solo.len(), 1);
+        assert_eq!(chain_of(&solo[0]), &[15_000, 30_000]);
+        // In a ladder, checkpoints merge into the chains but prefixes
+        // are still materialised only at ladder horizons.
+        let mut jobs = vec![
+            run_at(3, Scheme::Gto, 20_000, &setup),
+            run_at(3, Scheme::Gto, 40_000, &setup),
+        ];
+        let shared = factor_prefixes(&mut jobs, 15_000);
+        assert_eq!(shared, 2);
+        assert_eq!(jobs.len(), 3);
+        assert!(matches!(&jobs[2], SimJob::Prefix(r) if r.run_cycles == 20_000));
+        assert_eq!(chain_of(&jobs[2]), &[15_000]);
+        assert_eq!(chain_of(&jobs[0]), &[15_000, 20_000]);
+        assert_eq!(chain_of(&jobs[1]), &[15_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn prefix_factored_ladder_matches_cold_runs_bit_for_bit() {
+        let setup = tiny_setup();
+        // Two dependency-free schemes, three horizons each — APCM
+        // carries mutable controller state across the barrier, so this
+        // also exercises the save/restore path through the engine.
+        let mut declared: Vec<SimJob> = Vec::new();
+        for s in [Scheme::Gto, Scheme::Apcm] {
+            for c in [4_000u64, 8_000, 12_000] {
+                declared.push(run_at(11, s, c, &setup));
+            }
+        }
+        let (cold_engine, cold_dir) = tmp_engine("prefix-cold");
+        let (cold_store, cold_report) = cold_engine.run(&declared);
+        assert_eq!(cold_report.executed, 6);
+
+        let mut factored = declared.clone();
+        let shared = factor_prefixes(&mut factored, 0);
+        assert_eq!(shared, 6);
+        let (fork_engine, fork_dir) = tmp_engine("prefix-fork");
+        let (fork_store, fork_report) = fork_engine.run(&factored);
+        // 6 runs + 2 prefixes per scheme, all simulated once.
+        assert_eq!(fork_report.executed, 10);
+        assert_eq!(fork_report.failed.len(), 0);
+        // The prefix chain is an execution strategy, not an identity:
+        // the declared (chain-free) jobs address the factored store, and
+        // every forked suffix is bit-identical to its cold run.
+        for job in &declared {
+            assert_eq!(
+                cold_store.get(job).unwrap().to_text(),
+                fork_store.get(job).unwrap().to_text(),
+                "forked suffix diverged for {}",
+                job.label()
+            );
+        }
+        // Warm pass: runs and prefixes all hit.
+        let (_, warm) = fork_engine.run(&factored);
+        assert_eq!((warm.executed, warm.cache_hits), (0, 10));
+        let _ = std::fs::remove_dir_all(&cold_dir);
+        let _ = std::fs::remove_dir_all(&fork_dir);
+    }
+
+    #[test]
+    fn run_published_checkpoints_land_on_prefix_keys() {
+        // A run that passes a barrier publishes the blob under the same
+        // key a standalone Prefix job would use — so a later ladder (or
+        // a worker resuming a stolen lease) finds it without resimulating.
+        let setup = tiny_setup();
+        let mut r = KernelRunSpec::new(&kernel(9), Scheme::Gto, &setup, None);
+        r.run_cycles = 9_000;
+        r.prefix_chain = vec![3_000, 6_000];
+        let (engine, dir) = tmp_engine("checkpoint");
+        let (_, first) = engine.run(&[SimJob::Run(r.clone())]);
+        assert_eq!(first.executed, 1);
+        let p1 = SimJob::Prefix(r.prefix_at(3_000, &[]));
+        let p2 = SimJob::Prefix(r.prefix_at(6_000, &[3_000]));
+        let (store, rep) = engine.run(&[p1.clone(), p2.clone()]);
+        assert_eq!((rep.executed, rep.cache_hits), (0, 2));
+        for (p, cycles) in [(&p1, 3_000), (&p2, 6_000)] {
+            let blob = store.get(p).unwrap();
+            let parsed = PrefixBlob::parse(blob.as_snapshot().unwrap()).unwrap();
+            assert_eq!(parsed.cycles, cycles);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_prefix_blobs_self_heal_to_cold_runs() {
+        let setup = tiny_setup();
+        let declared: Vec<SimJob> = [4_000u64, 8_000, 12_000]
+            .iter()
+            .map(|&c| run_at(13, Scheme::Gto, c, &setup))
+            .collect();
+        let mut factored = declared.clone();
+        factor_prefixes(&mut factored, 0);
+        let (engine, dir) = tmp_engine("prefix-heal");
+        let (store1, r1) = engine.run(&factored);
+        assert_eq!(r1.executed, 5);
+        // Garble every prefix blob on disk, and evict the run entries so
+        // the runs must re-execute and consult the damaged prefixes.
+        let mut garbled = 0;
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !entry.path().is_file() {
+                continue;
+            }
+            if name.starts_with("prefix-") {
+                std::fs::write(entry.path(), "# poise job cache v1\ngarbage").unwrap();
+                garbled += 1;
+            } else if name.starts_with("run-") {
+                std::fs::remove_file(entry.path()).unwrap();
+            }
+        }
+        assert_eq!(garbled, 2);
+        // The runs fall back to cold simulation (the corrupt blobs are
+        // quarantined, never trusted) and still produce identical bits.
+        let (store2, r2) = engine.run(&factored);
+        assert_eq!(r2.failed.len(), 0);
+        assert!(r2.quarantined >= 2, "damaged blobs are quarantined");
+        for job in &declared {
+            assert_eq!(
+                store1.get(job).unwrap().to_text(),
+                store2.get(job).unwrap().to_text(),
+                "self-healed run diverged for {}",
+                job.label()
+            );
+        }
+        // Corrupt the (re-stored) blobs again and declare a *longer*
+        // run forking from them, with no prefix job scheduled to repair
+        // them first: the loader falls through the damaged boundaries
+        // to a cold start and the result still matches a cold engine.
+        for entry in std::fs::read_dir(&dir).unwrap().flatten() {
+            if entry.file_name().to_string_lossy().starts_with("prefix-") {
+                std::fs::write(entry.path(), "# poise job cache v1\ngarbage").unwrap();
+            }
+        }
+        let ext_job = {
+            let SimJob::Run(r) = &declared[0] else {
+                unreachable!()
+            };
+            let mut ext = r.clone();
+            ext.run_cycles = 16_000;
+            ext.prefix_chain = vec![4_000, 8_000];
+            SimJob::Run(ext)
+        };
+        let (store3, r3) = engine.run(std::slice::from_ref(&ext_job));
+        assert_eq!((r3.failed.len(), r3.executed), (0, 1));
+        assert!(r3.quarantined >= 1, "the damaged fork point is quarantined");
+        let (cold_engine, cold_dir) = tmp_engine("prefix-heal-cold");
+        let cold16 = run_at(13, Scheme::Gto, 16_000, &setup);
+        let (cold_store, _) = cold_engine.run(std::slice::from_ref(&cold16));
+        assert_eq!(
+            store3.get(&ext_job).unwrap().to_text(),
+            cold_store.get(&cold16).unwrap().to_text(),
+            "cold fallback diverged from a genuinely cold run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&cold_dir);
     }
 }

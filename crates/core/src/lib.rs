@@ -43,6 +43,7 @@
 //! ```
 
 pub mod cache;
+pub(crate) mod ctrl_state;
 pub mod experiment;
 pub mod fabric;
 pub mod faults;

@@ -113,6 +113,12 @@ pub enum Knob {
     /// Straggler threshold in seconds: a lease older than this is
     /// stolen even with a live heartbeat. Engine knob.
     StealAfter,
+    /// Periodic snapshot barrier interval in cycles (0 disables):
+    /// factorable runs publish prefix blobs at every multiple, so an
+    /// interrupted run resumes from its last checkpoint. Engine knob:
+    /// results are bit-identical with or without checkpoints, so it is
+    /// never part of cache identity.
+    SnapshotEvery,
 }
 
 /// A typed knob value. Produced by [`Knob::parse_value`] (CLI / env) or
@@ -151,7 +157,7 @@ impl fmt::Display for KnobValue {
 }
 
 /// All knobs with their CLI names, in documentation order.
-pub const KNOBS: [(Knob, &str); 25] = [
+pub const KNOBS: [(Knob, &str); 26] = [
     (Knob::Sms, "sms"),
     (Knob::L1Scale, "l1_scale"),
     (Knob::L1Sets, "l1_sets"),
@@ -177,6 +183,7 @@ pub const KNOBS: [(Knob, &str); 25] = [
     (Knob::SimThreads, "sim_threads"),
     (Knob::LeaseTtl, "lease_ttl"),
     (Knob::StealAfter, "steal_after"),
+    (Knob::SnapshotEvery, "snapshot_every"),
 ];
 
 /// The deprecated environment aliases still feeding the overlay.
@@ -232,7 +239,8 @@ impl Knob {
             | Knob::TPeriod
             | Knob::TWarmup
             | Knob::TFeature
-            | Knob::TSearch => {
+            | Knob::TSearch
+            | Knob::SnapshotEvery => {
                 let v: u64 = s.parse().map_err(|_| bad("expected a cycle count"))?;
                 Ok(KnobValue::Cycles(v))
             }
@@ -391,6 +399,7 @@ impl Knob {
                 KnobValue::Real(v) => setup.steal_after = Some(*v),
                 _ => kind_bug(),
             },
+            Knob::SnapshotEvery => setup.snapshot_every = as_cycles(value),
         }
     }
 }

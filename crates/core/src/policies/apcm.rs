@@ -8,7 +8,11 @@
 //! warps. The controller samples per-PC counters for a monitoring window
 //! each epoch, then installs bypass decisions.
 
+use crate::ctrl_state::{Loader, Saver};
 use gpu_sim::{ControlCtx, Controller, WarpTuple};
+
+/// Version header of the serialized APCM state.
+const STATE_HEADER: &str = "apcm-v1";
 
 /// Default monitoring window per epoch (cycles). Long enough that the
 /// protected working set has warmed before classification.
@@ -114,6 +118,52 @@ impl Controller for ApcmController {
             State::Monitoring { until } => Some(until.min(epoch_end)),
             State::Applied => Some(epoch_end),
         }
+    }
+
+    fn save_state(&self) -> String {
+        // Exhaustive destructure: epoch/monitor lengths are construction
+        // config; the epoch phase and installed bypass set are the state.
+        // (The bypass bits themselves live in the GPU snapshot.)
+        let ApcmController {
+            epoch_len: _,
+            epoch_start,
+            monitor_cycles: _,
+            state,
+            bypassed,
+        } = self;
+        let mut s = Saver::new(STATE_HEADER);
+        s.u64(*epoch_start);
+        match state {
+            State::Monitoring { until } => {
+                s.lit("monitoring");
+                s.u64(*until);
+            }
+            State::Applied => s.lit("applied"),
+        }
+        s.usizes(bypassed);
+        s.finish()
+    }
+
+    fn load_state(&mut self, state: &str) -> bool {
+        let parse = || -> Option<_> {
+            let mut l = Loader::new(state, STATE_HEADER)?;
+            let epoch_start = l.u64()?;
+            let fsm = match l.next()? {
+                "monitoring" => State::Monitoring { until: l.u64()? },
+                "applied" => State::Applied,
+                _ => return None,
+            };
+            let bypassed = l.usizes()?;
+            l.done()?;
+            Some((epoch_start, fsm, bypassed))
+        };
+        let Some((epoch_start, fsm, bypassed)) = parse() else {
+            return false;
+        };
+        self.epoch_start = epoch_start;
+        self.state = fsm;
+        self.bypassed = bypassed;
+        true
     }
 }
 

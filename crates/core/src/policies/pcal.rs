@@ -9,7 +9,11 @@
 //! neighbour improves. As in the paper, the search is greedy with unit
 //! steps, so a nearby performance valley traps it in a local optimum.
 
+use crate::ctrl_state::{Loader, Saver};
 use gpu_sim::{ControlCtx, Controller, WarpTuple, WindowSample};
+
+/// Version header of the serialized PCAL state.
+const STATE_HEADER: &str = "pcal-swl-v1";
 
 /// Sampling window length of each PCAL measurement (cycles).
 const SAMPLE_CYCLES: u64 = 6_000;
@@ -205,6 +209,105 @@ impl Controller for PcalSwlController {
             State::Warmup { until } | State::Sample { until } => Some(until),
             State::Stable => None,
         }
+    }
+
+    fn save_state(&self) -> String {
+        // Exhaustive destructure: a new mutable field must join the encoding.
+        let PcalSwlController {
+            start,
+            state,
+            phase,
+            p_candidates,
+            measured,
+            measuring,
+            best,
+            best_ipc,
+            n_candidates,
+        } = self;
+        let mut s = Saver::new(STATE_HEADER);
+        s.tuple(*start);
+        match state {
+            State::Warmup { until } => {
+                s.lit("warmup");
+                s.u64(*until);
+            }
+            State::Sample { until } => {
+                s.lit("sample");
+                s.u64(*until);
+            }
+            State::Stable => s.lit("stable"),
+        }
+        s.lit(match phase {
+            Phase::SearchP => "search-p",
+            Phase::ClimbN => "climb-n",
+        });
+        s.usizes(p_candidates);
+        s.pairs(measured);
+        s.opt_tuple(*measuring);
+        s.tuple(*best);
+        s.f64(*best_ipc);
+        s.usizes(n_candidates);
+        s.finish()
+    }
+
+    fn load_state(&mut self, state: &str) -> bool {
+        let parse = || -> Option<_> {
+            let mut l = Loader::new(state, STATE_HEADER)?;
+            let start = l.tuple()?;
+            let fsm = match l.next()? {
+                "warmup" => State::Warmup { until: l.u64()? },
+                "sample" => State::Sample { until: l.u64()? },
+                "stable" => State::Stable,
+                _ => return None,
+            };
+            let phase = match l.next()? {
+                "search-p" => Phase::SearchP,
+                "climb-n" => Phase::ClimbN,
+                _ => return None,
+            };
+            let p_candidates = l.usizes()?;
+            let measured = l.pairs()?;
+            let measuring = l.opt_tuple()?;
+            let best = l.tuple()?;
+            let best_ipc = l.f64()?;
+            let n_candidates = l.usizes()?;
+            l.done()?;
+            Some((
+                start,
+                fsm,
+                phase,
+                p_candidates,
+                measured,
+                measuring,
+                best,
+                best_ipc,
+                n_candidates,
+            ))
+        };
+        let Some((
+            start,
+            fsm,
+            phase,
+            p_candidates,
+            measured,
+            measuring,
+            best,
+            best_ipc,
+            n_candidates,
+        )) = parse()
+        else {
+            return false;
+        };
+        self.start = start;
+        self.state = fsm;
+        self.phase = phase;
+        self.p_candidates = p_candidates;
+        self.measured = measured;
+        self.measuring = measuring;
+        self.best = best;
+        self.best_ipc = best_ipc;
+        self.n_candidates = n_candidates;
+        true
     }
 }
 

@@ -50,9 +50,9 @@ pub enum Lookup {
 /// A set-associative, LRU-replaced tag store addressing whole lines.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    geometry: CacheGeometry,
-    lines: Vec<Line>,
-    stamp: u64,
+    pub(crate) geometry: CacheGeometry,
+    pub(crate) lines: Vec<Line>,
+    pub(crate) stamp: u64,
 }
 
 impl SetAssocCache {

@@ -165,6 +165,25 @@ pub trait Controller {
     fn next_wake(&self, now: u64) -> Option<u64> {
         Some(now.saturating_add(1))
     }
+
+    /// Serialize the controller's *mutable* state so a snapshot taken at a
+    /// barrier can later reconstruct the policy mid-flight (configuration
+    /// is rebuilt from the spec, not saved). The format is opaque to the
+    /// GPU: whatever [`Controller::load_state`] of the same policy accepts.
+    /// Stateless policies keep the default empty string.
+    fn save_state(&self) -> String {
+        String::new()
+    }
+
+    /// Restore state produced by [`Controller::save_state`] on a freshly
+    /// constructed controller of the same policy and configuration.
+    /// Returns `false` (leaving the controller untouched) if the state is
+    /// unrecognised — callers then fall back to re-running from cold.
+    /// Implementations must be all-or-nothing: parse everything before
+    /// mutating anything.
+    fn load_state(&mut self, state: &str) -> bool {
+        state.is_empty()
+    }
 }
 
 impl<C: Controller + ?Sized> Controller for Box<C> {
@@ -182,6 +201,14 @@ impl<C: Controller + ?Sized> Controller for Box<C> {
 
     fn next_wake(&self, now: u64) -> Option<u64> {
         (**self).next_wake(now)
+    }
+
+    fn save_state(&self) -> String {
+        (**self).save_state()
+    }
+
+    fn load_state(&mut self, state: &str) -> bool {
+        (**self).load_state(state)
     }
 }
 

@@ -86,12 +86,12 @@ use crate::threadpool::ThreadPool;
 /// A scheduled event: ordered by time, then by insertion sequence for
 /// determinism. Queues are per-SM, so the SM id lives in the queue index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct QueuedEvent {
-    at: u64,
-    seq: u64,
-    ev_kind: u8,
-    ev_a: u32,
-    ev_b: u32,
+pub(crate) struct QueuedEvent {
+    pub(crate) at: u64,
+    pub(crate) seq: u64,
+    pub(crate) ev_kind: u8,
+    pub(crate) ev_a: u32,
+    pub(crate) ev_b: u32,
 }
 
 impl QueuedEvent {
@@ -131,9 +131,9 @@ impl QueuedEvent {
 /// per-SM ordering (time, then insertion sequence) fully determines
 /// behaviour; the stepped loops drain all queues at each global cycle.
 #[derive(Debug, Default)]
-struct EventQueue {
-    queues: Vec<BinaryHeap<Reverse<QueuedEvent>>>,
-    seqs: Vec<u64>,
+pub(crate) struct EventQueue {
+    pub(crate) queues: Vec<BinaryHeap<Reverse<QueuedEvent>>>,
+    pub(crate) seqs: Vec<u64>,
 }
 
 impl EventQueue {
@@ -215,41 +215,48 @@ impl SimResult {
 
 /// The simulated GPU.
 pub struct Gpu {
-    cfg: GpuConfig,
-    sms: Vec<Sm>,
-    mem: MemSystem,
-    events: EventQueue,
-    stats: GpuStats,
-    cycle: u64,
-    kernel_warps: usize,
+    pub(crate) cfg: GpuConfig,
+    pub(crate) sms: Vec<Sm>,
+    pub(crate) mem: MemSystem,
+    pub(crate) events: EventQueue,
+    pub(crate) stats: GpuStats,
+    pub(crate) cycle: u64,
+    pub(crate) kernel_warps: usize,
+    /// Whether a previous `run` drained the kernel. A drained machine
+    /// replays a degenerate epoch if its run loop is re-entered (the
+    /// completion cycle is re-derived one higher each call), so
+    /// [`Gpu::resume`] short-circuits on this flag instead — the snapshot
+    /// codec persists it precisely so a restored post-drain machine
+    /// settles to the same counters as an uninterrupted run.
+    pub(crate) drained: bool,
     /// Per-SM local clocks (per-SM mode; equal to `cycle` at barriers).
-    clocks: Vec<u64>,
+    pub(crate) clocks: Vec<u64>,
     /// Per-SM drain cycle: the local cycle during which the SM's last
     /// state change occurred, once it has no live warp and no queued
     /// event. `max + 1` is the global completion cycle.
-    done_at: Vec<Option<u64>>,
+    pub(crate) done_at: Vec<Option<u64>>,
     /// Lazy-deletion min-heap of `(local clock, SM id)` used by the
     /// decoupled loop to pick the laggard and the request-safety frontier
     /// in O(log SMs) instead of rescanning every SM per advance. Owned by
     /// the `Gpu` (rather than rebuilt per epoch) so its allocation is
     /// reused across epochs — `clear()` keeps the capacity.
-    frontier_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    pub(crate) frontier_heap: BinaryHeap<Reverse<(u64, usize)>>,
     /// Worker pool of [`StepMode::ParallelSm`], built lazily on the first
     /// parallel run and reused across rounds, epochs and `run()` calls so
     /// the per-round cost is a condvar wake, not a thread spawn.
-    pool: Option<ThreadPool>,
+    pub(crate) pool: Option<ThreadPool>,
     /// Per-SM scratch statistics for parallel rounds (each advancing lane
     /// accumulates into its own, merged sequentially in SM id order);
     /// reused across rounds to avoid reallocation.
-    lane_scratch: Vec<GpuStats>,
+    pub(crate) lane_scratch: Vec<GpuStats>,
     /// Reused scratch listing the SMs whose port went empty → non-empty
     /// during a parallel round and must be re-registered in the memory
     /// system's front heap.
-    reindex_scratch: Vec<usize>,
+    pub(crate) reindex_scratch: Vec<usize>,
     /// Global-skip diagnostics of [`StepMode::EventDriven`]:
     /// (spans taken, cycles skipped).
-    ff_spans: u64,
-    ff_cycles: u64,
+    pub(crate) ff_spans: u64,
+    pub(crate) ff_cycles: u64,
 }
 
 impl std::fmt::Debug for Gpu {
@@ -289,6 +296,7 @@ impl Gpu {
             cycle: 0,
             cfg,
             kernel_warps,
+            drained: false,
             ff_spans: 0,
             ff_cycles: 0,
         }
@@ -359,6 +367,25 @@ impl Gpu {
     /// until every warp drains. Can be called repeatedly to continue.
     pub fn run(&mut self, controller: &mut dyn Controller, max_cycles: u64) -> SimResult {
         controller.on_kernel_start(&mut self.control_ctx());
+        self.run_body(controller, max_cycles)
+    }
+
+    /// Continue a run — typically one restored from a snapshot — without
+    /// re-firing [`Controller::on_kernel_start`], so that
+    /// `run(j); resume(k − j)` is bit-identical to `run(k)` on a machine
+    /// whose controller state was carried across (the snapshot codec does
+    /// both). A machine whose kernel already drained returns immediately
+    /// with the settled counters (re-entering the run loop would replay a
+    /// degenerate drain epoch and shift the completion cycle).
+    pub fn resume(&mut self, controller: &mut dyn Controller, max_cycles: u64) -> SimResult {
+        if self.drained {
+            controller.on_kernel_end(&mut self.control_ctx());
+            return self.result(true);
+        }
+        self.run_body(controller, max_cycles)
+    }
+
+    fn run_body(&mut self, controller: &mut dyn Controller, max_cycles: u64) -> SimResult {
         let end = self.cycle + max_cycles;
         let completed = match self.cfg.step_mode {
             StepMode::PerSm => self.run_decoupled(controller, end),
@@ -374,7 +401,12 @@ impl Gpu {
             StepMode::ParallelSm => self.run_parallel(controller, end),
             StepMode::EventDriven | StepMode::Reference => self.run_stepped(controller, end),
         };
+        self.drained = self.drained || completed;
         controller.on_kernel_end(&mut self.control_ctx());
+        self.result(completed)
+    }
+
+    fn result(&self, completed: bool) -> SimResult {
         SimResult {
             cycles: self.stats.total.cycles,
             counters: self.stats.total,

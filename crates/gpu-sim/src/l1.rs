@@ -43,12 +43,12 @@ pub struct MshrWaiter {
 }
 
 #[derive(Debug, Clone)]
-struct MshrEntry {
-    line: u64,
+pub(crate) struct MshrEntry {
+    pub(crate) line: u64,
     /// Reserved (set, way) in the tag store, or `None` for bypassing fills.
-    target: Option<(usize, usize)>,
-    waiters: Vec<MshrWaiter>,
-    in_use: bool,
+    pub(crate) target: Option<(usize, usize)>,
+    pub(crate) waiters: Vec<MshrWaiter>,
+    pub(crate) in_use: bool,
 }
 
 impl MshrEntry {
@@ -83,18 +83,18 @@ pub struct PcStats {
 /// allocation in O(1).
 #[derive(Debug)]
 pub struct L1Data {
-    tags: SetAssocCache,
-    mshrs: Vec<MshrEntry>,
+    pub(crate) tags: SetAssocCache,
+    pub(crate) mshrs: Vec<MshrEntry>,
     /// `(line, entry index)` of every in-use MSHR entry.
-    in_use: Vec<(u64, u32)>,
+    pub(crate) in_use: Vec<(u64, u32)>,
     /// Free entry indices (allocation pops, completion pushes).
-    free: Vec<u32>,
-    merge_limit: usize,
+    pub(crate) free: Vec<u32>,
+    pub(crate) merge_limit: usize,
     /// Per-PC counters (only maintained when enabled in the config).
-    pc_stats: Vec<PcStats>,
+    pub(crate) pc_stats: Vec<PcStats>,
     /// Per-PC force-bypass flags set by bypass policies.
-    bypass_pc: Vec<bool>,
-    track_pcs: bool,
+    pub(crate) bypass_pc: Vec<bool>,
+    pub(crate) track_pcs: bool,
 }
 
 impl L1Data {

@@ -54,6 +54,7 @@ pub mod l1;
 pub mod memsys;
 pub mod scheduler;
 pub mod sm;
+pub mod snapshot;
 pub mod stats;
 pub mod threadpool;
 pub mod warp;
@@ -71,6 +72,7 @@ pub use l1::{AccessOutcome, L1Data};
 pub use memsys::{MemRequester, MemSystem};
 pub use scheduler::WarpScheduler;
 pub use sm::Sm;
+pub use snapshot::{SnapshotError, SNAPSHOT_HEADER};
 pub use stats::{Counters, GpuStats, WindowSample};
 pub use warp::Warp;
 

@@ -48,14 +48,14 @@ use crate::sm::{EventSink, SmEvent};
 use crate::stats::GpuStats;
 
 #[derive(Debug)]
-struct L2Bank {
-    tags: SetAssocCache,
-    next_free: u64,
+pub(crate) struct L2Bank {
+    pub(crate) tags: SetAssocCache,
+    pub(crate) next_free: u64,
 }
 
 #[derive(Debug)]
-struct Partition {
-    next_free: u64,
+pub(crate) struct Partition {
+    pub(crate) next_free: u64,
 }
 
 /// One memory request parked on a per-SM port, waiting for the global
@@ -187,22 +187,22 @@ impl MemRequester for PortRequester<'_> {
 /// The GPU-wide shared memory system.
 #[derive(Debug)]
 pub struct MemSystem {
-    banks: Vec<L2Bank>,
-    partitions: Vec<Partition>,
-    xbar_latency: u64,
-    l2_latency: u64,
-    l2_service: u64,
-    dram_latency: u64,
-    dram_service: u64,
+    pub(crate) banks: Vec<L2Bank>,
+    pub(crate) partitions: Vec<Partition>,
+    pub(crate) xbar_latency: u64,
+    pub(crate) l2_latency: u64,
+    pub(crate) l2_service: u64,
+    pub(crate) dram_latency: u64,
+    pub(crate) dram_service: u64,
     /// Deferred mode: requests park on per-SM ports until applied in
     /// global order (used by the per-SM decoupled run loop).
-    deferred: bool,
-    ports: Vec<Port>,
+    pub(crate) deferred: bool,
+    pub(crate) ports: Vec<Port>,
     /// Min-heap holding the front `(cycle, SM)` key of every non-empty
     /// port — exactly one entry per such port — so [`MemSystem::apply_ready`]
     /// pays O(1) when nothing is due and O(log SMs) per applied request
     /// instead of rescanning every port.
-    front_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    pub(crate) front_heap: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl MemSystem {

@@ -15,10 +15,12 @@ use crate::WarpTuple;
 pub struct WarpScheduler {
     /// Number of warp slots populated for this kernel.
     pub n_warps: usize,
-    /// Active warp-tuple.
-    tuple: WarpTuple,
+    /// Active warp-tuple. Snapshot restore writes this raw (bypassing the
+    /// [`WarpScheduler::set_tuple`] clamp) so the restored value is
+    /// bit-identical to the saved one.
+    pub(crate) tuple: WarpTuple,
     /// Index of the warp currently favoured by the greedy policy.
-    greedy: usize,
+    pub(crate) greedy: usize,
 }
 
 impl WarpScheduler {

@@ -56,22 +56,22 @@ pub struct Sm {
     pub warps: Vec<Vec<Warp>>,
     /// The L1 data cache.
     pub l1: L1Data,
-    hit_latency: u64,
+    pub(crate) hit_latency: u64,
     /// Per-scheduler readiness bitmask (bit `w` = warp `w` is ready).
-    ready_mask: Vec<u64>,
+    pub(crate) ready_mask: Vec<u64>,
     /// Per-scheduler count of live warps.
-    live_warps: Vec<u32>,
+    pub(crate) live_warps: Vec<u32>,
     /// Monotone version of the SM's observable warp state: bumped on
     /// every ready/live transition and on every instruction pulled from a
     /// stream. A cycle that issues nothing and leaves the version
     /// unchanged touched nothing but reject/stall counters — it will
     /// replay bit-identically until an event arrives (the basis of the
     /// decoupled loop's structural-stall fast-forward).
-    version: u64,
+    pub(crate) version: u64,
     /// Reused scratch for fill completions: [`L1Data::complete_fill_into`]
     /// drains each MSHR entry's waiters into this buffer so the hot path
     /// allocates nothing per fill.
-    fill_scratch: Vec<MshrWaiter>,
+    pub(crate) fill_scratch: Vec<MshrWaiter>,
 }
 
 /// Bitmask of the `n` lowest warp slots.
@@ -133,6 +133,28 @@ impl Sm {
     /// The SM's warp-state version (see the field docs).
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Rebuild the derived readiness/liveness structures from the warps
+    /// themselves. Used after a snapshot restore writes warp state
+    /// directly; the masks are pure functions of [`Warp::ready`] /
+    /// [`Warp::live`], so recomputing (rather than serialising) them keeps
+    /// the snapshot format minimal.
+    pub(crate) fn recompute_activity(&mut self) {
+        for (s, warps) in self.warps.iter().enumerate() {
+            let mut mask = 0u64;
+            let mut live = 0u32;
+            for (w, warp) in warps.iter().enumerate() {
+                if warp.ready() {
+                    mask |= 1u64 << w;
+                }
+                if warp.live() {
+                    live += 1;
+                }
+            }
+            self.ready_mask[s] = mask;
+            self.live_warps[s] = live;
+        }
     }
 
     /// Install a warp-tuple on every scheduler of this SM. O(schedulers):

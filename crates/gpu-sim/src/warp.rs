@@ -7,10 +7,10 @@ const REUSE_STACK_CAP: usize = 4096;
 
 /// Execution state of one warp.
 pub struct Warp {
-    stream: Box<dyn InstructionStream>,
+    pub(crate) stream: Box<dyn InstructionStream>,
     /// An instruction fetched but not yet issued (e.g. a load rejected for
     /// structural reasons); retried before fetching further.
-    pending: Option<Instr>,
+    pub(crate) pending: Option<Instr>,
     /// Number of loads issued and not yet completed.
     pub outstanding_loads: u32,
     /// Blocked at a [`Instr::SyncLoads`] with loads outstanding.
@@ -23,10 +23,15 @@ pub struct Warp {
     pub since_last_load: u64,
     /// Whether any load has been issued yet (first gap is not counted).
     pub seen_load: bool,
+    /// Instructions consumed from the stream so far (excludes stashed
+    /// retries). Streams are arbitrary boxed iterators, so a snapshot
+    /// cannot serialise them — it records this count instead, and restore
+    /// replays a fresh stream past the same number of instructions.
+    pub(crate) fetched: u64,
     /// Optional LRU stack of line addresses for reuse-distance profiling.
-    reuse_stack: Option<Vec<u64>>,
+    pub(crate) reuse_stack: Option<Vec<u64>>,
     /// Lines ever touched by this warp (censored-distance accounting).
-    seen_lines: std::collections::HashSet<u64>,
+    pub(crate) seen_lines: std::collections::HashSet<u64>,
 }
 
 impl std::fmt::Debug for Warp {
@@ -52,6 +57,7 @@ impl Warp {
             instructions: 0,
             since_last_load: 0,
             seen_load: false,
+            fetched: 0,
             reuse_stack: track_reuse.then(Vec::new),
             seen_lines: std::collections::HashSet::new(),
         }
@@ -82,12 +88,26 @@ impl Warp {
             return Some(i);
         }
         match self.stream.next_instr() {
-            Some(i) => Some(i),
+            Some(i) => {
+                self.fetched += 1;
+                Some(i)
+            }
             None => {
                 self.done = true;
                 None
             }
         }
+    }
+
+    /// Skip the first `n` instructions of a *fresh* stream (snapshot
+    /// restore): advances the stream past the instructions the snapshotted
+    /// warp had already consumed, without touching any other state.
+    pub(crate) fn replay_stream(&mut self, n: u64) {
+        for _ in 0..n {
+            let i = self.stream.next_instr();
+            debug_assert!(i.is_some(), "stream shorter than its snapshot");
+        }
+        self.fetched = n;
     }
 
     /// Stash an instruction that could not be issued this cycle.

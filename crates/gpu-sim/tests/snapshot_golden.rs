@@ -1,0 +1,135 @@
+//! Golden pin of the versioned snapshot encoding.
+//!
+//! Snapshot text is durable state: prefix blobs live in `results/cache/`
+//! and are exchanged between fleet workers, so the encoding is an
+//! on-disk format with the same stability contract as `SimJob::spec_text`
+//! (see `spec_golden` in the poise crate). The writer destructures every
+//! struct exhaustively — adding a field to `Gpu`, `Sm`, `Warp`, `L1Data`
+//! or `MemSystem` fails *compile* until the codec is updated — and this
+//! test freezes the rendering itself, so a formatting drift fails loudly
+//! instead of silently stranding every stored prefix. An intentional
+//! change must update the golden and bump the `gpu-snapshot v1` header.
+//!
+//! The pinned machine is tiny but exercises most of the grammar: a
+//! mid-flight streaming kernel with queued fill events, both pending
+//! MSHRs in use, valid + reserved L1 lines, L2 contents and DRAM
+//! partition clocks.
+
+use gpu_sim::{snapshot, FixedTuple, Gpu, GpuConfig, SnapshotError, UniformKernel};
+
+fn tiny_cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::scaled(1);
+    cfg.sms = 1;
+    cfg.schedulers_per_sm = 1;
+    cfg.max_warps_per_scheduler = 2;
+    cfg.l1.sets = 2;
+    cfg.l1.ways = 2;
+    cfg.l1_mshrs = 2;
+    cfg.l2.geometry.sets = 4;
+    cfg.l2.geometry.ways = 2;
+    cfg.l2.banks = 1;
+    cfg.dram.partitions = 1;
+    cfg
+}
+
+fn tiny_machine() -> Gpu {
+    let kernel = UniformKernel::streaming(2, 4);
+    let mut gpu = Gpu::new(tiny_cfg(), &kernel);
+    let mut ctrl = FixedTuple::max();
+    gpu.run(&mut ctrl, 600);
+    gpu
+}
+
+const GOLDEN: &str = "\
+gpu-snapshot v1
+cycle 600
+drained 0
+kernel-warps 2
+geometry sms=1 scheds=1 warps=2 l1-lines=4 mshrs=2 pcs=1 l2-banks=1 l2-lines=8 parts=1
+total 600 20 4 0 4 0 0 0 0 4 0 0 2 751 0 4 0 4 0 4 20 580 8 2 0 0
+window 600 20 4 0 4 0 0 0 0 4 0 0 2 751 0 4 0 4 0 4 20 580 8 2 0 0
+sm 0
+evseq 4
+ev 752 3 0 0 0
+ev 764 4 0 1 0
+sched 0 2 2 1
+warp 0 0 12 - 1 1 0 10 0 1
+warp 0 1 12 - 1 1 0 10 0 1
+l1line 0 1048576 1 3 1
+l1line 1 2097152 1 5 2
+l1line 2 1048577 2 4 0
+l1line 3 2097153 2 6 0
+l1stamp 6
+mshr 0 1 1048577 1:0 0:0:380
+mshr 1 1 2097153 1:1 0:1:392
+l1used 1048577:0,2097153:1
+l1free -
+end-sm
+l2bank 0 410 4
+l2line 0 0 1048576 1 1 0
+l2line 0 1 2097152 1 2 0
+l2line 0 2 1048577 1 3 0
+l2line 0 3 2097153 1 4 0
+part 0 540
+end-snapshot
+";
+
+#[test]
+fn snapshot_encoding_is_pinned() {
+    assert_eq!(tiny_machine().snapshot(), GOLDEN);
+}
+
+#[test]
+fn golden_text_restores_and_re_encodes_identically() {
+    let kernel = UniformKernel::streaming(2, 4);
+    let gpu = Gpu::restore(tiny_cfg(), &kernel, GOLDEN).expect("golden must restore");
+    assert_eq!(
+        gpu.snapshot(),
+        GOLDEN,
+        "restore→snapshot must be a fixpoint"
+    );
+}
+
+#[test]
+fn truncated_golden_is_rejected_at_every_line() {
+    // Drop the tail one line at a time: every prefix must fail to load
+    // (the `end-snapshot` terminator catches clean truncations, section
+    // cross-checks catch the rest).
+    let lines: Vec<&str> = GOLDEN.lines().collect();
+    for keep in 0..lines.len() {
+        let text = lines[..keep].join("\n");
+        assert!(
+            snapshot::validate(&text).is_err(),
+            "truncation to {keep} lines must be rejected"
+        );
+    }
+}
+
+#[test]
+fn corrupt_golden_reports_line_numbers() {
+    // A bit-flip in a counters row: caught with a located error.
+    let bad = GOLDEN.replace("total 600 20", "total 600 2x");
+    let SnapshotError(msg) = snapshot::validate(&bad).unwrap_err();
+    assert!(
+        msg.contains("line 6"),
+        "error must locate the damage: {msg}"
+    );
+
+    // Geometry drift (blob from a different machine shape).
+    let kernel = UniformKernel::streaming(2, 4);
+    let mut other = tiny_cfg();
+    other.l1.sets = 4;
+    assert!(
+        Gpu::restore(other, &kernel, GOLDEN).is_err(),
+        "geometry mismatch must be rejected"
+    );
+
+    // Kernel shape drift (blob from a different kernel). A *wider* kernel
+    // would be clamped to the config's two warps per scheduler, so only a
+    // narrower one actually changes the machine shape.
+    let narrower = UniformKernel::streaming(1, 4);
+    assert!(
+        Gpu::restore(tiny_cfg(), &narrower, GOLDEN).is_err(),
+        "kernel-warps mismatch must be rejected"
+    );
+}

@@ -1,0 +1,120 @@
+//! `poised` — the sweep daemon (see `poise::daemon` and "The sweep
+//! daemon" in EXPERIMENTS.md).
+//!
+//! A long-running service over the shared `results/` store: clients
+//! (`run_all --connect`) submit experiment plans as `--set`/`--sweep`/
+//! `--only` overlays on a Unix domain socket; the daemon expands each
+//! into its job graph, coalesces overlapping graphs across clients,
+//! schedules admitted batches onto the lease fabric with per-client
+//! fairness, and streams per-job progress back as JSONL (mirrored to
+//! `results/daemon/events.jsonl`).
+//!
+//! Flags:
+//!
+//! * `--socket <path>` — listening socket (default `results/daemon.sock`;
+//!   `POISE_RESULTS_DIR` moves the whole layout);
+//! * `--set <knob>=<value>` (repeatable) — base overlay applied under
+//!   every submission's own overlay (clients win on conflicts). Engine
+//!   knobs (`job_deadline`, `lease_ttl`, `steal_after`) are daemon-wide
+//!   and only honoured here, never per submission;
+//! * `--max-queue <n>` — queued-submission bound (default 16; beyond it
+//!   `submit` is rejected, not blocked);
+//! * `--max-inflight <n>` — target cap on unique jobs per scheduling
+//!   batch (default 4096; a single oversized submission still runs);
+//! * `--quiet` — suppress per-event stderr lines.
+//!
+//! Exit code 0 after a clean `shutdown` request (drain or now), 1 on
+//! startup errors (socket in use by a live daemon, unwritable results
+//! dir, malformed flags).
+
+use std::process::ExitCode;
+
+use poise::daemon::{Daemon, DaemonConfig, SubmitRequest};
+use poise::jobs::Engine;
+use poise::plan::KnobOverlay;
+use poise_bench::figures::plan_jobs;
+use poise_bench::results_dir;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sets: Vec<String> = Vec::new();
+    let mut socket: Option<String> = None;
+    let mut max_queue: Option<usize> = None;
+    let mut max_inflight: Option<usize> = None;
+    let quiet = args.iter().any(|a| a == "--quiet");
+    for (i, a) in args.iter().enumerate() {
+        let value = |flag: &str| -> Result<String, String> {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs an argument"))
+        };
+        let count = |flag: &str| -> Result<usize, String> {
+            value(flag)?
+                .parse()
+                .map_err(|_| format!("{flag} needs an integer"))
+        };
+        let parsed = match a.as_str() {
+            "--set" => value("--set").map(|v| sets.push(v)),
+            "--socket" => value("--socket").map(|v| socket = Some(v)),
+            "--max-queue" => count("--max-queue").map(|v| max_queue = Some(v)),
+            "--max-inflight" => count("--max-inflight").map(|v| max_inflight = Some(v)),
+            _ => Ok(()),
+        };
+        if let Err(e) = parsed {
+            eprintln!("[poised] {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let results = results_dir();
+    let mut cfg = DaemonConfig::for_results_dir(&results);
+    if let Some(s) = socket {
+        cfg.socket = s.into();
+    }
+    if let Some(n) = max_queue {
+        cfg.max_queue = n;
+    }
+    if let Some(n) = max_inflight {
+        cfg.max_inflight = n.max(1);
+    }
+    cfg.quiet = quiet;
+
+    // The daemon-wide base overlay: applied under every submission's
+    // own assignments. Engine knobs are lifted off it here — they
+    // configure the one engine and fabric every batch shares.
+    let base = match KnobOverlay::parse(&sets) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("[poised] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base_setup = poise_bench::base_setup(&base);
+    let mut engine = Engine::from_env(&results);
+    engine.deadline = base_setup.job_deadline;
+    cfg.lease_ttl = base_setup.lease_ttl;
+    cfg.steal_after = base_setup.steal_after;
+
+    // The planner: the one `run_all`-shaped expansion path, under the
+    // daemon's base overlay. Deterministic, so a client re-expanding
+    // the same plan renders every job from the warmed cache.
+    let planner = move |req: &SubmitRequest| -> Result<Vec<poise::jobs::SimJob>, String> {
+        plan_jobs(
+            base.clone(),
+            &req.set,
+            &req.sweep,
+            req.only.as_deref(),
+            false,
+        )
+        .map(|planned| planned.jobs)
+    };
+
+    match Daemon::serve(engine, Box::new(planner), cfg) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("[poised] {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -40,6 +40,15 @@
 //! worker (joining from another terminal or host sharing the
 //! filesystem). See "Distributed sweeps" in EXPERIMENTS.md.
 //!
+//! Sweep daemon: `--connect [<socket>]` submits the plan to a running
+//! `poised` service instead of executing locally — the daemon admits,
+//! coalesces and schedules concurrent clients' plans over the same
+//! lease fabric, streams per-job progress back, and this process then
+//! renders from the daemon-warmed shared cache (byte-identical
+//! outputs). `--client`/`--priority` tag the submission; `--status`,
+//! `--daemon-cancel <id>` and `--daemon-shutdown [now]` manage the
+//! service. See "The sweep daemon" in EXPERIMENTS.md.
+//!
 //! The legacy effort-knob environment variables (`POISE_SMS`,
 //! `POISE_KERNELS_CAP`, `POISE_TRAIN_CAP`, `POISE_RUN_CYCLES`) are
 //! deprecated aliases feeding the same knob overlay; `--set` wins.

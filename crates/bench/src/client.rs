@@ -1,0 +1,282 @@
+//! The daemon client side of `run_all`: submit a plan to a running
+//! `poised` (see [`poise::daemon`]), stream its progress events, and
+//! query/cancel/shut it down. All paths degrade gracefully when no
+//! daemon is listening — `--connect` falls back to the in-process run,
+//! `--status` to a headless summary of the lease directory and the
+//! daemon event log.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use poise::daemon::{Event, Request, SubmitRequest};
+use poise::jobs::Engine;
+
+use crate::results_dir;
+
+/// The conventional socket path under the results dir.
+pub fn default_socket() -> PathBuf {
+    results_dir().join("daemon.sock")
+}
+
+/// What a completed daemon submission reported.
+pub struct SubmitOutcome {
+    pub id: String,
+    /// `"pass"`, `"failed"` or `"cancelled"`.
+    pub outcome: String,
+    pub executed: u64,
+    pub cache_hits: u64,
+    /// Hard failures plus cancelled jobs.
+    pub failed: u64,
+}
+
+/// Submit one plan and stream its events until completion. `Err` means
+/// the daemon was unreachable, rejected the submission, or died
+/// mid-stream — the caller degrades to the in-process path.
+pub fn submit_and_stream(socket: &Path, req: &SubmitRequest) -> Result<SubmitOutcome, String> {
+    let mut stream = connect(socket)?;
+    writeln!(stream, "{}", Request::Submit(req.clone()).render())
+        .map_err(|e| format!("send to daemon: {e}"))?;
+    let reader = BufReader::new(stream);
+    let mut id = String::from("?");
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read from daemon: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Event::parse_line(&line).map_err(|e| format!("bad event from daemon: {e}"))? {
+            Event::Error { error } => return Err(format!("daemon: {error}")),
+            Event::Rejected { reason, .. } => return Err(format!("daemon rejected: {reason}")),
+            Event::Admitted {
+                id: sid,
+                jobs,
+                cross_client_shared,
+                queue_depth,
+                ..
+            } => {
+                id = sid;
+                eprintln!(
+                    "[run_all] daemon admitted {id}: {jobs} job(s), \
+                     cross_client_shared={cross_client_shared}, queue_depth={queue_depth}"
+                );
+            }
+            Event::Job {
+                label,
+                status,
+                attempts,
+                error,
+                ..
+            } => {
+                let err = error.map(|e| format!(" ({e})")).unwrap_or_default();
+                eprintln!(
+                    "[run_all] {id}: {} {label} (attempts {attempts}){err}",
+                    status.name()
+                );
+            }
+            Event::Progress {
+                done,
+                total,
+                percent,
+                ..
+            } => eprintln!("[run_all] {id}: {done}/{total} jobs ({percent}%)"),
+            Event::Complete {
+                outcome,
+                executed,
+                cache_hits,
+                failed,
+                cancelled,
+                ..
+            } => {
+                return Ok(SubmitOutcome {
+                    id,
+                    outcome,
+                    executed,
+                    cache_hits,
+                    failed: failed + cancelled,
+                })
+            }
+            // Replies to other request kinds never appear on a submit
+            // stream; tolerate them anyway (forward compatibility).
+            Event::Status { .. } | Event::Ack { .. } => {}
+        }
+    }
+    Err("daemon closed the stream before completion".to_string())
+}
+
+/// `run_all --status`: ask a live daemon, or fall back to a headless
+/// summary of the shared lease directory, fabric manifest and daemon
+/// event log.
+pub fn status_main(socket: &Path) -> ExitCode {
+    match query(socket, &Request::Status) {
+        Ok(Event::Status { running, queued }) => {
+            println!("daemon at {}: live", socket.display());
+            if running.is_empty() && queued.is_empty() {
+                println!("idle: no queued or running submissions");
+            }
+            for v in running.iter().chain(queued.iter()) {
+                println!(
+                    "{:>4}  {:<9} prio {:>3}  {:>4}/{:<4} jobs  client {}",
+                    v.id, v.state, v.priority, v.done, v.total, v.client
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!("[run_all] unexpected status reply: {}", other.render());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!(
+                "[run_all] no daemon at {} ({e}); headless status:",
+                socket.display()
+            );
+            headless_status()
+        }
+    }
+}
+
+/// `run_all --daemon-shutdown [now]`: stop a running daemon.
+pub fn shutdown_main(socket: &Path, now: bool) -> ExitCode {
+    match query(socket, &Request::Shutdown { now }) {
+        Ok(Event::Ack { .. }) => {
+            eprintln!(
+                "[run_all] daemon acknowledged shutdown ({})",
+                if now { "now" } else { "drain" }
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!("[run_all] unexpected shutdown reply: {}", other.render());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("[run_all] {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `run_all --daemon-cancel <id>`: withdraw a submission.
+pub fn cancel_main(socket: &Path, id: &str) -> ExitCode {
+    match query(socket, &Request::Cancel { id: id.to_string() }) {
+        Ok(Event::Ack { .. }) => {
+            eprintln!("[run_all] daemon acknowledged cancel of {id}");
+            ExitCode::SUCCESS
+        }
+        Ok(Event::Error { error }) => {
+            eprintln!("[run_all] daemon: {error}");
+            ExitCode::FAILURE
+        }
+        Ok(other) => {
+            eprintln!("[run_all] unexpected cancel reply: {}", other.render());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("[run_all] {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn connect(socket: &Path) -> Result<UnixStream, String> {
+    UnixStream::connect(socket).map_err(|e| format!("connect {}: {e}", socket.display()))
+}
+
+/// One request, one reply line.
+fn query(socket: &Path, req: &Request) -> Result<Event, String> {
+    let mut stream = connect(socket)?;
+    writeln!(stream, "{}", req.render()).map_err(|e| format!("send to daemon: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read from daemon: {e}"))?;
+    if line.trim().is_empty() {
+        return Err("daemon closed the connection without replying".to_string());
+    }
+    Event::parse_line(line.trim()).map_err(|e| format!("bad reply from daemon: {e}"))
+}
+
+/// No live daemon: summarize what the filesystem records — job leases
+/// in the shared cache (in-flight work, ours or a standalone fleet's),
+/// the fabric manifest, and the tail of the daemon event log.
+fn headless_status() -> ExitCode {
+    let engine = Engine::from_env(&results_dir());
+    let leases_root = engine.cache().leases_root();
+    let mut in_flight = 0usize;
+    if let Ok(entries) = std::fs::read_dir(&leases_root) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(stem) = name.strip_suffix(".lease") else {
+                continue;
+            };
+            let Some((kind, key)) = stem.split_once('-') else {
+                continue;
+            };
+            in_flight += 1;
+            match engine.cache().read_lease(kind, key) {
+                Some(Ok(info)) => println!(
+                    "lease {kind}-{key}: worker {} attempt {} (heartbeat {:.1}s ago)",
+                    info.worker,
+                    info.attempt,
+                    engine.cache().lease_age(kind, key).unwrap_or(0.0)
+                ),
+                Some(Err(age)) => println!("lease {kind}-{key}: unreadable (age {age:.1}s)"),
+                None => println!("lease {kind}-{key}: just released"),
+            }
+        }
+    }
+    if in_flight == 0 {
+        println!(
+            "no job leases under {} — nothing in flight",
+            leases_root.display()
+        );
+    }
+    let manifest = results_dir().join("fabric").join("manifest.txt");
+    if let Ok(text) = std::fs::read_to_string(&manifest) {
+        if let Some(jobs) = text
+            .lines()
+            .find_map(|l| l.strip_prefix("jobs "))
+            .and_then(|n| n.trim().parse::<usize>().ok())
+        {
+            println!(
+                "fabric manifest: {jobs} job(s) declared at {}",
+                manifest.display()
+            );
+        }
+    }
+    // The daemon event log survives the daemon: reconstruct the last
+    // known state of each submission (parse with the same Event
+    // grammar — the seq/t wrapper fields are ignored as unknown).
+    let log = results_dir().join("daemon").join("events.jsonl");
+    if let Ok(text) = std::fs::read_to_string(&log) {
+        let mut last: Vec<(String, String)> = Vec::new();
+        for line in text.lines() {
+            let Ok(ev) = Event::parse_line(line) else {
+                continue;
+            };
+            let (id, what) = match ev {
+                Event::Admitted {
+                    id, client, jobs, ..
+                } => (id, format!("admitted from {client} ({jobs} jobs)")),
+                Event::Progress {
+                    id, done, total, ..
+                } => (id, format!("running ({done}/{total} jobs)")),
+                Event::Complete { id, outcome, .. } => (id, format!("complete: {outcome}")),
+                _ => continue,
+            };
+            match last.iter_mut().find(|(i, _)| *i == id) {
+                Some(slot) => slot.1 = what,
+                None => last.push((id, what)),
+            }
+        }
+        if !last.is_empty() {
+            println!("daemon event log ({}):", log.display());
+            for (id, what) in last {
+                println!("{id:>4}  {what}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1794,6 +1794,122 @@ pub fn figure_main(name: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--only` filter: exact figure name or a prefix up to an
+/// underscore (`fig12` matches `fig12_cache_size`).
+fn name_matches(only: Option<&[String]>, name: &str) -> bool {
+    only.is_none_or(|o| {
+        o.iter().any(|n| {
+            name == n
+                || name
+                    .strip_prefix(n.as_str())
+                    .is_some_and(|rest| rest.starts_with('_'))
+        })
+    })
+}
+
+/// The fully planned job set of one `run_all`-shaped invocation: the
+/// selected figures, their sweep expansions, and the concatenated
+/// (prefix-factored) job list the engine executes.
+pub struct PlannedJobs {
+    pub figures: Vec<Figure>,
+    pub expansions: Vec<PlanExpansion>,
+    pub setup: Setup,
+    pub jobs: Vec<SimJob>,
+    pub sweeping: bool,
+    pub sweep_shared: usize,
+    pub prefix_shared: usize,
+}
+
+/// The one planning path shared by `run_all` and the sweep daemon's
+/// planner (see [`poise::daemon::Planner`]): apply the overlay, select
+/// figures, expand every plan, reject sweeps that reach single-point
+/// renderers, and factor shared snapshot prefixes. Deterministic in its
+/// arguments — a daemon and a client expanding the same plan must
+/// derive the same job graph, or the client would re-simulate instead
+/// of rendering from the daemon-warmed cache.
+pub fn plan_jobs(
+    base: KnobOverlay,
+    sets: &[String],
+    sweeps: &[String],
+    only: Option<&[String]>,
+    verbose: bool,
+) -> Result<PlannedJobs, String> {
+    let figures: Vec<Figure> = registry()
+        .into_iter()
+        .filter(|f| name_matches(only, f.name))
+        .collect();
+    if figures.is_empty() {
+        return Err("no figures matched the --only filter".to_string());
+    }
+    let overlay = base.merged(KnobOverlay::parse(sets)?);
+    let sweep_axes: Vec<Axis> = sweeps
+        .iter()
+        .map(|s| Axis::parse(s))
+        .collect::<Result<_, _>>()?;
+    if verbose && !overlay.is_empty() {
+        eprintln!("[run_all] knob overlay: {}", overlay.summary());
+    }
+    let ctx = FigCtx::new(crate::base_setup(&overlay));
+    let expansions: Vec<PlanExpansion> = figures
+        .iter()
+        .map(|f| f.expand(&ctx, &sweep_axes))
+        .collect();
+    // Reject a sweep that reaches a single-point renderer *now*, before
+    // any simulation is paid for (the renderer's own single_point()
+    // guard stays as defence in depth).
+    let unsweepable: Vec<&str> = figures
+        .iter()
+        .zip(&expansions)
+        .filter(|(f, e)| e.points.len() > 1 && !f.sweepable)
+        .map(|(f, _)| f.name)
+        .collect();
+    if !unsweepable.is_empty() {
+        return Err(format!(
+            "--sweep expands figures that render a single point only: {}; \
+             restrict with --only to sweep-aware figures (e.g. sm_scaling, fig12_cache_size)",
+            unsweepable.join(", ")
+        ));
+    }
+    let mut sweep_shared = 0usize;
+    for (figure, exp) in figures.iter().zip(&expansions) {
+        if exp.points.len() > 1 {
+            sweep_shared += exp.shared;
+            if verbose {
+                eprintln!(
+                    "[run_all] {}: {} sweep points, {} jobs shared across points (executed once)",
+                    figure.name,
+                    exp.points.len(),
+                    exp.shared
+                );
+            }
+        }
+    }
+    let sweeping = expansions.iter().any(|e| e.points.len() > 1);
+    let mut jobs: Vec<SimJob> = expansions.iter().flat_map(|e| e.jobs.clone()).collect();
+    // Prefix factoring: runs that differ only in their cycle horizon
+    // collapse into one chained simulation plus per-horizon forks (a
+    // `run_cycles` sweep axis is the canonical producer). This must run
+    // on the shared declaration path — coordinator, fabric workers and
+    // the daemon each re-derive the same factored graph, so the
+    // manifest and the prefix cache keys agree across the fleet.
+    let prefix_shared = poise::jobs::factor_prefixes(&mut jobs, ctx.setup.snapshot_every);
+    if verbose && prefix_shared > 0 {
+        eprintln!(
+            "[run_all] prefix factoring: {prefix_shared} run(s) fork from shared \
+             snapshot prefixes instead of simulating from cycle 0"
+        );
+    }
+    Ok(PlannedJobs {
+        figures,
+        expansions,
+        setup: ctx.setup,
+        jobs,
+        sweeping,
+        sweep_shared,
+        prefix_shared,
+    })
+}
+
 /// The status of one figure in a `run_all` pass.
 enum FigStatus {
     Pass(f64),
@@ -1843,6 +1959,20 @@ enum FigStatus {
 ///   threads (bit-identical to single-threaded; engine knob, shares the
 ///   process thread budget with the fleet: each spawned worker gets
 ///   `POISE_THREAD_BUDGET / (workers + 1)`).
+/// * `--connect [<socket>]` — submit this plan to a running sweep
+///   daemon (`poised`; default socket `results/daemon.sock`) instead of
+///   executing locally: the daemon coalesces it with other clients'
+///   submissions, executes shared jobs once, and streams progress back;
+///   the figures are then rendered locally from the shared cache.
+///   `--client <name>` and `--priority <n>` tag the submission. With no
+///   daemon listening, degrades to the ordinary in-process run;
+/// * `--status` — show queued/running submissions from a live daemon,
+///   or (headless) summarize job leases, the fabric manifest and the
+///   daemon event log;
+/// * `--daemon-shutdown [now]` — stop the daemon: drain the queue
+///   first, or cancel everything with `now`;
+/// * `--daemon-cancel <id>` — withdraw submission `<id>`; jobs shared
+///   with other live submissions keep running.
 ///
 /// Exit codes (CI and scripts key off these):
 /// * `0` — clean pass;
@@ -1930,59 +2060,78 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Daemon client flags (see `poise::daemon` and EXPERIMENTS.md §
+    // "The sweep daemon"). `--connect` takes an optional socket path;
+    // the default lives beside the shared store.
+    let flag_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+    let socket: std::path::PathBuf = flag_value("--connect")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(crate::client::default_socket);
+    let connect = args.iter().any(|a| a == "--connect");
+    if args.iter().any(|a| a == "--status") {
+        return crate::client::status_main(&socket);
+    }
+    if args.iter().any(|a| a == "--daemon-shutdown") {
+        let now = flag_value("--daemon-shutdown").as_deref() == Some("now");
+        return crate::client::shutdown_main(&socket, now);
+    }
+    if args.iter().any(|a| a == "--daemon-cancel") {
+        return match flag_value("--daemon-cancel") {
+            Some(id) => crate::client::cancel_main(&socket, &id),
+            None => {
+                eprintln!("[run_all] --daemon-cancel needs a submission id");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let only: Option<Vec<String>> = args
         .iter()
         .position(|a| a == "--only")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.split(',').map(|s| s.trim().to_string()).collect());
-    let matches_only = |name: &str| -> bool {
-        only.as_ref().is_none_or(|o| {
-            o.iter().any(|n| {
-                name == n
-                    || name
-                        .strip_prefix(n.as_str())
-                        .is_some_and(|rest| rest.starts_with('_'))
-            })
-        })
-    };
-    let figures: Vec<Figure> = registry()
-        .into_iter()
-        .filter(|f| matches_only(f.name))
-        .collect();
     if args.iter().any(|a| a == "--list") {
-        for f in &figures {
-            println!("{}", f.name);
+        for f in registry() {
+            if name_matches(only.as_deref(), f.name) {
+                println!("{}", f.name);
+            }
         }
         return ExitCode::SUCCESS;
     }
-    if figures.is_empty() {
-        eprintln!("[run_all] no figures matched --only filter");
-        return ExitCode::FAILURE;
-    }
 
     // The knob overlay: deprecated env aliases first, then --set
-    // assignments (CLI wins). Parsed exactly once, here.
-    let overlay = crate::env_overlay().and_then(|env| Ok(env.merged(KnobOverlay::parse(&sets)?)));
-    let overlay = match overlay {
+    // assignments (CLI wins). Parsed exactly once, on the planning path
+    // shared with the daemon's planner.
+    let env = match crate::env_overlay() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("[run_all] {e}");
             return ExitCode::FAILURE;
         }
     };
-    let sweep_axes: Vec<Axis> = match sweeps.iter().map(|s| Axis::parse(s)).collect() {
-        Ok(axes) => axes,
+    let t0 = Instant::now();
+    let planned = match plan_jobs(env, &sets, &sweeps, only.as_deref(), true) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("[run_all] {e}");
             return ExitCode::FAILURE;
         }
     };
-
-    let t0 = Instant::now();
-    let ctx = FigCtx::new(crate::base_setup(&overlay));
-    if !overlay.is_empty() {
-        eprintln!("[run_all] knob overlay: {}", overlay.summary());
-    }
+    let ctx = FigCtx::new(planned.setup.clone());
+    let PlannedJobs {
+        figures,
+        expansions,
+        jobs,
+        sweeping,
+        sweep_shared,
+        prefix_shared,
+        ..
+    } = planned;
     let mut engine = Engine::from_env(&results_dir());
     // The `job_deadline` knob is an engine (watchdog) setting, not part
     // of any job's cache identity — lift it off the setup here.
@@ -1998,57 +2147,6 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         engine.set_faults(Some(plan));
     }
 
-    // Phase 1: expand every figure's plan and execute the union of all
-    // points' jobs, deduplicated, in one parallel pass.
-    let expansions: Vec<PlanExpansion> = figures
-        .iter()
-        .map(|f| f.expand(&ctx, &sweep_axes))
-        .collect();
-    // Reject a sweep that reaches a single-point renderer *now*, before
-    // any simulation is paid for (the renderer's own single_point()
-    // guard stays as defence in depth).
-    let unsweepable: Vec<&str> = figures
-        .iter()
-        .zip(&expansions)
-        .filter(|(f, e)| e.points.len() > 1 && !f.sweepable)
-        .map(|(f, _)| f.name)
-        .collect();
-    if !unsweepable.is_empty() {
-        eprintln!(
-            "[run_all] --sweep expands figures that render a single point only: {}; \
-             restrict with --only to sweep-aware figures (e.g. sm_scaling, fig12_cache_size)",
-            unsweepable.join(", ")
-        );
-        return ExitCode::FAILURE;
-    }
-    let mut sweep_shared = 0usize;
-    for (figure, exp) in figures.iter().zip(&expansions) {
-        if exp.points.len() > 1 {
-            sweep_shared += exp.shared;
-            eprintln!(
-                "[run_all] {}: {} sweep points, {} jobs shared across points (executed once)",
-                figure.name,
-                exp.points.len(),
-                exp.shared
-            );
-        }
-    }
-    let sweeping = expansions.iter().any(|e| e.points.len() > 1);
-    let mut jobs: Vec<SimJob> = expansions.iter().flat_map(|e| e.jobs.clone()).collect();
-    // Prefix factoring: runs that differ only in their cycle horizon
-    // collapse into one chained simulation plus per-horizon forks (a
-    // `run_cycles` sweep axis is the canonical producer). This must run
-    // on the shared declaration path — coordinator and fabric workers
-    // each re-derive the same factored graph, so the manifest and the
-    // prefix cache keys agree across the fleet.
-    let prefix_shared = poise::jobs::factor_prefixes(&mut jobs, ctx.setup.snapshot_every);
-    if prefix_shared > 0 {
-        eprintln!(
-            "[run_all] prefix factoring: {prefix_shared} run(s) fork from shared \
-             snapshot prefixes instead of simulating from cycle 0"
-        );
-    }
-
     // Fabric worker mode: execute cooperatively over the shared cache,
     // publish a report, render nothing (the coordinator renders).
     if worker_mode {
@@ -2059,12 +2157,43 @@ pub fn run_all_main(args: &[String]) -> ExitCode {
         return worker_main(&engine, &jobs, &ctx.setup, &dir, &id);
     }
 
+    // Daemon mode: hand the plan to a running `poised`, stream its
+    // progress, then fall through to the in-process pass — by then
+    // every job answers from the shared cache, so the figures rendered
+    // below are byte-identical to a standalone run's. An unreachable or
+    // rejecting daemon degrades to the ordinary in-process run.
+    let mut daemon_ran = false;
+    if connect {
+        let req = poise::daemon::SubmitRequest {
+            client: flag_value("--client")
+                .or_else(|| std::env::var("USER").ok())
+                .unwrap_or_else(|| "anon".to_string()),
+            priority: flag_value("--priority")
+                .and_then(|p| p.parse().ok())
+                .unwrap_or(0),
+            set: sets.clone(),
+            sweep: sweeps.clone(),
+            only: only.clone(),
+        };
+        match crate::client::submit_and_stream(&socket, &req) {
+            Ok(out) => {
+                eprintln!(
+                    "[run_all] daemon submission {} finished: {} ({} executed, {} cache \
+                     hit(s), {} failed); rendering from the shared store",
+                    out.id, out.outcome, out.executed, out.cache_hits, out.failed
+                );
+                daemon_ran = true;
+            }
+            Err(e) => eprintln!("[run_all] {e}; degrading to the in-process run"),
+        }
+    }
+
     eprintln!(
         "[run_all] {} figures declared {} jobs; executing the deduplicated set...",
         figures.len(),
         jobs.len()
     );
-    let (store, report) = if ctx.setup.workers > 0 {
+    let (store, report) = if ctx.setup.workers > 0 && !daemon_ran {
         run_fleet(&engine, &jobs, &ctx.setup, args)
     } else {
         engine.run(&jobs)

@@ -1,0 +1,233 @@
+//! The sweep daemon crown test: two clients submit overlapping plans
+//! concurrently; the daemon coalesces their job graphs (shared jobs
+//! execute exactly once, `cross_client_shared >= 1`), the resulting
+//! store and figures are byte-identical to sequential standalone runs,
+//! killing one client mid-stream leaves the other unaffected, and a
+//! graceful shutdown leaks neither leases nor the socket.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn run_all_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_run_all")
+}
+
+fn poised_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_poised")
+}
+
+/// Smoke-scale knobs (shared with crash_resume.rs): one evaluation
+/// kernel, three training kernels, tiny cycle budget.
+const KNOBS: &[&str] = &[
+    "--set",
+    "sms=1",
+    "--set",
+    "kernels_cap=1",
+    "--set",
+    "train_cap=3",
+    "--set",
+    "run_cycles=20000",
+];
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("poise-daemon-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_all(dir: &Path, extra: &[&str]) -> std::process::ExitStatus {
+    Command::new(run_all_bin())
+        .args(KNOBS)
+        .args(extra)
+        .env("POISE_RESULTS_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn run_all")
+}
+
+fn spawn_client(dir: &Path, name: &str, only: &str) -> Child {
+    Command::new(run_all_bin())
+        .args(KNOBS)
+        .args(["--only", only, "--connect", "--client", name])
+        .env("POISE_RESULTS_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn client")
+}
+
+/// Every cache entry's bytes with the `# wall:` metadata line dropped —
+/// the only line allowed to differ between two runs of the same spec.
+fn store_snapshot(dir: &Path) -> BTreeMap<String, String> {
+    let cache = dir.join("cache");
+    let mut snap = BTreeMap::new();
+    for entry in std::fs::read_dir(&cache).expect("cache dir") {
+        let entry = entry.expect("dir entry");
+        if !entry.file_type().expect("file type").is_file() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let body = std::fs::read_to_string(entry.path()).expect("read entry");
+        let normalized: String = body
+            .lines()
+            .filter(|l| !l.starts_with("# wall:"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        snap.insert(name, normalized);
+    }
+    snap
+}
+
+/// Wait until the daemon event log contains `needle`, or panic after
+/// `secs`. Returns the log text at match time.
+fn wait_for_event(dir: &Path, needle: &str, secs: u64) -> String {
+    let log = dir.join("daemon").join("events.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&log) {
+            if text.contains(needle) {
+                return text;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no {needle:?} in {} within {secs}s",
+            log.display()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn concurrent_clients_coalesce_to_identical_outputs() {
+    // Sequential reference: two standalone passes over one store, the
+    // second reusing the first's shared jobs from cache — exactly what
+    // the daemon must reproduce across *processes*.
+    let ref_dir = tmp_dir("ref");
+    assert!(run_all(&ref_dir, &["--only", "fig07"]).success());
+    assert!(run_all(&ref_dir, &["--only", "fig08"]).success());
+    let reference = store_snapshot(&ref_dir);
+    assert!(!reference.is_empty(), "reference runs stored nothing");
+    let ref_fig07 = std::fs::read_to_string(ref_dir.join("fig07_performance.txt")).unwrap();
+    let ref_fig08 = std::fs::read_to_string(ref_dir.join("fig08_l1_hit_rate.txt")).unwrap();
+
+    // The daemon run.
+    let dir = tmp_dir("live");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut daemon = Command::new(poised_bin())
+        .args(KNOBS)
+        .env("POISE_RESULTS_DIR", &dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn poised");
+    let socket = dir.join("daemon.sock");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !socket.exists() {
+        assert!(Instant::now() < deadline, "poised never bound its socket");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Client A submits fig07; once admitted (and its batch is the one
+    // running), client B submits the overlapping fig08 plan. Waiting
+    // for A's admission makes the overlap deterministic: B's closure is
+    // compared against A's queued/running jobs, never an empty daemon.
+    let mut alice = spawn_client(&dir, "alice", "fig07");
+    wait_for_event(&dir, r#""client":"alice""#, 120);
+    let mut bob = spawn_client(&dir, "bob", "fig08");
+    let log = wait_for_event(&dir, r#""client":"bob""#, 120);
+
+    // Coalescing is visible at admission: fig08 shares the main
+    // comparison runs (and the whole training pipeline) with fig07.
+    let bob_admitted = log
+        .lines()
+        .find(|l| l.contains(r#""event":"admitted""#) && l.contains(r#""client":"bob""#))
+        .expect("bob's admitted event");
+    let shared: u64 = bob_admitted
+        .split(r#""cross_client_shared":"#)
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .expect("cross_client_shared field");
+    assert!(
+        shared >= 1,
+        "overlapping plans must coalesce (cross_client_shared={shared}): {bob_admitted}"
+    );
+
+    // Kill client A mid-stream: its submission keeps running (results
+    // land in the shared cache) and B is unaffected.
+    alice.kill().expect("SIGKILL alice");
+    let _ = alice.wait();
+    let bob_status = bob.wait().expect("wait bob");
+    assert!(
+        bob_status.success(),
+        "surviving client failed: {bob_status}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(dir.join("fig08_l1_hit_rate.txt")).unwrap(),
+        ref_fig08,
+        "fig08 diverged from the sequential standalone run"
+    );
+
+    // A's replacement resubmits the same plan: everything answers from
+    // the daemon-warmed cache, and fig07 renders byte-identically.
+    assert!(
+        run_all(
+            &dir,
+            &["--only", "fig07", "--connect", "--client", "alice2"]
+        )
+        .success(),
+        "resubmitted client failed"
+    );
+    assert_eq!(
+        std::fs::read_to_string(dir.join("fig07_performance.txt")).unwrap(),
+        ref_fig07,
+        "fig07 diverged from the sequential standalone run"
+    );
+
+    // `--status` against the live daemon answers (idle by now).
+    assert!(run_all(&dir, &["--status"]).success());
+
+    // Graceful shutdown: the daemon drains, exits 0, removes its
+    // socket, and leaks no lease or tmp orphan.
+    assert!(run_all(&dir, &["--daemon-shutdown"]).success());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let daemon_status = loop {
+        if let Some(status) = daemon.try_wait().expect("try_wait poised") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "poised ignored shutdown");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(daemon_status.success(), "poised exited {daemon_status}");
+    assert!(!socket.exists(), "socket file survived shutdown");
+    let leaked: Vec<String> = std::fs::read_dir(dir.join("cache").join("leases"))
+        .map(|d| {
+            d.flatten()
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n.ends_with(".lease") || n.starts_with(".steal-"))
+                .collect()
+        })
+        .unwrap_or_default();
+    assert!(
+        leaked.is_empty(),
+        "leaked leases after shutdown: {leaked:?}"
+    );
+
+    // The coalesced store is byte-identical to the sequential
+    // reference: shared jobs executed once, with identical bytes.
+    assert_eq!(store_snapshot(&dir), reference);
+
+    // `--status` still works headless (summarizing the event log).
+    assert!(run_all(&dir, &["--status"]).success());
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -720,6 +720,26 @@ impl Cache {
         reaped
     }
 
+    /// Remove orphaned `.tmp-*` files left by crashed writers. A light
+    /// sibling of [`Cache::fsck`] for service startup/shutdown hygiene:
+    /// no entry is read or validated, so it is cheap on a large store.
+    /// Only safe when no writer can be alive (a daemon that owns the
+    /// store, a coordinator that has reaped its fleet). Returns the
+    /// count removed.
+    pub fn sweep_tmp(&self) -> usize {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with(".tmp-") && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Re-validate every entry offline: header, key-vs-filename, end
     /// marker, checksum, plus the caller's body validation (typically a
     /// deserialisation round-trip). Invalid entries are quarantined.

@@ -1,0 +1,1472 @@
+//! The sweep daemon: a long-running service front-end for the
+//! experiment engine and lease fabric.
+//!
+//! ## Design
+//!
+//! `poised` (the daemon binary in `poise-bench`) listens on a Unix
+//! domain socket (`results/daemon.sock`) speaking a line-oriented JSON
+//! protocol (see [`Request`] / [`Event`]; hand-rolled on
+//! [`crate::fabric::json`], matching the registry-free constraint).
+//! Clients `submit` experiment plans as the same `--set` / `--sweep` /
+//! `--only` overlay strings `run_all` takes; a planner callback
+//! (supplied by the binary, which owns the figure registry) expands
+//! each into its declared job list, and the daemon:
+//!
+//! * **coalesces overlapping graphs across clients** — submissions are
+//!   identified by the spec-hash closure of their job graph
+//!   ([`crate::jobs::graph_closure`]), so two clients sweeping
+//!   overlapping knob ranges share every common job exactly as sweep
+//!   points do within one plan (the `cross_client_shared` count in the
+//!   [`Event::Admitted`] reply is the overlap with every queued and
+//!   running submission);
+//! * **enforces admission control** — a bounded submission queue
+//!   ([`DaemonConfig::max_queue`]) and a cap on unique in-flight jobs
+//!   per scheduling batch ([`DaemonConfig::max_inflight`]);
+//! * **schedules fairly** — each batch admits queued submissions in
+//!   `(priority desc, arrival asc)` order until the job cap is hit
+//!   (always at least one), and interleaves their declared job lists
+//!   round-robin so no client's wave starves another's;
+//! * **executes on the existing lease fabric** — batches run through
+//!   [`crate::fabric::run_worker`] over the shared content-addressed
+//!   cache, inheriting retry/backoff/watchdog/fault classification and
+//!   cooperating (via lease files) with any standalone workers on the
+//!   same store;
+//! * **streams progress** — the engine's [`ProgressSink`] events are
+//!   routed to every subscribed client as JSONL ([`Event::Job`] /
+//!   [`Event::Progress`]) and appended to
+//!   `results/daemon/events.jsonl`, so a crashed client can
+//!   reconstruct its submission's history;
+//! * **supports cooperative cancellation** — `cancel <id>` withdraws a
+//!   submission; jobs still wanted by another live submission keep
+//!   running, jobs with no subscriber left are vetoed (the engine
+//!   classifies them [`crate::jobs::FailClass::Cancelled`]) and any
+//!   executing attempt is interrupted at its next simulator barrier
+//!   via [`Engine::cancel_spec`];
+//! * **shuts down gracefully** — `shutdown` drains the queue (default)
+//!   or cancels everything (`"mode":"now"`); either way the daemon
+//!   reaps stale leases and `.tmp-*` orphans on the way out (and on
+//!   the way in, so a daemon restarted after SIGKILL never strands
+//!   claims). Long simulations checkpoint at `snapshot_every` barriers
+//!   (see `poise::jobs::factor_prefixes`), so even a `now` shutdown
+//!   loses at most one barrier interval of work.
+//!
+//! A client that dies mid-stream only loses its event stream: the
+//! submission keeps running (its results land in the shared cache for
+//! the next request), which is what makes the cache a global
+//! memoization table rather than a per-connection scratch space.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::fabric::json::{obj, Json};
+use crate::fabric::FabricConfig;
+use crate::jobs::{graph_closure, Engine, JobEvent, JobStatus, ProgressSink, SimJob};
+
+/// Protocol version: bump on any grammar change and keep
+/// `protocol_golden` in sync (like `spec_golden.rs` for cache keys).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Protocol: requests.
+// ---------------------------------------------------------------------------
+
+/// One `submit` payload: the same overlay strings `run_all` accepts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SubmitRequest {
+    /// Client name, for attribution in events and status (free-form).
+    pub client: String,
+    /// Scheduling priority: higher runs earlier. Ties break by arrival.
+    pub priority: i64,
+    /// `--set k=v` overlay assignments.
+    pub set: Vec<String>,
+    /// `--sweep k=a,b,c` axes.
+    pub sweep: Vec<String>,
+    /// `--only` figure filter (`None` = every figure).
+    pub only: Option<Vec<String>>,
+}
+
+/// One request line from a client. The wire format is a single JSON
+/// object per line: `{"v":1,"cmd":"submit",...}`. Unknown fields are
+/// ignored (forward compatibility); a missing or malformed `cmd` is a
+/// protocol error answered with [`Event::Error`], never a panic or a
+/// silent drop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a plan; the connection then streams this submission's
+    /// events until [`Event::Complete`].
+    Submit(SubmitRequest),
+    /// Ask for queued/running submissions.
+    Status,
+    /// Withdraw a submission by id (cooperative; shared jobs survive).
+    Cancel { id: String },
+    /// Stop the daemon: drain the queue first (default) or cancel
+    /// everything (`now = true`).
+    Shutdown { now: bool },
+}
+
+/// String-array field helper: `None` when absent, `Err` when present
+/// but not an array of strings.
+fn str_arr(v: &Json, key: &str) -> Result<Option<Vec<String>>, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|i| i.as_str().map(str::to_string))
+            .collect::<Option<Vec<_>>>()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be an array of strings")),
+        Some(_) => Err(format!("field {key:?} must be an array of strings")),
+    }
+}
+
+impl Request {
+    /// Parse one request line. `Err` carries the protocol error text
+    /// (sent back as [`Event::Error`]).
+    pub fn parse_line(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line)
+            .ok_or_else(|| "malformed request: not a JSON object per line".to_string())?;
+        if v.get("cmd").is_none() && !matches!(v, Json::Obj(_)) {
+            return Err("malformed request: not a JSON object".to_string());
+        }
+        let version = v
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "missing protocol version field \"v\"".to_string())?;
+        if version < 1 {
+            return Err(format!("unsupported protocol version {version}"));
+        }
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing request field \"cmd\"".to_string())?;
+        match cmd {
+            "submit" => Ok(Request::Submit(SubmitRequest {
+                client: v
+                    .get("client")
+                    .and_then(Json::as_str)
+                    .unwrap_or("anon")
+                    .to_string(),
+                priority: v.get("priority").and_then(Json::as_f64).unwrap_or(0.0) as i64,
+                set: str_arr(&v, "set")?.unwrap_or_default(),
+                sweep: str_arr(&v, "sweep")?.unwrap_or_default(),
+                only: str_arr(&v, "only")?,
+            })),
+            "status" => Ok(Request::Status),
+            "cancel" => Ok(Request::Cancel {
+                id: v
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "cancel needs an \"id\" field".to_string())?
+                    .to_string(),
+            }),
+            "shutdown" => Ok(Request::Shutdown {
+                now: matches!(v.get("mode").and_then(Json::as_str), Some("now")),
+            }),
+            other => Err(format!("unknown cmd {other:?}")),
+        }
+    }
+
+    /// Render to the canonical single-line wire form.
+    pub fn render(&self) -> String {
+        let vnum = Json::Num(PROTOCOL_VERSION as f64);
+        let arr =
+            |items: &[String]| Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect());
+        match self {
+            Request::Submit(s) => {
+                let mut fields = vec![
+                    ("v", vnum),
+                    ("cmd", Json::Str("submit".into())),
+                    ("client", Json::Str(s.client.clone())),
+                    ("priority", Json::Num(s.priority as f64)),
+                    ("set", arr(&s.set)),
+                    ("sweep", arr(&s.sweep)),
+                ];
+                if let Some(only) = &s.only {
+                    fields.push(("only", arr(only)));
+                }
+                obj(fields).render()
+            }
+            Request::Status => obj(vec![("v", vnum), ("cmd", Json::Str("status".into()))]).render(),
+            Request::Cancel { id } => obj(vec![
+                ("v", vnum),
+                ("cmd", Json::Str("cancel".into())),
+                ("id", Json::Str(id.clone())),
+            ])
+            .render(),
+            Request::Shutdown { now } => obj(vec![
+                ("v", vnum),
+                ("cmd", Json::Str("shutdown".into())),
+                ("mode", Json::Str(if *now { "now" } else { "drain" }.into())),
+            ])
+            .render(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: events (server → client, JSONL).
+// ---------------------------------------------------------------------------
+
+/// One submission's view in a status reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmissionView {
+    pub id: String,
+    pub client: String,
+    pub priority: i64,
+    /// `"queued"` or `"running"`.
+    pub state: String,
+    /// Unique jobs in this submission's closure.
+    pub total: u64,
+    /// Jobs resolved so far.
+    pub done: u64,
+}
+
+impl SubmissionView {
+    fn to_json(&self) -> Json {
+        obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("client", Json::Str(self.client.clone())),
+            ("priority", Json::Num(self.priority as f64)),
+            ("state", Json::Str(self.state.clone())),
+            ("total", Json::Num(self.total as f64)),
+            ("done", Json::Num(self.done as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<SubmissionView> {
+        Some(SubmissionView {
+            id: v.get("id")?.as_str()?.to_string(),
+            client: v.get("client")?.as_str()?.to_string(),
+            priority: v.get("priority")?.as_f64()? as i64,
+            state: v.get("state")?.as_str()?.to_string(),
+            total: v.get("total")?.as_u64()?,
+            done: v.get("done")?.as_u64()?,
+        })
+    }
+}
+
+/// One event line from the daemon (also the reply format: every
+/// request is answered by at least one event). Unknown fields are
+/// ignored on parse, so the daemon may add detail without breaking
+/// older clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A protocol or planning error (the request achieved nothing).
+    Error { error: String },
+    /// The submission was admitted to the queue. `cross_client_shared`
+    /// counts its closure jobs already owned by queued or running
+    /// submissions of *other* clients' plans — work this client gets
+    /// for free.
+    Admitted {
+        id: String,
+        client: String,
+        jobs: u64,
+        cross_client_shared: u64,
+        queue_depth: u64,
+    },
+    /// The submission was refused at admission (queue full, shutdown).
+    Rejected { client: String, reason: String },
+    /// One job lifecycle event of a submission (started / retried /
+    /// hit / done / recovered / failed / cancelled).
+    Job {
+        id: String,
+        label: String,
+        spec_hash: String,
+        status: JobStatus,
+        attempts: u64,
+        wall: f64,
+        error: Option<String>,
+    },
+    /// Per-submission completion fraction after each resolved job.
+    Progress {
+        id: String,
+        done: u64,
+        total: u64,
+        percent: u64,
+    },
+    /// The submission finished: `outcome` is `"pass"`, `"failed"` or
+    /// `"cancelled"`; the counters are this submission's share.
+    Complete {
+        id: String,
+        outcome: String,
+        executed: u64,
+        cache_hits: u64,
+        failed: u64,
+        cancelled: u64,
+    },
+    /// Reply to `status`.
+    Status {
+        running: Vec<SubmissionView>,
+        queued: Vec<SubmissionView>,
+    },
+    /// Reply to `cancel` / `shutdown`.
+    Ack { cmd: String, id: Option<String> },
+}
+
+impl Event {
+    /// The event as a JSON object (the wire form is `render()`).
+    pub fn to_json(&self) -> Json {
+        let vnum = Json::Num(PROTOCOL_VERSION as f64);
+        match self {
+            Event::Error { error } => obj(vec![
+                ("v", vnum),
+                ("event", Json::Str("error".into())),
+                ("error", Json::Str(error.clone())),
+            ]),
+            Event::Admitted {
+                id,
+                client,
+                jobs,
+                cross_client_shared,
+                queue_depth,
+            } => obj(vec![
+                ("v", vnum),
+                ("event", Json::Str("admitted".into())),
+                ("id", Json::Str(id.clone())),
+                ("client", Json::Str(client.clone())),
+                ("jobs", Json::Num(*jobs as f64)),
+                (
+                    "cross_client_shared",
+                    Json::Num(*cross_client_shared as f64),
+                ),
+                ("queue_depth", Json::Num(*queue_depth as f64)),
+            ]),
+            Event::Rejected { client, reason } => obj(vec![
+                ("v", vnum),
+                ("event", Json::Str("rejected".into())),
+                ("client", Json::Str(client.clone())),
+                ("reason", Json::Str(reason.clone())),
+            ]),
+            Event::Job {
+                id,
+                label,
+                spec_hash,
+                status,
+                attempts,
+                wall,
+                error,
+            } => {
+                let mut fields = vec![
+                    ("v", vnum),
+                    ("event", Json::Str("job".into())),
+                    ("id", Json::Str(id.clone())),
+                    ("label", Json::Str(label.clone())),
+                    ("spec_hash", Json::Str(spec_hash.clone())),
+                    ("status", Json::Str(status.name().into())),
+                    ("attempts", Json::Num(*attempts as f64)),
+                    ("wall", Json::Num((*wall * 1000.0).round() / 1000.0)),
+                ];
+                if let Some(e) = error {
+                    fields.push(("error", Json::Str(e.clone())));
+                }
+                obj(fields)
+            }
+            Event::Progress {
+                id,
+                done,
+                total,
+                percent,
+            } => obj(vec![
+                ("v", vnum),
+                ("event", Json::Str("progress".into())),
+                ("id", Json::Str(id.clone())),
+                ("done", Json::Num(*done as f64)),
+                ("total", Json::Num(*total as f64)),
+                ("percent", Json::Num(*percent as f64)),
+            ]),
+            Event::Complete {
+                id,
+                outcome,
+                executed,
+                cache_hits,
+                failed,
+                cancelled,
+            } => obj(vec![
+                ("v", vnum),
+                ("event", Json::Str("complete".into())),
+                ("id", Json::Str(id.clone())),
+                ("outcome", Json::Str(outcome.clone())),
+                ("executed", Json::Num(*executed as f64)),
+                ("cache_hits", Json::Num(*cache_hits as f64)),
+                ("failed", Json::Num(*failed as f64)),
+                ("cancelled", Json::Num(*cancelled as f64)),
+            ]),
+            Event::Status { running, queued } => obj(vec![
+                ("v", vnum),
+                ("event", Json::Str("status".into())),
+                (
+                    "running",
+                    Json::Arr(running.iter().map(SubmissionView::to_json).collect()),
+                ),
+                (
+                    "queued",
+                    Json::Arr(queued.iter().map(SubmissionView::to_json).collect()),
+                ),
+            ]),
+            Event::Ack { cmd, id } => {
+                let mut fields = vec![
+                    ("v", vnum),
+                    ("event", Json::Str("ack".into())),
+                    ("cmd", Json::Str(cmd.clone())),
+                ];
+                if let Some(id) = id {
+                    fields.push(("id", Json::Str(id.clone())));
+                }
+                obj(fields)
+            }
+        }
+    }
+
+    /// Render to the canonical single-line wire form.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse one event line. `Err` carries the protocol error.
+    pub fn parse_line(line: &str) -> Result<Event, String> {
+        let v = Json::parse(line).ok_or_else(|| "malformed event: not JSON".to_string())?;
+        let kind = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing event field \"event\"".to_string())?;
+        let s = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        };
+        let n = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing field {key:?}"))
+        };
+        match kind {
+            "error" => Ok(Event::Error { error: s("error")? }),
+            "admitted" => Ok(Event::Admitted {
+                id: s("id")?,
+                client: s("client")?,
+                jobs: n("jobs")?,
+                cross_client_shared: n("cross_client_shared")?,
+                queue_depth: n("queue_depth")?,
+            }),
+            "rejected" => Ok(Event::Rejected {
+                client: s("client")?,
+                reason: s("reason")?,
+            }),
+            "job" => Ok(Event::Job {
+                id: s("id")?,
+                label: s("label")?,
+                spec_hash: s("spec_hash")?,
+                status: JobStatus::from_name(&s("status")?)
+                    .ok_or_else(|| "unknown job status".to_string())?,
+                attempts: n("attempts")?,
+                wall: v.get("wall").and_then(Json::as_f64).unwrap_or(0.0),
+                error: v.get("error").and_then(Json::as_str).map(str::to_string),
+            }),
+            "progress" => Ok(Event::Progress {
+                id: s("id")?,
+                done: n("done")?,
+                total: n("total")?,
+                percent: n("percent")?,
+            }),
+            "complete" => Ok(Event::Complete {
+                id: s("id")?,
+                outcome: s("outcome")?,
+                executed: n("executed")?,
+                cache_hits: n("cache_hits")?,
+                failed: n("failed")?,
+                cancelled: n("cancelled")?,
+            }),
+            "status" => {
+                let views = |key: &str| -> Result<Vec<SubmissionView>, String> {
+                    v.get(key)
+                        .and_then(Json::as_arr)
+                        .map(|items| items.iter().filter_map(SubmissionView::from_json).collect())
+                        .ok_or_else(|| format!("missing field {key:?}"))
+                };
+                Ok(Event::Status {
+                    running: views("running")?,
+                    queued: views("queued")?,
+                })
+            }
+            "ack" => Ok(Event::Ack {
+                cmd: s("cmd")?,
+                id: v.get("id").and_then(Json::as_str).map(str::to_string),
+            }),
+            other => Err(format!("unknown event {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server configuration.
+// ---------------------------------------------------------------------------
+
+/// The daemon's knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The listening socket path (conventionally `results/daemon.sock`).
+    pub socket: PathBuf,
+    /// Append-only event log (`results/daemon/events.jsonl`).
+    pub events_log: PathBuf,
+    /// Root for per-batch fabric directories (tombstones live here for
+    /// the duration of one batch only, so a cancelled job's tombstone
+    /// never poisons a later submission).
+    pub fabric_root: PathBuf,
+    /// Max queued submissions; beyond this, `submit` is rejected.
+    pub max_queue: usize,
+    /// Target cap on unique in-flight jobs per scheduling batch. A
+    /// batch always admits at least one submission, even one larger
+    /// than the cap.
+    pub max_inflight: usize,
+    /// Lease heartbeat TTL for the batch executor (see [`FabricConfig`]).
+    pub lease_ttl: f64,
+    /// Straggler threshold for the batch executor.
+    pub steal_after: Option<f64>,
+    /// Suppress per-job log lines on stderr.
+    pub quiet: bool,
+}
+
+impl DaemonConfig {
+    /// The standard layout under `results_dir`.
+    pub fn for_results_dir(results_dir: &std::path::Path) -> Self {
+        DaemonConfig {
+            socket: results_dir.join("daemon.sock"),
+            events_log: results_dir.join("daemon").join("events.jsonl"),
+            fabric_root: results_dir.join("daemon").join("fabric"),
+            max_queue: 16,
+            max_inflight: 4096,
+            lease_ttl: 2.0,
+            steal_after: None,
+            quiet: false,
+        }
+    }
+}
+
+/// The planner callback: expands one submission into its declared job
+/// list (the binary supplies this — the figure registry lives in
+/// `poise-bench`, above this crate). Must be deterministic: the client
+/// re-expands the same plan locally to render from the warmed cache.
+pub type Planner = dyn Fn(&SubmitRequest) -> Result<Vec<SimJob>, String> + Send + Sync;
+
+// ---------------------------------------------------------------------------
+// Server internals.
+// ---------------------------------------------------------------------------
+
+/// A queued submission (jobs expanded, not yet scheduled).
+struct Queued {
+    id: u64,
+    client: String,
+    priority: i64,
+    arrival: u64,
+    jobs: Vec<SimJob>,
+    hashes: HashSet<String>,
+    total: usize,
+    stream: Option<UnixStream>,
+}
+
+/// One running submission's channel state (owned by the router while
+/// its batch executes).
+struct Channel {
+    client: String,
+    priority: i64,
+    stream: Option<UnixStream>,
+    hashes: HashSet<String>,
+    total: usize,
+    /// Terminal spec hashes seen (each resolves exactly once).
+    done: HashSet<String>,
+    hits: u64,
+    executed: u64,
+    failed: u64,
+    cancelled_jobs: u64,
+    /// The client withdrew this submission.
+    withdrawn: bool,
+}
+
+/// Event routing state for the running batch: which submissions
+/// subscribe to which spec hashes, and the live-subscriber counts the
+/// engine's veto gate consults.
+#[derive(Default)]
+struct RouterState {
+    subscribers: HashMap<String, Vec<u64>>,
+    live: HashMap<String, usize>,
+    channels: HashMap<u64, Channel>,
+}
+
+/// The event router: fans engine progress events out to subscribed
+/// client streams and the append-only event log.
+struct Router {
+    state: Mutex<RouterState>,
+    log: Mutex<Option<std::fs::File>>,
+    seq: AtomicU64,
+    started: Instant,
+}
+
+impl Router {
+    /// Append one event line to `events.jsonl`, wrapped with a sequence
+    /// number and daemon-relative timestamp (volatile fields stay out
+    /// of the client wire format, which `protocol_golden` pins).
+    fn log_event(&self, event: &Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let t = (self.started.elapsed().as_secs_f64() * 1000.0).round() / 1000.0;
+        let mut fields = vec![
+            ("seq".to_string(), Json::Num(seq as f64)),
+            ("t".to_string(), Json::Num(t)),
+        ];
+        if let Json::Obj(event_fields) = event.to_json() {
+            fields.extend(event_fields);
+        }
+        let line = Json::Obj(fields).render();
+        if let Some(f) = self.log.lock().expect("event log").as_mut() {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    /// Write one event to a client stream; a dead stream is dropped
+    /// (the submission keeps running — client death must not cancel
+    /// shared work).
+    fn send(stream: &mut Option<UnixStream>, event: &Event) {
+        if let Some(s) = stream {
+            if writeln!(s, "{}", event.render()).is_err() {
+                *stream = None;
+            }
+        }
+    }
+
+    /// Route one event to a submission's stream and the log.
+    fn emit_to(&self, channel: &mut Channel, event: &Event) {
+        Router::send(&mut channel.stream, event);
+        self.log_event(event);
+    }
+}
+
+impl ProgressSink for Router {
+    fn job_event(&self, event: &JobEvent) {
+        let mut state = self.state.lock().expect("router state");
+        let Some(subs) = state.subscribers.get(&event.spec_hash).cloned() else {
+            return;
+        };
+        for id in subs {
+            let Some(channel) = state.channels.get_mut(&id) else {
+                continue;
+            };
+            let ev = Event::Job {
+                id: sub_id(id),
+                label: event.label.clone(),
+                spec_hash: event.spec_hash.clone(),
+                status: event.status,
+                attempts: event.attempts as u64,
+                wall: event.wall,
+                error: event.error.clone(),
+            };
+            self.emit_to(channel, &ev);
+            if event.status.is_terminal() && channel.done.insert(event.spec_hash.clone()) {
+                match event.status {
+                    JobStatus::Hit => channel.hits += 1,
+                    JobStatus::Done | JobStatus::Recovered => channel.executed += 1,
+                    JobStatus::Cancelled => channel.cancelled_jobs += 1,
+                    _ => channel.failed += 1,
+                }
+                let (done, total) = (channel.done.len() as u64, channel.total as u64);
+                let ev = Event::Progress {
+                    id: sub_id(id),
+                    done,
+                    total,
+                    percent: (done * 100).checked_div(total).unwrap_or(100),
+                };
+                self.emit_to(channel, &ev);
+            }
+        }
+    }
+}
+
+/// Submission ids as the protocol spells them (`s1`, `s2`, …).
+fn sub_id(n: u64) -> String {
+    format!("s{n}")
+}
+
+/// Scheduler queue + shutdown state.
+#[derive(Default)]
+struct SchedState {
+    queue: Vec<Queued>,
+    next_id: u64,
+    arrivals: u64,
+    /// `Some(now)` once a shutdown was requested.
+    shutdown: Option<bool>,
+}
+
+/// The daemon: shared state between the accept loop, per-connection
+/// threads and the scheduler thread.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    engine: Engine,
+    planner: Box<Planner>,
+    sched: Mutex<SchedState>,
+    wake: Condvar,
+    router: Arc<Router>,
+}
+
+impl Daemon {
+    /// Serve until a `shutdown` request completes. Returns the number
+    /// of submissions completed. `engine.progress` and `engine.veto`
+    /// are installed by the daemon; any prior values are replaced.
+    pub fn serve(
+        mut engine: Engine,
+        planner: Box<Planner>,
+        cfg: DaemonConfig,
+    ) -> Result<u64, String> {
+        // Startup hygiene: a daemon restarted after SIGKILL must not
+        // strand the previous instance's claims or torn writes. The
+        // daemon is the store's front door, so at startup no worker of
+        // ours can be alive.
+        let reaped = engine.cache().reap_stale_leases(0.0);
+        let swept = engine.cache().sweep_tmp();
+        if (reaped > 0 || swept > 0) && !cfg.quiet {
+            eprintln!(
+                "[poised] startup: reaped {reaped} stale lease(s), removed {swept} tmp orphan(s)"
+            );
+        }
+
+        if let Some(parent) = cfg.events_log.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        let log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&cfg.events_log)
+            .map_err(|e| format!("cannot open {}: {e}", cfg.events_log.display()))?;
+
+        let router = Arc::new(Router {
+            state: Mutex::default(),
+            log: Mutex::new(Some(log)),
+            seq: AtomicU64::new(0),
+            started: Instant::now(),
+        });
+        // The engine streams lifecycle events through the router and
+        // consults it before every attempt: a spec hash whose live
+        // subscriber count dropped to zero is vetoed (cancelled).
+        engine.progress = Some(router.clone() as Arc<dyn ProgressSink>);
+        let veto_router = router.clone();
+        engine.veto = Some(Arc::new(move |hash: &str| {
+            veto_router
+                .state
+                .lock()
+                .map(|s| s.live.get(hash) == Some(&0))
+                .unwrap_or(false)
+        }));
+
+        let listener = bind_socket(&cfg.socket)?;
+        if !cfg.quiet {
+            eprintln!("[poised] listening on {}", cfg.socket.display());
+        }
+
+        let daemon = Arc::new(Daemon {
+            cfg,
+            engine,
+            planner,
+            sched: Mutex::default(),
+            wake: Condvar::new(),
+            router,
+        });
+
+        // The scheduler: batches queued submissions onto the fabric.
+        let scheduler = {
+            let d = daemon.clone();
+            std::thread::spawn(move || d.scheduler_loop())
+        };
+
+        // The accept loop: one thread per connection. A shutdown
+        // request unblocks `accept` with a dummy connection.
+        let mut conns = Vec::new();
+        for stream in listener.incoming() {
+            if daemon.sched.lock().expect("sched state").shutdown.is_some() {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    // A short read timeout lets a handler blocked on an
+                    // idle client wake up and observe shutdown — without
+                    // it, joining connection threads below would wait on
+                    // clients that never close their stream.
+                    let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                    let d = daemon.clone();
+                    conns.push(std::thread::spawn(move || d.handle_connection(s)));
+                }
+                Err(e) => {
+                    if !daemon.cfg.quiet {
+                        eprintln!("[poised] accept: {e}");
+                    }
+                }
+            }
+        }
+        for c in conns {
+            let _ = c.join();
+        }
+        let completed: u64 = scheduler.join().unwrap_or_default();
+
+        // Shutdown hygiene: mirror startup (the batch executor has
+        // exited, so any surviving lease is ours and orphaned).
+        let reaped = daemon.engine.cache().reap_stale_leases(0.0);
+        let swept = daemon.engine.cache().sweep_tmp();
+        let _ = std::fs::remove_dir_all(&daemon.cfg.fabric_root);
+        let _ = std::fs::remove_file(&daemon.cfg.socket);
+        if !daemon.cfg.quiet {
+            eprintln!(
+                "[poised] shutdown: {completed} submission(s) completed; \
+                 reaped {reaped} lease(s), removed {swept} tmp orphan(s)"
+            );
+        }
+        Ok(completed)
+    }
+
+    // -- connection handling ------------------------------------------------
+
+    fn handle_connection(&self, stream: UnixStream) {
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        });
+        let mut write_half = Some(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            // Inner loop: a read timeout is not an error — it is the
+            // shutdown poll. Bytes of a partial line read before the
+            // timeout stay appended to `line`, so resuming the read
+            // continues the same line.
+            loop {
+                match reader.read_line(&mut line) {
+                    Ok(0) => return, // EOF: client hung up.
+                    Ok(_) => break,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock
+                                | std::io::ErrorKind::TimedOut
+                                | std::io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        if self.sched.lock().expect("sched state").shutdown.is_some() {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match Request::parse_line(trimmed) {
+                Ok(req) => {
+                    if !self.handle_request(req, &mut write_half) {
+                        return;
+                    }
+                }
+                Err(error) => {
+                    // Malformed or truncated lines get a structured
+                    // error reply — never a panic or a silent drop.
+                    Router::send(&mut write_half, &Event::Error { error });
+                }
+            }
+            if write_half.is_none() {
+                return;
+            }
+        }
+    }
+
+    /// Dispatch one request. Returns `false` when the connection's
+    /// write half was handed to a submission (the connection thread
+    /// keeps reading for follow-up commands in all other cases).
+    fn handle_request(&self, req: Request, stream: &mut Option<UnixStream>) -> bool {
+        match req {
+            Request::Submit(submit) => self.handle_submit(submit, stream),
+            Request::Status => {
+                let ev = self.status_event();
+                Router::send(stream, &ev);
+                true
+            }
+            Request::Cancel { id } => {
+                let ev = self.handle_cancel(&id);
+                Router::send(stream, &ev);
+                true
+            }
+            Request::Shutdown { now } => {
+                self.handle_shutdown(now);
+                Router::send(
+                    stream,
+                    &Event::Ack {
+                        cmd: "shutdown".to_string(),
+                        id: None,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    fn handle_submit(&self, submit: SubmitRequest, stream: &mut Option<UnixStream>) -> bool {
+        // Plan outside the locks: expansion simulates nothing but may
+        // parse overlays and walk the registry.
+        let jobs = match (self.planner)(&submit) {
+            Ok(jobs) => jobs,
+            Err(error) => {
+                Router::send(stream, &Event::Error { error });
+                return true;
+            }
+        };
+        let closure = graph_closure(&jobs);
+        let hashes: HashSet<String> = closure.iter().map(|(h, _)| h.clone()).collect();
+        let total = closure.len();
+
+        let mut sched = self.sched.lock().expect("sched state");
+        if sched.shutdown.is_some() {
+            let ev = Event::Rejected {
+                client: submit.client.clone(),
+                reason: "daemon is shutting down".to_string(),
+            };
+            self.router.log_event(&ev);
+            Router::send(stream, &ev);
+            return true;
+        }
+        if sched.queue.len() >= self.cfg.max_queue {
+            let ev = Event::Rejected {
+                client: submit.client.clone(),
+                reason: format!("queue full ({} queued)", sched.queue.len()),
+            };
+            self.router.log_event(&ev);
+            Router::send(stream, &ev);
+            return true;
+        }
+        // Cross-client coalescing: overlap with every queued and
+        // running submission's closure. (Lock order: sched before
+        // router, everywhere.)
+        let shared = {
+            let router = self.router.state.lock().expect("router state");
+            hashes
+                .iter()
+                .filter(|h| {
+                    router.subscribers.contains_key(*h)
+                        || sched.queue.iter().any(|q| q.hashes.contains(*h))
+                })
+                .count() as u64
+        };
+        sched.next_id += 1;
+        sched.arrivals += 1;
+        let id = sched.next_id;
+        let arrival = sched.arrivals;
+        let ev = Event::Admitted {
+            id: sub_id(id),
+            client: submit.client.clone(),
+            jobs: total as u64,
+            cross_client_shared: shared,
+            queue_depth: sched.queue.len() as u64 + 1,
+        };
+        self.router.log_event(&ev);
+        Router::send(stream, &ev);
+        if !self.cfg.quiet {
+            eprintln!(
+                "[poised] {} admitted from {:?}: {total} job(s), cross_client_shared={shared}",
+                sub_id(id),
+                submit.client
+            );
+        }
+        sched.queue.push(Queued {
+            id,
+            client: submit.client,
+            priority: submit.priority,
+            arrival,
+            jobs,
+            hashes,
+            total,
+            stream: stream.take(),
+        });
+        self.wake.notify_all();
+        // The stream now belongs to the submission; stop reading from
+        // this connection (one submission per connection, like one
+        // plan per `run_all` invocation).
+        false
+    }
+
+    fn handle_cancel(&self, id: &str) -> Event {
+        let Some(num) = id.strip_prefix('s').and_then(|n| n.parse::<u64>().ok()) else {
+            return Event::Error {
+                error: format!("malformed submission id {id:?}"),
+            };
+        };
+        let mut sched = self.sched.lock().expect("sched state");
+        // Queued: withdraw before it ever runs.
+        if let Some(pos) = sched.queue.iter().position(|q| q.id == num) {
+            let mut q = sched.queue.remove(pos);
+            drop(sched);
+            let ev = Event::Complete {
+                id: sub_id(num),
+                outcome: "cancelled".to_string(),
+                executed: 0,
+                cache_hits: 0,
+                failed: 0,
+                cancelled: q.total as u64,
+            };
+            self.router.log_event(&ev);
+            Router::send(&mut q.stream, &ev);
+            return Event::Ack {
+                cmd: "cancel".to_string(),
+                id: Some(sub_id(num)),
+            };
+        }
+        drop(sched);
+        // Running: withdraw its subscriptions; jobs with no live
+        // subscriber left are vetoed, and any executing attempt is
+        // interrupted at its next simulator barrier.
+        let mut router = self.router.state.lock().expect("router state");
+        if let Some(channel) = router.channels.get_mut(&num) {
+            if channel.withdrawn {
+                return Event::Ack {
+                    cmd: "cancel".to_string(),
+                    id: Some(sub_id(num)),
+                };
+            }
+            channel.withdrawn = true;
+            let hashes: Vec<String> = channel.hashes.iter().cloned().collect();
+            let mut orphaned = Vec::new();
+            for h in hashes {
+                if let Some(n) = router.live.get_mut(&h) {
+                    *n = n.saturating_sub(1);
+                    if *n == 0 {
+                        orphaned.push(h);
+                    }
+                }
+            }
+            drop(router);
+            for h in &orphaned {
+                self.engine.cancel_spec(h);
+            }
+            if !self.cfg.quiet {
+                eprintln!(
+                    "[poised] {} cancelled; {} job(s) orphaned and vetoed",
+                    sub_id(num),
+                    orphaned.len()
+                );
+            }
+            return Event::Ack {
+                cmd: "cancel".to_string(),
+                id: Some(sub_id(num)),
+            };
+        }
+        Event::Error {
+            error: format!("no queued or running submission {id:?}"),
+        }
+    }
+
+    fn handle_shutdown(&self, now: bool) {
+        let ids: Vec<u64> = {
+            let mut sched = self.sched.lock().expect("sched state");
+            sched.shutdown = Some(now);
+            self.wake.notify_all();
+            if now {
+                // Cancel the queue immediately; the scheduler never
+                // sees these again.
+                let drained: Vec<Queued> = sched.queue.drain(..).collect();
+                drop(sched);
+                for mut q in drained {
+                    let ev = Event::Complete {
+                        id: sub_id(q.id),
+                        outcome: "cancelled".to_string(),
+                        executed: 0,
+                        cache_hits: 0,
+                        failed: 0,
+                        cancelled: q.total as u64,
+                    };
+                    self.router.log_event(&ev);
+                    Router::send(&mut q.stream, &ev);
+                }
+                let router = self.router.state.lock().expect("router state");
+                router.channels.keys().copied().collect()
+            } else {
+                Vec::new()
+            }
+        };
+        for id in ids {
+            let _ = self.handle_cancel(&sub_id(id));
+        }
+        // Unblock the accept loop.
+        let _ = UnixStream::connect(&self.cfg.socket);
+    }
+
+    fn status_event(&self) -> Event {
+        let sched = self.sched.lock().expect("sched state");
+        let router = self.router.state.lock().expect("router state");
+        let queued = sched
+            .queue
+            .iter()
+            .map(|q| SubmissionView {
+                id: sub_id(q.id),
+                client: q.client.clone(),
+                priority: q.priority,
+                state: "queued".to_string(),
+                total: q.total as u64,
+                done: 0,
+            })
+            .collect();
+        let mut running: Vec<SubmissionView> = router
+            .channels
+            .iter()
+            .map(|(id, c)| SubmissionView {
+                id: sub_id(*id),
+                client: c.client.clone(),
+                priority: c.priority,
+                state: if c.withdrawn { "cancelled" } else { "running" }.to_string(),
+                total: c.total as u64,
+                done: c.done.len() as u64,
+            })
+            .collect();
+        running.sort_by(|a, b| a.id.cmp(&b.id));
+        Event::Status { running, queued }
+    }
+
+    // -- the scheduler ------------------------------------------------------
+
+    /// Batch queued submissions onto the lease fabric until shutdown.
+    /// Returns the number of submissions completed.
+    fn scheduler_loop(&self) -> u64 {
+        let mut completed = 0u64;
+        let mut batch_no = 0u64;
+        loop {
+            let batch = {
+                let mut sched = self.sched.lock().expect("sched state");
+                loop {
+                    match (sched.queue.is_empty(), sched.shutdown) {
+                        (false, _) => break,
+                        (true, Some(_)) => return completed,
+                        (true, None) => {
+                            sched = self.wake.wait(sched).expect("sched state");
+                        }
+                    }
+                }
+                self.select_batch(&mut sched)
+            };
+            batch_no += 1;
+            completed += self.run_batch(batch, batch_no);
+        }
+    }
+
+    /// Admission: pop queued submissions in `(priority desc, arrival
+    /// asc)` order while the union of their closures fits the
+    /// in-flight cap (always at least one).
+    fn select_batch(&self, sched: &mut SchedState) -> Vec<Queued> {
+        let mut order: Vec<usize> = (0..sched.queue.len()).collect();
+        order.sort_by_key(|&i| (-sched.queue[i].priority, sched.queue[i].arrival));
+        let mut union: HashSet<String> = HashSet::new();
+        let mut picked: Vec<u64> = Vec::new();
+        for &i in &order {
+            let q = &sched.queue[i];
+            let grown: HashSet<String> = union.union(&q.hashes).cloned().collect();
+            if !picked.is_empty() && grown.len() > self.cfg.max_inflight {
+                continue;
+            }
+            union = grown;
+            picked.push(q.id);
+        }
+        let mut batch: Vec<Queued> = Vec::new();
+        for id in picked {
+            let pos = sched
+                .queue
+                .iter()
+                .position(|q| q.id == id)
+                .expect("picked ids are queued");
+            batch.push(sched.queue.remove(pos));
+        }
+        // Priority then arrival, so the round-robin interleave below
+        // gives the highest-priority client the first slot of each
+        // turn.
+        batch.sort_by_key(|q| (-q.priority, q.arrival));
+        batch
+    }
+
+    /// Execute one batch on the lease fabric and complete its
+    /// submissions. Returns how many completed.
+    fn run_batch(&self, batch: Vec<Queued>, batch_no: u64) -> u64 {
+        // Round-robin wave interleaving: merge the declared job lists
+        // one job per submission per turn. The engine re-sorts by
+        // dependency wave (stably), so within each wave the clients'
+        // jobs stay interleaved — per-client fairness inside the
+        // parallel execution order.
+        let mut merged: Vec<SimJob> = Vec::new();
+        {
+            let mut cursors: Vec<std::slice::Iter<SimJob>> =
+                batch.iter().map(|q| q.jobs.iter()).collect();
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for cur in &mut cursors {
+                    if let Some(job) = cur.next() {
+                        merged.push(job.clone());
+                        progressed = true;
+                    }
+                }
+            }
+        }
+
+        // Install the batch in the router: subscriptions, live counts,
+        // channels.
+        {
+            let mut router = self.router.state.lock().expect("router state");
+            for q in &batch {
+                for h in &q.hashes {
+                    router.subscribers.entry(h.clone()).or_default().push(q.id);
+                    *router.live.entry(h.clone()).or_insert(0) += 1;
+                }
+            }
+            for q in batch {
+                router.channels.insert(
+                    q.id,
+                    Channel {
+                        client: q.client,
+                        priority: q.priority,
+                        stream: q.stream,
+                        hashes: q.hashes,
+                        total: q.total,
+                        done: HashSet::new(),
+                        hits: 0,
+                        executed: 0,
+                        failed: 0,
+                        cancelled_jobs: 0,
+                        withdrawn: false,
+                    },
+                );
+            }
+        }
+        // A `shutdown now` that raced the batch install: veto
+        // everything before paying for any simulation.
+        if self.sched.lock().expect("sched state").shutdown == Some(true) {
+            let ids: Vec<u64> = {
+                let router = self.router.state.lock().expect("router state");
+                router.channels.keys().copied().collect()
+            };
+            for id in ids {
+                let _ = self.handle_cancel(&sub_id(id));
+            }
+        }
+
+        if !self.cfg.quiet {
+            let n = {
+                let router = self.router.state.lock().expect("router state");
+                router.channels.len()
+            };
+            eprintln!(
+                "[poised] batch {batch_no}: {n} submission(s), {} declared job(s)",
+                merged.len()
+            );
+        }
+
+        // Execute on the lease fabric: leases land in the shared
+        // cache's leases/ directory, so standalone fleets on the same
+        // store cooperate instead of colliding, and `--status` can see
+        // in-flight work even headless. The per-batch fabric dir keeps
+        // tombstones scoped to this batch.
+        let fabric_dir = self.cfg.fabric_root.join(format!("batch-{batch_no}"));
+        let cfg = FabricConfig {
+            fabric_dir: fabric_dir.clone(),
+            worker_id: "poised".to_string(),
+            lease_ttl: self.cfg.lease_ttl,
+            steal_after: self.cfg.steal_after,
+            poll_ms: 25,
+            allow_kills: false,
+            claim_cap: crate::parallel::host_parallelism(),
+        };
+        let (store, report) = crate::fabric::run_worker(&self.engine, &merged, &cfg);
+        let _ = std::fs::remove_dir_all(&fabric_dir);
+        if !self.cfg.quiet {
+            eprintln!("[poised] batch {batch_no}: {}", report.summary_line());
+        }
+        let _ = store; // results live in the shared cache
+
+        // Complete every channel of this batch.
+        let mut router = self.router.state.lock().expect("router state");
+        let ids: Vec<u64> = router.channels.keys().copied().collect();
+        let mut completed = 0u64;
+        for id in ids {
+            let Some(mut channel) = router.channels.remove(&id) else {
+                continue;
+            };
+            for h in &channel.hashes {
+                if let Some(subs) = router.subscribers.get_mut(h) {
+                    subs.retain(|s| *s != id);
+                    if subs.is_empty() {
+                        router.subscribers.remove(h);
+                        router.live.remove(h);
+                    }
+                }
+            }
+            let outcome = if channel.withdrawn {
+                "cancelled"
+            } else if channel.failed > 0 || channel.cancelled_jobs > 0 {
+                "failed"
+            } else {
+                "pass"
+            };
+            let ev = Event::Complete {
+                id: sub_id(id),
+                outcome: outcome.to_string(),
+                executed: channel.executed,
+                cache_hits: channel.hits,
+                failed: channel.failed,
+                cancelled: channel.cancelled_jobs,
+            };
+            self.router.log_event(&ev);
+            Router::send(&mut channel.stream, &ev);
+            completed += 1;
+        }
+        completed
+    }
+}
+
+/// Bind the listening socket, replacing a stale socket file (a daemon
+/// killed with SIGKILL leaves one behind) but refusing to displace a
+/// live daemon.
+fn bind_socket(path: &std::path::Path) -> Result<UnixListener, String> {
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(format!(
+                    "a daemon is already listening on {}",
+                    path.display()
+                ));
+            }
+            std::fs::remove_file(path)
+                .map_err(|e| format!("cannot remove stale socket {}: {e}", path.display()))?;
+            UnixListener::bind(path).map_err(|e| format!("cannot bind {}: {e}", path.display()))
+        }
+        Err(e) => Err(format!("cannot bind {}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_and_unknown_fields() {
+        let req = Request::Submit(SubmitRequest {
+            client: "alice".into(),
+            priority: 5,
+            set: vec!["sms=2".into()],
+            sweep: vec!["run_cycles=10000,20000".into()],
+            only: Some(vec!["fig07".into()]),
+        });
+        let parsed = Request::parse_line(&req.render()).unwrap();
+        assert_eq!(parsed, req);
+        // Unknown fields are ignored forward-compatibly.
+        let line = r#"{"v":1,"cmd":"status","future_knob":{"nested":[1,2]}}"#;
+        assert_eq!(Request::parse_line(line).unwrap(), Request::Status);
+    }
+
+    #[test]
+    fn malformed_requests_error_not_panic() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "[1,2,3]",
+            "42",
+            r#"{"cmd":"submit"}"#,                   // missing version
+            r#"{"v":1}"#,                            // missing cmd
+            r#"{"v":0,"cmd":"status"}"#,             // bad version
+            r#"{"v":1,"cmd":"warp_drive"}"#,         // unknown cmd
+            r#"{"v":1,"cmd":"cancel"}"#,             // missing id
+            r#"{"v":1,"cmd":"submit","set":"sms"}"#, // set not an array
+            r#"{"v":1,"cmd":"status"} trailing"#,    // trailing garbage
+        ] {
+            assert!(Request::parse_line(bad).is_err(), "line {bad:?} must error");
+        }
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let events = vec![
+            Event::Error {
+                error: "nope".into(),
+            },
+            Event::Admitted {
+                id: "s1".into(),
+                client: "alice".into(),
+                jobs: 12,
+                cross_client_shared: 7,
+                queue_depth: 2,
+            },
+            Event::Rejected {
+                client: "bob".into(),
+                reason: "queue full (16 queued)".into(),
+            },
+            Event::Job {
+                id: "s1".into(),
+                label: "run jk1 gto".into(),
+                spec_hash: "abc123".into(),
+                status: JobStatus::Recovered,
+                attempts: 2,
+                wall: 1.5,
+                error: None,
+            },
+            Event::Progress {
+                id: "s1".into(),
+                done: 3,
+                total: 12,
+                percent: 25,
+            },
+            Event::Complete {
+                id: "s1".into(),
+                outcome: "pass".into(),
+                executed: 5,
+                cache_hits: 7,
+                failed: 0,
+                cancelled: 0,
+            },
+            Event::Status {
+                running: vec![SubmissionView {
+                    id: "s1".into(),
+                    client: "alice".into(),
+                    priority: 0,
+                    state: "running".into(),
+                    total: 12,
+                    done: 3,
+                }],
+                queued: vec![],
+            },
+            Event::Ack {
+                cmd: "cancel".into(),
+                id: Some("s2".into()),
+            },
+        ];
+        for ev in events {
+            let parsed = Event::parse_line(&ev.render()).unwrap();
+            assert_eq!(parsed, ev, "event must round-trip");
+        }
+    }
+
+    #[test]
+    fn event_parse_ignores_log_wrapper_fields() {
+        // events.jsonl lines carry seq/t on top of the wire fields; a
+        // client reconstructing history parses them with the same code.
+        let line = r#"{"seq":9,"t":1.25,"v":1,"event":"progress","id":"s1","done":1,"total":4,"percent":25}"#;
+        let ev = Event::parse_line(line).unwrap();
+        assert_eq!(
+            ev,
+            Event::Progress {
+                id: "s1".into(),
+                done: 1,
+                total: 4,
+                percent: 25
+            }
+        );
+    }
+}

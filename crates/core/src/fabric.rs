@@ -46,8 +46,8 @@ use std::time::{Duration, Instant};
 use crate::cache::{sha256_hex, Cache, LeaseInfo, Lookup};
 use crate::experiment::Setup;
 use crate::jobs::{
-    expand_graph, AttemptRecord, Engine, FailClass, JobGraph, JobIdentity, JobOutcome, JobOutput,
-    JobTrouble, ResultStore, RunReport, SimJob, Watchdog,
+    expand_graph, AttemptRecord, Engine, EventDetail, FailClass, JobGraph, JobIdentity, JobOutcome,
+    JobOutput, JobStatus, JobTrouble, ResultStore, RunReport, SimJob, Watchdog,
 };
 
 pub use self::json::Json;
@@ -483,6 +483,15 @@ pub fn run_worker(
                     Ok(i) => i,
                     Err(error) => {
                         resolved += 1;
+                        engine.emit(
+                            &job.label(),
+                            &sha256_hex(&spec),
+                            JobStatus::Failed,
+                            EventDetail {
+                                error: Some(error.clone()),
+                                ..EventDetail::default()
+                            },
+                        );
                         report.failed.push((job.label(), error.clone()));
                         report.trouble.push(JobTrouble {
                             label: job.label(),
@@ -513,6 +522,15 @@ pub fn run_worker(
                     if t.outcome == JobOutcome::TimedOut {
                         report.timed_out += 1;
                     }
+                    engine.emit(
+                        &t.label,
+                        &spec_hash,
+                        JobStatus::Failed,
+                        EventDetail {
+                            error: Some(t.error.clone()),
+                            ..EventDetail::default()
+                        },
+                    );
                     report.failed.push((t.label, t.error.clone()));
                     store.outputs.insert(spec, Err(t.error));
                     continue;
@@ -525,6 +543,15 @@ pub fn run_worker(
                         if let Some(out) = JobOutput::from_text(kind, &body) {
                             resolved += 1;
                             report.cache_hits += 1;
+                            engine.emit(
+                                &job.label(),
+                                &spec_hash,
+                                JobStatus::Hit,
+                                EventDetail {
+                                    wall,
+                                    ..EventDetail::default()
+                                },
+                            );
                             if !engine.quiet {
                                 eprintln!(
                                     "[{}] {resolved}/{total} {} hit",

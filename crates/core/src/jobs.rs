@@ -1285,6 +1285,10 @@ pub enum FailClass {
     Timeout,
     /// An upstream dependency failed; never attempted.
     Dependency,
+    /// The engine's veto gate refused the job (its submission was
+    /// cancelled — see [`Engine::veto`]). Terminal by construction:
+    /// retrying a job nobody wants would only burn the budget.
+    Cancelled,
 }
 
 impl FailClass {
@@ -1295,6 +1299,7 @@ impl FailClass {
             FailClass::Transient => "transient",
             FailClass::Timeout => "timeout",
             FailClass::Dependency => "dependency",
+            FailClass::Cancelled => "cancelled",
         }
     }
 
@@ -1305,6 +1310,7 @@ impl FailClass {
             "transient" => Some(FailClass::Transient),
             "timeout" => Some(FailClass::Timeout),
             "dependency" => Some(FailClass::Dependency),
+            "cancelled" => Some(FailClass::Cancelled),
             _ => None,
         }
     }
@@ -1463,6 +1469,106 @@ impl RunReport {
         ));
         s
     }
+}
+
+/// Lifecycle status of one job, as streamed to a [`ProgressSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Execution of an attempt began (a cache miss — hits never start).
+    Started,
+    /// A failed attempt will be retried after backoff.
+    Retried,
+    /// Answered from the cache without executing.
+    Hit,
+    /// Executed and committed on the first attempt.
+    Done,
+    /// Executed and committed after at least one failed attempt.
+    Recovered,
+    /// All attempts exhausted (or the failure was terminal).
+    Failed,
+    /// Refused by the veto gate: every subscriber cancelled.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Stable display name (the protocol renders this).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Started => "started",
+            JobStatus::Retried => "retried",
+            JobStatus::Hit => "hit",
+            JobStatus::Done => "done",
+            JobStatus::Recovered => "recovered",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`JobStatus::name`], for protocol parsing.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "started" => Some(JobStatus::Started),
+            "retried" => Some(JobStatus::Retried),
+            "hit" => Some(JobStatus::Hit),
+            "done" => Some(JobStatus::Done),
+            "recovered" => Some(JobStatus::Recovered),
+            "failed" => Some(JobStatus::Failed),
+            "cancelled" => Some(JobStatus::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Whether this status resolves the job (exactly one terminal event
+    /// is emitted per resolved job; `Started`/`Retried` may repeat).
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobStatus::Started | JobStatus::Retried)
+    }
+}
+
+/// One job-lifecycle event, emitted through the engine's
+/// [`ProgressSink`] as execution proceeds (the daemon's per-client
+/// progress streams ride on these).
+#[derive(Debug, Clone)]
+pub struct JobEvent {
+    /// The job's progress label.
+    pub label: String,
+    /// SHA-256 of the job's spec text — the stable job identity the
+    /// daemon's submissions subscribe on.
+    pub spec_hash: String,
+    /// What happened.
+    pub status: JobStatus,
+    /// Failed attempts so far (cumulative across lease owners).
+    pub attempts: u32,
+    /// Wall seconds of the resolving execution (0 while not terminal).
+    pub wall: f64,
+    /// The failure message, for `Failed`/`Cancelled`/`Retried`.
+    pub error: Option<String>,
+}
+
+/// An external observer of job lifecycle events. Implementations must
+/// be cheap and non-blocking — events fire inside the engine's parallel
+/// execution loops.
+pub trait ProgressSink: Send + Sync {
+    /// One lifecycle event. Exactly one terminal event per resolved job
+    /// (see [`JobStatus::is_terminal`]); `Started`/`Retried` may repeat
+    /// across attempts and lease owners.
+    fn job_event(&self, event: &JobEvent);
+}
+
+/// Cancellation predicate consulted by spec hash before each attempt
+/// (`true` = the job was withdrawn and must not execute).
+pub type VetoFn = dyn Fn(&str) -> bool + Send + Sync;
+
+/// The deduplicated dependency closure of `jobs` as
+/// `(spec_hash, label)` pairs in stable execution order — the identity
+/// set the daemon coalesces submissions on (two submissions overlap
+/// exactly where these hashes collide).
+pub fn graph_closure(jobs: &[SimJob]) -> Vec<(String, String)> {
+    let JobGraph { by_spec, order } = expand_graph(jobs);
+    order
+        .iter()
+        .map(|spec| (sha256_hex(spec), by_spec[spec].label()))
+        .collect()
 }
 
 /// The per-run watchdog: a registry of `(cancellation token, due time)`
@@ -1689,6 +1795,27 @@ pub struct Engine {
     pub max_retries: u32,
     /// First backoff; doubles per retry (`base × 2^attempt`).
     pub backoff_base: Duration,
+    /// External observer of job lifecycle events (`None` = silent).
+    /// The daemon installs one to stream per-client progress.
+    pub progress: Option<Arc<dyn ProgressSink>>,
+    /// Cancellation gate: `true` for a spec hash means the job was
+    /// cancelled (every subscriber withdrew) and must not execute.
+    /// Checked before each attempt; a veto mid-flight is classified
+    /// [`FailClass::Cancelled`] (terminal). `None` = nothing vetoed.
+    pub veto: Option<Arc<VetoFn>>,
+    /// Cancel tokens of attempts executing right now, by spec hash —
+    /// [`Engine::cancel_spec`] cancels through here so a cooperative
+    /// cancellation interrupts the running simulation at its next
+    /// barrier instead of waiting the attempt out.
+    inflight: Mutex<HashMap<String, CancelToken>>,
+}
+
+/// Detail payload for [`Engine::emit`] (attempt count, wall, error).
+#[derive(Default)]
+pub(crate) struct EventDetail {
+    pub(crate) attempts: u32,
+    pub(crate) wall: f64,
+    pub(crate) error: Option<String>,
 }
 
 /// One resolved prefix barrier: the cycle and the cache coordinates of
@@ -1756,6 +1883,9 @@ impl Engine {
             deadline: None,
             max_retries: 2,
             backoff_base: Duration::from_millis(50),
+            progress: None,
+            veto: None,
+            inflight: Mutex::new(HashMap::new()),
         }
     }
 
@@ -1784,6 +1914,41 @@ impl Engine {
     /// The installed fault plan, if any.
     pub fn faults(&self) -> Option<&FaultPlan> {
         self.faults.as_deref()
+    }
+
+    /// Emit one lifecycle event through the progress sink, if any.
+    pub(crate) fn emit(&self, label: &str, spec_hash: &str, status: JobStatus, d: EventDetail) {
+        if let Some(sink) = &self.progress {
+            sink.job_event(&JobEvent {
+                label: label.to_string(),
+                spec_hash: spec_hash.to_string(),
+                status,
+                attempts: d.attempts,
+                wall: d.wall,
+                error: d.error,
+            });
+        }
+    }
+
+    /// Whether the veto gate refuses `spec_hash` (its submission was
+    /// cancelled). `None` gate = nothing vetoed.
+    fn vetoed(&self, spec_hash: &str) -> bool {
+        self.veto.as_ref().is_some_and(|v| v(spec_hash))
+    }
+
+    /// Cooperatively cancel the attempt of `spec_hash` executing right
+    /// now, if any: its token is cancelled, so the simulation unwinds
+    /// at the next controller barrier. Pair with a [`Engine::veto`]
+    /// gate that refuses the hash, or the engine will simply retry.
+    pub fn cancel_spec(&self, spec_hash: &str) {
+        if let Some(token) = self
+            .inflight
+            .lock()
+            .expect("inflight registry")
+            .get(spec_hash)
+        {
+            token.cancel();
+        }
     }
 
     /// Offline re-validation of every cache entry (`run_all --fsck`):
@@ -2005,6 +2170,15 @@ impl Engine {
         let identity = match self.identify(job, store) {
             Ok(i) => i,
             Err(error) => {
+                self.emit(
+                    &job.label(),
+                    &sha256_hex(&job.spec_text()),
+                    JobStatus::Failed,
+                    EventDetail {
+                        error: Some(error.clone()),
+                        ..EventDetail::default()
+                    },
+                );
                 return fail(
                     vec![AttemptRecord {
                         class: FailClass::Dependency,
@@ -2013,7 +2187,7 @@ impl Engine {
                         wall_ms: 0,
                     }],
                     error,
-                )
+                );
             }
         };
         let deps = job.deps();
@@ -2032,6 +2206,15 @@ impl Engine {
             match self.cache.lookup(kind, &key) {
                 Lookup::Hit(body, wall) => {
                     if let Some(out) = JobOutput::from_text(kind, &body) {
+                        self.emit(
+                            &job.label(),
+                            &sha256_hex(&spec),
+                            JobStatus::Hit,
+                            EventDetail {
+                                wall,
+                                ..EventDetail::default()
+                            },
+                        );
                         return Disposition {
                             result: Ok(out),
                             was_hit: true,
@@ -2057,12 +2240,35 @@ impl Engine {
             .or_else(|| prior_wall.map(|w| (4.0 * w).max(1.0)));
         let prefixes = self.prefix_io(job, store);
         let spec_hash = sha256_hex(&spec);
+        let label = job.label();
         let mut attempts: Vec<AttemptRecord> = Vec::new();
 
         loop {
             // Cumulative across lease owners: a stolen job resumes the
             // dead owner's count rather than restarting the budget.
             let attempt = start_attempt + attempts.len() as u32;
+            // The veto gate: a cancelled submission's jobs stop here —
+            // before the first attempt, and between retries.
+            if self.vetoed(&spec_hash) {
+                let error = "cancelled: submission withdrawn".to_string();
+                attempts.push(AttemptRecord {
+                    class: FailClass::Cancelled,
+                    error: error.clone(),
+                    backoff_ms: 0,
+                    wall_ms: 0,
+                });
+                self.emit(
+                    &label,
+                    &spec_hash,
+                    JobStatus::Cancelled,
+                    EventDetail {
+                        attempts: attempt,
+                        error: Some(error.clone()),
+                        ..EventDetail::default()
+                    },
+                );
+                return fail(attempts, error);
+            }
             let injected = self
                 .faults
                 .as_ref()
@@ -2080,6 +2286,19 @@ impl Engine {
             if let Some(d) = deadline {
                 watchdog.register(token.clone(), Duration::from_secs_f64(d));
             }
+            self.inflight
+                .lock()
+                .expect("inflight registry")
+                .insert(spec_hash.clone(), token.clone());
+            self.emit(
+                &label,
+                &spec_hash,
+                JobStatus::Started,
+                EventDetail {
+                    attempts: attempt,
+                    ..EventDetail::default()
+                },
+            );
             let t0 = Instant::now();
             let executed = catch_unwind(AssertUnwindSafe(|| -> Result<JobOutput, String> {
                 match injected {
@@ -2100,6 +2319,10 @@ impl Engine {
                 Ok(job.execute(&dep_outputs, prefixes.as_ref()))
             }));
             watchdog.unregister(&token);
+            self.inflight
+                .lock()
+                .expect("inflight registry")
+                .remove(&spec_hash);
             drop(guard);
             let wall = t0.elapsed().as_secs_f64();
             let cancelled = token.is_cancelled();
@@ -2134,27 +2357,59 @@ impl Engine {
                     // job's serialiser, but it must fail *this job*, not
                     // panic past the engine's isolation.
                     return match JobOutput::from_text(kind, &body) {
-                        Some(canonical) => Disposition {
-                            result: Ok(canonical),
-                            was_hit: false,
-                            wall,
-                            attempts,
-                            lost: false,
-                        },
-                        None => fail(
-                            attempts,
-                            format!(
+                        Some(canonical) => {
+                            self.emit(
+                                &label,
+                                &spec_hash,
+                                if attempts.is_empty() {
+                                    JobStatus::Done
+                                } else {
+                                    JobStatus::Recovered
+                                },
+                                EventDetail {
+                                    attempts: attempts.len() as u32,
+                                    wall,
+                                    error: None,
+                                },
+                            );
+                            Disposition {
+                                result: Ok(canonical),
+                                was_hit: false,
+                                wall,
+                                attempts,
+                                lost: false,
+                            }
+                        }
+                        None => {
+                            let error = format!(
                                 "{} produced output that does not round-trip through its \
                                  serialisation (engine bug)",
                                 job.label()
-                            ),
-                        ),
+                            );
+                            self.emit(
+                                &label,
+                                &spec_hash,
+                                JobStatus::Failed,
+                                EventDetail {
+                                    attempts: attempts.len() as u32,
+                                    wall,
+                                    error: Some(error.clone()),
+                                },
+                            );
+                            fail(attempts, error)
+                        }
                     };
                 }
             }
 
-            // Classify the failure.
+            // Classify the failure. A cancelled token with a vetoing
+            // gate is a cooperative cancellation (`Engine::cancel_spec`),
+            // not a watchdog timeout.
             let (class, error) = match executed {
+                _ if cancelled && self.vetoed(&spec_hash) => (
+                    FailClass::Cancelled,
+                    format!("cancelled mid-run after {wall:.1}s: submission withdrawn"),
+                ),
                 _ if cancelled => (
                     FailClass::Timeout,
                     format!(
@@ -2189,9 +2444,34 @@ impl Engine {
                     _ if attempt > 0 => format!("after {} attempts: ", attempt + 1),
                     _ => String::new(),
                 };
-                return fail(attempts, format!("{prefix}{error}"));
+                let error = format!("{prefix}{error}");
+                self.emit(
+                    &label,
+                    &spec_hash,
+                    if class == FailClass::Cancelled {
+                        JobStatus::Cancelled
+                    } else {
+                        JobStatus::Failed
+                    },
+                    EventDetail {
+                        attempts: attempts.len() as u32,
+                        wall,
+                        error: Some(error.clone()),
+                    },
+                );
+                return fail(attempts, error);
             }
             let backoff = self.backoff_base * 2u32.saturating_pow(attempt);
+            self.emit(
+                &label,
+                &spec_hash,
+                JobStatus::Retried,
+                EventDetail {
+                    attempts: attempt + 1,
+                    wall,
+                    error: Some(error.clone()),
+                },
+            );
             attempts.push(AttemptRecord {
                 class,
                 error,

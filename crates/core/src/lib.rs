@@ -25,6 +25,9 @@
 //! * [`plan`] — declarative experiment plans: typed sweep axes and the
 //!   knob overlay (`--set` / `--sweep`) whose cartesian expansion feeds
 //!   `(Setup, SimJob)` sets through the engine with cross-point sharing;
+//! * [`daemon`] — the sweep daemon: a Unix-socket service that admits,
+//!   coalesces and streams concurrent experiment plans onto the lease
+//!   fabric (`poised` in `poise-bench` is the binary);
 //! * [`hardware_cost`] — the §VII-I storage-overhead accounting
 //!   (≈ 41 bytes per SM).
 //!
@@ -44,6 +47,7 @@
 
 pub mod cache;
 pub(crate) mod ctrl_state;
+pub mod daemon;
 pub mod experiment;
 pub mod fabric;
 pub mod faults;

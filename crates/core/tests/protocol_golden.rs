@@ -1,0 +1,386 @@
+//! Golden tests pinning the sweep daemon's wire grammar (protocol v1),
+//! plus a live round-trip over a real Unix socket.
+//!
+//! Like `spec_golden.rs` for cache keys: the daemon and its clients may
+//! be different builds (a long-running `poised` outlives `cargo build`),
+//! so the line grammar is part of the compatibility surface. A diff
+//! here means protocol v1 changed shape — bump
+//! [`poise::daemon::PROTOCOL_VERSION`] and update both sides, don't
+//! just re-pin.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+
+use poise::daemon::{Daemon, DaemonConfig, Event, Request, SubmitRequest};
+use poise::experiment::{Scheme, Setup};
+use poise::jobs::{Engine, JobStatus, KernelRunSpec, SimJob};
+use poise::profiler::{GridSpec, ProfileWindow};
+use workloads::{AccessMix, KernelSpec, Workload};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("poise-proto-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn tiny_setup() -> Setup {
+    let mut s = Setup::for_tests();
+    s.run_cycles = 6_000;
+    s.eval_grid = GridSpec::diagonal(6);
+    s.profile_window = ProfileWindow {
+        warmup: 200,
+        measure: 800,
+    };
+    s
+}
+
+fn kernel(seed: u64) -> Workload {
+    KernelSpec::steady(format!("proto{seed}"), AccessMix::memory_sensitive(), seed).into()
+}
+
+// ---------------------------------------------------------------------------
+// The grammar goldens.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn request_grammar_golden_v1() {
+    let cases = [
+        (
+            Request::Submit(SubmitRequest {
+                client: "alice".into(),
+                priority: 2,
+                set: vec!["sms=2".into()],
+                sweep: vec!["run_cycles=10000,20000".into()],
+                only: Some(vec!["fig07".into()]),
+            }),
+            r#"{"v":1,"cmd":"submit","client":"alice","priority":2,"set":["sms=2"],"sweep":["run_cycles=10000,20000"],"only":["fig07"]}"#,
+        ),
+        (
+            Request::Submit(SubmitRequest {
+                client: "bob".into(),
+                priority: 0,
+                set: vec![],
+                sweep: vec![],
+                only: None,
+            }),
+            r#"{"v":1,"cmd":"submit","client":"bob","priority":0,"set":[],"sweep":[]}"#,
+        ),
+        (Request::Status, r#"{"v":1,"cmd":"status"}"#),
+        (
+            Request::Cancel { id: "s3".into() },
+            r#"{"v":1,"cmd":"cancel","id":"s3"}"#,
+        ),
+        (
+            Request::Shutdown { now: false },
+            r#"{"v":1,"cmd":"shutdown","mode":"drain"}"#,
+        ),
+        (
+            Request::Shutdown { now: true },
+            r#"{"v":1,"cmd":"shutdown","mode":"now"}"#,
+        ),
+    ];
+    for (req, golden) in cases {
+        assert_eq!(req.render(), golden, "render of {req:?}");
+        assert_eq!(
+            Request::parse_line(golden).unwrap(),
+            req,
+            "parse of {golden}"
+        );
+    }
+}
+
+#[test]
+fn event_grammar_golden_v1() {
+    let cases = [
+        (
+            Event::Admitted {
+                id: "s1".into(),
+                client: "alice".into(),
+                jobs: 12,
+                cross_client_shared: 7,
+                queue_depth: 2,
+            },
+            r#"{"v":1,"event":"admitted","id":"s1","client":"alice","jobs":12,"cross_client_shared":7,"queue_depth":2}"#,
+        ),
+        (
+            Event::Rejected {
+                client: "bob".into(),
+                reason: "queue full (16 queued)".into(),
+            },
+            r#"{"v":1,"event":"rejected","client":"bob","reason":"queue full (16 queued)"}"#,
+        ),
+        (
+            Event::Job {
+                id: "s1".into(),
+                label: "run proto1 gto".into(),
+                spec_hash: "0a1b2c".into(),
+                status: JobStatus::Hit,
+                attempts: 0,
+                wall: 0.25,
+                error: None,
+            },
+            r#"{"v":1,"event":"job","id":"s1","label":"run proto1 gto","spec_hash":"0a1b2c","status":"hit","attempts":0,"wall":0.25}"#,
+        ),
+        (
+            Event::Job {
+                id: "s2".into(),
+                label: "run proto2 gto".into(),
+                spec_hash: "3d4e5f".into(),
+                status: JobStatus::Failed,
+                attempts: 3,
+                wall: 1.5,
+                error: Some("panicked".into()),
+            },
+            r#"{"v":1,"event":"job","id":"s2","label":"run proto2 gto","spec_hash":"3d4e5f","status":"failed","attempts":3,"wall":1.5,"error":"panicked"}"#,
+        ),
+        (
+            Event::Progress {
+                id: "s1".into(),
+                done: 3,
+                total: 12,
+                percent: 25,
+            },
+            r#"{"v":1,"event":"progress","id":"s1","done":3,"total":12,"percent":25}"#,
+        ),
+        (
+            Event::Complete {
+                id: "s1".into(),
+                outcome: "pass".into(),
+                executed: 5,
+                cache_hits: 7,
+                failed: 0,
+                cancelled: 0,
+            },
+            r#"{"v":1,"event":"complete","id":"s1","outcome":"pass","executed":5,"cache_hits":7,"failed":0,"cancelled":0}"#,
+        ),
+        (
+            Event::Error {
+                error: "unknown cmd \"warp_drive\"".into(),
+            },
+            r#"{"v":1,"event":"error","error":"unknown cmd \"warp_drive\""}"#,
+        ),
+        (
+            Event::Ack {
+                cmd: "shutdown".into(),
+                id: None,
+            },
+            r#"{"v":1,"event":"ack","cmd":"shutdown"}"#,
+        ),
+    ];
+    for (ev, golden) in cases {
+        assert_eq!(ev.render(), golden, "render of {ev:?}");
+        assert_eq!(Event::parse_line(golden).unwrap(), ev, "parse of {golden}");
+    }
+}
+
+#[test]
+fn unknown_fields_are_ignored_forward_compatibly() {
+    // A v1 client must survive a v1.x daemon adding fields, and vice
+    // versa: lookup-based parsing ignores anything it doesn't know.
+    let req = r#"{"v":1,"cmd":"cancel","id":"s9","deadline":12.5,"tags":["a"]}"#;
+    assert_eq!(
+        Request::parse_line(req).unwrap(),
+        Request::Cancel { id: "s9".into() }
+    );
+    let ev = r#"{"v":1,"event":"ack","cmd":"cancel","id":"s9","took_ms":3}"#;
+    assert_eq!(
+        Event::parse_line(ev).unwrap(),
+        Event::Ack {
+            cmd: "cancel".into(),
+            id: Some("s9".into()),
+        }
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Live round-trip over a real socket.
+// ---------------------------------------------------------------------------
+
+fn send_line(stream: &mut UnixStream, line: &str) {
+    writeln!(stream, "{line}").unwrap();
+}
+
+fn read_event(reader: &mut BufReader<UnixStream>) -> Event {
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(!line.trim().is_empty(), "daemon closed the stream");
+    Event::parse_line(line.trim()).unwrap()
+}
+
+fn connect(cfg: &DaemonConfig) -> (UnixStream, BufReader<UnixStream>) {
+    let stream = UnixStream::connect(&cfg.socket).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+#[test]
+fn daemon_round_trip_over_socket() {
+    let dir = tmp_dir("live");
+    let engine = Engine::new(dir.join("cache"));
+    let cfg = DaemonConfig::for_results_dir(&dir);
+    let setup = tiny_setup();
+    let planner = move |req: &SubmitRequest| -> Result<Vec<SimJob>, String> {
+        if req.only.as_deref() == Some(&["nope".to_string()][..]) {
+            return Err("no figures matched the --only filter".to_string());
+        }
+        Ok(vec![
+            SimJob::Run(KernelRunSpec::new(&kernel(1), Scheme::Gto, &setup, None)),
+            SimJob::Run(KernelRunSpec::new(&kernel(2), Scheme::Gto, &setup, None)),
+        ])
+    };
+    let serve_cfg = cfg.clone();
+    let server = std::thread::spawn(move || Daemon::serve(engine, Box::new(planner), serve_cfg));
+    for _ in 0..200 {
+        if cfg.socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert!(cfg.socket.exists(), "daemon never bound its socket");
+
+    // Malformed and truncated lines get structured error events on a
+    // connection that stays usable — never a panic or a silent drop.
+    let (mut stream, mut reader) = connect(&cfg);
+    for bad in ["{not json", "[1,2]", r#"{"v":1,"cmd":"warp_drive"}"#] {
+        send_line(&mut stream, bad);
+        let Event::Error { error } = read_event(&mut reader) else {
+            panic!("line {bad:?} must answer with an error event");
+        };
+        assert!(!error.is_empty());
+    }
+    // A planner failure is an error reply, not an admission.
+    send_line(
+        &mut stream,
+        &Request::Submit(SubmitRequest {
+            client: "t0".into(),
+            only: Some(vec!["nope".into()]),
+            ..Default::default()
+        })
+        .render(),
+    );
+    let Event::Error { error } = read_event(&mut reader) else {
+        panic!("planner failure must answer with an error event");
+    };
+    assert!(error.contains("no figures matched"));
+    // Status on the same (still healthy) connection: all idle.
+    send_line(&mut stream, &Request::Status.render());
+    let Event::Status { running, queued } = read_event(&mut reader) else {
+        panic!("status must answer with a status event");
+    };
+    assert!(running.is_empty() && queued.is_empty());
+    // Cancelling an unknown id is an error, not a panic.
+    send_line(&mut stream, &Request::Cancel { id: "s99".into() }.render());
+    assert!(matches!(read_event(&mut reader), Event::Error { .. }));
+    drop(stream);
+
+    // A real submission: admitted, streamed, completed cold (executed).
+    let (mut stream, mut reader) = connect(&cfg);
+    send_line(
+        &mut stream,
+        &Request::Submit(SubmitRequest {
+            client: "t1".into(),
+            ..Default::default()
+        })
+        .render(),
+    );
+    let Event::Admitted { id, jobs, .. } = read_event(&mut reader) else {
+        panic!("submission must be admitted");
+    };
+    assert_eq!(jobs, 2);
+    let (mut saw_done, mut saw_progress) = (0, 0);
+    let complete = loop {
+        match read_event(&mut reader) {
+            Event::Complete {
+                id: cid,
+                outcome,
+                executed,
+                cache_hits,
+                failed,
+                cancelled,
+            } => {
+                assert_eq!(cid, id);
+                break (outcome, executed, cache_hits, failed, cancelled);
+            }
+            Event::Job { status, .. } => {
+                if status == JobStatus::Done {
+                    saw_done += 1;
+                }
+            }
+            Event::Progress { done, total, .. } => {
+                saw_progress += 1;
+                assert!(done <= total);
+            }
+            other => panic!("unexpected event on submit stream: {other:?}"),
+        }
+    };
+    assert_eq!(complete, ("pass".to_string(), 2, 0, 0, 0));
+    assert_eq!(saw_done, 2, "both jobs execute cold");
+    assert_eq!(saw_progress, 2, "one progress event per resolved job");
+
+    // The same plan resubmitted: all cache hits, nothing re-executed.
+    let (mut stream, mut reader) = connect(&cfg);
+    send_line(
+        &mut stream,
+        &Request::Submit(SubmitRequest {
+            client: "t2".into(),
+            ..Default::default()
+        })
+        .render(),
+    );
+    assert!(matches!(read_event(&mut reader), Event::Admitted { .. }));
+    loop {
+        match read_event(&mut reader) {
+            Event::Complete {
+                executed,
+                cache_hits,
+                outcome,
+                ..
+            } => {
+                assert_eq!((outcome.as_str(), executed, cache_hits), ("pass", 0, 2));
+                break;
+            }
+            Event::Job { status, .. } => assert_eq!(status, JobStatus::Hit),
+            Event::Progress { .. } => {}
+            other => panic!("unexpected event: {other:?}"),
+        }
+    }
+
+    // Graceful shutdown: ack, then the server thread returns, the
+    // socket is removed and no lease survives.
+    let (mut stream, mut reader) = connect(&cfg);
+    send_line(&mut stream, &Request::Shutdown { now: false }.render());
+    assert!(matches!(read_event(&mut reader), Event::Ack { .. }));
+    let completed = server.join().unwrap().unwrap();
+    assert_eq!(completed, 2, "both submissions completed");
+    assert!(!cfg.socket.exists(), "socket removed on shutdown");
+    let leases = dir.join("cache").join("leases");
+    if let Ok(entries) = std::fs::read_dir(&leases) {
+        let leaked: Vec<String> = entries
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".lease") || n.starts_with(".steal-"))
+            .collect();
+        assert!(leaked.is_empty(), "leaked leases: {leaked:?}");
+    }
+
+    // The event log survives and parses line-by-line with the same
+    // grammar (seq/t wrapper fields are ignored as unknown).
+    let log = std::fs::read_to_string(cfg.events_log).unwrap();
+    let events: Vec<Event> = log
+        .lines()
+        .map(|l| Event::parse_line(l).expect("every log line parses"))
+        .collect();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::Admitted { client, .. } if client == "t1")));
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| matches!(e, Event::Complete { .. }))
+            .count(),
+        2
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
